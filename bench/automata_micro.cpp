@@ -1,0 +1,132 @@
+// Ablation A3: micro-costs of the automata machinery -- the color hash f,
+// model loading, translation-function application, XPath compilation and
+// evaluation over the abstract-message projection.
+#include <benchmark/benchmark.h>
+
+#include "core/automata/color.hpp"
+#include "core/bridge/models.hpp"
+#include "core/merge/spec_loader.hpp"
+#include "core/merge/synthesizer.hpp"
+#include "core/merge/translation.hpp"
+#include "xml/parser.hpp"
+#include "xml/xpath.hpp"
+
+namespace {
+
+using namespace starlink;
+
+void ColorHash(benchmark::State& state) {
+    automata::ColorRegistry registry;
+    automata::Color color{{automata::keys::transport, "udp"},
+                          {automata::keys::port, "427"},
+                          {automata::keys::mode, "async"},
+                          {automata::keys::multicast, "yes"},
+                          {automata::keys::group, "239.255.255.253"}};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(registry.colorOf(color));
+    }
+}
+BENCHMARK(ColorHash);
+
+void ColorHashFreshRegistry(benchmark::State& state) {
+    // First-sight cost, including registration.
+    automata::Color color{{automata::keys::transport, "udp"}, {automata::keys::port, "427"}};
+    for (auto _ : state) {
+        automata::ColorRegistry registry;
+        benchmark::DoNotOptimize(registry.colorOf(color));
+    }
+}
+BENCHMARK(ColorHashFreshRegistry);
+
+void LoadColoredAutomaton(benchmark::State& state) {
+    const std::string xml = bridge::models::slpAutomaton(bridge::models::Role::Server);
+    for (auto _ : state) {
+        automata::ColorRegistry registry;
+        auto automaton = merge::loadAutomaton(xml, registry);
+        benchmark::DoNotOptimize(automaton);
+    }
+}
+BENCHMARK(LoadColoredAutomaton);
+
+void LoadAndValidateBridgeSpec(benchmark::State& state) {
+    const auto spec = bridge::models::forCase(bridge::models::Case::SlpToUpnp, "10.0.0.9");
+    for (auto _ : state) {
+        automata::ColorRegistry registry;
+        std::vector<std::shared_ptr<automata::ColoredAutomaton>> components;
+        for (const auto& protocol : spec.protocols) {
+            components.push_back(merge::loadAutomaton(protocol.automatonXml, registry));
+        }
+        auto merged = merge::loadBridge(spec.bridgeXml, std::move(components));
+        merged->validate();
+        benchmark::DoNotOptimize(merged);
+    }
+}
+BENCHMARK(LoadAndValidateBridgeSpec);
+
+void TranslationFunctionApply(benchmark::State& state) {
+    auto registry = merge::TranslationRegistry::withDefaults();
+    const Value input = Value::ofString("service:printer");
+    for (auto _ : state) {
+        auto output = registry->apply("slp_to_urn", input);
+        benchmark::DoNotOptimize(output);
+    }
+}
+BENCHMARK(TranslationFunctionApply);
+
+void XpathCompile(benchmark::State& state) {
+    for (auto _ : state) {
+        auto path = xml::Path::compile("/field/primitiveField[label='ST']/value");
+        benchmark::DoNotOptimize(path);
+    }
+}
+BENCHMARK(XpathCompile);
+
+void XpathEvaluate(benchmark::State& state) {
+    const auto path = xml::Path::compile("/field/primitiveField[label='ST']/value");
+    const auto doc = xml::parse(
+        "<field>"
+        "<primitiveField><label>MX</label><value>2</value></primitiveField>"
+        "<primitiveField><label>ST</label><value>urn:x</value></primitiveField>"
+        "</field>");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(path.first(*doc));
+    }
+}
+BENCHMARK(XpathEvaluate);
+
+void SynthesizeMerge(benchmark::State& state) {
+    // Full ontology-driven generation of the SLP<->Bonjour merged automaton
+    // (assignments, equivalences, deltas, validation).
+    const std::string slpMdlXml = bridge::models::slpMdl();
+    const std::string dnsMdlXml = bridge::models::dnsMdl();
+    const std::string slpAutomatonXml =
+        bridge::models::slpAutomaton(bridge::models::Role::Server);
+    const std::string dnsAutomatonXml =
+        bridge::models::mdnsAutomaton(bridge::models::Role::Client);
+    const auto ontology = merge::Ontology::discovery();
+    const auto slpDoc = mdl::MdlDocument::fromXml(slpMdlXml);
+    const auto dnsDoc = mdl::MdlDocument::fromXml(dnsMdlXml);
+    for (auto _ : state) {
+        automata::ColorRegistry registry;
+        merge::SynthesisInput input;
+        input.servedAutomaton = merge::loadAutomaton(slpAutomatonXml, registry);
+        input.servedMdl = &slpDoc;
+        input.queriedAutomaton = merge::loadAutomaton(dnsAutomatonXml, registry);
+        input.queriedMdl = &dnsDoc;
+        input.ontology = &ontology;
+        input.translations = merge::TranslationRegistry::withDefaults();
+        auto result = merge::synthesizeMerge(input);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(SynthesizeMerge);
+
+void XpathToDottedPath(benchmark::State& state) {
+    for (auto _ : state) {
+        auto dotted = merge::xpathToFieldPath("/field/primitiveField[label='ST']/value");
+        benchmark::DoNotOptimize(dotted);
+    }
+}
+BENCHMARK(XpathToDottedPath);
+
+}  // namespace

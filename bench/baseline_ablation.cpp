@@ -1,0 +1,208 @@
+// Ablation A2: Starlink's interpreted, model-driven connectors vs hand-coded
+// z2z-style static bridges, on identical topologies.
+//
+// Measures the same quantity as Fig 12(b) -- first-message-in to
+// last-message-out at the bridge -- for the three cases with a static
+// counterpart. The gap quantifies the cost of runtime interpretation
+// (generic parsing into abstract messages, translation-logic evaluation,
+// model-driven composition) that Starlink pays for being deployable at
+// runtime.
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "baseline/static_bridges.hpp"
+#include "core/bridge/models.hpp"
+#include "core/bridge/starlink.hpp"
+#include "protocols/mdns/mdns_agents.hpp"
+#include "protocols/slp/slp_agents.hpp"
+#include "protocols/ssdp/ssdp_agents.hpp"
+#include "stats.hpp"
+
+namespace {
+
+using namespace starlink;
+using bridge::models::Case;
+
+constexpr int kRepetitions = 100;
+
+// Fast services so the bridge's own cost dominates the comparison.
+slp::ServiceAgent::Config fastSlp() {
+    slp::ServiceAgent::Config config;
+    config.responseDelayBase = net::ms(10);
+    config.responseDelayJitter = net::ms(2);
+    return config;
+}
+mdns::Responder::Config fastMdns() {
+    mdns::Responder::Config config;
+    config.responseDelayBase = net::ms(10);
+    config.responseDelayJitter = net::ms(2);
+    return config;
+}
+ssdp::Device::Config fastUpnp() {
+    ssdp::Device::Config config;
+    config.responseDelayBase = net::ms(10);
+    config.responseDelayJitter = net::ms(2);
+    return config;
+}
+
+// --- SLP -> Bonjour -------------------------------------------------------------
+
+bench::Summary starlinkSlpToBonjour() {
+    net::VirtualClock clock;
+    net::EventScheduler scheduler(clock);
+    net::SimNetwork network(scheduler);
+    bridge::Starlink starlink(network);
+    auto& deployed =
+        starlink.deploy(bridge::models::forCase(Case::SlpToBonjour, "10.0.0.9"), "10.0.0.9");
+    mdns::Responder responder(network, fastMdns());
+    slp::UserAgent client(network, {});
+    for (int i = 0; i < kRepetitions; ++i) {
+        client.lookup("service:printer", [](const slp::UserAgent::Result&) {});
+        scheduler.runUntilIdle();
+    }
+    std::vector<double> samples;
+    for (const auto& session : deployed.engine().sessions()) {
+        if (session.completed) samples.push_back(bench::toMs(session.translationTime()));
+    }
+    return bench::summarize(std::move(samples));
+}
+
+bench::Summary staticSlpToBonjour() {
+    net::VirtualClock clock;
+    net::EventScheduler scheduler(clock);
+    net::SimNetwork network(scheduler);
+    baseline::SlpToBonjourStatic bridge(network, "10.0.0.9");
+    mdns::Responder responder(network, fastMdns());
+    slp::UserAgent client(network, {});
+    for (int i = 0; i < kRepetitions; ++i) {
+        client.lookup("service:printer", [](const slp::UserAgent::Result&) {});
+        scheduler.runUntilIdle();
+    }
+    std::vector<double> samples;
+    for (const auto& session : bridge.sessions()) {
+        if (session.completed) samples.push_back(bench::toMs(session.translationTime()));
+    }
+    return bench::summarize(std::move(samples));
+}
+
+// --- SLP -> UPnP ----------------------------------------------------------------
+
+bench::Summary starlinkSlpToUpnp() {
+    net::VirtualClock clock;
+    net::EventScheduler scheduler(clock);
+    net::SimNetwork network(scheduler);
+    bridge::Starlink starlink(network);
+    auto& deployed =
+        starlink.deploy(bridge::models::forCase(Case::SlpToUpnp, "10.0.0.9"), "10.0.0.9");
+    ssdp::Device device(network, fastUpnp());
+    slp::UserAgent client(network, {});
+    for (int i = 0; i < kRepetitions; ++i) {
+        client.lookup("service:printer", [](const slp::UserAgent::Result&) {});
+        scheduler.runUntilIdle();
+    }
+    std::vector<double> samples;
+    for (const auto& session : deployed.engine().sessions()) {
+        if (session.completed) samples.push_back(bench::toMs(session.translationTime()));
+    }
+    return bench::summarize(std::move(samples));
+}
+
+bench::Summary staticSlpToUpnp() {
+    net::VirtualClock clock;
+    net::EventScheduler scheduler(clock);
+    net::SimNetwork network(scheduler);
+    baseline::SlpToUpnpStatic bridge(network, "10.0.0.9");
+    ssdp::Device device(network, fastUpnp());
+    slp::UserAgent client(network, {});
+    for (int i = 0; i < kRepetitions; ++i) {
+        client.lookup("service:printer", [](const slp::UserAgent::Result&) {});
+        scheduler.runUntilIdle();
+    }
+    std::vector<double> samples;
+    for (const auto& session : bridge.sessions()) {
+        if (session.completed) samples.push_back(bench::toMs(session.translationTime()));
+    }
+    return bench::summarize(std::move(samples));
+}
+
+// --- Bonjour -> SLP --------------------------------------------------------------
+
+bench::Summary starlinkBonjourToSlp() {
+    net::VirtualClock clock;
+    net::EventScheduler scheduler(clock);
+    net::SimNetwork network(scheduler);
+    bridge::Starlink starlink(network);
+    auto& deployed =
+        starlink.deploy(bridge::models::forCase(Case::BonjourToSlp, "10.0.0.9"), "10.0.0.9");
+    slp::ServiceAgent service(network, fastSlp());
+    mdns::Resolver client(network, {});
+    for (int i = 0; i < kRepetitions; ++i) {
+        client.browse("_printer._tcp.local", [](const mdns::Resolver::Result&) {});
+        scheduler.runUntilIdle();
+    }
+    std::vector<double> samples;
+    for (const auto& session : deployed.engine().sessions()) {
+        if (session.completed) samples.push_back(bench::toMs(session.translationTime()));
+    }
+    return bench::summarize(std::move(samples));
+}
+
+bench::Summary staticBonjourToSlp() {
+    net::VirtualClock clock;
+    net::EventScheduler scheduler(clock);
+    net::SimNetwork network(scheduler);
+    baseline::BonjourToSlpStatic bridge(network, "10.0.0.9");
+    slp::ServiceAgent service(network, fastSlp());
+    mdns::Resolver client(network, {});
+    for (int i = 0; i < kRepetitions; ++i) {
+        client.browse("_printer._tcp.local", [](const mdns::Resolver::Result&) {});
+        scheduler.runUntilIdle();
+    }
+    std::vector<double> samples;
+    for (const auto& session : bridge.sessions()) {
+        if (session.completed) samples.push_back(bench::toMs(session.translationTime()));
+    }
+    return bench::summarize(std::move(samples));
+}
+
+void printPair(const char* label, const bench::Summary& starlinkSummary,
+               const bench::Summary& staticSummary) {
+    std::printf("%-18s starlink %7.1f ms   static %7.1f ms   overhead %+6.1f ms (%zu/%zu ok)\n",
+                label, starlinkSummary.medianMs, staticSummary.medianMs,
+                starlinkSummary.medianMs - staticSummary.medianMs, starlinkSummary.samples,
+                staticSummary.samples);
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Ablation A2: interpreted Starlink connectors vs hand-coded static bridges\n");
+    std::printf("(median bridge-side translation time over %d lookups; fast services so the\n"
+                " bridge cost dominates)\n\n",
+                kRepetitions);
+
+    const auto slpBonjourStarlink = starlinkSlpToBonjour();
+    const auto slpBonjourStatic = staticSlpToBonjour();
+    printPair("SLP->Bonjour", slpBonjourStarlink, slpBonjourStatic);
+
+    const auto slpUpnpStarlink = starlinkSlpToUpnp();
+    const auto slpUpnpStatic = staticSlpToUpnp();
+    printPair("SLP->UPnP", slpUpnpStarlink, slpUpnpStatic);
+
+    const auto bonjourSlpStarlink = starlinkBonjourToSlp();
+    const auto bonjourSlpStatic = staticBonjourToSlp();
+    printPair("Bonjour->SLP", bonjourSlpStarlink, bonjourSlpStatic);
+
+    const bool ok = slpBonjourStarlink.samples == kRepetitions &&
+                    slpBonjourStatic.samples == kRepetitions &&
+                    slpUpnpStarlink.samples == kRepetitions &&
+                    slpUpnpStatic.samples == kRepetitions &&
+                    bonjourSlpStarlink.samples == kRepetitions &&
+                    bonjourSlpStatic.samples == kRepetitions &&
+                    slpBonjourStarlink.medianMs >= slpBonjourStatic.medianMs;
+    std::printf("\nshape check (both bridge kinds complete everything; interpretation costs "
+                "extra): %s\n",
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,139 @@
+// Ablation A1: what does MDL-driven genericity cost per message?
+//
+// Compares the generic, runtime-specialised MDL parser/composer against the
+// hand-written legacy codecs on identical wire messages, for a binary
+// protocol (SLP) and a text protocol (SSDP). These are wall-clock
+// micro-benchmarks (google-benchmark), not virtual-time: they measure real
+// CPU cost of interpretation, the component the paper's Fig 12(b) overhead
+// contains.
+#include <benchmark/benchmark.h>
+
+#include "core/bridge/models.hpp"
+#include "core/mdl/codec.hpp"
+#include "protocols/slp/slp_codec.hpp"
+#include "protocols/ssdp/ssdp_codec.hpp"
+
+namespace {
+
+using namespace starlink;
+
+const Bytes& slpRequestWire() {
+    static const Bytes wire = [] {
+        slp::SrvRequest request;
+        request.xid = 42;
+        request.serviceType = "service:printer";
+        request.predicate = "(color=true)";
+        return slp::encode(request);
+    }();
+    return wire;
+}
+
+const Bytes& ssdpResponseWire() {
+    static const Bytes wire = [] {
+        ssdp::Response response;
+        response.st = "urn:schemas-upnp-org:service:printer:1";
+        response.usn = "uuid:sim-device-0001::urn:schemas-upnp-org:service:printer:1";
+        response.location = "http://10.0.0.3:8080/desc.xml";
+        return ssdp::encode(response);
+    }();
+    return wire;
+}
+
+std::shared_ptr<mdl::MessageCodec> slpCodec() {
+    static auto codec = mdl::MessageCodec::fromXml(bridge::models::slpMdl());
+    return codec;
+}
+
+std::shared_ptr<mdl::MessageCodec> ssdpCodec() {
+    static auto codec = mdl::MessageCodec::fromXml(bridge::models::ssdpMdl());
+    return codec;
+}
+
+void MdlParseSlp(benchmark::State& state) {
+    const auto codec = slpCodec();
+    for (auto _ : state) {
+        auto message = codec->parse(slpRequestWire());
+        benchmark::DoNotOptimize(message);
+    }
+}
+BENCHMARK(MdlParseSlp);
+
+void LegacyParseSlp(benchmark::State& state) {
+    for (auto _ : state) {
+        auto message = slp::decodeRequest(slpRequestWire());
+        benchmark::DoNotOptimize(message);
+    }
+}
+BENCHMARK(LegacyParseSlp);
+
+void MdlComposeSlp(benchmark::State& state) {
+    const auto codec = slpCodec();
+    const auto message = *codec->parse(slpRequestWire());
+    for (auto _ : state) {
+        Bytes wire = codec->compose(message);
+        benchmark::DoNotOptimize(wire);
+    }
+}
+BENCHMARK(MdlComposeSlp);
+
+void LegacyComposeSlp(benchmark::State& state) {
+    slp::SrvRequest request;
+    request.xid = 42;
+    request.serviceType = "service:printer";
+    request.predicate = "(color=true)";
+    for (auto _ : state) {
+        Bytes wire = slp::encode(request);
+        benchmark::DoNotOptimize(wire);
+    }
+}
+BENCHMARK(LegacyComposeSlp);
+
+void MdlParseSsdp(benchmark::State& state) {
+    const auto codec = ssdpCodec();
+    for (auto _ : state) {
+        auto message = codec->parse(ssdpResponseWire());
+        benchmark::DoNotOptimize(message);
+    }
+}
+BENCHMARK(MdlParseSsdp);
+
+void LegacyParseSsdp(benchmark::State& state) {
+    for (auto _ : state) {
+        auto message = ssdp::decodeResponse(ssdpResponseWire());
+        benchmark::DoNotOptimize(message);
+    }
+}
+BENCHMARK(LegacyParseSsdp);
+
+void MdlComposeSsdp(benchmark::State& state) {
+    const auto codec = ssdpCodec();
+    const auto message = *codec->parse(ssdpResponseWire());
+    for (auto _ : state) {
+        Bytes wire = codec->compose(message);
+        benchmark::DoNotOptimize(wire);
+    }
+}
+BENCHMARK(MdlComposeSsdp);
+
+void LegacyComposeSsdp(benchmark::State& state) {
+    ssdp::Response response;
+    response.st = "urn:schemas-upnp-org:service:printer:1";
+    response.usn = "uuid:sim-device-0001::urn:x";
+    response.location = "http://10.0.0.3:8080/desc.xml";
+    for (auto _ : state) {
+        Bytes wire = ssdp::encode(response);
+        benchmark::DoNotOptimize(wire);
+    }
+}
+BENCHMARK(LegacyComposeSsdp);
+
+void MdlLoadDocument(benchmark::State& state) {
+    const std::string xml = bridge::models::slpMdl();
+    for (auto _ : state) {
+        auto codec = mdl::MessageCodec::fromXml(xml);
+        benchmark::DoNotOptimize(codec);
+    }
+}
+BENCHMARK(MdlLoadDocument);
+
+}  // namespace

@@ -1,0 +1,62 @@
+// Shared native-protocol benchmark runs (Fig 12(a) measurements), used by
+// the fig12a harness directly and by fig12b to compute the paper's
+// "percentage increase in response time" comparison.
+#pragma once
+
+#include "protocols/mdns/mdns_agents.hpp"
+#include "protocols/slp/slp_agents.hpp"
+#include "protocols/ssdp/ssdp_agents.hpp"
+#include "stats.hpp"
+
+namespace starlink::bench {
+
+inline Summary benchNativeSlp(int repetitions) {
+    net::VirtualClock clock;
+    net::EventScheduler scheduler(clock);
+    net::SimNetwork network(scheduler);
+    slp::ServiceAgent service(network, {});
+    slp::UserAgent client(network, {});
+    std::vector<double> samples;
+    for (int i = 0; i < repetitions; ++i) {
+        client.lookup("service:printer", [&samples](const slp::UserAgent::Result& result) {
+            if (!result.urls.empty()) samples.push_back(toMs(result.elapsed));
+        });
+        scheduler.runUntilIdle();
+    }
+    return summarize(std::move(samples));
+}
+
+inline Summary benchNativeBonjour(int repetitions) {
+    net::VirtualClock clock;
+    net::EventScheduler scheduler(clock);
+    net::SimNetwork network(scheduler);
+    mdns::Responder responder(network, {});
+    mdns::Resolver client(network, {});
+    std::vector<double> samples;
+    for (int i = 0; i < repetitions; ++i) {
+        client.browse("_printer._tcp.local", [&samples](const mdns::Resolver::Result& result) {
+            if (!result.urls.empty()) samples.push_back(toMs(result.elapsed));
+        });
+        scheduler.runUntilIdle();
+    }
+    return summarize(std::move(samples));
+}
+
+inline Summary benchNativeUpnp(int repetitions) {
+    net::VirtualClock clock;
+    net::EventScheduler scheduler(clock);
+    net::SimNetwork network(scheduler);
+    ssdp::Device device(network, {});
+    ssdp::ControlPoint client(network, {});
+    std::vector<double> samples;
+    for (int i = 0; i < repetitions; ++i) {
+        client.search(device.config().st,
+                      [&samples](const ssdp::ControlPoint::Result& result) {
+                          if (!result.urls.empty()) samples.push_back(toMs(result.elapsed));
+                      });
+        scheduler.runUntilIdle();
+    }
+    return summarize(std::move(samples));
+}
+
+}  // namespace starlink::bench

@@ -1,0 +1,40 @@
+// Tiny shared helpers for the table harnesses: min/median/max over repeated
+// virtual-time measurements, matching the paper's reporting.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "net/clock.hpp"
+
+namespace starlink::bench {
+
+struct Summary {
+    double minMs = 0;
+    double medianMs = 0;
+    double maxMs = 0;
+    std::size_t samples = 0;
+};
+
+inline double toMs(net::Duration d) {
+    return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(d).count();
+}
+
+inline Summary summarize(std::vector<double> ms) {
+    Summary out;
+    out.samples = ms.size();
+    if (ms.empty()) return out;
+    std::sort(ms.begin(), ms.end());
+    out.minMs = ms.front();
+    out.maxMs = ms.back();
+    out.medianMs = ms[ms.size() / 2];
+    return out;
+}
+
+inline void printRow(const char* label, const Summary& s, const char* paper) {
+    std::printf("%-18s %8.0f %8.0f %8.0f   | paper: %s\n", label, s.minMs, s.medianMs, s.maxMs,
+                paper);
+}
+
+}  // namespace starlink::bench

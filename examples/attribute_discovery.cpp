@@ -1,0 +1,68 @@
+// Rich translations in action (paper section III-A): an SLP client's
+// attribute predicate survives translation into an LDAP filter, so the
+// directory picks the RIGHT service -- and the same lookup through a
+// greatest-common-divisor style bridge (predicate dropped, as a subset
+// intermediary would) picks the wrong one.
+#include <iostream>
+#include <optional>
+
+#include "core/bridge/models.hpp"
+#include "core/bridge/starlink.hpp"
+#include "protocols/ldap/ldap_agents.hpp"
+#include "protocols/slp/slp_codec.hpp"
+
+namespace {
+
+using namespace starlink;
+
+std::optional<std::string> lookupThrough(const bridge::models::DeploymentSpec& spec,
+                                         const std::string& predicate) {
+    net::VirtualClock clock;
+    net::EventScheduler scheduler(clock);
+    net::SimNetwork network(scheduler);
+    bridge::Starlink starlink(network);
+    starlink.deploy(spec, "10.0.0.9");
+
+    ldap::DirectoryServer directory(network, {});
+    directory.addEntry({"cn=mono,dc=services,dc=local", "service:printer",
+                        "service:printer://10.0.0.3:515/mono", {{"color", "false"}}});
+    directory.addEntry({"cn=color,dc=services,dc=local", "service:printer",
+                        "service:printer://10.0.0.3:515/color", {{"color", "true"}}});
+
+    auto socket = network.openUdp("10.0.0.1");
+    std::optional<std::string> url;
+    socket->onDatagram([&url](const Bytes& payload, const net::Address&) {
+        if (const auto reply = slp::decodeReply(payload)) url = reply->url;
+    });
+    slp::SrvRequest request;
+    request.xid = 77;
+    request.serviceType = "service:printer";
+    request.predicate = predicate;
+    socket->sendTo(net::Address{slp::kGroup, slp::kPort}, slp::encode(request));
+    scheduler.runUntilIdle();
+    return url;
+}
+
+}  // namespace
+
+int main() {
+    const std::string predicate = "(color=true)";
+    std::cout << "An LDAP directory holds two printers; the SLP client asks for\n"
+              << "service:printer with predicate " << predicate << ".\n\n";
+
+    const auto rich = lookupThrough(bridge::models::slpToLdap("10.0.0.3"), predicate);
+    std::cout << "Starlink bridge (predicate translated to an LDAP filter):\n  -> "
+              << rich.value_or("NO REPLY") << "\n\n";
+
+    const auto gcd =
+        lookupThrough(bridge::models::slpToLdapWithoutPredicate("10.0.0.3"), predicate);
+    std::cout << "GCD-style bridge (predicate dropped, as a common-subset\n"
+              << "intermediary would):\n  -> " << gcd.value_or("NO REPLY") << "\n\n";
+
+    const bool ok = rich == "service:printer://10.0.0.3:515/color" &&
+                    gcd == "service:printer://10.0.0.3:515/mono";
+    std::cout << (ok ? "Attribute-based interoperability preserved only by the rich "
+                       "translation.\n"
+                     : "UNEXPECTED RESULT\n");
+    return ok ? 0 : 1;
+}

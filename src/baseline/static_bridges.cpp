@@ -1,0 +1,375 @@
+#include "baseline/static_bridges.hpp"
+
+#include "common/strings.hpp"
+
+namespace starlink::baseline {
+
+std::string slpTypeToDnssd(const std::string& slpType) {
+    std::string name = slpType;
+    if (startsWith(name, "service:")) name = name.substr(8);
+    name = split(name, ':')[0];
+    return "_" + name + "._tcp.local";
+}
+
+std::string dnssdToSlpType(const std::string& dnssdName) {
+    std::string name = dnssdName;
+    if (startsWith(name, "_")) name = name.substr(1);
+    const std::size_t dot = name.find("._");
+    if (dot != std::string::npos) name = name.substr(0, dot);
+    return "service:" + name;
+}
+
+std::string slpTypeToUrn(const std::string& slpType) {
+    std::string name = slpType;
+    if (startsWith(name, "service:")) name = name.substr(8);
+    name = split(name, ':')[0];
+    return "urn:schemas-upnp-org:service:" + name + ":1";
+}
+
+// ---------------------------------------------------------------------------
+// SlpToBonjourStatic
+
+SlpToBonjourStatic::SlpToBonjourStatic(net::SimNetwork& network, const std::string& host)
+    : network_(network) {
+    slpSocket_ = network_.openUdp(host, slp::kPort);
+    slpSocket_->joinGroup(net::Address{slp::kGroup, slp::kPort});
+    slpSocket_->onDatagram([this](const Bytes& payload, const net::Address& from) {
+        onSlp(payload, from);
+    });
+    mdnsSocket_ = network_.openUdp(host, mdns::kPort);
+    mdnsSocket_->joinGroup(net::Address{mdns::kGroup, mdns::kPort});
+    mdnsSocket_->onDatagram([this](const Bytes& payload, const net::Address& from) {
+        onMdns(payload, from);
+    });
+}
+
+void SlpToBonjourStatic::onSlp(const Bytes& payload, const net::Address& from) {
+    const auto request = slp::decodeRequest(payload);
+    if (!request || pendingRequest_) return;
+    pendingRequest_ = *request;
+    client_ = from;
+    live_ = BridgeSession{};
+    live_.firstReceive = network_.now();
+
+    const auto question =
+        mdns::makeQuestion(nextDnsId_++, slpTypeToDnssd(request->serviceType));
+    mdnsSocket_->sendTo(net::Address{mdns::kGroup, mdns::kPort}, mdns::encode(question));
+}
+
+void SlpToBonjourStatic::onMdns(const Bytes& payload, const net::Address&) {
+    if (!pendingRequest_) return;
+    const auto message = mdns::decode(payload);
+    if (!message || !message->isResponse() || message->answers.empty()) return;
+
+    slp::SrvReply reply;
+    reply.xid = pendingRequest_->xid;
+    reply.langTag = pendingRequest_->langTag;
+    reply.url = toString(message->answers.front().rdata);
+    slpSocket_->sendTo(*client_, slp::encode(reply));
+
+    live_.lastSend = network_.now();
+    live_.completed = true;
+    sessions_.push_back(live_);
+    pendingRequest_.reset();
+    client_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// SlpToUpnpStatic
+
+SlpToUpnpStatic::SlpToUpnpStatic(net::SimNetwork& network, const std::string& host)
+    : network_(network), host_(host), httpClient_(network, host) {
+    slpSocket_ = network_.openUdp(host, slp::kPort);
+    slpSocket_->joinGroup(net::Address{slp::kGroup, slp::kPort});
+    slpSocket_->onDatagram([this](const Bytes& payload, const net::Address& from) {
+        onSlp(payload, from);
+    });
+    ssdpSocket_ = network_.openUdp(host, ssdp::kPort);
+    ssdpSocket_->joinGroup(net::Address{ssdp::kGroup, ssdp::kPort});
+    ssdpSocket_->onDatagram([this](const Bytes& payload, const net::Address& from) {
+        onSsdp(payload, from);
+    });
+}
+
+void SlpToUpnpStatic::onSlp(const Bytes& payload, const net::Address& from) {
+    const auto request = slp::decodeRequest(payload);
+    if (!request || pendingRequest_) return;
+    pendingRequest_ = *request;
+    client_ = from;
+    fetching_ = false;
+    live_ = BridgeSession{};
+    live_.firstReceive = network_.now();
+
+    ssdp::MSearch search;
+    search.st = slpTypeToUrn(request->serviceType);
+    ssdpSocket_->sendTo(net::Address{ssdp::kGroup, ssdp::kPort}, ssdp::encode(search));
+}
+
+void SlpToUpnpStatic::onSsdp(const Bytes& payload, const net::Address&) {
+    if (!pendingRequest_ || fetching_) return;
+    const auto response = ssdp::decodeResponse(payload);
+    if (!response) return;
+    fetching_ = true;
+    fetchDescription(*response);
+}
+
+void SlpToUpnpStatic::fetchDescription(const ssdp::Response& response) {
+    // Hand-rolled LOCATION parsing -- what Starlink's url_* translation
+    // functions and set_host action do from the model.
+    std::string rest = response.location;
+    if (const std::size_t scheme = rest.find("://"); scheme != std::string::npos) {
+        rest = rest.substr(scheme + 3);
+    }
+    const std::size_t slash = rest.find('/');
+    const std::string authority = slash == std::string::npos ? rest : rest.substr(0, slash);
+    const std::string path = slash == std::string::npos ? "/" : rest.substr(slash);
+    std::string host = authority;
+    std::uint16_t port = 80;
+    if (const auto split = splitFirst(authority, ':')) {
+        host = split->first;
+        if (const auto parsed = parseInt(split->second)) {
+            port = static_cast<std::uint16_t>(*parsed);
+        }
+    }
+    httpClient_.get(host, port, path, [this](std::optional<http::Response> response) {
+        if (!pendingRequest_) return;
+        std::string url;
+        if (response && response->status == 200) {
+            if (const auto base = ssdp::extractUrlBase(response->body)) url = *base;
+        }
+        replyToClient(url);
+    });
+}
+
+void SlpToUpnpStatic::replyToClient(const std::string& url) {
+    if (url.empty()) {
+        // Description fetch failed: drop the conversation (the SLP client
+        // times out, as it would against a vanished device).
+        pendingRequest_.reset();
+        client_.reset();
+        return;
+    }
+    slp::SrvReply reply;
+    reply.xid = pendingRequest_->xid;
+    reply.langTag = pendingRequest_->langTag;
+    reply.url = url;
+    slpSocket_->sendTo(*client_, slp::encode(reply));
+
+    live_.lastSend = network_.now();
+    live_.completed = true;
+    sessions_.push_back(live_);
+    pendingRequest_.reset();
+    client_.reset();
+    fetching_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// BonjourToSlpStatic
+
+BonjourToSlpStatic::BonjourToSlpStatic(net::SimNetwork& network, const std::string& host)
+    : network_(network) {
+    mdnsSocket_ = network_.openUdp(host, mdns::kPort);
+    mdnsSocket_->joinGroup(net::Address{mdns::kGroup, mdns::kPort});
+    mdnsSocket_->onDatagram([this](const Bytes& payload, const net::Address& from) {
+        onMdns(payload, from);
+    });
+    slpSocket_ = network_.openUdp(host, slp::kPort);
+    slpSocket_->joinGroup(net::Address{slp::kGroup, slp::kPort});
+    slpSocket_->onDatagram([this](const Bytes& payload, const net::Address& from) {
+        onSlp(payload, from);
+    });
+}
+
+void BonjourToSlpStatic::onMdns(const Bytes& payload, const net::Address& from) {
+    const auto message = mdns::decode(payload);
+    if (!message || message->isResponse() || message->questions.empty() || pendingQuestion_) {
+        return;
+    }
+    pendingQuestion_ = *message;
+    client_ = from;
+    live_ = BridgeSession{};
+    live_.firstReceive = network_.now();
+
+    slp::SrvRequest request;
+    request.xid = nextXid_++;
+    request.serviceType = dnssdToSlpType(message->questions.front().qname);
+    slpSocket_->sendTo(net::Address{slp::kGroup, slp::kPort}, slp::encode(request));
+}
+
+void BonjourToSlpStatic::onSlp(const Bytes& payload, const net::Address&) {
+    if (!pendingQuestion_) return;
+    const auto reply = slp::decodeReply(payload);
+    if (!reply || reply->errorCode != 0) return;
+
+    const auto response = mdns::makeResponse(
+        pendingQuestion_->id, pendingQuestion_->questions.front().qname, reply->url);
+    mdnsSocket_->sendTo(*client_, mdns::encode(response));
+
+    live_.lastSend = network_.now();
+    live_.completed = true;
+    sessions_.push_back(live_);
+    pendingQuestion_.reset();
+    client_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// UpnpToSlpStatic
+
+UpnpToSlpStatic::UpnpToSlpStatic(net::SimNetwork& network, const std::string& host,
+                                 std::uint16_t httpPort)
+    : network_(network), host_(host), httpPort_(httpPort) {
+    ssdpSocket_ = network_.openUdp(host, ssdp::kPort);
+    ssdpSocket_->joinGroup(net::Address{ssdp::kGroup, ssdp::kPort});
+    ssdpSocket_->onDatagram([this](const Bytes& payload, const net::Address& from) {
+        onSsdp(payload, from);
+    });
+    slpSocket_ = network_.openUdp(host, slp::kPort);
+    slpSocket_->joinGroup(net::Address{slp::kGroup, slp::kPort});
+    slpSocket_->onDatagram([this](const Bytes& payload, const net::Address& from) {
+        onSlp(payload, from);
+    });
+    httpListener_ = network_.listenTcp(host, httpPort);
+    httpListener_->onAccept([this](std::shared_ptr<net::TcpConnection> connection) {
+        connections_.push_back(connection);
+        auto weak = std::weak_ptr<net::TcpConnection>(connection);
+        connection->onData([this, weak](const Bytes& data) {
+            if (auto conn = weak.lock()) onHttp(conn, data);
+        });
+    });
+}
+
+void UpnpToSlpStatic::onSsdp(const Bytes& payload, const net::Address& from) {
+    const auto search = ssdp::decodeMSearch(payload);
+    if (!search || pendingSearch_) return;
+    pendingSearch_ = *search;
+    client_ = from;
+    resolvedUrl_.clear();
+    live_ = BridgeSession{};
+    live_.firstReceive = network_.now();
+
+    slp::SrvRequest request;
+    request.xid = nextXid_++;
+    // urn:schemas-upnp-org:service:printer:1 -> service:printer
+    if (search->st != "ssdp:all") {
+        const std::vector<std::string> pieces = split(search->st, ':');
+        request.serviceType = pieces.size() >= 4 ? "service:" + pieces[3] : search->st;
+    }
+    slpSocket_->sendTo(net::Address{slp::kGroup, slp::kPort}, slp::encode(request));
+}
+
+void UpnpToSlpStatic::onSlp(const Bytes& payload, const net::Address&) {
+    if (!pendingSearch_) return;
+    const auto reply = slp::decodeReply(payload);
+    if (!reply || reply->errorCode != 0) return;
+    resolvedUrl_ = reply->url;
+
+    ssdp::Response response;
+    response.st = pendingSearch_->st;
+    response.usn = "uuid:static-bridge::" + pendingSearch_->st;
+    response.location = "http://" + host_ + ":" + std::to_string(httpPort_) + "/desc.xml";
+    ssdpSocket_->sendTo(*client_, ssdp::encode(response));
+    live_.lastSend = network_.now();
+    live_.completed = true;  // translated response delivered; HTTP leg follows
+    sessions_.push_back(live_);
+}
+
+void UpnpToSlpStatic::onHttp(const std::shared_ptr<net::TcpConnection>& connection,
+                             const Bytes& data) {
+    const auto request = http::decodeRequest(data);
+    http::Response response;
+    if (!request || resolvedUrl_.empty()) {
+        response.status = 404;
+        response.reason = "Not Found";
+    } else {
+        response.body = "<root><device><URLBase>" + resolvedUrl_ + "</URLBase></device></root>";
+        response.headers.emplace_back("Content-Type", "text/xml");
+    }
+    connection->send(http::encode(response));
+    pendingSearch_.reset();
+    client_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// BonjourToUpnpStatic
+
+BonjourToUpnpStatic::BonjourToUpnpStatic(net::SimNetwork& network, const std::string& host)
+    : network_(network), httpClient_(network, host) {
+    mdnsSocket_ = network_.openUdp(host, mdns::kPort);
+    mdnsSocket_->joinGroup(net::Address{mdns::kGroup, mdns::kPort});
+    mdnsSocket_->onDatagram([this](const Bytes& payload, const net::Address& from) {
+        onMdns(payload, from);
+    });
+    ssdpSocket_ = network_.openUdp(host, ssdp::kPort);
+    ssdpSocket_->joinGroup(net::Address{ssdp::kGroup, ssdp::kPort});
+    ssdpSocket_->onDatagram([this](const Bytes& payload, const net::Address& from) {
+        onSsdp(payload, from);
+    });
+}
+
+void BonjourToUpnpStatic::onMdns(const Bytes& payload, const net::Address& from) {
+    const auto message = mdns::decode(payload);
+    if (!message || message->isResponse() || message->questions.empty() || pendingQuestion_) {
+        return;
+    }
+    pendingQuestion_ = *message;
+    client_ = from;
+    fetching_ = false;
+    live_ = BridgeSession{};
+    live_.firstReceive = network_.now();
+
+    ssdp::MSearch search;
+    // _printer._tcp.local -> urn:schemas-upnp-org:service:printer:1
+    search.st = slpTypeToUrn(dnssdToSlpType(message->questions.front().qname));
+    ssdpSocket_->sendTo(net::Address{ssdp::kGroup, ssdp::kPort}, ssdp::encode(search));
+}
+
+void BonjourToUpnpStatic::onSsdp(const Bytes& payload, const net::Address&) {
+    if (!pendingQuestion_ || fetching_) return;
+    const auto response = ssdp::decodeResponse(payload);
+    if (!response) return;
+    fetching_ = true;
+
+    std::string rest = response->location;
+    if (const std::size_t scheme = rest.find("://"); scheme != std::string::npos) {
+        rest = rest.substr(scheme + 3);
+    }
+    const std::size_t slash = rest.find('/');
+    const std::string authority = slash == std::string::npos ? rest : rest.substr(0, slash);
+    const std::string path = slash == std::string::npos ? "/" : rest.substr(slash);
+    std::string httpHost = authority;
+    std::uint16_t port = 80;
+    if (const auto hostPort = splitFirst(authority, ':')) {
+        httpHost = hostPort->first;
+        if (const auto parsed = parseInt(hostPort->second)) {
+            port = static_cast<std::uint16_t>(*parsed);
+        }
+    }
+    httpClient_.get(httpHost, port, path, [this](std::optional<http::Response> response) {
+        if (!pendingQuestion_) return;
+        std::string url;
+        if (response && response->status == 200) {
+            if (const auto base = ssdp::extractUrlBase(response->body)) url = *base;
+        }
+        replyToClient(url);
+    });
+}
+
+void BonjourToUpnpStatic::replyToClient(const std::string& url) {
+    if (url.empty()) {
+        pendingQuestion_.reset();
+        client_.reset();
+        fetching_ = false;
+        return;
+    }
+    const auto response = mdns::makeResponse(
+        pendingQuestion_->id, pendingQuestion_->questions.front().qname, url);
+    mdnsSocket_->sendTo(*client_, mdns::encode(response));
+    live_.lastSend = network_.now();
+    live_.completed = true;
+    sessions_.push_back(live_);
+    pendingQuestion_.reset();
+    client_.reset();
+    fetching_ = false;
+}
+
+}  // namespace starlink::baseline

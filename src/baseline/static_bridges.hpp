@@ -1,0 +1,165 @@
+// Hand-coded, statically compiled protocol bridges -- the z2z-style baseline
+// (ablation A2 in DESIGN.md).
+//
+// These bridges do exactly what the Starlink connectors do for the same
+// cases, but with protocol logic written by hand against the legacy codecs:
+// no abstract messages, no interpreted automata, no XML. They represent the
+// state of the art the paper argues against ("z2z generated gateways are
+// statically built, and thus are not adequate for environments where
+// interaction protocols remain unknown until runtime") and give the
+// benchmark harness a compiled reference point for the cost of Starlink's
+// runtime interpretation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/sim_network.hpp"
+#include "protocols/http/http_agents.hpp"
+#include "protocols/mdns/dns_codec.hpp"
+#include "protocols/slp/slp_codec.hpp"
+#include "protocols/ssdp/ssdp_agents.hpp"
+
+namespace starlink::baseline {
+
+/// Per-conversation timing, comparable to engine::SessionRecord.
+struct BridgeSession {
+    net::TimePoint firstReceive{};
+    net::TimePoint lastSend{};
+    bool completed = false;
+
+    net::Duration translationTime() const {
+        return std::chrono::duration_cast<net::Duration>(lastSend - firstReceive);
+    }
+};
+
+/// Common surface of the static bridges.
+class StaticBridge {
+public:
+    virtual ~StaticBridge() = default;
+    const std::vector<BridgeSession>& sessions() const { return sessions_; }
+
+protected:
+    std::vector<BridgeSession> sessions_;
+};
+
+/// SLP client -> Bonjour service (paper case 2), hand-coded.
+class SlpToBonjourStatic : public StaticBridge {
+public:
+    SlpToBonjourStatic(net::SimNetwork& network, const std::string& host);
+
+private:
+    void onSlp(const Bytes& payload, const net::Address& from);
+    void onMdns(const Bytes& payload, const net::Address& from);
+
+    net::SimNetwork& network_;
+    std::unique_ptr<net::UdpSocket> slpSocket_;
+    std::unique_ptr<net::UdpSocket> mdnsSocket_;
+
+    // In-flight conversation state.
+    std::optional<slp::SrvRequest> pendingRequest_;
+    std::optional<net::Address> client_;
+    BridgeSession live_;
+    std::uint16_t nextDnsId_ = 0x3000;
+};
+
+/// SLP client -> UPnP device (paper case 1: SSDP + HTTP legs), hand-coded.
+class SlpToUpnpStatic : public StaticBridge {
+public:
+    SlpToUpnpStatic(net::SimNetwork& network, const std::string& host);
+
+private:
+    void onSlp(const Bytes& payload, const net::Address& from);
+    void onSsdp(const Bytes& payload, const net::Address& from);
+    void fetchDescription(const ssdp::Response& response);
+    void replyToClient(const std::string& url);
+
+    net::SimNetwork& network_;
+    std::string host_;
+    std::unique_ptr<net::UdpSocket> slpSocket_;
+    std::unique_ptr<net::UdpSocket> ssdpSocket_;
+    http::Client httpClient_;
+
+    std::optional<slp::SrvRequest> pendingRequest_;
+    std::optional<net::Address> client_;
+    bool fetching_ = false;
+    BridgeSession live_;
+};
+
+/// Bonjour browser -> SLP service (paper case 6), hand-coded.
+class BonjourToSlpStatic : public StaticBridge {
+public:
+    BonjourToSlpStatic(net::SimNetwork& network, const std::string& host);
+
+private:
+    void onMdns(const Bytes& payload, const net::Address& from);
+    void onSlp(const Bytes& payload, const net::Address& from);
+
+    net::SimNetwork& network_;
+    std::unique_ptr<net::UdpSocket> mdnsSocket_;
+    std::unique_ptr<net::UdpSocket> slpSocket_;
+
+    std::optional<mdns::DnsMessage> pendingQuestion_;
+    std::optional<net::Address> client_;
+    BridgeSession live_;
+    std::uint16_t nextXid_ = 0x4000;
+};
+
+/// UPnP control point -> SLP service (paper case 3), hand-coded: answers
+/// SSDP M-SEARCH by querying SLP, serves the device description over HTTP.
+class UpnpToSlpStatic : public StaticBridge {
+public:
+    UpnpToSlpStatic(net::SimNetwork& network, const std::string& host,
+                    std::uint16_t httpPort = 8086);
+
+private:
+    void onSsdp(const Bytes& payload, const net::Address& from);
+    void onSlp(const Bytes& payload, const net::Address& from);
+    void onHttp(const std::shared_ptr<net::TcpConnection>& connection, const Bytes& data);
+
+    net::SimNetwork& network_;
+    std::string host_;
+    std::uint16_t httpPort_;
+    std::unique_ptr<net::UdpSocket> ssdpSocket_;
+    std::unique_ptr<net::UdpSocket> slpSocket_;
+    std::unique_ptr<net::TcpListener> httpListener_;
+    std::vector<std::shared_ptr<net::TcpConnection>> connections_;
+
+    std::optional<ssdp::MSearch> pendingSearch_;
+    std::optional<net::Address> client_;
+    std::string resolvedUrl_;
+    BridgeSession live_;
+    std::uint16_t nextXid_ = 0x5000;
+};
+
+/// Bonjour browser -> UPnP device (paper case 5), hand-coded.
+class BonjourToUpnpStatic : public StaticBridge {
+public:
+    BonjourToUpnpStatic(net::SimNetwork& network, const std::string& host);
+
+private:
+    void onMdns(const Bytes& payload, const net::Address& from);
+    void onSsdp(const Bytes& payload, const net::Address& from);
+    void replyToClient(const std::string& url);
+
+    net::SimNetwork& network_;
+    std::unique_ptr<net::UdpSocket> mdnsSocket_;
+    std::unique_ptr<net::UdpSocket> ssdpSocket_;
+    http::Client httpClient_;
+
+    std::optional<mdns::DnsMessage> pendingQuestion_;
+    std::optional<net::Address> client_;
+    bool fetching_ = false;
+    BridgeSession live_;
+};
+
+// -- hand-written service-name conversions (the code Starlink's translation
+//    functions replace) ---------------------------------------------------------
+std::string slpTypeToDnssd(const std::string& slpType);
+std::string dnssdToSlpType(const std::string& dnssdName);
+std::string slpTypeToUrn(const std::string& slpType);
+
+}  // namespace starlink::baseline

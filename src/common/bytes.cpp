@@ -1,0 +1,67 @@
+#include "common/bytes.hpp"
+
+#include "common/error.hpp"
+
+namespace starlink {
+
+Bytes toBytes(std::string_view s) {
+    return Bytes(s.begin(), s.end());
+}
+
+std::string toString(const Bytes& b) {
+    return std::string(b.begin(), b.end());
+}
+
+std::string toHex(const Bytes& b) {
+    static constexpr char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(b.size() * 2);
+    for (std::uint8_t c : b) {
+        out.push_back(digits[c >> 4]);
+        out.push_back(digits[c & 0x0f]);
+    }
+    return out;
+}
+
+namespace {
+int hexValue(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+}  // namespace
+
+Bytes fromHex(std::string_view hex) {
+    if (hex.size() % 2 != 0) {
+        throw SpecError("fromHex: odd-length hex string");
+    }
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = hexValue(hex[i]);
+        const int lo = hexValue(hex[i + 1]);
+        if (hi < 0 || lo < 0) {
+            throw SpecError("fromHex: non-hex character");
+        }
+        out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+    }
+    return out;
+}
+
+void appendUint(Bytes& out, std::uint64_t value, int bytes) {
+    for (int i = bytes - 1; i >= 0; --i) {
+        out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+}
+
+bool readUint(const Bytes& in, std::size_t offset, int bytes, std::uint64_t& value) {
+    if (offset + static_cast<std::size_t>(bytes) > in.size()) return false;
+    value = 0;
+    for (int i = 0; i < bytes; ++i) {
+        value = value << 8 | in[offset + static_cast<std::size_t>(i)];
+    }
+    return true;
+}
+
+}  // namespace starlink

@@ -1,0 +1,42 @@
+// Error taxonomy for the Starlink framework.
+//
+// Per the C++ Core Guidelines (E.2, E.14), exceptions are reserved for
+// conditions the immediate caller cannot reasonably handle inline:
+//  - SpecError:     a model (MDL document, bridge specification, automaton
+//                   definition) is malformed. These are programming/deployment
+//                   errors discovered while loading or validating models.
+//  - ProtocolError: a hand-written legacy protocol stack was asked to encode
+//                   an impossible message (e.g. a string longer than its
+//                   length field allows).
+//  - NetError:      misuse of the simulated network (binding the same
+//                   endpoint twice, sending on a closed connection).
+//
+// Expected runtime events -- above all, failing to parse bytes that arrived
+// from the network -- are reported via std::optional / result values, not
+// exceptions, because they are part of normal operation.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace starlink {
+
+/// A model/specification is malformed (bad MDL, bad bridge spec, bad XML).
+class SpecError : public std::runtime_error {
+public:
+    explicit SpecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A legacy protocol stack was driven outside its encodable domain.
+class ProtocolError : public std::runtime_error {
+public:
+    explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The simulated network was misused (double bind, closed connection, ...).
+class NetError : public std::runtime_error {
+public:
+    explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace starlink

@@ -1,0 +1,31 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace starlink {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* levelName(LogLevel level) {
+    switch (level) {
+        case LogLevel::Debug: return "debug";
+        case LogLevel::Info: return "info";
+        case LogLevel::Warn: return "warn";
+        case LogLevel::Error: return "error";
+        case LogLevel::Off: return "off";
+    }
+    return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level); }
+
+LogLevel logLevel() { return g_level.load(); }
+
+void logLine(LogLevel level, const std::string& component, const std::string& message) {
+    std::cerr << '[' << levelName(level) << "] " << component << ": " << message << '\n';
+}
+
+}  // namespace starlink

@@ -1,0 +1,47 @@
+// Minimal leveled logger.
+//
+// The framework logs model-loading and automata-engine decisions at Debug so
+// that a bridge run can be traced; the default level is Warn so tests and
+// benchmarks stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace starlink {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emits one line to stderr as "[level] component: message".
+void logLine(LogLevel level, const std::string& component, const std::string& message);
+
+/// Stream-style helper: LOG(Debug, "engine") << "state " << id;
+class LogStream {
+public:
+    LogStream(LogLevel level, std::string component)
+        : level_(level), component_(std::move(component)) {}
+    ~LogStream() {
+        if (level_ >= logLevel()) logLine(level_, component_, stream_.str());
+    }
+    LogStream(const LogStream&) = delete;
+    LogStream& operator=(const LogStream&) = delete;
+
+    template <typename T>
+    LogStream& operator<<(const T& v) {
+        if (level_ >= logLevel()) stream_ << v;
+        return *this;
+    }
+
+private:
+    LogLevel level_;
+    std::string component_;
+    std::ostringstream stream_;
+};
+
+}  // namespace starlink
+
+#define STARLINK_LOG(level, component) ::starlink::LogStream(::starlink::LogLevel::level, component)

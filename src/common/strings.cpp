@@ -1,0 +1,102 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+
+namespace starlink {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string> split(std::string_view s, std::string_view sep) {
+    std::vector<std::string> out;
+    if (sep.empty()) {
+        out.emplace_back(s);
+        return out;
+    }
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = s.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            return out;
+        }
+        out.emplace_back(s.substr(start, pos - start));
+        start = pos + sep.size();
+    }
+}
+
+std::optional<std::pair<std::string, std::string>> splitFirst(std::string_view s, char sep) {
+    const std::size_t pos = s.find(sep);
+    if (pos == std::string_view::npos) return std::nullopt;
+    return std::make_pair(std::string(s.substr(0, pos)), std::string(s.substr(pos + 1)));
+}
+
+std::string trim(std::string_view s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return std::string(s.substr(b, e - b));
+}
+
+std::string toLower(std::string_view s) {
+    std::string out(s);
+    for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i]))) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool startsWith(std::string_view s, std::string_view prefix) {
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool endsWith(std::string_view s, std::string_view suffix) {
+    return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::optional<long long> parseInt(std::string_view s) {
+    if (s.empty()) return std::nullopt;
+    std::size_t i = 0;
+    bool negative = false;
+    if (s[0] == '-' || s[0] == '+') {
+        negative = s[0] == '-';
+        i = 1;
+        if (i == s.size()) return std::nullopt;
+    }
+    long long value = 0;
+    for (; i < s.size(); ++i) {
+        if (s[i] < '0' || s[i] > '9') return std::nullopt;
+        value = value * 10 + (s[i] - '0');
+    }
+    return negative ? -value : value;
+}
+
+std::string join(const std::vector<std::string>& pieces, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+        if (i > 0) out += sep;
+        out += pieces[i];
+    }
+    return out;
+}
+
+}  // namespace starlink

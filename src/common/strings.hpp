@@ -1,0 +1,40 @@
+// Small string helpers used across the framework (parsers, codecs, specs).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace starlink {
+
+/// Splits `s` on every occurrence of `sep`; empty pieces are kept, so
+/// split("a::b", ':') == {"a", "", "b"}.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on a multi-character separator.
+std::vector<std::string> split(std::string_view s, std::string_view sep);
+
+/// Splits at the FIRST occurrence of `sep` only; returns nullopt when `sep`
+/// does not occur.
+std::optional<std::pair<std::string, std::string>> splitFirst(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string toLower(std::string_view s);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+bool startsWith(std::string_view s, std::string_view prefix);
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/// Strict decimal parse of the whole string; nullopt on any deviation.
+std::optional<long long> parseInt(std::string_view s);
+
+/// Joins pieces with a separator.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+}  // namespace starlink

@@ -1,0 +1,80 @@
+#include "core/automata/color.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace starlink::automata {
+
+Color::Color(std::initializer_list<std::pair<std::string, std::string>> entries) {
+    for (const auto& [key, value] : entries) set(key, value);
+}
+
+void Color::set(const std::string& key, std::string value) {
+    for (auto& [k, v] : entries_) {
+        if (k == key) {
+            v = std::move(value);
+            return;
+        }
+    }
+    entries_.emplace_back(key, std::move(value));
+    std::sort(entries_.begin(), entries_.end());
+}
+
+std::optional<std::string> Color::get(std::string_view key) const {
+    for (const auto& [k, v] : entries_) {
+        if (k == key) return v;
+    }
+    return std::nullopt;
+}
+
+std::string Color::canonicalKey() const {
+    std::string out;
+    for (const auto& [k, v] : entries_) {
+        out += k;
+        out += '=';
+        out += v;
+        out += ';';
+    }
+    return out;
+}
+
+std::optional<int> Color::port() const {
+    const auto text = get(keys::port);
+    if (!text) return std::nullopt;
+    const auto value = parseInt(*text);
+    if (!value || *value < 0 || *value > 65535) return std::nullopt;
+    return static_cast<int>(*value);
+}
+
+namespace {
+std::uint64_t fnv1a(std::string_view s) {
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (char c : s) {
+        hash ^= static_cast<std::uint8_t>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+}  // namespace
+
+std::uint64_t ColorRegistry::colorOf(const Color& color) {
+    const std::string key = color.canonicalKey();
+    const auto it = byKey_.find(key);
+    if (it != byKey_.end()) return it->second.first;
+
+    std::uint64_t k = fnv1a(key);
+    // Deterministic re-probe keeps f injective even under a 64-bit collision.
+    while (byHash_.contains(k)) k += 0x9e3779b97f4a7c15ULL;
+    byKey_.emplace(key, std::make_pair(k, color));
+    byHash_.emplace(k, key);
+    return k;
+}
+
+const Color* ColorRegistry::lookup(std::uint64_t k) const {
+    const auto it = byHash_.find(k);
+    if (it == byHash_.end()) return nullptr;
+    return &byKey_.at(it->second).second;
+}
+
+}  // namespace starlink::automata

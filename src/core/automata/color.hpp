@@ -1,0 +1,81 @@
+// Automaton coloring (paper section III-B).
+//
+// "In order to capture these low level network semantics, we use automaton
+//  coloring which consists of assigning labels called colors to states...
+//  there exists a function f such as
+//  f(<(key1,val1),...,(keyn,valn)>) = k. Function f is a perfect hash
+//  function that maps a list of tuples, where each tuple is a key-value pair
+//  describing low level network details, to a unique hash value k."
+//
+// A Color is the ordered tuple list; ColorRegistry is the function f. The
+// registry canonicalises the tuple list (sorted by key) before hashing and
+// keeps every assignment, so two distinct descriptors can never silently
+// share a k: a 64-bit FNV-1a collision is detected and resolved by
+// deterministic re-probing, keeping f perfect as the paper requires.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace starlink::automata {
+
+/// Well-known color keys, as used in the paper's Figs 1-3 annotations.
+namespace keys {
+inline constexpr const char* transport = "transport_protocol";  // "udp" | "tcp"
+inline constexpr const char* port = "port";
+inline constexpr const char* mode = "mode";            // "sync" | "async"
+inline constexpr const char* multicast = "multicast";  // "yes" | "no"
+inline constexpr const char* group = "group";          // multicast group ip
+inline constexpr const char* host = "host";            // unicast target, may be set by set_host
+}  // namespace keys
+
+class Color {
+public:
+    Color() = default;
+    Color(std::initializer_list<std::pair<std::string, std::string>> entries);
+
+    void set(const std::string& key, std::string value);
+    std::optional<std::string> get(std::string_view key) const;
+
+    /// The tuple list in canonical (key-sorted) order.
+    const std::vector<std::pair<std::string, std::string>>& entries() const { return entries_; }
+
+    /// Canonical text form "k1=v1;k2=v2;..." -- the hash input.
+    std::string canonicalKey() const;
+
+    // Typed views of the well-known keys.
+    std::string transport() const { return get(keys::transport).value_or("udp"); }
+    std::optional<int> port() const;
+    bool isMulticast() const { return get(keys::multicast).value_or("no") == "yes"; }
+    bool isSync() const { return get(keys::mode).value_or("async") == "sync"; }
+    std::string group() const { return get(keys::group).value_or(""); }
+
+    bool operator==(const Color& other) const { return entries_ == other.entries_; }
+
+private:
+    std::vector<std::pair<std::string, std::string>> entries_;  // kept key-sorted
+};
+
+/// The perfect hash f. Shared by all automata that participate in one merged
+/// automaton so that equal descriptors get equal k and distinct descriptors
+/// provably get distinct k.
+class ColorRegistry {
+public:
+    /// Returns k for this color, assigning a fresh value on first sight.
+    std::uint64_t colorOf(const Color& color);
+
+    /// The descriptor registered under k, or nullptr.
+    const Color* lookup(std::uint64_t k) const;
+
+    std::size_t size() const { return byKey_.size(); }
+
+private:
+    std::map<std::string, std::pair<std::uint64_t, Color>> byKey_;
+    std::map<std::uint64_t, std::string> byHash_;
+};
+
+}  // namespace starlink::automata

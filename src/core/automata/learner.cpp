@@ -1,0 +1,93 @@
+#include "core/automata/learner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace starlink::automata {
+
+void BehaviourLearner::observeSession(const std::vector<ObservedEvent>& session) {
+    std::size_t current = 0;
+    for (const ObservedEvent& event : session) {
+        const auto key = std::make_pair(event.action, event.messageType);
+        const auto it = nodes_[current].edges.find(key);
+        if (it != nodes_[current].edges.end()) {
+            current = it->second;
+        } else {
+            nodes_.push_back(Node{});
+            const std::size_t next = nodes_.size() - 1;
+            nodes_[current].edges.emplace(key, next);
+            current = next;
+        }
+    }
+    nodes_[current].accepting = true;
+    ++sessions_;
+}
+
+std::shared_ptr<ColoredAutomaton> BehaviourLearner::build(const std::string& name,
+                                                          const Color& color,
+                                                          ColorRegistry& registry,
+                                                          const std::string& statePrefix) const {
+    if (sessions_ == 0) {
+        throw SpecError("behaviour learner: no sessions observed for '" + name + "'");
+    }
+    auto automaton = std::make_shared<ColoredAutomaton>(name);
+
+    // Breadth-first naming keeps state ids stable and readable.
+    std::vector<std::size_t> bfsOrder;
+    std::vector<std::size_t> nameOf(nodes_.size(), 0);
+    bfsOrder.push_back(0);
+    for (std::size_t i = 0; i < bfsOrder.size(); ++i) {
+        for (const auto& [key, next] : nodes_[bfsOrder[i]].edges) {
+            bfsOrder.push_back(next);
+        }
+    }
+    for (std::size_t i = 0; i < bfsOrder.size(); ++i) nameOf[bfsOrder[i]] = i;
+
+    auto stateName = [&](std::size_t node) {
+        return statePrefix + std::to_string(nameOf[node]);
+    };
+    for (std::size_t node : bfsOrder) {
+        automaton->addState(stateName(node), color, registry, nodes_[node].accepting);
+    }
+    automaton->setInitial(stateName(0));
+    for (std::size_t node : bfsOrder) {
+        for (const auto& [key, next] : nodes_[node].edges) {
+            automaton->addTransition(stateName(node), key.first, key.second, stateName(next));
+        }
+    }
+    automaton->validate();
+    return automaton;
+}
+
+void ColorInference::observePacket(const PacketFacts& facts) {
+    ++transport_[facts.transport];
+    if (facts.destinationPort > 0) ++port_[facts.destinationPort];
+    ++multicast_[facts.multicast];
+    if (facts.multicast && !facts.group.empty()) ++group_[facts.group];
+    ++synchronous_[facts.synchronous];
+    ++packets_;
+}
+
+namespace {
+template <typename K>
+const K& majority(const std::map<K, std::size_t>& votes) {
+    return std::max_element(votes.begin(), votes.end(), [](const auto& a, const auto& b) {
+               return a.second < b.second;
+           })->first;
+}
+}  // namespace
+
+Color ColorInference::infer() const {
+    if (packets_ == 0) throw SpecError("color inference: no packets observed");
+    Color color;
+    color.set(keys::transport, majority(transport_));
+    if (!port_.empty()) color.set(keys::port, std::to_string(majority(port_)));
+    const bool multicast = majority(multicast_);
+    color.set(keys::multicast, multicast ? "yes" : "no");
+    if (multicast && !group_.empty()) color.set(keys::group, majority(group_));
+    color.set(keys::mode, majority(synchronous_) ? "sync" : "async");
+    return color;
+}
+
+}  // namespace starlink::automata

@@ -1,0 +1,102 @@
+// Passive learning of protocol behaviour (paper section VII, "Learning"):
+//
+// "We are also investigating learning techniques to understand and model the
+//  behaviour of the individual protocols... learning algorithms have been
+//  utilised to learn the interaction behaviour of protocols. We hope to
+//  build upon these techniques in order to learn both MDLs and coloured
+//  automata for protocols."
+//
+// This module learns the COLORED AUTOMATON side of that programme from
+// observed conversations:
+//
+//  - BehaviourLearner ingests complete observed sessions (sequences of
+//    send/receive events with their abstract message types, as produced by a
+//    monitoring point that already owns the protocol's MDL) and builds a
+//    prefix-tree automaton: one state per distinct event prefix, accepting
+//    at session ends. Identical conversations collapse to the linear
+//    request/response chains the Starlink engine executes; divergent ones
+//    produce deterministic branching.
+//
+//  - ColorInference accumulates the network attributes of the observed
+//    packets (transport, destination port, multicast group, synchrony) and
+//    votes them into the color descriptor the automaton is painted with.
+//
+// Learning MDLs (wire-format inference a la Polyglot, the paper's other
+// citation) is out of scope here, as it was for the paper.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/automata/colored_automaton.hpp"
+
+namespace starlink::automata {
+
+/// One observed protocol event, from the perspective of the endpoint being
+/// learned (Send = it emitted the message).
+struct ObservedEvent {
+    Action action = Action::Receive;
+    std::string messageType;
+};
+
+class BehaviourLearner {
+public:
+    /// Ingests one complete conversation.
+    void observeSession(const std::vector<ObservedEvent>& session);
+
+    std::size_t sessionsObserved() const { return sessions_; }
+
+    /// Number of distinct states the prefix tree currently holds (including
+    /// the initial state).
+    std::size_t stateCount() const { return nodes_.size(); }
+
+    /// Materialises the learned automaton, painting every state with
+    /// `color`. States are named `<prefix>0`, `<prefix>1`, ... in
+    /// breadth-first order from the initial state. Throws SpecError when
+    /// nothing has been observed.
+    std::shared_ptr<ColoredAutomaton> build(const std::string& name, const Color& color,
+                                            ColorRegistry& registry,
+                                            const std::string& statePrefix = "q") const;
+
+private:
+    struct Node {
+        std::map<std::pair<Action, std::string>, std::size_t> edges;
+        bool accepting = false;
+    };
+
+    std::vector<Node> nodes_ = {Node{}};  // node 0 = initial
+    std::size_t sessions_ = 0;
+};
+
+/// Votes observed packet attributes into a color descriptor.
+class ColorInference {
+public:
+    struct PacketFacts {
+        std::string transport = "udp";   // "udp" | "tcp"
+        int destinationPort = 0;
+        bool multicast = false;
+        std::string group;               // non-empty when multicast
+        bool synchronous = false;        // same-connection request/response
+    };
+
+    void observePacket(const PacketFacts& facts);
+    std::size_t packetsObserved() const { return packets_; }
+
+    /// Majority-vote color; throws SpecError when nothing has been observed.
+    Color infer() const;
+
+private:
+    template <typename K>
+    using Votes = std::map<K, std::size_t>;
+
+    Votes<std::string> transport_;
+    Votes<int> port_;
+    Votes<bool> multicast_;
+    Votes<std::string> group_;
+    Votes<bool> synchronous_;
+    std::size_t packets_ = 0;
+};
+
+}  // namespace starlink::automata

@@ -1,0 +1,44 @@
+#include "core/automata/trace.hpp"
+
+namespace starlink::automata {
+
+std::optional<std::pair<std::size_t, std::size_t>> Trace::segment(const std::string& from,
+                                                                  const std::string& to) const {
+    // Find the last event departing `from`, then scan forward to the first
+    // event arriving at `to`.
+    std::optional<std::size_t> begin;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        if (events_[i].from == from) begin = i;
+    }
+    if (!begin) return std::nullopt;
+    for (std::size_t i = *begin; i < events_.size(); ++i) {
+        if (events_[i].to == to) return std::make_pair(*begin, i + 1);
+    }
+    return std::nullopt;
+}
+
+std::vector<AbstractMessage> Trace::history(const std::string& from, const std::string& to,
+                                            Action action) const {
+    std::vector<AbstractMessage> out;
+    const auto range = segment(from, to);
+    if (!range) return out;
+    for (std::size_t i = range->first; i < range->second; ++i) {
+        if (events_[i].action && *events_[i].action == action) {
+            out.push_back(events_[i].message);
+        }
+    }
+    return out;
+}
+
+std::vector<AbstractMessage> Trace::historyAll(const std::string& from,
+                                               const std::string& to) const {
+    std::vector<AbstractMessage> out;
+    const auto range = segment(from, to);
+    if (!range) return out;
+    for (std::size_t i = range->first; i < range->second; ++i) {
+        if (events_[i].action) out.push_back(events_[i].message);
+    }
+    return out;
+}
+
+}  // namespace starlink::automata

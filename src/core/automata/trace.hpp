@@ -1,0 +1,60 @@
+// Execution traces and the history operator => (paper section III-B).
+//
+// "To further analyse at runtime the behavior of an automaton, we define a
+//  history operator: s1 =!m=> s2 (resp. s1 =?m=> s2) gives the sequence of
+//  the sent (resp. received) instances for each abstract message from the
+//  state s1 to s2."
+//
+// The automata engine records every transition it takes into a Trace; the
+// history operator replays the recorded segment between two states. Merge
+// validation uses it to evaluate the semantic-equivalence precondition of
+// the delta-transition constraints (eqns 2-3).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/automata/colored_automaton.hpp"
+
+namespace starlink::automata {
+
+struct TraceEvent {
+    std::string automaton;  // component automaton name
+    std::string from;
+    std::string to;
+    /// nullopt for a delta-transition (no message exchanged).
+    std::optional<Action> action;
+    /// The exchanged instance; empty message for delta-transitions.
+    AbstractMessage message;
+};
+
+class Trace {
+public:
+    void record(TraceEvent event) { events_.push_back(std::move(event)); }
+    void clear() { events_.clear(); }
+
+    const std::vector<TraceEvent>& events() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+
+    /// History operator: the sequence of instances with the given action
+    /// exchanged on the recorded path from the LAST visit of `from` up to and
+    /// including the first subsequent arrival at `to`. Empty when the segment
+    /// does not appear in the trace.
+    std::vector<AbstractMessage> history(const std::string& from, const std::string& to,
+                                         Action action) const;
+
+    /// Both directions: every instance on the segment regardless of action.
+    std::vector<AbstractMessage> historyAll(const std::string& from,
+                                            const std::string& to) const;
+
+private:
+    /// [begin, end) event index range of the from->to segment; nullopt when
+    /// absent.
+    std::optional<std::pair<std::size_t, std::size_t>> segment(const std::string& from,
+                                                               const std::string& to) const;
+
+    std::vector<TraceEvent> events_;
+};
+
+}  // namespace starlink::automata

@@ -1,0 +1,109 @@
+// The built-in model library: MDL documents, colored automata and bridge
+// specifications for the paper's case study (section V).
+//
+// Everything here is DATA -- XML strings interpreted at runtime by the
+// generic framework. No protocol-specific code exists outside these models,
+// which is the paper's headline claim: "there is no implementation or
+// deployment of legacy code that is specific to the behaviour of an
+// individual protocol".
+//
+// Automata come in two roles. The same protocol is modelled from the side
+// the bridge impersonates: Server (the bridge answers that protocol's
+// clients) or Client (the bridge queries that protocol's services). State
+// ids follow the paper's numbering: SLP s10-s12, SSDP s20-s22, HTTP s30-s32,
+// mDNS s40-s42.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace starlink::bridge::models {
+
+enum class Role { Client, Server };
+
+// -- MDL documents (Figs 7 and 11, completed with the reply messages) --------
+std::string slpMdl();
+std::string dnsMdl();
+std::string ssdpMdl();
+std::string httpMdl();
+
+// -- colored automata (Figs 1, 2, 3, 9) ---------------------------------------
+std::string slpAutomaton(Role role);
+std::string mdnsAutomaton(Role role);
+std::string ssdpAutomaton(Role role);
+/// The HTTP automaton; in Server role it listens on `serverPort` at the
+/// bridge host (the LOCATION the bridge advertises must point there).
+std::string httpAutomaton(Role role, int serverPort = 8085);
+
+// -- the six interoperability cases (section V) -------------------------------
+enum class Case {
+    SlpToUpnp,      // 1: SLP client discovers a UPnP device   (Figs 4-5)
+    SlpToBonjour,   // 2: SLP client discovers a Bonjour service (Fig 10)
+    UpnpToSlp,      // 3: UPnP control point discovers an SLP service
+    UpnpToBonjour,  // 4: UPnP control point discovers a Bonjour service
+    BonjourToUpnp,  // 5: Bonjour browser discovers a UPnP device
+    BonjourToSlp    // 6: Bonjour browser discovers an SLP service
+};
+
+inline constexpr Case kAllCases[] = {Case::SlpToUpnp,     Case::SlpToBonjour,
+                                     Case::UpnpToSlp,     Case::UpnpToBonjour,
+                                     Case::BonjourToUpnp, Case::BonjourToSlp};
+
+const char* caseName(Case c);
+
+/// One protocol's pair of models.
+struct ProtocolModel {
+    std::string mdlXml;
+    std::string automatonXml;
+};
+
+/// Everything one deployment needs.
+struct DeploymentSpec {
+    std::vector<ProtocolModel> protocols;
+    std::string bridgeXml;
+};
+
+/// Models for a case. `bridgeHost` parameterises the LOCATION the bridge
+/// advertises when it impersonates a UPnP device (cases 3 and 4);
+/// `bridgeHttpPort` is where its HTTP side listens.
+DeploymentSpec forCase(Case c, const std::string& bridgeHost, int bridgeHttpPort = 8085);
+
+/// Line count of the bridge specification (the paper reports "typically
+/// around 100 lines of XML" per merged automaton -- experiment E8).
+std::size_t bridgeSpecLines(const DeploymentSpec& spec);
+
+// -- the SLP <-> LDAP extension (rich translations, paper section III-A) ------
+//
+// "...interoperability between two protocols such as SLP and LDAP that both
+//  support attribute-based requests is restricted [under subset
+//  intermediaries]."  Starlink's per-protocol models carry the attribute
+//  predicate through: these bridges translate BOTH the service type and the
+//  attribute filter.
+
+std::string ldapMdl();
+/// Client role connects to the directory at `directoryHost`:389; server role
+/// listens on the bridge host.
+std::string ldapAutomaton(Role role, const std::string& directoryHost = "");
+
+/// SLP client -> LDAP directory, predicate included.
+DeploymentSpec slpToLdap(const std::string& directoryHost);
+/// Same bridge with the predicate assignment REMOVED -- what a greatest-
+/// common-divisor intermediary would do; used as the ablation baseline.
+DeploymentSpec slpToLdapWithoutPredicate(const std::string& directoryHost);
+/// LDAP client -> SLP service, filter carried into the SLP predicate.
+DeploymentSpec ldapToSlp();
+
+// -- the WS-Discovery extension (xml MDL dialect) ------------------------------
+//
+// WS-Discovery's SOAP envelopes exercise the third MDL dialect the paper
+// names ("specialised languages for binary messages, text messages and XML
+// messages can be plugged into the framework").
+
+std::string wsdMdl();
+std::string wsdAutomaton(Role role);
+/// SLP client -> WS-Discovery target.
+DeploymentSpec slpToWsd();
+/// WS-Discovery client -> SLP service.
+DeploymentSpec wsdToSlp();
+
+}  // namespace starlink::bridge::models

@@ -1,0 +1,104 @@
+#include "core/bridge/starlink.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "core/merge/spec_loader.hpp"
+#include "core/merge/synthesizer.hpp"
+
+namespace starlink::bridge {
+
+Starlink::Starlink(net::SimNetwork& network)
+    : network_(network),
+      marshallers_(mdl::MarshallerRegistry::withDefaults()),
+      translations_(merge::TranslationRegistry::withDefaults()) {}
+
+DeployedBridge& Starlink::deploy(const models::DeploymentSpec& spec, const std::string& host,
+                                 engine::EngineOptions options) {
+    // 1. Specialise a parser/composer pair per protocol and load its
+    //    colored automaton; pairing is positional within the bundle.
+    std::vector<std::shared_ptr<automata::ColoredAutomaton>> automata;
+    std::map<std::string, std::shared_ptr<mdl::MessageCodec>> codecs;
+    for (const models::ProtocolModel& protocol : spec.protocols) {
+        auto codec = mdl::MessageCodec::fromXml(protocol.mdlXml, marshallers_);
+        auto automaton = merge::loadAutomaton(protocol.automatonXml, colors_);
+        if (codecs.contains(automaton->name())) {
+            throw SpecError("deploy: two protocols named '" + automaton->name() + "'");
+        }
+        codecs.emplace(automaton->name(), std::move(codec));
+        automata.push_back(std::move(automaton));
+    }
+
+    // 2. Load and validate the merged automaton.
+    auto merged = merge::loadBridge(spec.bridgeXml, std::move(automata));
+    merged->validate();
+
+    // 3. Semantic-equivalence coverage (eqn 1): every mandatory field of
+    //    every equivalent message must be produced by the translation logic.
+    const auto mandatoryFields = [&merged, &codecs](const std::string& messageType) {
+        for (const auto& component : merged->components()) {
+            const auto& codec = codecs.at(component->name());
+            if (codec->document().message(messageType) != nullptr) {
+                return codec->document().mandatoryFields(messageType);
+            }
+        }
+        return std::vector<std::string>{};
+    };
+    const std::vector<std::string> uncovered = merged->checkEquivalences(mandatoryFields);
+    if (!uncovered.empty()) {
+        throw SpecError("deploy '" + merged->name() +
+                        "': semantic equivalence does not hold; mandatory fields without a "
+                        "translation: " + join(uncovered, ", "));
+    }
+
+    // 4. Wire the engines and go live.
+    auto bridge = std::unique_ptr<DeployedBridge>(new DeployedBridge());
+    bridge->network_ = std::make_unique<engine::NetworkEngine>(network_, host);
+    bridge->engine_ = std::make_unique<engine::AutomataEngine>(
+        std::move(merged), std::move(codecs), translations_, *bridge->network_, colors_,
+        options);
+    bridge->engine_->start();
+
+    bridges_.push_back(std::move(bridge));
+    STARLINK_LOG(Info, "starlink") << "deployed bridge at " << host;
+    return *bridges_.back();
+}
+
+DeployedBridge& Starlink::deploySynthesized(const models::ProtocolModel& served,
+                                            const models::ProtocolModel& queried,
+                                            const merge::Ontology& ontology,
+                                            const std::string& host,
+                                            engine::EngineOptions options,
+                                            std::vector<std::string>* report) {
+    auto servedCodec = mdl::MessageCodec::fromXml(served.mdlXml, marshallers_);
+    auto queriedCodec = mdl::MessageCodec::fromXml(queried.mdlXml, marshallers_);
+    auto servedAutomaton = merge::loadAutomaton(served.automatonXml, colors_);
+    auto queriedAutomaton = merge::loadAutomaton(queried.automatonXml, colors_);
+
+    merge::SynthesisInput input;
+    input.servedAutomaton = servedAutomaton;
+    input.servedMdl = &servedCodec->document();
+    input.queriedAutomaton = queriedAutomaton;
+    input.queriedMdl = &queriedCodec->document();
+    input.ontology = &ontology;
+    input.translations = translations_;
+    merge::SynthesisResult synthesis = merge::synthesizeMerge(input);
+    if (report != nullptr) *report = synthesis.report;
+
+    std::map<std::string, std::shared_ptr<mdl::MessageCodec>> codecs;
+    codecs.emplace(servedAutomaton->name(), std::move(servedCodec));
+    codecs.emplace(queriedAutomaton->name(), std::move(queriedCodec));
+
+    auto bridge = std::unique_ptr<DeployedBridge>(new DeployedBridge());
+    bridge->network_ = std::make_unique<engine::NetworkEngine>(network_, host);
+    bridge->engine_ = std::make_unique<engine::AutomataEngine>(
+        std::move(synthesis.merged), std::move(codecs), translations_, *bridge->network_,
+        colors_, options);
+    bridge->engine_->start();
+
+    bridges_.push_back(std::move(bridge));
+    STARLINK_LOG(Info, "starlink") << "deployed SYNTHESIZED bridge at " << host;
+    return *bridges_.back();
+}
+
+}  // namespace starlink::bridge

@@ -1,0 +1,331 @@
+#include "core/engine/automata_engine.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace starlink::engine {
+
+using automata::Action;
+using automata::ColoredAutomaton;
+using automata::State;
+using automata::TraceEvent;
+using automata::Transition;
+
+AutomataEngine::AutomataEngine(std::shared_ptr<merge::MergedAutomaton> merged,
+                               std::map<std::string, std::shared_ptr<mdl::MessageCodec>> codecs,
+                               std::shared_ptr<merge::TranslationRegistry> translations,
+                               NetworkEngine& network, automata::ColorRegistry& colors,
+                               EngineOptions options)
+    : merged_(std::move(merged)),
+      codecs_(std::move(codecs)),
+      translations_(std::move(translations)),
+      network_(network),
+      colors_(colors),
+      options_(options) {
+    for (const auto& component : merged_->components()) {
+        if (!codecs_.contains(component->name())) {
+            throw SpecError("automata engine: no codec supplied for component '" +
+                            component->name() + "'");
+        }
+    }
+}
+
+const ColoredAutomaton* AutomataEngine::componentByColor(std::uint64_t k) const {
+    for (const auto& component : merged_->components()) {
+        if (component->color() == k) return component.get();
+    }
+    return nullptr;
+}
+
+std::shared_ptr<mdl::MessageCodec> AutomataEngine::codecFor(const ColoredAutomaton& a) const {
+    return codecs_.at(a.name());
+}
+
+void AutomataEngine::start() {
+    merged_->validate();
+    for (const auto& component : merged_->components()) {
+        const std::uint64_t k = component->color();
+        const automata::Color* color = colors_.lookup(k);
+        if (color == nullptr) {
+            throw SpecError("automata engine: color " + std::to_string(k) +
+                            " of component '" + component->name() +
+                            "' is not in the color registry");
+        }
+        // Server role when the component's protocol conversation opens with
+        // a receive (the bridge impersonates that protocol's service side).
+        bool serverRole = false;
+        for (const automata::Transition* t :
+             component->transitionsFrom(component->initialState())) {
+            if (t->action == Action::Receive) serverRole = true;
+        }
+        network_.attach(k, *color, serverRole);
+    }
+    network_.setHandler([this](std::uint64_t k, const Bytes& payload, const net::Address& from) {
+        onNetworkMessage(k, payload, from);
+    });
+    current_ = merged_->initialState();
+    running_ = true;
+    STARLINK_LOG(Info, "engine") << "bridge '" << merged_->name() << "' listening at "
+                                 << current_;
+}
+
+void AutomataEngine::onNetworkMessage(std::uint64_t colorK, const Bytes& payload,
+                                      const net::Address& from) {
+    if (!running_) return;
+    const ColoredAutomaton* component = componentByColor(colorK);
+    if (component == nullptr) return;
+    if (component->state(current_) == nullptr) {
+        STARLINK_LOG(Debug, "engine") << "ignoring " << payload.size()
+                                      << "-byte message from " << from.toString()
+                                      << ": automaton '" << component->name()
+                                      << "' is not active";
+        return;
+    }
+    if (sendPending_) {
+        STARLINK_LOG(Debug, "engine") << "ignoring message while a send is in progress";
+        return;
+    }
+
+    std::string parseError;
+    const auto message = codecFor(*component)->parse(payload, &parseError);
+    if (!message) {
+        STARLINK_LOG(Warn, "engine") << "unparseable " << component->name()
+                                     << " message from " << from.toString() << ": "
+                                     << parseError;
+        return;
+    }
+
+    const Transition* transition =
+        component->transitionFor(current_, Action::Receive, message->type());
+    if (transition == nullptr) {
+        STARLINK_LOG(Debug, "engine") << "no receive-transition from " << current_ << " on ?"
+                                      << message->type() << "; dropping";
+        return;
+    }
+
+    if (!sessionActive_) {
+        sessionActive_ = true;
+        liveSession_ = SessionRecord{};
+        liveSession_.firstReceive = network_.network().now();
+        if (options_.sessionTimeout.count() > 0) {
+            timeoutEvent_ = network_.network().scheduler().schedule(
+                options_.sessionTimeout, [this] {
+                    timeoutEvent_.reset();
+                    if (sessionActive_) {
+                        STARLINK_LOG(Warn, "engine") << "session timed out in state " << current_;
+                        completeSession(false);
+                    }
+                });
+        }
+    }
+    ++liveSession_.messagesIn;
+    // Only an accepted message establishes the reply route for its color.
+    network_.notePeer(colorK, from);
+
+    // Store the instance at the entered state (see header note) and advance.
+    merged_->automatonOf(transition->to)->state(transition->to)->pushMessage(*message);
+    trace_.record(TraceEvent{component->name(), transition->from, transition->to,
+                             Action::Receive, *message});
+    current_ = transition->to;
+    lastWasDelta_ = false;
+    safeProceed();
+}
+
+void AutomataEngine::safeProceed() {
+    // Translation failures at runtime (a peer's message lacking a field an
+    // assignment needs, a value a T function rejects, an unencodable
+    // compose) abort the CONVERSATION, never the connector: the bridge logs,
+    // resets, and keeps serving.
+    try {
+        proceed();
+    } catch (const std::exception& error) {
+        STARLINK_LOG(Error, "engine") << "session aborted in state " << current_ << ": "
+                                      << error.what();
+        if (sessionActive_) completeSession(false);
+    }
+}
+
+void AutomataEngine::proceed() {
+    while (running_ && sessionActive_) {
+        const ColoredAutomaton* component = merged_->automatonOf(current_);
+
+        // 1. Delta-transition, unless we just arrived through one.
+        if (!lastWasDelta_) {
+            if (const merge::DeltaTransition* delta = merged_->deltaFrom(current_)) {
+                takeDelta(*delta);
+                continue;
+            }
+        }
+
+        // 2. Unique send-transition.
+        const Transition* send = nullptr;
+        bool hasReceive = false;
+        for (const Transition* t : component->transitionsFrom(current_)) {
+            if (t->action == Action::Send) {
+                if (send != nullptr) {
+                    throw SpecError("automata engine: state '" + current_ +
+                                    "' has several outgoing send-transitions; the merged "
+                                    "automaton is ambiguous");
+                }
+                send = t;
+            } else {
+                hasReceive = true;
+            }
+        }
+        if (send != nullptr) {
+            scheduleSend(*send);
+            return;
+        }
+
+        // 3. Wait or finish.
+        lastWasDelta_ = false;
+        const bool canMoveOn = hasReceive || merged_->deltaFrom(current_) != nullptr;
+        if (!canMoveOn && merged_->acceptingStates().contains(current_)) {
+            completeSession(true);
+        }
+        return;
+    }
+}
+
+void AutomataEngine::takeDelta(const merge::DeltaTransition& delta) {
+    for (const merge::NetworkAction& action : delta.actions) {
+        if (action.name == "set_host") {
+            if (action.args.size() != 2) {
+                throw SpecError("automata engine: set_host expects (host, port) arguments");
+            }
+            const Value host = resolveRef(action.args[0].ref, action.args[0].transform);
+            const Value port = resolveRef(action.args[1].ref, action.args[1].transform);
+            const auto hostText = host.coerceTo(ValueType::String);
+            const auto portInt = port.coerceTo(ValueType::Int);
+            if (!hostText || !portInt) {
+                throw SpecError("automata engine: set_host arguments do not resolve to "
+                                "host text and numeric port");
+            }
+            const ColoredAutomaton* target = merged_->automatonOf(delta.to);
+            network_.setHost(target->color(), *hostText->asString(),
+                             static_cast<int>(*portInt->asInt()));
+        } else {
+            throw SpecError("automata engine: unknown lambda action '" + action.name + "'");
+        }
+    }
+    trace_.record(TraceEvent{merged_->automatonOf(delta.from)->name(), delta.from, delta.to,
+                             std::nullopt, AbstractMessage()});
+    STARLINK_LOG(Debug, "engine") << "delta " << delta.from << " -> " << delta.to;
+    current_ = delta.to;
+    lastWasDelta_ = true;
+}
+
+void AutomataEngine::scheduleSend(const Transition& transition) {
+    sendPending_ = true;
+    // The interpretation cost of translating + composing, charged in virtual
+    // time so Fig 12(b)-style measures include it.
+    // Copy the transition: the engine may outlive iterator stability games.
+    network_.network().scheduler().schedule(options_.processingDelay,
+                                            [this, transition = transition] {
+        if (!running_ || !sessionActive_) return;
+        try {
+            performSend(transition);
+        } catch (const std::exception& error) {
+            STARLINK_LOG(Error, "engine") << "send of !" << transition.messageType
+                                          << " failed, aborting session: " << error.what();
+            completeSession(false);
+        }
+    });
+}
+
+void AutomataEngine::performSend(const Transition& transition) {
+    ColoredAutomaton* component = merged_->automatonOf(transition.from);
+    AbstractMessage outgoing = buildOutgoing(transition.from, transition.messageType);
+    const Bytes payload = codecFor(*component)->compose(outgoing);
+    network_.send(component->color(), payload);
+
+    component->state(transition.from)->pushMessage(outgoing);
+    trace_.record(TraceEvent{component->name(), transition.from, transition.to, Action::Send,
+                             std::move(outgoing)});
+    liveSession_.lastSend = network_.network().now();
+    if (!liveSession_.clientReply &&
+        component == merged_->automatonOf(merged_->initialState())) {
+        liveSession_.clientReply = liveSession_.lastSend;
+    }
+    ++liveSession_.messagesOut;
+    STARLINK_LOG(Debug, "engine") << "sent !" << transition.messageType << " from "
+                                  << transition.from;
+
+    current_ = transition.to;
+    lastWasDelta_ = false;
+    sendPending_ = false;
+    proceed();
+}
+
+AbstractMessage AutomataEngine::buildOutgoing(const std::string& stateId,
+                                              const std::string& messageType) {
+    AbstractMessage message(messageType);
+    for (const merge::Assignment* assignment :
+         merged_->assignmentsTargeting(stateId, messageType)) {
+        Value value;
+        if (assignment->source) {
+            value = resolveRef(*assignment->source, assignment->transform);
+        } else {
+            value = Value::ofString(assignment->constant.value_or(""));
+            if (!assignment->transform.empty()) {
+                const auto transformed = translations_->apply(assignment->transform, value);
+                if (!transformed) {
+                    throw SpecError("automata engine: translation '" + assignment->transform +
+                                    "' rejected constant '" +
+                                    assignment->constant.value_or("") + "'");
+                }
+                value = *transformed;
+            }
+        }
+        message.setValue(assignment->target.path, value,
+                         std::string(valueTypeName(value.type())));
+    }
+    return message;
+}
+
+Value AutomataEngine::resolveRef(const merge::FieldRef& ref, const std::string& transform) const {
+    const ColoredAutomaton* component = merged_->automatonOf(ref.state);
+    if (component == nullptr) {
+        throw SpecError("automata engine: field reference " + ref.toString() +
+                        " names an unknown state");
+    }
+    const AbstractMessage* message = component->state(ref.state)->message(ref.messageType);
+    if (message == nullptr) {
+        throw SpecError("automata engine: no instance of " + ref.messageType +
+                        " stored at state " + ref.state + " (needed by " + ref.toString() + ")");
+    }
+    const auto value = message->value(ref.path);
+    if (!value) {
+        throw SpecError("automata engine: message " + ref.messageType + " at " + ref.state +
+                        " has no field '" + ref.path + "'");
+    }
+    if (transform.empty()) return *value;
+    const auto transformed = translations_->apply(transform, *value);
+    if (!transformed) {
+        throw SpecError("automata engine: translation '" + transform + "' rejected value '" +
+                        value->toText() + "' of " + ref.toString());
+    }
+    return *transformed;
+}
+
+void AutomataEngine::completeSession(bool completed) {
+    liveSession_.completed = completed;
+    sessions_.push_back(liveSession_);
+    if (timeoutEvent_) {
+        network_.network().scheduler().cancel(*timeoutEvent_);
+        timeoutEvent_.reset();
+    }
+    STARLINK_LOG(Info, "engine") << "session " << (completed ? "completed" : "aborted")
+                                 << " after " << liveSession_.messagesIn << " in / "
+                                 << liveSession_.messagesOut << " out";
+    if (onSessionComplete) onSessionComplete(liveSession_);
+
+    sessionActive_ = false;
+    sendPending_ = false;
+    lastWasDelta_ = false;
+    merged_->reset();
+    network_.resetSession();
+    current_ = merged_->initialState();
+}
+
+}  // namespace starlink::engine

@@ -1,0 +1,142 @@
+// The Automata Engine (paper section IV-B).
+//
+// Executes a merged automaton: listens at receiving states, applies
+// translation logic and composes outgoing messages at sending states, and
+// crosses delta-transitions (running their lambda network actions) at bridge
+// states. One engine instance is one deployed interoperability bridge.
+//
+// Step discipline. After arriving in a state the engine:
+//   1. takes the outgoing delta-transition, unless the state was just
+//      entered through one (bicolored nodes such as Fig 4's node 1 carry
+//      both the entering delta and the eventual reply send; the arrival
+//      action disambiguates which applies);
+//   2. otherwise takes the unique outgoing send-transition, composing the
+//      message from the translation-logic assignments that target
+//      (state, message type) -- the compose step is charged
+//      options.processingDelay of virtual time, modelling the interpretation
+//      cost the paper measures in Fig 12(b);
+//   3. otherwise waits for a receive, or completes the session when the
+//      state is accepting with no way out.
+//
+// Queue placement: a received message instance is stored at the TARGET state
+// of its receive-transition. (The paper's prose stores it at the listening
+// state, but its own translation specs -- Fig 5 line 4, Fig 10 -- address
+// the instance at the entered state; we follow the specs. See DESIGN.md.)
+// A sent instance is stored at the state it was composed in.
+//
+// Sessions: the engine serves request/response conversations repeatedly.
+// A session opens at the first receive, closes when an accepting state of
+// the merged automaton is reached with nothing left to do (or on timeout),
+// and resets all queues and network-session state for the next client.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/automata/trace.hpp"
+#include "core/engine/network_engine.hpp"
+#include "core/mdl/codec.hpp"
+#include "core/merge/merged_automaton.hpp"
+
+namespace starlink::engine {
+
+struct EngineOptions {
+    /// Virtual-time cost charged per composed message (parse/translate/
+    /// compose interpretation overhead). The default is calibrated so the
+    /// Fig 12(b) medians land near the paper's (see EXPERIMENTS.md).
+    net::Duration processingDelay = net::ms(12);
+    /// Abort a session that has not completed within this window (0 = no
+    /// timeout).
+    net::Duration sessionTimeout = net::ms(0);
+};
+
+/// Outcome record for one bridged conversation.
+struct SessionRecord {
+    net::TimePoint firstReceive{};
+    /// First send back on the INITIATING protocol -- "the translated output
+    /// response" of the paper's Fig 12(b) measure. (A session may continue
+    /// past it: in the UPnP-client cases the control point still fetches the
+    /// device description over HTTP afterwards.)
+    std::optional<net::TimePoint> clientReply;
+    net::TimePoint lastSend{};
+    std::size_t messagesIn = 0;
+    std::size_t messagesOut = 0;
+    bool completed = false;
+
+    /// First message received by the framework until the translated
+    /// response left on the output socket (paper section VI).
+    net::Duration translationTime() const {
+        const net::TimePoint end = clientReply.value_or(lastSend);
+        return std::chrono::duration_cast<net::Duration>(end - firstReceive);
+    }
+
+    /// Whole conversation, including any post-reply legs.
+    net::Duration sessionTime() const {
+        return std::chrono::duration_cast<net::Duration>(lastSend - firstReceive);
+    }
+};
+
+class AutomataEngine {
+public:
+    AutomataEngine(std::shared_ptr<merge::MergedAutomaton> merged,
+                   std::map<std::string, std::shared_ptr<mdl::MessageCodec>> codecs,
+                   std::shared_ptr<merge::TranslationRegistry> translations,
+                   NetworkEngine& network, automata::ColorRegistry& colors,
+                   EngineOptions options = {});
+
+    /// Attaches every component color and starts listening at q0.
+    void start();
+
+    /// Stops serving (the engine ignores traffic afterwards).
+    void stop() { running_ = false; }
+
+    bool running() const { return running_; }
+    const std::string& currentState() const { return current_; }
+
+    const std::vector<SessionRecord>& sessions() const { return sessions_; }
+    const automata::Trace& trace() const { return trace_; }
+    const merge::MergedAutomaton& merged() const { return *merged_; }
+
+    /// Fired on every completed (or timed-out) session.
+    std::function<void(const SessionRecord&)> onSessionComplete;
+
+private:
+    void onNetworkMessage(std::uint64_t colorK, const Bytes& payload, const net::Address& from);
+    void proceed();
+    /// proceed() with runtime translation failures contained: the session
+    /// aborts, the connector survives.
+    void safeProceed();
+    void takeDelta(const merge::DeltaTransition& delta);
+    void scheduleSend(const automata::Transition& transition);
+    void performSend(const automata::Transition& transition);
+    AbstractMessage buildOutgoing(const std::string& stateId, const std::string& messageType);
+    Value resolveRef(const merge::FieldRef& ref, const std::string& transform) const;
+    void completeSession(bool completed);
+
+    const automata::ColoredAutomaton* componentByColor(std::uint64_t k) const;
+    std::shared_ptr<mdl::MessageCodec> codecFor(const automata::ColoredAutomaton& a) const;
+
+    std::shared_ptr<merge::MergedAutomaton> merged_;
+    std::map<std::string, std::shared_ptr<mdl::MessageCodec>> codecs_;
+    std::shared_ptr<merge::TranslationRegistry> translations_;
+    NetworkEngine& network_;
+    automata::ColorRegistry& colors_;
+    EngineOptions options_;
+
+    bool running_ = false;
+    std::string current_;
+    bool lastWasDelta_ = false;
+    bool sendPending_ = false;
+    bool sessionActive_ = false;
+    SessionRecord liveSession_;
+    std::optional<net::EventId> timeoutEvent_;
+
+    std::vector<SessionRecord> sessions_;
+    automata::Trace trace_;
+};
+
+}  // namespace starlink::engine

@@ -1,0 +1,160 @@
+#include "core/engine/network_engine.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace starlink::engine {
+
+using automata::Color;
+
+NetworkEngine::NetworkEngine(net::SimNetwork& network, std::string host)
+    : network_(network), host_(std::move(host)) {}
+
+void NetworkEngine::attach(std::uint64_t k, const Color& color, bool serverRole) {
+    if (endpoints_.contains(k)) return;
+    Endpoint endpoint;
+    endpoint.color = color;
+    endpoint.serverRole = serverRole;
+
+    if (color.transport() == "tcp" && serverRole) {
+        const auto port = color.port();
+        if (!port) throw SpecError("network engine: tcp server color without a port");
+        endpoint.listener = network_.listenTcp(host_, static_cast<std::uint16_t>(*port));
+        endpoint.listener->onAccept([this, k](std::shared_ptr<net::TcpConnection> connection) {
+            Endpoint& ep = endpoints_.at(k);
+            ep.tcp = connection;  // reply path for this conversation
+            const net::Address peer = connection->remoteAddress();
+            connection->onData([this, k, peer](const Bytes& data) {
+                if (handler_) handler_(k, data, peer);
+            });
+        });
+    } else if (color.transport() == "udp") {
+        const auto port = color.port();
+        if (!port) throw SpecError("network engine: udp color without a port");
+        endpoint.udp = network_.openUdp(host_, static_cast<std::uint16_t>(*port));
+        if (color.isMulticast()) {
+            endpoint.udp->joinGroup(
+                net::Address{color.group(), static_cast<std::uint16_t>(*port)});
+        }
+        endpoint.udp->onDatagram([this, k](const Bytes& payload, const net::Address& from) {
+            if (handler_) handler_(k, payload, from);
+        });
+    } else if (color.transport() != "tcp") {
+        throw SpecError("network engine: unsupported transport '" + color.transport() + "'");
+    }
+    endpoints_.emplace(k, std::move(endpoint));
+    STARLINK_LOG(Debug, "net-engine") << "attached color " << k << " ("
+                                      << endpoints_.at(k).color.canonicalKey() << ")";
+}
+
+void NetworkEngine::send(std::uint64_t k, const Bytes& payload) {
+    const auto it = endpoints_.find(k);
+    if (it == endpoints_.end()) {
+        throw SpecError("network engine: send on unattached color " + std::to_string(k));
+    }
+    Endpoint& endpoint = it->second;
+    const Color& color = endpoint.color;
+
+    if (color.transport() == "udp") {
+        if (endpoint.lastPeer) {
+            // We received earlier in this session: reply unicast.
+            endpoint.udp->sendTo(*endpoint.lastPeer, payload);
+        } else if (color.isMulticast()) {
+            const auto port = color.port();
+            endpoint.udp->sendTo(
+                net::Address{color.group(), static_cast<std::uint16_t>(*port)}, payload);
+        } else {
+            const auto host = color.get(automata::keys::host);
+            const auto port = color.port();
+            if (!host || !port) {
+                throw NetError("network engine: unicast udp color " + std::to_string(k) +
+                               " has no target host/port");
+            }
+            endpoint.udp->sendTo(net::Address{*host, static_cast<std::uint16_t>(*port)},
+                                 payload);
+        }
+        return;
+    }
+
+    // tcp: (re)use one connection per session towards the set_host target or
+    // the color's static host/port.
+    if (endpoint.tcp && endpoint.tcp->isOpen()) {
+        endpoint.tcp->send(payload);
+        return;
+    }
+    if (endpoint.serverRole) {
+        throw NetError("network engine: tcp server color " + std::to_string(k) +
+                       " has no accepted connection to reply on");
+    }
+    if (endpoint.tcpConnecting) {
+        endpoint.tcpBacklog.push_back(payload);
+        return;
+    }
+    net::Address target;
+    if (endpoint.hostOverride) {
+        target = *endpoint.hostOverride;
+    } else {
+        const auto host = color.get(automata::keys::host);
+        const auto port = color.port();
+        if (!host || !port) {
+            throw NetError("network engine: tcp color " + std::to_string(k) +
+                           " has no target; did the bridge spec forget set_host?");
+        }
+        target = net::Address{*host, static_cast<std::uint16_t>(*port)};
+    }
+    endpoint.tcpConnecting = true;
+    endpoint.tcpBacklog.push_back(payload);
+    network_.connectTcp(host_, target,
+                        [this, k, target](std::shared_ptr<net::TcpConnection> connection) {
+        const auto entry = endpoints_.find(k);
+        if (entry == endpoints_.end()) return;
+        Endpoint& ep = entry->second;
+        ep.tcpConnecting = false;
+        if (!connection) {
+            STARLINK_LOG(Warn, "net-engine")
+                << "tcp connect to " << target.toString() << " refused";
+            ep.tcpBacklog.clear();
+            return;
+        }
+        ep.tcp = connection;
+        connection->onData([this, k, target](const Bytes& data) { tcpDeliver(k, data, target); });
+        for (const Bytes& queued : ep.tcpBacklog) connection->send(queued);
+        ep.tcpBacklog.clear();
+    });
+}
+
+void NetworkEngine::tcpDeliver(std::uint64_t k, const Bytes& payload, const net::Address& from) {
+    if (handler_) handler_(k, payload, from);
+}
+
+void NetworkEngine::notePeer(std::uint64_t k, const net::Address& peer) {
+    const auto it = endpoints_.find(k);
+    if (it == endpoints_.end()) {
+        throw SpecError("network engine: notePeer on unattached color " + std::to_string(k));
+    }
+    it->second.lastPeer = peer;
+}
+
+void NetworkEngine::setHost(std::uint64_t k, const std::string& host, int port) {
+    const auto it = endpoints_.find(k);
+    if (it == endpoints_.end()) {
+        throw SpecError("network engine: set_host on unattached color " + std::to_string(k));
+    }
+    it->second.hostOverride = net::Address{host, static_cast<std::uint16_t>(port)};
+    STARLINK_LOG(Debug, "net-engine") << "set_host color " << k << " -> " << host << ":" << port;
+}
+
+void NetworkEngine::resetSession() {
+    for (auto& [k, endpoint] : endpoints_) {
+        endpoint.lastPeer.reset();
+        endpoint.hostOverride.reset();
+        endpoint.tcpBacklog.clear();
+        endpoint.tcpConnecting = false;
+        if (endpoint.tcp) {
+            endpoint.tcp->close();
+            endpoint.tcp.reset();
+        }
+    }
+}
+
+}  // namespace starlink::engine

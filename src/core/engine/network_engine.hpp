@@ -1,0 +1,93 @@
+// The Network Engine (paper Fig 6, section IV-B).
+//
+// "The Network Engine receives messages from the network and sends messages
+//  based upon the protocol properties provided by the Automata Engine."
+//
+// Each color k of the merged automaton is attached to one network endpoint
+// whose behaviour follows the color's key-value descriptor:
+//
+//   transport_protocol=udp            -- a UDP socket on the bridge host;
+//     multicast=yes, group, port      -- joined to (group, port); an
+//                                        initiating send goes to the group,
+//                                        a send after a receive replies
+//                                        unicast to the requester
+//   transport_protocol=tcp, mode=sync -- a connection per session to the
+//                                        target set by the set_host lambda
+//                                        action (or the color's host/port)
+//
+// The engine is deliberately role-free: whether the bridge acts as server
+// (SLP side: receive first, reply later) or client (mDNS side: send first,
+// await response) falls out of the order of sends and receives, exactly as
+// the colored automaton prescribes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "core/automata/color.hpp"
+#include "net/sim_network.hpp"
+
+namespace starlink::engine {
+
+class NetworkEngine {
+public:
+    /// colorK, payload, sender address.
+    using Handler = std::function<void(std::uint64_t, const Bytes&, const net::Address&)>;
+
+    NetworkEngine(net::SimNetwork& network, std::string host);
+
+    const std::string& host() const { return host_; }
+    net::SimNetwork& network() { return network_; }
+
+    /// Creates the endpoint for color k. Idempotent per k. `serverRole` only
+    /// matters for tcp colors: a server endpoint LISTENS on the color's port
+    /// at the bridge host and replies on the accepted connection, a client
+    /// endpoint CONNECTS to the set_host target. (The automata engine infers
+    /// the role from whether the component automaton opens with a receive.)
+    void attach(std::uint64_t k, const automata::Color& color, bool serverRole = false);
+
+    /// Installs the single upcall for every attached color.
+    void setHandler(Handler handler) { handler_ = std::move(handler); }
+
+    /// Sends one protocol message with color-k semantics. Throws SpecError
+    /// when k is not attached, NetError when a tcp target is missing.
+    void send(std::uint64_t k, const Bytes& payload);
+
+    /// The set_host lambda action: directs color k's next tcp connection.
+    void setHost(std::uint64_t k, const std::string& host, int port);
+
+    /// Records the reply route for color k. Called by the automata engine
+    /// when it ACCEPTS a received message -- datagrams the automaton rejects
+    /// must not steal the session's reply address.
+    void notePeer(std::uint64_t k, const net::Address& peer);
+
+    /// Ends the current bridge session: forgets reply peers and set_host
+    /// targets, closes tcp connections. Endpoints stay attached.
+    void resetSession();
+
+private:
+    struct Endpoint {
+        automata::Color color;
+        bool serverRole = false;
+        std::unique_ptr<net::UdpSocket> udp;
+        std::unique_ptr<net::TcpListener> listener;
+        std::optional<net::Address> lastPeer;       // reply target after a receive
+        std::optional<net::Address> hostOverride;   // from set_host
+        std::shared_ptr<net::TcpConnection> tcp;
+        std::vector<Bytes> tcpBacklog;              // sends queued while connecting
+        bool tcpConnecting = false;
+    };
+
+    void tcpDeliver(std::uint64_t k, const Bytes& payload, const net::Address& from);
+
+    net::SimNetwork& network_;
+    std::string host_;
+    Handler handler_;
+    std::map<std::uint64_t, Endpoint> endpoints_;
+};
+
+}  // namespace starlink::engine

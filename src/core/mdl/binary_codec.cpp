@@ -1,0 +1,279 @@
+#include "core/mdl/binary_codec.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+
+namespace starlink::mdl {
+
+namespace {
+
+struct ParsedField {
+    std::string label;
+    Value value;
+    std::optional<int> lengthBits;
+};
+
+}  // namespace
+
+BinaryCodec::BinaryCodec(const MdlDocument& doc, std::shared_ptr<MarshallerRegistry> registry)
+    : doc_(doc), registry_(std::move(registry)) {
+    if (doc_.kind() != MdlKind::Binary) {
+        throw SpecError("BinaryCodec: MDL document '" + doc_.protocol() + "' is not binary");
+    }
+    // Resolve every marshaller eagerly so a typo in <Types> fails at load
+    // time, not mid-parse.
+    auto check = [this](const FieldSpec& field, const std::string& where) {
+        const std::string name = doc_.marshallerFor(field);
+        const Marshaller* m = registry_->find(name);
+        if (m == nullptr) {
+            throw SpecError("BinaryCodec " + where + ": no marshaller registered for type '" +
+                            name + "' (field '" + field.label + "')");
+        }
+        if (field.length == FieldSpec::Length::Auto && !m->selfDelimiting()) {
+            throw SpecError("BinaryCodec " + where + ": field '" + field.label +
+                            "' declares length auto but type '" + name +
+                            "' is not self-delimiting");
+        }
+    };
+    for (const FieldSpec& f : doc_.header().fields) check(f, "header");
+    for (const MessageSpec& m : doc_.messages()) {
+        for (const FieldSpec& f : m.fields) check(f, "message '" + m.type + "'");
+    }
+}
+
+std::optional<AbstractMessage> BinaryCodec::parse(const Bytes& data, std::string* error) const {
+    auto fail = [error](const std::string& why) -> std::optional<AbstractMessage> {
+        if (error != nullptr) *error = why;
+        return std::nullopt;
+    };
+
+    BitReader reader(data);
+    std::vector<ParsedField> parsed;
+    auto lookup = [&parsed](const std::string& label) -> const ParsedField* {
+        for (const ParsedField& f : parsed) {
+            if (f.label == label) return &f;
+        }
+        return nullptr;
+    };
+
+    auto parseFields = [&](const std::vector<FieldSpec>& specs,
+                           std::string& why) -> bool {
+        for (const FieldSpec& spec : specs) {
+            std::optional<int> lengthBits;
+            switch (spec.length) {
+                case FieldSpec::Length::Bits:
+                    lengthBits = spec.bits;
+                    break;
+                case FieldSpec::Length::FieldRef: {
+                    const ParsedField* source = lookup(spec.ref);
+                    if (source == nullptr) {
+                        why = "length field '" + spec.ref + "' not parsed before '" +
+                              spec.label + "'";
+                        return false;
+                    }
+                    const auto bytes = source->value.coerceTo(ValueType::Int);
+                    if (!bytes) {
+                        why = "length field '" + spec.ref + "' is not numeric";
+                        return false;
+                    }
+                    lengthBits = static_cast<int>(*bytes->asInt() * 8);
+                    break;
+                }
+                case FieldSpec::Length::Auto:
+                    lengthBits = std::nullopt;
+                    break;
+                default:
+                    why = "text-dialect length in binary MDL";
+                    return false;
+            }
+            const Marshaller* marshaller = registry_->find(doc_.marshallerFor(spec));
+            std::optional<Value> value;
+            if (lengthBits && *lengthBits == 0) {
+                // Zero-length field (e.g. empty string with zero length prefix).
+                value = Value::ofString("");
+            } else {
+                value = marshaller->read(reader, lengthBits);
+            }
+            if (!value) {
+                why = "field '" + spec.label + "' does not decode";
+                return false;
+            }
+            parsed.push_back({spec.label, std::move(*value), lengthBits});
+        }
+        return true;
+    };
+
+    std::string why;
+    if (!parseFields(doc_.header().fields, why)) return fail("header: " + why);
+
+    // Rule evaluation selects the message body.
+    const MessageSpec* selected = nullptr;
+    for (const MessageSpec& candidate : doc_.messages()) {
+        if (!candidate.rule) {
+            if (selected == nullptr) selected = &candidate;  // unruled fallback
+            continue;
+        }
+        const ParsedField* field = lookup(candidate.rule->field);
+        if (field != nullptr && field->value.toText() == candidate.rule->value) {
+            selected = &candidate;
+            break;
+        }
+    }
+    if (selected == nullptr) return fail("no message rule matches the parsed header");
+
+    if (!parseFields(selected->fields, why)) {
+        return fail("message '" + selected->type + "': " + why);
+    }
+    if (reader.remainingBits() >= 8) {
+        return fail("message '" + selected->type + "': " +
+                    std::to_string(reader.remainingBits()) + " trailing bits");
+    }
+
+    AbstractMessage message(selected->type);
+    for (ParsedField& f : parsed) {
+        const FieldSpec* spec = nullptr;
+        for (const FieldSpec& s : doc_.header().fields) {
+            if (s.label == f.label) spec = &s;
+        }
+        for (const FieldSpec& s : selected->fields) {
+            if (s.label == f.label) spec = &s;
+        }
+        const std::string typeName =
+            spec != nullptr ? doc_.marshallerFor(*spec) : std::string("String");
+        message.addField(Field::primitive(f.label, typeName, std::move(f.value), f.lengthBits));
+    }
+    return message;
+}
+
+Bytes BinaryCodec::compose(const AbstractMessage& message) const {
+    const MessageSpec* spec = doc_.message(message.type());
+    if (spec == nullptr) {
+        throw SpecError("BinaryCodec: MDL '" + doc_.protocol() + "' does not define message '" +
+                        message.type() + "'");
+    }
+
+    // Assemble the full field list: header then body.
+    std::vector<const FieldSpec*> order;
+    for (const FieldSpec& f : doc_.header().fields) order.push_back(&f);
+    for (const FieldSpec& f : spec->fields) order.push_back(&f);
+
+    // Which fields serve as the length source of a later field?
+    std::map<std::string, const FieldSpec*> lengthSourceOf;  // source label -> sized field
+    for (const FieldSpec* f : order) {
+        if (f->length == FieldSpec::Length::FieldRef) lengthSourceOf[f->ref] = f;
+    }
+
+    // Pass 1: decide every field's value.
+    std::map<std::string, Value> values;
+    auto typeDefOf = [this](const FieldSpec& f) -> const TypeDef* {
+        return doc_.type(f.type.empty() ? f.label : f.type);
+    };
+
+    // First, materialise all plain values so length derivations can see them.
+    for (const FieldSpec* f : order) {
+        const auto provided = message.value(f->label);
+        if (provided) {
+            values[f->label] = *provided;
+        } else if (f->defaultValue) {
+            values[f->label] = Value::ofString(*f->defaultValue);
+        }
+    }
+    // Rule fields are forced to the rule value.
+    if (spec->rule) {
+        values[spec->rule->field] = Value::ofString(spec->rule->value);
+    }
+    // Derived lengths override anything supplied.
+    for (const FieldSpec* f : order) {
+        const TypeDef* def = typeDefOf(*f);
+        if (def != nullptr && def->function == "f-length") {
+            const FieldSpec* target = nullptr;
+            for (const FieldSpec* candidate : order) {
+                if (candidate->label == def->functionArg) target = candidate;
+            }
+            if (target == nullptr) {
+                throw SpecError("BinaryCodec: f-length target '" + def->functionArg +
+                                "' is not a field of message '" + message.type() + "'");
+            }
+            const Marshaller* m = registry_->find(doc_.marshallerFor(*target));
+            const auto it = values.find(target->label);
+            const Value targetValue = it == values.end() ? Value::ofString("") : it->second;
+            values[f->label] =
+                Value::ofInt(m->encodedBits(targetValue, std::nullopt) / 8);
+        }
+        if (const FieldSpec* sized = lengthSourceOf[f->label]; sized != nullptr) {
+            const Marshaller* m = registry_->find(doc_.marshallerFor(*sized));
+            const auto it = values.find(sized->label);
+            const Value sizedValue = it == values.end() ? Value::ofString("") : it->second;
+            values[f->label] = Value::ofInt(m->encodedBits(sizedValue, std::nullopt) / 8);
+        }
+    }
+
+    // Mandatory-field enforcement: a bridge that fails to fill a mandatory
+    // field has a broken translation spec.
+    for (const std::string& label : doc_.mandatoryFields(message.type())) {
+        if (!values.contains(label)) {
+            throw SpecError("BinaryCodec: mandatory field '" + label + "' of message '" +
+                            message.type() + "' has no value");
+        }
+    }
+
+    // Pass 2: write.
+    BitWriter writer;
+    std::optional<std::pair<std::size_t, int>> msgLengthPatch;  // bit offset, bit count
+    for (const FieldSpec* f : order) {
+        const Marshaller* marshaller = registry_->find(doc_.marshallerFor(*f));
+        const TypeDef* def = typeDefOf(*f);
+
+        std::optional<int> lengthBits;
+        switch (f->length) {
+            case FieldSpec::Length::Bits:
+                lengthBits = f->bits;
+                break;
+            case FieldSpec::Length::FieldRef: {
+                const auto it = values.find(f->ref);
+                const auto bytes = it->second.coerceTo(ValueType::Int);
+                lengthBits = static_cast<int>(*bytes->asInt() * 8);
+                break;
+            }
+            case FieldSpec::Length::Auto:
+                lengthBits = std::nullopt;
+                break;
+            default:
+                throw SpecError("BinaryCodec: text-dialect field '" + f->label +
+                                "' in binary compose");
+        }
+
+        if (def != nullptr && def->function == "f-msglength") {
+            // Write a placeholder and remember where to backpatch.
+            if (!lengthBits) {
+                throw SpecError("BinaryCodec: f-msglength field '" + f->label +
+                                "' must have a literal bit length");
+            }
+            msgLengthPatch = {writer.positionBits(), *lengthBits};
+            writer.writeBits(0, *lengthBits);
+            continue;
+        }
+
+        auto it = values.find(f->label);
+        Value value = it != values.end() ? it->second : Value();
+        if (value.isEmpty()) {
+            // Unsupplied optional field: zero integer / empty string.
+            const std::string marshallerName = doc_.marshallerFor(*f);
+            value = marshallerName == "Integer" || marshallerName == "Int" ||
+                            marshallerName == "Bool" || marshallerName == "Boolean"
+                        ? Value::ofInt(0)
+                        : Value::ofString("");
+        }
+        if (lengthBits && *lengthBits == 0) continue;  // zero-length field: nothing on the wire
+        marshaller->write(writer, value, lengthBits);
+    }
+
+    if (msgLengthPatch) {
+        const std::size_t totalBytes = (writer.positionBits() + 7) / 8;
+        writer.patchBits(msgLengthPatch->first, totalBytes, msgLengthPatch->second);
+    }
+    return writer.take();
+}
+
+}  // namespace starlink::mdl

@@ -1,0 +1,49 @@
+// Generic binary message parser/composer, specialised at runtime by a
+// binary-dialect MDL document (paper section IV-A, Fig 7).
+//
+// Parsing walks the header field specs in order, resolving each field's
+// length (literal bits, value of an earlier length field, or self-delimiting
+// marshaller), then selects the message body whose <Rule> matches the parsed
+// header, and walks its field specs the same way. The result is a flat
+// AbstractMessage carrying every header and body field.
+//
+// Composing is the inverse, with three classes of field the composer fills
+// in itself (any caller-supplied value is overridden, which is what makes
+// parse(compose(m)) == m hold):
+//   - fields whose type declares f-length(X): byte length of X's encoding;
+//   - fields whose type declares f-msglength(): total message byte length,
+//     backpatched after the body is written;
+//   - fields referenced as the length source of a later field: byte length
+//     of that field's encoding;
+//   - the header field named by the selected message's <Rule>: the rule value.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/mdl/marshaller.hpp"
+#include "core/mdl/spec.hpp"
+#include "core/message/abstract_message.hpp"
+
+namespace starlink::mdl {
+
+class BinaryCodec {
+public:
+    BinaryCodec(const MdlDocument& doc, std::shared_ptr<MarshallerRegistry> registry);
+
+    /// Lifts wire bytes into an abstract message. nullopt on any mismatch
+    /// (truncation, no rule matches, undecodable field); when `error` is
+    /// non-null it receives a diagnostic.
+    std::optional<AbstractMessage> parse(const Bytes& data, std::string* error = nullptr) const;
+
+    /// Lowers an abstract message to wire bytes. Throws SpecError when the
+    /// message type is unknown to the MDL or a mandatory field is absent,
+    /// ProtocolError when a value cannot be encoded.
+    Bytes compose(const AbstractMessage& message) const;
+
+private:
+    const MdlDocument& doc_;
+    std::shared_ptr<MarshallerRegistry> registry_;
+};
+
+}  // namespace starlink::mdl

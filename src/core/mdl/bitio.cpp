@@ -1,0 +1,84 @@
+#include "core/mdl/bitio.hpp"
+
+#include "common/error.hpp"
+
+namespace starlink::mdl {
+
+std::optional<std::uint64_t> BitReader::readBits(int count) {
+    if (count < 1 || count > 64) throw SpecError("BitReader: bit count out of range");
+    if (remainingBits() < static_cast<std::size_t>(count)) return std::nullopt;
+    std::uint64_t value = 0;
+    for (int i = 0; i < count; ++i) {
+        const std::size_t byteIndex = position_ >> 3;
+        const int bitIndex = 7 - static_cast<int>(position_ & 7);
+        value = value << 1 | ((data_[byteIndex] >> bitIndex) & 1u);
+        ++position_;
+    }
+    return value;
+}
+
+std::optional<Bytes> BitReader::readBytes(std::size_t count) {
+    if (remainingBits() < count * 8) return std::nullopt;
+    Bytes out;
+    out.reserve(count);
+    if ((position_ & 7) == 0) {
+        const std::size_t start = position_ >> 3;
+        out.assign(data_.begin() + static_cast<std::ptrdiff_t>(start),
+                   data_.begin() + static_cast<std::ptrdiff_t>(start + count));
+        position_ += count * 8;
+    } else {
+        for (std::size_t i = 0; i < count; ++i) {
+            out.push_back(static_cast<std::uint8_t>(*readBits(8)));
+        }
+    }
+    return out;
+}
+
+std::optional<std::uint8_t> BitReader::peekByte() const {
+    if ((position_ & 7) != 0 || remainingBits() < 8) return std::nullopt;
+    return data_[position_ >> 3];
+}
+
+void BitWriter::writeBits(std::uint64_t value, int count) {
+    if (count < 1 || count > 64) throw SpecError("BitWriter: bit count out of range");
+    for (int i = count - 1; i >= 0; --i) {
+        const int bit = static_cast<int>(value >> i & 1u);
+        if ((bitCount_ & 7) == 0) buffer_.push_back(0);
+        const std::size_t byteIndex = bitCount_ >> 3;
+        const int bitIndex = 7 - static_cast<int>(bitCount_ & 7);
+        if (bit != 0) buffer_[byteIndex] = static_cast<std::uint8_t>(buffer_[byteIndex] | 1u << bitIndex);
+        ++bitCount_;
+    }
+}
+
+void BitWriter::writeBytes(const Bytes& bytes) {
+    if ((bitCount_ & 7) == 0) {
+        buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+        bitCount_ += bytes.size() * 8;
+    } else {
+        for (std::uint8_t b : bytes) writeBits(b, 8);
+    }
+}
+
+void BitWriter::writeByte(std::uint8_t byte) { writeBits(byte, 8); }
+
+void BitWriter::patchBits(std::size_t offset, std::uint64_t value, int count) {
+    if (offset + static_cast<std::size_t>(count) > bitCount_) {
+        throw SpecError("BitWriter::patchBits: region not yet written");
+    }
+    for (int i = 0; i < count; ++i) {
+        const std::size_t pos = offset + static_cast<std::size_t>(i);
+        const std::size_t byteIndex = pos >> 3;
+        const int bitIndex = 7 - static_cast<int>(pos & 7);
+        const int bit = static_cast<int>(value >> (count - 1 - i) & 1u);
+        if (bit != 0) {
+            buffer_[byteIndex] = static_cast<std::uint8_t>(buffer_[byteIndex] | 1u << bitIndex);
+        } else {
+            buffer_[byteIndex] = static_cast<std::uint8_t>(buffer_[byteIndex] & ~(1u << bitIndex));
+        }
+    }
+}
+
+Bytes BitWriter::take() { return std::move(buffer_); }
+
+}  // namespace starlink::mdl

@@ -1,0 +1,66 @@
+// Bit-granular readers/writers for the binary MDL interpreter.
+//
+// MDL field lengths are expressed in bits (paper Fig 7: an SLP header mixes
+// 8-, 16- and 24-bit fields), so the generic parser/composer must address
+// sub-byte positions. Bit order is MSB-first within each byte, matching
+// network wire formats.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace starlink::mdl {
+
+class BitReader {
+public:
+    explicit BitReader(const Bytes& data) : data_(data) {}
+
+    /// Bits remaining from the cursor to the end of the buffer.
+    std::size_t remainingBits() const { return data_.size() * 8 - position_; }
+    std::size_t positionBits() const { return position_; }
+    bool atEnd() const { return remainingBits() == 0; }
+
+    /// Reads `count` bits (1..64) as a big-endian unsigned integer.
+    /// nullopt when fewer than `count` bits remain (cursor unchanged).
+    std::optional<std::uint64_t> readBits(int count);
+
+    /// Reads `count` whole bytes. Works at any bit offset.
+    std::optional<Bytes> readBytes(std::size_t count);
+
+    /// Peeks one byte at a byte-aligned cursor without consuming.
+    std::optional<std::uint8_t> peekByte() const;
+
+private:
+    const Bytes& data_;
+    std::size_t position_ = 0;  // in bits
+};
+
+class BitWriter {
+public:
+    /// Appends `count` bits (1..64) of `value`, MSB first.
+    void writeBits(std::uint64_t value, int count);
+
+    void writeBytes(const Bytes& bytes);
+    void writeByte(std::uint8_t byte);
+
+    /// Current length in bits.
+    std::size_t positionBits() const { return bitCount_; }
+
+    /// Overwrites `count` bits starting at absolute bit offset `offset` with
+    /// `value`. The region must already have been written (used by the
+    /// composer to backpatch f-msglength fields).
+    void patchBits(std::size_t offset, std::uint64_t value, int count);
+
+    /// Finalises to a byte buffer; a trailing partial byte is zero-padded.
+    Bytes take();
+
+    const Bytes& buffer() const { return buffer_; }
+
+private:
+    Bytes buffer_;
+    std::size_t bitCount_ = 0;
+};
+
+}  // namespace starlink::mdl

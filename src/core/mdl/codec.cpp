@@ -1,0 +1,42 @@
+#include "core/mdl/codec.hpp"
+
+namespace starlink::mdl {
+
+MessageCodec::MessageCodec(MdlDocument doc, std::shared_ptr<MarshallerRegistry> registry)
+    : doc_(std::move(doc)), registry_(std::move(registry)) {
+    switch (doc_.kind()) {
+        case MdlKind::Binary:
+            binary_ = std::make_unique<BinaryCodec>(doc_, registry_);
+            break;
+        case MdlKind::Text:
+            text_ = std::make_unique<TextCodec>(doc_, registry_);
+            break;
+        case MdlKind::Xml:
+            xml_ = std::make_unique<XmlCodec>(doc_, registry_);
+            break;
+    }
+}
+
+std::shared_ptr<MessageCodec> MessageCodec::fromXml(const std::string& mdlXml,
+                                                    std::shared_ptr<MarshallerRegistry> registry) {
+    return fromDocument(MdlDocument::fromXml(mdlXml), std::move(registry));
+}
+
+std::shared_ptr<MessageCodec> MessageCodec::fromDocument(
+    MdlDocument doc, std::shared_ptr<MarshallerRegistry> registry) {
+    return std::shared_ptr<MessageCodec>(new MessageCodec(std::move(doc), std::move(registry)));
+}
+
+std::optional<AbstractMessage> MessageCodec::parse(const Bytes& data, std::string* error) const {
+    if (binary_) return binary_->parse(data, error);
+    if (text_) return text_->parse(data, error);
+    return xml_->parse(data, error);
+}
+
+Bytes MessageCodec::compose(const AbstractMessage& message) const {
+    if (binary_) return binary_->compose(message);
+    if (text_) return text_->compose(message);
+    return xml_->compose(message);
+}
+
+}  // namespace starlink::mdl

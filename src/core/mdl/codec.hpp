@@ -1,0 +1,52 @@
+// MessageCodec: the runtime-specialised parser/composer pair of Fig 6.
+//
+// A codec owns one MDL document and dispatches to the matching dialect
+// interpreter. This is the component the Starlink framework instantiates per
+// protocol when a bridge is deployed: "An SLP MDL would specialise a message
+// composer and parser component".
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/mdl/binary_codec.hpp"
+#include "core/mdl/spec.hpp"
+#include "core/mdl/text_codec.hpp"
+#include "core/mdl/xml_codec.hpp"
+#include "core/message/abstract_message.hpp"
+
+namespace starlink::mdl {
+
+class MessageCodec {
+public:
+    /// Builds a codec from MDL XML. The registry defaults to the built-in
+    /// marshallers; pass a custom one to extend the type system at runtime.
+    static std::shared_ptr<MessageCodec> fromXml(
+        const std::string& mdlXml,
+        std::shared_ptr<MarshallerRegistry> registry = MarshallerRegistry::withDefaults());
+
+    static std::shared_ptr<MessageCodec> fromDocument(
+        MdlDocument doc,
+        std::shared_ptr<MarshallerRegistry> registry = MarshallerRegistry::withDefaults());
+
+    /// Network bytes -> abstract message; nullopt when they do not conform.
+    std::optional<AbstractMessage> parse(const Bytes& data, std::string* error = nullptr) const;
+
+    /// Abstract message -> network bytes; throws on spec violations.
+    Bytes compose(const AbstractMessage& message) const;
+
+    const MdlDocument& document() const { return doc_; }
+    const std::string& protocol() const { return doc_.protocol(); }
+
+private:
+    MessageCodec(MdlDocument doc, std::shared_ptr<MarshallerRegistry> registry);
+
+    MdlDocument doc_;
+    std::shared_ptr<MarshallerRegistry> registry_;
+    std::unique_ptr<BinaryCodec> binary_;
+    std::unique_ptr<TextCodec> text_;
+    std::unique_ptr<XmlCodec> xml_;
+};
+
+}  // namespace starlink::mdl

@@ -1,0 +1,206 @@
+#include "core/mdl/marshaller.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace starlink::mdl {
+
+namespace {
+
+[[noreturn]] void badLength(const char* type) {
+    throw ProtocolError(std::string(type) + " marshaller: invalid length specification");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// IntegerMarshaller
+
+std::optional<Value> IntegerMarshaller::read(BitReader& in, std::optional<int> lengthBits) const {
+    if (!lengthBits || *lengthBits < 1 || *lengthBits > 63) return std::nullopt;
+    const auto raw = in.readBits(*lengthBits);
+    if (!raw) return std::nullopt;
+    return Value::ofInt(static_cast<std::int64_t>(*raw));
+}
+
+void IntegerMarshaller::write(BitWriter& out, const Value& value,
+                              std::optional<int> lengthBits) const {
+    if (!lengthBits || *lengthBits < 1 || *lengthBits > 63) badLength("Integer");
+    const auto coerced = value.coerceTo(ValueType::Int);
+    if (!coerced) throw ProtocolError("Integer marshaller: value is not an integer");
+    const std::int64_t v = *coerced->asInt();
+    if (v < 0 || (*lengthBits < 63 && v >= (std::int64_t{1} << *lengthBits))) {
+        throw ProtocolError("Integer marshaller: " + std::to_string(v) + " does not fit in " +
+                            std::to_string(*lengthBits) + " bits");
+    }
+    out.writeBits(static_cast<std::uint64_t>(v), *lengthBits);
+}
+
+int IntegerMarshaller::encodedBits(const Value&, std::optional<int> lengthBits) const {
+    if (!lengthBits) badLength("Integer");
+    return *lengthBits;
+}
+
+// ---------------------------------------------------------------------------
+// StringMarshaller
+
+std::optional<Value> StringMarshaller::read(BitReader& in, std::optional<int> lengthBits) const {
+    if (!lengthBits || *lengthBits < 0 || *lengthBits % 8 != 0) return std::nullopt;
+    if (*lengthBits == 0) return Value::ofString("");
+    const auto raw = in.readBytes(static_cast<std::size_t>(*lengthBits / 8));
+    if (!raw) return std::nullopt;
+    return Value::ofString(toString(*raw));
+}
+
+void StringMarshaller::write(BitWriter& out, const Value& value,
+                             std::optional<int> lengthBits) const {
+    const auto coerced = value.coerceTo(ValueType::String);
+    if (!coerced) throw ProtocolError("String marshaller: value is not text");
+    const std::string text = *coerced->asString();
+    if (!lengthBits) badLength("String");
+    if (*lengthBits % 8 != 0) badLength("String");
+    const std::size_t expected = static_cast<std::size_t>(*lengthBits) / 8;
+    if (text.size() != expected) {
+        throw ProtocolError("String marshaller: value of " + std::to_string(text.size()) +
+                            " bytes does not fill a " + std::to_string(expected) + "-byte field");
+    }
+    out.writeBytes(toBytes(text));
+}
+
+int StringMarshaller::encodedBits(const Value& value, std::optional<int> lengthBits) const {
+    if (lengthBits) return *lengthBits;
+    const auto coerced = value.coerceTo(ValueType::String);
+    if (!coerced) throw ProtocolError("String marshaller: value is not text");
+    return static_cast<int>(coerced->asString()->size() * 8);
+}
+
+// ---------------------------------------------------------------------------
+// BytesMarshaller
+
+std::optional<Value> BytesMarshaller::read(BitReader& in, std::optional<int> lengthBits) const {
+    if (!lengthBits || *lengthBits < 0 || *lengthBits % 8 != 0) return std::nullopt;
+    if (*lengthBits == 0) return Value::ofBytes({});
+    const auto raw = in.readBytes(static_cast<std::size_t>(*lengthBits / 8));
+    if (!raw) return std::nullopt;
+    return Value::ofBytes(*raw);
+}
+
+void BytesMarshaller::write(BitWriter& out, const Value& value,
+                            std::optional<int> lengthBits) const {
+    const auto coerced = value.coerceTo(ValueType::Bytes);
+    if (!coerced) throw ProtocolError("Bytes marshaller: value is not a byte buffer");
+    const Bytes data = *coerced->asBytes();
+    if (!lengthBits || *lengthBits % 8 != 0) badLength("Bytes");
+    if (data.size() != static_cast<std::size_t>(*lengthBits) / 8) {
+        throw ProtocolError("Bytes marshaller: buffer does not fill the field");
+    }
+    out.writeBytes(data);
+}
+
+int BytesMarshaller::encodedBits(const Value& value, std::optional<int> lengthBits) const {
+    if (lengthBits) return *lengthBits;
+    const auto coerced = value.coerceTo(ValueType::Bytes);
+    if (!coerced) throw ProtocolError("Bytes marshaller: value is not a byte buffer");
+    return static_cast<int>(coerced->asBytes()->size() * 8);
+}
+
+// ---------------------------------------------------------------------------
+// BoolMarshaller
+
+std::optional<Value> BoolMarshaller::read(BitReader& in, std::optional<int> lengthBits) const {
+    if (!lengthBits || *lengthBits < 1 || *lengthBits > 63) return std::nullopt;
+    const auto raw = in.readBits(*lengthBits);
+    if (!raw) return std::nullopt;
+    return Value::ofBool(*raw != 0);
+}
+
+void BoolMarshaller::write(BitWriter& out, const Value& value,
+                           std::optional<int> lengthBits) const {
+    if (!lengthBits || *lengthBits < 1 || *lengthBits > 63) badLength("Bool");
+    const auto coerced = value.coerceTo(ValueType::Bool);
+    if (!coerced) throw ProtocolError("Bool marshaller: value is not boolean");
+    out.writeBits(*coerced->asBool() ? 1 : 0, *lengthBits);
+}
+
+int BoolMarshaller::encodedBits(const Value&, std::optional<int> lengthBits) const {
+    if (!lengthBits) badLength("Bool");
+    return *lengthBits;
+}
+
+// ---------------------------------------------------------------------------
+// FqdnMarshaller
+
+std::optional<Value> FqdnMarshaller::read(BitReader& in, std::optional<int>) const {
+    std::vector<std::string> labels;
+    while (true) {
+        const auto lengthByte = in.readBits(8);
+        if (!lengthByte) return std::nullopt;
+        if (*lengthByte == 0) break;  // root label
+        if (*lengthByte > 63) return std::nullopt;  // compression pointers unsupported
+        const auto raw = in.readBytes(static_cast<std::size_t>(*lengthByte));
+        if (!raw) return std::nullopt;
+        labels.push_back(toString(*raw));
+    }
+    return Value::ofString(join(labels, "."));
+}
+
+void FqdnMarshaller::write(BitWriter& out, const Value& value, std::optional<int>) const {
+    const auto coerced = value.coerceTo(ValueType::String);
+    if (!coerced) throw ProtocolError("FQDN marshaller: value is not text");
+    const std::string name = *coerced->asString();
+    if (!name.empty()) {
+        for (const std::string& label : split(name, '.')) {
+            if (label.empty() || label.size() > 63) {
+                throw ProtocolError("FQDN marshaller: bad label in '" + name + "'");
+            }
+            out.writeByte(static_cast<std::uint8_t>(label.size()));
+            out.writeBytes(toBytes(label));
+        }
+    }
+    out.writeByte(0);
+}
+
+int FqdnMarshaller::encodedBits(const Value& value, std::optional<int>) const {
+    const auto coerced = value.coerceTo(ValueType::String);
+    if (!coerced) throw ProtocolError("FQDN marshaller: value is not text");
+    const std::string name = *coerced->asString();
+    std::size_t bytes = 1;  // terminating root label
+    if (!name.empty()) {
+        for (const std::string& label : split(name, '.')) {
+            bytes += 1 + label.size();
+        }
+    }
+    return static_cast<int>(bytes * 8);
+}
+
+// ---------------------------------------------------------------------------
+// MarshallerRegistry
+
+std::shared_ptr<MarshallerRegistry> MarshallerRegistry::withDefaults() {
+    auto registry = std::make_shared<MarshallerRegistry>();
+    const auto integer = std::make_shared<IntegerMarshaller>();
+    const auto text = std::make_shared<StringMarshaller>();
+    const auto bytes = std::make_shared<BytesMarshaller>();
+    const auto boolean = std::make_shared<BoolMarshaller>();
+    const auto fqdn = std::make_shared<FqdnMarshaller>();
+    registry->add("Integer", integer);
+    registry->add("Int", integer);
+    registry->add("String", text);
+    registry->add("Text", text);
+    registry->add("Bytes", bytes);
+    registry->add("Bool", boolean);
+    registry->add("Boolean", boolean);
+    registry->add("FQDN", fqdn);
+    return registry;
+}
+
+void MarshallerRegistry::add(const std::string& name, std::shared_ptr<Marshaller> marshaller) {
+    table_[name] = std::move(marshaller);
+}
+
+const Marshaller* MarshallerRegistry::find(const std::string& name) const {
+    const auto it = table_.find(name);
+    return it == table_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace starlink::mdl

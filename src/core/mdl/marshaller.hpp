@@ -1,0 +1,108 @@
+// Pluggable per-type marshallers/unmarshallers (paper section IV-A).
+//
+// "To underpin the reading and writing of data from messages, Starlink
+//  employs pluggable marshallers and unmarshallers for each of the types...
+//  This mechanism allows the language to be dynamically extended to
+//  incorporate complex types (with no need to re-implement a compiler)."
+//
+// A marshaller converts between wire bits and a Value. Types come in two
+// shapes:
+//  - length-directed: the MDL supplies the field length (Integer, String,
+//    Bytes, Bool);
+//  - self-delimiting: the encoding carries its own terminator, declared in
+//    the MDL with length "auto" (e.g. FQDN, the DNS label encoding the paper
+//    uses as its extension example).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/mdl/bitio.hpp"
+#include "core/message/value.hpp"
+
+namespace starlink::mdl {
+
+class Marshaller {
+public:
+    virtual ~Marshaller() = default;
+
+    /// Reads one value. `lengthBits` is nullopt for self-delimiting types.
+    /// nullopt result == the bytes do not decode (a normal runtime event).
+    virtual std::optional<Value> read(BitReader& in, std::optional<int> lengthBits) const = 0;
+
+    /// Writes one value. Throws ProtocolError when the value cannot be
+    /// encoded in the given length.
+    virtual void write(BitWriter& out, const Value& value,
+                       std::optional<int> lengthBits) const = 0;
+
+    /// Size of the encoding of `value`, in bits -- what the f-length field
+    /// function reports. For length-directed types with an explicit length
+    /// this is simply that length.
+    virtual int encodedBits(const Value& value, std::optional<int> lengthBits) const = 0;
+
+    /// True when the type can be used with length "auto".
+    virtual bool selfDelimiting() const { return false; }
+};
+
+/// Big-endian unsigned integer of the specified bit width (1..63).
+class IntegerMarshaller : public Marshaller {
+public:
+    std::optional<Value> read(BitReader& in, std::optional<int> lengthBits) const override;
+    void write(BitWriter& out, const Value& value, std::optional<int> lengthBits) const override;
+    int encodedBits(const Value& value, std::optional<int> lengthBits) const override;
+};
+
+/// Raw text of the specified length (must be a whole number of bytes).
+class StringMarshaller : public Marshaller {
+public:
+    std::optional<Value> read(BitReader& in, std::optional<int> lengthBits) const override;
+    void write(BitWriter& out, const Value& value, std::optional<int> lengthBits) const override;
+    int encodedBits(const Value& value, std::optional<int> lengthBits) const override;
+};
+
+/// Raw bytes of the specified length.
+class BytesMarshaller : public Marshaller {
+public:
+    std::optional<Value> read(BitReader& in, std::optional<int> lengthBits) const override;
+    void write(BitWriter& out, const Value& value, std::optional<int> lengthBits) const override;
+    int encodedBits(const Value& value, std::optional<int> lengthBits) const override;
+};
+
+/// Boolean in `lengthBits` bits (non-zero == true).
+class BoolMarshaller : public Marshaller {
+public:
+    std::optional<Value> read(BitReader& in, std::optional<int> lengthBits) const override;
+    void write(BitWriter& out, const Value& value, std::optional<int> lengthBits) const override;
+    int encodedBits(const Value& value, std::optional<int> lengthBits) const override;
+};
+
+/// Fully-qualified domain name in DNS label encoding: length-prefixed labels
+/// terminated by a zero byte; self-delimiting. This is the paper's worked
+/// example of extending the MDL with a plug-in type.
+class FqdnMarshaller : public Marshaller {
+public:
+    std::optional<Value> read(BitReader& in, std::optional<int> lengthBits) const override;
+    void write(BitWriter& out, const Value& value, std::optional<int> lengthBits) const override;
+    int encodedBits(const Value& value, std::optional<int> lengthBits) const override;
+    bool selfDelimiting() const override { return true; }
+};
+
+/// Name -> marshaller table. A registry is shared by all codecs built from
+/// it, so registering a new type at runtime immediately extends every MDL
+/// that names it.
+class MarshallerRegistry {
+public:
+    /// A registry pre-populated with Integer, String, Bytes, Bool and FQDN
+    /// (plus the aliases Int / Text / Boolean).
+    static std::shared_ptr<MarshallerRegistry> withDefaults();
+
+    void add(const std::string& name, std::shared_ptr<Marshaller> marshaller);
+    const Marshaller* find(const std::string& name) const;
+
+private:
+    std::map<std::string, std::shared_ptr<Marshaller>> table_;
+};
+
+}  // namespace starlink::mdl

@@ -1,0 +1,315 @@
+#include "core/mdl/spec.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "xml/parser.hpp"
+
+namespace starlink::mdl {
+
+namespace {
+
+// Parses "Integer[f-length(URLEntry)]" into a TypeDef.
+TypeDef parseTypeDef(const std::string& name, const std::string& body) {
+    TypeDef def;
+    def.name = name;
+    const std::string text = trim(body);
+    const std::size_t bracket = text.find('[');
+    if (bracket == std::string::npos) {
+        def.marshaller = text;
+        return def;
+    }
+    def.marshaller = trim(text.substr(0, bracket));
+    if (text.back() != ']') {
+        throw SpecError("MDL type '" + name + "': unterminated function bracket");
+    }
+    const std::string call = trim(text.substr(bracket + 1, text.size() - bracket - 2));
+    const std::size_t paren = call.find('(');
+    if (paren == std::string::npos || call.back() != ')') {
+        throw SpecError("MDL type '" + name + "': malformed function '" + call + "'");
+    }
+    def.function = trim(call.substr(0, paren));
+    def.functionArg = trim(call.substr(paren + 1, call.size() - paren - 2));
+    if (def.function != "f-length" && def.function != "f-msglength") {
+        throw SpecError("MDL type '" + name + "': unknown function '" + def.function + "'");
+    }
+    if (def.function == "f-length" && def.functionArg.empty()) {
+        throw SpecError("MDL type '" + name + "': f-length requires a field argument");
+    }
+    return def;
+}
+
+// Parses a comma-separated list of ASCII codes: "13,10" -> {0x0d, 0x0a}.
+Bytes parseDelimiter(const std::string& text, const std::string& context) {
+    Bytes out;
+    for (const std::string& piece : split(text, ',')) {
+        const auto code = parseInt(trim(piece));
+        if (!code || *code < 0 || *code > 255) {
+            throw SpecError("MDL " + context + ": bad delimiter code '" + piece + "'");
+        }
+        out.push_back(static_cast<std::uint8_t>(*code));
+    }
+    if (out.empty()) throw SpecError("MDL " + context + ": empty delimiter");
+    return out;
+}
+
+FieldSpec parseFieldSpec(const xml::Node& node, MdlKind kind, bool inMessageBody = false) {
+    FieldSpec field;
+    field.label = node.name();
+    if (const auto type = node.attribute("type")) field.type = *type;
+    if (const auto mandatory = node.attribute("mandatory")) {
+        field.mandatory = *mandatory == "true" || *mandatory == "1";
+    }
+    if (const auto defaultValue = node.attribute("default")) field.defaultValue = *defaultValue;
+
+    const std::string content = trim(node.text());
+
+    if (kind == MdlKind::Xml) {
+        if (content.empty()) {
+            field.length = FieldSpec::Length::Meta;
+        } else {
+            field.length = FieldSpec::Length::XmlPath;
+            field.ref = content;
+        }
+        return field;
+    }
+
+    if (kind == MdlKind::Binary) {
+        if (content == "auto") {
+            field.length = FieldSpec::Length::Auto;
+        } else if (const auto bits = parseInt(content)) {
+            if (*bits <= 0) {
+                throw SpecError("MDL field '" + field.label + "': non-positive bit length");
+            }
+            field.length = FieldSpec::Length::Bits;
+            field.bits = static_cast<int>(*bits);
+        } else if (!content.empty()) {
+            field.length = FieldSpec::Length::FieldRef;
+            field.ref = content;
+        } else {
+            throw SpecError("MDL field '" + field.label + "': missing length specification");
+        }
+        return field;
+    }
+
+    // Text dialect. In the HEADER, <Body/> is positional (remainder
+    // capture) even with no content; inside a <Message>, every empty element
+    // -- including <Body mandatory="true"/> -- is a Meta spec carrying only
+    // mandatory/default metadata.
+    if (field.label == "Body" && !inMessageBody) {
+        field.length = FieldSpec::Length::Body;
+        return field;
+    }
+    if (content.empty()) {
+        field.length = FieldSpec::Length::Meta;
+        return field;
+    }
+    if (field.label == "Fields") {
+        const auto halves = splitFirst(content, ':');
+        if (!halves) {
+            throw SpecError("MDL <Fields>: expected 'sepCodes:innerCode', got '" + content + "'");
+        }
+        field.length = FieldSpec::Length::FieldsBlock;
+        field.delimiter = parseDelimiter(halves->first, "<Fields>");
+        const Bytes inner = parseDelimiter(halves->second, "<Fields> inner split");
+        if (inner.size() != 1) {
+            throw SpecError("MDL <Fields>: inner split must be a single character");
+        }
+        field.innerSplit = inner[0];
+        return field;
+    }
+    if (field.label == "Body") {
+        field.length = FieldSpec::Length::Body;
+        return field;
+    }
+    field.length = FieldSpec::Length::Delimiter;
+    field.delimiter = parseDelimiter(content, "field '" + field.label + "'");
+    return field;
+}
+
+Rule parseRule(const std::string& text) {
+    const auto halves = splitFirst(text, '=');
+    if (!halves || trim(halves->first).empty()) {
+        throw SpecError("MDL <Rule>: expected 'Field=Value', got '" + text + "'");
+    }
+    return Rule{trim(halves->first), trim(halves->second)};
+}
+
+}  // namespace
+
+MdlDocument MdlDocument::fromXml(const std::string& xmlText) {
+    const auto root = xml::parse(xmlText);
+    return fromXml(*root);
+}
+
+MdlDocument MdlDocument::fromXml(const xml::Node& root) {
+    if (root.name() != "Mdl") {
+        throw SpecError("MDL: root element must be <Mdl>, got <" + root.name() + ">");
+    }
+    MdlDocument doc;
+    doc.protocol_ = root.attribute("protocol").value_or("");
+    const std::string kind = root.attribute("kind").value_or("binary");
+    if (kind == "binary") {
+        doc.kind_ = MdlKind::Binary;
+    } else if (kind == "text") {
+        doc.kind_ = MdlKind::Text;
+    } else if (kind == "xml") {
+        doc.kind_ = MdlKind::Xml;
+    } else {
+        throw SpecError("MDL: unknown kind '" + kind + "'");
+    }
+
+    const xml::Node* typesNode = root.child("Types");
+    if (typesNode != nullptr) {
+        for (const auto& typeNode : typesNode->children()) {
+            const TypeDef def = parseTypeDef(typeNode->name(), typeNode->text());
+            if (!doc.types_.emplace(def.name, def).second) {
+                throw SpecError("MDL: duplicate type '" + def.name + "'");
+            }
+        }
+    }
+
+    const xml::Node* headerNode = root.child("Header");
+    if (headerNode == nullptr) throw SpecError("MDL: missing <Header>");
+    doc.header_.type = headerNode->attribute("type").value_or(doc.protocol_);
+    if (doc.kind_ == MdlKind::Xml) {
+        doc.header_.xmlRoot = headerNode->attribute("root").value_or("");
+        if (doc.header_.xmlRoot.empty()) {
+            throw SpecError("MDL: xml dialect requires <Header root=\"...\">");
+        }
+    }
+    std::set<std::string> headerLabels;
+    for (const auto& fieldNode : headerNode->children()) {
+        FieldSpec field = parseFieldSpec(*fieldNode, doc.kind_);
+        if (!headerLabels.insert(field.label).second) {
+            throw SpecError("MDL header: duplicate field '" + field.label + "'");
+        }
+        doc.header_.fields.push_back(std::move(field));
+    }
+
+    for (const xml::Node* messageNode : root.childrenNamed("Message")) {
+        MessageSpec message;
+        message.type = messageNode->attribute("type").value_or("");
+        if (message.type.empty()) throw SpecError("MDL: <Message> without type attribute");
+        std::set<std::string> bodyLabels;
+        for (const auto& fieldNode : messageNode->children()) {
+            if (fieldNode->name() == "Rule") {
+                if (message.rule) {
+                    throw SpecError("MDL message '" + message.type + "': multiple rules");
+                }
+                message.rule = parseRule(fieldNode->text());
+                continue;
+            }
+            FieldSpec field = parseFieldSpec(*fieldNode, doc.kind_, /*inMessageBody=*/true);
+            // Meta specs may shadow a header field (they override its
+            // default per message); anything else must be unique.
+            const bool shadowsHeader = headerLabels.contains(field.label) &&
+                                       field.length != FieldSpec::Length::Meta;
+            if (!bodyLabels.insert(field.label).second || shadowsHeader) {
+                throw SpecError("MDL message '" + message.type + "': duplicate field '" +
+                                field.label + "'");
+            }
+            message.fields.push_back(std::move(field));
+        }
+        for (const MessageSpec& existing : doc.messages_) {
+            if (existing.type == message.type) {
+                throw SpecError("MDL: duplicate message type '" + message.type + "'");
+            }
+        }
+        doc.messages_.push_back(std::move(message));
+    }
+    if (doc.messages_.empty()) throw SpecError("MDL: no <Message> definitions");
+
+    // Validation: rules must reference header fields; field refs must point
+    // to an earlier field in scope; types must resolve.
+    auto checkType = [&doc](const FieldSpec& field, const std::string& where) {
+        if (!field.type.empty() && doc.types_.find(field.type) == doc.types_.end()) {
+            throw SpecError("MDL " + where + ": field '" + field.label +
+                            "' references undeclared type '" + field.type + "'");
+        }
+        if (field.type.empty() && doc.types_.contains(field.label)) {
+            // Implicit: a field named like a declared type uses that type.
+            return;
+        }
+    };
+    for (const FieldSpec& field : doc.header_.fields) checkType(field, "header");
+
+    for (const MessageSpec& message : doc.messages_) {
+        if (message.rule) {
+            const bool known =
+                std::any_of(doc.header_.fields.begin(), doc.header_.fields.end(),
+                            [&](const FieldSpec& f) { return f.label == message.rule->field; });
+            if (!known) {
+                throw SpecError("MDL message '" + message.type + "': rule references unknown "
+                                "header field '" + message.rule->field + "'");
+            }
+        }
+        std::set<std::string> inScope;
+        for (const FieldSpec& f : doc.header_.fields) inScope.insert(f.label);
+        for (const FieldSpec& field : message.fields) {
+            checkType(field, "message '" + message.type + "'");
+            if (field.length == FieldSpec::Length::FieldRef && !inScope.contains(field.ref)) {
+                throw SpecError("MDL message '" + message.type + "': field '" + field.label +
+                                "' takes its length from unknown field '" + field.ref + "'");
+            }
+            inScope.insert(field.label);
+        }
+    }
+    // Header field refs must be backward references within the header.
+    {
+        std::set<std::string> seen;
+        for (const FieldSpec& field : doc.header_.fields) {
+            if (field.length == FieldSpec::Length::FieldRef && !seen.contains(field.ref)) {
+                throw SpecError("MDL header: field '" + field.label +
+                                "' takes its length from unknown field '" + field.ref + "'");
+            }
+            seen.insert(field.label);
+        }
+    }
+    return doc;
+}
+
+const MessageSpec* MdlDocument::message(const std::string& type) const {
+    for (const MessageSpec& m : messages_) {
+        if (m.type == type) return &m;
+    }
+    return nullptr;
+}
+
+const TypeDef* MdlDocument::type(const std::string& name) const {
+    const auto it = types_.find(name);
+    return it == types_.end() ? nullptr : &it->second;
+}
+
+std::string MdlDocument::marshallerFor(const FieldSpec& field) const {
+    const std::string& typeName = field.type.empty() ? field.label : field.type;
+    if (const TypeDef* def = type(typeName)) return def->marshaller;
+    // Undeclared: dialect defaults -- binary integer fields are by far the
+    // common case for literal bit lengths; everything else is text.
+    if (kind_ == MdlKind::Binary && field.length == FieldSpec::Length::Bits) return "Integer";
+    return "String";
+}
+
+std::vector<std::string> MdlDocument::mandatoryFields(const std::string& messageType) const {
+    std::vector<std::string> out;
+    const MessageSpec* spec = message(messageType);
+    if (spec == nullptr) return out;
+    for (const FieldSpec& f : header_.fields) {
+        if (f.mandatory) out.push_back(f.label);
+    }
+    for (const FieldSpec& f : spec->fields) {
+        if (f.mandatory) out.push_back(f.label);
+    }
+    return out;
+}
+
+std::vector<std::string> MdlDocument::messageTypes() const {
+    std::vector<std::string> out;
+    out.reserve(messages_.size());
+    for (const MessageSpec& m : messages_) out.push_back(m.type);
+    return out;
+}
+
+}  // namespace starlink::mdl

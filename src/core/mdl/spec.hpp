@@ -1,0 +1,139 @@
+// The Message Description Language document model (paper section IV-A,
+// Figs 7 and 11) and its XML loader.
+//
+// An MDL document describes one protocol's messages. Two dialects share the
+// model:
+//
+//  - kind="binary" (Fig 7): field content is `<Label>length</Label>` where
+//    length is a bit count, the name of an earlier field whose VALUE is the
+//    length in BYTES, or "auto" for self-delimiting types (e.g. FQDN).
+//
+//  - kind="text" (Fig 11): field content is a delimiter spec -- a comma-
+//    separated list of ASCII codes terminating the token ("13,10" = CRLF,
+//    "32" = space). Two special labels exist: <Fields>sep:inner</Fields>
+//    declares a repeated label/value block (lines split from values at the
+//    `inner` code), and <Body/> captures everything after the blank line.
+//
+//  - kind="xml" (the third dialect the paper names): field content is an
+//    ELEMENT PATH below the document root ("Header/Action"); the field's
+//    value is that element's text. The <Header> element's `root` attribute
+//    names the required document root.
+//
+// Shared constructs:
+//    <Types>   <Label>Marshaller[f-func(arg)]</Label> ... </Types>
+//    <Header type="P"> field specs... </Header>
+//    <Message type="T"> <Rule>Field=Value</Rule> field specs... </Message>
+//
+// Attributes accepted on field-spec elements:
+//    mandatory="true"   -- the field participates in the semantic-
+//                          equivalence check (Mfields, paper eqn 1)
+//    default="text"     -- composer fallback when the abstract message does
+//                          not carry the field
+//
+// Note: the paper prints `<Header type=SLP>`; we require well-formed XML, so
+// attribute values are quoted.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "xml/dom.hpp"
+
+namespace starlink::mdl {
+
+/// A type declaration from <Types>: which marshaller encodes it, plus an
+/// optional field function computed by the composer (paper: "[f-method()]").
+struct TypeDef {
+    std::string name;
+    std::string marshaller;   // registry key, e.g. "Integer", "FQDN"
+    std::string function;     // "f-length", "f-msglength" or empty
+    std::string functionArg;  // field label argument, may be empty
+};
+
+/// One field of a header or message body.
+struct FieldSpec {
+    enum class Length {
+        Bits,        // binary: literal bit count in `bits`
+        FieldRef,    // binary: byte count taken from the value of field `ref`
+        Auto,        // binary: self-delimiting marshaller
+        Delimiter,   // text: token ends at `delimiter`
+        FieldsBlock, // text: repeated label/value lines (sep=`delimiter`, split=`innerSplit`)
+        Body,        // text: remainder of the message
+        Meta,        // text message body: no wire presence of its own (the
+                     // line lives in the header's Fields block); carries the
+                     // per-message mandatory flag and default value, and may
+                     // override the default of a positional header field
+        XmlPath      // xml: the field lives at the element path `ref`
+                     // (slash-separated child names below the document root)
+    };
+
+    std::string label;
+    std::string type;  // key into MdlDocument::types; "" = dialect default
+    Length length = Length::Bits;
+    int bits = 0;
+    std::string ref;
+    Bytes delimiter;
+    std::uint8_t innerSplit = 0;
+    bool mandatory = false;
+    std::optional<std::string> defaultValue;
+};
+
+/// The <Rule> selecting a message body from parsed header fields.
+struct Rule {
+    std::string field;
+    std::string value;
+};
+
+struct MessageSpec {
+    std::string type;  // abstract message type label, e.g. "SLPSrvRequest"
+    std::optional<Rule> rule;
+    std::vector<FieldSpec> fields;
+};
+
+struct HeaderSpec {
+    std::string type;
+    std::string xmlRoot;  // xml dialect: required document root element name
+    std::vector<FieldSpec> fields;
+};
+
+enum class MdlKind { Binary, Text, Xml };
+
+/// A parsed, validated MDL document.
+class MdlDocument {
+public:
+    /// Parses MDL XML; throws SpecError on any malformation (unknown type
+    /// reference, duplicate labels, missing Header, rule on unknown field...).
+    static MdlDocument fromXml(const std::string& xmlText);
+    static MdlDocument fromXml(const xml::Node& root);
+
+    const std::string& protocol() const { return protocol_; }
+    MdlKind kind() const { return kind_; }
+    const HeaderSpec& header() const { return header_; }
+    const std::vector<MessageSpec>& messages() const { return messages_; }
+
+    const MessageSpec* message(const std::string& type) const;
+    const TypeDef* type(const std::string& name) const;
+
+    /// Marshaller name for a field; defaults to String when undeclared.
+    std::string marshallerFor(const FieldSpec& field) const;
+
+    /// Labels of mandatory fields (header + body) for a message type --
+    /// Mfields(n) in the paper's eqn (1).
+    std::vector<std::string> mandatoryFields(const std::string& messageType) const;
+
+    /// All message type labels this document can parse/compose.
+    std::vector<std::string> messageTypes() const;
+
+private:
+    std::string protocol_;
+    MdlKind kind_ = MdlKind::Binary;
+    std::map<std::string, TypeDef> types_;
+    HeaderSpec header_;
+    std::vector<MessageSpec> messages_;
+};
+
+}  // namespace starlink::mdl

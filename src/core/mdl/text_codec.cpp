@@ -1,0 +1,270 @@
+#include "core/mdl/text_codec.hpp"
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace starlink::mdl {
+
+namespace {
+
+/// Cursor over the raw bytes; tokens are cut at delimiter byte sequences.
+class TextCursor {
+public:
+    explicit TextCursor(const Bytes& data) : data_(data) {}
+
+    bool atEnd() const { return pos_ >= data_.size(); }
+
+    /// Reads up to (and consuming) `delimiter`. nullopt when the delimiter
+    /// never occurs.
+    std::optional<std::string> readToken(const Bytes& delimiter) {
+        const auto found = find(delimiter, pos_);
+        if (!found) return std::nullopt;
+        std::string token(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                          data_.begin() + static_cast<std::ptrdiff_t>(*found));
+        pos_ = *found + delimiter.size();
+        return token;
+    }
+
+    /// Everything left.
+    std::string rest() {
+        std::string out(data_.begin() + static_cast<std::ptrdiff_t>(pos_), data_.end());
+        pos_ = data_.size();
+        return out;
+    }
+
+private:
+    std::optional<std::size_t> find(const Bytes& needle, std::size_t from) const {
+        if (needle.empty() || data_.size() < needle.size()) return std::nullopt;
+        for (std::size_t i = from; i + needle.size() <= data_.size(); ++i) {
+            bool match = true;
+            for (std::size_t j = 0; j < needle.size(); ++j) {
+                if (data_[i + j] != needle[j]) {
+                    match = false;
+                    break;
+                }
+            }
+            if (match) return i;
+        }
+        return std::nullopt;
+    }
+
+    const Bytes& data_;
+    std::size_t pos_ = 0;
+};
+
+/// The Value type a text field should carry, from its declared MDL type.
+ValueType valueTypeOf(const MdlDocument& doc, const std::string& label) {
+    const TypeDef* def = doc.type(label);
+    if (def == nullptr) return ValueType::String;
+    if (def->marshaller == "Integer" || def->marshaller == "Int") return ValueType::Int;
+    if (def->marshaller == "Bool" || def->marshaller == "Boolean") return ValueType::Bool;
+    return ValueType::String;
+}
+
+}  // namespace
+
+TextCodec::TextCodec(const MdlDocument& doc, std::shared_ptr<MarshallerRegistry> registry)
+    : doc_(doc), registry_(std::move(registry)) {
+    if (doc_.kind() != MdlKind::Text) {
+        throw SpecError("TextCodec: MDL document '" + doc_.protocol() + "' is not text");
+    }
+}
+
+std::optional<AbstractMessage> TextCodec::parse(const Bytes& data, std::string* error) const {
+    auto fail = [error](const std::string& why) -> std::optional<AbstractMessage> {
+        if (error != nullptr) *error = why;
+        return std::nullopt;
+    };
+
+    TextCursor cursor(data);
+    std::vector<Field> fields;
+    auto valueFor = [this](const std::string& label, const std::string& text) -> Value {
+        const ValueType type = valueTypeOf(doc_, label);
+        const auto parsed = Value::fromText(type, trim(text));
+        // A malformed typed header line degrades to text rather than killing
+        // the whole message -- matching how lenient real stacks are.
+        return parsed ? *parsed : Value::ofString(trim(text));
+    };
+
+    for (const FieldSpec& spec : doc_.header().fields) {
+        switch (spec.length) {
+            case FieldSpec::Length::Delimiter: {
+                const auto token = cursor.readToken(spec.delimiter);
+                if (!token) return fail("token '" + spec.label + "' not terminated");
+                fields.push_back(Field::primitive(spec.label, "String",
+                                                  valueFor(spec.label, *token)));
+                break;
+            }
+            case FieldSpec::Length::FieldsBlock: {
+                while (true) {
+                    const auto line = cursor.readToken(spec.delimiter);
+                    if (!line) {
+                        // No terminating blank line: tolerate EOF-terminated
+                        // final line like real text stacks do.
+                        break;
+                    }
+                    if (trim(*line).empty()) break;  // blank line ends the block
+                    const auto halves = splitFirst(*line, static_cast<char>(spec.innerSplit));
+                    if (!halves) {
+                        return fail("header line without '" +
+                                    std::string(1, static_cast<char>(spec.innerSplit)) +
+                                    "' split: " + *line);
+                    }
+                    const std::string label = trim(halves->first);
+                    if (label.empty()) return fail("header line with empty label");
+                    fields.push_back(
+                        Field::primitive(label, "String", valueFor(label, halves->second)));
+                }
+                break;
+            }
+            case FieldSpec::Length::Body: {
+                fields.push_back(
+                    Field::primitive(spec.label, "String", Value::ofString(cursor.rest())));
+                break;
+            }
+            default:
+                return fail("binary-dialect length in text MDL");
+        }
+    }
+
+    // Rule evaluation on parsed fields.
+    const MessageSpec* selected = nullptr;
+    auto lookup = [&fields](const std::string& label) -> const Field* {
+        for (const Field& f : fields) {
+            if (f.label() == label) return &f;
+        }
+        return nullptr;
+    };
+    for (const MessageSpec& candidate : doc_.messages()) {
+        if (!candidate.rule) {
+            if (selected == nullptr) selected = &candidate;
+            continue;
+        }
+        const Field* field = lookup(candidate.rule->field);
+        if (field != nullptr && field->value().toText() == candidate.rule->value) {
+            selected = &candidate;
+            break;
+        }
+    }
+    if (selected == nullptr) return fail("no message rule matches");
+
+    AbstractMessage message(selected->type);
+    for (Field& f : fields) message.addField(std::move(f));
+    return message;
+}
+
+Bytes TextCodec::compose(const AbstractMessage& message) const {
+    const MessageSpec* spec = doc_.message(message.type());
+    if (spec == nullptr) {
+        throw SpecError("TextCodec: MDL '" + doc_.protocol() + "' does not define message '" +
+                        message.type() + "'");
+    }
+
+    for (const std::string& label : doc_.mandatoryFields(message.type())) {
+        if (!message.value(label)) {
+            throw SpecError("TextCodec: mandatory field '" + label + "' of message '" +
+                            message.type() + "' has no value");
+        }
+    }
+
+    Bytes out;
+    std::set<std::string> consumed;
+    const FieldSpec* fieldsBlock = nullptr;
+    const FieldSpec* bodySpec = nullptr;
+
+    // Per-message Meta specs: defaults (which override header defaults) and
+    // extra lines to emit when the message does not carry the field.
+    auto metaSpec = [spec](const std::string& label) -> const FieldSpec* {
+        for (const FieldSpec& f : spec->fields) {
+            if (f.label == label && f.length == FieldSpec::Length::Meta) return &f;
+        }
+        return nullptr;
+    };
+
+    auto positionalValue = [&](const FieldSpec& fieldSpec) -> std::string {
+        if (spec->rule && spec->rule->field == fieldSpec.label) return spec->rule->value;
+        if (const auto v = message.value(fieldSpec.label)) return v->toText();
+        if (const FieldSpec* meta = metaSpec(fieldSpec.label); meta && meta->defaultValue) {
+            return *meta->defaultValue;
+        }
+        if (fieldSpec.defaultValue) return *fieldSpec.defaultValue;
+        throw SpecError("TextCodec: positional field '" + fieldSpec.label + "' of message '" +
+                        message.type() + "' has no value and no default");
+    };
+
+    for (const FieldSpec& fieldSpec : doc_.header().fields) {
+        switch (fieldSpec.length) {
+            case FieldSpec::Length::Delimiter: {
+                const std::string token = positionalValue(fieldSpec);
+                out.insert(out.end(), token.begin(), token.end());
+                out.insert(out.end(), fieldSpec.delimiter.begin(), fieldSpec.delimiter.end());
+                consumed.insert(fieldSpec.label);
+                break;
+            }
+            case FieldSpec::Length::FieldsBlock:
+                fieldsBlock = &fieldSpec;  // emitted below, needs full consumed set
+                break;
+            case FieldSpec::Length::Body:
+                bodySpec = &fieldSpec;
+                break;
+            default:
+                throw SpecError("TextCodec: binary-dialect field '" + fieldSpec.label +
+                                "' in text compose");
+        }
+    }
+
+    if (fieldsBlock != nullptr) {
+        const std::string body =
+            bodySpec != nullptr ? message.value(bodySpec->label).value_or(Value()).toText() : "";
+        bool emittedContentLength = false;
+
+        for (const Field& field : message.fields()) {
+            if (!field.isPrimitive() || consumed.contains(field.label())) continue;
+            if (bodySpec != nullptr && field.label() == bodySpec->label) continue;
+            std::string value = field.value().toText();
+            // Keep Content-Length honest whenever a body is declared.
+            if (bodySpec != nullptr && iequals(field.label(), "Content-Length")) {
+                value = std::to_string(body.size());
+                emittedContentLength = true;
+            }
+            const std::string line = field.label() +
+                                     std::string(1, static_cast<char>(fieldsBlock->innerSplit)) +
+                                     " " + value;
+            out.insert(out.end(), line.begin(), line.end());
+            out.insert(out.end(), fieldsBlock->delimiter.begin(), fieldsBlock->delimiter.end());
+        }
+        // Meta defaults for declared lines the message does not carry.
+        for (const FieldSpec& meta : spec->fields) {
+            if (meta.length != FieldSpec::Length::Meta || !meta.defaultValue) continue;
+            if (consumed.contains(meta.label)) continue;  // positional, already emitted
+            if (message.value(meta.label)) continue;      // emitted from the message above
+            if (bodySpec != nullptr && meta.label == bodySpec->label) continue;
+            const std::string line = meta.label +
+                                     std::string(1, static_cast<char>(fieldsBlock->innerSplit)) +
+                                     " " + *meta.defaultValue;
+            out.insert(out.end(), line.begin(), line.end());
+            out.insert(out.end(), fieldsBlock->delimiter.begin(), fieldsBlock->delimiter.end());
+        }
+        // A declared body always travels with an accurate Content-Length so
+        // receivers can delimit it.
+        if (bodySpec != nullptr && !body.empty() && !emittedContentLength) {
+            const std::string line = "Content-Length" +
+                                     std::string(1, static_cast<char>(fieldsBlock->innerSplit)) +
+                                     " " + std::to_string(body.size());
+            out.insert(out.end(), line.begin(), line.end());
+            out.insert(out.end(), fieldsBlock->delimiter.begin(), fieldsBlock->delimiter.end());
+        }
+        // Blank line terminating the block.
+        out.insert(out.end(), fieldsBlock->delimiter.begin(), fieldsBlock->delimiter.end());
+    }
+
+    if (bodySpec != nullptr) {
+        const std::string body = message.value(bodySpec->label).value_or(Value()).toText();
+        out.insert(out.end(), body.begin(), body.end());
+    }
+    return out;
+}
+
+}  // namespace starlink::mdl

@@ -1,0 +1,42 @@
+// Generic text message parser/composer, specialised at runtime by a
+// text-dialect MDL document (paper section IV-A, Fig 11).
+//
+// Text protocols (SSDP, HTTP) have "no fixed layout or ordering of fields",
+// so the MDL identifies boundaries instead of lengths:
+//  - positional tokens terminated by a delimiter byte sequence (the request
+//    line: <Method>32</Method> <URI>32</URI> <Version>13,10</Version>);
+//  - a <Fields>13,10:58</Fields> block of repeated "Label: value" lines,
+//    terminated by an empty line, each split at the first inner-split byte;
+//  - an optional <Body/> capturing everything after the blank line.
+//
+// Parsing produces one primitive String/typed field per token and per line
+// label. Composing emits positional tokens, then every remaining top-level
+// primitive field of the message as a "Label: value" line, then the blank
+// line and the body. When a <Body/> is declared and the message carries a
+// Content-Length field, the composer recomputes it from the body so the two
+// can never disagree.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/mdl/marshaller.hpp"
+#include "core/mdl/spec.hpp"
+#include "core/message/abstract_message.hpp"
+
+namespace starlink::mdl {
+
+class TextCodec {
+public:
+    TextCodec(const MdlDocument& doc, std::shared_ptr<MarshallerRegistry> registry);
+
+    std::optional<AbstractMessage> parse(const Bytes& data, std::string* error = nullptr) const;
+    Bytes compose(const AbstractMessage& message) const;
+
+private:
+    const MdlDocument& doc_;
+    std::shared_ptr<MarshallerRegistry> registry_;
+};
+
+}  // namespace starlink::mdl

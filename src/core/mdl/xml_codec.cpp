@@ -1,0 +1,169 @@
+#include "core/mdl/xml_codec.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace starlink::mdl {
+
+namespace {
+
+/// Resolves a slash-separated element path below `root`; nullptr when any
+/// step is missing.
+const xml::Node* resolve(const xml::Node& root, const std::string& path) {
+    const xml::Node* current = &root;
+    for (const std::string& step : split(path, '/')) {
+        if (step.empty()) return nullptr;
+        current = current->child(step);
+        if (current == nullptr) return nullptr;
+    }
+    return current;
+}
+
+/// Resolves the path, creating missing elements.
+xml::Node* resolveOrCreate(xml::Node& root, const std::string& path) {
+    xml::Node* current = &root;
+    for (const std::string& step : split(path, '/')) {
+        if (step.empty()) return nullptr;
+        xml::Node* next = current->child(step);
+        current = next != nullptr ? next : &current->appendChild(step);
+    }
+    return current;
+}
+
+ValueType valueTypeOf(const MdlDocument& doc, const FieldSpec& field) {
+    const TypeDef* def = doc.type(field.type.empty() ? field.label : field.type);
+    if (def == nullptr) return ValueType::String;
+    if (def->marshaller == "Integer" || def->marshaller == "Int") return ValueType::Int;
+    if (def->marshaller == "Bool" || def->marshaller == "Boolean") return ValueType::Bool;
+    return ValueType::String;
+}
+
+}  // namespace
+
+XmlCodec::XmlCodec(const MdlDocument& doc, std::shared_ptr<MarshallerRegistry> registry)
+    : doc_(doc), registry_(std::move(registry)) {
+    if (doc_.kind() != MdlKind::Xml) {
+        throw SpecError("XmlCodec: MDL document '" + doc_.protocol() + "' is not xml");
+    }
+    auto check = [](const FieldSpec& field, const std::string& where) {
+        if (field.length != FieldSpec::Length::XmlPath &&
+            field.length != FieldSpec::Length::Meta) {
+            throw SpecError("XmlCodec " + where + ": field '" + field.label +
+                            "' is not an element path");
+        }
+    };
+    for (const FieldSpec& f : doc_.header().fields) check(f, "header");
+    for (const MessageSpec& m : doc_.messages()) {
+        for (const FieldSpec& f : m.fields) check(f, "message '" + m.type + "'");
+    }
+}
+
+std::optional<AbstractMessage> XmlCodec::parse(const Bytes& data, std::string* error) const {
+    auto fail = [error](const std::string& why) -> std::optional<AbstractMessage> {
+        if (error != nullptr) *error = why;
+        return std::nullopt;
+    };
+
+    std::unique_ptr<xml::Node> root;
+    try {
+        root = xml::parse(toString(data));
+    } catch (const SpecError& e) {
+        return fail(std::string("not well-formed xml: ") + e.what());
+    }
+    if (root->name() != doc_.header().xmlRoot) {
+        return fail("document root <" + root->name() + "> is not <" + doc_.header().xmlRoot +
+                    ">");
+    }
+
+    std::vector<Field> fields;
+    auto parseFields = [&](const std::vector<FieldSpec>& specs, bool mandatoryEnforced,
+                           std::string& why) -> bool {
+        for (const FieldSpec& spec : specs) {
+            if (spec.length != FieldSpec::Length::XmlPath) continue;  // Meta: no wire presence
+            const xml::Node* node = resolve(*root, spec.ref);
+            if (node == nullptr) {
+                if (mandatoryEnforced && spec.mandatory) {
+                    why = "mandatory element '" + spec.ref + "' missing";
+                    return false;
+                }
+                continue;
+            }
+            const std::string text = trim(node->text());
+            const ValueType type = valueTypeOf(doc_, spec);
+            const auto value = Value::fromText(type, text);
+            fields.push_back(Field::primitive(spec.label, doc_.marshallerFor(spec),
+                                              value ? *value : Value::ofString(text)));
+        }
+        return true;
+    };
+
+    std::string why;
+    parseFields(doc_.header().fields, /*mandatoryEnforced=*/false, why);
+
+    const MessageSpec* selected = nullptr;
+    auto lookup = [&fields](const std::string& label) -> const Field* {
+        for (const Field& f : fields) {
+            if (f.label() == label) return &f;
+        }
+        return nullptr;
+    };
+    for (const MessageSpec& candidate : doc_.messages()) {
+        if (!candidate.rule) {
+            if (selected == nullptr) selected = &candidate;
+            continue;
+        }
+        const Field* field = lookup(candidate.rule->field);
+        if (field != nullptr && field->value().toText() == candidate.rule->value) {
+            selected = &candidate;
+            break;
+        }
+    }
+    if (selected == nullptr) return fail("no message rule matches");
+    if (!parseFields(selected->fields, /*mandatoryEnforced=*/true, why)) {
+        return fail("message '" + selected->type + "': " + why);
+    }
+
+    AbstractMessage message(selected->type);
+    for (Field& f : fields) message.addField(std::move(f));
+    return message;
+}
+
+Bytes XmlCodec::compose(const AbstractMessage& message) const {
+    const MessageSpec* spec = doc_.message(message.type());
+    if (spec == nullptr) {
+        throw SpecError("XmlCodec: MDL '" + doc_.protocol() + "' does not define message '" +
+                        message.type() + "'");
+    }
+    for (const std::string& label : doc_.mandatoryFields(message.type())) {
+        if (!message.value(label)) {
+            throw SpecError("XmlCodec: mandatory field '" + label + "' of message '" +
+                            message.type() + "' has no value");
+        }
+    }
+
+    xml::Node root(doc_.header().xmlRoot);
+    auto emit = [&](const std::vector<FieldSpec>& specs) {
+        for (const FieldSpec& fieldSpec : specs) {
+            if (fieldSpec.length != FieldSpec::Length::XmlPath) continue;
+            std::string text;
+            if (spec->rule && spec->rule->field == fieldSpec.label) {
+                text = spec->rule->value;
+            } else if (const auto value = message.value(fieldSpec.label)) {
+                text = value->toText();
+            } else if (fieldSpec.defaultValue) {
+                text = *fieldSpec.defaultValue;
+            } else {
+                continue;  // optional field the message does not carry
+            }
+            resolveOrCreate(root, fieldSpec.ref)->setText(text);
+        }
+    };
+    emit(doc_.header().fields);
+    emit(spec->fields);
+    return toBytes(xml::write(root));
+}
+
+}  // namespace starlink::mdl

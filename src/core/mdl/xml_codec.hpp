@@ -1,0 +1,35 @@
+// Generic XML message parser/composer -- the third MDL dialect the paper
+// names ("specialised languages for binary messages, text messages and XML
+// messages can be plugged into the framework", section IV-A).
+//
+// An xml-dialect MDL maps field labels to element paths below the document
+// root; parsing lifts each addressed element's text into a primitive field
+// (typed through <Types> like the text dialect), composing builds the
+// document back, materialising missing elements along each path. Messages
+// are selected by the usual <Rule> over parsed header fields -- for SOAP-
+// style protocols that is typically the Action header.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/mdl/marshaller.hpp"
+#include "core/mdl/spec.hpp"
+#include "core/message/abstract_message.hpp"
+
+namespace starlink::mdl {
+
+class XmlCodec {
+public:
+    XmlCodec(const MdlDocument& doc, std::shared_ptr<MarshallerRegistry> registry);
+
+    std::optional<AbstractMessage> parse(const Bytes& data, std::string* error = nullptr) const;
+    Bytes compose(const AbstractMessage& message) const;
+
+private:
+    const MdlDocument& doc_;
+    std::shared_ptr<MarshallerRegistry> registry_;
+};
+
+}  // namespace starlink::mdl

@@ -1,0 +1,82 @@
+#include "core/merge/dot_export.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace starlink::merge {
+
+using automata::ColoredAutomaton;
+using automata::State;
+using automata::Transition;
+
+namespace {
+
+// A small rotating palette; k values are mapped to fills in first-seen order.
+const char* kPalette[] = {"#cfe2f3", "#d9ead3", "#fff2cc", "#f4cccc", "#d9d2e9", "#fce5cd"};
+
+std::string fillFor(std::uint64_t k, std::map<std::uint64_t, std::string>& assigned) {
+    const auto it = assigned.find(k);
+    if (it != assigned.end()) return it->second;
+    const std::string color = kPalette[assigned.size() % std::size(kPalette)];
+    assigned.emplace(k, color);
+    return color;
+}
+
+void emitStates(std::ostringstream& out, const ColoredAutomaton& automaton,
+                std::map<std::uint64_t, std::string>& fills, const std::string& indent) {
+    for (const State* state : automaton.states()) {
+        out << indent << "\"" << state->id() << "\" [style=filled, fillcolor=\""
+            << fillFor(state->color(), fills) << "\"";
+        if (state->accepting()) out << ", shape=doublecircle";
+        if (state->id() == automaton.initialState()) out << ", penwidth=2";
+        out << "];\n";
+    }
+}
+
+void emitTransitions(std::ostringstream& out, const ColoredAutomaton& automaton,
+                     const std::string& indent) {
+    for (const Transition& t : automaton.transitions()) {
+        out << indent << "\"" << t.from << "\" -> \"" << t.to << "\" [label=\""
+            << automata::actionSymbol(t.action) << t.messageType << "\"];\n";
+    }
+}
+
+}  // namespace
+
+std::string toDot(const ColoredAutomaton& automaton) {
+    std::ostringstream out;
+    std::map<std::uint64_t, std::string> fills;
+    out << "digraph \"" << automaton.name() << "\" {\n";
+    out << "  rankdir=LR;\n  node [shape=circle];\n";
+    emitStates(out, automaton, fills, "  ");
+    emitTransitions(out, automaton, "  ");
+    out << "}\n";
+    return out.str();
+}
+
+std::string toDot(const MergedAutomaton& merged) {
+    std::ostringstream out;
+    std::map<std::uint64_t, std::string> fills;
+    out << "digraph \"" << merged.name() << "\" {\n";
+    out << "  rankdir=LR;\n  node [shape=circle];\n";
+    int cluster = 0;
+    for (const auto& component : merged.components()) {
+        out << "  subgraph cluster_" << cluster++ << " {\n";
+        out << "    label=\"" << component->name() << "\";\n";
+        emitStates(out, *component, fills, "    ");
+        emitTransitions(out, *component, "    ");
+        out << "  }\n";
+    }
+    for (const DeltaTransition& delta : merged.deltas()) {
+        out << "  \"" << delta.from << "\" -> \"" << delta.to
+            << "\" [style=dashed, label=\"delta";
+        for (const NetworkAction& action : delta.actions) {
+            out << " " << action.name << "()";
+        }
+        out << "\"];\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+}  // namespace starlink::merge

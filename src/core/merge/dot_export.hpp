@@ -1,0 +1,24 @@
+// GraphViz export of colored and merged automata.
+//
+// The paper presents its models as state diagrams (Figs 1-4, 9-10); this
+// renders the in-memory models in the same visual language: one node per
+// state, ?m / !m transition labels, one fill color per k, dashed edges for
+// delta-transitions, double circles for accepting states. Feed the output to
+// `dot -Tsvg` to regenerate the paper's figures from the executable models.
+#pragma once
+
+#include <string>
+
+#include "core/automata/colored_automaton.hpp"
+#include "core/merge/merged_automaton.hpp"
+
+namespace starlink::merge {
+
+/// One component automaton as a digraph.
+std::string toDot(const automata::ColoredAutomaton& automaton);
+
+/// A merged automaton: component clusters plus dashed delta edges annotated
+/// with their lambda actions.
+std::string toDot(const MergedAutomaton& merged);
+
+}  // namespace starlink::merge

@@ -1,0 +1,79 @@
+#include "core/merge/ontology.hpp"
+
+namespace starlink::merge {
+
+void Ontology::mapField(const std::string& messageType, const std::string& fieldPath,
+                        const std::string& conceptName, const std::string& toCanonical,
+                        const std::string& fromCanonical) {
+    mappings_[{messageType, fieldPath}] = FieldMapping{conceptName, toCanonical, fromCanonical};
+}
+
+void Ontology::declareConstant(const std::string& messageType, const std::string& fieldPath,
+                               const std::string& value) {
+    constants_[{messageType, fieldPath}] = value;
+}
+
+std::optional<Ontology::FieldMapping> Ontology::mapping(const std::string& messageType,
+                                                        const std::string& fieldPath) const {
+    const auto it = mappings_.find({messageType, fieldPath});
+    if (it == mappings_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::vector<std::pair<std::string, Ontology::FieldMapping>> Ontology::fieldsOf(
+    const std::string& messageType) const {
+    std::vector<std::pair<std::string, FieldMapping>> out;
+    for (const auto& [key, mapping] : mappings_) {
+        if (key.first == messageType) out.emplace_back(key.second, mapping);
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, std::string>> Ontology::constantsOf(
+    const std::string& messageType) const {
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const auto& [key, value] : constants_) {
+        if (key.first == messageType) out.emplace_back(key.second, value);
+    }
+    return out;
+}
+
+Ontology Ontology::discovery() {
+    Ontology ontology;
+    // Concept: service-type -- canonical form is the SLP abstract type
+    // ("service:printer").
+    ontology.mapField("SLPSrvRequest", "SRVType", "service-type");
+    ontology.mapField("DNS_Question", "QName", "service-type", "dnssd_to_slp", "slp_to_dnssd");
+    ontology.mapField("SSDP_MSearch", "ST", "service-type", "urn_to_slp", "slp_to_urn");
+
+    // Concept: service-url -- the resolved access point of the service.
+    ontology.mapField("SLPSrvReply", "URLEntry", "service-url");
+    ontology.mapField("DNS_Response", "RData", "service-url");
+    ontology.mapField("HTTP_OK", "Body", "service-url", "url_base", "device_description");
+
+    // Concept: transaction-id -- request/reply correlation.
+    ontology.mapField("SLPSrvRequest", "XID", "transaction-id");
+    ontology.mapField("SLPSrvReply", "XID", "transaction-id");
+    ontology.mapField("DNS_Question", "ID", "transaction-id");
+    ontology.mapField("DNS_Response", "ID", "transaction-id");
+
+    // Concept: service-name -- the advertised instance name, canonical in
+    // DNS-SD form.
+    ontology.mapField("DNS_Question", "QName", "service-type", "dnssd_to_slp", "slp_to_dnssd");
+    ontology.mapField("DNS_Response", "AName", "service-type", "dnssd_to_slp", "slp_to_dnssd");
+    ontology.mapField("SSDP_Resp", "ST", "service-type", "urn_to_slp", "slp_to_urn");
+
+    // WS-Discovery (xml dialect): bare service word, uuid correlation.
+    ontology.mapField("WSD_Probe", "Types", "service-type", "word_to_slp", "slp_to_word");
+    ontology.mapField("WSD_ProbeMatch", "MatchTypes", "service-type", "word_to_slp",
+                      "slp_to_word");
+    ontology.mapField("WSD_Probe", "MessageID", "transaction-id", "", "to_string");
+    ontology.mapField("WSD_ProbeMatch", "RelatesTo", "transaction-id", "", "to_string");
+    ontology.mapField("WSD_ProbeMatch", "XAddrs", "service-url");
+
+    // Protocol liveness constants for composed messages.
+    ontology.declareConstant("DNS_Response", "Flags", "33792");  // QR|AA
+    return ontology;
+}
+
+}  // namespace starlink::merge

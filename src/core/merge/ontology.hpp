@@ -1,0 +1,65 @@
+// A lightweight field ontology (paper section VII, "Ontology integration").
+//
+// "Here ontologies describing two protocols would be reasoned upon and the
+//  semantic matches would be inferred, i.e., the fields where data can be
+//  translated."
+//
+// The ontology maps protocol-specific message fields to shared CONCEPTS.
+// Each mapping may name translation functions between the field's native
+// value space and the concept's canonical space (e.g. the concept
+// service-type is canonically an SLP-style "service:printer"; the DNS QName
+// field reaches it through dnssd_to_slp and is produced from it through
+// slp_to_dnssd). The merge synthesizer matches fields by concept and chains
+// toCanonical/fromCanonical into the generated translation logic.
+//
+// Constants handle protocol liveness fields with no cross-protocol meaning
+// (e.g. the DNS Flags word of a response must read 0x8400 for any resolver
+// to accept it).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace starlink::merge {
+
+class Ontology {
+public:
+    struct FieldMapping {
+        std::string conceptName;
+        std::string toCanonical;    // translation fn: field value -> concept value ("" = identity)
+        std::string fromCanonical;  // translation fn: concept value -> field value ("" = identity)
+    };
+
+    /// Maps (messageType, fieldPath) onto a concept.
+    void mapField(const std::string& messageType, const std::string& fieldPath,
+                  const std::string& conceptName, const std::string& toCanonical = "",
+                  const std::string& fromCanonical = "");
+
+    /// Declares a protocol-mandated constant for a composed message's field.
+    void declareConstant(const std::string& messageType, const std::string& fieldPath,
+                         const std::string& value);
+
+    std::optional<FieldMapping> mapping(const std::string& messageType,
+                                        const std::string& fieldPath) const;
+
+    /// All (fieldPath, mapping) pairs of one message type.
+    std::vector<std::pair<std::string, FieldMapping>> fieldsOf(
+        const std::string& messageType) const;
+
+    /// All (fieldPath, value) constants of one message type.
+    std::vector<std::pair<std::string, std::string>> constantsOf(
+        const std::string& messageType) const;
+
+    /// The ontology for the service-discovery domain used throughout the
+    /// paper's evaluation: concepts service-type, service-url,
+    /// transaction-id and service-name over SLP, DNS/Bonjour, SSDP and HTTP.
+    static Ontology discovery();
+
+private:
+    std::map<std::pair<std::string, std::string>, FieldMapping> mappings_;
+    std::map<std::pair<std::string, std::string>, std::string> constants_;
+};
+
+}  // namespace starlink::merge

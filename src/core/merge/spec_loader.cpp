@@ -1,0 +1,194 @@
+#include "core/merge/spec_loader.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "xml/parser.hpp"
+
+namespace starlink::merge {
+
+using automata::Action;
+using automata::Color;
+using automata::ColoredAutomaton;
+using automata::ColorRegistry;
+
+namespace {
+
+std::string requireAttribute(const xml::Node& node, const std::string& key,
+                             const std::string& context) {
+    const auto value = node.attribute(key);
+    if (!value || value->empty()) {
+        throw SpecError(context + ": <" + node.name() + "> requires attribute '" + key + "'");
+    }
+    return *value;
+}
+
+FieldRef parseFieldRef(const xml::Node& node, const std::string& context) {
+    FieldRef ref;
+    // Elements (Fig 8 style) or attributes (compact style) both work.
+    if (const auto state = node.childText("State")) {
+        ref.state = trim(*state);
+    } else if (const auto state2 = node.attribute("state")) {
+        ref.state = *state2;
+    }
+    if (const auto message = node.childText("Message")) {
+        ref.messageType = trim(*message);
+    } else if (const auto message2 = node.attribute("message")) {
+        ref.messageType = *message2;
+    }
+    if (const auto xpath = node.childText("Xpath")) {
+        ref.path = xpathToFieldPath(trim(*xpath));
+    } else if (const auto xpath2 = node.attribute("xpath")) {
+        ref.path = xpathToFieldPath(*xpath2);
+    } else if (const auto path = node.childText("Path")) {
+        ref.path = trim(*path);
+    } else if (const auto path2 = node.attribute("path")) {
+        ref.path = *path2;
+    }
+    if (ref.state.empty() || ref.messageType.empty() || ref.path.empty()) {
+        throw SpecError(context + ": field reference needs state, message and a path/xpath");
+    }
+    return ref;
+}
+
+}  // namespace
+
+std::shared_ptr<ColoredAutomaton> loadAutomaton(const xml::Node& root, ColorRegistry& registry) {
+    if (root.name() != "Automaton") {
+        throw SpecError("automaton spec: root must be <Automaton>, got <" + root.name() + ">");
+    }
+    const std::string name = requireAttribute(root, "name", "automaton spec");
+    auto automaton = std::make_shared<ColoredAutomaton>(name);
+
+    const xml::Node* colorNode = root.child("Color");
+    if (colorNode == nullptr) {
+        throw SpecError("automaton '" + name + "': missing <Color>");
+    }
+    Color color;
+    for (const auto& [key, value] : colorNode->attributes()) color.set(key, value);
+
+    std::string initial;
+    for (const xml::Node* stateNode : root.childrenNamed("State")) {
+        const std::string id = requireAttribute(*stateNode, "id", "automaton '" + name + "'");
+        const bool accepting = stateNode->attribute("accepting").value_or("false") == "true";
+        automaton->addState(id, color, registry, accepting);
+        if (stateNode->attribute("initial").value_or("false") == "true") {
+            if (!initial.empty()) {
+                throw SpecError("automaton '" + name + "': two initial states");
+            }
+            initial = id;
+        }
+    }
+    if (initial.empty()) throw SpecError("automaton '" + name + "': no initial state");
+    automaton->setInitial(initial);
+
+    for (const xml::Node* transitionNode : root.childrenNamed("Transition")) {
+        const std::string context = "automaton '" + name + "'";
+        const std::string actionText = requireAttribute(*transitionNode, "action", context);
+        Action action;
+        if (actionText == "receive" || actionText == "?") {
+            action = Action::Receive;
+        } else if (actionText == "send" || actionText == "!") {
+            action = Action::Send;
+        } else {
+            throw SpecError(context + ": unknown action '" + actionText + "'");
+        }
+        automaton->addTransition(requireAttribute(*transitionNode, "from", context), action,
+                                 requireAttribute(*transitionNode, "message", context),
+                                 requireAttribute(*transitionNode, "to", context));
+    }
+    automaton->validate();
+    return automaton;
+}
+
+std::shared_ptr<ColoredAutomaton> loadAutomaton(const std::string& xmlText,
+                                                ColorRegistry& registry) {
+    const auto root = xml::parse(xmlText);
+    return loadAutomaton(*root, registry);
+}
+
+std::shared_ptr<MergedAutomaton> loadBridge(
+    const xml::Node& root, std::vector<std::shared_ptr<ColoredAutomaton>> components) {
+    if (root.name() != "Bridge") {
+        throw SpecError("bridge spec: root must be <Bridge>, got <" + root.name() + ">");
+    }
+    const std::string name = root.attribute("name").value_or("bridge");
+    auto merged = std::make_shared<MergedAutomaton>(name);
+    for (auto& component : components) merged->addComponent(std::move(component));
+    const std::string context = "bridge '" + name + "'";
+
+    const xml::Node* startNode = root.child("Start");
+    if (startNode == nullptr) throw SpecError(context + ": missing <Start>");
+    merged->setInitial(requireAttribute(*startNode, "state", context));
+
+    for (const xml::Node* acceptNode : root.childrenNamed("Accept")) {
+        merged->addAccepting(requireAttribute(*acceptNode, "state", context));
+    }
+
+    for (const xml::Node* equivalenceNode : root.childrenNamed("Equivalence")) {
+        EquivalenceDecl decl;
+        decl.lhs = requireAttribute(*equivalenceNode, "message", context);
+        for (const std::string& piece :
+             split(requireAttribute(*equivalenceNode, "of", context), ',')) {
+            const std::string rhs = trim(piece);
+            if (!rhs.empty()) decl.rhs.push_back(rhs);
+        }
+        if (decl.rhs.empty()) {
+            throw SpecError(context + ": <Equivalence message='" + decl.lhs +
+                            "'> has an empty 'of' list");
+        }
+        merged->addEquivalence(std::move(decl));
+    }
+
+    const xml::Node* logicNode = root.child("TranslationLogic");
+    if (logicNode != nullptr) {
+        for (const xml::Node* assignmentNode : logicNode->childrenNamed("Assignment")) {
+            Assignment assignment;
+            if (const auto transform = assignmentNode->attribute("transform")) {
+                assignment.transform = *transform;
+            }
+            const auto fieldNodes = assignmentNode->childrenNamed("Field");
+            if (fieldNodes.empty()) {
+                throw SpecError(context + ": <Assignment> without target <Field>");
+            }
+            assignment.target = parseFieldRef(*fieldNodes[0], context);
+            if (fieldNodes.size() >= 2) {
+                assignment.source = parseFieldRef(*fieldNodes[1], context);
+            } else if (const auto constant = assignmentNode->childText("Constant")) {
+                assignment.constant = trim(*constant);
+            } else {
+                throw SpecError(context + ": <Assignment> targeting " +
+                                assignment.target.toString() +
+                                " has neither a source <Field> nor a <Constant>");
+            }
+            merged->addAssignment(std::move(assignment));
+        }
+    }
+
+    for (const xml::Node* deltaNode : root.childrenNamed("DeltaTransition")) {
+        DeltaTransition delta;
+        delta.from = requireAttribute(*deltaNode, "from", context);
+        delta.to = requireAttribute(*deltaNode, "to", context);
+        for (const xml::Node* actionNode : deltaNode->childrenNamed("Action")) {
+            NetworkAction action;
+            action.name = requireAttribute(*actionNode, "name", context);
+            for (const xml::Node* argNode : actionNode->childrenNamed("Arg")) {
+                NetworkAction::Arg arg;
+                arg.ref = parseFieldRef(*argNode, context);
+                arg.transform = argNode->attribute("transform").value_or("");
+                action.args.push_back(std::move(arg));
+            }
+            delta.actions.push_back(std::move(action));
+        }
+        merged->addDelta(std::move(delta));
+    }
+
+    return merged;
+}
+
+std::shared_ptr<MergedAutomaton> loadBridge(
+    const std::string& xmlText, std::vector<std::shared_ptr<ColoredAutomaton>> components) {
+    const auto root = xml::parse(xmlText);
+    return loadBridge(*root, std::move(components));
+}
+
+}  // namespace starlink::merge

@@ -1,0 +1,79 @@
+// XML loaders for behaviour models: colored automata and bridge (merged
+// automaton + translation logic) specifications.
+//
+// "The Automata Engine, like the message composers and parsers, interprets a
+//  loaded runtime model... implemented to read these models from XML
+//  content." (paper section IV-B)
+//
+// Colored automaton document:
+//
+//   <Automaton name="SLP">
+//     <Color transport_protocol="udp" port="427" mode="async"
+//            multicast="yes" group="239.255.255.253"/>
+//     <State id="s10" initial="true"/>
+//     <State id="s12" accepting="true"/>
+//     <Transition from="s10" action="receive" message="SLPSrvRequest" to="s11"/>
+//   </Automaton>
+//
+// Bridge document (the Fig 8 format, extended with the state qualifier the
+// paper's formal model uses and the delta-transitions of Fig 5 lines 10-12):
+//
+//   <Bridge name="slp-to-bonjour">
+//     <Start state="s10"/>
+//     <Accept state="s12"/>
+//     <Equivalence message="DNS_Question" of="SLPSrvRequest"/>
+//     <TranslationLogic>
+//       <Assignment transform="slp_to_dnssd">
+//         <Field>                                     <!-- target first -->
+//           <State>s40</State><Message>DNS_Question</Message>
+//           <Xpath>/field/primitiveField[label='QName']/value</Xpath>
+//         </Field>
+//         <Field>                                     <!-- then source -->
+//           <State>s11</State><Message>SLPSrvRequest</Message>
+//           <Xpath>/field/primitiveField[label='SRVType']/value</Xpath>
+//         </Field>
+//       </Assignment>
+//       <Assignment>                                  <!-- constant source -->
+//         <Field>...</Field>
+//         <Constant>0</Constant>
+//       </Assignment>
+//     </TranslationLogic>
+//     <DeltaTransition from="s11" to="s40"/>
+//     <DeltaTransition from="s22" to="s30">
+//       <Action name="set_host">
+//         <Arg state="s22" message="SSDP_Resp" path="LOCATION" transform="url_host"/>
+//         <Arg state="s22" message="SSDP_Resp" path="LOCATION" transform="url_port"/>
+//       </Action>
+//     </DeltaTransition>
+//   </Bridge>
+//
+// Field addresses accept either <Xpath> (the Fig 8 form, compiled down) or
+// <Path> with a dotted field path.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/automata/colored_automaton.hpp"
+#include "core/merge/merged_automaton.hpp"
+#include "xml/dom.hpp"
+
+namespace starlink::merge {
+
+/// Parses a colored automaton document. Colors register through `registry`
+/// so all automata of one deployment share the hash function f.
+std::shared_ptr<automata::ColoredAutomaton> loadAutomaton(const xml::Node& root,
+                                                          automata::ColorRegistry& registry);
+std::shared_ptr<automata::ColoredAutomaton> loadAutomaton(const std::string& xmlText,
+                                                          automata::ColorRegistry& registry);
+
+/// Parses a bridge document over already-loaded component automata.
+/// Validation (merge constraints) is NOT run here -- callers decide when.
+std::shared_ptr<MergedAutomaton> loadBridge(
+    const xml::Node& root,
+    std::vector<std::shared_ptr<automata::ColoredAutomaton>> components);
+std::shared_ptr<MergedAutomaton> loadBridge(
+    const std::string& xmlText,
+    std::vector<std::shared_ptr<automata::ColoredAutomaton>> components);
+
+}  // namespace starlink::merge

@@ -1,0 +1,111 @@
+#include "core/merge/spec_writer.hpp"
+
+#include "common/error.hpp"
+#include "xml/dom.hpp"
+#include "xml/writer.hpp"
+
+namespace starlink::merge {
+
+using automata::ColoredAutomaton;
+using automata::State;
+using automata::Transition;
+
+std::string writeAutomaton(const ColoredAutomaton& automaton,
+                           const automata::ColorRegistry& registry) {
+    xml::Node root("Automaton");
+    root.setAttribute("name", automaton.name());
+
+    const automata::Color* color = registry.lookup(automaton.color());
+    if (color == nullptr) {
+        throw SpecError("writeAutomaton: color of '" + automaton.name() +
+                        "' is not in the registry");
+    }
+    xml::Node& colorNode = root.appendChild("Color");
+    for (const auto& [key, value] : color->entries()) {
+        colorNode.setAttribute(key, value);
+    }
+
+    for (const State* state : automaton.states()) {
+        xml::Node& stateNode = root.appendChild("State");
+        stateNode.setAttribute("id", state->id());
+        if (state->id() == automaton.initialState()) stateNode.setAttribute("initial", "true");
+        if (state->accepting()) stateNode.setAttribute("accepting", "true");
+    }
+    for (const Transition& t : automaton.transitions()) {
+        xml::Node& transitionNode = root.appendChild("Transition");
+        transitionNode.setAttribute("from", t.from);
+        transitionNode.setAttribute("action",
+                                    t.action == automata::Action::Send ? "send" : "receive");
+        transitionNode.setAttribute("message", t.messageType);
+        transitionNode.setAttribute("to", t.to);
+    }
+    return xml::write(root);
+}
+
+namespace {
+
+void writeFieldRef(xml::Node& parent, const FieldRef& ref) {
+    xml::Node& field = parent.appendChild("Field");
+    field.setAttribute("state", ref.state);
+    field.setAttribute("message", ref.messageType);
+    field.setAttribute("path", ref.path);
+}
+
+}  // namespace
+
+std::string writeBridge(const MergedAutomaton& merged) {
+    xml::Node root("Bridge");
+    root.setAttribute("name", merged.name());
+
+    root.appendChild("Start").setAttribute("state", merged.initialState());
+    for (const std::string& accepting : merged.acceptingStates()) {
+        root.appendChild("Accept").setAttribute("state", accepting);
+    }
+
+    for (const EquivalenceDecl& equivalence : merged.equivalences()) {
+        xml::Node& node = root.appendChild("Equivalence");
+        node.setAttribute("message", equivalence.lhs);
+        std::string of;
+        for (std::size_t i = 0; i < equivalence.rhs.size(); ++i) {
+            if (i > 0) of += ",";
+            of += equivalence.rhs[i];
+        }
+        node.setAttribute("of", of);
+    }
+
+    if (!merged.assignments().empty()) {
+        xml::Node& logic = root.appendChild("TranslationLogic");
+        for (const Assignment& assignment : merged.assignments()) {
+            xml::Node& node = logic.appendChild("Assignment");
+            if (!assignment.transform.empty()) {
+                node.setAttribute("transform", assignment.transform);
+            }
+            writeFieldRef(node, assignment.target);
+            if (assignment.source) {
+                writeFieldRef(node, *assignment.source);
+            } else {
+                node.appendChild("Constant").setText(assignment.constant.value_or(""));
+            }
+        }
+    }
+
+    for (const DeltaTransition& delta : merged.deltas()) {
+        xml::Node& node = root.appendChild("DeltaTransition");
+        node.setAttribute("from", delta.from);
+        node.setAttribute("to", delta.to);
+        for (const NetworkAction& action : delta.actions) {
+            xml::Node& actionNode = node.appendChild("Action");
+            actionNode.setAttribute("name", action.name);
+            for (const NetworkAction::Arg& arg : action.args) {
+                xml::Node& argNode = actionNode.appendChild("Arg");
+                argNode.setAttribute("state", arg.ref.state);
+                argNode.setAttribute("message", arg.ref.messageType);
+                argNode.setAttribute("path", arg.ref.path);
+                if (!arg.transform.empty()) argNode.setAttribute("transform", arg.transform);
+            }
+        }
+    }
+    return xml::write(root);
+}
+
+}  // namespace starlink::merge

@@ -1,0 +1,32 @@
+// XML serialization of behaviour models -- the inverse of spec_loader.hpp.
+//
+// Closes the loop for generated models: a colored automaton learned from
+// traffic (automata::BehaviourLearner) or a merged automaton produced by the
+// synthesizer (merge::synthesizeMerge) can be written out in exactly the
+// document formats the loaders accept, stored, distributed, and redeployed
+// -- the "fully generateable at runtime" requirement of the paper's
+// section II-E made durable.
+//
+// Round-trip guarantee (tested): loadAutomaton(writeAutomaton(a)) is
+// structurally identical to a, and loadBridge(writeBridge(m), components)
+// revalidates and deploys.
+#pragma once
+
+#include <string>
+
+#include "core/automata/colored_automaton.hpp"
+#include "core/merge/merged_automaton.hpp"
+
+namespace starlink::merge {
+
+/// Serializes one colored automaton into the <Automaton> document format.
+/// `registry` resolves the automaton's k back to its color descriptor.
+std::string writeAutomaton(const automata::ColoredAutomaton& automaton,
+                           const automata::ColorRegistry& registry);
+
+/// Serializes a merged automaton's bridge specification (<Bridge> document:
+/// start/accept states, equivalences, translation logic, delta-transitions).
+/// Component automata are written separately with writeAutomaton().
+std::string writeBridge(const MergedAutomaton& merged);
+
+}  // namespace starlink::merge

@@ -1,0 +1,208 @@
+#include "core/merge/synthesizer.hpp"
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace starlink::merge {
+
+using automata::Action;
+using automata::ColoredAutomaton;
+using automata::Transition;
+
+namespace {
+
+/// Follows the unique outgoing transition from state to state; throws when a
+/// state branches (the synthesizer only reasons about linear chains).
+std::vector<const Transition*> linearPath(const ColoredAutomaton& automaton) {
+    std::vector<const Transition*> path;
+    std::string current = automaton.initialState();
+    std::set<std::string> visited;
+    while (visited.insert(current).second) {
+        const auto outgoing = automaton.transitionsFrom(current);
+        if (outgoing.empty()) break;
+        if (outgoing.size() > 1) {
+            throw SpecError("merge synthesis: automaton '" + automaton.name() + "' branches at '" +
+                            current + "'; only linear request/response chains are synthesizable");
+        }
+        path.push_back(outgoing[0]);
+        current = outgoing[0]->to;
+    }
+    return path;
+}
+
+/// A message instance available as an assignment source at some point of the
+/// merged execution.
+struct Source {
+    std::string state;        // where the instance is stored
+    std::string messageType;
+};
+
+std::string compositeTransform(const std::string& toCanonical, const std::string& fromCanonical,
+                               TranslationRegistry& registry) {
+    if (toCanonical.empty()) return fromCanonical;
+    if (fromCanonical.empty()) return toCanonical;
+    const std::string name = "ont:" + toCanonical + "+" + fromCanonical;
+    if (!registry.contains(name)) {
+        // The registry outlives its own entries; a raw pointer avoids an
+        // ownership cycle through the stored lambda.
+        TranslationRegistry* reg = &registry;
+        registry.add(name, [reg, toCanonical, fromCanonical](
+                               const Value& value) -> std::optional<Value> {
+            const auto canonical = reg->apply(toCanonical, value);
+            if (!canonical) return std::nullopt;
+            return reg->apply(fromCanonical, *canonical);
+        });
+    }
+    return name;
+}
+
+}  // namespace
+
+SynthesisResult synthesizeMerge(const SynthesisInput& input) {
+    if (!input.servedAutomaton || !input.queriedAutomaton || input.servedMdl == nullptr ||
+        input.queriedMdl == nullptr || input.ontology == nullptr || !input.translations) {
+        throw SpecError("merge synthesis: incomplete input");
+    }
+    const ColoredAutomaton& served = *input.servedAutomaton;
+    const ColoredAutomaton& queried = *input.queriedAutomaton;
+    const Ontology& ontology = *input.ontology;
+
+    const auto servedPath = linearPath(served);
+    const auto queriedPath = linearPath(queried);
+    if (servedPath.empty() || servedPath.front()->action != Action::Receive) {
+        throw SpecError("merge synthesis: served automaton '" + served.name() +
+                        "' must open with a receive (server role)");
+    }
+    if (queriedPath.empty() || queriedPath.front()->action != Action::Send) {
+        throw SpecError("merge synthesis: queried automaton '" + queried.name() +
+                        "' must open with a send (client role)");
+    }
+
+    // Merged execution order: served prefix through its first receive, the
+    // whole queried conversation, then the served remainder.
+    std::size_t servedSplit = 0;
+    while (servedSplit < servedPath.size() &&
+           servedPath[servedSplit]->action != Action::Receive) {
+        ++servedSplit;
+    }
+    ++servedSplit;  // include the first receive itself
+    struct Step {
+        const Transition* transition;
+        const mdl::MdlDocument* mdl;
+    };
+    std::vector<Step> order;
+    for (std::size_t i = 0; i < servedSplit; ++i) order.push_back({servedPath[i], input.servedMdl});
+    for (const Transition* t : queriedPath) order.push_back({t, input.queriedMdl});
+    for (std::size_t i = servedSplit; i < servedPath.size(); ++i) {
+        order.push_back({servedPath[i], input.servedMdl});
+    }
+
+    auto merged = std::make_shared<MergedAutomaton>("synth:" + served.name() + "-to-" +
+                                                    queried.name());
+    merged->addComponent(input.servedAutomaton);
+    merged->addComponent(input.queriedAutomaton);
+    merged->setInitial(served.initialState());
+    for (const std::string& accepting : served.acceptingStates()) {
+        merged->addAccepting(accepting);
+    }
+
+    SynthesisResult result;
+    std::vector<Source> sources;
+    for (const Step& step : order) {
+        const Transition& transition = *step.transition;
+        if (transition.action == Action::Receive) {
+            // The engine stores received instances at the entered state.
+            sources.push_back({transition.to, transition.messageType});
+            continue;
+        }
+
+        // A send: infer the full assignment set for the composed message.
+        std::set<std::string> witnessTypes;
+        for (const std::string& field : step.mdl->mandatoryFields(transition.messageType)) {
+            const auto targetMapping = ontology.mapping(transition.messageType, field);
+            if (!targetMapping) {
+                throw SpecError("merge synthesis: mandatory field " + transition.messageType +
+                                "." + field + " has no ontology concept");
+            }
+            // Most recent matching source wins.
+            bool matched = false;
+            for (auto it = sources.rbegin(); it != sources.rend() && !matched; ++it) {
+                // Look field-by-field: any field of the source message with
+                // the same concept qualifies.
+                for (const auto& [sourceField, mapping] :
+                     ontology.fieldsOf(it->messageType)) {
+                    if (mapping.conceptName != targetMapping->conceptName) continue;
+                    Assignment assignment;
+                    assignment.target =
+                        FieldRef{transition.from, transition.messageType, field};
+                    assignment.source = FieldRef{it->state, it->messageType, sourceField};
+                    assignment.transform = compositeTransform(
+                        mapping.toCanonical, targetMapping->fromCanonical,
+                        *input.translations);
+                    merged->addAssignment(assignment);
+                    witnessTypes.insert(it->messageType);
+                    result.report.push_back(
+                        transition.messageType + "." + field + " <= " + it->messageType + "." +
+                        sourceField + " via concept " + targetMapping->conceptName +
+                        (assignment.transform.empty() ? "" : " (" + assignment.transform + ")"));
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched) {
+                throw SpecError("merge synthesis: no received message provides concept '" +
+                                targetMapping->conceptName + "' for mandatory field " +
+                                transition.messageType + "." + field);
+            }
+        }
+        for (const auto& [field, value] : ontology.constantsOf(transition.messageType)) {
+            Assignment assignment;
+            assignment.target = FieldRef{transition.from, transition.messageType, field};
+            assignment.constant = value;
+            merged->addAssignment(assignment);
+            result.report.push_back(transition.messageType + "." + field + " <= constant '" +
+                                    value + "'");
+        }
+
+        EquivalenceDecl equivalence;
+        equivalence.lhs = transition.messageType;
+        if (witnessTypes.empty() && !sources.empty()) {
+            witnessTypes.insert(sources.back().messageType);
+        }
+        equivalence.rhs.assign(witnessTypes.begin(), witnessTypes.end());
+        if (!equivalence.rhs.empty()) merged->addEquivalence(std::move(equivalence));
+    }
+
+    // Delta-transitions: forms (i) and (ii) of the merge constraints.
+    const std::string servedAfterReceive = servedPath[servedSplit - 1]->to;
+    merged->addDelta(DeltaTransition{servedAfterReceive, queried.initialState(), {}});
+    result.report.push_back("delta " + servedAfterReceive + " -> " + queried.initialState() +
+                            " (form i: enter queried protocol)");
+
+    const std::string queriedFinal = queriedPath.back()->to;
+    // Return to the state owning the served protocol's next send.
+    std::string servedReplyState;
+    for (std::size_t i = servedSplit; i < servedPath.size(); ++i) {
+        if (servedPath[i]->action == Action::Send) {
+            servedReplyState = servedPath[i]->from;
+            break;
+        }
+    }
+    if (servedReplyState.empty()) {
+        throw SpecError("merge synthesis: served automaton '" + served.name() +
+                        "' never replies after its first receive");
+    }
+    merged->addDelta(DeltaTransition{queriedFinal, servedReplyState, {}});
+    result.report.push_back("delta " + queriedFinal + " -> " + servedReplyState +
+                            " (form ii: return with the response)");
+
+    merged->validate();
+    STARLINK_LOG(Info, "synthesizer") << "generated merge '" << merged->name() << "' with "
+                                      << merged->assignments().size() << " assignments";
+    result.merged = std::move(merged);
+    return result;
+}
+
+}  // namespace starlink::merge

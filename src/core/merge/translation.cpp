@@ -1,0 +1,271 @@
+#include "core/merge/translation.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "xml/xpath.hpp"
+
+namespace starlink::merge {
+
+namespace {
+
+// --- URL helpers -----------------------------------------------------------
+// Parses "scheme://host:port/path"; port defaults by scheme, path to "/".
+struct ParsedUrl {
+    std::string scheme;
+    std::string host;
+    int port = 0;
+    std::string path;
+};
+
+std::optional<ParsedUrl> parseUrl(const std::string& text) {
+    ParsedUrl url;
+    const std::size_t schemeEnd = text.find("://");
+    std::size_t rest = 0;
+    if (schemeEnd != std::string::npos) {
+        url.scheme = text.substr(0, schemeEnd);
+        rest = schemeEnd + 3;
+    }
+    const std::size_t pathStart = text.find('/', rest);
+    const std::string authority =
+        pathStart == std::string::npos ? text.substr(rest) : text.substr(rest, pathStart - rest);
+    url.path = pathStart == std::string::npos ? "/" : text.substr(pathStart);
+    const auto hostPort = splitFirst(authority, ':');
+    if (hostPort) {
+        url.host = hostPort->first;
+        const auto port = parseInt(hostPort->second);
+        if (!port || *port < 0 || *port > 65535) return std::nullopt;
+        url.port = static_cast<int>(*port);
+    } else {
+        url.host = authority;
+        url.port = url.scheme == "https" ? 443 : 80;
+    }
+    if (url.host.empty()) return std::nullopt;
+    return url;
+}
+
+std::optional<std::string> asText(const Value& v) {
+    const auto coerced = v.coerceTo(ValueType::String);
+    if (!coerced) return std::nullopt;
+    return coerced->asString();
+}
+
+// --- service-name conversions ------------------------------------------------
+// SLP service types look like "service:printer"; DNS-SD instance types like
+// "_printer._tcp.local"; UPnP search targets like
+// "urn:schemas-upnp-org:service:printer:1". These translation functions move
+// the protocol-independent service word between the three conventions.
+
+std::optional<Value> slpToDnssd(const Value& v) {
+    const auto text = asText(v);
+    if (!text) return std::nullopt;
+    std::string name = *text;
+    if (startsWith(name, "service:")) name = name.substr(8);
+    // Nested SLP types ("service:printer:lpr") keep only the abstract type.
+    name = split(name, ':')[0];
+    if (name.empty()) return std::nullopt;
+    return Value::ofString("_" + name + "._tcp.local");
+}
+
+std::optional<Value> dnssdToSlp(const Value& v) {
+    const auto text = asText(v);
+    if (!text) return std::nullopt;
+    std::string name = *text;
+    if (!startsWith(name, "_")) return std::nullopt;
+    name = name.substr(1);
+    const std::size_t dot = name.find("._");
+    if (dot != std::string::npos) name = name.substr(0, dot);
+    if (name.empty()) return std::nullopt;
+    return Value::ofString("service:" + name);
+}
+
+std::optional<Value> slpToUrn(const Value& v) {
+    const auto text = asText(v);
+    if (!text) return std::nullopt;
+    std::string name = *text;
+    if (startsWith(name, "service:")) name = name.substr(8);
+    name = split(name, ':')[0];
+    if (name.empty()) return std::nullopt;
+    return Value::ofString("urn:schemas-upnp-org:service:" + name + ":1");
+}
+
+std::optional<Value> urnToSlp(const Value& v) {
+    const auto text = asText(v);
+    if (!text) return std::nullopt;
+    const std::vector<std::string> pieces = split(*text, ':');
+    // urn:schemas-upnp-org:service:printer:1
+    if (pieces.size() < 4 || pieces[0] != "urn" || pieces[2] != "service") return std::nullopt;
+    return Value::ofString("service:" + pieces[3]);
+}
+
+// WS-Discovery carries the bare service word ("printer").
+std::optional<Value> slpToWord(const Value& v) {
+    const auto text = asText(v);
+    if (!text) return std::nullopt;
+    std::string name = *text;
+    if (startsWith(name, "service:")) name = name.substr(8);
+    name = split(name, ':')[0];
+    if (name.empty()) return std::nullopt;
+    return Value::ofString(name);
+}
+
+std::optional<Value> wordToSlp(const Value& v) {
+    const auto text = asText(v);
+    if (!text || text->empty()) return std::nullopt;
+    if (startsWith(*text, "service:")) return Value::ofString(*text);
+    return Value::ofString("service:" + *text);
+}
+
+std::optional<Value> dnssdToUrn(const Value& v) {
+    const auto slp = dnssdToSlp(v);
+    if (!slp) return std::nullopt;
+    return slpToUrn(*slp);
+}
+
+std::optional<Value> urnToDnssd(const Value& v) {
+    const auto slp = urnToSlp(v);
+    if (!slp) return std::nullopt;
+    return slpToDnssd(*slp);
+}
+
+// --- misc --------------------------------------------------------------------
+
+/// Extracts the content of the <URLBase> element from a UPnP device
+/// description body; this is the paper's HTTP_OK.URL_BASE source field.
+std::optional<Value> urlBase(const Value& v) {
+    const auto text = asText(v);
+    if (!text) return std::nullopt;
+    const std::size_t open = text->find("<URLBase>");
+    if (open == std::string::npos) return std::nullopt;
+    const std::size_t start = open + 9;
+    const std::size_t close = text->find("</URLBase>", start);
+    if (close == std::string::npos) return std::nullopt;
+    return Value::ofString(trim(text->substr(start, close - start)));
+}
+
+}  // namespace
+
+std::shared_ptr<TranslationRegistry> TranslationRegistry::withDefaults() {
+    auto registry = std::make_shared<TranslationRegistry>();
+    registry->add("identity", [](const Value& v) -> std::optional<Value> { return v; });
+    registry->add("to_string", [](const Value& v) { return v.coerceTo(ValueType::String); });
+    registry->add("to_int", [](const Value& v) { return v.coerceTo(ValueType::Int); });
+    registry->add("trim", [](const Value& v) -> std::optional<Value> {
+        const auto text = asText(v);
+        if (!text) return std::nullopt;
+        return Value::ofString(trim(*text));
+    });
+    registry->add("lowercase", [](const Value& v) -> std::optional<Value> {
+        const auto text = asText(v);
+        if (!text) return std::nullopt;
+        return Value::ofString(toLower(*text));
+    });
+    registry->add("url_host", [](const Value& v) -> std::optional<Value> {
+        const auto text = asText(v);
+        if (!text) return std::nullopt;
+        const auto url = parseUrl(*text);
+        if (!url) return std::nullopt;
+        return Value::ofString(url->host);
+    });
+    registry->add("url_port", [](const Value& v) -> std::optional<Value> {
+        const auto text = asText(v);
+        if (!text) return std::nullopt;
+        const auto url = parseUrl(*text);
+        if (!url) return std::nullopt;
+        return Value::ofInt(url->port);
+    });
+    registry->add("url_path", [](const Value& v) -> std::optional<Value> {
+        const auto text = asText(v);
+        if (!text) return std::nullopt;
+        const auto url = parseUrl(*text);
+        if (!url) return std::nullopt;
+        return Value::ofString(url->path);
+    });
+    registry->add("url_base", urlBase);
+    // Wraps a plain service URL into a minimal UPnP device description whose
+    // URLBase carries it -- the inverse of url_base, used when the bridge
+    // impersonates a UPnP device in front of an SLP/Bonjour service.
+    registry->add("device_description", [](const Value& v) -> std::optional<Value> {
+        const auto text = asText(v);
+        if (!text) return std::nullopt;
+        return Value::ofString(
+            "<root xmlns=\"urn:schemas-upnp-org:device-1-0\"><device>"
+            "<friendlyName>Starlink bridged service</friendlyName>"
+            "<URLBase>" + *text + "</URLBase>"
+            "</device></root>");
+    });
+    // Derives a unique service name (USN) from a search target, as UPnP
+    // devices do when answering M-SEARCH.
+    registry->add("usn_from_st", [](const Value& v) -> std::optional<Value> {
+        const auto text = asText(v);
+        if (!text) return std::nullopt;
+        return Value::ofString("uuid:starlink-bridge::" + *text);
+    });
+    registry->add("slp_to_dnssd", slpToDnssd);
+    registry->add("dnssd_to_slp", dnssdToSlp);
+    registry->add("slp_to_urn", slpToUrn);
+    registry->add("urn_to_slp", urnToSlp);
+    registry->add("dnssd_to_urn", dnssdToUrn);
+    registry->add("urn_to_dnssd", urnToDnssd);
+    registry->add("slp_to_word", slpToWord);
+    registry->add("word_to_slp", wordToSlp);
+    return registry;
+}
+
+void TranslationRegistry::add(const std::string& name, Fn fn) { table_[name] = std::move(fn); }
+
+std::optional<Value> TranslationRegistry::apply(const std::string& name,
+                                                const Value& input) const {
+    const auto it = table_.find(name);
+    if (it == table_.end()) return std::nullopt;
+    return it->second(input);
+}
+
+std::vector<std::string> TranslationRegistry::names() const {
+    std::vector<std::string> out;
+    out.reserve(table_.size());
+    for (const auto& [name, fn] : table_) out.push_back(name);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// XPath <-> dotted path
+
+std::string xpathToFieldPath(const std::string& xpath) {
+    const xml::Path compiled = xml::Path::compile(xpath);
+    const auto& steps = compiled.steps();
+    if (steps.size() < 3 || steps.front().name != "field" || steps.back().name != "value") {
+        throw SpecError("bridge spec: xpath '" + xpath +
+                        "' does not follow /field/.../value over the abstract-message schema");
+    }
+    std::vector<std::string> pieces;
+    for (std::size_t i = 1; i + 1 < steps.size(); ++i) {
+        const xml::Step& step = steps[i];
+        const bool isField = step.name == "primitiveField" || step.name == "structuredField";
+        if (!isField || step.predicate != xml::Step::PredicateKind::ChildText ||
+            step.predicateName != "label") {
+            throw SpecError("bridge spec: xpath step in '" + xpath +
+                            "' must be primitiveField[label='..'] or structuredField[label='..']");
+        }
+        if (step.name == "primitiveField" && i + 2 != steps.size()) {
+            throw SpecError("bridge spec: primitiveField must be the last field step in '" +
+                            xpath + "'");
+        }
+        pieces.push_back(step.predicateValue);
+    }
+    return join(pieces, ".");
+}
+
+std::string fieldPathToXpath(const std::string& dottedPath) {
+    const std::vector<std::string> pieces = split(dottedPath, '.');
+    std::string out = "/field";
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+        const bool last = i + 1 == pieces.size();
+        out += last ? "/primitiveField[label='" : "/structuredField[label='";
+        out += pieces[i];
+        out += "']";
+    }
+    out += "/value";
+    return out;
+}
+
+}  // namespace starlink::merge

@@ -1,0 +1,97 @@
+// Translation logic (paper section III-D).
+//
+// The two operators of the translation language:
+//
+//   (5)  s1i.m1.fielda = s2j.m2.fieldb          -- direct assignment
+//   (6)  s1i.m1.fielda = T(s2j.m2.fieldb)       -- assignment through a
+//                                                  translation function
+//
+// A FieldRef names one side: the automaton state whose queue holds the
+// message instance, the message type, and the field inside it. Fields are
+// addressed with dotted paths internally; bridge-spec XML uses the XPath
+// form of Fig 8, which the loader compiles down to dotted paths.
+//
+// Translation functions T are pluggable, mirroring the MDL marshaller
+// mechanism: a registry maps names to Value -> optional<Value> functions, and
+// deployments can register domain-specific ones at runtime.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/message/value.hpp"
+
+namespace starlink::merge {
+
+/// One side of an assignment: state s, message type m, field path f -- the
+/// paper's s.m.f selection.
+struct FieldRef {
+    std::string state;        // e.g. "s11"
+    std::string messageType;  // e.g. "SLPSrvRequest"
+    std::string path;         // dotted field path, e.g. "SRVType" or "URL.port"
+
+    std::string toString() const { return state + "." + messageType + "." + path; }
+};
+
+/// s_target.m.f = T(source) | T(constant).
+struct Assignment {
+    FieldRef target;
+
+    /// Exactly one of `source` / `constant` is set.
+    std::optional<FieldRef> source;
+    std::optional<std::string> constant;
+
+    /// Name of the translation function T; empty = direct assignment (5).
+    std::string transform;
+};
+
+/// A lambda network action attached to a delta-transition (paper: the
+/// set_host keyword operator of Fig 5 line 11). Arguments are field
+/// references, each optionally passed through a translation function first.
+struct NetworkAction {
+    struct Arg {
+        FieldRef ref;
+        std::string transform;  // optional T applied to the argument
+    };
+    std::string name;  // e.g. "set_host"
+    std::vector<Arg> args;
+};
+
+/// Registry of translation functions T. Starts with the built-ins listed in
+/// translation.cpp (identity, url parsing, SLP<->URN<->DNS-SD service-name
+/// conversions, case folding); register() extends it at runtime.
+class TranslationRegistry {
+public:
+    using Fn = std::function<std::optional<Value>(const Value&)>;
+
+    static std::shared_ptr<TranslationRegistry> withDefaults();
+
+    void add(const std::string& name, Fn fn);
+    bool contains(const std::string& name) const { return table_.contains(name); }
+
+    /// Applies T `name` to `input`. nullopt when the function is unknown or
+    /// rejects the input.
+    std::optional<Value> apply(const std::string& name, const Value& input) const;
+
+    std::vector<std::string> names() const;
+
+private:
+    std::map<std::string, Fn> table_;
+};
+
+/// Compiles the Fig 8 XPath form into a dotted field path:
+///   /field/primitiveField[label='ST']/value                    -> "ST"
+///   /field/structuredField[label='URL']/primitiveField[label='port']/value
+///                                                              -> "URL.port"
+/// Throws SpecError when the expression does not follow the abstract-message
+/// schema shape.
+std::string xpathToFieldPath(const std::string& xpath);
+
+/// The inverse (for diagnostics and spec round-trips).
+std::string fieldPathToXpath(const std::string& dottedPath);
+
+}  // namespace starlink::merge

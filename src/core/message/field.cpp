@@ -1,0 +1,46 @@
+#include "core/message/field.hpp"
+
+namespace starlink {
+
+Field Field::primitive(std::string label, std::string typeName, Value value,
+                       std::optional<int> lengthBits) {
+    Field f;
+    f.kind_ = Kind::Primitive;
+    f.label_ = std::move(label);
+    f.typeName_ = std::move(typeName);
+    f.value_ = std::move(value);
+    f.lengthBits_ = lengthBits;
+    return f;
+}
+
+Field Field::structured(std::string label, std::vector<Field> children) {
+    Field f;
+    f.kind_ = Kind::Structured;
+    f.label_ = std::move(label);
+    f.children_ = std::move(children);
+    return f;
+}
+
+const Field* Field::child(std::string_view label) const {
+    for (const Field& c : children_) {
+        if (c.label() == label) return &c;
+    }
+    return nullptr;
+}
+
+Field* Field::child(std::string_view label) {
+    for (Field& c : children_) {
+        if (c.label() == label) return &c;
+    }
+    return nullptr;
+}
+
+bool Field::operator==(const Field& other) const {
+    if (kind_ != other.kind_ || label_ != other.label_) return false;
+    if (kind_ == Kind::Primitive) {
+        return typeName_ == other.typeName_ && value_ == other.value_;
+    }
+    return children_ == other.children_;
+}
+
+}  // namespace starlink

@@ -1,0 +1,68 @@
+// Typed field content for abstract messages (paper section III-A).
+//
+// A Value is what a primitive field carries between a generic parser and a
+// generic composer. The type set covers what discovery/middleware protocol
+// fields need: integers (all wire widths normalise to Int), text, raw bytes,
+// booleans and doubles. Everything is convertible to/from a canonical text
+// form because translation logic and the XML projection move content as text.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "common/bytes.hpp"
+
+namespace starlink {
+
+enum class ValueType { Empty, Int, String, Bytes, Bool, Double };
+
+const char* valueTypeName(ValueType type);
+std::optional<ValueType> valueTypeFromName(std::string_view name);
+
+class Value {
+public:
+    Value() = default;
+    explicit Value(std::int64_t v) : data_(v) {}
+    explicit Value(std::string v) : data_(std::move(v)) {}
+    explicit Value(Bytes v) : data_(std::move(v)) {}
+    explicit Value(bool v) : data_(v) {}
+    explicit Value(double v) : data_(v) {}
+
+    static Value ofInt(std::int64_t v) { return Value(v); }
+    static Value ofString(std::string v) { return Value(std::move(v)); }
+    static Value ofBytes(Bytes v) { return Value(std::move(v)); }
+    static Value ofBool(bool v) { return Value(v); }
+    static Value ofDouble(double v) { return Value(v); }
+
+    ValueType type() const;
+    bool isEmpty() const { return type() == ValueType::Empty; }
+
+    // Exact accessors: nullopt when the stored type differs.
+    std::optional<std::int64_t> asInt() const;
+    std::optional<std::string> asString() const;
+    std::optional<Bytes> asBytes() const;
+    std::optional<bool> asBool() const;
+    std::optional<double> asDouble() const;
+
+    /// Canonical text form: Int -> decimal, Bytes -> hex, Bool -> true/false,
+    /// Double -> shortest round-trippable, Empty -> "".
+    std::string toText() const;
+
+    /// Parses the canonical text form back into a Value of the given type;
+    /// nullopt when the text does not fit the type.
+    static std::optional<Value> fromText(ValueType type, std::string_view text);
+
+    /// Coerces this value to another type where a natural conversion exists
+    /// (Int<->String decimal, String<->Bytes verbatim, Int<->Bool, ...).
+    /// nullopt when no lossless-ish conversion applies.
+    std::optional<Value> coerceTo(ValueType target) const;
+
+    bool operator==(const Value& other) const { return data_ == other.data_; }
+
+private:
+    std::variant<std::monostate, std::int64_t, std::string, Bytes, bool, double> data_;
+};
+
+}  // namespace starlink

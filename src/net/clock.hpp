@@ -1,0 +1,36 @@
+// Virtual time.
+//
+// Every latency in the reproduction -- network propagation, legacy-stack
+// processing windows, SLP's multi-second accumulation behaviour -- advances a
+// virtual clock instead of sleeping. Benchmarks therefore report
+// paper-comparable millisecond figures while running in microseconds of wall
+// time, and test runs are fully deterministic (DESIGN.md section 5).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace starlink::net {
+
+using Duration = std::chrono::microseconds;
+using TimePoint = std::chrono::time_point<std::chrono::steady_clock, Duration>;
+
+inline Duration ms(std::int64_t v) { return std::chrono::duration_cast<Duration>(std::chrono::milliseconds(v)); }
+inline Duration us(std::int64_t v) { return Duration(v); }
+
+/// Monotonic simulated clock, starting at t=0. Only the EventScheduler
+/// advances it.
+class VirtualClock {
+public:
+    TimePoint now() const { return now_; }
+
+    /// Advances monotonically; going backwards is a logic error and is ignored.
+    void advanceTo(TimePoint t) {
+        if (t > now_) now_ = t;
+    }
+
+private:
+    TimePoint now_{};
+};
+
+}  // namespace starlink::net

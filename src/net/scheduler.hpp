@@ -1,0 +1,59 @@
+// Discrete-event scheduler driving the simulated network.
+//
+// All network deliveries, protocol timers and legacy-stack processing delays
+// are events. Execution is single-threaded: callbacks run inside run*() in
+// strict (time, insertion) order, which makes every interleaving
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "net/clock.hpp"
+
+namespace starlink::net {
+
+using EventId = std::uint64_t;
+
+class EventScheduler {
+public:
+    explicit EventScheduler(VirtualClock& clock) : clock_(clock) {}
+
+    /// Schedules `fn` to run `delay` after the current virtual time.
+    EventId schedule(Duration delay, std::function<void()> fn);
+
+    /// Schedules at an absolute virtual time (clamped to now if in the past).
+    EventId scheduleAt(TimePoint when, std::function<void()> fn);
+
+    /// Cancels a pending event; returns false if it already ran or is unknown.
+    bool cancel(EventId id);
+
+    /// Runs events until the queue drains. `maxEvents` guards against
+    /// accidental infinite event loops in tests.
+    void runUntilIdle(std::size_t maxEvents = 1'000'000);
+
+    /// Runs all events with time <= now + window, then advances the clock to
+    /// exactly now + window (even if idle earlier).
+    void runFor(Duration window);
+
+    std::size_t pendingEvents() const { return queue_.size(); }
+    VirtualClock& clock() { return clock_; }
+
+private:
+    struct Key {
+        TimePoint when;
+        std::uint64_t seq;
+        bool operator<(const Key& other) const {
+            return when != other.when ? when < other.when : seq < other.seq;
+        }
+    };
+
+    VirtualClock& clock_;
+    std::map<Key, std::function<void()>> queue_;
+    std::map<EventId, Key> index_;
+    std::uint64_t nextSeq_ = 1;
+};
+
+}  // namespace starlink::net

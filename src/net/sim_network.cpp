@@ -1,0 +1,252 @@
+#include "net/sim_network.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace starlink::net {
+
+bool Address::isMulticast() const {
+    // 224.0.0.0/4: first octet 224..239.
+    const auto dot = host.find('.');
+    if (dot == std::string::npos) return false;
+    const auto octet = parseInt(std::string_view(host).substr(0, dot));
+    return octet.has_value() && *octet >= 224 && *octet <= 239;
+}
+
+// ---------------------------------------------------------------------------
+// UdpSocket
+
+UdpSocket::~UdpSocket() {
+    for (const Address& group : std::set<Address>(groups_)) {
+        net_.leaveGroup(this, group);
+    }
+    net_.udpUnbind(this);
+}
+
+void UdpSocket::joinGroup(const Address& group) {
+    if (!group.isMulticast()) {
+        throw NetError("joinGroup: " + group.toString() + " is not a multicast address");
+    }
+    net_.joinGroup(this, group);
+    groups_.insert(group);
+}
+
+void UdpSocket::leaveGroup(const Address& group) {
+    net_.leaveGroup(this, group);
+    groups_.erase(group);
+}
+
+void UdpSocket::sendTo(const Address& dest, const Bytes& payload) {
+    net_.udpSend(*this, dest, payload);
+}
+
+void UdpSocket::deliver(const Bytes& payload, const Address& from) {
+    if (handler_) handler_(payload, from);
+}
+
+// ---------------------------------------------------------------------------
+// TcpConnection
+
+void TcpConnection::send(const Bytes& payload) {
+    if (!open_) throw NetError("send on closed connection to " + remote_.toString());
+    net_.tcpSend(*this, payload);
+}
+
+void TcpConnection::close() {
+    if (!open_) return;
+    open_ = false;
+    net_.tcpClose(*this);
+}
+
+// ---------------------------------------------------------------------------
+// TcpListener
+
+TcpListener::~TcpListener() { net_.tcpUnbind(this); }
+
+// ---------------------------------------------------------------------------
+// SimNetwork
+
+namespace {
+std::pair<std::string, std::string> linkKey(const std::string& a, const std::string& b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+}  // namespace
+
+void SimNetwork::setLinkLatency(const std::string& hostA, const std::string& hostB,
+                                const LatencyModel& model) {
+    linkLatency_[linkKey(hostA, hostB)] = model;
+}
+
+void SimNetwork::clearLinkLatency(const std::string& hostA, const std::string& hostB) {
+    linkLatency_.erase(linkKey(hostA, hostB));
+}
+
+const LatencyModel& SimNetwork::modelFor(const std::string& from, const std::string& to) const {
+    const auto it = linkLatency_.find(linkKey(from, to));
+    return it == linkLatency_.end() ? latency_ : it->second;
+}
+
+Duration SimNetwork::sampleLatency() {
+    const auto jitterUs = latency_.jitter.count();
+    const Duration jitter = jitterUs > 0 ? us(rng_.range(0, jitterUs)) : us(0);
+    return latency_.base + jitter;
+}
+
+Duration SimNetwork::sampleLatency(const std::string& from, const std::string& to) {
+    const LatencyModel& model = modelFor(from, to);
+    const auto jitterUs = model.jitter.count();
+    const Duration jitter = jitterUs > 0 ? us(rng_.range(0, jitterUs)) : us(0);
+    return model.base + jitter;
+}
+
+bool SimNetwork::pathUp(const std::string& a, const std::string& b) const {
+    return !partitioned_.contains(a) && !partitioned_.contains(b);
+}
+
+std::uint16_t SimNetwork::ephemeralPort(const std::string& host) {
+    std::uint16_t& next = nextEphemeral_[host];
+    if (next < 49152) next = 49152;
+    // Skip ports that are already bound (either protocol) on this host.
+    for (int attempts = 0; attempts < 16384; ++attempts) {
+        const std::uint16_t candidate = next++;
+        const Address addr{host, candidate};
+        if (!udpBindings_.contains(addr) && !tcpBindings_.contains(addr)) return candidate;
+    }
+    throw NetError("ephemeral port space exhausted on " + host);
+}
+
+std::unique_ptr<UdpSocket> SimNetwork::openUdp(const std::string& host, std::uint16_t port) {
+    if (port == 0) port = ephemeralPort(host);
+    const Address local{host, port};
+    if (udpBindings_.contains(local)) {
+        throw NetError("udp bind: " + local.toString() + " already in use");
+    }
+    auto socket = std::unique_ptr<UdpSocket>(new UdpSocket(*this, local));
+    udpBindings_[local] = socket.get();
+    return socket;
+}
+
+void SimNetwork::udpUnbind(UdpSocket* socket) { udpBindings_.erase(socket->localAddress()); }
+
+void SimNetwork::joinGroup(UdpSocket* socket, const Address& group) {
+    groups_[group].insert(socket);
+}
+
+void SimNetwork::leaveGroup(UdpSocket* socket, const Address& group) {
+    const auto it = groups_.find(group);
+    if (it == groups_.end()) return;
+    it->second.erase(socket);
+    if (it->second.empty()) groups_.erase(it);
+}
+
+void SimNetwork::udpSend(UdpSocket& from, const Address& dest, const Bytes& payload) {
+    ++datagramsSent_;
+    const Address source = from.localAddress();
+
+    // Determine recipients now (membership at send time), deliver later.
+    std::vector<UdpSocket*> recipients;
+    if (dest.isMulticast()) {
+        const auto it = groups_.find(dest);
+        if (it != groups_.end()) {
+            for (UdpSocket* member : it->second) {
+                if (member != &from) recipients.push_back(member);
+            }
+        }
+    } else {
+        const auto it = udpBindings_.find(dest);
+        if (it != udpBindings_.end()) recipients.push_back(it->second);
+    }
+
+    for (UdpSocket* recipient : recipients) {
+        if (!pathUp(source.host, recipient->localAddress().host)) {
+            ++datagramsDropped_;
+            continue;
+        }
+        const double loss = modelFor(source.host, recipient->localAddress().host).lossProbability;
+        if (loss > 0.0 && rng_.chance(loss)) {
+            ++datagramsDropped_;
+            continue;
+        }
+        const Address target = recipient->localAddress();
+        scheduler_.schedule(sampleLatency(source.host, target.host),
+                            [this, target, payload, source] {
+            // Re-resolve: the socket may have been closed in flight.
+            const auto it = udpBindings_.find(target);
+            if (it != udpBindings_.end()) it->second->deliver(payload, source);
+        });
+    }
+}
+
+std::unique_ptr<TcpListener> SimNetwork::listenTcp(const std::string& host, std::uint16_t port) {
+    const Address local{host, port};
+    if (tcpBindings_.contains(local)) {
+        throw NetError("tcp bind: " + local.toString() + " already in use");
+    }
+    auto listener = std::unique_ptr<TcpListener>(new TcpListener(*this, local));
+    tcpBindings_[local] = listener.get();
+    return listener;
+}
+
+void SimNetwork::tcpUnbind(TcpListener* listener) { tcpBindings_.erase(listener->localAddress()); }
+
+void SimNetwork::connectTcp(const std::string& host, const Address& dest,
+                            std::function<void(std::shared_ptr<TcpConnection>)> onResult) {
+    scheduler_.schedule(sampleLatency(host, dest.host),
+                        [this, host, dest, onResult = std::move(onResult)] {
+        const auto it = tcpBindings_.find(dest);
+        if (it == tcpBindings_.end() || !pathUp(host, dest.host)) {
+            onResult(nullptr);
+            return;
+        }
+        const Address clientAddr{host, ephemeralPort(host)};
+        auto client = std::shared_ptr<TcpConnection>(new TcpConnection(*this, clientAddr, dest));
+        auto server = std::shared_ptr<TcpConnection>(new TcpConnection(*this, dest, clientAddr));
+        client->peer_ = server;
+        server->peer_ = client;
+        aliveTcp_.insert(client);
+        aliveTcp_.insert(server);
+        if (it->second->handler_) it->second->handler_(server);
+        onResult(client);
+    });
+}
+
+void SimNetwork::tcpSend(TcpConnection& from, const Bytes& payload) {
+    auto peer = from.peer_.lock();
+    if (!peer || !peer->open_) return;  // peer already gone; data vanishes as on RST
+    if (!pathUp(from.local_.host, peer->local_.host)) return;
+    TimePoint deliverAt =
+        scheduler_.clock().now() + sampleLatency(from.local_.host, peer->local_.host);
+    if (deliverAt < peer->earliestDelivery_) deliverAt = peer->earliestDelivery_;
+    peer->earliestDelivery_ = deliverAt;  // ties keep insertion order in the scheduler
+    scheduler_.scheduleAt(deliverAt, [peer, payload] {
+        if (peer->open_ && peer->dataHandler_) peer->dataHandler_(payload);
+    });
+}
+
+void SimNetwork::tcpClose(TcpConnection& from) {
+    auto peer = from.peer_.lock();
+    aliveTcp_.erase(from.shared_from_this());
+    if (!peer) return;
+    if (!peer->open_) {
+        aliveTcp_.erase(peer);
+        return;
+    }
+    // A close is a FIN: it must not overtake data already in flight on the
+    // same connection.
+    TimePoint deliverAt =
+        scheduler_.clock().now() + sampleLatency(from.local_.host, peer->local_.host);
+    if (deliverAt < peer->earliestDelivery_) deliverAt = peer->earliestDelivery_;
+    peer->earliestDelivery_ = deliverAt;
+    scheduler_.scheduleAt(deliverAt, [this, peer] {
+        aliveTcp_.erase(peer);
+        if (!peer->open_) return;
+        peer->open_ = false;
+        if (peer->closeHandler_) peer->closeHandler_();
+    });
+}
+
+void SimNetwork::partitionHost(const std::string& host) { partitioned_.insert(host); }
+void SimNetwork::healHost(const std::string& host) { partitioned_.erase(host); }
+bool SimNetwork::isPartitioned(const std::string& host) const { return partitioned_.contains(host); }
+
+}  // namespace starlink::net

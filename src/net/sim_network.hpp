@@ -1,0 +1,232 @@
+// In-memory simulated IP network.
+//
+// This is the substitution for the paper's real LAN (DESIGN.md section 1):
+// it provides exactly the transport semantics that k-colored automata
+// reference -- UDP unicast, UDP multicast groups, and TCP-like ordered
+// streams -- plus configurable latency, jitter and loss for fault-injection
+// tests. All activity is event-driven on an EventScheduler over virtual time.
+//
+// Simplifications relative to a real stack (none affect the reproduced
+// behaviour):
+//  - datagrams are never fragmented and have no size limit;
+//  - TCP is modelled as an ordered reliable message stream (chunks arrive in
+//    send() units) without handshake/window dynamics -- connection setup
+//    costs one latency sample, as does each chunk;
+//  - multicast delivery loops back to other sockets on the same host but not
+//    to the sending socket itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "net/scheduler.hpp"
+
+namespace starlink::net {
+
+/// An (ip, port) endpoint. Multicast groups are addresses in 224.0.0.0/4.
+struct Address {
+    std::string host;
+    std::uint16_t port = 0;
+
+    bool operator==(const Address&) const = default;
+    bool operator<(const Address& other) const {
+        return host != other.host ? host < other.host : port < other.port;
+    }
+    std::string toString() const { return host + ":" + std::to_string(port); }
+
+    /// True for 224.0.0.0 - 239.255.255.255.
+    bool isMulticast() const;
+};
+
+/// Latency distribution for one hop: base + uniform jitter, plus a loss
+/// probability applied per datagram (TCP chunks are never lost -- the real
+/// protocol retransmits; we model the resulting delay as jitter instead).
+struct LatencyModel {
+    Duration base = us(200);
+    Duration jitter = us(100);
+    double lossProbability = 0.0;
+};
+
+class SimNetwork;
+
+/// A bound UDP socket. Obtained from SimNetwork::openUdp(); closing happens
+/// via RAII.
+class UdpSocket {
+public:
+    using DatagramHandler = std::function<void(const Bytes&, const Address& from)>;
+
+    ~UdpSocket();
+    UdpSocket(const UdpSocket&) = delete;
+    UdpSocket& operator=(const UdpSocket&) = delete;
+
+    const Address& localAddress() const { return local_; }
+
+    /// Registers the receive callback (replaces any previous one).
+    void onDatagram(DatagramHandler handler) { handler_ = std::move(handler); }
+
+    /// Joins a multicast group; datagrams sent to (group, this socket's port)
+    /// will be delivered here.
+    void joinGroup(const Address& group);
+    void leaveGroup(const Address& group);
+
+    /// Sends a datagram to a unicast or multicast destination.
+    void sendTo(const Address& dest, const Bytes& payload);
+
+private:
+    friend class SimNetwork;
+    UdpSocket(SimNetwork& net, Address local) : net_(net), local_(std::move(local)) {}
+
+    void deliver(const Bytes& payload, const Address& from);
+
+    SimNetwork& net_;
+    Address local_;
+    DatagramHandler handler_;
+    std::set<Address> groups_;
+};
+
+/// One side of an established TCP-like connection.
+class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
+public:
+    using DataHandler = std::function<void(const Bytes&)>;
+    using CloseHandler = std::function<void()>;
+
+    /// Sends one ordered chunk to the peer. Throws NetError if closed.
+    void send(const Bytes& payload);
+
+    void onData(DataHandler handler) { dataHandler_ = std::move(handler); }
+    void onClose(CloseHandler handler) { closeHandler_ = std::move(handler); }
+
+    /// Closes both directions; the peer's onClose fires after one latency.
+    void close();
+
+    bool isOpen() const { return open_; }
+    const Address& localAddress() const { return local_; }
+    const Address& remoteAddress() const { return remote_; }
+
+private:
+    friend class SimNetwork;
+    TcpConnection(SimNetwork& net, Address local, Address remote)
+        : net_(net), local_(std::move(local)), remote_(std::move(remote)) {}
+
+    SimNetwork& net_;
+    Address local_;
+    Address remote_;
+    std::weak_ptr<TcpConnection> peer_;
+    DataHandler dataHandler_;
+    CloseHandler closeHandler_;
+    bool open_ = true;
+    /// TCP is FIFO: no chunk may overtake an earlier one even when its
+    /// latency sample is smaller.
+    TimePoint earliestDelivery_{};
+};
+
+/// A TCP listener bound to an (ip, port).
+class TcpListener {
+public:
+    using AcceptHandler = std::function<void(std::shared_ptr<TcpConnection>)>;
+
+    ~TcpListener();
+    TcpListener(const TcpListener&) = delete;
+    TcpListener& operator=(const TcpListener&) = delete;
+
+    const Address& localAddress() const { return local_; }
+    void onAccept(AcceptHandler handler) { handler_ = std::move(handler); }
+
+private:
+    friend class SimNetwork;
+    TcpListener(SimNetwork& net, Address local) : net_(net), local_(std::move(local)) {}
+
+    SimNetwork& net_;
+    Address local_;
+    AcceptHandler handler_;
+};
+
+/// The network fabric. Owns no sockets (they are RAII handles referencing it)
+/// but tracks all bindings, multicast membership and host partitions.
+class SimNetwork {
+public:
+    SimNetwork(EventScheduler& scheduler, std::uint64_t seed = 42)
+        : scheduler_(scheduler), rng_(seed) {}
+
+    EventScheduler& scheduler() { return scheduler_; }
+    TimePoint now() const { return scheduler_.clock().now(); }
+
+    /// Binds a UDP socket. port==0 picks an ephemeral port. Throws NetError
+    /// if (host, port) is already bound.
+    std::unique_ptr<UdpSocket> openUdp(const std::string& host, std::uint16_t port = 0);
+
+    /// Binds a TCP listener; same binding rules as openUdp.
+    std::unique_ptr<TcpListener> listenTcp(const std::string& host, std::uint16_t port);
+
+    /// Initiates a connection from `host` to `dest`. The callback receives
+    /// the client-side connection on success or nullptr when nobody listens
+    /// on `dest` (connection refused) or the path is partitioned.
+    void connectTcp(const std::string& host, const Address& dest,
+                    std::function<void(std::shared_ptr<TcpConnection>)> onResult);
+
+    // -- behaviour knobs -----------------------------------------------------
+    LatencyModel& latency() { return latency_; }
+
+    /// Overrides the latency model for traffic between two specific hosts
+    /// (both directions). Link overrides compose with partitions and loss as
+    /// the default model does.
+    void setLinkLatency(const std::string& hostA, const std::string& hostB,
+                        const LatencyModel& model);
+    void clearLinkLatency(const std::string& hostA, const std::string& hostB);
+
+    /// Cuts all traffic to and from `host` until healed. In-flight events
+    /// already scheduled are not recalled (as on a real network).
+    void partitionHost(const std::string& host);
+    void healHost(const std::string& host);
+    bool isPartitioned(const std::string& host) const;
+
+    // -- introspection (tests) ----------------------------------------------
+    std::size_t datagramsSent() const { return datagramsSent_; }
+    std::size_t datagramsDropped() const { return datagramsDropped_; }
+
+private:
+    friend class UdpSocket;
+    friend class TcpConnection;
+    friend class TcpListener;
+
+    Duration sampleLatency();
+    Duration sampleLatency(const std::string& from, const std::string& to);
+    const LatencyModel& modelFor(const std::string& from, const std::string& to) const;
+    bool pathUp(const std::string& a, const std::string& b) const;
+    std::uint16_t ephemeralPort(const std::string& host);
+
+    void udpUnbind(UdpSocket* socket);
+    void udpSend(UdpSocket& from, const Address& dest, const Bytes& payload);
+    void joinGroup(UdpSocket* socket, const Address& group);
+    void leaveGroup(UdpSocket* socket, const Address& group);
+    void tcpUnbind(TcpListener* listener);
+    void tcpSend(TcpConnection& from, const Bytes& payload);
+    void tcpClose(TcpConnection& from);
+
+    EventScheduler& scheduler_;
+    Rng rng_;
+    LatencyModel latency_;
+    std::map<std::pair<std::string, std::string>, LatencyModel> linkLatency_;
+
+    std::map<Address, UdpSocket*> udpBindings_;
+    std::map<Address, std::set<UdpSocket*>> groups_;  // (group ip, port) -> members
+    std::map<Address, TcpListener*> tcpBindings_;
+    // Open connections stay alive even when user code drops its handles --
+    // like real sockets, they exist until closed (or the network dies).
+    std::set<std::shared_ptr<TcpConnection>> aliveTcp_;
+    std::map<std::string, std::uint16_t> nextEphemeral_;
+    std::set<std::string> partitioned_;
+
+    std::size_t datagramsSent_ = 0;
+    std::size_t datagramsDropped_ = 0;
+};
+
+}  // namespace starlink::net

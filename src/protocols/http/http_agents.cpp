@@ -1,0 +1,80 @@
+#include "protocols/http/http_agents.hpp"
+
+#include "common/log.hpp"
+
+namespace starlink::http {
+
+// ---------------------------------------------------------------------------
+// Server
+
+Server::Server(net::SimNetwork& network, Config config)
+    : network_(network), config_(std::move(config)), rng_(config_.seed) {
+    listener_ = network_.listenTcp(config_.host, config_.port);
+    listener_->onAccept([this](std::shared_ptr<net::TcpConnection> connection) {
+        connections_.push_back(connection);
+        auto weak = std::weak_ptr<net::TcpConnection>(connection);
+        connection->onData([this, weak](const Bytes& data) {
+            if (auto conn = weak.lock()) onRequest(conn, data);
+        });
+        connection->onClose([this, weak] {
+            const auto conn = weak.lock();
+            std::erase_if(connections_,
+                          [&conn](const auto& held) { return held == conn; });
+        });
+    });
+}
+
+void Server::addResource(const std::string& path, std::string body, std::string contentType) {
+    resources_[path] = {std::move(body), std::move(contentType)};
+}
+
+void Server::onRequest(const std::shared_ptr<net::TcpConnection>& connection, const Bytes& data) {
+    const auto request = decodeRequest(data);
+    Response response;
+    if (!request || request->method != "GET") {
+        response.status = 400;
+        response.reason = "Bad Request";
+    } else if (const auto it = resources_.find(request->path); it != resources_.end()) {
+        response.body = it->second.first;
+        response.headers.emplace_back("Content-Type", it->second.second);
+    } else {
+        response.status = 404;
+        response.reason = "Not Found";
+    }
+    response.headers.emplace_back("Server", "Starlink-Sim/1.0");
+
+    const auto jitterUs = config_.responseDelayJitter.count();
+    const net::Duration delay =
+        config_.responseDelayBase + (jitterUs > 0 ? net::us(rng_.range(0, jitterUs)) : net::us(0));
+    const Bytes encoded = encode(response);
+    network_.scheduler().schedule(delay, [this, connection, encoded] {
+        if (!connection->isOpen()) return;
+        connection->send(encoded);
+        ++served_;
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+void Client::get(const std::string& host, std::uint16_t port, const std::string& path,
+                 Callback callback) {
+    network_.connectTcp(host_, net::Address{host, port},
+                        [path, callback = std::move(callback)](
+                            std::shared_ptr<net::TcpConnection> connection) {
+        if (!connection) {
+            callback(std::nullopt);
+            return;
+        }
+        Request request;
+        request.path = path;
+        request.headers.emplace_back("Host", connection->remoteAddress().toString());
+        connection->onData([connection, callback](const Bytes& data) {
+            callback(decodeResponse(data));
+            connection->close();
+        });
+        connection->send(encode(request));
+    });
+}
+
+}  // namespace starlink::http

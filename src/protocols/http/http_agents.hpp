@@ -1,0 +1,65 @@
+// Legacy HTTP applications: a tiny device-description server and a one-shot
+// GET client, over the simulated TCP transport.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/sim_network.hpp"
+#include "protocols/http/http_codec.hpp"
+
+namespace starlink::http {
+
+/// Serves registered resources; everything else is 404.
+class Server {
+public:
+    struct Config {
+        std::string host = "10.0.0.3";
+        std::uint16_t port = 8080;
+        net::Duration responseDelayBase = net::ms(40);
+        net::Duration responseDelayJitter = net::ms(15);
+        std::uint64_t seed = 17;
+    };
+
+    Server(net::SimNetwork& network, Config config);
+
+    void addResource(const std::string& path, std::string body,
+                     std::string contentType = "text/xml");
+
+    std::size_t requestsServed() const { return served_; }
+    const Config& config() const { return config_; }
+
+private:
+    void onRequest(const std::shared_ptr<net::TcpConnection>& connection, const Bytes& data);
+
+    net::SimNetwork& network_;
+    Config config_;
+    Rng rng_;
+    std::unique_ptr<net::TcpListener> listener_;
+    std::vector<std::shared_ptr<net::TcpConnection>> connections_;
+    std::map<std::string, std::pair<std::string, std::string>> resources_;  // path -> (body, type)
+    std::size_t served_ = 0;
+};
+
+/// One GET per call; the connection is closed after the response.
+class Client {
+public:
+    using Callback = std::function<void(std::optional<Response>)>;
+
+    Client(net::SimNetwork& network, std::string host) : network_(network), host_(std::move(host)) {}
+
+    /// Fetches http://host:port/path; the callback receives nullopt on
+    /// connection refusal or a malformed response.
+    void get(const std::string& host, std::uint16_t port, const std::string& path,
+             Callback callback);
+
+private:
+    net::SimNetwork& network_;
+    std::string host_;
+};
+
+}  // namespace starlink::http

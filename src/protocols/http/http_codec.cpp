@@ -1,0 +1,121 @@
+#include "protocols/http/http_codec.hpp"
+
+#include "common/strings.hpp"
+
+namespace starlink::http {
+
+namespace {
+
+constexpr const char* kCrlf = "\r\n";
+
+std::optional<std::string> findHeader(
+    const std::vector<std::pair<std::string, std::string>>& headers, const std::string& name) {
+    for (const auto& [key, value] : headers) {
+        if (iequals(key, name)) return value;
+    }
+    return std::nullopt;
+}
+
+void appendHeaders(std::string& out,
+                   const std::vector<std::pair<std::string, std::string>>& headers,
+                   const std::string& body) {
+    bool hasContentLength = false;
+    for (const auto& [key, value] : headers) {
+        if (iequals(key, "Content-Length")) {
+            hasContentLength = true;
+            out += key + ": " + std::to_string(body.size()) + kCrlf;
+        } else {
+            out += key + ": " + value + kCrlf;
+        }
+    }
+    if (!hasContentLength && !body.empty()) {
+        out += "Content-Length: " + std::to_string(body.size()) + kCrlf;
+    }
+    out += kCrlf;
+    out += body;
+}
+
+struct Parsed {
+    std::string startLine;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+};
+
+std::optional<Parsed> parseMessage(const Bytes& data) {
+    const std::string text = toString(data);
+    const std::size_t headerEnd = text.find("\r\n\r\n");
+    if (headerEnd == std::string::npos) return std::nullopt;
+    Parsed out;
+    const std::vector<std::string> lines = split(text.substr(0, headerEnd), std::string_view(kCrlf));
+    if (lines.empty()) return std::nullopt;
+    out.startLine = lines[0];
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        const auto halves = splitFirst(lines[i], ':');
+        if (!halves) return std::nullopt;
+        out.headers.emplace_back(trim(halves->first), trim(halves->second));
+    }
+    out.body = text.substr(headerEnd + 4);
+    // Honour Content-Length when present (trailing bytes are rejected).
+    if (const auto lengthText = findHeader(out.headers, "Content-Length")) {
+        const auto length = parseInt(*lengthText);
+        if (!length || *length < 0 || out.body.size() != static_cast<std::size_t>(*length)) {
+            return std::nullopt;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::optional<std::string> Request::header(const std::string& name) const {
+    return findHeader(headers, name);
+}
+
+std::optional<std::string> Response::header(const std::string& name) const {
+    return findHeader(headers, name);
+}
+
+Bytes encode(const Request& message) {
+    std::string out = message.method + " " + message.path + " HTTP/1.1";
+    out += kCrlf;
+    appendHeaders(out, message.headers, message.body);
+    return toBytes(out);
+}
+
+Bytes encode(const Response& message) {
+    std::string out = "HTTP/1.1 " + std::to_string(message.status) + " " + message.reason;
+    out += kCrlf;
+    appendHeaders(out, message.headers, message.body);
+    return toBytes(out);
+}
+
+std::optional<Request> decodeRequest(const Bytes& data) {
+    const auto parsed = parseMessage(data);
+    if (!parsed) return std::nullopt;
+    const std::vector<std::string> pieces = split(parsed->startLine, ' ');
+    if (pieces.size() != 3 || !startsWith(pieces[2], "HTTP/")) return std::nullopt;
+    Request out;
+    out.method = pieces[0];
+    out.path = pieces[1];
+    out.headers = parsed->headers;
+    out.body = parsed->body;
+    return out;
+}
+
+std::optional<Response> decodeResponse(const Bytes& data) {
+    const auto parsed = parseMessage(data);
+    if (!parsed) return std::nullopt;
+    const std::vector<std::string> pieces = split(parsed->startLine, ' ');
+    if (pieces.size() < 2 || !startsWith(pieces[0], "HTTP/")) return std::nullopt;
+    const auto status = parseInt(pieces[1]);
+    if (!status) return std::nullopt;
+    Response out;
+    out.status = static_cast<int>(*status);
+    out.reason = pieces.size() >= 3 ? pieces[2] : "";
+    for (std::size_t i = 3; i < pieces.size(); ++i) out.reason += " " + pieces[i];
+    out.headers = parsed->headers;
+    out.body = parsed->body;
+    return out;
+}
+
+}  // namespace starlink::http

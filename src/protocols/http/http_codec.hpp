@@ -1,0 +1,43 @@
+// Minimal HTTP/1.1 codec (UPnP discovery step 2: fetching the device
+// description).
+//
+// LEGACY stack, hand-written. Supports exactly what discovery needs: GET
+// requests and 200/404 responses with a Content-Length-delimited body, one
+// exchange per connection.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace starlink::http {
+
+struct Request {
+    std::string method = "GET";
+    std::string path = "/";
+    /// Ordered header list (duplicates allowed, as on the wire).
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    std::optional<std::string> header(const std::string& name) const;
+};
+
+struct Response {
+    int status = 200;
+    std::string reason = "OK";
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    std::optional<std::string> header(const std::string& name) const;
+};
+
+Bytes encode(const Request& message);
+Bytes encode(const Response& message);
+
+std::optional<Request> decodeRequest(const Bytes& data);
+std::optional<Response> decodeResponse(const Bytes& data);
+
+}  // namespace starlink::http

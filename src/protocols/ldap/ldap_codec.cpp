@@ -1,0 +1,109 @@
+#include "protocols/ldap/ldap_codec.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace starlink::ldap {
+
+namespace {
+
+void appendLengthPrefixed(Bytes& out, const std::string& text) {
+    if (text.size() > 0xffff) throw ProtocolError("ldap: string exceeds 16-bit length");
+    appendUint(out, text.size(), 2);
+    out.insert(out.end(), text.begin(), text.end());
+}
+
+struct Reader {
+    const Bytes& data;
+    std::size_t pos = 0;
+
+    bool readUint(int bytes, std::uint64_t& value) {
+        if (!starlink::readUint(data, pos, bytes, value)) return false;
+        pos += static_cast<std::size_t>(bytes);
+        return true;
+    }
+    bool readString(std::string& out) {
+        std::uint64_t length = 0;
+        if (!readUint(2, length)) return false;
+        if (pos + length > data.size()) return false;
+        out.assign(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                   data.begin() + static_cast<std::ptrdiff_t>(pos + length));
+        pos += length;
+        return true;
+    }
+};
+
+std::optional<std::pair<std::uint8_t, std::uint16_t>> decodeHeader(Reader& reader) {
+    std::uint64_t version = 0;
+    std::uint64_t msgType = 0;
+    std::uint64_t messageId = 0;
+    if (!reader.readUint(1, version) || version != kVersion) return std::nullopt;
+    if (!reader.readUint(1, msgType) || !reader.readUint(2, messageId)) return std::nullopt;
+    return std::make_pair(static_cast<std::uint8_t>(msgType),
+                          static_cast<std::uint16_t>(messageId));
+}
+
+}  // namespace
+
+Bytes encode(const SearchRequest& message) {
+    Bytes out;
+    out.push_back(kVersion);
+    out.push_back(kMsgSearchRequest);
+    appendUint(out, message.messageId, 2);
+    appendLengthPrefixed(out, message.baseDn);
+    appendLengthPrefixed(out, message.serviceClass);
+    appendLengthPrefixed(out, message.filter);
+    return out;
+}
+
+Bytes encode(const SearchResult& message) {
+    Bytes out;
+    out.push_back(kVersion);
+    out.push_back(kMsgSearchResult);
+    appendUint(out, message.messageId, 2);
+    out.push_back(message.resultCode);
+    appendLengthPrefixed(out, message.dn);
+    appendLengthPrefixed(out, message.url);
+    return out;
+}
+
+std::optional<SearchRequest> decodeRequest(const Bytes& data) {
+    Reader reader{data};
+    const auto header = decodeHeader(reader);
+    if (!header || header->first != kMsgSearchRequest) return std::nullopt;
+    SearchRequest out;
+    out.messageId = header->second;
+    if (!reader.readString(out.baseDn) || !reader.readString(out.serviceClass) ||
+        !reader.readString(out.filter)) {
+        return std::nullopt;
+    }
+    if (reader.pos != data.size()) return std::nullopt;
+    return out;
+}
+
+std::optional<SearchResult> decodeResult(const Bytes& data) {
+    Reader reader{data};
+    const auto header = decodeHeader(reader);
+    if (!header || header->first != kMsgSearchResult) return std::nullopt;
+    SearchResult out;
+    out.messageId = header->second;
+    std::uint64_t resultCode = 0;
+    if (!reader.readUint(1, resultCode)) return std::nullopt;
+    out.resultCode = static_cast<std::uint8_t>(resultCode);
+    if (!reader.readString(out.dn) || !reader.readString(out.url)) return std::nullopt;
+    if (reader.pos != data.size()) return std::nullopt;
+    return out;
+}
+
+bool filterMatches(const std::string& filter,
+                   const std::map<std::string, std::string>& attributes) {
+    const std::string text = trim(filter);
+    if (text.empty()) return true;
+    if (text.size() < 2 || text.front() != '(' || text.back() != ')') return false;
+    const auto halves = splitFirst(text.substr(1, text.size() - 2), '=');
+    if (!halves) return false;
+    const auto it = attributes.find(trim(halves->first));
+    return it != attributes.end() && it->second == trim(halves->second);
+}
+
+}  // namespace starlink::ldap

@@ -1,0 +1,55 @@
+// LDAP-style directory lookup codec.
+//
+// The paper singles out SLP <-> LDAP as the pair where intermediary-subset
+// approaches lose expressiveness: "interoperability between two protocols
+// such as SLP and LDAP that both support attribute-based requests is
+// restricted" (section III-A). This LEGACY stack exists to reproduce that
+// argument: its search requests carry an attribute FILTER alongside the
+// service class, and the Starlink bridge translates BOTH -- no greatest-
+// common-divisor loss.
+//
+// The wire format is a simplified binary framing, not ASN.1/BER (DESIGN.md
+// substitution rule): Version 8 (=3) | MsgType 8 (1=SearchRequest,
+// 2=SearchResult) | MessageID 16 | length-prefixed strings.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace starlink::ldap {
+
+inline constexpr std::uint8_t kVersion = 3;
+inline constexpr std::uint8_t kMsgSearchRequest = 1;
+inline constexpr std::uint8_t kMsgSearchResult = 2;
+inline constexpr std::uint16_t kPort = 389;
+
+struct SearchRequest {
+    std::uint16_t messageId = 0;
+    std::string baseDn = "dc=services,dc=local";
+    std::string serviceClass;  // e.g. "service:printer"
+    std::string filter;        // attribute expression, e.g. "(color=true)"
+};
+
+struct SearchResult {
+    std::uint16_t messageId = 0;
+    std::uint8_t resultCode = 0;  // 0 = success, 32 = noSuchObject
+    std::string dn;
+    std::string url;
+};
+
+Bytes encode(const SearchRequest& message);
+Bytes encode(const SearchResult& message);
+
+std::optional<SearchRequest> decodeRequest(const Bytes& data);
+std::optional<SearchResult> decodeResult(const Bytes& data);
+
+/// Evaluates a single-term filter "(key=value)" against an attribute set.
+/// An empty filter matches everything; a malformed filter matches nothing.
+bool filterMatches(const std::string& filter,
+                   const std::map<std::string, std::string>& attributes);
+
+}  // namespace starlink::ldap

@@ -1,0 +1,151 @@
+#include "protocols/mdns/dns_codec.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace starlink::mdns {
+
+namespace {
+
+void appendName(Bytes& out, const std::string& name) {
+    if (!name.empty()) {
+        for (const std::string& label : split(name, '.')) {
+            if (label.empty() || label.size() > 63) {
+                throw ProtocolError("dns: bad label in name '" + name + "'");
+            }
+            out.push_back(static_cast<std::uint8_t>(label.size()));
+            out.insert(out.end(), label.begin(), label.end());
+        }
+    }
+    out.push_back(0);
+}
+
+struct Reader {
+    const Bytes& data;
+    std::size_t pos = 0;
+
+    bool readUint(int bytes, std::uint64_t& value) {
+        if (!starlink::readUint(data, pos, bytes, value)) return false;
+        pos += static_cast<std::size_t>(bytes);
+        return true;
+    }
+    bool readName(std::string& out) {
+        std::vector<std::string> labels;
+        while (true) {
+            if (pos >= data.size()) return false;
+            const std::uint8_t length = data[pos++];
+            if (length == 0) break;
+            if (length > 63) return false;  // compression pointers unsupported
+            if (pos + length > data.size()) return false;
+            labels.emplace_back(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                                data.begin() + static_cast<std::ptrdiff_t>(pos + length));
+            pos += length;
+        }
+        out = join(labels, ".");
+        return true;
+    }
+    bool readBytes(std::size_t count, Bytes& out) {
+        if (pos + count > data.size()) return false;
+        out.assign(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                   data.begin() + static_cast<std::ptrdiff_t>(pos + count));
+        pos += count;
+        return true;
+    }
+};
+
+}  // namespace
+
+Bytes encode(const DnsMessage& message) {
+    Bytes out;
+    appendUint(out, message.id, 2);
+    appendUint(out, message.flags, 2);
+    appendUint(out, message.questions.size(), 2);
+    appendUint(out, message.answers.size(), 2);
+    appendUint(out, 0, 2);  // NSCOUNT
+    appendUint(out, 0, 2);  // ARCOUNT
+    for (const Question& q : message.questions) {
+        appendName(out, q.qname);
+        appendUint(out, q.qtype, 2);
+        appendUint(out, q.qclass, 2);
+    }
+    for (const Record& r : message.answers) {
+        appendName(out, r.name);
+        appendUint(out, r.type, 2);
+        appendUint(out, r.klass, 2);
+        appendUint(out, r.ttl, 4);
+        appendUint(out, r.rdata.size(), 2);
+        out.insert(out.end(), r.rdata.begin(), r.rdata.end());
+    }
+    return out;
+}
+
+std::optional<DnsMessage> decode(const Bytes& data) {
+    Reader reader{data};
+    DnsMessage out;
+    std::uint64_t id = 0;
+    std::uint64_t flags = 0;
+    std::uint64_t qd = 0;
+    std::uint64_t an = 0;
+    std::uint64_t ns = 0;
+    std::uint64_t ar = 0;
+    if (!reader.readUint(2, id) || !reader.readUint(2, flags) || !reader.readUint(2, qd) ||
+        !reader.readUint(2, an) || !reader.readUint(2, ns) || !reader.readUint(2, ar)) {
+        return std::nullopt;
+    }
+    out.id = static_cast<std::uint16_t>(id);
+    out.flags = static_cast<std::uint16_t>(flags);
+    for (std::uint64_t i = 0; i < qd; ++i) {
+        Question q;
+        std::uint64_t qtype = 0;
+        std::uint64_t qclass = 0;
+        if (!reader.readName(q.qname) || !reader.readUint(2, qtype) ||
+            !reader.readUint(2, qclass)) {
+            return std::nullopt;
+        }
+        q.qtype = static_cast<std::uint16_t>(qtype);
+        q.qclass = static_cast<std::uint16_t>(qclass);
+        out.questions.push_back(std::move(q));
+    }
+    for (std::uint64_t i = 0; i < an; ++i) {
+        Record r;
+        std::uint64_t type = 0;
+        std::uint64_t klass = 0;
+        std::uint64_t ttl = 0;
+        std::uint64_t rdlength = 0;
+        if (!reader.readName(r.name) || !reader.readUint(2, type) ||
+            !reader.readUint(2, klass) || !reader.readUint(4, ttl) ||
+            !reader.readUint(2, rdlength) || !reader.readBytes(rdlength, r.rdata)) {
+            return std::nullopt;
+        }
+        r.type = static_cast<std::uint16_t>(type);
+        r.klass = static_cast<std::uint16_t>(klass);
+        r.ttl = static_cast<std::uint32_t>(ttl);
+        out.answers.push_back(std::move(r));
+    }
+    if (ns != 0 || ar != 0) return std::nullopt;  // subset: no authority/additional
+    if (reader.pos != data.size()) return std::nullopt;
+    return out;
+}
+
+DnsMessage makeQuestion(std::uint16_t id, const std::string& serviceName) {
+    DnsMessage message;
+    message.id = id;
+    message.flags = kFlagsQuery;
+    message.questions.push_back(Question{serviceName, kTypePtr, kClassIn});
+    return message;
+}
+
+DnsMessage makeResponse(std::uint16_t id, const std::string& serviceName,
+                        const std::string& url) {
+    DnsMessage message;
+    message.id = id;
+    message.flags = kFlagsResponse;
+    Record record;
+    record.name = serviceName;
+    record.type = kTypeTxt;
+    record.rdata = toBytes(url);
+    message.answers.push_back(std::move(record));
+    return message;
+}
+
+}  // namespace starlink::mdns

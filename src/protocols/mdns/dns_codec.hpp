@@ -1,0 +1,65 @@
+// DNS wire codec for multicast DNS (Bonjour) discovery.
+//
+// LEGACY stack, hand-written and independent of the MDL machinery; stands in
+// for the Apple Bonjour SDK (DESIGN.md section 1). "Bonjour uses DNS
+// messages so this MDL describes DNS questions and responses" -- the same
+// simplification applies here:
+//   - standard 12-byte header (ID, Flags, QD/AN/NS/AR counts);
+//   - questions: QNAME (label encoding, no compression), QTYPE, QCLASS;
+//   - answers: NAME, TYPE, CLASS, TTL, RDLENGTH, RDATA;
+//   - discovery answers carry the service URL directly in RDATA (TXT-style),
+//     mirroring the paper: "the URL reply of the service (this was
+//     transfered from the RDATA value of the DNS Response)".
+// A response carries no question section (QDCOUNT 0) and one answer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace starlink::mdns {
+
+inline constexpr const char* kGroup = "224.0.0.251";
+inline constexpr std::uint16_t kPort = 5353;
+
+inline constexpr std::uint16_t kFlagsQuery = 0x0000;
+inline constexpr std::uint16_t kFlagsResponse = 0x8400;  // QR + AA
+inline constexpr std::uint16_t kTypePtr = 12;
+inline constexpr std::uint16_t kTypeTxt = 16;
+inline constexpr std::uint16_t kClassIn = 1;
+
+struct Question {
+    std::string qname;  // "_printer._tcp.local"
+    std::uint16_t qtype = kTypePtr;
+    std::uint16_t qclass = kClassIn;
+};
+
+struct Record {
+    std::string name;
+    std::uint16_t type = kTypeTxt;
+    std::uint16_t klass = kClassIn;
+    std::uint32_t ttl = 120;
+    Bytes rdata;
+};
+
+struct DnsMessage {
+    std::uint16_t id = 0;
+    std::uint16_t flags = kFlagsQuery;
+    std::vector<Question> questions;
+    std::vector<Record> answers;
+
+    bool isResponse() const { return (flags & 0x8000) != 0; }
+};
+
+Bytes encode(const DnsMessage& message);
+std::optional<DnsMessage> decode(const Bytes& data);
+
+/// Convenience builders for the discovery exchange.
+DnsMessage makeQuestion(std::uint16_t id, const std::string& serviceName);
+DnsMessage makeResponse(std::uint16_t id, const std::string& serviceName,
+                        const std::string& url);
+
+}  // namespace starlink::mdns

@@ -1,0 +1,102 @@
+#include "protocols/mdns/mdns_agents.hpp"
+
+#include "common/log.hpp"
+
+namespace starlink::mdns {
+
+// ---------------------------------------------------------------------------
+// Responder
+
+Responder::Responder(net::SimNetwork& network, Config config)
+    : network_(network), config_(std::move(config)), rng_(config_.seed) {
+    socket_ = network_.openUdp(config_.host, kPort);
+    socket_->joinGroup(net::Address{kGroup, kPort});
+    socket_->onDatagram([this](const Bytes& payload, const net::Address& from) {
+        onDatagram(payload, from);
+    });
+}
+
+void Responder::onDatagram(const Bytes& payload, const net::Address& from) {
+    const auto message = decode(payload);
+    if (!message || message->isResponse()) return;
+    for (const Question& question : message->questions) {
+        if (question.qname != config_.serviceName) continue;
+        const Bytes reply = encode(makeResponse(message->id, config_.serviceName, config_.url));
+        const auto jitterUs = config_.responseDelayJitter.count();
+        const net::Duration delay =
+            config_.responseDelayBase +
+            (jitterUs > 0 ? net::us(rng_.range(0, jitterUs)) : net::us(0));
+        // mDNS allows unicast responses to the querier (RFC 6762 QU).
+        network_.scheduler().schedule(delay, [this, reply, from] {
+            socket_->sendTo(from, reply);
+            ++answered_;
+        });
+        return;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resolver
+
+Resolver::Resolver(net::SimNetwork& network, Config config)
+    : network_(network), config_(std::move(config)), rng_(config_.seed) {
+    socket_ = network_.openUdp(config_.host);
+    socket_->onDatagram([this](const Bytes& payload, const net::Address& from) {
+        onDatagram(payload, from);
+    });
+}
+
+void Resolver::browse(const std::string& serviceName, Callback callback) {
+    if (pendingId_) {
+        STARLINK_LOG(Warn, "mdns-resolver") << "browse already in flight; ignoring";
+        return;
+    }
+    const std::uint16_t id = nextId_++;
+    pendingId_ = id;
+    callback_ = std::move(callback);
+    collected_.clear();
+    sentAt_ = network_.now();
+    socket_->sendTo(net::Address{kGroup, kPort}, encode(makeQuestion(id, serviceName)));
+
+    timeoutEvent_ = network_.scheduler().schedule(config_.timeout, [this] {
+        timeoutEvent_.reset();
+        report();
+    });
+}
+
+void Resolver::onDatagram(const Bytes& payload, const net::Address&) {
+    if (!pendingId_) return;
+    const auto message = decode(payload);
+    if (!message || !message->isResponse() || message->id != *pendingId_) return;
+    const bool first = collected_.empty();
+    for (const Record& record : message->answers) {
+        collected_.push_back(toString(record.rdata));
+    }
+    if (first && !collected_.empty()) {
+        // First answer arrived: stop the no-answer timeout and aggregate
+        // further answers over a short window before reporting.
+        if (timeoutEvent_) {
+            network_.scheduler().cancel(*timeoutEvent_);
+            timeoutEvent_.reset();
+        }
+        const auto jitterUs = config_.aggregationJitter.count();
+        const net::Duration window =
+            config_.aggregationBase +
+            (jitterUs > 0 ? net::us(rng_.range(0, jitterUs)) : net::us(0));
+        network_.scheduler().schedule(window, [this] { report(); });
+    }
+}
+
+void Resolver::report() {
+    if (!pendingId_) return;
+    Result result;
+    result.urls = std::move(collected_);
+    collected_.clear();
+    result.elapsed = std::chrono::duration_cast<net::Duration>(network_.now() - sentAt_);
+    pendingId_.reset();
+    Callback cb = std::move(callback_);
+    callback_ = nullptr;
+    if (cb) cb(result);
+}
+
+}  // namespace starlink::mdns

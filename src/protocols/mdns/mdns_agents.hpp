@@ -1,0 +1,95 @@
+// Legacy Bonjour applications: an mDNS responder (advertises a service) and
+// a resolver (browses for one) -- the Apple Bonjour SDK stand-ins.
+//
+// Latency model: Fig 12(a) puts a native Bonjour lookup at ~710 ms
+// (687/710/726). mDNS browsing aggregates responses over a browse window
+// before reporting, so the Resolver waits a calibrated ~700 ms window; the
+// Responder itself answers after a short ~250 ms processing delay, which is
+// the only cost a Starlink bridge pays when it queries Bonjour directly
+// (Fig 12(b) cases 2/4 sit at ~270-290 ms).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/sim_network.hpp"
+#include "protocols/mdns/dns_codec.hpp"
+
+namespace starlink::mdns {
+
+/// Advertises one service and answers matching PTR questions.
+class Responder {
+public:
+    struct Config {
+        std::string host = "10.0.0.3";
+        std::string serviceName = "_printer._tcp.local";
+        std::string url = "http://10.0.0.3:631/ipp";
+        net::Duration responseDelayBase = net::ms(240);
+        net::Duration responseDelayJitter = net::ms(20);
+        std::uint64_t seed = 11;
+    };
+
+    Responder(net::SimNetwork& network, Config config);
+
+    std::size_t questionsAnswered() const { return answered_; }
+    const Config& config() const { return config_; }
+
+private:
+    void onDatagram(const Bytes& payload, const net::Address& from);
+
+    net::SimNetwork& network_;
+    Config config_;
+    Rng rng_;
+    std::unique_ptr<net::UdpSocket> socket_;
+    std::size_t answered_ = 0;
+};
+
+/// Browses for a service type. Like DNSServiceBrowse, browsing is
+/// open-ended: the resolver waits for the FIRST answer however long it
+/// takes, then keeps aggregating further answers over a short window before
+/// reporting. A separate overall timeout bounds the no-answer case.
+class Resolver {
+public:
+    struct Config {
+        std::string host = "10.0.0.1";
+        /// Aggregation window counted from the first answer.
+        net::Duration aggregationBase = net::ms(440);
+        net::Duration aggregationJitter = net::ms(40);
+        /// Give up when NOTHING answers within this bound.
+        net::Duration timeout = net::ms(15000);
+        std::uint64_t seed = 13;
+    };
+
+    struct Result {
+        std::vector<std::string> urls;       // empty == timed out
+        net::Duration elapsed = net::ms(0);  // question out -> report
+    };
+    using Callback = std::function<void(const Result&)>;
+
+    Resolver(net::SimNetwork& network, Config config);
+
+    /// One browse at a time per resolver.
+    void browse(const std::string& serviceName, Callback callback);
+
+private:
+    void onDatagram(const Bytes& payload, const net::Address& from);
+    void report();
+
+    net::SimNetwork& network_;
+    Config config_;
+    Rng rng_;
+    std::unique_ptr<net::UdpSocket> socket_;
+
+    std::optional<std::uint16_t> pendingId_;
+    net::TimePoint sentAt_{};
+    std::vector<std::string> collected_;
+    std::optional<net::EventId> timeoutEvent_;
+    Callback callback_;
+    std::uint16_t nextId_ = 0x2000;
+};
+
+}  // namespace starlink::mdns

@@ -1,0 +1,115 @@
+#include "protocols/slp/slp_agents.hpp"
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace starlink::slp {
+
+namespace {
+/// Evaluates a single-term "(key=value)" predicate against the service's
+/// attributes; empty matches, malformed rejects.
+bool predicateMatches(const std::string& predicate,
+                      const std::map<std::string, std::string>& attributes) {
+    const std::string text = trim(predicate);
+    if (text.empty()) return true;
+    if (text.size() < 2 || text.front() != '(' || text.back() != ')') return false;
+    const auto halves = splitFirst(text.substr(1, text.size() - 2), '=');
+    if (!halves) return false;
+    const auto it = attributes.find(trim(halves->first));
+    return it != attributes.end() && it->second == trim(halves->second);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ServiceAgent
+
+ServiceAgent::ServiceAgent(net::SimNetwork& network, Config config)
+    : network_(network), config_(std::move(config)), rng_(config_.seed) {
+    socket_ = network_.openUdp(config_.host, kPort);
+    socket_->joinGroup(net::Address{kGroup, kPort});
+    socket_->onDatagram([this](const Bytes& payload, const net::Address& from) {
+        onDatagram(payload, from);
+    });
+}
+
+void ServiceAgent::onDatagram(const Bytes& payload, const net::Address& from) {
+    const auto request = decodeRequest(payload);
+    if (!request) return;
+    // Match on service type; an empty request type means "any".
+    if (!request->serviceType.empty() && request->serviceType != config_.serviceType) return;
+    // Respect the previous-responder list (RFC 2608 section 8.1).
+    if (request->prList.find(config_.host) != std::string::npos) return;
+    // Attribute-based selection: the predicate must hold.
+    if (!predicateMatches(request->predicate, config_.attributes)) return;
+
+    SrvReply reply;
+    reply.xid = request->xid;
+    reply.langTag = request->langTag;
+    reply.url = config_.url;
+
+    const auto jitterUs = config_.responseDelayJitter.count();
+    const net::Duration delay =
+        config_.responseDelayBase + (jitterUs > 0 ? net::us(rng_.range(0, jitterUs)) : net::us(0));
+    const Bytes encoded = encode(reply);
+    network_.scheduler().schedule(delay, [this, encoded, from] {
+        socket_->sendTo(from, encoded);
+        ++served_;
+    });
+}
+
+// ---------------------------------------------------------------------------
+// UserAgent
+
+UserAgent::UserAgent(net::SimNetwork& network, Config config)
+    : network_(network), config_(std::move(config)) {
+    socket_ = network_.openUdp(config_.host);  // ephemeral port, per lookup socket reuse
+    socket_->onDatagram([this](const Bytes& payload, const net::Address& from) {
+        onDatagram(payload, from);
+    });
+}
+
+void UserAgent::lookup(const std::string& serviceType, Callback callback) {
+    if (pendingXid_) {
+        STARLINK_LOG(Warn, "slp-ua") << "lookup already in flight; ignoring";
+        return;
+    }
+    SrvRequest request;
+    request.xid = nextXid_++;
+    request.serviceType = serviceType;
+
+    pendingXid_ = request.xid;
+    callback_ = std::move(callback);
+    sentAt_ = network_.now();
+    socket_->sendTo(net::Address{kGroup, kPort}, encode(request));
+
+    timeoutEvent_ = network_.scheduler().schedule(config_.timeout, [this] {
+        timeoutEvent_.reset();
+        Result result;
+        result.elapsed = std::chrono::duration_cast<net::Duration>(network_.now() - sentAt_);
+        finish(std::move(result));
+    });
+}
+
+void UserAgent::onDatagram(const Bytes& payload, const net::Address&) {
+    if (!pendingXid_) return;
+    const auto reply = decodeReply(payload);
+    if (!reply || reply->xid != *pendingXid_ || reply->errorCode != 0) return;
+
+    Result result;
+    result.urls.push_back(reply->url);
+    result.elapsed = std::chrono::duration_cast<net::Duration>(network_.now() - sentAt_);
+    if (timeoutEvent_) {
+        network_.scheduler().cancel(*timeoutEvent_);
+        timeoutEvent_.reset();
+    }
+    finish(std::move(result));
+}
+
+void UserAgent::finish(Result result) {
+    pendingXid_.reset();
+    Callback callback = std::move(callback_);
+    callback_ = nullptr;
+    if (callback) callback(result);
+}
+
+}  // namespace starlink::slp

@@ -1,0 +1,148 @@
+#include "protocols/slp/slp_codec.hpp"
+
+#include "common/error.hpp"
+
+namespace starlink::slp {
+
+namespace {
+
+void appendLengthPrefixed(Bytes& out, const std::string& text) {
+    if (text.size() > 0xffff) throw ProtocolError("slp: string exceeds 16-bit length");
+    appendUint(out, text.size(), 2);
+    out.insert(out.end(), text.begin(), text.end());
+}
+
+/// Header is identical for both messages; body starts at the returned offset.
+Bytes encodeHeader(std::uint8_t function, std::uint16_t xid, const std::string& langTag) {
+    Bytes out;
+    out.push_back(kVersion);
+    out.push_back(function);
+    appendUint(out, 0, 3);  // MessageLength backpatched by finalize()
+    appendUint(out, 0, 2);  // Reserved
+    appendUint(out, 0, 3);  // NextExtOffset
+    appendUint(out, xid, 2);
+    appendLengthPrefixed(out, langTag);
+    return out;
+}
+
+void finalize(Bytes& out) {
+    const std::size_t length = out.size();
+    if (length > 0xffffff) throw ProtocolError("slp: message exceeds 24-bit length");
+    out[2] = static_cast<std::uint8_t>(length >> 16);
+    out[3] = static_cast<std::uint8_t>(length >> 8);
+    out[4] = static_cast<std::uint8_t>(length);
+}
+
+/// Cursor-style reader for decode; every method returns false on truncation.
+struct Reader {
+    const Bytes& data;
+    std::size_t pos = 0;
+
+    bool readUint(int bytes, std::uint64_t& value) {
+        if (!starlink::readUint(data, pos, bytes, value)) return false;
+        pos += static_cast<std::size_t>(bytes);
+        return true;
+    }
+    bool readString(std::string& out) {
+        std::uint64_t length = 0;
+        if (!readUint(2, length)) return false;
+        if (pos + length > data.size()) return false;
+        out.assign(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                   data.begin() + static_cast<std::ptrdiff_t>(pos + length));
+        pos += length;
+        return true;
+    }
+};
+
+struct Header {
+    std::uint8_t function = 0;
+    std::uint16_t xid = 0;
+    std::string langTag;
+};
+
+std::optional<Header> decodeHeader(Reader& reader) {
+    std::uint64_t version = 0;
+    std::uint64_t function = 0;
+    std::uint64_t messageLength = 0;
+    std::uint64_t reserved = 0;
+    std::uint64_t nextExt = 0;
+    std::uint64_t xid = 0;
+    Header header;
+    if (!reader.readUint(1, version) || version != kVersion) return std::nullopt;
+    if (!reader.readUint(1, function)) return std::nullopt;
+    if (!reader.readUint(3, messageLength) || messageLength != reader.data.size()) {
+        return std::nullopt;
+    }
+    if (!reader.readUint(2, reserved) || !reader.readUint(3, nextExt)) return std::nullopt;
+    if (!reader.readUint(2, xid)) return std::nullopt;
+    if (!reader.readString(header.langTag)) return std::nullopt;
+    header.function = static_cast<std::uint8_t>(function);
+    header.xid = static_cast<std::uint16_t>(xid);
+    return header;
+}
+
+}  // namespace
+
+Bytes encode(const SrvRequest& message) {
+    Bytes out = encodeHeader(kFnSrvRqst, message.xid, message.langTag);
+    appendLengthPrefixed(out, message.prList);
+    appendLengthPrefixed(out, message.serviceType);
+    appendLengthPrefixed(out, message.predicate);
+    appendLengthPrefixed(out, message.spi);
+    finalize(out);
+    return out;
+}
+
+Bytes encode(const SrvReply& message) {
+    Bytes out = encodeHeader(kFnSrvRply, message.xid, message.langTag);
+    appendUint(out, message.errorCode, 2);
+    appendUint(out, 1, 2);  // URL entry count (this subset carries exactly one)
+    appendUint(out, 0, 1);  // URL entry: reserved
+    appendUint(out, message.lifetime, 2);
+    appendLengthPrefixed(out, message.url);
+    finalize(out);
+    return out;
+}
+
+std::optional<std::uint8_t> peekFunction(const Bytes& data) {
+    if (data.size() < 2 || data[0] != kVersion) return std::nullopt;
+    return data[1];
+}
+
+std::optional<SrvRequest> decodeRequest(const Bytes& data) {
+    Reader reader{data};
+    const auto header = decodeHeader(reader);
+    if (!header || header->function != kFnSrvRqst) return std::nullopt;
+    SrvRequest out;
+    out.xid = header->xid;
+    out.langTag = header->langTag;
+    if (!reader.readString(out.prList) || !reader.readString(out.serviceType) ||
+        !reader.readString(out.predicate) || !reader.readString(out.spi)) {
+        return std::nullopt;
+    }
+    if (reader.pos != data.size()) return std::nullopt;
+    return out;
+}
+
+std::optional<SrvReply> decodeReply(const Bytes& data) {
+    Reader reader{data};
+    const auto header = decodeHeader(reader);
+    if (!header || header->function != kFnSrvRply) return std::nullopt;
+    SrvReply out;
+    out.xid = header->xid;
+    out.langTag = header->langTag;
+    std::uint64_t errorCode = 0;
+    std::uint64_t count = 0;
+    std::uint64_t reserved = 0;
+    std::uint64_t lifetime = 0;
+    if (!reader.readUint(2, errorCode) || !reader.readUint(2, count)) return std::nullopt;
+    if (count != 1) return std::nullopt;  // subset: exactly one URL entry
+    if (!reader.readUint(1, reserved) || !reader.readUint(2, lifetime)) return std::nullopt;
+    if (!reader.readString(out.url)) return std::nullopt;
+    if (reader.pos != data.size()) return std::nullopt;
+    out.errorCode = static_cast<std::uint16_t>(errorCode);
+    out.lifetime = static_cast<std::uint16_t>(lifetime);
+    return out;
+}
+
+}  // namespace starlink::slp

@@ -1,0 +1,60 @@
+// Service Location Protocol v2 wire codec (RFC 2608 subset).
+//
+// This is a LEGACY protocol stack: hand-written, entirely independent of the
+// Starlink MDL machinery, standing in for OpenSLP in the paper's evaluation
+// (DESIGN.md section 1). The subset covers service discovery as the paper
+// exercises it:
+//   - SrvRqst (FunctionID 1) with PR list, service type, predicate and SPI
+//     (the exact field list of the paper's Fig 7 MDL);
+//   - SrvRply (FunctionID 2) with an error code and ONE URL entry, without
+//     authentication blocks.
+//
+// Header layout (bits): Version 8 | FunctionID 8 | MessageLength 24 |
+// Reserved 16 | NextExtOffset 24 | XID 16 | LangTagLen 16 | LangTag ...
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace starlink::slp {
+
+inline constexpr std::uint8_t kVersion = 2;
+inline constexpr std::uint8_t kFnSrvRqst = 1;
+inline constexpr std::uint8_t kFnSrvRply = 2;
+
+/// SLP's administratively scoped discovery group (RFC 2608 uses
+/// 239.255.255.253; the paper quotes port 427).
+inline constexpr const char* kGroup = "239.255.255.253";
+inline constexpr std::uint16_t kPort = 427;
+
+struct SrvRequest {
+    std::uint16_t xid = 0;
+    std::string langTag = "en";
+    std::string prList;      // previous responders
+    std::string serviceType; // e.g. "service:printer"
+    std::string predicate;
+    std::string spi;
+};
+
+struct SrvReply {
+    std::uint16_t xid = 0;
+    std::string langTag = "en";
+    std::uint16_t errorCode = 0;
+    std::uint16_t lifetime = 65535;
+    std::string url;  // single URL entry
+};
+
+Bytes encode(const SrvRequest& message);
+Bytes encode(const SrvReply& message);
+
+/// Function ID of an encoded message; nullopt when the buffer is not an SLP
+/// v2 message.
+std::optional<std::uint8_t> peekFunction(const Bytes& data);
+
+std::optional<SrvRequest> decodeRequest(const Bytes& data);
+std::optional<SrvReply> decodeReply(const Bytes& data);
+
+}  // namespace starlink::slp

@@ -1,0 +1,181 @@
+#include "protocols/ssdp/ssdp_agents.hpp"
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace starlink::ssdp {
+
+// ---------------------------------------------------------------------------
+// Device
+
+Device::Device(net::SimNetwork& network, Config config)
+    : network_(network), config_(std::move(config)), rng_(config_.seed) {
+    socket_ = network_.openUdp(config_.host, kPort);
+    socket_->joinGroup(net::Address{kGroup, kPort});
+    socket_->onDatagram([this](const Bytes& payload, const net::Address& from) {
+        onDatagram(payload, from);
+    });
+
+    http::Server::Config httpConfig;
+    httpConfig.host = config_.host;
+    httpConfig.port = config_.httpPort;
+    httpConfig.seed = config_.seed + 1;
+    httpServer_ = std::make_unique<http::Server>(network_, httpConfig);
+    httpServer_->addResource(config_.descriptionPath, descriptionBody());
+}
+
+std::string Device::location() const {
+    return "http://" + config_.host + ":" + std::to_string(config_.httpPort) +
+           config_.descriptionPath;
+}
+
+std::string Device::descriptionBody() const {
+    return "<root xmlns=\"urn:schemas-upnp-org:device-1-0\"><device>"
+           "<deviceType>urn:schemas-upnp-org:device:Printer:1</deviceType>"
+           "<friendlyName>Simulated printer</friendlyName>"
+           "<URLBase>" + config_.serviceUrl + "</URLBase>"
+           "<serviceList><service><serviceType>" + config_.st + "</serviceType>"
+           "</service></serviceList>"
+           "</device></root>";
+}
+
+void Device::onDatagram(const Bytes& payload, const net::Address& from) {
+    const auto search = decodeMSearch(payload);
+    if (!search) return;
+    if (search->st != "ssdp:all" && search->st != config_.st) return;
+
+    Response response;
+    response.st = config_.st;
+    response.usn = config_.usn + "::" + config_.st;
+    response.location = location();
+
+    const auto jitterUs = config_.responseDelayJitter.count();
+    const net::Duration delay =
+        config_.responseDelayBase + (jitterUs > 0 ? net::us(rng_.range(0, jitterUs)) : net::us(0));
+    const Bytes encoded = encode(response);
+    network_.scheduler().schedule(delay, [this, encoded, from] {
+        socket_->sendTo(from, encoded);
+        ++answered_;
+    });
+}
+
+// ---------------------------------------------------------------------------
+// ControlPoint
+
+ControlPoint::ControlPoint(net::SimNetwork& network, Config config)
+    : network_(network),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      httpClient_(network, config_.host) {
+    socket_ = network_.openUdp(config_.host);
+    socket_->onDatagram([this](const Bytes& payload, const net::Address& from) {
+        onDatagram(payload, from);
+    });
+}
+
+void ControlPoint::search(const std::string& st, Callback callback) {
+    if (searching_) {
+        STARLINK_LOG(Warn, "ssdp-cp") << "search already in flight; ignoring";
+        return;
+    }
+    searching_ = true;
+    windowExpired_ = false;
+    fetching_ = false;
+    callback_ = std::move(callback);
+    collected_.clear();
+    sentAt_ = network_.now();
+
+    MSearch search;
+    search.st = st;
+    socket_->sendTo(net::Address{kGroup, kPort}, encode(search));
+
+    const auto jitterUs = config_.mxWindowJitter.count();
+    const net::Duration window =
+        config_.mxWindowBase + (jitterUs > 0 ? net::us(rng_.range(0, jitterUs)) : net::us(0));
+    network_.scheduler().schedule(window, [this] { windowClosed(); });
+    if (config_.timeout.count() > 0) {
+        timeoutEvent_ = network_.scheduler().schedule(config_.timeout, [this] {
+            timeoutEvent_.reset();
+            if (!searching_ || fetching_) return;
+            Result result;
+            result.elapsed = std::chrono::duration_cast<net::Duration>(network_.now() - sentAt_);
+            finish(std::move(result));
+        });
+    }
+}
+
+void ControlPoint::onDatagram(const Bytes& payload, const net::Address&) {
+    if (!searching_ || fetching_) return;
+    const auto response = decodeResponse(payload);
+    if (!response) return;
+    collected_.push_back(*response);
+    // A response after the empty window closed resumes processing at once.
+    if (windowExpired_) windowClosed();
+}
+
+void ControlPoint::finish(Result result) {
+    searching_ = false;
+    fetching_ = false;
+    if (timeoutEvent_) {
+        network_.scheduler().cancel(*timeoutEvent_);
+        timeoutEvent_.reset();
+    }
+    Callback cb = std::move(callback_);
+    callback_ = nullptr;
+    if (cb) cb(result);
+}
+
+void ControlPoint::windowClosed() {
+    if (!searching_ || fetching_) return;
+    if (collected_.empty()) {
+        // Unbounded wait: stay subscribed until a device answers.
+        windowExpired_ = true;
+        return;
+    }
+    fetching_ = true;
+
+    // Fetch the first device's description and surface its URLBase.
+    const Response first = collected_.front();
+    std::string host;
+    std::uint16_t port = 80;
+    std::string path = "/";
+    {
+        std::string rest = first.location;
+        if (const std::size_t scheme = rest.find("://"); scheme != std::string::npos) {
+            rest = rest.substr(scheme + 3);
+        }
+        const std::size_t slash = rest.find('/');
+        const std::string authority = slash == std::string::npos ? rest : rest.substr(0, slash);
+        path = slash == std::string::npos ? "/" : rest.substr(slash);
+        const auto hostPort = splitFirst(authority, ':');
+        if (hostPort) {
+            host = hostPort->first;
+            const auto parsed = parseInt(hostPort->second);
+            if (parsed) port = static_cast<std::uint16_t>(*parsed);
+        } else {
+            host = authority;
+        }
+    }
+
+    httpClient_.get(host, port, path, [this](std::optional<http::Response> response) {
+        Result result;
+        if (response && response->status == 200) {
+            if (const auto urlBase = extractUrlBase(response->body)) {
+                result.urls.push_back(*urlBase);
+            }
+        }
+        result.elapsed = std::chrono::duration_cast<net::Duration>(network_.now() - sentAt_);
+        finish(std::move(result));
+    });
+}
+
+std::optional<std::string> extractUrlBase(const std::string& description) {
+    const std::size_t open = description.find("<URLBase>");
+    if (open == std::string::npos) return std::nullopt;
+    const std::size_t start = open + 9;
+    const std::size_t close = description.find("</URLBase>", start);
+    if (close == std::string::npos) return std::nullopt;
+    return trim(description.substr(start, close - start));
+}
+
+}  // namespace starlink::ssdp

@@ -1,0 +1,113 @@
+// Legacy UPnP applications: an SSDP device (with its HTTP description
+// server) and a control point -- the Cyberlink stand-ins.
+//
+// UPnP discovery is two protocols in sequence (exactly how the paper models
+// it, Figs 2-4): the control point multicasts an SSDP M-SEARCH, devices
+// answer with a LOCATION URL, then the control point fetches the device
+// description over HTTP and reads its URLBase.
+//
+// Latency model: Fig 12(a) puts a native UPnP lookup at ~1.0 s (945/1014/
+// 1079 ms). Cyberlink-style control points wait out an MX-derived window
+// before processing answers, then pay the HTTP fetch; the device itself
+// answers M-SEARCH after ~250 ms and its HTTP server after ~40 ms, which is
+// all a Starlink bridge pays on the UPnP leg (Fig 12(b) case 1 at ~337 ms).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/sim_network.hpp"
+#include "protocols/http/http_agents.hpp"
+#include "protocols/ssdp/ssdp_codec.hpp"
+
+namespace starlink::ssdp {
+
+/// An advertised UPnP device: SSDP answering + HTTP description serving.
+class Device {
+public:
+    struct Config {
+        std::string host = "10.0.0.3";
+        std::string st = "urn:schemas-upnp-org:service:printer:1";
+        std::string usn = "uuid:sim-device-0001";
+        std::uint16_t httpPort = 8080;
+        std::string descriptionPath = "/desc.xml";
+        /// The service control URL advertised through URLBase.
+        std::string serviceUrl = "http://10.0.0.3:9090/print";
+        net::Duration responseDelayBase = net::ms(240);
+        net::Duration responseDelayJitter = net::ms(25);
+        std::uint64_t seed = 19;
+    };
+
+    Device(net::SimNetwork& network, Config config);
+
+    std::size_t searchesAnswered() const { return answered_; }
+    const Config& config() const { return config_; }
+    std::string location() const;
+    std::string descriptionBody() const;
+
+private:
+    void onDatagram(const Bytes& payload, const net::Address& from);
+
+    net::SimNetwork& network_;
+    Config config_;
+    Rng rng_;
+    std::unique_ptr<net::UdpSocket> socket_;
+    std::unique_ptr<http::Server> httpServer_;
+    std::size_t answered_ = 0;
+};
+
+/// Searches for a device and resolves its service URL (SSDP + HTTP GET).
+class ControlPoint {
+public:
+    struct Config {
+        std::string host = "10.0.0.1";
+        /// Cyberlink-style response aggregation window before the HTTP fetch.
+        net::Duration mxWindowBase = net::ms(900);
+        net::Duration mxWindowJitter = net::ms(90);
+        /// When the window closes empty the control point KEEPS WAITING and
+        /// proceeds at the first late response ("Cyberlink does not bound
+        /// the response time" -- paper section VI). A non-zero timeout
+        /// bounds that wait for fault-injection tests; 0 = unbounded.
+        net::Duration timeout = net::ms(0);
+        std::uint64_t seed = 23;
+    };
+
+    struct Result {
+        std::vector<std::string> urls;       // URLBase of each resolved device
+        net::Duration elapsed = net::ms(0);  // search out -> description parsed
+    };
+    using Callback = std::function<void(const Result&)>;
+
+    ControlPoint(net::SimNetwork& network, Config config);
+
+    /// One search at a time per control point.
+    void search(const std::string& st, Callback callback);
+
+private:
+    void onDatagram(const Bytes& payload, const net::Address& from);
+    void windowClosed();
+    void finish(Result result);
+
+    net::SimNetwork& network_;
+    Config config_;
+    Rng rng_;
+    std::unique_ptr<net::UdpSocket> socket_;
+    http::Client httpClient_;
+
+    bool searching_ = false;
+    bool windowExpired_ = false;
+    bool fetching_ = false;
+    net::TimePoint sentAt_{};
+    std::vector<Response> collected_;
+    std::optional<net::EventId> timeoutEvent_;
+    Callback callback_;
+};
+
+/// Pulls the URLBase element out of a device description document.
+std::optional<std::string> extractUrlBase(const std::string& description);
+
+}  // namespace starlink::ssdp

@@ -1,0 +1,89 @@
+#include "protocols/ssdp/ssdp_codec.hpp"
+
+#include <map>
+
+#include "common/strings.hpp"
+
+namespace starlink::ssdp {
+
+namespace {
+
+constexpr const char* kCrlf = "\r\n";
+
+/// Splits a text datagram into (request line, lowercased-header map).
+/// Returns false when there is no request line.
+bool splitMessage(const Bytes& data, std::string& requestLine,
+                  std::map<std::string, std::string>& headers) {
+    const std::string text = toString(data);
+    const std::vector<std::string> lines = split(text, std::string_view(kCrlf));
+    if (lines.empty()) return false;
+    requestLine = lines[0];
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        if (lines[i].empty()) break;
+        const auto halves = splitFirst(lines[i], ':');
+        if (!halves) continue;  // lenient: skip malformed lines
+        headers[toLower(trim(halves->first))] = trim(halves->second);
+    }
+    return true;
+}
+
+}  // namespace
+
+Bytes encode(const MSearch& message) {
+    std::string out = "M-SEARCH * HTTP/1.1";
+    out += kCrlf;
+    out += "HOST: " + message.host + kCrlf;
+    out += "MAN: " + message.man + kCrlf;
+    out += "MX: " + std::to_string(message.mx) + kCrlf;
+    out += "ST: " + message.st + kCrlf;
+    out += kCrlf;
+    return toBytes(out);
+}
+
+Bytes encode(const Response& message) {
+    std::string out = "HTTP/1.1 200 OK";
+    out += kCrlf;
+    out += "CACHE-CONTROL: " + message.cacheControl + kCrlf;
+    out += "EXT: " + std::string(kCrlf);
+    out += "LOCATION: " + message.location + kCrlf;
+    out += "SERVER: " + message.server + kCrlf;
+    out += "ST: " + message.st + kCrlf;
+    out += "USN: " + message.usn + kCrlf;
+    out += kCrlf;
+    return toBytes(out);
+}
+
+std::optional<MSearch> decodeMSearch(const Bytes& data) {
+    std::string requestLine;
+    std::map<std::string, std::string> headers;
+    if (!splitMessage(data, requestLine, headers)) return std::nullopt;
+    if (!startsWith(requestLine, "M-SEARCH")) return std::nullopt;
+    MSearch out;
+    if (const auto it = headers.find("st"); it != headers.end()) out.st = it->second;
+    if (const auto it = headers.find("host"); it != headers.end()) out.host = it->second;
+    if (const auto it = headers.find("man"); it != headers.end()) out.man = it->second;
+    if (const auto it = headers.find("mx"); it != headers.end()) {
+        const auto mx = parseInt(it->second);
+        if (mx) out.mx = static_cast<int>(*mx);
+    }
+    return out;
+}
+
+std::optional<Response> decodeResponse(const Bytes& data) {
+    std::string requestLine;
+    std::map<std::string, std::string> headers;
+    if (!splitMessage(data, requestLine, headers)) return std::nullopt;
+    if (!startsWith(requestLine, "HTTP/1.1 200")) return std::nullopt;
+    Response out;
+    if (const auto it = headers.find("st"); it != headers.end()) out.st = it->second;
+    if (const auto it = headers.find("usn"); it != headers.end()) out.usn = it->second;
+    if (const auto it = headers.find("location"); it != headers.end()) out.location = it->second;
+    if (const auto it = headers.find("cache-control"); it != headers.end()) {
+        out.cacheControl = it->second;
+    }
+    if (const auto it = headers.find("server"); it != headers.end()) out.server = it->second;
+    if (out.location.empty()) return std::nullopt;  // discovery response must point somewhere
+    return out;
+}
+
+}  // namespace starlink::ssdp

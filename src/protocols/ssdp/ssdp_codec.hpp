@@ -1,0 +1,46 @@
+// SSDP text codec (UPnP discovery step 1).
+//
+// LEGACY stack standing in for Cyberlink's SSDP layer. Wire format per the
+// UPnP Device Architecture:
+//
+//   M-SEARCH * HTTP/1.1\r\n          HTTP/1.1 200 OK\r\n
+//   HOST: 239.255.255.250:1900\r\n   CACHE-CONTROL: max-age=1800\r\n
+//   MAN: "ssdp:discover"\r\n         EXT:\r\n
+//   MX: 2\r\n                        LOCATION: http://10.0.0.3:8080/desc.xml\r\n
+//   ST: urn:...:service:printer:1    SERVER: Starlink-Sim/1.0\r\n
+//   \r\n                             ST: urn:...\r\n
+//                                    USN: uuid:...::urn:...\r\n\r\n
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace starlink::ssdp {
+
+inline constexpr const char* kGroup = "239.255.255.250";
+inline constexpr std::uint16_t kPort = 1900;
+
+struct MSearch {
+    std::string st = "ssdp:all";  // search target
+    int mx = 2;                   // seconds a device may delay its answer
+    std::string host = std::string(kGroup) + ":1900";
+    std::string man = "\"ssdp:discover\"";
+};
+
+struct Response {
+    std::string st;
+    std::string usn;
+    std::string location;  // URL of the device description
+    std::string cacheControl = "max-age=1800";
+    std::string server = "Starlink-Sim/1.0 UPnP/1.0";
+};
+
+Bytes encode(const MSearch& message);
+Bytes encode(const Response& message);
+
+std::optional<MSearch> decodeMSearch(const Bytes& data);
+std::optional<Response> decodeResponse(const Bytes& data);
+
+}  // namespace starlink::ssdp

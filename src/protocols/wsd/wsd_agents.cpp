@@ -1,0 +1,93 @@
+#include "protocols/wsd/wsd_agents.hpp"
+
+#include "common/log.hpp"
+
+namespace starlink::wsd {
+
+// ---------------------------------------------------------------------------
+// Target
+
+Target::Target(net::SimNetwork& network, Config config)
+    : network_(network), config_(std::move(config)), rng_(config_.seed) {
+    socket_ = network_.openUdp(config_.host, kPort);
+    socket_->joinGroup(net::Address{kGroup, kPort});
+    socket_->onDatagram([this](const Bytes& payload, const net::Address& from) {
+        onDatagram(payload, from);
+    });
+}
+
+void Target::onDatagram(const Bytes& payload, const net::Address& from) {
+    const auto probe = decodeProbe(payload);
+    if (!probe) return;
+    if (!probe->types.empty() && probe->types != config_.types) return;
+
+    ProbeMatch match;
+    match.messageId = "uuid:target-" + config_.host + "-" + std::to_string(nextId_++);
+    match.relatesTo = probe->messageId;
+    match.types = config_.types;
+    match.xaddrs = config_.xaddrs;
+
+    const auto jitterUs = config_.responseDelayJitter.count();
+    const net::Duration delay =
+        config_.responseDelayBase + (jitterUs > 0 ? net::us(rng_.range(0, jitterUs)) : net::us(0));
+    const Bytes encoded = encode(match);
+    network_.scheduler().schedule(delay, [this, encoded, from] {
+        socket_->sendTo(from, encoded);
+        ++answered_;
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+Client::Client(net::SimNetwork& network, Config config)
+    : network_(network), config_(std::move(config)) {
+    socket_ = network_.openUdp(config_.host);
+    socket_->onDatagram([this](const Bytes& payload, const net::Address& from) {
+        onDatagram(payload, from);
+    });
+}
+
+void Client::probe(const std::string& types, Callback callback) {
+    if (pendingId_) {
+        STARLINK_LOG(Warn, "wsd-client") << "probe already in flight; ignoring";
+        return;
+    }
+    Probe probe;
+    probe.messageId = "uuid:client-" + std::to_string(nextId_++);
+    probe.types = types;
+    pendingId_ = probe.messageId;
+    callback_ = std::move(callback);
+    sentAt_ = network_.now();
+    socket_->sendTo(net::Address{kGroup, kPort}, encode(probe));
+
+    timeoutEvent_ = network_.scheduler().schedule(config_.timeout, [this] {
+        timeoutEvent_.reset();
+        Result result;
+        result.elapsed = std::chrono::duration_cast<net::Duration>(network_.now() - sentAt_);
+        finish(std::move(result));
+    });
+}
+
+void Client::onDatagram(const Bytes& payload, const net::Address&) {
+    if (!pendingId_) return;
+    const auto match = decodeProbeMatch(payload);
+    if (!match || match->relatesTo != *pendingId_) return;
+    Result result;
+    result.xaddrs.push_back(match->xaddrs);
+    result.elapsed = std::chrono::duration_cast<net::Duration>(network_.now() - sentAt_);
+    if (timeoutEvent_) {
+        network_.scheduler().cancel(*timeoutEvent_);
+        timeoutEvent_.reset();
+    }
+    finish(std::move(result));
+}
+
+void Client::finish(Result result) {
+    pendingId_.reset();
+    Callback callback = std::move(callback_);
+    callback_ = nullptr;
+    if (callback) callback(result);
+}
+
+}  // namespace starlink::wsd

@@ -1,0 +1,77 @@
+// Legacy WS-Discovery applications: a discoverable Target service and a
+// probing Client.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/sim_network.hpp"
+#include "protocols/wsd/wsd_codec.hpp"
+
+namespace starlink::wsd {
+
+/// Answers Probes whose Types match the advertised service.
+class Target {
+public:
+    struct Config {
+        std::string host = "10.0.0.3";
+        std::string types = "printer";
+        std::string xaddrs = "http://10.0.0.3:5357/printer";
+        net::Duration responseDelayBase = net::ms(200);
+        net::Duration responseDelayJitter = net::ms(30);
+        std::uint64_t seed = 37;
+    };
+
+    Target(net::SimNetwork& network, Config config);
+
+    std::size_t probesAnswered() const { return answered_; }
+    const Config& config() const { return config_; }
+
+private:
+    void onDatagram(const Bytes& payload, const net::Address& from);
+
+    net::SimNetwork& network_;
+    Config config_;
+    Rng rng_;
+    std::unique_ptr<net::UdpSocket> socket_;
+    std::size_t answered_ = 0;
+    std::uint32_t nextId_ = 1;
+};
+
+/// Multicasts one Probe and reports the first match (or timeout).
+class Client {
+public:
+    struct Config {
+        std::string host = "10.0.0.1";
+        net::Duration timeout = net::ms(5000);
+    };
+
+    struct Result {
+        std::vector<std::string> xaddrs;  // empty == timed out
+        net::Duration elapsed = net::ms(0);
+    };
+    using Callback = std::function<void(const Result&)>;
+
+    Client(net::SimNetwork& network, Config config);
+
+    void probe(const std::string& types, Callback callback);
+
+private:
+    void onDatagram(const Bytes& payload, const net::Address& from);
+    void finish(Result result);
+
+    net::SimNetwork& network_;
+    Config config_;
+    std::unique_ptr<net::UdpSocket> socket_;
+    std::optional<std::string> pendingId_;
+    net::TimePoint sentAt_{};
+    std::optional<net::EventId> timeoutEvent_;
+    Callback callback_;
+    std::uint32_t nextId_ = 100;
+};
+
+}  // namespace starlink::wsd

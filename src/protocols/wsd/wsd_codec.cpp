@@ -1,0 +1,82 @@
+#include "protocols/wsd/wsd_codec.hpp"
+
+#include "common/strings.hpp"
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace starlink::wsd {
+
+namespace {
+
+std::unique_ptr<xml::Node> parseEnvelope(const Bytes& data, const char* action) {
+    std::unique_ptr<xml::Node> root;
+    try {
+        root = xml::parse(toString(data));
+    } catch (...) {
+        return nullptr;
+    }
+    if (root->name() != "Envelope") return nullptr;
+    const xml::Node* header = root->child("Header");
+    if (header == nullptr) return nullptr;
+    const auto actionText = header->childText("Action");
+    if (!actionText || trim(*actionText) != action) return nullptr;
+    return root;
+}
+
+std::string textAt(const xml::Node& root, std::initializer_list<const char*> path) {
+    const xml::Node* current = &root;
+    for (const char* step : path) {
+        current = current->child(step);
+        if (current == nullptr) return "";
+    }
+    return trim(current->text());
+}
+
+}  // namespace
+
+Bytes encode(const Probe& message) {
+    xml::Node root("Envelope");
+    xml::Node& header = root.appendChild("Header");
+    header.appendChild("Action").setText(kActionProbe);
+    header.appendChild("MessageID").setText(message.messageId);
+    root.appendChild("Body").appendChild("Probe").appendChild("Types").setText(message.types);
+    return toBytes(xml::write(root));
+}
+
+Bytes encode(const ProbeMatch& message) {
+    xml::Node root("Envelope");
+    xml::Node& header = root.appendChild("Header");
+    header.appendChild("Action").setText(kActionProbeMatches);
+    header.appendChild("MessageID").setText(message.messageId);
+    header.appendChild("RelatesTo").setText(message.relatesTo);
+    xml::Node& match =
+        root.appendChild("Body").appendChild("ProbeMatches").appendChild("ProbeMatch");
+    match.appendChild("Types").setText(message.types);
+    match.appendChild("XAddrs").setText(message.xaddrs);
+    return toBytes(xml::write(root));
+}
+
+std::optional<Probe> decodeProbe(const Bytes& data) {
+    const auto root = parseEnvelope(data, kActionProbe);
+    if (!root) return std::nullopt;
+    Probe out;
+    out.messageId = textAt(*root, {"Header", "MessageID"});
+    out.types = textAt(*root, {"Body", "Probe", "Types"});
+    if (out.types.empty()) return std::nullopt;
+    return out;
+}
+
+std::optional<ProbeMatch> decodeProbeMatch(const Bytes& data) {
+    const auto root = parseEnvelope(data, kActionProbeMatches);
+    if (!root) return std::nullopt;
+    ProbeMatch out;
+    out.messageId = textAt(*root, {"Header", "MessageID"});
+    out.relatesTo = textAt(*root, {"Header", "RelatesTo"});
+    out.types = textAt(*root, {"Body", "ProbeMatches", "ProbeMatch", "Types"});
+    out.xaddrs = textAt(*root, {"Body", "ProbeMatches", "ProbeMatch", "XAddrs"});
+    if (out.xaddrs.empty()) return std::nullopt;
+    return out;
+}
+
+}  // namespace starlink::wsd

@@ -1,0 +1,56 @@
+// WS-Discovery codec (simplified SOAP-over-UDP).
+//
+// LEGACY stack exercising the XML protocol family: Probe / ProbeMatches
+// envelopes on the WS-Discovery multicast group (239.255.255.250:3702).
+// The envelope structure follows the WS-Discovery 1.0 shape without
+// namespaces or signature blocks (DESIGN.md substitution rule):
+//
+//   <Envelope>
+//     <Header>
+//       <Action>http://schemas.xmlsoap.org/ws/2005/04/discovery/Probe</Action>
+//       <MessageID>uuid:...</MessageID>
+//       <RelatesTo>uuid:...</RelatesTo>            (matches only)
+//     </Header>
+//     <Body>
+//       <Probe><Types>printer</Types></Probe>       (probe)
+//       <ProbeMatches><ProbeMatch>
+//         <Types>printer</Types><XAddrs>http://...</XAddrs>
+//       </ProbeMatch></ProbeMatches>                (match)
+//     </Body>
+//   </Envelope>
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace starlink::wsd {
+
+inline constexpr const char* kGroup = "239.255.255.250";
+inline constexpr std::uint16_t kPort = 3702;
+
+inline constexpr const char* kActionProbe =
+    "http://schemas.xmlsoap.org/ws/2005/04/discovery/Probe";
+inline constexpr const char* kActionProbeMatches =
+    "http://schemas.xmlsoap.org/ws/2005/04/discovery/ProbeMatches";
+
+struct Probe {
+    std::string messageId;  // "uuid:..."
+    std::string types;      // e.g. "printer"
+};
+
+struct ProbeMatch {
+    std::string messageId;
+    std::string relatesTo;  // the probe's MessageID
+    std::string types;
+    std::string xaddrs;     // the service's transport address (URL)
+};
+
+Bytes encode(const Probe& message);
+Bytes encode(const ProbeMatch& message);
+
+std::optional<Probe> decodeProbe(const Bytes& data);
+std::optional<ProbeMatch> decodeProbeMatch(const Bytes& data);
+
+}  // namespace starlink::wsd

@@ -1,0 +1,83 @@
+#include "xml/dom.hpp"
+
+#include "common/strings.hpp"
+
+namespace starlink::xml {
+
+void Node::setAttribute(const std::string& key, std::string value) {
+    for (auto& [k, v] : attributes_) {
+        if (k == key) {
+            v = std::move(value);
+            return;
+        }
+    }
+    attributes_.emplace_back(key, std::move(value));
+}
+
+std::optional<std::string> Node::attribute(std::string_view key) const {
+    for (const auto& [k, v] : attributes_) {
+        if (k == key) return v;
+    }
+    return std::nullopt;
+}
+
+Node& Node::appendChild(std::string name) {
+    children_.push_back(std::make_unique<Node>(std::move(name)));
+    return *children_.back();
+}
+
+void Node::adoptChild(std::unique_ptr<Node> child) {
+    children_.push_back(std::move(child));
+}
+
+const Node* Node::child(std::string_view name) const {
+    for (const auto& c : children_) {
+        if (c->name() == name) return c.get();
+    }
+    return nullptr;
+}
+
+Node* Node::child(std::string_view name) {
+    for (const auto& c : children_) {
+        if (c->name() == name) return c.get();
+    }
+    return nullptr;
+}
+
+std::vector<const Node*> Node::childrenNamed(std::string_view name) const {
+    std::vector<const Node*> out;
+    for (const auto& c : children_) {
+        if (c->name() == name) out.push_back(c.get());
+    }
+    return out;
+}
+
+std::optional<std::string> Node::childText(std::string_view name) const {
+    const Node* c = child(name);
+    if (c == nullptr) return std::nullopt;
+    return c->text();
+}
+
+std::unique_ptr<Node> Node::clone() const {
+    auto copy = std::make_unique<Node>(name_);
+    copy->text_ = text_;
+    copy->attributes_ = attributes_;
+    copy->children_.reserve(children_.size());
+    for (const auto& c : children_) {
+        copy->children_.push_back(c->clone());
+    }
+    return copy;
+}
+
+bool Node::structurallyEquals(const Node& other) const {
+    if (name_ != other.name_) return false;
+    if (trim(text_) != trim(other.text_)) return false;
+    if (attributes_ != other.attributes_) return false;
+    if (children_.size() != other.children_.size()) return false;
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (!children_[i]->structurallyEquals(*other.children_[i])) return false;
+    }
+    return true;
+}
+
+}  // namespace starlink::xml

@@ -1,0 +1,68 @@
+// A small XML document object model.
+//
+// Starlink interprets its models -- MDL documents, bridge specifications,
+// abstract-message projections -- as XML at runtime (paper section IV). This
+// DOM supports exactly what those models need: elements, attributes, text
+// content and child elements. Namespaces, CDATA and processing instructions
+// beyond the <?xml?> declaration are out of scope.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace starlink::xml {
+
+/// One XML element. Children are owned; the tree is a strict hierarchy.
+class Node {
+public:
+    explicit Node(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /// Concatenated character data directly inside this element
+    /// (child-element text is NOT included).
+    const std::string& text() const { return text_; }
+    void setText(std::string text) { text_ = std::move(text); }
+    void appendText(std::string_view text) { text_ += text; }
+
+    // -- attributes (ordered, first occurrence wins on lookup) --------------
+    void setAttribute(const std::string& key, std::string value);
+    std::optional<std::string> attribute(std::string_view key) const;
+    const std::vector<std::pair<std::string, std::string>>& attributes() const {
+        return attributes_;
+    }
+
+    // -- children ------------------------------------------------------------
+    Node& appendChild(std::string name);
+    void adoptChild(std::unique_ptr<Node> child);
+    const std::vector<std::unique_ptr<Node>>& children() const { return children_; }
+    std::vector<std::unique_ptr<Node>>& children() { return children_; }
+
+    /// First child element with the given name, or nullptr.
+    const Node* child(std::string_view name) const;
+    Node* child(std::string_view name);
+
+    /// All child elements with the given name, in document order.
+    std::vector<const Node*> childrenNamed(std::string_view name) const;
+
+    /// Text of the first child with the given name; nullopt when absent.
+    std::optional<std::string> childText(std::string_view name) const;
+
+    /// Deep copy of this subtree.
+    std::unique_ptr<Node> clone() const;
+
+    /// Structural equality (name, attributes in order, trimmed text, children).
+    bool structurallyEquals(const Node& other) const;
+
+private:
+    std::string name_;
+    std::string text_;
+    std::vector<std::pair<std::string, std::string>> attributes_;
+    std::vector<std::unique_ptr<Node>> children_;
+};
+
+}  // namespace starlink::xml

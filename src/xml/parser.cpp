@@ -1,0 +1,205 @@
+#include "xml/parser.hpp"
+
+#include <cctype>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace starlink::xml {
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view input) : input_(input) {}
+
+    std::unique_ptr<Node> parseDocument() {
+        skipProlog();
+        auto root = parseElement();
+        skipMisc();
+        if (!atEnd()) fail("trailing content after root element");
+        return root;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& message) const {
+        std::size_t line = 1;
+        std::size_t column = 1;
+        for (std::size_t i = 0; i < pos_ && i < input_.size(); ++i) {
+            if (input_[i] == '\n') {
+                ++line;
+                column = 1;
+            } else {
+                ++column;
+            }
+        }
+        throw SpecError("xml parse error at line " + std::to_string(line) + ", column " +
+                        std::to_string(column) + ": " + message);
+    }
+
+    bool atEnd() const { return pos_ >= input_.size(); }
+    char peek() const { return input_[pos_]; }
+    char take() { return input_[pos_++]; }
+
+    bool lookingAt(std::string_view s) const {
+        return input_.substr(pos_, s.size()) == s;
+    }
+
+    void expect(char c) {
+        if (atEnd() || peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    void skipWhitespace() {
+        while (!atEnd() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+
+    void skipComment() {
+        // Assumes "<!--" is next.
+        pos_ += 4;
+        const std::size_t end = input_.find("-->", pos_);
+        if (end == std::string_view::npos) fail("unterminated comment");
+        pos_ = end + 3;
+    }
+
+    void skipProlog() {
+        skipWhitespace();
+        if (lookingAt("<?xml")) {
+            const std::size_t end = input_.find("?>", pos_);
+            if (end == std::string_view::npos) fail("unterminated xml declaration");
+            pos_ = end + 2;
+        }
+        skipMisc();
+    }
+
+    void skipMisc() {
+        while (true) {
+            skipWhitespace();
+            if (lookingAt("<!--")) {
+                skipComment();
+            } else {
+                return;
+            }
+        }
+    }
+
+    static bool isNameStart(char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+    }
+    static bool isNameChar(char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+               c == '-' || c == '.';
+    }
+
+    std::string parseName() {
+        if (atEnd() || !isNameStart(peek())) fail("expected name");
+        const std::size_t start = pos_;
+        ++pos_;
+        while (!atEnd() && isNameChar(peek())) ++pos_;
+        return std::string(input_.substr(start, pos_ - start));
+    }
+
+    std::string decodeEntity() {
+        // Assumes '&' is next.
+        const std::size_t semi = input_.find(';', pos_);
+        if (semi == std::string_view::npos || semi - pos_ > 10) fail("unterminated entity");
+        const std::string_view entity = input_.substr(pos_ + 1, semi - pos_ - 1);
+        pos_ = semi + 1;
+        if (entity == "lt") return "<";
+        if (entity == "gt") return ">";
+        if (entity == "amp") return "&";
+        if (entity == "quot") return "\"";
+        if (entity == "apos") return "'";
+        if (!entity.empty() && entity[0] == '#') {
+            long code = 0;
+            try {
+                code = entity[1] == 'x' || entity[1] == 'X'
+                           ? std::stol(std::string(entity.substr(2)), nullptr, 16)
+                           : std::stol(std::string(entity.substr(1)), nullptr, 10);
+            } catch (...) {
+                fail("bad numeric entity");
+            }
+            if (code < 0 || code > 255) fail("numeric entity outside byte range");
+            return std::string(1, static_cast<char>(code));
+        }
+        fail("unknown entity '&" + std::string(entity) + ";'");
+    }
+
+    std::string parseAttributeValue() {
+        if (atEnd() || (peek() != '"' && peek() != '\'')) fail("expected quoted value");
+        const char quote = take();
+        std::string value;
+        while (!atEnd() && peek() != quote) {
+            if (peek() == '&') {
+                value += decodeEntity();
+            } else {
+                value.push_back(take());
+            }
+        }
+        expect(quote);
+        return value;
+    }
+
+    std::unique_ptr<Node> parseElement() {
+        expect('<');
+        auto node = std::make_unique<Node>(parseName());
+        // Attributes.
+        while (true) {
+            skipWhitespace();
+            if (atEnd()) fail("unterminated start tag");
+            if (peek() == '/' || peek() == '>') break;
+            const std::string key = parseName();
+            skipWhitespace();
+            expect('=');
+            skipWhitespace();
+            node->setAttribute(key, parseAttributeValue());
+        }
+        if (peek() == '/') {
+            ++pos_;
+            expect('>');
+            return node;  // self-closing
+        }
+        expect('>');
+        parseContent(*node);
+        return node;
+    }
+
+    void parseContent(Node& node) {
+        while (true) {
+            if (atEnd()) fail("unterminated element <" + node.name() + ">");
+            if (peek() == '<') {
+                if (lookingAt("<!--")) {
+                    skipComment();
+                } else if (lookingAt("</")) {
+                    pos_ += 2;
+                    const std::string name = parseName();
+                    if (name != node.name()) {
+                        fail("mismatched close tag </" + name + "> for <" + node.name() + ">");
+                    }
+                    skipWhitespace();
+                    expect('>');
+                    return;
+                } else {
+                    node.adoptChild(parseElement());
+                }
+            } else if (peek() == '&') {
+                node.appendText(decodeEntity());
+            } else {
+                const std::size_t start = pos_;
+                while (!atEnd() && peek() != '<' && peek() != '&') ++pos_;
+                node.appendText(input_.substr(start, pos_ - start));
+            }
+        }
+    }
+
+    std::string_view input_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Node> parse(std::string_view document) {
+    return Parser(document).parseDocument();
+}
+
+}  // namespace starlink::xml

@@ -1,0 +1,24 @@
+// Recursive-descent XML parser producing a Node tree.
+//
+// Supports the subset of XML that Starlink models use:
+//   - elements with attributes (single- or double-quoted values)
+//   - character data with the five predefined entities and &#NN; / &#xNN;
+//   - comments and an optional leading <?xml ...?> declaration
+//   - self-closing tags
+//
+// Malformed input throws SpecError with a line/column position: model files
+// are specifications, so failing loudly at load time is the correct contract
+// (see common/error.hpp).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "xml/dom.hpp"
+
+namespace starlink::xml {
+
+/// Parses a complete document; returns its single root element.
+std::unique_ptr<Node> parse(std::string_view document);
+
+}  // namespace starlink::xml

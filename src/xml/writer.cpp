@@ -1,0 +1,80 @@
+#include "xml/writer.hpp"
+
+#include "common/strings.hpp"
+
+namespace starlink::xml {
+
+namespace {
+
+void escapeInto(std::string& out, std::string_view raw, bool inAttribute) {
+    for (char c : raw) {
+        switch (c) {
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '&': out += "&amp;"; break;
+            case '"':
+                if (inAttribute) {
+                    out += "&quot;";
+                } else {
+                    out.push_back(c);
+                }
+                break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20 && c != '\n' && c != '\t' && c != '\r') {
+                    out += "&#" + std::to_string(static_cast<unsigned char>(c)) + ";";
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+}
+
+void writeNode(std::string& out, const Node& node, const WriteOptions& options, int depth) {
+    const std::string pad = options.indent ? std::string(static_cast<std::size_t>(depth) * 2, ' ')
+                                           : std::string();
+    out += pad;
+    out += '<';
+    out += node.name();
+    for (const auto& [key, value] : node.attributes()) {
+        out += ' ';
+        out += key;
+        out += "=\"";
+        escapeInto(out, value, /*inAttribute=*/true);
+        out += '"';
+    }
+    const std::string text = trim(node.text());
+    if (text.empty() && node.children().empty()) {
+        out += "/>";
+        if (options.indent) out += '\n';
+        return;
+    }
+    out += '>';
+    if (node.children().empty()) {
+        escapeInto(out, text, /*inAttribute=*/false);
+    } else {
+        if (options.indent) out += '\n';
+        if (!text.empty()) {
+            out += options.indent ? pad + "  " : "";
+            escapeInto(out, text, /*inAttribute=*/false);
+            if (options.indent) out += '\n';
+        }
+        for (const auto& child : node.children()) {
+            writeNode(out, *child, options, depth + 1);
+        }
+        out += pad;
+    }
+    out += "</";
+    out += node.name();
+    out += '>';
+    if (options.indent) out += '\n';
+}
+
+}  // namespace
+
+std::string write(const Node& node, const WriteOptions& options) {
+    std::string out;
+    writeNode(out, node, options, 0);
+    return out;
+}
+
+}  // namespace starlink::xml

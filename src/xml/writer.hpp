@@ -1,0 +1,19 @@
+// XML serializer: the inverse of parser.hpp for the supported subset.
+#pragma once
+
+#include <string>
+
+#include "xml/dom.hpp"
+
+namespace starlink::xml {
+
+struct WriteOptions {
+    /// Pretty-print with 2-space indentation; otherwise emit a single line.
+    bool indent = true;
+};
+
+/// Serializes the subtree rooted at `node`. Text and attribute values are
+/// entity-escaped so that parse(write(n)) is structurally identical to n.
+std::string write(const Node& node, const WriteOptions& options = {});
+
+}  // namespace starlink::xml

@@ -1,0 +1,211 @@
+#include "xml/xpath.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace starlink::xml {
+
+namespace {
+
+class StepLexer {
+public:
+    explicit StepLexer(std::string_view expr) : expr_(expr) {}
+
+    [[noreturn]] void fail(const std::string& message) const {
+        throw SpecError("xpath error in '" + std::string(expr_) + "': " + message);
+    }
+
+    bool atEnd() const { return pos_ >= expr_.size(); }
+    char peek() const { return expr_[pos_]; }
+    void advance() { ++pos_; }
+
+    void expect(char c) {
+        if (atEnd() || peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    std::string name() {
+        const std::size_t start = pos_;
+        while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
+                            peek() == '-' || peek() == '.' || peek() == ':')) {
+            ++pos_;
+        }
+        if (pos_ == start) fail("expected name");
+        return std::string(expr_.substr(start, pos_ - start));
+    }
+
+    std::string quoted() {
+        if (atEnd() || (peek() != '\'' && peek() != '"')) fail("expected quoted string");
+        const char quote = peek();
+        ++pos_;
+        const std::size_t start = pos_;
+        while (!atEnd() && peek() != quote) ++pos_;
+        if (atEnd()) fail("unterminated string");
+        const std::string value(expr_.substr(start, pos_ - start));
+        ++pos_;
+        return value;
+    }
+
+private:
+    std::string_view expr_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Step::matches(const Node& node, int oneBasedIndexAmongMatches) const {
+    if (node.name() != name) return false;
+    switch (predicate) {
+        case PredicateKind::None:
+            return true;
+        case PredicateKind::ChildText: {
+            const Node* child = node.child(predicateName);
+            return child != nullptr && trim(child->text()) == predicateValue;
+        }
+        case PredicateKind::Attribute: {
+            const auto value = node.attribute(predicateName);
+            return value.has_value() && *value == predicateValue;
+        }
+        case PredicateKind::Position:
+            return oneBasedIndexAmongMatches == position;
+    }
+    return false;
+}
+
+Path Path::compile(std::string_view expression) {
+    Path path;
+    path.expression_ = std::string(expression);
+    StepLexer lexer(expression);
+    if (lexer.atEnd()) lexer.fail("empty path");
+    while (!lexer.atEnd()) {
+        lexer.expect('/');
+        Step step;
+        step.name = lexer.name();
+        if (!lexer.atEnd() && lexer.peek() == '[') {
+            lexer.advance();
+            if (!lexer.atEnd() && lexer.peek() == '@') {
+                lexer.advance();
+                step.predicate = Step::PredicateKind::Attribute;
+                step.predicateName = lexer.name();
+                lexer.expect('=');
+                step.predicateValue = lexer.quoted();
+            } else if (!lexer.atEnd() && std::isdigit(static_cast<unsigned char>(lexer.peek()))) {
+                std::string digits;
+                while (!lexer.atEnd() && std::isdigit(static_cast<unsigned char>(lexer.peek()))) {
+                    digits.push_back(lexer.peek());
+                    lexer.advance();
+                }
+                step.predicate = Step::PredicateKind::Position;
+                step.position = static_cast<int>(*parseInt(digits));
+                if (step.position < 1) lexer.fail("position predicates are 1-based");
+            } else {
+                step.predicate = Step::PredicateKind::ChildText;
+                step.predicateName = lexer.name();
+                lexer.expect('=');
+                step.predicateValue = lexer.quoted();
+            }
+            lexer.expect(']');
+        }
+        path.steps_.push_back(std::move(step));
+    }
+    return path;
+}
+
+namespace {
+
+// Collects, among `candidates`, those matching `step` (handling the 1-based
+// position predicate per sibling group).
+template <typename NodePtr>
+std::vector<NodePtr> filterStep(const std::vector<NodePtr>& candidates, const Step& step) {
+    std::vector<NodePtr> out;
+    int index = 0;
+    for (NodePtr n : candidates) {
+        if (n->name() != step.name) continue;
+        ++index;
+        if (step.matches(*n, index)) out.push_back(n);
+    }
+    return out;
+}
+
+template <typename NodeRef, typename NodePtr>
+std::vector<NodePtr> evaluate(const std::vector<Step>& steps, NodeRef& context) {
+    if (steps.empty()) return {};
+    // First step must match the context node itself.
+    std::vector<NodePtr> current;
+    if (steps[0].matches(context, 1)) current.push_back(&context);
+    for (std::size_t i = 1; i < steps.size() && !current.empty(); ++i) {
+        std::vector<NodePtr> next;
+        for (NodePtr node : current) {
+            std::vector<NodePtr> kids;
+            for (const auto& childPtr : node->children()) {
+                kids.push_back(childPtr.get());
+            }
+            auto matched = filterStep(kids, steps[i]);
+            next.insert(next.end(), matched.begin(), matched.end());
+        }
+        current = std::move(next);
+    }
+    return current;
+}
+
+}  // namespace
+
+std::vector<const Node*> Path::select(const Node& context) const {
+    return evaluate<const Node, const Node*>(steps_, context);
+}
+
+std::vector<Node*> Path::select(Node& context) const {
+    return evaluate<Node, Node*>(steps_, context);
+}
+
+const Node* Path::first(const Node& context) const {
+    const auto nodes = select(context);
+    return nodes.empty() ? nullptr : nodes.front();
+}
+
+Node* Path::first(Node& context) const {
+    const auto nodes = select(context);
+    return nodes.empty() ? nullptr : nodes.front();
+}
+
+Node* Path::selectOrCreate(Node& context) const {
+    if (steps_.empty()) return nullptr;
+    if (!steps_[0].matches(context, 1)) {
+        throw SpecError("xpath selectOrCreate: context node <" + context.name() +
+                        "> does not match first step of " + expression_);
+    }
+    Node* current = &context;
+    for (std::size_t i = 1; i < steps_.size(); ++i) {
+        const Step& step = steps_[i];
+        Node* next = nullptr;
+        int index = 0;
+        for (const auto& childPtr : current->children()) {
+            if (childPtr->name() != step.name) continue;
+            ++index;
+            if (step.matches(*childPtr, index)) {
+                next = childPtr.get();
+                break;
+            }
+        }
+        if (next == nullptr) {
+            next = &current->appendChild(step.name);
+            switch (step.predicate) {
+                case Step::PredicateKind::ChildText:
+                    next->appendChild(step.predicateName).setText(step.predicateValue);
+                    break;
+                case Step::PredicateKind::Attribute:
+                    next->setAttribute(step.predicateName, step.predicateValue);
+                    break;
+                case Step::PredicateKind::Position:
+                case Step::PredicateKind::None:
+                    break;
+            }
+        }
+        current = next;
+    }
+    return current;
+}
+
+}  // namespace starlink::xml

@@ -1,0 +1,67 @@
+// XPath-lite: the path subset Starlink bridge specifications use to address
+// fields inside the XML projection of an abstract message (paper Fig 8), e.g.
+//
+//     /field/primitiveField[label='ST']/value
+//
+// Grammar:
+//     path      := '/' step ( '/' step )*
+//     step      := name predicate?
+//     predicate := '[' name '=' quoted ']'        -- child-text equality
+//                | '[' '@' name '=' quoted ']'    -- attribute equality
+//                | '[' integer ']'                -- 1-based position
+//
+// A path is evaluated relative to a context node; the FIRST step must match
+// the context node itself (paths are rooted at the message element), the
+// remaining steps descend through children.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/dom.hpp"
+
+namespace starlink::xml {
+
+/// One compiled location step.
+struct Step {
+    std::string name;
+
+    enum class PredicateKind { None, ChildText, Attribute, Position };
+    PredicateKind predicate = PredicateKind::None;
+    std::string predicateName;   // child name or attribute name
+    std::string predicateValue;  // expected text
+    int position = 0;            // 1-based, for PredicateKind::Position
+
+    bool matches(const Node& node, int oneBasedIndexAmongMatches) const;
+};
+
+/// A compiled path. Compile once, evaluate many times.
+class Path {
+public:
+    /// Compiles an expression; throws SpecError on syntax errors.
+    static Path compile(std::string_view expression);
+
+    /// All nodes the path selects, in document order.
+    std::vector<const Node*> select(const Node& context) const;
+    std::vector<Node*> select(Node& context) const;
+
+    /// First selected node or nullptr.
+    const Node* first(const Node& context) const;
+    Node* first(Node& context) const;
+
+    /// Like select(), but materialises missing steps as new child elements so
+    /// the path always resolves (used when composing messages). Predicated
+    /// steps create the child/attribute the predicate demands.
+    Node* selectOrCreate(Node& context) const;
+
+    const std::vector<Step>& steps() const { return steps_; }
+    const std::string& expression() const { return expression_; }
+
+private:
+    std::string expression_;
+    std::vector<Step> steps_;
+};
+
+}  // namespace starlink::xml

@@ -1,0 +1,25 @@
+// Shared test fixture: one simulated network on virtual time.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "net/sim_network.hpp"
+
+namespace starlink::testing {
+
+class SimTest : public ::testing::Test {
+protected:
+    net::VirtualClock clock;
+    net::EventScheduler scheduler{clock};
+    net::SimNetwork network{scheduler};
+
+    /// Runs the simulation to quiescence (bounded, so a livelock fails the
+    /// test instead of hanging it).
+    void run(std::size_t maxEvents = 100000) { scheduler.runUntilIdle(maxEvents); }
+
+    double elapsedMs(net::Duration d) const {
+        return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(d).count();
+    }
+};
+
+}  // namespace starlink::testing

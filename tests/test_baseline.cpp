@@ -1,0 +1,138 @@
+// Tests for the hand-coded z2z-style static bridges (ablation baseline):
+// each must achieve the same interoperability as its Starlink counterpart.
+#include <gtest/gtest.h>
+
+#include "baseline/static_bridges.hpp"
+#include "protocols/mdns/mdns_agents.hpp"
+#include "protocols/slp/slp_agents.hpp"
+#include "protocols/ssdp/ssdp_agents.hpp"
+#include "sim_fixture.hpp"
+
+namespace starlink::baseline {
+namespace {
+
+using testing::SimTest;
+
+TEST(NameConversions, HandCodedMatchesStarlinkSemantics) {
+    EXPECT_EQ(slpTypeToDnssd("service:printer"), "_printer._tcp.local");
+    EXPECT_EQ(slpTypeToDnssd("service:printer:lpr"), "_printer._tcp.local");
+    EXPECT_EQ(dnssdToSlpType("_printer._tcp.local"), "service:printer");
+    EXPECT_EQ(slpTypeToUrn("service:printer"), "urn:schemas-upnp-org:service:printer:1");
+}
+
+class StaticBridgeTest : public SimTest {
+protected:
+    mdns::Responder::Config fastResponder() {
+        mdns::Responder::Config config;
+        config.responseDelayBase = net::ms(5);
+        config.responseDelayJitter = net::ms(1);
+        return config;
+    }
+    slp::ServiceAgent::Config fastSlpService() {
+        slp::ServiceAgent::Config config;
+        config.responseDelayBase = net::ms(5);
+        config.responseDelayJitter = net::ms(1);
+        return config;
+    }
+    ssdp::Device::Config fastDevice() {
+        ssdp::Device::Config config;
+        config.responseDelayBase = net::ms(5);
+        config.responseDelayJitter = net::ms(1);
+        return config;
+    }
+};
+
+TEST_F(StaticBridgeTest, SlpToBonjour) {
+    SlpToBonjourStatic bridge(network, "10.0.0.9");
+    mdns::Responder responder(network, fastResponder());
+    slp::UserAgent client(network, {});
+
+    std::vector<std::string> urls;
+    client.lookup("service:printer",
+                  [&urls](const slp::UserAgent::Result& result) { urls = result.urls; });
+    run();
+    ASSERT_EQ(urls.size(), 1u);
+    EXPECT_EQ(urls[0], responder.config().url);
+    ASSERT_EQ(bridge.sessions().size(), 1u);
+    EXPECT_TRUE(bridge.sessions()[0].completed);
+}
+
+TEST_F(StaticBridgeTest, SlpToUpnp) {
+    SlpToUpnpStatic bridge(network, "10.0.0.9");
+    ssdp::Device device(network, fastDevice());
+    slp::UserAgent client(network, {});
+
+    std::vector<std::string> urls;
+    client.lookup("service:printer",
+                  [&urls](const slp::UserAgent::Result& result) { urls = result.urls; });
+    run();
+    ASSERT_EQ(urls.size(), 1u);
+    EXPECT_EQ(urls[0], device.config().serviceUrl);
+    ASSERT_EQ(bridge.sessions().size(), 1u);
+}
+
+TEST_F(StaticBridgeTest, BonjourToSlp) {
+    BonjourToSlpStatic bridge(network, "10.0.0.9");
+    slp::ServiceAgent service(network, fastSlpService());
+    mdns::Resolver::Config resolverConfig;
+    resolverConfig.aggregationBase = net::ms(20);
+    mdns::Resolver client(network, resolverConfig);
+
+    std::vector<std::string> urls;
+    client.browse("_printer._tcp.local",
+                  [&urls](const mdns::Resolver::Result& result) { urls = result.urls; });
+    run();
+    ASSERT_EQ(urls.size(), 1u);
+    EXPECT_EQ(urls[0], service.config().url);
+    ASSERT_EQ(bridge.sessions().size(), 1u);
+}
+
+TEST_F(StaticBridgeTest, UpnpToSlp) {
+    UpnpToSlpStatic bridge(network, "10.0.0.9");
+    slp::ServiceAgent service(network, fastSlpService());
+    ssdp::ControlPoint::Config cpConfig;
+    cpConfig.mxWindowBase = net::ms(30);
+    ssdp::ControlPoint client(network, cpConfig);
+
+    std::vector<std::string> urls;
+    client.search("urn:schemas-upnp-org:service:printer:1",
+                  [&urls](const ssdp::ControlPoint::Result& result) { urls = result.urls; });
+    run();
+    ASSERT_EQ(urls.size(), 1u);
+    EXPECT_EQ(urls[0], service.config().url);
+    ASSERT_EQ(bridge.sessions().size(), 1u);
+}
+
+TEST_F(StaticBridgeTest, BonjourToUpnp) {
+    BonjourToUpnpStatic bridge(network, "10.0.0.9");
+    ssdp::Device device(network, fastDevice());
+    mdns::Resolver::Config resolverConfig;
+    resolverConfig.aggregationBase = net::ms(20);
+    mdns::Resolver client(network, resolverConfig);
+
+    std::vector<std::string> urls;
+    client.browse("_printer._tcp.local",
+                  [&urls](const mdns::Resolver::Result& result) { urls = result.urls; });
+    run();
+    ASSERT_EQ(urls.size(), 1u);
+    EXPECT_EQ(urls[0], device.config().serviceUrl);
+    ASSERT_EQ(bridge.sessions().size(), 1u);
+}
+
+TEST_F(StaticBridgeTest, StaticBridgesServeRepeatedLookups) {
+    SlpToBonjourStatic bridge(network, "10.0.0.9");
+    mdns::Responder responder(network, fastResponder());
+    slp::UserAgent client(network, {});
+    int successes = 0;
+    for (int i = 0; i < 4; ++i) {
+        client.lookup("service:printer", [&successes](const slp::UserAgent::Result& result) {
+            if (!result.urls.empty()) ++successes;
+        });
+        run();
+    }
+    EXPECT_EQ(successes, 4);
+    EXPECT_EQ(bridge.sessions().size(), 4u);
+}
+
+}  // namespace
+}  // namespace starlink::baseline

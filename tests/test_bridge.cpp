@@ -1,0 +1,105 @@
+// Unit tests for the Starlink facade and the built-in model library:
+// deployment validation, runtime extensibility, model sanity.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "core/bridge/models.hpp"
+#include "core/bridge/starlink.hpp"
+#include "sim_fixture.hpp"
+
+namespace starlink::bridge {
+namespace {
+
+using models::Case;
+using models::Role;
+using testing::SimTest;
+
+class BridgeTest : public SimTest {
+protected:
+    Starlink starlink{network};
+};
+
+TEST_F(BridgeTest, DeploysEveryCase) {
+    int port = 8085;
+    for (const Case c : models::kAllCases) {
+        // Distinct host per bridge; distinct HTTP port to avoid rebinds.
+        const std::string host = "10.0.1." + std::to_string(static_cast<int>(c) + 1);
+        EXPECT_NO_THROW(starlink.deploy(models::forCase(c, host, port++), host))
+            << models::caseName(c);
+    }
+    EXPECT_EQ(starlink.bridges().size(), 6u);
+}
+
+TEST_F(BridgeTest, DeployedBridgeStartsAtInitialState) {
+    auto& bridge = starlink.deploy(models::forCase(Case::SlpToBonjour, "10.0.0.9"), "10.0.0.9");
+    EXPECT_TRUE(bridge.engine().running());
+    EXPECT_EQ(bridge.engine().currentState(), "s10");
+    EXPECT_EQ(bridge.host(), "10.0.0.9");
+    EXPECT_TRUE(bridge.engine().sessions().empty());
+}
+
+TEST_F(BridgeTest, RejectsBridgeWithUncoveredMandatoryField) {
+    auto spec = models::forCase(Case::SlpToBonjour, "10.0.0.9");
+    // Excise the XID assignment block: SLPSrvReply's mandatory XID is then
+    // uncovered and the deployment must fail the eqn-1 check.
+    const std::size_t start = spec.bridgeXml.find(
+        "    <Assignment>\n      <Field state=\"s11\" message=\"SLPSrvReply\" path=\"XID\"");
+    ASSERT_NE(start, std::string::npos);
+    const std::size_t end = spec.bridgeXml.find("</Assignment>\n", start);
+    ASSERT_NE(end, std::string::npos);
+    spec.bridgeXml.erase(start, end + 14 - start);
+
+    EXPECT_THROW(starlink.deploy(spec, "10.0.0.9"), SpecError);
+}
+
+TEST_F(BridgeTest, RejectsDuplicateProtocolNames) {
+    auto spec = models::forCase(Case::SlpToBonjour, "10.0.0.9");
+    spec.protocols.push_back(spec.protocols[0]);
+    EXPECT_THROW(starlink.deploy(spec, "10.0.0.9"), SpecError);
+}
+
+TEST_F(BridgeTest, RejectsBrokenBridgeXml) {
+    auto spec = models::forCase(Case::SlpToBonjour, "10.0.0.9");
+    spec.bridgeXml = "<Bridge name='x'><Start state='nowhere'/></Bridge>";
+    EXPECT_THROW(starlink.deploy(spec, "10.0.0.9"), SpecError);
+}
+
+TEST_F(BridgeTest, RegistriesAreExposedForRuntimeExtension) {
+    starlink.translations().add("wrap", [](const Value& v) -> std::optional<Value> {
+        return Value::ofString("[" + v.toText() + "]");
+    });
+    EXPECT_TRUE(starlink.translations().contains("wrap"));
+    starlink.marshallers().add("Custom", std::make_shared<mdl::StringMarshaller>());
+    EXPECT_NE(starlink.marshallers().find("Custom"), nullptr);
+}
+
+TEST(Models, MdlDocumentsAllLoad) {
+    EXPECT_NO_THROW(mdl::MdlDocument::fromXml(models::slpMdl()));
+    EXPECT_NO_THROW(mdl::MdlDocument::fromXml(models::dnsMdl()));
+    EXPECT_NO_THROW(mdl::MdlDocument::fromXml(models::ssdpMdl()));
+    EXPECT_NO_THROW(mdl::MdlDocument::fromXml(models::httpMdl()));
+}
+
+TEST(Models, CaseNamesAreDistinct) {
+    std::set<std::string> names;
+    for (const Case c : models::kAllCases) {
+        EXPECT_TRUE(names.insert(models::caseName(c)).second);
+    }
+}
+
+TEST(Models, HttpServerAutomatonUsesRequestedPort) {
+    const std::string xml = models::httpAutomaton(Role::Server, 9999);
+    EXPECT_NE(xml.find("port=\"9999\""), std::string::npos);
+    const std::string client = models::httpAutomaton(Role::Client);
+    EXPECT_NE(client.find("port=\"80\""), std::string::npos);
+}
+
+TEST(Models, BridgeHostParameterisesLocation) {
+    const auto spec = models::forCase(Case::UpnpToSlp, "192.168.1.50", 8444);
+    EXPECT_NE(spec.bridgeXml.find("http://192.168.1.50:8444/desc.xml"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace starlink::bridge

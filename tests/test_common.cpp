@@ -1,0 +1,159 @@
+// Unit tests for the common substrate: bytes, strings, rng.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace starlink {
+namespace {
+
+TEST(Bytes, RoundTripString) {
+    const Bytes b = toBytes("hello");
+    EXPECT_EQ(b.size(), 5u);
+    EXPECT_EQ(toString(b), "hello");
+}
+
+TEST(Bytes, EmptyString) {
+    EXPECT_TRUE(toBytes("").empty());
+    EXPECT_EQ(toString({}), "");
+}
+
+TEST(Bytes, HexEncoding) {
+    EXPECT_EQ(toHex({0x00, 0xff, 0x1a}), "00ff1a");
+    EXPECT_EQ(toHex({}), "");
+}
+
+TEST(Bytes, HexDecoding) {
+    EXPECT_EQ(fromHex("00ff1a"), (Bytes{0x00, 0xff, 0x1a}));
+    EXPECT_EQ(fromHex("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Bytes, HexRejectsOddLength) { EXPECT_THROW(fromHex("abc"), SpecError); }
+
+TEST(Bytes, HexRejectsNonHex) { EXPECT_THROW(fromHex("zz"), SpecError); }
+
+TEST(Bytes, HexRoundTripProperty) {
+    Rng rng(99);
+    for (int round = 0; round < 50; ++round) {
+        Bytes original;
+        const int size = static_cast<int>(rng.range(0, 64));
+        for (int i = 0; i < size; ++i) {
+            original.push_back(static_cast<std::uint8_t>(rng.range(0, 255)));
+        }
+        EXPECT_EQ(fromHex(toHex(original)), original);
+    }
+}
+
+TEST(Bytes, AppendReadUintRoundTrip) {
+    Rng rng(123);
+    for (int width = 1; width <= 8; ++width) {
+        for (int round = 0; round < 20; ++round) {
+            const std::uint64_t value =
+                width == 8 ? rng.next() : rng.next() % (1ULL << (8 * width));
+            Bytes buffer;
+            appendUint(buffer, value, width);
+            ASSERT_EQ(buffer.size(), static_cast<std::size_t>(width));
+            std::uint64_t decoded = 0;
+            ASSERT_TRUE(readUint(buffer, 0, width, decoded));
+            EXPECT_EQ(decoded, value);
+        }
+    }
+}
+
+TEST(Bytes, ReadUintTruncated) {
+    std::uint64_t value = 0;
+    EXPECT_FALSE(readUint({0x01}, 0, 2, value));
+    EXPECT_FALSE(readUint({}, 0, 1, value));
+    EXPECT_FALSE(readUint({0x01, 0x02}, 1, 2, value));
+}
+
+TEST(Strings, SplitKeepsEmptyPieces) {
+    EXPECT_EQ(split("a::b", ':'), (std::vector<std::string>{"a", "", "b"}));
+    EXPECT_EQ(split("", ':'), (std::vector<std::string>{""}));
+    EXPECT_EQ(split(":", ':'), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, SplitMultiChar) {
+    EXPECT_EQ(split("a\r\nb\r\n", std::string_view("\r\n")),
+              (std::vector<std::string>{"a", "b", ""}));
+}
+
+TEST(Strings, SplitFirst) {
+    const auto halves = splitFirst("LOCATION: http://x:80/", ':');
+    ASSERT_TRUE(halves);
+    EXPECT_EQ(halves->first, "LOCATION");
+    EXPECT_EQ(halves->second, " http://x:80/");
+    EXPECT_FALSE(splitFirst("nocolon", ':'));
+}
+
+TEST(Strings, Trim) {
+    EXPECT_EQ(trim("  a b \t\n"), "a b");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, CaseHelpers) {
+    EXPECT_EQ(toLower("AbC"), "abc");
+    EXPECT_TRUE(iequals("Content-Length", "content-length"));
+    EXPECT_FALSE(iequals("a", "ab"));
+}
+
+TEST(Strings, StartsEndsWith) {
+    EXPECT_TRUE(startsWith("service:printer", "service:"));
+    EXPECT_FALSE(startsWith("srv", "service:"));
+    EXPECT_TRUE(endsWith("desc.xml", ".xml"));
+    EXPECT_FALSE(endsWith("x", ".xml"));
+}
+
+TEST(Strings, ParseIntStrict) {
+    EXPECT_EQ(parseInt("42"), 42);
+    EXPECT_EQ(parseInt("-7"), -7);
+    EXPECT_EQ(parseInt("+7"), 7);
+    EXPECT_FALSE(parseInt(""));
+    EXPECT_FALSE(parseInt("4a"));
+    EXPECT_FALSE(parseInt("-"));
+    EXPECT_FALSE(parseInt(" 42"));
+}
+
+TEST(Strings, Join) {
+    EXPECT_EQ(join({"a", "b", "c"}, "."), "a.b.c");
+    EXPECT_EQ(join({}, "."), "");
+    EXPECT_EQ(join({"x"}, "."), "x");
+}
+
+TEST(Rng, Deterministic) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.range(3, 5);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes) {
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+}  // namespace
+}  // namespace starlink

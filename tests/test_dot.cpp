@@ -1,0 +1,59 @@
+// Tests for GraphViz export of colored and merged automata.
+#include <gtest/gtest.h>
+
+#include "core/bridge/models.hpp"
+#include "core/merge/dot_export.hpp"
+#include "core/merge/spec_loader.hpp"
+
+namespace starlink::merge {
+namespace {
+
+using bridge::models::Case;
+using bridge::models::Role;
+
+TEST(DotExport, ColoredAutomatonStructure) {
+    automata::ColorRegistry colors;
+    const auto automaton = loadAutomaton(bridge::models::slpAutomaton(Role::Server), colors);
+    const std::string dot = toDot(*automaton);
+    EXPECT_NE(dot.find("digraph \"SLP\""), std::string::npos);
+    EXPECT_NE(dot.find("\"s10\" -> \"s11\" [label=\"?SLPSrvRequest\"]"), std::string::npos);
+    EXPECT_NE(dot.find("\"s11\" -> \"s12\" [label=\"!SLPSrvReply\"]"), std::string::npos);
+    EXPECT_NE(dot.find("shape=doublecircle"), std::string::npos);  // accepting s12
+    EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+}
+
+TEST(DotExport, MergedAutomatonHasClustersAndDeltas) {
+    automata::ColorRegistry colors;
+    const auto spec = bridge::models::forCase(Case::SlpToUpnp, "10.0.0.9");
+    std::vector<std::shared_ptr<automata::ColoredAutomaton>> components;
+    for (const auto& protocol : spec.protocols) {
+        components.push_back(loadAutomaton(protocol.automatonXml, colors));
+    }
+    const auto merged = loadBridge(spec.bridgeXml, std::move(components));
+    const std::string dot = toDot(*merged);
+    EXPECT_NE(dot.find("subgraph cluster_0"), std::string::npos);
+    EXPECT_NE(dot.find("subgraph cluster_2"), std::string::npos);  // three protocols
+    EXPECT_NE(dot.find("style=dashed"), std::string::npos);        // delta edges
+    EXPECT_NE(dot.find("set_host()"), std::string::npos);          // lambda annotation
+    // Three colors -> at least three distinct fills used.
+    EXPECT_NE(dot.find("#cfe2f3"), std::string::npos);
+    EXPECT_NE(dot.find("#d9ead3"), std::string::npos);
+    EXPECT_NE(dot.find("#fff2cc"), std::string::npos);
+}
+
+TEST(DotExport, DistinctColorsGetDistinctFills) {
+    automata::ColorRegistry colors;
+    const auto slp = loadAutomaton(bridge::models::slpAutomaton(Role::Server), colors);
+    const auto mdns = loadAutomaton(bridge::models::mdnsAutomaton(Role::Client), colors);
+    MergedAutomaton merged("two");
+    merged.addComponent(slp);
+    merged.addComponent(mdns);
+    const std::string dot = toDot(merged);
+    const std::size_t first = dot.find("#cfe2f3");
+    const std::size_t second = dot.find("#d9ead3");
+    EXPECT_NE(first, std::string::npos);
+    EXPECT_NE(second, std::string::npos);
+}
+
+}  // namespace
+}  // namespace starlink::merge

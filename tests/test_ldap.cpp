@@ -1,0 +1,250 @@
+// Tests for the SLP <-> LDAP extension: codec, directory agents, and the
+// rich-translation claim of paper section III-A -- attribute-based requests
+// survive the bridge in both directions, while a greatest-common-divisor
+// bridge (predicate dropped) returns the wrong service.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/bridge/models.hpp"
+#include "core/bridge/starlink.hpp"
+#include "core/mdl/codec.hpp"
+#include "protocols/ldap/ldap_agents.hpp"
+#include "protocols/slp/slp_agents.hpp"
+#include "sim_fixture.hpp"
+
+namespace starlink::ldap {
+namespace {
+
+using testing::SimTest;
+
+// --- codec ---------------------------------------------------------------------
+
+TEST(LdapCodec, RequestRoundTrip) {
+    SearchRequest request;
+    request.messageId = 321;
+    request.serviceClass = "service:printer";
+    request.filter = "(color=true)";
+    const auto decoded = decodeRequest(encode(request));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->messageId, 321);
+    EXPECT_EQ(decoded->serviceClass, "service:printer");
+    EXPECT_EQ(decoded->filter, "(color=true)");
+    EXPECT_EQ(decoded->baseDn, "dc=services,dc=local");
+}
+
+TEST(LdapCodec, ResultRoundTrip) {
+    SearchResult result;
+    result.messageId = 11;
+    result.dn = "cn=p1,dc=services,dc=local";
+    result.url = "service:printer://10.0.0.3:515/q";
+    const auto decoded = decodeResult(encode(result));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->messageId, 11);
+    EXPECT_EQ(decoded->resultCode, 0);
+    EXPECT_EQ(decoded->url, result.url);
+}
+
+TEST(LdapCodec, CrossAndCorruptRejected) {
+    EXPECT_FALSE(decodeResult(encode(SearchRequest{})));
+    EXPECT_FALSE(decodeRequest(encode(SearchResult{})));
+    EXPECT_FALSE(decodeRequest({}));
+    Bytes truncated = encode(SearchRequest{});
+    truncated.pop_back();
+    EXPECT_FALSE(decodeRequest(truncated));
+}
+
+TEST(LdapCodec, FilterEvaluation) {
+    const std::map<std::string, std::string> attributes{{"color", "true"}, {"dpi", "600"}};
+    EXPECT_TRUE(filterMatches("", attributes));
+    EXPECT_TRUE(filterMatches("(color=true)", attributes));
+    EXPECT_TRUE(filterMatches(" ( dpi = 600 ) ", attributes));
+    EXPECT_FALSE(filterMatches("(color=false)", attributes));
+    EXPECT_FALSE(filterMatches("(missing=x)", attributes));
+    EXPECT_FALSE(filterMatches("garbage", attributes));
+}
+
+// --- MDL over the legacy wire format ----------------------------------------------
+
+TEST(LdapMdl, ParsesAndComposesLegacyMessages) {
+    const auto codec = mdl::MessageCodec::fromXml(bridge::models::ldapMdl());
+
+    SearchRequest request;
+    request.messageId = 5;
+    request.serviceClass = "service:printer";
+    request.filter = "(color=true)";
+    const auto parsed = codec->parse(encode(request));
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->type(), "LDAP_SearchRequest");
+    EXPECT_EQ(parsed->value("Filter")->asString(), "(color=true)");
+    EXPECT_EQ(codec->compose(*parsed), encode(request));
+
+    AbstractMessage reply("LDAP_SearchResult");
+    reply.setValue("MessageID", Value::ofInt(5), "Integer");
+    reply.setValue("URL", Value::ofString("service:printer://10.0.0.2:515/q"));
+    const auto decoded = decodeResult(codec->compose(reply));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->messageId, 5);
+    EXPECT_EQ(decoded->resultCode, 0);
+}
+
+// --- agents -------------------------------------------------------------------------
+
+class LdapAgentsTest : public SimTest {
+protected:
+    DirectoryServer::Config fastDirectory() {
+        DirectoryServer::Config config;
+        config.responseDelayBase = net::ms(5);
+        config.responseDelayJitter = net::ms(1);
+        return config;
+    }
+};
+
+TEST_F(LdapAgentsTest, DirectoryAnswersFilteredSearch) {
+    DirectoryServer directory(network, fastDirectory());
+    directory.addEntry({"cn=mono,dc=services,dc=local", "service:printer",
+                        "service:printer://10.0.0.3:515/mono", {{"color", "false"}}});
+    directory.addEntry({"cn=color,dc=services,dc=local", "service:printer",
+                        "service:printer://10.0.0.3:515/color", {{"color", "true"}}});
+    DirectoryClient client(network, "10.0.0.1");
+
+    std::optional<DirectoryClient::Result> outcome;
+    client.search("10.0.0.3", kPort, "service:printer", "(color=true)",
+                  [&outcome](const DirectoryClient::Result& result) { outcome = result; });
+    run();
+    ASSERT_TRUE(outcome);
+    ASSERT_TRUE(outcome->success);
+    EXPECT_EQ(outcome->url, "service:printer://10.0.0.3:515/color");
+    EXPECT_EQ(directory.searchesServed(), 1u);
+}
+
+TEST_F(LdapAgentsTest, NoMatchYieldsNoSuchObject) {
+    DirectoryServer directory(network, fastDirectory());
+    directory.addEntry({"cn=p,dc=services,dc=local", "service:printer", "url", {}});
+    DirectoryClient client(network, "10.0.0.1");
+    std::optional<DirectoryClient::Result> outcome;
+    client.search("10.0.0.3", kPort, "service:scanner", "",
+                  [&outcome](const DirectoryClient::Result& result) { outcome = result; });
+    run();
+    ASSERT_TRUE(outcome);
+    EXPECT_FALSE(outcome->success);
+}
+
+TEST_F(LdapAgentsTest, ConnectionRefusedReported) {
+    DirectoryClient client(network, "10.0.0.1");
+    std::optional<DirectoryClient::Result> outcome;
+    client.search("10.0.0.200", kPort, "service:printer", "",
+                  [&outcome](const DirectoryClient::Result& result) { outcome = result; });
+    run();
+    ASSERT_TRUE(outcome);
+    EXPECT_FALSE(outcome->success);
+}
+
+// --- rich translation end to end ------------------------------------------------------
+
+class RichTranslationTest : public SimTest {
+protected:
+    bridge::Starlink starlink{network};
+
+    DirectoryServer::Config fastDirectory() {
+        DirectoryServer::Config config;
+        config.responseDelayBase = net::ms(5);
+        config.responseDelayJitter = net::ms(1);
+        return config;
+    }
+
+    void populate(DirectoryServer& directory) {
+        directory.addEntry({"cn=mono,dc=services,dc=local", "service:printer",
+                            "service:printer://10.0.0.3:515/mono", {{"color", "false"}}});
+        directory.addEntry({"cn=color,dc=services,dc=local", "service:printer",
+                            "service:printer://10.0.0.3:515/color", {{"color", "true"}}});
+    }
+};
+
+TEST_F(RichTranslationTest, SlpPredicateReachesLdapDirectory) {
+    starlink.deploy(bridge::models::slpToLdap("10.0.0.3"), "10.0.0.9");
+    DirectoryServer directory(network, fastDirectory());
+    populate(directory);
+
+    // SLP SrvRqst carries an attribute predicate; a slp::UserAgent has no
+    // predicate parameter, so drive the codec directly.
+    auto socket = network.openUdp("10.0.0.1");
+    std::optional<slp::SrvReply> reply;
+    socket->onDatagram([&reply](const Bytes& payload, const net::Address&) {
+        reply = slp::decodeReply(payload);
+    });
+    slp::SrvRequest request;
+    request.xid = 900;
+    request.serviceType = "service:printer";
+    request.predicate = "(color=true)";
+    socket->sendTo(net::Address{slp::kGroup, slp::kPort}, slp::encode(request));
+    run();
+
+    ASSERT_TRUE(reply);
+    EXPECT_EQ(reply->xid, 900);
+    EXPECT_EQ(reply->url, "service:printer://10.0.0.3:515/color");  // predicate honoured
+}
+
+TEST_F(RichTranslationTest, GcdStyleBridgeLosesThePredicate) {
+    // The same lookup through the subset-intermediary-style bridge: the
+    // predicate is dropped, and the directory returns its FIRST printer --
+    // the wrong one. This is exactly the restriction the paper ascribes to
+    // ESB/INDISS-style common intermediaries.
+    starlink.deploy(bridge::models::slpToLdapWithoutPredicate("10.0.0.3"), "10.0.0.9");
+    DirectoryServer directory(network, fastDirectory());
+    populate(directory);
+
+    auto socket = network.openUdp("10.0.0.1");
+    std::optional<slp::SrvReply> reply;
+    socket->onDatagram([&reply](const Bytes& payload, const net::Address&) {
+        reply = slp::decodeReply(payload);
+    });
+    slp::SrvRequest request;
+    request.xid = 901;
+    request.serviceType = "service:printer";
+    request.predicate = "(color=true)";
+    socket->sendTo(net::Address{slp::kGroup, slp::kPort}, slp::encode(request));
+    run();
+
+    ASSERT_TRUE(reply);
+    EXPECT_EQ(reply->url, "service:printer://10.0.0.3:515/mono");  // wrong service
+}
+
+TEST_F(RichTranslationTest, LdapFilterReachesSlpService) {
+    starlink.deploy(bridge::models::ldapToSlp(), "10.0.0.9");
+
+    // Two SLP services; only one carries the requested attribute.
+    slp::ServiceAgent::Config mono;
+    mono.host = "10.0.0.2";
+    mono.url = "service:printer://10.0.0.2:515/mono";
+    mono.attributes = {{"color", "false"}};
+    mono.responseDelayBase = net::ms(5);
+    mono.responseDelayJitter = net::ms(1);
+    slp::ServiceAgent monoService(network, mono);
+
+    slp::ServiceAgent::Config color = mono;
+    color.host = "10.0.0.4";
+    color.url = "service:printer://10.0.0.4:515/color";
+    color.attributes = {{"color", "true"}};
+    color.seed = 8;
+    slp::ServiceAgent colorService(network, color);
+
+    DirectoryClient client(network, "10.0.0.1");
+    std::optional<DirectoryClient::Result> outcome;
+    client.search("10.0.0.9", kPort, "service:printer", "(color=true)",
+                  [&outcome](const DirectoryClient::Result& result) { outcome = result; });
+    run();
+
+    ASSERT_TRUE(outcome);
+    ASSERT_TRUE(outcome->success);
+    EXPECT_EQ(outcome->url, "service:printer://10.0.0.4:515/color");
+    EXPECT_EQ(colorService.requestsServed(), 1u);
+    EXPECT_EQ(monoService.requestsServed(), 0u);  // predicate filtered it out
+}
+
+TEST_F(RichTranslationTest, LdapBridgeSpecsValidate) {
+    EXPECT_NO_THROW(starlink.deploy(bridge::models::slpToLdap("10.0.0.3"), "10.0.2.1"));
+    EXPECT_NO_THROW(starlink.deploy(bridge::models::ldapToSlp(), "10.0.2.2"));
+}
+
+}  // namespace
+}  // namespace starlink::ldap

@@ -1,0 +1,399 @@
+// Unit and property tests for the binary MDL interpreter: bit I/O,
+// marshallers, spec loading, and the generic parser/composer against the
+// built-in SLP and DNS MDLs (paper Fig 7, experiment E7).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/bridge/models.hpp"
+#include "core/mdl/codec.hpp"
+#include "protocols/mdns/dns_codec.hpp"
+#include "protocols/slp/slp_codec.hpp"
+
+namespace starlink::mdl {
+namespace {
+
+// --- bit I/O -----------------------------------------------------------------
+
+TEST(BitIo, WriteReadAcrossByteBoundaries) {
+    BitWriter writer;
+    writer.writeBits(0b101, 3);
+    writer.writeBits(0b11111, 5);
+    writer.writeBits(0x1234, 16);
+    Bytes data = writer.take();
+    ASSERT_EQ(data.size(), 3u);
+
+    BitReader reader(data);
+    EXPECT_EQ(reader.readBits(3), 0b101u);
+    EXPECT_EQ(reader.readBits(5), 0b11111u);
+    EXPECT_EQ(reader.readBits(16), 0x1234u);
+    EXPECT_TRUE(reader.atEnd());
+}
+
+TEST(BitIo, RandomRoundTripProperty) {
+    Rng rng(2024);
+    for (int round = 0; round < 100; ++round) {
+        std::vector<std::pair<std::uint64_t, int>> fields;
+        BitWriter writer;
+        const int count = static_cast<int>(rng.range(1, 20));
+        for (int i = 0; i < count; ++i) {
+            const int bits = static_cast<int>(rng.range(1, 63));
+            const std::uint64_t value = bits == 63 ? rng.next() >> 1 : rng.next() % (1ULL << bits);
+            writer.writeBits(value, bits);
+            fields.emplace_back(value, bits);
+        }
+        const Bytes data = writer.take();
+        BitReader reader(data);
+        for (const auto& [value, bits] : fields) {
+            ASSERT_EQ(reader.readBits(bits), value);
+        }
+    }
+}
+
+TEST(BitIo, ReadPastEndReturnsNullopt) {
+    const Bytes data{0xff};
+    BitReader reader(data);
+    EXPECT_TRUE(reader.readBits(8));
+    EXPECT_FALSE(reader.readBits(1));
+}
+
+TEST(BitIo, ReadBytesAlignedAndUnaligned) {
+    BitWriter writer;
+    writer.writeBits(0b1010, 4);
+    writer.writeBytes(toBytes("xy"));
+    const Bytes data = writer.take();
+    BitReader reader(data);
+    EXPECT_EQ(reader.readBits(4), 0b1010u);
+    EXPECT_EQ(reader.readBytes(2), toBytes("xy"));
+}
+
+TEST(BitIo, PatchBits) {
+    BitWriter writer;
+    writer.writeBits(0, 24);
+    writer.writeBytes(toBytes("abc"));
+    writer.patchBits(0, 6, 24);
+    const Bytes data = writer.take();
+    BitReader reader(data);
+    EXPECT_EQ(reader.readBits(24), 6u);
+}
+
+TEST(BitIo, PatchBeyondWrittenThrows) {
+    BitWriter writer;
+    writer.writeBits(0, 8);
+    EXPECT_THROW(writer.patchBits(4, 1, 8), SpecError);
+}
+
+TEST(BitIo, BadBitCountThrows) {
+    BitWriter writer;
+    EXPECT_THROW(writer.writeBits(0, 0), SpecError);
+    EXPECT_THROW(writer.writeBits(0, 65), SpecError);
+    const Bytes data{0x00};
+    BitReader reader(data);
+    EXPECT_THROW(reader.readBits(0), SpecError);
+}
+
+// --- marshallers ----------------------------------------------------------------
+
+TEST(Marshallers, IntegerRejectsOverflow) {
+    IntegerMarshaller m;
+    BitWriter writer;
+    EXPECT_THROW(m.write(writer, Value::ofInt(256), 8), ProtocolError);
+    EXPECT_THROW(m.write(writer, Value::ofInt(-1), 8), ProtocolError);
+    EXPECT_NO_THROW(m.write(writer, Value::ofInt(255), 8));
+}
+
+TEST(Marshallers, StringRequiresExactFit) {
+    StringMarshaller m;
+    BitWriter writer;
+    EXPECT_THROW(m.write(writer, Value::ofString("abc"), 16), ProtocolError);
+    EXPECT_NO_THROW(m.write(writer, Value::ofString("ab"), 16));
+}
+
+TEST(Marshallers, FqdnRoundTrip) {
+    FqdnMarshaller m;
+    for (const std::string name : {"_printer._tcp.local", "a.b", "local", ""}) {
+        BitWriter writer;
+        m.write(writer, Value::ofString(name), std::nullopt);
+        const Bytes data = writer.take();
+        EXPECT_EQ(static_cast<int>(data.size() * 8),
+                  m.encodedBits(Value::ofString(name), std::nullopt));
+        BitReader reader(data);
+        const auto back = m.read(reader, std::nullopt);
+        ASSERT_TRUE(back);
+        EXPECT_EQ(back->asString(), name);
+    }
+}
+
+TEST(Marshallers, FqdnMatchesLegacyDnsEncoding) {
+    // The pluggable FQDN marshaller must agree with the hand-written legacy
+    // DNS codec byte for byte.
+    const auto legacy = mdns::encode(mdns::makeQuestion(7, "_printer._tcp.local"));
+    FqdnMarshaller m;
+    BitWriter writer;
+    m.write(writer, Value::ofString("_printer._tcp.local"), std::nullopt);
+    const Bytes name = writer.take();
+    // QNAME begins at offset 12 in a DNS message.
+    ASSERT_LE(12 + name.size(), legacy.size());
+    EXPECT_TRUE(std::equal(name.begin(), name.end(), legacy.begin() + 12));
+}
+
+TEST(Marshallers, FqdnRejectsOversizedLabel) {
+    FqdnMarshaller m;
+    BitWriter writer;
+    const std::string big(64, 'a');
+    EXPECT_THROW(m.write(writer, Value::ofString(big + ".local"), std::nullopt), ProtocolError);
+}
+
+TEST(Marshallers, RegistryDefaultsAndExtension) {
+    auto registry = MarshallerRegistry::withDefaults();
+    EXPECT_NE(registry->find("Integer"), nullptr);
+    EXPECT_NE(registry->find("String"), nullptr);
+    EXPECT_NE(registry->find("FQDN"), nullptr);
+    EXPECT_EQ(registry->find("Nope"), nullptr);
+    registry->add("Nope", std::make_shared<StringMarshaller>());
+    EXPECT_NE(registry->find("Nope"), nullptr);
+}
+
+// --- spec loading -----------------------------------------------------------------
+
+TEST(MdlSpec, LoadsBuiltInSlp) {
+    const MdlDocument doc = MdlDocument::fromXml(bridge::models::slpMdl());
+    EXPECT_EQ(doc.protocol(), "SLP");
+    EXPECT_EQ(doc.kind(), MdlKind::Binary);
+    ASSERT_NE(doc.message("SLPSrvRequest"), nullptr);
+    ASSERT_NE(doc.message("SLPSrvReply"), nullptr);
+    EXPECT_EQ(doc.message("Nope"), nullptr);
+    EXPECT_EQ(doc.mandatoryFields("SLPSrvRequest"),
+              (std::vector<std::string>{"XID", "SRVType"}));
+    EXPECT_EQ(doc.mandatoryFields("SLPSrvReply"),
+              (std::vector<std::string>{"XID", "URLEntry"}));
+}
+
+TEST(MdlSpec, TypeFunctionsParsed) {
+    const MdlDocument doc = MdlDocument::fromXml(bridge::models::slpMdl());
+    const TypeDef* msgLength = doc.type("MessageLength");
+    ASSERT_NE(msgLength, nullptr);
+    EXPECT_EQ(msgLength->function, "f-msglength");
+    const TypeDef* urlLength = doc.type("URLLength");
+    ASSERT_NE(urlLength, nullptr);
+    EXPECT_EQ(urlLength->function, "f-length");
+    EXPECT_EQ(urlLength->functionArg, "URLEntry");
+}
+
+TEST(MdlSpec, RejectsMalformedDocuments) {
+    EXPECT_THROW(MdlDocument::fromXml("<NotMdl/>"), SpecError);
+    EXPECT_THROW(MdlDocument::fromXml("<Mdl kind='binary'><Header type='X'/></Mdl>"),
+                 SpecError);  // no messages
+    EXPECT_THROW(MdlDocument::fromXml(
+                     "<Mdl kind='binary'><Message type='M'><A>8</A></Message></Mdl>"),
+                 SpecError);  // no header
+    EXPECT_THROW(MdlDocument::fromXml("<Mdl kind='nope'><Header/><Message type='M'/></Mdl>"),
+                 SpecError);  // bad kind
+}
+
+TEST(MdlSpec, RejectsRuleOnUnknownField) {
+    EXPECT_THROW(MdlDocument::fromXml(R"(<Mdl kind="binary">
+        <Header type="X"><A>8</A></Header>
+        <Message type="M"><Rule>Nope=1</Rule></Message></Mdl>)"),
+                 SpecError);
+}
+
+TEST(MdlSpec, RejectsForwardLengthReference) {
+    EXPECT_THROW(MdlDocument::fromXml(R"(<Mdl kind="binary">
+        <Header type="X"><A>B</A><B>16</B></Header>
+        <Message type="M"><Rule>B=1</Rule></Message></Mdl>)"),
+                 SpecError);
+}
+
+TEST(MdlSpec, RejectsDuplicateField) {
+    EXPECT_THROW(MdlDocument::fromXml(R"(<Mdl kind="binary">
+        <Header type="X"><A>8</A><A>8</A></Header>
+        <Message type="M"/></Mdl>)"),
+                 SpecError);
+}
+
+// --- codec: SLP -----------------------------------------------------------------
+
+class SlpCodecTest : public ::testing::Test {
+protected:
+    std::shared_ptr<MessageCodec> codec = MessageCodec::fromXml(bridge::models::slpMdl());
+};
+
+TEST_F(SlpCodecTest, ParsesLegacyRequest) {
+    slp::SrvRequest request;
+    request.xid = 301;
+    request.serviceType = "service:printer";
+    const auto message = codec->parse(slp::encode(request));
+    ASSERT_TRUE(message);
+    EXPECT_EQ(message->type(), "SLPSrvRequest");
+    EXPECT_EQ(message->value("XID")->asInt(), 301);
+    EXPECT_EQ(message->value("SRVType")->asString(), "service:printer");
+    EXPECT_EQ(message->value("Version")->asInt(), 2);
+    EXPECT_EQ(message->value("LangTag")->asString(), "en");
+}
+
+TEST_F(SlpCodecTest, ParsesLegacyReply) {
+    slp::SrvReply reply;
+    reply.xid = 77;
+    reply.url = "service:printer://10.0.0.2:515/q";
+    const auto message = codec->parse(slp::encode(reply));
+    ASSERT_TRUE(message);
+    EXPECT_EQ(message->type(), "SLPSrvReply");
+    EXPECT_EQ(message->value("XID")->asInt(), 77);
+    EXPECT_EQ(message->value("URLEntry")->asString(), "service:printer://10.0.0.2:515/q");
+    EXPECT_EQ(message->value("ErrorCode")->asInt(), 0);
+}
+
+TEST_F(SlpCodecTest, ComposedRequestDecodableByLegacyStack) {
+    AbstractMessage message("SLPSrvRequest");
+    message.setValue("XID", Value::ofInt(55), "Integer");
+    message.setValue("SRVType", Value::ofString("service:printer"));
+    const Bytes wire = codec->compose(message);
+    const auto decoded = slp::decodeRequest(wire);
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->xid, 55);
+    EXPECT_EQ(decoded->serviceType, "service:printer");
+    EXPECT_EQ(decoded->langTag, "en");  // MDL default
+}
+
+TEST_F(SlpCodecTest, ComposedReplyDecodableByLegacyStack) {
+    AbstractMessage message("SLPSrvReply");
+    message.setValue("XID", Value::ofInt(56), "Integer");
+    message.setValue("URLEntry", Value::ofString("http://10.0.0.3:8080/x"));
+    const Bytes wire = codec->compose(message);
+    const auto decoded = slp::decodeReply(wire);
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->xid, 56);
+    EXPECT_EQ(decoded->url, "http://10.0.0.3:8080/x");
+    EXPECT_EQ(decoded->errorCode, 0);
+}
+
+TEST_F(SlpCodecTest, ParseComposeRoundTripProperty) {
+    Rng rng(31337);
+    const std::string alphabet = "abcdefghijklmnopqrstuvwxyz:/._-";
+    auto randomText = [&rng, &alphabet](int maxLength) {
+        std::string out;
+        const int length = static_cast<int>(rng.range(0, maxLength));
+        for (int i = 0; i < length; ++i) {
+            out.push_back(alphabet[static_cast<std::size_t>(
+                rng.range(0, static_cast<std::int64_t>(alphabet.size() - 1)))]);
+        }
+        return out;
+    };
+    for (int round = 0; round < 100; ++round) {
+        slp::SrvRequest request;
+        request.xid = static_cast<std::uint16_t>(rng.range(0, 65535));
+        request.serviceType = "service:" + randomText(20);
+        request.prList = randomText(15);
+        request.predicate = randomText(15);
+        request.spi = randomText(10);
+        const Bytes original = slp::encode(request);
+        const auto message = codec->parse(original);
+        ASSERT_TRUE(message) << "round " << round;
+        const Bytes recomposed = codec->compose(*message);
+        EXPECT_EQ(recomposed, original) << "round " << round;
+    }
+}
+
+TEST_F(SlpCodecTest, MessageLengthBackpatched) {
+    AbstractMessage message("SLPSrvReply");
+    message.setValue("XID", Value::ofInt(1), "Integer");
+    message.setValue("URLEntry", Value::ofString("0123456789"));
+    const Bytes wire = codec->compose(message);
+    std::uint64_t length = 0;
+    ASSERT_TRUE(readUint(wire, 2, 3, length));
+    EXPECT_EQ(length, wire.size());
+}
+
+TEST_F(SlpCodecTest, ParseFailuresReturnNulloptWithDiagnostics) {
+    std::string error;
+    EXPECT_FALSE(codec->parse({}, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(codec->parse(toBytes("not slp at all"), &error));
+    // Truncated real message.
+    slp::SrvRequest request;
+    request.serviceType = "service:x";
+    Bytes wire = slp::encode(request);
+    wire.resize(wire.size() / 2);
+    EXPECT_FALSE(codec->parse(wire, &error));
+}
+
+TEST_F(SlpCodecTest, ComposeUnknownTypeThrows) {
+    EXPECT_THROW(codec->compose(AbstractMessage("NoSuchMessage")), SpecError);
+}
+
+TEST_F(SlpCodecTest, ComposeMissingMandatoryThrows) {
+    AbstractMessage message("SLPSrvReply");
+    message.setValue("XID", Value::ofInt(5), "Integer");
+    // URLEntry (mandatory) missing.
+    EXPECT_THROW(codec->compose(message), SpecError);
+}
+
+// --- codec: DNS -----------------------------------------------------------------
+
+class DnsCodecTest : public ::testing::Test {
+protected:
+    std::shared_ptr<MessageCodec> codec = MessageCodec::fromXml(bridge::models::dnsMdl());
+};
+
+TEST_F(DnsCodecTest, ParsesLegacyQuestion) {
+    const auto message = codec->parse(mdns::encode(mdns::makeQuestion(9, "_printer._tcp.local")));
+    ASSERT_TRUE(message);
+    EXPECT_EQ(message->type(), "DNS_Question");
+    EXPECT_EQ(message->value("ID")->asInt(), 9);
+    EXPECT_EQ(message->value("QName")->asString(), "_printer._tcp.local");
+    EXPECT_EQ(message->value("QType")->asInt(), 12);
+}
+
+TEST_F(DnsCodecTest, ParsesLegacyResponse) {
+    const auto message = codec->parse(
+        mdns::encode(mdns::makeResponse(9, "_printer._tcp.local", "http://10.0.0.3:631/ipp")));
+    ASSERT_TRUE(message);
+    EXPECT_EQ(message->type(), "DNS_Response");
+    EXPECT_EQ(message->value("RData")->asString(), "http://10.0.0.3:631/ipp");
+    EXPECT_EQ(message->value("AName")->asString(), "_printer._tcp.local");
+}
+
+TEST_F(DnsCodecTest, ComposedQuestionDecodableByLegacyStack) {
+    AbstractMessage message("DNS_Question");
+    message.setValue("ID", Value::ofInt(4242), "Integer");
+    message.setValue("QName", Value::ofString("_printer._tcp.local"));
+    const auto decoded = mdns::decode(codec->compose(message));
+    ASSERT_TRUE(decoded);
+    ASSERT_EQ(decoded->questions.size(), 1u);
+    EXPECT_EQ(decoded->id, 4242);
+    EXPECT_EQ(decoded->questions[0].qname, "_printer._tcp.local");
+    EXPECT_EQ(decoded->questions[0].qtype, mdns::kTypePtr);
+    EXPECT_FALSE(decoded->isResponse());
+}
+
+TEST_F(DnsCodecTest, ComposedResponseDecodableByLegacyStack) {
+    AbstractMessage message("DNS_Response");
+    message.setValue("ID", Value::ofInt(7), "Integer");
+    message.setValue("Flags", Value::ofInt(0x8400), "Integer");
+    message.setValue("AName", Value::ofString("_printer._tcp.local"));
+    message.setValue("RData", Value::ofString("service:printer://10.0.0.2:515/q"));
+    const auto decoded = mdns::decode(codec->compose(message));
+    ASSERT_TRUE(decoded);
+    ASSERT_EQ(decoded->answers.size(), 1u);
+    EXPECT_TRUE(decoded->isResponse());
+    EXPECT_EQ(toString(decoded->answers[0].rdata), "service:printer://10.0.0.2:515/q");
+}
+
+TEST_F(DnsCodecTest, RoundTripProperty) {
+    Rng rng(777);
+    for (int round = 0; round < 60; ++round) {
+        const bool isQuestion = rng.chance(0.5);
+        const std::string name = "_svc" + std::to_string(rng.range(0, 999)) + "._tcp.local";
+        const auto id = static_cast<std::uint16_t>(rng.range(0, 65535));
+        const Bytes original =
+            isQuestion ? mdns::encode(mdns::makeQuestion(id, name))
+                       : mdns::encode(mdns::makeResponse(id, name, "url" + std::to_string(round)));
+        const auto message = codec->parse(original);
+        ASSERT_TRUE(message) << round;
+        EXPECT_EQ(codec->compose(*message), original) << round;
+    }
+}
+
+}  // namespace
+}  // namespace starlink::mdl

@@ -1,0 +1,170 @@
+// Unit tests for the text MDL interpreter against the built-in SSDP and HTTP
+// MDLs (paper Fig 11, experiment E7).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/bridge/models.hpp"
+#include "core/mdl/codec.hpp"
+#include "protocols/http/http_codec.hpp"
+#include "protocols/ssdp/ssdp_codec.hpp"
+
+namespace starlink::mdl {
+namespace {
+
+class SsdpCodecTest : public ::testing::Test {
+protected:
+    std::shared_ptr<MessageCodec> codec = MessageCodec::fromXml(bridge::models::ssdpMdl());
+};
+
+TEST_F(SsdpCodecTest, ParsesLegacyMSearch) {
+    ssdp::MSearch search;
+    search.st = "urn:schemas-upnp-org:service:printer:1";
+    const auto message = codec->parse(ssdp::encode(search));
+    ASSERT_TRUE(message);
+    EXPECT_EQ(message->type(), "SSDP_MSearch");
+    EXPECT_EQ(message->value("Method")->asString(), "M-SEARCH");
+    EXPECT_EQ(message->value("URI")->asString(), "*");
+    EXPECT_EQ(message->value("ST")->asString(), "urn:schemas-upnp-org:service:printer:1");
+    EXPECT_EQ(message->value("MX")->asInt(), 2);  // typed via <Types>
+}
+
+TEST_F(SsdpCodecTest, ParsesLegacyResponse) {
+    ssdp::Response response;
+    response.st = "urn:x";
+    response.usn = "uuid:1::urn:x";
+    response.location = "http://10.0.0.3:8080/desc.xml";
+    const auto message = codec->parse(ssdp::encode(response));
+    ASSERT_TRUE(message);
+    EXPECT_EQ(message->type(), "SSDP_Resp");
+    EXPECT_EQ(message->value("LOCATION")->asString(), "http://10.0.0.3:8080/desc.xml");
+    EXPECT_EQ(message->value("USN")->asString(), "uuid:1::urn:x");
+}
+
+TEST_F(SsdpCodecTest, ComposedMSearchDecodableByLegacyStack) {
+    AbstractMessage message("SSDP_MSearch");
+    message.setValue("ST", Value::ofString("urn:y"));
+    const auto decoded = ssdp::decodeMSearch(codec->compose(message));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->st, "urn:y");
+    EXPECT_EQ(decoded->mx, 2);                      // meta default
+    EXPECT_EQ(decoded->man, "\"ssdp:discover\"");  // meta default with entities
+}
+
+TEST_F(SsdpCodecTest, ComposedResponseDecodableByLegacyStack) {
+    AbstractMessage message("SSDP_Resp");
+    message.setValue("ST", Value::ofString("urn:y"));
+    message.setValue("USN", Value::ofString("uuid:bridge::urn:y"));
+    message.setValue("LOCATION", Value::ofString("http://10.0.0.9:8085/desc.xml"));
+    const auto decoded = ssdp::decodeResponse(codec->compose(message));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->location, "http://10.0.0.9:8085/desc.xml");
+    EXPECT_EQ(decoded->st, "urn:y");
+}
+
+TEST_F(SsdpCodecTest, ComposeMissingMandatoryThrows) {
+    AbstractMessage message("SSDP_Resp");
+    message.setValue("ST", Value::ofString("urn:y"));
+    EXPECT_THROW(codec->compose(message), SpecError);  // LOCATION missing
+}
+
+TEST_F(SsdpCodecTest, ParseRejectsUnknownStartLine) {
+    std::string error;
+    EXPECT_FALSE(codec->parse(toBytes("NOTIFY * HTTP/1.1\r\n\r\n"), &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(codec->parse(toBytes("garbage"), &error));
+}
+
+TEST_F(SsdpCodecTest, HeaderValueMayContainInnerSplitChar) {
+    // LOCATION values contain ':' -- only the FIRST one splits.
+    ssdp::Response response;
+    response.st = "urn:a:b:c";
+    response.location = "http://10.0.0.3:8080/desc.xml";
+    const auto message = codec->parse(ssdp::encode(response));
+    ASSERT_TRUE(message);
+    EXPECT_EQ(message->value("ST")->asString(), "urn:a:b:c");
+}
+
+TEST_F(SsdpCodecTest, RoundTripThroughLegacyDecode) {
+    // compose -> legacy decode -> legacy encode -> parse keeps the fields.
+    AbstractMessage message("SSDP_MSearch");
+    message.setValue("ST", Value::ofString("urn:z"));
+    const auto legacy = ssdp::decodeMSearch(codec->compose(message));
+    ASSERT_TRUE(legacy);
+    const auto back = codec->parse(ssdp::encode(*legacy));
+    ASSERT_TRUE(back);
+    EXPECT_EQ(back->value("ST")->asString(), "urn:z");
+}
+
+class HttpCodecTest : public ::testing::Test {
+protected:
+    std::shared_ptr<MessageCodec> codec = MessageCodec::fromXml(bridge::models::httpMdl());
+};
+
+TEST_F(HttpCodecTest, ParsesLegacyGet) {
+    http::Request request;
+    request.path = "/desc.xml";
+    request.headers.emplace_back("Host", "10.0.0.3:8080");
+    const auto message = codec->parse(http::encode(request));
+    ASSERT_TRUE(message);
+    EXPECT_EQ(message->type(), "HTTP_GET");
+    EXPECT_EQ(message->value("URI")->asString(), "/desc.xml");
+    EXPECT_EQ(message->value("Host")->asString(), "10.0.0.3:8080");
+    EXPECT_EQ(message->value("Body")->asString(), "");
+}
+
+TEST_F(HttpCodecTest, ParsesLegacyOkWithBody) {
+    http::Response response;
+    response.body = "<root><URLBase>http://10.0.0.3:9090/print</URLBase></root>";
+    const auto message = codec->parse(http::encode(response));
+    ASSERT_TRUE(message);
+    EXPECT_EQ(message->type(), "HTTP_OK");
+    EXPECT_EQ(message->value("Body")->asString(), response.body);
+    EXPECT_EQ(message->value("Content-Length")->asString(),
+              std::to_string(response.body.size()));
+}
+
+TEST_F(HttpCodecTest, ComposedGetDecodableByLegacyStack) {
+    AbstractMessage message("HTTP_GET");
+    message.setValue("URI", Value::ofString("/desc.xml"));
+    message.setValue("Host", Value::ofString("10.0.0.3"));
+    const auto decoded = http::decodeRequest(codec->compose(message));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->method, "GET");
+    EXPECT_EQ(decoded->path, "/desc.xml");
+    EXPECT_EQ(decoded->header("Host"), "10.0.0.3");
+}
+
+TEST_F(HttpCodecTest, ComposedOkCarriesConsistentContentLength) {
+    AbstractMessage message("HTTP_OK");
+    message.setValue("Body", Value::ofString("0123456789"));
+    const Bytes wire = codec->compose(message);
+    const auto decoded = http::decodeResponse(wire);
+    ASSERT_TRUE(decoded);  // legacy decode validates Content-Length
+    EXPECT_EQ(decoded->status, 200);
+    EXPECT_EQ(decoded->body, "0123456789");
+}
+
+TEST_F(HttpCodecTest, ComposedOkOverridesStaleContentLength) {
+    AbstractMessage message("HTTP_OK");
+    message.setValue("Content-Length", Value::ofString("999"));
+    message.setValue("Body", Value::ofString("abc"));
+    const auto decoded = http::decodeResponse(codec->compose(message));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->body, "abc");
+}
+
+TEST_F(HttpCodecTest, ComposeMissingMandatoryUriThrows) {
+    AbstractMessage message("HTTP_GET");
+    EXPECT_THROW(codec->compose(message), SpecError);
+}
+
+TEST_F(HttpCodecTest, BodyOnlyAfterBlankLine) {
+    const std::string raw = "HTTP/1.1 200 OK\r\nX: 1\r\n\r\nline1\r\nline2";
+    const auto message = codec->parse(toBytes(raw));
+    ASSERT_TRUE(message);
+    EXPECT_EQ(message->value("Body")->asString(), "line1\r\nline2");
+    EXPECT_EQ(message->value("X")->asString(), "1");
+}
+
+}  // namespace
+}  // namespace starlink::mdl

@@ -1,0 +1,131 @@
+// Unit tests for the XML MDL dialect in isolation (a toy protocol, separate
+// from the WS-Discovery coverage in test_wsd.cpp): path resolution, rules,
+// defaults, typed fields, compose element materialisation.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/mdl/codec.hpp"
+#include "xml/parser.hpp"
+
+namespace starlink::mdl {
+namespace {
+
+const char* kToyXmlMdl = R"(<Mdl protocol="TOY" kind="xml">
+  <Types>
+    <Kind>String</Kind>
+    <Seq>Integer</Seq>
+    <Deep>String</Deep>
+  </Types>
+  <Header type="TOY" root="Msg">
+    <Kind>Meta/Kind</Kind>
+    <Seq>Meta/Seq</Seq>
+  </Header>
+  <Message type="ToyAsk">
+    <Rule>Kind=ask</Rule>
+    <What mandatory="true">Payload/What</What>
+    <Hint default="none">Payload/Hint</Hint>
+  </Message>
+  <Message type="ToyTell">
+    <Rule>Kind=tell</Rule>
+    <Deep mandatory="true">Payload/Deeply/Nested/Value</Deep>
+  </Message>
+</Mdl>)";
+
+class XmlDialectTest : public ::testing::Test {
+protected:
+    std::shared_ptr<MessageCodec> codec = MessageCodec::fromXml(kToyXmlMdl);
+};
+
+TEST_F(XmlDialectTest, ParsesByRule) {
+    const auto ask = codec->parse(toBytes(
+        "<Msg><Meta><Kind>ask</Kind><Seq>7</Seq></Meta>"
+        "<Payload><What>printers</What></Payload></Msg>"));
+    ASSERT_TRUE(ask);
+    EXPECT_EQ(ask->type(), "ToyAsk");
+    EXPECT_EQ(ask->value("What")->asString(), "printers");
+    EXPECT_EQ(ask->value("Seq")->asInt(), 7);  // typed through <Types>
+
+    const auto tell = codec->parse(toBytes(
+        "<Msg><Meta><Kind>tell</Kind><Seq>8</Seq></Meta>"
+        "<Payload><Deeply><Nested><Value>x</Value></Nested></Deeply></Payload></Msg>"));
+    ASSERT_TRUE(tell);
+    EXPECT_EQ(tell->type(), "ToyTell");
+    EXPECT_EQ(tell->value("Deep")->asString(), "x");
+}
+
+TEST_F(XmlDialectTest, OptionalFieldAbsentIsFine) {
+    const auto ask = codec->parse(toBytes(
+        "<Msg><Meta><Kind>ask</Kind></Meta><Payload><What>w</What></Payload></Msg>"));
+    ASSERT_TRUE(ask);
+    EXPECT_FALSE(ask->value("Hint"));
+    EXPECT_FALSE(ask->value("Seq"));  // header fields are optional at parse
+}
+
+TEST_F(XmlDialectTest, MissingMandatoryBodyFieldFailsParse) {
+    std::string error;
+    EXPECT_FALSE(codec->parse(
+        toBytes("<Msg><Meta><Kind>ask</Kind></Meta><Payload/></Msg>"), &error));
+    EXPECT_NE(error.find("What"), std::string::npos);
+}
+
+TEST_F(XmlDialectTest, UnknownKindFailsParse) {
+    std::string error;
+    EXPECT_FALSE(codec->parse(
+        toBytes("<Msg><Meta><Kind>shout</Kind></Meta></Msg>"), &error));
+    EXPECT_NE(error.find("rule"), std::string::npos);
+}
+
+TEST_F(XmlDialectTest, WrongRootFailsParse) {
+    EXPECT_FALSE(codec->parse(toBytes("<Other><Meta><Kind>ask</Kind></Meta></Other>")));
+}
+
+TEST_F(XmlDialectTest, ComposeMaterialisesPathsAndDefaults) {
+    AbstractMessage message("ToyAsk");
+    message.setValue("Seq", Value::ofInt(41), "Integer");
+    message.setValue("What", Value::ofString("scanners"));
+    const Bytes wire = codec->compose(message);
+
+    const auto doc = xml::parse(toString(wire));
+    EXPECT_EQ(doc->name(), "Msg");
+    EXPECT_EQ(doc->child("Meta")->childText("Kind"), "ask");  // rule-forced
+    EXPECT_EQ(doc->child("Meta")->childText("Seq"), "41");
+    EXPECT_EQ(doc->child("Payload")->childText("What"), "scanners");
+    EXPECT_EQ(doc->child("Payload")->childText("Hint"), "none");  // default
+}
+
+TEST_F(XmlDialectTest, ComposeParseRoundTrip) {
+    AbstractMessage message("ToyTell");
+    message.setValue("Seq", Value::ofInt(5), "Integer");
+    message.setValue("Deep", Value::ofString("value with <entities> & quotes"));
+    const auto back = codec->parse(codec->compose(message));
+    ASSERT_TRUE(back);
+    EXPECT_EQ(back->type(), "ToyTell");
+    EXPECT_EQ(back->value("Deep")->asString(), "value with <entities> & quotes");
+    EXPECT_EQ(back->value("Seq")->asInt(), 5);
+}
+
+TEST_F(XmlDialectTest, ComposeMissingMandatoryThrows) {
+    AbstractMessage message("ToyTell");
+    message.setValue("Seq", Value::ofInt(5), "Integer");
+    EXPECT_THROW(codec->compose(message), SpecError);
+}
+
+TEST(XmlDialectSpec, RequiresRootAttribute) {
+    EXPECT_THROW(MdlDocument::fromXml(R"(<Mdl kind="xml">
+        <Header type="X"><A>P/A</A></Header><Message type="M"/></Mdl>)"),
+                 SpecError);
+}
+
+TEST(XmlDialectSpec, RejectsNonPathDialectMixing) {
+    // An xml-dialect codec over a binary document (and vice versa) is a
+    // construction error.
+    const auto xmlDoc = MdlDocument::fromXml(R"(<Mdl kind="xml">
+        <Header type="X" root="R"><A>P/A</A></Header>
+        <Message type="M"><Rule>A=1</Rule></Message></Mdl>)");
+    auto registry = MarshallerRegistry::withDefaults();
+    EXPECT_THROW(BinaryCodec(xmlDoc, registry), SpecError);
+    EXPECT_THROW(TextCodec(xmlDoc, registry), SpecError);
+}
+
+}  // namespace
+}  // namespace starlink::mdl

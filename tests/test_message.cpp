@@ -1,0 +1,174 @@
+// Unit tests for abstract messages: values, fields, dotted paths, the XML
+// projection (paper section III-A).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/message/abstract_message.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+#include "xml/xpath.hpp"
+
+namespace starlink {
+namespace {
+
+TEST(Value, TypesAndAccessors) {
+    EXPECT_EQ(Value().type(), ValueType::Empty);
+    EXPECT_EQ(Value::ofInt(5).asInt(), 5);
+    EXPECT_EQ(Value::ofString("x").asString(), "x");
+    EXPECT_EQ(Value::ofBool(true).asBool(), true);
+    EXPECT_EQ(Value::ofDouble(1.5).asDouble(), 1.5);
+    EXPECT_EQ(Value::ofBytes({1, 2}).asBytes(), (Bytes{1, 2}));
+    EXPECT_FALSE(Value::ofInt(5).asString());
+    EXPECT_FALSE(Value::ofString("x").asInt());
+}
+
+TEST(Value, TextRoundTripAllTypes) {
+    const std::pair<ValueType, Value> cases[] = {
+        {ValueType::Int, Value::ofInt(-42)},
+        {ValueType::String, Value::ofString("hello world")},
+        {ValueType::Bytes, Value::ofBytes({0xde, 0xad})},
+        {ValueType::Bool, Value::ofBool(true)},
+        {ValueType::Empty, Value()},
+    };
+    for (const auto& [type, value] : cases) {
+        const auto back = Value::fromText(type, value.toText());
+        ASSERT_TRUE(back) << valueTypeName(type);
+        EXPECT_EQ(*back, value) << valueTypeName(type);
+    }
+}
+
+TEST(Value, FromTextRejectsGarbage) {
+    EXPECT_FALSE(Value::fromText(ValueType::Int, "4x"));
+    EXPECT_FALSE(Value::fromText(ValueType::Bool, "maybe"));
+    EXPECT_FALSE(Value::fromText(ValueType::Bytes, "zz"));
+    EXPECT_FALSE(Value::fromText(ValueType::Double, "1.5x"));
+}
+
+TEST(Value, CoercionsIntString) {
+    EXPECT_EQ(Value::ofInt(42).coerceTo(ValueType::String)->asString(), "42");
+    EXPECT_EQ(Value::ofString("42").coerceTo(ValueType::Int)->asInt(), 42);
+    EXPECT_FALSE(Value::ofString("nan").coerceTo(ValueType::Int));
+}
+
+TEST(Value, CoercionStringBytes) {
+    EXPECT_EQ(Value::ofString("ab").coerceTo(ValueType::Bytes)->asBytes(),
+              (Bytes{'a', 'b'}));
+    EXPECT_EQ(Value::ofBytes({'a'}).coerceTo(ValueType::String)->asString(), "61");  // hex text
+}
+
+TEST(Value, CoercionSameTypeIdentity) {
+    EXPECT_EQ(Value::ofInt(7).coerceTo(ValueType::Int)->asInt(), 7);
+}
+
+TEST(Field, PrimitiveAccessors) {
+    Field f = Field::primitive("XID", "Integer", Value::ofInt(7), 16);
+    EXPECT_TRUE(f.isPrimitive());
+    EXPECT_EQ(f.label(), "XID");
+    EXPECT_EQ(f.typeName(), "Integer");
+    EXPECT_EQ(f.value().asInt(), 7);
+    EXPECT_EQ(f.lengthBits(), 16);
+}
+
+TEST(Field, StructuredChildren) {
+    Field url = Field::structured("URL", {Field::primitive("host", "String", Value::ofString("h")),
+                                          Field::primitive("port", "Integer", Value::ofInt(80))});
+    EXPECT_FALSE(url.isPrimitive());
+    ASSERT_NE(url.child("port"), nullptr);
+    EXPECT_EQ(url.child("port")->value().asInt(), 80);
+    EXPECT_EQ(url.child("missing"), nullptr);
+}
+
+TEST(AbstractMessage, DottedPathSelection) {
+    AbstractMessage msg("M");
+    msg.addField(Field::primitive("a", "String", Value::ofString("x")));
+    msg.addField(Field::structured(
+        "URL", {Field::primitive("port", "Integer", Value::ofInt(80))}));
+    EXPECT_EQ(msg.value("a")->asString(), "x");
+    EXPECT_EQ(msg.value("URL.port")->asInt(), 80);
+    EXPECT_FALSE(msg.value("URL.host"));
+    EXPECT_FALSE(msg.value("nothere"));
+    EXPECT_FALSE(msg.value("URL"));  // structured field has no value
+}
+
+TEST(AbstractMessage, SetValueCreatesSpine) {
+    AbstractMessage msg("M");
+    msg.setValue("URL.host", Value::ofString("10.0.0.1"));
+    msg.setValue("URL.port", Value::ofInt(80), "Integer");
+    EXPECT_EQ(msg.fields().size(), 1u);
+    EXPECT_EQ(msg.value("URL.host")->asString(), "10.0.0.1");
+    EXPECT_EQ(msg.value("URL.port")->asInt(), 80);
+}
+
+TEST(AbstractMessage, SetValueOverwrites) {
+    AbstractMessage msg("M");
+    msg.setValue("a", Value::ofString("1"));
+    msg.setValue("a", Value::ofString("2"));
+    EXPECT_EQ(msg.fields().size(), 1u);
+    EXPECT_EQ(msg.value("a")->asString(), "2");
+}
+
+TEST(AbstractMessage, SetValueThroughPrimitiveThrows) {
+    AbstractMessage msg("M");
+    msg.setValue("a", Value::ofString("1"));
+    EXPECT_THROW(msg.setValue("a.b", Value::ofString("2")), SpecError);
+}
+
+TEST(AbstractMessage, RemoveField) {
+    AbstractMessage msg("M");
+    msg.setValue("a", Value::ofString("1"));
+    EXPECT_TRUE(msg.removeField("a"));
+    EXPECT_FALSE(msg.removeField("a"));
+    EXPECT_TRUE(msg.fields().empty());
+}
+
+TEST(AbstractMessage, XmlProjectionRoundTrip) {
+    AbstractMessage msg("SLPSrvRequest");
+    msg.addField(Field::primitive("XID", "Integer", Value::ofInt(300), 16));
+    msg.addField(Field::primitive("SRVType", "String", Value::ofString("service:printer")));
+    msg.addField(Field::structured(
+        "URL", {Field::primitive("host", "String", Value::ofString("10.0.0.1")),
+                Field::primitive("port", "Integer", Value::ofInt(80))}));
+
+    const auto xmlNode = msg.toXml();
+    const AbstractMessage back = AbstractMessage::fromXml(*xmlNode);
+    EXPECT_EQ(back, msg);
+}
+
+TEST(AbstractMessage, XmlProjectionMatchesPaperSchema) {
+    // Fig 8's XPath expressions must address the projection.
+    AbstractMessage msg("SSDP_MSearch");
+    msg.addField(Field::primitive("ST", "String", Value::ofString("urn:x")));
+    const auto xmlNode = msg.toXml();
+    const auto path = xml::Path::compile("/field/primitiveField[label='ST']/value");
+    const xml::Node* value = path.first(*xmlNode);
+    ASSERT_NE(value, nullptr);
+    EXPECT_EQ(value->text(), "urn:x");
+    EXPECT_EQ(xmlNode->attribute("message"), "SSDP_MSearch");
+}
+
+TEST(AbstractMessage, XmlProjectionSerializesAndReparses) {
+    AbstractMessage msg("M");
+    msg.addField(Field::primitive("data", "String", Value::ofString("<xml> & \"entities\"")));
+    const std::string text = xml::write(*msg.toXml());
+    const AbstractMessage back = AbstractMessage::fromXml(*xml::parse(text));
+    EXPECT_EQ(back, msg);
+}
+
+TEST(AbstractMessage, FromXmlRejectsBadSchema) {
+    EXPECT_THROW(AbstractMessage::fromXml(*xml::parse("<notfield/>")), SpecError);
+    EXPECT_THROW(
+        AbstractMessage::fromXml(*xml::parse("<field><primitiveField/></field>")),
+        SpecError);
+}
+
+TEST(AbstractMessage, DescribeMentionsEveryField) {
+    AbstractMessage msg("M");
+    msg.setValue("alpha", Value::ofString("1"));
+    msg.setValue("beta.gamma", Value::ofInt(2), "Integer");
+    const std::string text = msg.describe();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("gamma"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace starlink

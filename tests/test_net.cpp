@@ -1,0 +1,327 @@
+// Unit tests for the simulated network substrate: scheduler, UDP (unicast +
+// multicast), TCP, latency, partitions, loss.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim_fixture.hpp"
+
+namespace starlink {
+namespace {
+
+using testing::SimTest;
+
+class NetTest : public SimTest {};
+
+TEST_F(NetTest, SchedulerRunsInTimeOrder) {
+    std::vector<int> order;
+    scheduler.schedule(net::ms(20), [&order] { order.push_back(2); });
+    scheduler.schedule(net::ms(10), [&order] { order.push_back(1); });
+    scheduler.schedule(net::ms(30), [&order] { order.push_back(3); });
+    run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(clock.now().time_since_epoch(), net::ms(30));
+}
+
+TEST_F(NetTest, SchedulerTiesBreakByInsertion) {
+    std::vector<int> order;
+    scheduler.schedule(net::ms(5), [&order] { order.push_back(1); });
+    scheduler.schedule(net::ms(5), [&order] { order.push_back(2); });
+    run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(NetTest, SchedulerCancel) {
+    bool ran = false;
+    const auto id = scheduler.schedule(net::ms(5), [&ran] { ran = true; });
+    EXPECT_TRUE(scheduler.cancel(id));
+    EXPECT_FALSE(scheduler.cancel(id));  // already gone
+    run();
+    EXPECT_FALSE(ran);
+}
+
+TEST_F(NetTest, SchedulerRunForAdvancesClockEvenWhenIdle) {
+    scheduler.runFor(net::ms(100));
+    EXPECT_EQ(clock.now().time_since_epoch(), net::ms(100));
+}
+
+TEST_F(NetTest, EventsScheduledDuringRunExecute) {
+    int depth = 0;
+    scheduler.schedule(net::ms(1), [this, &depth] {
+        depth = 1;
+        scheduler.schedule(net::ms(1), [&depth] { depth = 2; });
+    });
+    run();
+    EXPECT_EQ(depth, 2);
+}
+
+TEST_F(NetTest, UdpUnicastDelivery) {
+    auto a = network.openUdp("10.0.0.1", 1000);
+    auto b = network.openUdp("10.0.0.2", 2000);
+    Bytes received;
+    net::Address from;
+    b->onDatagram([&](const Bytes& payload, const net::Address& sender) {
+        received = payload;
+        from = sender;
+    });
+    a->sendTo(net::Address{"10.0.0.2", 2000}, toBytes("ping"));
+    run();
+    EXPECT_EQ(toString(received), "ping");
+    EXPECT_EQ(from, (net::Address{"10.0.0.1", 1000}));
+}
+
+TEST_F(NetTest, UdpToUnboundPortVanishes) {
+    auto a = network.openUdp("10.0.0.1", 1000);
+    a->sendTo(net::Address{"10.0.0.2", 9999}, toBytes("x"));
+    run();  // nothing to assert beyond "no crash, no delivery"
+    EXPECT_EQ(network.datagramsSent(), 1u);
+}
+
+TEST_F(NetTest, MulticastReachesMembersNotSender) {
+    const net::Address group{"239.255.255.253", 427};
+    auto a = network.openUdp("10.0.0.1", 427);
+    auto b = network.openUdp("10.0.0.2", 427);
+    auto c = network.openUdp("10.0.0.3", 427);
+    a->joinGroup(group);
+    b->joinGroup(group);
+    c->joinGroup(group);
+    int aCount = 0;
+    int bCount = 0;
+    int cCount = 0;
+    a->onDatagram([&](const Bytes&, const net::Address&) { ++aCount; });
+    b->onDatagram([&](const Bytes&, const net::Address&) { ++bCount; });
+    c->onDatagram([&](const Bytes&, const net::Address&) { ++cCount; });
+    a->sendTo(group, toBytes("hello"));
+    run();
+    EXPECT_EQ(aCount, 0);  // no loopback to the sending socket
+    EXPECT_EQ(bCount, 1);
+    EXPECT_EQ(cCount, 1);
+}
+
+TEST_F(NetTest, MulticastRequiresMembership) {
+    const net::Address group{"224.0.0.251", 5353};
+    auto a = network.openUdp("10.0.0.1", 5353);
+    auto b = network.openUdp("10.0.0.2", 5353);  // never joins
+    int bCount = 0;
+    b->onDatagram([&](const Bytes&, const net::Address&) { ++bCount; });
+    a->sendTo(group, toBytes("x"));
+    run();
+    EXPECT_EQ(bCount, 0);
+}
+
+TEST_F(NetTest, LeaveGroupStopsDelivery) {
+    const net::Address group{"224.0.0.251", 5353};
+    auto a = network.openUdp("10.0.0.1", 5353);
+    auto b = network.openUdp("10.0.0.2", 5353);
+    b->joinGroup(group);
+    b->leaveGroup(group);
+    int count = 0;
+    b->onDatagram([&](const Bytes&, const net::Address&) { ++count; });
+    a->sendTo(group, toBytes("x"));
+    run();
+    EXPECT_EQ(count, 0);
+}
+
+TEST_F(NetTest, JoinNonMulticastAddressThrows) {
+    auto a = network.openUdp("10.0.0.1");
+    EXPECT_THROW(a->joinGroup(net::Address{"10.0.0.2", 80}), NetError);
+}
+
+TEST_F(NetTest, DoubleBindThrows) {
+    auto a = network.openUdp("10.0.0.1", 1000);
+    EXPECT_THROW(network.openUdp("10.0.0.1", 1000), NetError);
+}
+
+TEST_F(NetTest, PortFreedOnSocketDestruction) {
+    { auto a = network.openUdp("10.0.0.1", 1000); }
+    EXPECT_NO_THROW(network.openUdp("10.0.0.1", 1000));
+}
+
+TEST_F(NetTest, EphemeralPortsAreDistinct) {
+    auto a = network.openUdp("10.0.0.1");
+    auto b = network.openUdp("10.0.0.1");
+    EXPECT_NE(a->localAddress().port, b->localAddress().port);
+    EXPECT_GE(a->localAddress().port, 49152);
+}
+
+TEST_F(NetTest, LatencyDelaysDelivery) {
+    network.latency().base = net::ms(10);
+    network.latency().jitter = net::ms(0);
+    auto a = network.openUdp("10.0.0.1", 1000);
+    auto b = network.openUdp("10.0.0.2", 2000);
+    net::TimePoint arrival{};
+    b->onDatagram([&](const Bytes&, const net::Address&) { arrival = network.now(); });
+    a->sendTo(net::Address{"10.0.0.2", 2000}, toBytes("x"));
+    run();
+    EXPECT_EQ(arrival.time_since_epoch(), net::ms(10));
+}
+
+TEST_F(NetTest, PacketLossDropsEverythingAtProbabilityOne) {
+    network.latency().lossProbability = 1.0;
+    auto a = network.openUdp("10.0.0.1", 1000);
+    auto b = network.openUdp("10.0.0.2", 2000);
+    int count = 0;
+    b->onDatagram([&](const Bytes&, const net::Address&) { ++count; });
+    for (int i = 0; i < 10; ++i) a->sendTo(net::Address{"10.0.0.2", 2000}, toBytes("x"));
+    run();
+    EXPECT_EQ(count, 0);
+    EXPECT_EQ(network.datagramsDropped(), 10u);
+}
+
+TEST_F(NetTest, PartitionBlocksTraffic) {
+    auto a = network.openUdp("10.0.0.1", 1000);
+    auto b = network.openUdp("10.0.0.2", 2000);
+    int count = 0;
+    b->onDatagram([&](const Bytes&, const net::Address&) { ++count; });
+    network.partitionHost("10.0.0.2");
+    a->sendTo(net::Address{"10.0.0.2", 2000}, toBytes("x"));
+    run();
+    EXPECT_EQ(count, 0);
+    network.healHost("10.0.0.2");
+    a->sendTo(net::Address{"10.0.0.2", 2000}, toBytes("x"));
+    run();
+    EXPECT_EQ(count, 1);
+}
+
+TEST_F(NetTest, PerLinkLatencyOverride) {
+    network.latency().base = net::ms(1);
+    network.latency().jitter = net::ms(0);
+    net::LatencyModel slow;
+    slow.base = net::ms(50);
+    slow.jitter = net::ms(0);
+    network.setLinkLatency("10.0.0.1", "10.0.0.3", slow);
+
+    auto a = network.openUdp("10.0.0.1", 1000);
+    auto b = network.openUdp("10.0.0.2", 1000);
+    auto c = network.openUdp("10.0.0.3", 1000);
+    net::TimePoint bArrival{};
+    net::TimePoint cArrival{};
+    b->onDatagram([&](const Bytes&, const net::Address&) { bArrival = network.now(); });
+    c->onDatagram([&](const Bytes&, const net::Address&) { cArrival = network.now(); });
+    a->sendTo(net::Address{"10.0.0.2", 1000}, toBytes("x"));
+    a->sendTo(net::Address{"10.0.0.3", 1000}, toBytes("x"));
+    run();
+    EXPECT_EQ(bArrival.time_since_epoch(), net::ms(1));   // default link
+    EXPECT_EQ(cArrival.time_since_epoch(), net::ms(50));  // overridden link
+
+    // Symmetric and clearable.
+    net::TimePoint aArrival{};
+    a->onDatagram([&](const Bytes&, const net::Address&) { aArrival = network.now(); });
+    c->sendTo(net::Address{"10.0.0.1", 1000}, toBytes("y"));
+    run();
+    EXPECT_EQ((aArrival - cArrival), net::ms(50));
+    network.clearLinkLatency("10.0.0.3", "10.0.0.1");
+    c->sendTo(net::Address{"10.0.0.1", 1000}, toBytes("z"));
+    const auto before = network.now();
+    run();
+    EXPECT_EQ((aArrival - before), net::ms(1));
+}
+
+TEST_F(NetTest, PerLinkLossOverride) {
+    network.latency().lossProbability = 0.0;
+    net::LatencyModel lossy;
+    lossy.lossProbability = 1.0;
+    network.setLinkLatency("10.0.0.1", "10.0.0.3", lossy);
+    auto a = network.openUdp("10.0.0.1", 1000);
+    auto b = network.openUdp("10.0.0.2", 1000);
+    auto c = network.openUdp("10.0.0.3", 1000);
+    int bCount = 0;
+    int cCount = 0;
+    b->onDatagram([&](const Bytes&, const net::Address&) { ++bCount; });
+    c->onDatagram([&](const Bytes&, const net::Address&) { ++cCount; });
+    for (int i = 0; i < 5; ++i) {
+        a->sendTo(net::Address{"10.0.0.2", 1000}, toBytes("x"));
+        a->sendTo(net::Address{"10.0.0.3", 1000}, toBytes("x"));
+    }
+    run();
+    EXPECT_EQ(bCount, 5);
+    EXPECT_EQ(cCount, 0);
+}
+
+TEST_F(NetTest, TcpConnectExchange) {
+    auto listener = network.listenTcp("10.0.0.2", 80);
+    std::shared_ptr<net::TcpConnection> serverSide;
+    listener->onAccept([&](std::shared_ptr<net::TcpConnection> connection) {
+        serverSide = connection;
+        connection->onData([connection](const Bytes& data) {
+            connection->send(toBytes("re:" + toString(data)));
+        });
+    });
+
+    std::string response;
+    network.connectTcp("10.0.0.1", net::Address{"10.0.0.2", 80},
+                       [&response](std::shared_ptr<net::TcpConnection> connection) {
+                           ASSERT_NE(connection, nullptr);
+                           connection->onData([&response](const Bytes& data) {
+                               response = toString(data);
+                           });
+                           connection->send(toBytes("hello"));
+                       });
+    run();
+    EXPECT_EQ(response, "re:hello");
+    ASSERT_NE(serverSide, nullptr);
+    EXPECT_EQ(serverSide->remoteAddress().host, "10.0.0.1");
+}
+
+TEST_F(NetTest, TcpConnectionRefusedWhenNobodyListens) {
+    bool called = false;
+    network.connectTcp("10.0.0.1", net::Address{"10.0.0.2", 80},
+                       [&called](std::shared_ptr<net::TcpConnection> connection) {
+                           called = true;
+                           EXPECT_EQ(connection, nullptr);
+                       });
+    run();
+    EXPECT_TRUE(called);
+}
+
+TEST_F(NetTest, TcpChunksArriveInOrder) {
+    auto listener = network.listenTcp("10.0.0.2", 80);
+    std::vector<std::string> chunks;
+    std::shared_ptr<net::TcpConnection> serverSide;
+    listener->onAccept([&](std::shared_ptr<net::TcpConnection> connection) {
+        serverSide = connection;
+        connection->onData([&chunks](const Bytes& data) { chunks.push_back(toString(data)); });
+    });
+    network.connectTcp("10.0.0.1", net::Address{"10.0.0.2", 80},
+                       [](std::shared_ptr<net::TcpConnection> connection) {
+                           connection->send(toBytes("1"));
+                           connection->send(toBytes("2"));
+                           connection->send(toBytes("3"));
+                       });
+    run();
+    EXPECT_EQ(chunks, (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST_F(NetTest, TcpCloseNotifiesPeer) {
+    auto listener = network.listenTcp("10.0.0.2", 80);
+    bool serverSawClose = false;
+    listener->onAccept([&](std::shared_ptr<net::TcpConnection> connection) {
+        connection->onClose([&serverSawClose] { serverSawClose = true; });
+    });
+    std::shared_ptr<net::TcpConnection> client;
+    network.connectTcp("10.0.0.1", net::Address{"10.0.0.2", 80},
+                       [&client](std::shared_ptr<net::TcpConnection> connection) {
+                           client = connection;
+                       });
+    run();
+    ASSERT_NE(client, nullptr);
+    client->close();
+    run();
+    EXPECT_TRUE(serverSawClose);
+    EXPECT_THROW(client->send(toBytes("x")), NetError);
+}
+
+TEST_F(NetTest, TcpListenerRebindAfterDestruction) {
+    { auto listener = network.listenTcp("10.0.0.2", 80); }
+    EXPECT_NO_THROW(network.listenTcp("10.0.0.2", 80));
+}
+
+TEST_F(NetTest, AddressMulticastClassification) {
+    EXPECT_TRUE((net::Address{"224.0.0.251", 1}.isMulticast()));
+    EXPECT_TRUE((net::Address{"239.255.255.253", 1}.isMulticast()));
+    EXPECT_FALSE((net::Address{"10.0.0.1", 1}.isMulticast()));
+    EXPECT_FALSE((net::Address{"240.0.0.1", 1}.isMulticast()));
+    EXPECT_FALSE((net::Address{"localhost", 1}.isMulticast()));
+}
+
+}  // namespace
+}  // namespace starlink

@@ -1,0 +1,383 @@
+// Unit tests for the legacy protocol stacks: codecs and agents for SLP,
+// mDNS, SSDP, HTTP (the OpenSLP / Bonjour SDK / Cyberlink stand-ins).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "protocols/http/http_agents.hpp"
+#include "protocols/mdns/mdns_agents.hpp"
+#include "protocols/slp/slp_agents.hpp"
+#include "protocols/ssdp/ssdp_agents.hpp"
+#include "sim_fixture.hpp"
+
+namespace starlink {
+namespace {
+
+using testing::SimTest;
+
+// --- SLP codec -----------------------------------------------------------------
+
+TEST(SlpCodec, RequestRoundTrip) {
+    slp::SrvRequest request;
+    request.xid = 1234;
+    request.langTag = "en";
+    request.prList = "10.0.0.5";
+    request.serviceType = "service:printer";
+    request.predicate = "(color=true)";
+    request.spi = "spi";
+    const auto decoded = slp::decodeRequest(slp::encode(request));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->xid, request.xid);
+    EXPECT_EQ(decoded->prList, request.prList);
+    EXPECT_EQ(decoded->serviceType, request.serviceType);
+    EXPECT_EQ(decoded->predicate, request.predicate);
+    EXPECT_EQ(decoded->spi, request.spi);
+}
+
+TEST(SlpCodec, ReplyRoundTrip) {
+    slp::SrvReply reply;
+    reply.xid = 99;
+    reply.errorCode = 0;
+    reply.lifetime = 120;
+    reply.url = "service:printer://10.0.0.2:515/q1";
+    const auto decoded = slp::decodeReply(slp::encode(reply));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->xid, 99);
+    EXPECT_EQ(decoded->lifetime, 120);
+    EXPECT_EQ(decoded->url, reply.url);
+}
+
+TEST(SlpCodec, MessageLengthFieldMatchesBuffer) {
+    const Bytes wire = slp::encode(slp::SrvRequest{});
+    std::uint64_t length = 0;
+    ASSERT_TRUE(readUint(wire, 2, 3, length));
+    EXPECT_EQ(length, wire.size());
+}
+
+TEST(SlpCodec, RejectsCorruption) {
+    EXPECT_FALSE(slp::decodeRequest({}));
+    EXPECT_FALSE(slp::decodeRequest(toBytes("junk")));
+    Bytes wire = slp::encode(slp::SrvRequest{});
+    wire[0] = 9;  // wrong version
+    EXPECT_FALSE(slp::decodeRequest(wire));
+    Bytes truncated = slp::encode(slp::SrvRequest{});
+    truncated.pop_back();
+    EXPECT_FALSE(slp::decodeRequest(truncated));  // MessageLength mismatch
+    // Request decoded as reply and vice versa.
+    EXPECT_FALSE(slp::decodeReply(slp::encode(slp::SrvRequest{})));
+    EXPECT_FALSE(slp::decodeRequest(slp::encode(slp::SrvReply{})));
+}
+
+TEST(SlpCodec, PeekFunction) {
+    EXPECT_EQ(slp::peekFunction(slp::encode(slp::SrvRequest{})), slp::kFnSrvRqst);
+    EXPECT_EQ(slp::peekFunction(slp::encode(slp::SrvReply{})), slp::kFnSrvRply);
+    EXPECT_FALSE(slp::peekFunction(toBytes("x")));
+}
+
+// --- DNS codec -----------------------------------------------------------------
+
+TEST(DnsCodec, QuestionRoundTrip) {
+    const auto message = mdns::makeQuestion(7, "_printer._tcp.local");
+    const auto decoded = mdns::decode(mdns::encode(message));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->id, 7);
+    EXPECT_FALSE(decoded->isResponse());
+    ASSERT_EQ(decoded->questions.size(), 1u);
+    EXPECT_EQ(decoded->questions[0].qname, "_printer._tcp.local");
+}
+
+TEST(DnsCodec, ResponseRoundTrip) {
+    const auto message = mdns::makeResponse(7, "_printer._tcp.local", "http://10.0.0.3/u");
+    const auto decoded = mdns::decode(mdns::encode(message));
+    ASSERT_TRUE(decoded);
+    EXPECT_TRUE(decoded->isResponse());
+    ASSERT_EQ(decoded->answers.size(), 1u);
+    EXPECT_EQ(toString(decoded->answers[0].rdata), "http://10.0.0.3/u");
+    EXPECT_EQ(decoded->answers[0].ttl, 120u);
+}
+
+TEST(DnsCodec, RejectsCorruption) {
+    EXPECT_FALSE(mdns::decode({}));
+    EXPECT_FALSE(mdns::decode(toBytes("short")));
+    Bytes wire = mdns::encode(mdns::makeQuestion(1, "a.b"));
+    wire.pop_back();
+    EXPECT_FALSE(mdns::decode(wire));
+    wire = mdns::encode(mdns::makeQuestion(1, "a.b"));
+    wire.push_back(0);  // trailing garbage
+    EXPECT_FALSE(mdns::decode(wire));
+}
+
+TEST(DnsCodec, RejectsOversizedLabelOnEncode) {
+    EXPECT_THROW(mdns::encode(mdns::makeQuestion(1, std::string(64, 'x') + ".local")),
+                 ProtocolError);
+}
+
+// --- SSDP codec ----------------------------------------------------------------
+
+TEST(SsdpCodec, MSearchRoundTrip) {
+    ssdp::MSearch search;
+    search.st = "urn:schemas-upnp-org:service:printer:1";
+    search.mx = 3;
+    const auto decoded = ssdp::decodeMSearch(ssdp::encode(search));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->st, search.st);
+    EXPECT_EQ(decoded->mx, 3);
+    EXPECT_EQ(decoded->man, "\"ssdp:discover\"");
+}
+
+TEST(SsdpCodec, ResponseRoundTrip) {
+    ssdp::Response response;
+    response.st = "urn:x";
+    response.usn = "uuid:1::urn:x";
+    response.location = "http://10.0.0.3:8080/desc.xml";
+    const auto decoded = ssdp::decodeResponse(ssdp::encode(response));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->location, response.location);
+    EXPECT_EQ(decoded->usn, response.usn);
+}
+
+TEST(SsdpCodec, CrossDecodeRejected) {
+    EXPECT_FALSE(ssdp::decodeResponse(ssdp::encode(ssdp::MSearch{})));
+    ssdp::Response response;
+    response.location = "http://x/";
+    EXPECT_FALSE(ssdp::decodeMSearch(ssdp::encode(response)));
+}
+
+TEST(SsdpCodec, ResponseWithoutLocationRejected) {
+    EXPECT_FALSE(ssdp::decodeResponse(toBytes("HTTP/1.1 200 OK\r\nST: urn:x\r\n\r\n")));
+}
+
+TEST(SsdpCodec, ExtractUrlBase) {
+    EXPECT_EQ(ssdp::extractUrlBase("<root><URLBase> http://u </URLBase></root>"), "http://u");
+    EXPECT_FALSE(ssdp::extractUrlBase("<root/>"));
+    EXPECT_FALSE(ssdp::extractUrlBase("<URLBase>unterminated"));
+}
+
+// --- HTTP codec -----------------------------------------------------------------
+
+TEST(HttpCodec, RequestRoundTrip) {
+    http::Request request;
+    request.path = "/desc.xml";
+    request.headers.emplace_back("Host", "10.0.0.3:8080");
+    const auto decoded = http::decodeRequest(http::encode(request));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->method, "GET");
+    EXPECT_EQ(decoded->path, "/desc.xml");
+    EXPECT_EQ(decoded->header("host"), "10.0.0.3:8080");  // case-insensitive
+}
+
+TEST(HttpCodec, ResponseRoundTripWithBody) {
+    http::Response response;
+    response.body = "hello body";
+    response.headers.emplace_back("Content-Type", "text/plain");
+    const auto decoded = http::decodeResponse(http::encode(response));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->status, 200);
+    EXPECT_EQ(decoded->body, "hello body");
+    EXPECT_EQ(decoded->header("Content-Length"), "10");
+}
+
+TEST(HttpCodec, ContentLengthMismatchRejected) {
+    const std::string raw = "HTTP/1.1 200 OK\r\nContent-Length: 99\r\n\r\nshort";
+    EXPECT_FALSE(http::decodeResponse(toBytes(raw)));
+}
+
+TEST(HttpCodec, MalformedRejected) {
+    EXPECT_FALSE(http::decodeRequest(toBytes("no blank line")));
+    EXPECT_FALSE(http::decodeRequest(toBytes("GET\r\n\r\n")));
+    EXPECT_FALSE(http::decodeResponse(toBytes("NOTHTTP 200 OK\r\n\r\n")));
+}
+
+// --- agents over the simulated network ----------------------------------------------
+
+class AgentsTest : public SimTest {};
+
+TEST_F(AgentsTest, SlpLookupAgainstServiceAgent) {
+    slp::ServiceAgent::Config serviceConfig;
+    serviceConfig.responseDelayBase = net::ms(100);
+    serviceConfig.responseDelayJitter = net::ms(0);
+    slp::ServiceAgent service(network, serviceConfig);
+    slp::UserAgent client(network, {});
+
+    std::optional<slp::UserAgent::Result> outcome;
+    client.lookup("service:printer",
+                  [&outcome](const slp::UserAgent::Result& result) { outcome = result; });
+    run();
+    ASSERT_TRUE(outcome);
+    ASSERT_EQ(outcome->urls.size(), 1u);
+    EXPECT_EQ(outcome->urls[0], serviceConfig.url);
+    EXPECT_GE(elapsedMs(outcome->elapsed), 100.0);
+    EXPECT_EQ(service.requestsServed(), 1u);
+}
+
+TEST_F(AgentsTest, SlpServiceIgnoresOtherTypes) {
+    slp::ServiceAgent service(network, {});
+    slp::UserAgent::Config config;
+    config.timeout = net::ms(100);
+    slp::UserAgent client(network, config);
+    std::optional<slp::UserAgent::Result> outcome;
+    client.lookup("service:fax",
+                  [&outcome](const slp::UserAgent::Result& result) { outcome = result; });
+    run();
+    ASSERT_TRUE(outcome);
+    EXPECT_TRUE(outcome->urls.empty());
+    EXPECT_EQ(service.requestsServed(), 0u);
+}
+
+TEST_F(AgentsTest, SlpServiceHonoursPreviousResponderList) {
+    slp::ServiceAgent::Config serviceConfig;
+    serviceConfig.responseDelayBase = net::ms(1);
+    slp::ServiceAgent service(network, serviceConfig);
+    auto probe = network.openUdp("10.0.0.7");
+    slp::SrvRequest request;
+    request.xid = 5;
+    request.serviceType = "service:printer";
+    request.prList = "10.0.0.8," + serviceConfig.host;  // we already answered
+    int replies = 0;
+    probe->onDatagram([&replies](const Bytes&, const net::Address&) { ++replies; });
+    probe->sendTo(net::Address{slp::kGroup, slp::kPort}, slp::encode(request));
+    run();
+    EXPECT_EQ(replies, 0);
+}
+
+TEST_F(AgentsTest, MdnsBrowseAggregatesAfterFirstAnswer) {
+    mdns::Responder::Config responderConfig;
+    responderConfig.responseDelayBase = net::ms(50);
+    responderConfig.responseDelayJitter = net::ms(0);
+    mdns::Responder responder(network, responderConfig);
+    mdns::Resolver::Config resolverConfig;
+    resolverConfig.aggregationBase = net::ms(200);
+    resolverConfig.aggregationJitter = net::ms(0);
+    mdns::Resolver client(network, resolverConfig);
+
+    std::optional<mdns::Resolver::Result> outcome;
+    client.browse("_printer._tcp.local",
+                  [&outcome](const mdns::Resolver::Result& result) { outcome = result; });
+    run();
+    ASSERT_TRUE(outcome);
+    ASSERT_EQ(outcome->urls.size(), 1u);
+    EXPECT_EQ(outcome->urls[0], responderConfig.url);
+    // first answer ~50ms + aggregation 200ms (+ network latency)
+    EXPECT_GE(elapsedMs(outcome->elapsed), 250.0);
+    EXPECT_LT(elapsedMs(outcome->elapsed), 300.0);
+}
+
+TEST_F(AgentsTest, MdnsBrowseTimesOutQuietly) {
+    mdns::Resolver::Config config;
+    config.timeout = net::ms(300);
+    mdns::Resolver client(network, config);
+    std::optional<mdns::Resolver::Result> outcome;
+    client.browse("_nothing._tcp.local",
+                  [&outcome](const mdns::Resolver::Result& result) { outcome = result; });
+    run();
+    ASSERT_TRUE(outcome);
+    EXPECT_TRUE(outcome->urls.empty());
+    EXPECT_GE(elapsedMs(outcome->elapsed), 300.0);
+}
+
+TEST_F(AgentsTest, MdnsResponderIgnoresForeignNames) {
+    mdns::Responder responder(network, {});
+    auto probe = network.openUdp("10.0.0.7", mdns::kPort);
+    probe->joinGroup(net::Address{mdns::kGroup, mdns::kPort});
+    int replies = 0;
+    probe->onDatagram([&replies](const Bytes&, const net::Address&) { ++replies; });
+    probe->sendTo(net::Address{mdns::kGroup, mdns::kPort},
+                  mdns::encode(mdns::makeQuestion(1, "_other._tcp.local")));
+    run();
+    EXPECT_EQ(replies, 0);
+    EXPECT_EQ(responder.questionsAnswered(), 0u);
+}
+
+TEST_F(AgentsTest, UpnpSearchResolvesDeviceDescription) {
+    ssdp::Device::Config deviceConfig;
+    deviceConfig.responseDelayBase = net::ms(50);
+    deviceConfig.responseDelayJitter = net::ms(0);
+    ssdp::Device device(network, deviceConfig);
+    ssdp::ControlPoint::Config cpConfig;
+    cpConfig.mxWindowBase = net::ms(200);
+    cpConfig.mxWindowJitter = net::ms(0);
+    ssdp::ControlPoint client(network, cpConfig);
+
+    std::optional<ssdp::ControlPoint::Result> outcome;
+    client.search(deviceConfig.st,
+                  [&outcome](const ssdp::ControlPoint::Result& result) { outcome = result; });
+    run();
+    ASSERT_TRUE(outcome);
+    ASSERT_EQ(outcome->urls.size(), 1u);
+    EXPECT_EQ(outcome->urls[0], deviceConfig.serviceUrl);
+    EXPECT_EQ(device.searchesAnswered(), 1u);
+    EXPECT_GE(elapsedMs(outcome->elapsed), 200.0);  // at least the MX window
+}
+
+TEST_F(AgentsTest, UpnpControlPointWaitsBeyondEmptyWindow) {
+    // Device answers AFTER the MX window: the control point must still
+    // proceed ("Cyberlink does not bound the response time").
+    ssdp::Device::Config deviceConfig;
+    deviceConfig.responseDelayBase = net::ms(500);
+    deviceConfig.responseDelayJitter = net::ms(0);
+    ssdp::Device device(network, deviceConfig);
+    ssdp::ControlPoint::Config cpConfig;
+    cpConfig.mxWindowBase = net::ms(100);
+    cpConfig.mxWindowJitter = net::ms(0);
+    ssdp::ControlPoint client(network, cpConfig);
+
+    std::optional<ssdp::ControlPoint::Result> outcome;
+    client.search(deviceConfig.st,
+                  [&outcome](const ssdp::ControlPoint::Result& result) { outcome = result; });
+    run();
+    ASSERT_TRUE(outcome);
+    ASSERT_EQ(outcome->urls.size(), 1u);
+    EXPECT_GE(elapsedMs(outcome->elapsed), 500.0);
+}
+
+TEST_F(AgentsTest, UpnpDeviceAnswersSsdpAll) {
+    ssdp::Device::Config deviceConfig;
+    deviceConfig.responseDelayBase = net::ms(10);
+    ssdp::Device device(network, deviceConfig);
+    ssdp::ControlPoint::Config cpConfig;
+    cpConfig.mxWindowBase = net::ms(50);
+    ssdp::ControlPoint client(network, cpConfig);
+    std::optional<ssdp::ControlPoint::Result> outcome;
+    client.search("ssdp:all",
+                  [&outcome](const ssdp::ControlPoint::Result& result) { outcome = result; });
+    run();
+    ASSERT_TRUE(outcome);
+    EXPECT_EQ(outcome->urls.size(), 1u);
+}
+
+TEST_F(AgentsTest, HttpServerServesAndRejects) {
+    http::Server::Config serverConfig;
+    serverConfig.responseDelayBase = net::ms(5);
+    http::Server server(network, serverConfig);
+    server.addResource("/a.xml", "<a/>");
+    http::Client client(network, "10.0.0.1");
+
+    std::optional<http::Response> ok;
+    client.get(serverConfig.host, serverConfig.port, "/a.xml",
+               [&ok](std::optional<http::Response> response) { ok = std::move(response); });
+    run();
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(ok->status, 200);
+    EXPECT_EQ(ok->body, "<a/>");
+
+    std::optional<http::Response> missing;
+    client.get(serverConfig.host, serverConfig.port, "/nope",
+               [&missing](std::optional<http::Response> r) { missing = std::move(r); });
+    run();
+    ASSERT_TRUE(missing);
+    EXPECT_EQ(missing->status, 404);
+    EXPECT_EQ(server.requestsServed(), 2u);
+}
+
+TEST_F(AgentsTest, HttpClientReportsConnectionRefused) {
+    http::Client client(network, "10.0.0.1");
+    bool called = false;
+    client.get("10.0.0.250", 80, "/", [&called](std::optional<http::Response> response) {
+        called = true;
+        EXPECT_FALSE(response);
+    });
+    run();
+    EXPECT_TRUE(called);
+}
+
+}  // namespace
+}  // namespace starlink

@@ -1,0 +1,221 @@
+// Tests for the WS-Discovery extension and the XML MDL dialect: codec,
+// agents, MDL parse/compose over real envelopes, hand-written SLP<->WSD
+// bridges end to end, and a SYNTHESIZED SLP->WSD bridge (the ontology covers
+// WSD, so the generator handles the xml-dialect protocol unchanged).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/bridge/models.hpp"
+#include "core/bridge/starlink.hpp"
+#include "core/mdl/codec.hpp"
+#include "protocols/slp/slp_agents.hpp"
+#include "protocols/wsd/wsd_agents.hpp"
+#include "sim_fixture.hpp"
+
+namespace starlink::wsd {
+namespace {
+
+using bridge::models::ProtocolModel;
+using bridge::models::Role;
+using testing::SimTest;
+
+// --- legacy codec ----------------------------------------------------------------
+
+TEST(WsdCodec, ProbeRoundTrip) {
+    Probe probe;
+    probe.messageId = "uuid:client-1";
+    probe.types = "printer";
+    const auto decoded = decodeProbe(encode(probe));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->messageId, "uuid:client-1");
+    EXPECT_EQ(decoded->types, "printer");
+}
+
+TEST(WsdCodec, ProbeMatchRoundTrip) {
+    ProbeMatch match;
+    match.messageId = "uuid:target-1";
+    match.relatesTo = "uuid:client-1";
+    match.types = "printer";
+    match.xaddrs = "http://10.0.0.3:5357/printer";
+    const auto decoded = decodeProbeMatch(encode(match));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->relatesTo, "uuid:client-1");
+    EXPECT_EQ(decoded->xaddrs, "http://10.0.0.3:5357/printer");
+}
+
+TEST(WsdCodec, CrossAndGarbageRejected) {
+    EXPECT_FALSE(decodeProbeMatch(encode(Probe{"uuid:x", "printer"})));
+    EXPECT_FALSE(decodeProbe(encode(ProbeMatch{"a", "b", "c", "http://x"})));
+    EXPECT_FALSE(decodeProbe(toBytes("not xml at all")));
+    EXPECT_FALSE(decodeProbe(toBytes("<Envelope><Header/></Envelope>")));
+}
+
+// --- xml MDL dialect over the legacy wire format -----------------------------------
+
+class WsdMdlTest : public ::testing::Test {
+protected:
+    std::shared_ptr<mdl::MessageCodec> codec =
+        mdl::MessageCodec::fromXml(bridge::models::wsdMdl());
+};
+
+TEST_F(WsdMdlTest, ParsesLegacyProbe) {
+    const auto message = codec->parse(encode(Probe{"uuid:client-9", "printer"}));
+    ASSERT_TRUE(message);
+    EXPECT_EQ(message->type(), "WSD_Probe");
+    EXPECT_EQ(message->value("MessageID")->asString(), "uuid:client-9");
+    EXPECT_EQ(message->value("Types")->asString(), "printer");
+}
+
+TEST_F(WsdMdlTest, ParsesLegacyProbeMatch) {
+    const auto message = codec->parse(
+        encode(ProbeMatch{"uuid:t", "uuid:client-9", "printer", "http://10.0.0.3:5357/p"}));
+    ASSERT_TRUE(message);
+    EXPECT_EQ(message->type(), "WSD_ProbeMatch");
+    EXPECT_EQ(message->value("RelatesTo")->asString(), "uuid:client-9");
+    EXPECT_EQ(message->value("XAddrs")->asString(), "http://10.0.0.3:5357/p");
+}
+
+TEST_F(WsdMdlTest, ComposedProbeDecodableByLegacyStack) {
+    AbstractMessage message("WSD_Probe");
+    message.setValue("MessageID", Value::ofString("uuid:bridge-1"));
+    message.setValue("Types", Value::ofString("printer"));
+    const auto decoded = decodeProbe(codec->compose(message));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->messageId, "uuid:bridge-1");
+    EXPECT_EQ(decoded->types, "printer");
+}
+
+TEST_F(WsdMdlTest, ComposedProbeMatchDecodableByLegacyStack) {
+    AbstractMessage message("WSD_ProbeMatch");
+    message.setValue("MessageID", Value::ofString("uuid:bridge-2"));
+    message.setValue("RelatesTo", Value::ofString("uuid:client-7"));
+    message.setValue("XAddrs", Value::ofString("http://10.0.0.2:80/x"));
+    const auto decoded = decodeProbeMatch(codec->compose(message));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->relatesTo, "uuid:client-7");
+    EXPECT_EQ(decoded->xaddrs, "http://10.0.0.2:80/x");
+}
+
+TEST_F(WsdMdlTest, MandatoryEnforcedOnBothDirections) {
+    // Compose without the mandatory Types.
+    AbstractMessage probe("WSD_Probe");
+    probe.setValue("MessageID", Value::ofString("uuid:x"));
+    EXPECT_THROW(codec->compose(probe), SpecError);
+    // Parse of a match without XAddrs fails.
+    std::string error;
+    EXPECT_FALSE(codec->parse(
+        toBytes("<Envelope><Header>"
+                "<Action>http://schemas.xmlsoap.org/ws/2005/04/discovery/ProbeMatches</Action>"
+                "<MessageID>uuid:m</MessageID><RelatesTo>uuid:c</RelatesTo></Header>"
+                "<Body/></Envelope>"),
+        &error));
+    EXPECT_NE(error.find("XAddrs"), std::string::npos);
+}
+
+TEST_F(WsdMdlTest, WrongRootAndNoRuleRejected) {
+    std::string error;
+    EXPECT_FALSE(codec->parse(toBytes("<Wrong/>"), &error));
+    EXPECT_FALSE(codec->parse(
+        toBytes("<Envelope><Header><Action>unknown</Action>"
+                "<MessageID>uuid:m</MessageID></Header></Envelope>"),
+        &error));
+    EXPECT_FALSE(codec->parse(toBytes("<<<"), &error));
+}
+
+// --- agents --------------------------------------------------------------------------
+
+class WsdAgentsTest : public SimTest {};
+
+TEST_F(WsdAgentsTest, ProbeFindsTarget) {
+    Target::Config targetConfig;
+    targetConfig.responseDelayBase = net::ms(20);
+    Target target(network, targetConfig);
+    Client client(network, {});
+    std::optional<Client::Result> outcome;
+    client.probe("printer", [&outcome](const Client::Result& result) { outcome = result; });
+    run();
+    ASSERT_TRUE(outcome);
+    ASSERT_EQ(outcome->xaddrs.size(), 1u);
+    EXPECT_EQ(outcome->xaddrs[0], targetConfig.xaddrs);
+    EXPECT_EQ(target.probesAnswered(), 1u);
+}
+
+TEST_F(WsdAgentsTest, MismatchedTypeTimesOut) {
+    Target target(network, {});
+    Client::Config config;
+    config.timeout = net::ms(200);
+    Client client(network, config);
+    std::optional<Client::Result> outcome;
+    client.probe("scanner", [&outcome](const Client::Result& result) { outcome = result; });
+    run();
+    ASSERT_TRUE(outcome);
+    EXPECT_TRUE(outcome->xaddrs.empty());
+    EXPECT_EQ(target.probesAnswered(), 0u);
+}
+
+// --- bridges end to end -----------------------------------------------------------------
+
+class WsdBridgeTest : public SimTest {
+protected:
+    bridge::Starlink starlink{network};
+};
+
+TEST_F(WsdBridgeTest, SlpClientDiscoversWsdTarget) {
+    auto& deployed = starlink.deploy(bridge::models::slpToWsd(), "10.0.0.9");
+    Target::Config targetConfig;
+    targetConfig.responseDelayBase = net::ms(20);
+    Target target(network, targetConfig);
+    slp::UserAgent client(network, {});
+
+    std::vector<std::string> urls;
+    client.lookup("service:printer",
+                  [&urls](const slp::UserAgent::Result& result) { urls = result.urls; });
+    run();
+    ASSERT_EQ(urls.size(), 1u);
+    EXPECT_EQ(urls[0], targetConfig.xaddrs);
+    ASSERT_EQ(deployed.engine().sessions().size(), 1u);
+    EXPECT_TRUE(deployed.engine().sessions()[0].completed);
+}
+
+TEST_F(WsdBridgeTest, WsdClientDiscoversSlpService) {
+    auto& deployed = starlink.deploy(bridge::models::wsdToSlp(), "10.0.0.9");
+    slp::ServiceAgent::Config serviceConfig;
+    serviceConfig.responseDelayBase = net::ms(20);
+    serviceConfig.responseDelayJitter = net::ms(2);
+    slp::ServiceAgent service(network, serviceConfig);
+    Client client(network, {});
+
+    std::optional<Client::Result> outcome;
+    client.probe("printer", [&outcome](const Client::Result& result) { outcome = result; });
+    run();
+    ASSERT_TRUE(outcome);
+    ASSERT_EQ(outcome->xaddrs.size(), 1u);
+    EXPECT_EQ(outcome->xaddrs[0], serviceConfig.url);
+    EXPECT_TRUE(deployed.engine().sessions()[0].completed);
+}
+
+TEST_F(WsdBridgeTest, SynthesizedSlpToWsdBridgeWorks) {
+    // The generator covers the xml-dialect protocol with no special casing:
+    // concepts + the MDL's mandatory fields are all it needs.
+    std::vector<std::string> report;
+    auto& deployed = starlink.deploySynthesized(
+        ProtocolModel{bridge::models::slpMdl(), bridge::models::slpAutomaton(Role::Server)},
+        ProtocolModel{bridge::models::wsdMdl(), bridge::models::wsdAutomaton(Role::Client)},
+        merge::Ontology::discovery(), "10.0.0.9", {}, &report);
+    EXPECT_FALSE(report.empty());
+
+    Target::Config targetConfig;
+    targetConfig.responseDelayBase = net::ms(20);
+    Target target(network, targetConfig);
+    slp::UserAgent client(network, {});
+    std::vector<std::string> urls;
+    client.lookup("service:printer",
+                  [&urls](const slp::UserAgent::Result& result) { urls = result.urls; });
+    run();
+    ASSERT_EQ(urls.size(), 1u);
+    EXPECT_EQ(urls[0], targetConfig.xaddrs);
+    EXPECT_TRUE(deployed.engine().sessions()[0].completed);
+}
+
+}  // namespace
+}  // namespace starlink::wsd

@@ -1,0 +1,183 @@
+// Unit tests for the XML substrate: DOM, parser, writer, XPath-lite.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+#include "xml/xpath.hpp"
+
+namespace starlink::xml {
+namespace {
+
+TEST(XmlParser, SimpleElement) {
+    const auto root = parse("<a>hello</a>");
+    EXPECT_EQ(root->name(), "a");
+    EXPECT_EQ(root->text(), "hello");
+}
+
+TEST(XmlParser, Attributes) {
+    const auto root = parse(R"(<a x="1" y='two'/>)");
+    EXPECT_EQ(root->attribute("x"), "1");
+    EXPECT_EQ(root->attribute("y"), "two");
+    EXPECT_FALSE(root->attribute("z"));
+}
+
+TEST(XmlParser, NestedChildren) {
+    const auto root = parse("<a><b>1</b><c/><b>2</b></a>");
+    EXPECT_EQ(root->children().size(), 3u);
+    EXPECT_EQ(root->childText("b"), "1");
+    EXPECT_EQ(root->childrenNamed("b").size(), 2u);
+    EXPECT_NE(root->child("c"), nullptr);
+}
+
+TEST(XmlParser, EntitiesDecoded) {
+    const auto root = parse("<a>&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos; &#65;&#x42;</a>");
+    EXPECT_EQ(root->text(), "<x> & \"y\" 'z' AB");
+}
+
+TEST(XmlParser, EntityInAttribute) {
+    const auto root = parse(R"(<a v="&quot;ssdp:discover&quot;"/>)");
+    EXPECT_EQ(root->attribute("v"), "\"ssdp:discover\"");
+}
+
+TEST(XmlParser, CommentsAndDeclarationSkipped) {
+    const auto root = parse("<?xml version=\"1.0\"?><!-- hi --><a><!-- inner -->x</a>");
+    EXPECT_EQ(root->name(), "a");
+    EXPECT_EQ(root->text(), "x");
+}
+
+TEST(XmlParser, MalformedThrows) {
+    EXPECT_THROW(parse("<a>"), SpecError);
+    EXPECT_THROW(parse("<a></b>"), SpecError);
+    EXPECT_THROW(parse("<a x=1/>"), SpecError);
+    EXPECT_THROW(parse("<a/><b/>"), SpecError);
+    EXPECT_THROW(parse("<a>&unknown;</a>"), SpecError);
+    EXPECT_THROW(parse(""), SpecError);
+}
+
+TEST(XmlParser, ErrorCarriesPosition) {
+    try {
+        parse("<a>\n  <b>\n</a>");
+        FAIL() << "expected SpecError";
+    } catch (const SpecError& e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    }
+}
+
+TEST(XmlWriter, RoundTripStructure) {
+    const std::string doc =
+        R"(<Bridge name="b"><Field a="1">text &amp; more</Field><Empty/></Bridge>)";
+    const auto parsed = parse(doc);
+    const auto reparsed = parse(write(*parsed));
+    EXPECT_TRUE(parsed->structurallyEquals(*reparsed));
+}
+
+TEST(XmlWriter, EscapesSpecials) {
+    Node node("a");
+    node.setText("<&>");
+    node.setAttribute("k", "a\"b");
+    const auto reparsed = parse(write(node));
+    EXPECT_EQ(reparsed->text(), "<&>");
+    EXPECT_EQ(reparsed->attribute("k"), "a\"b");
+}
+
+TEST(XmlDom, CloneIsDeep) {
+    const auto root = parse("<a><b c=\"1\">x</b></a>");
+    const auto copy = root->clone();
+    EXPECT_TRUE(root->structurallyEquals(*copy));
+    copy->child("b")->setText("y");
+    EXPECT_EQ(root->childText("b"), "x");
+}
+
+TEST(XmlDom, SetAttributeReplaces) {
+    Node node("a");
+    node.setAttribute("k", "1");
+    node.setAttribute("k", "2");
+    EXPECT_EQ(node.attribute("k"), "2");
+    EXPECT_EQ(node.attributes().size(), 1u);
+}
+
+// --- XPath-lite ---------------------------------------------------------------
+
+TEST(Xpath, SelectsByLabelPredicate) {
+    const auto root = parse(
+        "<field>"
+        "<primitiveField><label>ST</label><value>urn:x</value></primitiveField>"
+        "<primitiveField><label>MX</label><value>2</value></primitiveField>"
+        "</field>");
+    const auto path = Path::compile("/field/primitiveField[label='MX']/value");
+    const Node* node = path.first(*root);
+    ASSERT_NE(node, nullptr);
+    EXPECT_EQ(node->text(), "2");
+}
+
+TEST(Xpath, SelectsNestedStructuredField) {
+    const auto root = parse(
+        "<field>"
+        "<structuredField><label>URL</label>"
+        "<primitiveField><label>port</label><value>80</value></primitiveField>"
+        "</structuredField>"
+        "</field>");
+    const auto path = Path::compile(
+        "/field/structuredField[label='URL']/primitiveField[label='port']/value");
+    const Node* node = path.first(*root);
+    ASSERT_NE(node, nullptr);
+    EXPECT_EQ(node->text(), "80");
+}
+
+TEST(Xpath, AttributePredicate) {
+    const auto root = parse(R"(<a><b k="1">x</b><b k="2">y</b></a>)");
+    EXPECT_EQ(Path::compile("/a/b[@k='2']").first(*root)->text(), "y");
+}
+
+TEST(Xpath, PositionPredicate) {
+    const auto root = parse("<a><b>x</b><c/><b>y</b></a>");
+    EXPECT_EQ(Path::compile("/a/b[2]").first(*root)->text(), "y");
+    EXPECT_EQ(Path::compile("/a/b[1]").first(*root)->text(), "x");
+}
+
+TEST(Xpath, NoMatchReturnsEmpty) {
+    const auto root = parse("<a><b/></a>");
+    EXPECT_EQ(Path::compile("/a/zzz").first(*root), nullptr);
+    EXPECT_EQ(Path::compile("/wrongroot/b").first(*root), nullptr);
+}
+
+TEST(Xpath, SelectOrCreateMaterialisesPath) {
+    auto root = parse("<field/>");
+    const auto path = Path::compile("/field/primitiveField[label='ST']/value");
+    Node* value = path.selectOrCreate(*root);
+    ASSERT_NE(value, nullptr);
+    value->setText("urn:y");
+    // Now a plain select finds it, and the predicate child exists.
+    EXPECT_EQ(path.first(*root)->text(), "urn:y");
+    EXPECT_EQ(root->child("primitiveField")->childText("label"), "ST");
+}
+
+TEST(Xpath, SelectOrCreateReusesExisting) {
+    auto root = parse(
+        "<field><primitiveField><label>ST</label><value>old</value></primitiveField></field>");
+    const auto path = Path::compile("/field/primitiveField[label='ST']/value");
+    path.selectOrCreate(*root)->setText("new");
+    EXPECT_EQ(root->children().size(), 1u);
+    EXPECT_EQ(path.first(*root)->text(), "new");
+}
+
+TEST(Xpath, CompileErrors) {
+    EXPECT_THROW(Path::compile(""), SpecError);
+    EXPECT_THROW(Path::compile("nounslash"), SpecError);
+    EXPECT_THROW(Path::compile("/a/b["), SpecError);
+    EXPECT_THROW(Path::compile("/a/b[label='x'"), SpecError);
+    EXPECT_THROW(Path::compile("/a/b[0]"), SpecError);
+}
+
+TEST(Xpath, SelectAllMatches) {
+    const auto root = parse("<a><b>1</b><b>2</b></a>");
+    const auto nodes = Path::compile("/a/b").select(*root);
+    ASSERT_EQ(nodes.size(), 2u);
+    EXPECT_EQ(nodes[0]->text(), "1");
+    EXPECT_EQ(nodes[1]->text(), "2");
+}
+
+}  // namespace
+}  // namespace starlink::xml

@@ -1,0 +1,246 @@
+// starlinkd -- command-line front end to the Starlink framework.
+//
+//   starlinkd list                      enumerate built-in models and cases
+//   starlinkd export <dir>              write every built-in model to XML files
+//   starlinkd demo <case>               run one of the six paper cases end to end
+//   starlinkd demo-files <served.mdl> <served.automaton>
+//                        <queried.mdl> <queried.automaton> <bridge.xml>
+//                                       deploy a bridge FROM MODEL FILES and run
+//                                       the SLP-client / Bonjour-service demo
+//   starlinkd dot <case>                print the case's merged automaton as GraphViz
+//
+// The demo topology is always: legacy client at 10.0.0.1, legacy service at
+// 10.0.0.3, bridge at 10.0.0.9, on the simulated network over virtual time.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/bridge/models.hpp"
+#include "core/bridge/starlink.hpp"
+#include "core/merge/dot_export.hpp"
+#include "core/merge/spec_loader.hpp"
+#include "protocols/mdns/mdns_agents.hpp"
+#include "protocols/slp/slp_agents.hpp"
+#include "protocols/ssdp/ssdp_agents.hpp"
+
+namespace {
+
+using namespace starlink;
+using bridge::models::Case;
+using bridge::models::Role;
+
+int usage() {
+    std::cerr << "usage: starlinkd list\n"
+                 "       starlinkd export <dir>\n"
+                 "       starlinkd demo <case>\n"
+                 "       starlinkd demo-files <served.mdl> <served.automaton> "
+                 "<queried.mdl> <queried.automaton> <bridge.xml>\n"
+                 "       starlinkd dot <case>\n"
+                 "cases: slp-to-upnp slp-to-bonjour upnp-to-slp upnp-to-bonjour "
+                 "bonjour-to-upnp bonjour-to-slp\n";
+    return 2;
+}
+
+std::optional<Case> parseCase(const std::string& name) {
+    if (name == "slp-to-upnp") return Case::SlpToUpnp;
+    if (name == "slp-to-bonjour") return Case::SlpToBonjour;
+    if (name == "upnp-to-slp") return Case::UpnpToSlp;
+    if (name == "upnp-to-bonjour") return Case::UpnpToBonjour;
+    if (name == "bonjour-to-upnp") return Case::BonjourToUpnp;
+    if (name == "bonjour-to-slp") return Case::BonjourToSlp;
+    return std::nullopt;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw SpecError("cannot read model file '" + path + "'");
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+void spit(const std::filesystem::path& path, const std::string& content) {
+    std::ofstream out(path);
+    if (!out) throw SpecError("cannot write '" + path.string() + "'");
+    out << content;
+    std::cout << "wrote " << path.string() << "\n";
+}
+
+int cmdList() {
+    std::cout << "MDL documents: slp dns (binary) | ssdp http (text) | wsd (xml) | ldap (binary)\n";
+    std::cout << "colored automata: each protocol in client and server role\n";
+    std::cout << "bridge cases:\n";
+    for (const Case c : bridge::models::kAllCases) {
+        const auto spec = bridge::models::forCase(c, "<bridge-host>");
+        std::cout << "  " << bridge::models::caseName(c) << " ("
+                  << spec.protocols.size() << " protocols, "
+                  << bridge::models::bridgeSpecLines(spec) << " bridge-spec lines)\n";
+    }
+    std::cout << "extensions: slp-to-ldap, ldap-to-slp (rich translations); "
+                 "slp-to-wsd, wsd-to-slp (xml dialect)\n";
+    return 0;
+}
+
+int cmdExport(const std::string& directory) {
+    const std::filesystem::path dir(directory);
+    std::filesystem::create_directories(dir);
+    spit(dir / "slp.mdl.xml", bridge::models::slpMdl());
+    spit(dir / "dns.mdl.xml", bridge::models::dnsMdl());
+    spit(dir / "ssdp.mdl.xml", bridge::models::ssdpMdl());
+    spit(dir / "http.mdl.xml", bridge::models::httpMdl());
+    spit(dir / "ldap.mdl.xml", bridge::models::ldapMdl());
+    spit(dir / "wsd.mdl.xml", bridge::models::wsdMdl());
+    for (const Role role : {Role::Server, Role::Client}) {
+        const std::string suffix = role == Role::Server ? "server" : "client";
+        spit(dir / ("slp." + suffix + ".automaton.xml"), bridge::models::slpAutomaton(role));
+        spit(dir / ("mdns." + suffix + ".automaton.xml"), bridge::models::mdnsAutomaton(role));
+        spit(dir / ("ssdp." + suffix + ".automaton.xml"), bridge::models::ssdpAutomaton(role));
+        spit(dir / ("http." + suffix + ".automaton.xml"), bridge::models::httpAutomaton(role));
+        spit(dir / ("wsd." + suffix + ".automaton.xml"), bridge::models::wsdAutomaton(role));
+    }
+    spit(dir / "SLP-to-WSD.bridge.xml", bridge::models::slpToWsd().bridgeXml);
+    spit(dir / "WSD-to-SLP.bridge.xml", bridge::models::wsdToSlp().bridgeXml);
+    spit(dir / "SLP-to-LDAP.bridge.xml", bridge::models::slpToLdap("10.0.0.3").bridgeXml);
+    spit(dir / "LDAP-to-SLP.bridge.xml", bridge::models::ldapToSlp().bridgeXml);
+    for (const Case c : bridge::models::kAllCases) {
+        const auto spec = bridge::models::forCase(c, "10.0.0.9");
+        std::string name = bridge::models::caseName(c);
+        for (char& ch : name) {
+            if (ch == ' ') ch = '-';
+        }
+        spit(dir / (name + ".bridge.xml"), spec.bridgeXml);
+    }
+    return 0;
+}
+
+/// Runs the demo scenario for a deployment: which legacy endpoints to spawn
+/// is derived from the protocols the bridge serves/queries.
+int runDemo(const bridge::models::DeploymentSpec& spec, Case c) {
+    net::VirtualClock clock;
+    net::EventScheduler scheduler(clock);
+    net::SimNetwork network(scheduler);
+    bridge::Starlink starlink(network);
+    auto& deployed = starlink.deploy(spec, "10.0.0.9");
+    std::cout << "deployed bridge '" << deployed.engine().merged().name() << "' at 10.0.0.9\n";
+
+    std::optional<slp::ServiceAgent> slpService;
+    std::optional<mdns::Responder> mdnsService;
+    std::optional<ssdp::Device> upnpService;
+    std::optional<slp::UserAgent> slpClient;
+    std::optional<mdns::Resolver> mdnsClient;
+    std::optional<ssdp::ControlPoint> upnpClient;
+
+    bool ok = false;
+    auto report = [&ok](const std::string& who, const std::vector<std::string>& urls,
+                        net::Duration elapsed) {
+        ok = !urls.empty();
+        std::cout << who << ": "
+                  << (ok ? "discovered " + urls[0] : std::string("no reply")) << " after "
+                  << std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count()
+                  << " ms (virtual)\n";
+    };
+
+    switch (c) {
+        case Case::UpnpToSlp:
+        case Case::BonjourToSlp:
+            slpService.emplace(network, slp::ServiceAgent::Config{});
+            break;
+        case Case::SlpToBonjour:
+        case Case::UpnpToBonjour:
+            mdnsService.emplace(network, mdns::Responder::Config{});
+            break;
+        case Case::SlpToUpnp:
+        case Case::BonjourToUpnp:
+            upnpService.emplace(network, ssdp::Device::Config{});
+            break;
+    }
+    switch (c) {
+        case Case::SlpToUpnp:
+        case Case::SlpToBonjour:
+            slpClient.emplace(network, slp::UserAgent::Config{});
+            slpClient->lookup("service:printer", [&report](const slp::UserAgent::Result& r) {
+                report("SLP client", r.urls, r.elapsed);
+            });
+            break;
+        case Case::UpnpToSlp:
+        case Case::UpnpToBonjour:
+            upnpClient.emplace(network, ssdp::ControlPoint::Config{});
+            upnpClient->search("urn:schemas-upnp-org:service:printer:1",
+                               [&report](const ssdp::ControlPoint::Result& r) {
+                                   report("UPnP control point", r.urls, r.elapsed);
+                               });
+            break;
+        case Case::BonjourToUpnp:
+        case Case::BonjourToSlp:
+            mdnsClient.emplace(network, mdns::Resolver::Config{});
+            mdnsClient->browse("_printer._tcp.local",
+                               [&report](const mdns::Resolver::Result& r) {
+                                   report("Bonjour browser", r.urls, r.elapsed);
+                               });
+            break;
+    }
+
+    scheduler.runUntilIdle();
+    for (const auto& session : deployed.engine().sessions()) {
+        std::cout << "bridge session: " << session.messagesIn << " in / "
+                  << session.messagesOut << " out, translation "
+                  << std::chrono::duration_cast<std::chrono::milliseconds>(
+                         session.translationTime())
+                         .count()
+                  << " ms\n";
+    }
+    return ok ? 0 : 1;
+}
+
+int cmdDemo(const std::string& caseName) {
+    const auto c = parseCase(caseName);
+    if (!c) return usage();
+    return runDemo(bridge::models::forCase(*c, "10.0.0.9"), *c);
+}
+
+int cmdDemoFiles(char** argv) {
+    bridge::models::DeploymentSpec spec;
+    spec.protocols.push_back({slurp(argv[0]), slurp(argv[1])});
+    spec.protocols.push_back({slurp(argv[2]), slurp(argv[3])});
+    spec.bridgeXml = slurp(argv[4]);
+    std::cout << "loaded 5 model files\n";
+    // The file-driven demo runs the SLP-client / Bonjour-service topology.
+    return runDemo(spec, Case::SlpToBonjour);
+}
+
+int cmdDot(const std::string& caseName) {
+    const auto c = parseCase(caseName);
+    if (!c) return usage();
+    const auto spec = bridge::models::forCase(*c, "10.0.0.9");
+    automata::ColorRegistry colors;
+    std::vector<std::shared_ptr<automata::ColoredAutomaton>> components;
+    for (const auto& protocol : spec.protocols) {
+        components.push_back(merge::loadAutomaton(protocol.automatonXml, colors));
+    }
+    const auto merged = merge::loadBridge(spec.bridgeXml, std::move(components));
+    merged->validate();
+    std::cout << merge::toDot(*merged);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        if (argc >= 2) {
+            const std::string command = argv[1];
+            if (command == "list" && argc == 2) return cmdList();
+            if (command == "export" && argc == 3) return cmdExport(argv[2]);
+            if (command == "demo" && argc == 3) return cmdDemo(argv[2]);
+            if (command == "demo-files" && argc == 7) return cmdDemoFiles(argv + 2);
+            if (command == "dot" && argc == 3) return cmdDot(argv[2]);
+        }
+        return usage();
+    } catch (const std::exception& error) {
+        std::cerr << "starlinkd: " << error.what() << "\n";
+        return 1;
+    }
+}
