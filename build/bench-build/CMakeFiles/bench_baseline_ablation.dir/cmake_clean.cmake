@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baseline_ablation"
+  "../bench/bench_baseline_ablation.pdb"
+  "CMakeFiles/bench_baseline_ablation.dir/baseline_ablation.cpp.o"
+  "CMakeFiles/bench_baseline_ablation.dir/baseline_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12a_native"
+  "../bench/bench_fig12a_native.pdb"
+  "CMakeFiles/bench_fig12a_native.dir/fig12a_native.cpp.o"
+  "CMakeFiles/bench_fig12a_native.dir/fig12a_native.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12a_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

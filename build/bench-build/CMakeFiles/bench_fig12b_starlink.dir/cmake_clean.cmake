@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12b_starlink"
+  "../bench/bench_fig12b_starlink.pdb"
+  "CMakeFiles/bench_fig12b_starlink.dir/fig12b_starlink.cpp.o"
+  "CMakeFiles/bench_fig12b_starlink.dir/fig12b_starlink.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12b_starlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

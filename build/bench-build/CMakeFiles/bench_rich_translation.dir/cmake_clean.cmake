@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rich_translation"
+  "../bench/bench_rich_translation.pdb"
+  "CMakeFiles/bench_rich_translation.dir/rich_translation.cpp.o"
+  "CMakeFiles/bench_rich_translation.dir/rich_translation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rich_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

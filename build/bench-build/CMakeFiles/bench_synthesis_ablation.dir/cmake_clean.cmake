@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_synthesis_ablation"
+  "../bench/bench_synthesis_ablation.pdb"
+  "CMakeFiles/bench_synthesis_ablation.dir/synthesis_ablation.cpp.o"
+  "CMakeFiles/bench_synthesis_ablation.dir/synthesis_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synthesis_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/all_pairs_discovery.dir/all_pairs_discovery.cpp.o"
+  "CMakeFiles/all_pairs_discovery.dir/all_pairs_discovery.cpp.o.d"
+  "all_pairs_discovery"
+  "all_pairs_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/all_pairs_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

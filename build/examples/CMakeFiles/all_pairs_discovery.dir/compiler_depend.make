@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for all_pairs_discovery.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_discovery.dir/attribute_discovery.cpp.o"
+  "CMakeFiles/attribute_discovery.dir/attribute_discovery.cpp.o.d"
+  "attribute_discovery"
+  "attribute_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slp_to_upnp.dir/slp_to_upnp.cpp.o"
+  "CMakeFiles/slp_to_upnp.dir/slp_to_upnp.cpp.o.d"
+  "slp_to_upnp"
+  "slp_to_upnp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slp_to_upnp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

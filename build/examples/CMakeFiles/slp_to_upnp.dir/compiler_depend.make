@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for slp_to_upnp.
+# This may be replaced when dependencies are built.

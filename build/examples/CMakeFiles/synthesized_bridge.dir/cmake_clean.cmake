@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesized_bridge.dir/synthesized_bridge.cpp.o"
+  "CMakeFiles/synthesized_bridge.dir/synthesized_bridge.cpp.o.d"
+  "synthesized_bridge"
+  "synthesized_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesized_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("xml")
+subdirs("net")
+subdirs("core/message")
+subdirs("core/mdl")
+subdirs("core/automata")
+subdirs("core/merge")
+subdirs("core/engine")
+subdirs("core/bridge")
+subdirs("protocols/slp")
+subdirs("protocols/mdns")
+subdirs("protocols/ssdp")
+subdirs("protocols/http")
+subdirs("protocols/ldap")
+subdirs("protocols/wsd")
+subdirs("baseline")

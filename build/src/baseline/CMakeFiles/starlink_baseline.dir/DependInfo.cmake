@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/static_bridges.cpp" "src/baseline/CMakeFiles/starlink_baseline.dir/static_bridges.cpp.o" "gcc" "src/baseline/CMakeFiles/starlink_baseline.dir/static_bridges.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/starlink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/starlink_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/slp/CMakeFiles/starlink_proto_slp.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/mdns/CMakeFiles/starlink_proto_mdns.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/ssdp/CMakeFiles/starlink_proto_ssdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/http/CMakeFiles/starlink_proto_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

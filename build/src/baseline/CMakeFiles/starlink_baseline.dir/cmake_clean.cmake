@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_baseline.dir/static_bridges.cpp.o"
+  "CMakeFiles/starlink_baseline.dir/static_bridges.cpp.o.d"
+  "libstarlink_baseline.a"
+  "libstarlink_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

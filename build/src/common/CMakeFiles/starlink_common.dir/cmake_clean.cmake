@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_common.dir/bytes.cpp.o"
+  "CMakeFiles/starlink_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/starlink_common.dir/log.cpp.o"
+  "CMakeFiles/starlink_common.dir/log.cpp.o.d"
+  "CMakeFiles/starlink_common.dir/strings.cpp.o"
+  "CMakeFiles/starlink_common.dir/strings.cpp.o.d"
+  "libstarlink_common.a"
+  "libstarlink_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

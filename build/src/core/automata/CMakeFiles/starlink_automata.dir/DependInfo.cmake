@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/automata/color.cpp" "src/core/automata/CMakeFiles/starlink_automata.dir/color.cpp.o" "gcc" "src/core/automata/CMakeFiles/starlink_automata.dir/color.cpp.o.d"
+  "/root/repo/src/core/automata/colored_automaton.cpp" "src/core/automata/CMakeFiles/starlink_automata.dir/colored_automaton.cpp.o" "gcc" "src/core/automata/CMakeFiles/starlink_automata.dir/colored_automaton.cpp.o.d"
+  "/root/repo/src/core/automata/learner.cpp" "src/core/automata/CMakeFiles/starlink_automata.dir/learner.cpp.o" "gcc" "src/core/automata/CMakeFiles/starlink_automata.dir/learner.cpp.o.d"
+  "/root/repo/src/core/automata/trace.cpp" "src/core/automata/CMakeFiles/starlink_automata.dir/trace.cpp.o" "gcc" "src/core/automata/CMakeFiles/starlink_automata.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/starlink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/message/CMakeFiles/starlink_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/starlink_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

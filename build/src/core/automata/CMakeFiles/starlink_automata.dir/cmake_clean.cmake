@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_automata.dir/color.cpp.o"
+  "CMakeFiles/starlink_automata.dir/color.cpp.o.d"
+  "CMakeFiles/starlink_automata.dir/colored_automaton.cpp.o"
+  "CMakeFiles/starlink_automata.dir/colored_automaton.cpp.o.d"
+  "CMakeFiles/starlink_automata.dir/learner.cpp.o"
+  "CMakeFiles/starlink_automata.dir/learner.cpp.o.d"
+  "CMakeFiles/starlink_automata.dir/trace.cpp.o"
+  "CMakeFiles/starlink_automata.dir/trace.cpp.o.d"
+  "libstarlink_automata.a"
+  "libstarlink_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

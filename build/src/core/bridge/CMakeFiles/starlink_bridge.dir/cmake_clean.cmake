@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_bridge.dir/models.cpp.o"
+  "CMakeFiles/starlink_bridge.dir/models.cpp.o.d"
+  "CMakeFiles/starlink_bridge.dir/starlink.cpp.o"
+  "CMakeFiles/starlink_bridge.dir/starlink.cpp.o.d"
+  "libstarlink_bridge.a"
+  "libstarlink_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_engine.dir/automata_engine.cpp.o"
+  "CMakeFiles/starlink_engine.dir/automata_engine.cpp.o.d"
+  "CMakeFiles/starlink_engine.dir/network_engine.cpp.o"
+  "CMakeFiles/starlink_engine.dir/network_engine.cpp.o.d"
+  "libstarlink_engine.a"
+  "libstarlink_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/mdl/binary_codec.cpp" "src/core/mdl/CMakeFiles/starlink_mdl.dir/binary_codec.cpp.o" "gcc" "src/core/mdl/CMakeFiles/starlink_mdl.dir/binary_codec.cpp.o.d"
+  "/root/repo/src/core/mdl/bitio.cpp" "src/core/mdl/CMakeFiles/starlink_mdl.dir/bitio.cpp.o" "gcc" "src/core/mdl/CMakeFiles/starlink_mdl.dir/bitio.cpp.o.d"
+  "/root/repo/src/core/mdl/codec.cpp" "src/core/mdl/CMakeFiles/starlink_mdl.dir/codec.cpp.o" "gcc" "src/core/mdl/CMakeFiles/starlink_mdl.dir/codec.cpp.o.d"
+  "/root/repo/src/core/mdl/marshaller.cpp" "src/core/mdl/CMakeFiles/starlink_mdl.dir/marshaller.cpp.o" "gcc" "src/core/mdl/CMakeFiles/starlink_mdl.dir/marshaller.cpp.o.d"
+  "/root/repo/src/core/mdl/spec.cpp" "src/core/mdl/CMakeFiles/starlink_mdl.dir/spec.cpp.o" "gcc" "src/core/mdl/CMakeFiles/starlink_mdl.dir/spec.cpp.o.d"
+  "/root/repo/src/core/mdl/text_codec.cpp" "src/core/mdl/CMakeFiles/starlink_mdl.dir/text_codec.cpp.o" "gcc" "src/core/mdl/CMakeFiles/starlink_mdl.dir/text_codec.cpp.o.d"
+  "/root/repo/src/core/mdl/xml_codec.cpp" "src/core/mdl/CMakeFiles/starlink_mdl.dir/xml_codec.cpp.o" "gcc" "src/core/mdl/CMakeFiles/starlink_mdl.dir/xml_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/starlink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/starlink_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/message/CMakeFiles/starlink_message.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

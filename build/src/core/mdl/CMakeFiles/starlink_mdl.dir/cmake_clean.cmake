@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_mdl.dir/binary_codec.cpp.o"
+  "CMakeFiles/starlink_mdl.dir/binary_codec.cpp.o.d"
+  "CMakeFiles/starlink_mdl.dir/bitio.cpp.o"
+  "CMakeFiles/starlink_mdl.dir/bitio.cpp.o.d"
+  "CMakeFiles/starlink_mdl.dir/codec.cpp.o"
+  "CMakeFiles/starlink_mdl.dir/codec.cpp.o.d"
+  "CMakeFiles/starlink_mdl.dir/marshaller.cpp.o"
+  "CMakeFiles/starlink_mdl.dir/marshaller.cpp.o.d"
+  "CMakeFiles/starlink_mdl.dir/spec.cpp.o"
+  "CMakeFiles/starlink_mdl.dir/spec.cpp.o.d"
+  "CMakeFiles/starlink_mdl.dir/text_codec.cpp.o"
+  "CMakeFiles/starlink_mdl.dir/text_codec.cpp.o.d"
+  "CMakeFiles/starlink_mdl.dir/xml_codec.cpp.o"
+  "CMakeFiles/starlink_mdl.dir/xml_codec.cpp.o.d"
+  "libstarlink_mdl.a"
+  "libstarlink_mdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_mdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

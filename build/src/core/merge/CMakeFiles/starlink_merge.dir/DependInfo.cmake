@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/merge/dot_export.cpp" "src/core/merge/CMakeFiles/starlink_merge.dir/dot_export.cpp.o" "gcc" "src/core/merge/CMakeFiles/starlink_merge.dir/dot_export.cpp.o.d"
+  "/root/repo/src/core/merge/merged_automaton.cpp" "src/core/merge/CMakeFiles/starlink_merge.dir/merged_automaton.cpp.o" "gcc" "src/core/merge/CMakeFiles/starlink_merge.dir/merged_automaton.cpp.o.d"
+  "/root/repo/src/core/merge/ontology.cpp" "src/core/merge/CMakeFiles/starlink_merge.dir/ontology.cpp.o" "gcc" "src/core/merge/CMakeFiles/starlink_merge.dir/ontology.cpp.o.d"
+  "/root/repo/src/core/merge/spec_loader.cpp" "src/core/merge/CMakeFiles/starlink_merge.dir/spec_loader.cpp.o" "gcc" "src/core/merge/CMakeFiles/starlink_merge.dir/spec_loader.cpp.o.d"
+  "/root/repo/src/core/merge/spec_writer.cpp" "src/core/merge/CMakeFiles/starlink_merge.dir/spec_writer.cpp.o" "gcc" "src/core/merge/CMakeFiles/starlink_merge.dir/spec_writer.cpp.o.d"
+  "/root/repo/src/core/merge/synthesizer.cpp" "src/core/merge/CMakeFiles/starlink_merge.dir/synthesizer.cpp.o" "gcc" "src/core/merge/CMakeFiles/starlink_merge.dir/synthesizer.cpp.o.d"
+  "/root/repo/src/core/merge/translation.cpp" "src/core/merge/CMakeFiles/starlink_merge.dir/translation.cpp.o" "gcc" "src/core/merge/CMakeFiles/starlink_merge.dir/translation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/starlink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/starlink_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/message/CMakeFiles/starlink_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/automata/CMakeFiles/starlink_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/mdl/CMakeFiles/starlink_mdl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_merge.dir/dot_export.cpp.o"
+  "CMakeFiles/starlink_merge.dir/dot_export.cpp.o.d"
+  "CMakeFiles/starlink_merge.dir/merged_automaton.cpp.o"
+  "CMakeFiles/starlink_merge.dir/merged_automaton.cpp.o.d"
+  "CMakeFiles/starlink_merge.dir/ontology.cpp.o"
+  "CMakeFiles/starlink_merge.dir/ontology.cpp.o.d"
+  "CMakeFiles/starlink_merge.dir/spec_loader.cpp.o"
+  "CMakeFiles/starlink_merge.dir/spec_loader.cpp.o.d"
+  "CMakeFiles/starlink_merge.dir/spec_writer.cpp.o"
+  "CMakeFiles/starlink_merge.dir/spec_writer.cpp.o.d"
+  "CMakeFiles/starlink_merge.dir/synthesizer.cpp.o"
+  "CMakeFiles/starlink_merge.dir/synthesizer.cpp.o.d"
+  "CMakeFiles/starlink_merge.dir/translation.cpp.o"
+  "CMakeFiles/starlink_merge.dir/translation.cpp.o.d"
+  "libstarlink_merge.a"
+  "libstarlink_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

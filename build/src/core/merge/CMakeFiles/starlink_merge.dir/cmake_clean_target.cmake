@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstarlink_merge.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/message/abstract_message.cpp" "src/core/message/CMakeFiles/starlink_message.dir/abstract_message.cpp.o" "gcc" "src/core/message/CMakeFiles/starlink_message.dir/abstract_message.cpp.o.d"
+  "/root/repo/src/core/message/field.cpp" "src/core/message/CMakeFiles/starlink_message.dir/field.cpp.o" "gcc" "src/core/message/CMakeFiles/starlink_message.dir/field.cpp.o.d"
+  "/root/repo/src/core/message/value.cpp" "src/core/message/CMakeFiles/starlink_message.dir/value.cpp.o" "gcc" "src/core/message/CMakeFiles/starlink_message.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/starlink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/starlink_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_message.dir/abstract_message.cpp.o"
+  "CMakeFiles/starlink_message.dir/abstract_message.cpp.o.d"
+  "CMakeFiles/starlink_message.dir/field.cpp.o"
+  "CMakeFiles/starlink_message.dir/field.cpp.o.d"
+  "CMakeFiles/starlink_message.dir/value.cpp.o"
+  "CMakeFiles/starlink_message.dir/value.cpp.o.d"
+  "libstarlink_message.a"
+  "libstarlink_message.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_net.dir/scheduler.cpp.o"
+  "CMakeFiles/starlink_net.dir/scheduler.cpp.o.d"
+  "CMakeFiles/starlink_net.dir/sim_network.cpp.o"
+  "CMakeFiles/starlink_net.dir/sim_network.cpp.o.d"
+  "libstarlink_net.a"
+  "libstarlink_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/http/http_agents.cpp" "src/protocols/http/CMakeFiles/starlink_proto_http.dir/http_agents.cpp.o" "gcc" "src/protocols/http/CMakeFiles/starlink_proto_http.dir/http_agents.cpp.o.d"
+  "/root/repo/src/protocols/http/http_codec.cpp" "src/protocols/http/CMakeFiles/starlink_proto_http.dir/http_codec.cpp.o" "gcc" "src/protocols/http/CMakeFiles/starlink_proto_http.dir/http_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/starlink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/starlink_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_proto_mdns.dir/dns_codec.cpp.o"
+  "CMakeFiles/starlink_proto_mdns.dir/dns_codec.cpp.o.d"
+  "CMakeFiles/starlink_proto_mdns.dir/mdns_agents.cpp.o"
+  "CMakeFiles/starlink_proto_mdns.dir/mdns_agents.cpp.o.d"
+  "libstarlink_proto_mdns.a"
+  "libstarlink_proto_mdns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_proto_mdns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

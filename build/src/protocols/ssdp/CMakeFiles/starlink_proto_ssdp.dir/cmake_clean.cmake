@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_proto_ssdp.dir/ssdp_agents.cpp.o"
+  "CMakeFiles/starlink_proto_ssdp.dir/ssdp_agents.cpp.o.d"
+  "CMakeFiles/starlink_proto_ssdp.dir/ssdp_codec.cpp.o"
+  "CMakeFiles/starlink_proto_ssdp.dir/ssdp_codec.cpp.o.d"
+  "libstarlink_proto_ssdp.a"
+  "libstarlink_proto_ssdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_proto_ssdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

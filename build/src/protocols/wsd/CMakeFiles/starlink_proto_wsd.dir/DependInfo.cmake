@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/wsd/wsd_agents.cpp" "src/protocols/wsd/CMakeFiles/starlink_proto_wsd.dir/wsd_agents.cpp.o" "gcc" "src/protocols/wsd/CMakeFiles/starlink_proto_wsd.dir/wsd_agents.cpp.o.d"
+  "/root/repo/src/protocols/wsd/wsd_codec.cpp" "src/protocols/wsd/CMakeFiles/starlink_proto_wsd.dir/wsd_codec.cpp.o" "gcc" "src/protocols/wsd/CMakeFiles/starlink_proto_wsd.dir/wsd_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/starlink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/starlink_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/starlink_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlink_xml.dir/dom.cpp.o"
+  "CMakeFiles/starlink_xml.dir/dom.cpp.o.d"
+  "CMakeFiles/starlink_xml.dir/parser.cpp.o"
+  "CMakeFiles/starlink_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/starlink_xml.dir/writer.cpp.o"
+  "CMakeFiles/starlink_xml.dir/writer.cpp.o.d"
+  "CMakeFiles/starlink_xml.dir/xpath.cpp.o"
+  "CMakeFiles/starlink_xml.dir/xpath.cpp.o.d"
+  "libstarlink_xml.a"
+  "libstarlink_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlink_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ldap.dir/test_ldap.cpp.o"
+  "CMakeFiles/test_ldap.dir/test_ldap.cpp.o.d"
+  "test_ldap"
+  "test_ldap.pdb"
+  "test_ldap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ldap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

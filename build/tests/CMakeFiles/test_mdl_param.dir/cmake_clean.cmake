@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdl_param.dir/test_mdl_param.cpp.o"
+  "CMakeFiles/test_mdl_param.dir/test_mdl_param.cpp.o.d"
+  "test_mdl_param"
+  "test_mdl_param.pdb"
+  "test_mdl_param[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdl_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdl_text.dir/test_mdl_text.cpp.o"
+  "CMakeFiles/test_mdl_text.dir/test_mdl_text.cpp.o.d"
+  "test_mdl_text"
+  "test_mdl_text.pdb"
+  "test_mdl_text[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdl_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdl_xml.dir/test_mdl_xml.cpp.o"
+  "CMakeFiles/test_mdl_xml.dir/test_mdl_xml.cpp.o.d"
+  "test_mdl_xml"
+  "test_mdl_xml.pdb"
+  "test_mdl_xml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdl_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/test_net.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/test_net.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/starlink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/starlink_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/starlink_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/message/CMakeFiles/starlink_message.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/mdl/CMakeFiles/starlink_mdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/automata/CMakeFiles/starlink_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/merge/CMakeFiles/starlink_merge.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/engine/CMakeFiles/starlink_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/bridge/CMakeFiles/starlink_bridge.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/slp/CMakeFiles/starlink_proto_slp.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/mdns/CMakeFiles/starlink_proto_mdns.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/ssdp/CMakeFiles/starlink_proto_ssdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/http/CMakeFiles/starlink_proto_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/ldap/CMakeFiles/starlink_proto_ldap.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/wsd/CMakeFiles/starlink_proto_wsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/starlink_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

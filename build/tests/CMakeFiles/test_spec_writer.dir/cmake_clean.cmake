@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_writer.dir/test_spec_writer.cpp.o"
+  "CMakeFiles/test_spec_writer.dir/test_spec_writer.cpp.o.d"
+  "test_spec_writer"
+  "test_spec_writer.pdb"
+  "test_spec_writer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wsd.dir/test_wsd.cpp.o"
+  "CMakeFiles/test_wsd.dir/test_wsd.cpp.o.d"
+  "test_wsd"
+  "test_wsd.pdb"
+  "test_wsd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

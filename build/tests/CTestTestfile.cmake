@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_xml[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_message[1]_include.cmake")
+include("/root/repo/build/tests/test_mdl_binary[1]_include.cmake")
+include("/root/repo/build/tests/test_mdl_text[1]_include.cmake")
+include("/root/repo/build/tests/test_automata[1]_include.cmake")
+include("/root/repo/build/tests/test_merge[1]_include.cmake")
+include("/root/repo/build/tests/test_protocols[1]_include.cmake")
+include("/root/repo/build/tests/test_bridge[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_synthesizer[1]_include.cmake")
+include("/root/repo/build/tests/test_learner[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_dot[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_ldap[1]_include.cmake")
+include("/root/repo/build/tests/test_mdl_param[1]_include.cmake")
+include("/root/repo/build/tests/test_spec_writer[1]_include.cmake")
+include("/root/repo/build/tests/test_wsd[1]_include.cmake")
+include("/root/repo/build/tests/test_mdl_xml[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlinkd.dir/starlinkd.cpp.o"
+  "CMakeFiles/starlinkd.dir/starlinkd.cpp.o.d"
+  "starlinkd"
+  "starlinkd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlinkd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

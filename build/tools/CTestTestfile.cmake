@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(starlinkd_list "/root/repo/build/tools/starlinkd" "list")
+set_tests_properties(starlinkd_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(starlinkd_demo_slp-to-upnp "/root/repo/build/tools/starlinkd" "demo" "slp-to-upnp")
+set_tests_properties(starlinkd_demo_slp-to-upnp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(starlinkd_demo_slp-to-bonjour "/root/repo/build/tools/starlinkd" "demo" "slp-to-bonjour")
+set_tests_properties(starlinkd_demo_slp-to-bonjour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(starlinkd_demo_upnp-to-slp "/root/repo/build/tools/starlinkd" "demo" "upnp-to-slp")
+set_tests_properties(starlinkd_demo_upnp-to-slp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(starlinkd_demo_upnp-to-bonjour "/root/repo/build/tools/starlinkd" "demo" "upnp-to-bonjour")
+set_tests_properties(starlinkd_demo_upnp-to-bonjour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(starlinkd_demo_bonjour-to-upnp "/root/repo/build/tools/starlinkd" "demo" "bonjour-to-upnp")
+set_tests_properties(starlinkd_demo_bonjour-to-upnp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(starlinkd_demo_bonjour-to-slp "/root/repo/build/tools/starlinkd" "demo" "bonjour-to-slp")
+set_tests_properties(starlinkd_demo_bonjour-to-slp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(starlinkd_dot "/root/repo/build/tools/starlinkd" "dot" "slp-to-upnp")
+set_tests_properties(starlinkd_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(starlinkd_export "/root/repo/build/tools/starlinkd" "export" "/root/repo/build/tools/models")
+set_tests_properties(starlinkd_export PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(starlinkd_demo_files "/root/repo/build/tools/starlinkd" "demo-files" "/root/repo/build/tools/models/slp.mdl.xml" "/root/repo/build/tools/models/slp.server.automaton.xml" "/root/repo/build/tools/models/dns.mdl.xml" "/root/repo/build/tools/models/mdns.client.automaton.xml" "/root/repo/build/tools/models/SLP-to-Bonjour.bridge.xml")
+set_tests_properties(starlinkd_demo_files PROPERTIES  DEPENDS "starlinkd_export" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
