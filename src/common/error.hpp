@@ -39,4 +39,18 @@ public:
     explicit NetError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A tcp peer vanished mid-session (closed its side, or our send raced its
+/// close). Subtyped from NetError so existing handlers keep working while the
+/// engine can attribute the session abort to the peer.
+class PeerClosedError : public NetError {
+public:
+    explicit PeerClosedError(const std::string& what) : NetError(what) {}
+};
+
+/// A tcp connect was refused and the bounded retry budget is exhausted.
+class ConnectRefusedError : public NetError {
+public:
+    explicit ConnectRefusedError(const std::string& what) : NetError(what) {}
+};
+
 }  // namespace starlink

@@ -53,7 +53,10 @@ DeployedBridge& Starlink::deploy(const models::DeploymentSpec& spec, const std::
 
     // 4. Wire the engines and go live.
     auto bridge = std::unique_ptr<DeployedBridge>(new DeployedBridge());
-    bridge->network_ = std::make_unique<engine::NetworkEngine>(network_, host);
+    bridge->network_ = std::make_unique<engine::NetworkEngine>(
+        network_, host,
+        engine::NetworkEngine::Options{options.tcpConnectAttempts,
+                                       options.tcpConnectRetryDelay});
     bridge->engine_ = std::make_unique<engine::AutomataEngine>(
         std::move(merged), std::move(codecs), translations_, *bridge->network_, colors_,
         options);
@@ -90,7 +93,10 @@ DeployedBridge& Starlink::deploySynthesized(const models::ProtocolModel& served,
     codecs.emplace(queriedAutomaton->name(), std::move(queriedCodec));
 
     auto bridge = std::unique_ptr<DeployedBridge>(new DeployedBridge());
-    bridge->network_ = std::make_unique<engine::NetworkEngine>(network_, host);
+    bridge->network_ = std::make_unique<engine::NetworkEngine>(
+        network_, host,
+        engine::NetworkEngine::Options{options.tcpConnectAttempts,
+                                       options.tcpConnectRetryDelay});
     bridge->engine_ = std::make_unique<engine::AutomataEngine>(
         std::move(synthesis.merged), std::move(codecs), translations_, *bridge->network_,
         colors_, options);

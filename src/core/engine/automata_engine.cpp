@@ -21,7 +21,8 @@ AutomataEngine::AutomataEngine(std::shared_ptr<merge::MergedAutomaton> merged,
       translations_(std::move(translations)),
       network_(network),
       colors_(colors),
-      options_(options) {
+      options_(options),
+      retryRng_(options.retrySeed) {
     for (const auto& component : merged_->components()) {
         if (!codecs_.contains(component->name())) {
             throw SpecError("automata engine: no codec supplied for component '" +
@@ -62,6 +63,10 @@ void AutomataEngine::start() {
     }
     network_.setHandler([this](std::uint64_t k, const Bytes& payload, const net::Address& from) {
         onNetworkMessage(k, payload, from);
+    });
+    network_.setFaultHandler([this](std::uint64_t k, NetworkFault fault,
+                                    const std::string& detail) {
+        onNetworkFault(k, fault, detail);
     });
     current_ = merged_->initialState();
     running_ = true;
@@ -113,12 +118,15 @@ void AutomataEngine::onNetworkMessage(std::uint64_t colorK, const Bytes& payload
                     timeoutEvent_.reset();
                     if (sessionActive_) {
                         STARLINK_LOG(Warn, "engine") << "session timed out in state " << current_;
-                        completeSession(false);
+                        completeSession(false, FailureCause::Timeout);
                     }
                 });
         }
     }
     ++liveSession_.messagesIn;
+    // The wait is over: an accepted message stands down the pending
+    // retransmission deadline.
+    cancelRetransmit();
     // Only an accepted message establishes the reply route for its color.
     network_.notePeer(colorK, from);
 
@@ -131,6 +139,16 @@ void AutomataEngine::onNetworkMessage(std::uint64_t colorK, const Bytes& payload
     safeProceed();
 }
 
+FailureCause AutomataEngine::classify(const std::exception& error) {
+    if (dynamic_cast<const ConnectRefusedError*>(&error) != nullptr) {
+        return FailureCause::ConnectRefused;
+    }
+    if (dynamic_cast<const PeerClosedError*>(&error) != nullptr) {
+        return FailureCause::PeerClosed;
+    }
+    return FailureCause::DecodeError;
+}
+
 void AutomataEngine::safeProceed() {
     // Translation failures at runtime (a peer's message lacking a field an
     // assignment needs, a value a T function rejects, an unencodable
@@ -141,8 +159,25 @@ void AutomataEngine::safeProceed() {
     } catch (const std::exception& error) {
         STARLINK_LOG(Error, "engine") << "session aborted in state " << current_ << ": "
                                       << error.what();
-        if (sessionActive_) completeSession(false);
+        if (sessionActive_) completeSession(false, classify(error));
     }
+}
+
+void AutomataEngine::onNetworkFault(std::uint64_t colorK, NetworkFault fault,
+                                    const std::string& detail) {
+    if (!running_ || !sessionActive_) return;
+    // Only fatal when the session is currently engaged with the faulting
+    // color: a peer closing a connection the conversation has moved past
+    // (e.g. an HTTP client hanging up after its fetch) is routine.
+    const ColoredAutomaton* component = componentByColor(colorK);
+    if (component == nullptr || component->state(current_) == nullptr) {
+        STARLINK_LOG(Debug, "engine") << "ignoring off-session network fault: " << detail;
+        return;
+    }
+    STARLINK_LOG(Warn, "engine") << "session aborted by network fault in state " << current_
+                                 << ": " << detail;
+    completeSession(false, fault == NetworkFault::ConnectRefused ? FailureCause::ConnectRefused
+                                                                 : FailureCause::PeerClosed);
 }
 
 void AutomataEngine::proceed() {
@@ -182,7 +217,12 @@ void AutomataEngine::proceed() {
         const bool canMoveOn = hasReceive || merged_->deltaFrom(current_) != nullptr;
         if (!canMoveOn && merged_->acceptingStates().contains(current_)) {
             completeSession(true);
+            return;
         }
+        // Settling into a wait: give the silence a deadline so a lost
+        // datagram (ours or the peer's reply) is re-solicited instead of
+        // wedging the conversation.
+        if (hasReceive && sessionActive_) armRetransmit();
         return;
     }
 }
@@ -228,7 +268,7 @@ void AutomataEngine::scheduleSend(const Transition& transition) {
         } catch (const std::exception& error) {
             STARLINK_LOG(Error, "engine") << "send of !" << transition.messageType
                                           << " failed, aborting session: " << error.what();
-            completeSession(false);
+            completeSession(false, classify(error));
         }
     });
 }
@@ -238,6 +278,13 @@ void AutomataEngine::performSend(const Transition& transition) {
     AbstractMessage outgoing = buildOutgoing(transition.from, transition.messageType);
     const Bytes payload = codecFor(*component)->compose(outgoing);
     network_.send(component->color(), payload);
+
+    // Keep the encoded request: if the following wait's deadline lapses the
+    // engine re-sends these exact bytes. A fresh send resets the per-wait
+    // retry budget.
+    lastSentColor_ = component->color();
+    lastSentPayload_ = payload;
+    retransmitsUsed_ = 0;
 
     component->state(transition.from)->pushMessage(outgoing);
     trace_.record(TraceEvent{component->name(), transition.from, transition.to, Action::Send,
@@ -308,16 +355,84 @@ Value AutomataEngine::resolveRef(const merge::FieldRef& ref, const std::string& 
     return *transformed;
 }
 
-void AutomataEngine::completeSession(bool completed) {
+net::Duration AutomataEngine::receiveDeadlineFor(const std::string& state) const {
+    const auto it = options_.stateReceiveTimeouts.find(state);
+    return it != options_.stateReceiveTimeouts.end() ? it->second : options_.receiveTimeout;
+}
+
+void AutomataEngine::cancelRetransmit() {
+    if (retransmitEvent_) {
+        network_.network().scheduler().cancel(*retransmitEvent_);
+        retransmitEvent_.reset();
+    }
+}
+
+void AutomataEngine::armRetransmit() {
+    cancelRetransmit();
+    if (options_.maxRetransmits <= 0 || !lastSentPayload_) return;
+    const automata::Color* color = colors_.lookup(lastSentColor_);
+    // Only datagram requests are worth re-sending: tcp delivers reliably, and
+    // its genuine failures arrive as connect-refused/peer-closed faults.
+    if (color == nullptr || color->transport() != "udp") return;
+    const net::Duration deadline = receiveDeadlineFor(current_);
+    if (deadline.count() <= 0) return;
+    double scale = 1.0;
+    for (int attempt = 0; attempt < retransmitsUsed_; ++attempt) {
+        scale *= options_.retransmitBackoff;
+    }
+    net::Duration wait{static_cast<net::Duration::rep>(
+        static_cast<double>(deadline.count()) * scale)};
+    if (options_.retransmitJitter.count() > 0) {
+        wait += net::Duration{retryRng_.range(0, options_.retransmitJitter.count())};
+    }
+    retransmitEvent_ = network_.network().scheduler().schedule(wait, [this] {
+        retransmitEvent_.reset();
+        onReceiveDeadline();
+    });
+}
+
+void AutomataEngine::onReceiveDeadline() {
+    if (!running_ || !sessionActive_ || !lastSentPayload_) return;
+    if (retransmitsUsed_ >= options_.maxRetransmits) {
+        STARLINK_LOG(Warn, "engine") << "no reply in state " << current_ << " after "
+                                     << retransmitsUsed_
+                                     << " retransmissions; aborting session";
+        completeSession(false, FailureCause::Timeout);
+        return;
+    }
+    ++retransmitsUsed_;
+    ++liveSession_.retransmits;
+    STARLINK_LOG(Debug, "engine") << "reply deadline lapsed in state " << current_
+                                  << "; retransmission " << retransmitsUsed_ << "/"
+                                  << options_.maxRetransmits;
+    try {
+        network_.send(lastSentColor_, *lastSentPayload_);
+    } catch (const std::exception& error) {
+        STARLINK_LOG(Error, "engine") << "retransmission failed, aborting session: "
+                                      << error.what();
+        completeSession(false, classify(error));
+        return;
+    }
+    armRetransmit();
+}
+
+void AutomataEngine::completeSession(bool completed, FailureCause cause) {
     liveSession_.completed = completed;
+    liveSession_.cause = completed ? FailureCause::None : cause;
     sessions_.push_back(liveSession_);
     if (timeoutEvent_) {
         network_.network().scheduler().cancel(*timeoutEvent_);
         timeoutEvent_.reset();
     }
+    cancelRetransmit();
+    lastSentPayload_.reset();
+    retransmitsUsed_ = 0;
     STARLINK_LOG(Info, "engine") << "session " << (completed ? "completed" : "aborted")
                                  << " after " << liveSession_.messagesIn << " in / "
-                                 << liveSession_.messagesOut << " out";
+                                 << liveSession_.messagesOut << " out"
+                                 << (completed ? ""
+                                               : std::string(" (cause: ") +
+                                                     failureCauseName(liveSession_.cause) + ")");
     if (onSessionComplete) onSessionComplete(liveSession_);
 
     sessionActive_ = false;

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/automata/trace.hpp"
 #include "core/engine/network_engine.hpp"
 #include "core/mdl/codec.hpp"
@@ -50,9 +51,54 @@ struct EngineOptions {
     /// Fig 12(b) medians land near the paper's (see EXPERIMENTS.md).
     net::Duration processingDelay = net::ms(12);
     /// Abort a session that has not completed within this window (0 = no
-    /// timeout).
-    net::Duration sessionTimeout = net::ms(0);
+    /// timeout). The default watchdog comfortably exceeds the slowest healthy
+    /// conversation (UPnP->SLP, ~6.5 s of virtual time) so it only fires on
+    /// genuinely wedged sessions and leaves Fig 12(b) untouched.
+    net::Duration sessionTimeout = net::ms(30000);
+    /// Receive deadline while the session waits for the next inbound message
+    /// (0 = never retransmit). The default clears the slowest healthy reply
+    /// (the SLP service agent's ~6.1 s) so retransmission never fires on a
+    /// loss-free network.
+    net::Duration receiveTimeout = net::ms(8000);
+    /// Per-state overrides of receiveTimeout, keyed by merged-automaton state
+    /// id -- tighten the deadline at states whose peer answers fast.
+    std::map<std::string, net::Duration> stateReceiveTimeouts;
+    /// How often the last sent request may be re-sent before the wait is
+    /// declared dead (FailureCause::Timeout). Applies per wait state; only
+    /// datagram (udp) requests are ever re-sent -- tcp is reliable and its
+    /// failures surface as connect-refused/peer-closed faults instead.
+    int maxRetransmits = 2;
+    /// Deadline multiplier applied per retransmission attempt.
+    double retransmitBackoff = 2.0;
+    /// Uniform random extra delay added to each retransmission deadline,
+    /// drawn from an engine-local generator (seeded by retrySeed) so enabling
+    /// jitter never perturbs the network's random sequence. 0 = none.
+    net::Duration retransmitJitter = net::ms(0);
+    std::uint64_t retrySeed = 0x5eedULL;
+    /// Forwarded to the network engine: bounded tcp connect retry budget.
+    int tcpConnectAttempts = 3;
+    net::Duration tcpConnectRetryDelay = net::ms(50);
 };
+
+/// Why a session ended without completing.
+enum class FailureCause {
+    None,            ///< the session completed (or was aborted pre-classification)
+    Timeout,         ///< watchdog fired, or the retransmission budget ran dry
+    ConnectRefused,  ///< a tcp connect stayed refused after bounded retries
+    PeerClosed,      ///< the tcp peer vanished mid-session
+    DecodeError,     ///< translation/compose/encode failed at runtime
+};
+
+constexpr const char* failureCauseName(FailureCause cause) {
+    switch (cause) {
+        case FailureCause::None: return "none";
+        case FailureCause::Timeout: return "timeout";
+        case FailureCause::ConnectRefused: return "connect-refused";
+        case FailureCause::PeerClosed: return "peer-closed";
+        case FailureCause::DecodeError: return "decode-error";
+    }
+    return "unknown";
+}
 
 /// Outcome record for one bridged conversation.
 struct SessionRecord {
@@ -65,7 +111,11 @@ struct SessionRecord {
     net::TimePoint lastSend{};
     std::size_t messagesIn = 0;
     std::size_t messagesOut = 0;
+    /// Requests re-sent by the engine because a reply deadline lapsed.
+    std::size_t retransmits = 0;
     bool completed = false;
+    /// FailureCause::None iff completed.
+    FailureCause cause = FailureCause::None;
 
     /// First message received by the framework until the translated
     /// response left on the output socket (paper section VI).
@@ -106,6 +156,7 @@ public:
 
 private:
     void onNetworkMessage(std::uint64_t colorK, const Bytes& payload, const net::Address& from);
+    void onNetworkFault(std::uint64_t colorK, NetworkFault fault, const std::string& detail);
     void proceed();
     /// proceed() with runtime translation failures contained: the session
     /// aborts, the connector survives.
@@ -115,7 +166,12 @@ private:
     void performSend(const automata::Transition& transition);
     AbstractMessage buildOutgoing(const std::string& stateId, const std::string& messageType);
     Value resolveRef(const merge::FieldRef& ref, const std::string& transform) const;
-    void completeSession(bool completed);
+    void completeSession(bool completed, FailureCause cause = FailureCause::None);
+    net::Duration receiveDeadlineFor(const std::string& state) const;
+    void armRetransmit();
+    void onReceiveDeadline();
+    void cancelRetransmit();
+    static FailureCause classify(const std::exception& error);
 
     const automata::ColoredAutomaton* componentByColor(std::uint64_t k) const;
     std::shared_ptr<mdl::MessageCodec> codecFor(const automata::ColoredAutomaton& a) const;
@@ -134,6 +190,14 @@ private:
     bool sessionActive_ = false;
     SessionRecord liveSession_;
     std::optional<net::EventId> timeoutEvent_;
+
+    // Retransmission state for the current wait. The engine keeps the last
+    // encoded request so a lapsed reply deadline re-sends identical bytes.
+    Rng retryRng_;
+    std::optional<net::EventId> retransmitEvent_;
+    std::optional<Bytes> lastSentPayload_;
+    std::uint64_t lastSentColor_ = 0;
+    int retransmitsUsed_ = 0;
 
     std::vector<SessionRecord> sessions_;
     automata::Trace trace_;

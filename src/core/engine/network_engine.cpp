@@ -7,8 +7,38 @@ namespace starlink::engine {
 
 using automata::Color;
 
-NetworkEngine::NetworkEngine(net::SimNetwork& network, std::string host)
-    : network_(network), host_(std::move(host)) {}
+NetworkEngine::NetworkEngine(net::SimNetwork& network, std::string host, Options options)
+    : network_(network), host_(std::move(host)), options_(options) {}
+
+void NetworkEngine::reportFault(std::uint64_t k, NetworkFault fault, const std::string& detail) {
+    STARLINK_LOG(Warn, "net-engine") << "color " << k << " session fault: " << detail;
+    if (faultHandler_) faultHandler_(k, fault, detail);
+}
+
+/// Wires data/close callbacks on a live connection and makes it the
+/// endpoint's reply path. The close callback only fires for PEER-initiated
+/// closes (our own close() never calls back), and is identity-checked so a
+/// late FIN from a previous session's connection cannot fault the current
+/// one.
+void NetworkEngine::adoptConnection(std::uint64_t k,
+                                    std::shared_ptr<net::TcpConnection> connection,
+                                    const net::Address& peer) {
+    Endpoint& endpoint = endpoints_.at(k);
+    endpoint.tcp = connection;
+    endpoint.peerClosed = false;
+    connection->onData([this, k, peer](const Bytes& data) { tcpDeliver(k, data, peer); });
+    std::weak_ptr<net::TcpConnection> weak = connection;
+    connection->onClose([this, k, weak, peer] {
+        const auto it = endpoints_.find(k);
+        if (it == endpoints_.end()) return;
+        Endpoint& ep = it->second;
+        if (ep.tcp != weak.lock()) return;  // stale: belongs to an earlier session
+        ep.tcp.reset();
+        ep.peerClosed = true;
+        reportFault(k, NetworkFault::PeerClosed,
+                    "tcp peer " + peer.toString() + " closed mid-session");
+    });
+}
 
 void NetworkEngine::attach(std::uint64_t k, const Color& color, bool serverRole) {
     if (endpoints_.contains(k)) return;
@@ -21,12 +51,9 @@ void NetworkEngine::attach(std::uint64_t k, const Color& color, bool serverRole)
         if (!port) throw SpecError("network engine: tcp server color without a port");
         endpoint.listener = network_.listenTcp(host_, static_cast<std::uint16_t>(*port));
         endpoint.listener->onAccept([this, k](std::shared_ptr<net::TcpConnection> connection) {
-            Endpoint& ep = endpoints_.at(k);
-            ep.tcp = connection;  // reply path for this conversation
+            // Reply path for this conversation.
             const net::Address peer = connection->remoteAddress();
-            connection->onData([this, k, peer](const Bytes& data) {
-                if (handler_) handler_(k, data, peer);
-            });
+            adoptConnection(k, std::move(connection), peer);
         });
     } else if (color.transport() == "udp") {
         const auto port = color.port();
@@ -79,17 +106,28 @@ void NetworkEngine::send(std::uint64_t k, const Bytes& payload) {
     // tcp: (re)use one connection per session towards the set_host target or
     // the color's static host/port.
     if (endpoint.tcp && endpoint.tcp->isOpen()) {
-        endpoint.tcp->send(payload);
+        try {
+            endpoint.tcp->send(payload);
+        } catch (const NetError& error) {
+            // The connection raced a peer close; attribute it instead of
+            // leaking a bare NetError through a scheduler callback.
+            endpoint.tcp.reset();
+            endpoint.peerClosed = true;
+            throw PeerClosedError("network engine: tcp color " + std::to_string(k) +
+                                  " lost its peer mid-session: " + error.what());
+        }
         return;
     }
     if (endpoint.serverRole) {
+        if (endpoint.peerClosed) {
+            throw PeerClosedError("network engine: tcp server color " + std::to_string(k) +
+                                  " cannot reply -- peer closed mid-session");
+        }
         throw NetError("network engine: tcp server color " + std::to_string(k) +
                        " has no accepted connection to reply on");
     }
-    if (endpoint.tcpConnecting) {
-        endpoint.tcpBacklog.push_back(payload);
-        return;
-    }
+    endpoint.tcpBacklog.push_back(payload);
+    if (endpoint.tcpConnecting) return;
     net::Address target;
     if (endpoint.hostOverride) {
         target = *endpoint.hostOverride;
@@ -97,29 +135,57 @@ void NetworkEngine::send(std::uint64_t k, const Bytes& payload) {
         const auto host = color.get(automata::keys::host);
         const auto port = color.port();
         if (!host || !port) {
+            endpoint.tcpBacklog.pop_back();
             throw NetError("network engine: tcp color " + std::to_string(k) +
                            " has no target; did the bridge spec forget set_host?");
         }
         target = net::Address{*host, static_cast<std::uint16_t>(*port)};
     }
     endpoint.tcpConnecting = true;
-    endpoint.tcpBacklog.push_back(payload);
+    startConnect(k, target, 1);
+}
+
+void NetworkEngine::startConnect(std::uint64_t k, const net::Address& target, int attempt) {
     network_.connectTcp(host_, target,
-                        [this, k, target](std::shared_ptr<net::TcpConnection> connection) {
+                        [this, k, target, attempt](std::shared_ptr<net::TcpConnection> connection) {
         const auto entry = endpoints_.find(k);
         if (entry == endpoints_.end()) return;
         Endpoint& ep = entry->second;
-        ep.tcpConnecting = false;
         if (!connection) {
-            STARLINK_LOG(Warn, "net-engine")
-                << "tcp connect to " << target.toString() << " refused";
+            if (attempt < options_.connectAttempts) {
+                // Retry with a doubling delay; the backlog stays queued.
+                const net::Duration delay = options_.connectRetryDelay * (1 << (attempt - 1));
+                STARLINK_LOG(Debug, "net-engine")
+                    << "tcp connect to " << target.toString() << " refused (attempt "
+                    << attempt << "/" << options_.connectAttempts << "), retrying";
+                network_.scheduler().schedule(delay, [this, k, target, attempt] {
+                    const auto it = endpoints_.find(k);
+                    if (it == endpoints_.end() || !it->second.tcpConnecting) return;
+                    startConnect(k, target, attempt + 1);
+                });
+                return;
+            }
+            ep.tcpConnecting = false;
             ep.tcpBacklog.clear();
+            reportFault(k, NetworkFault::ConnectRefused,
+                        "tcp connect to " + target.toString() + " refused after " +
+                            std::to_string(attempt) + " attempts");
             return;
         }
-        ep.tcp = connection;
-        connection->onData([this, k, target](const Bytes& data) { tcpDeliver(k, data, target); });
-        for (const Bytes& queued : ep.tcpBacklog) connection->send(queued);
-        ep.tcpBacklog.clear();
+        ep.tcpConnecting = false;
+        adoptConnection(k, connection, target);
+        std::vector<Bytes> backlog;
+        backlog.swap(ep.tcpBacklog);
+        try {
+            for (const Bytes& queued : backlog) connection->send(queued);
+        } catch (const NetError& error) {
+            // Peer accepted then slammed the door before the backlog drained.
+            ep.tcp.reset();
+            ep.peerClosed = true;
+            reportFault(k, NetworkFault::PeerClosed,
+                        "tcp peer " + target.toString() +
+                            " closed while flushing queued sends: " + error.what());
+        }
     });
 }
 
@@ -150,6 +216,7 @@ void NetworkEngine::resetSession() {
         endpoint.hostOverride.reset();
         endpoint.tcpBacklog.clear();
         endpoint.tcpConnecting = false;
+        endpoint.peerClosed = false;
         if (endpoint.tcp) {
             endpoint.tcp->close();
             endpoint.tcp.reset();

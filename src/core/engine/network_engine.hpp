@@ -33,12 +33,31 @@
 
 namespace starlink::engine {
 
+/// Session-fatal transport events the network engine surfaces to the
+/// automata engine (instead of stalling silently or leaking a NetError
+/// through a scheduler callback).
+enum class NetworkFault {
+    ConnectRefused,  ///< tcp connect failed after the bounded retry budget
+    PeerClosed,      ///< the tcp peer closed (or reset) mid-session
+};
+
+struct NetworkEngineOptions {
+    /// Total tcp connect attempts before the failure is terminal.
+    int connectAttempts = 3;
+    /// Delay before the first reconnect attempt; doubles per attempt.
+    net::Duration connectRetryDelay = net::ms(50);
+};
+
 class NetworkEngine {
 public:
     /// colorK, payload, sender address.
     using Handler = std::function<void(std::uint64_t, const Bytes&, const net::Address&)>;
+    /// colorK, what happened, human-readable detail.
+    using FaultHandler = std::function<void(std::uint64_t, NetworkFault, const std::string&)>;
 
-    NetworkEngine(net::SimNetwork& network, std::string host);
+    using Options = NetworkEngineOptions;
+
+    NetworkEngine(net::SimNetwork& network, std::string host, Options options = {});
 
     const std::string& host() const { return host_; }
     net::SimNetwork& network() { return network_; }
@@ -52,6 +71,11 @@ public:
 
     /// Installs the single upcall for every attached color.
     void setHandler(Handler handler) { handler_ = std::move(handler); }
+
+    /// Installs the upcall for session-fatal transport events (terminal
+    /// connect failure, mid-session peer close). Without a handler the
+    /// events are logged and dropped.
+    void setFaultHandler(FaultHandler handler) { faultHandler_ = std::move(handler); }
 
     /// Sends one protocol message with color-k semantics. Throws SpecError
     /// when k is not attached, NetError when a tcp target is missing.
@@ -80,13 +104,20 @@ private:
         std::shared_ptr<net::TcpConnection> tcp;
         std::vector<Bytes> tcpBacklog;              // sends queued while connecting
         bool tcpConnecting = false;
+        bool peerClosed = false;                    // peer vanished this session
     };
 
     void tcpDeliver(std::uint64_t k, const Bytes& payload, const net::Address& from);
+    void startConnect(std::uint64_t k, const net::Address& target, int attempt);
+    void adoptConnection(std::uint64_t k, std::shared_ptr<net::TcpConnection> connection,
+                         const net::Address& peer);
+    void reportFault(std::uint64_t k, NetworkFault fault, const std::string& detail);
 
     net::SimNetwork& network_;
     std::string host_;
+    Options options_;
     Handler handler_;
+    FaultHandler faultHandler_;
     std::map<std::uint64_t, Endpoint> endpoints_;
 };
 

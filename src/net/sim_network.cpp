@@ -1,5 +1,7 @@
 #include "net/sim_network.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/strings.hpp"
 
@@ -56,6 +58,12 @@ void TcpConnection::close() {
     if (!open_) return;
     open_ = false;
     net_.tcpClose(*this);
+    // Handlers commonly capture a shared_ptr to this connection; a closed
+    // connection never fires them again, so drop them to break the cycle.
+    // (Invocation sites call through a copy, so a handler that closes its
+    // own connection never destroys the closure it is executing.)
+    dataHandler_ = nullptr;
+    closeHandler_ = nullptr;
 }
 
 // ---------------------------------------------------------------------------
@@ -71,6 +79,81 @@ std::pair<std::string, std::string> linkKey(const std::string& a, const std::str
     return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
 }
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// FaultSchedule
+
+FaultSchedule& FaultSchedule::lossBurst(TimePoint start, Duration length, double probability,
+                                        std::string host) {
+    FaultEpisode episode;
+    episode.kind = FaultEpisode::Kind::LossBurst;
+    episode.start = start;
+    episode.length = length;
+    episode.lossProbability = probability;
+    episode.host = std::move(host);
+    return add(std::move(episode));
+}
+
+FaultSchedule& FaultSchedule::latencySpike(TimePoint start, Duration length, Duration extra,
+                                           std::string host) {
+    FaultEpisode episode;
+    episode.kind = FaultEpisode::Kind::LatencySpike;
+    episode.start = start;
+    episode.length = length;
+    episode.extraLatency = extra;
+    episode.host = std::move(host);
+    return add(std::move(episode));
+}
+
+FaultSchedule& FaultSchedule::partition(TimePoint start, Duration length, std::string host) {
+    FaultEpisode episode;
+    episode.kind = FaultEpisode::Kind::Partition;
+    episode.start = start;
+    episode.length = length;
+    episode.host = std::move(host);
+    return add(std::move(episode));
+}
+
+FaultSchedule& FaultSchedule::blackhole(TimePoint start, Duration length, std::string host) {
+    FaultEpisode episode;
+    episode.kind = FaultEpisode::Kind::ConnectBlackhole;
+    episode.start = start;
+    episode.length = length;
+    episode.host = std::move(host);
+    return add(std::move(episode));
+}
+
+FaultSchedule FaultSchedule::chaos(std::uint64_t seed, Duration horizon,
+                                   const std::vector<std::string>& hosts) {
+    Rng rng(seed);
+    FaultSchedule out;
+    const std::int64_t horizonUs = horizon.count();
+    if (horizonUs <= 0) return out;
+    const int episodes = static_cast<int>(6 + rng.range(0, 6));
+    for (int i = 0; i < episodes; ++i) {
+        const TimePoint start = TimePoint{} + us(rng.range(0, horizonUs));
+        const Duration length = us(rng.range(horizonUs / 100 + 1, horizonUs / 10 + 1));
+        const std::string host =
+            hosts.empty() ? std::string{}
+                          : hosts[static_cast<std::size_t>(
+                                rng.range(0, static_cast<std::int64_t>(hosts.size()) - 1))];
+        switch (rng.range(0, 3)) {
+            case 0:
+                out.lossBurst(start, length, 0.5 + rng.uniform() * 0.5, host);
+                break;
+            case 1:
+                out.latencySpike(start, length, ms(rng.range(50, 500)), host);
+                break;
+            case 2:
+                out.partition(start, length, host);
+                break;
+            default:
+                out.blackhole(start, length, host);
+                break;
+        }
+    }
+    return out;
+}
 
 void SimNetwork::setLinkLatency(const std::string& hostA, const std::string& hostB,
                                 const LatencyModel& model) {
@@ -96,11 +179,46 @@ Duration SimNetwork::sampleLatency(const std::string& from, const std::string& t
     const LatencyModel& model = modelFor(from, to);
     const auto jitterUs = model.jitter.count();
     const Duration jitter = jitterUs > 0 ? us(rng_.range(0, jitterUs)) : us(0);
-    return model.base + jitter;
+    return model.base + jitter + faultExtraLatency(from, to);
 }
 
 bool SimNetwork::pathUp(const std::string& a, const std::string& b) const {
-    return !partitioned_.contains(a) && !partitioned_.contains(b);
+    if (partitioned_.contains(a) || partitioned_.contains(b)) return false;
+    const TimePoint t = now();
+    for (const FaultEpisode& episode : faults_.episodes()) {
+        if (episode.kind != FaultEpisode::Kind::Partition || !episode.activeAt(t)) continue;
+        if (episode.covers(a) || episode.covers(b)) return false;
+    }
+    return true;
+}
+
+double SimNetwork::effectiveLoss(const std::string& a, const std::string& b) const {
+    double loss = modelFor(a, b).lossProbability;
+    const TimePoint t = now();
+    for (const FaultEpisode& episode : faults_.episodes()) {
+        if (episode.kind != FaultEpisode::Kind::LossBurst || !episode.activeAt(t)) continue;
+        if (episode.covers(a) || episode.covers(b)) loss = std::max(loss, episode.lossProbability);
+    }
+    return loss;
+}
+
+Duration SimNetwork::faultExtraLatency(const std::string& a, const std::string& b) const {
+    Duration extra = us(0);
+    const TimePoint t = now();
+    for (const FaultEpisode& episode : faults_.episodes()) {
+        if (episode.kind != FaultEpisode::Kind::LatencySpike || !episode.activeAt(t)) continue;
+        if (episode.covers(a) || episode.covers(b)) extra += episode.extraLatency;
+    }
+    return extra;
+}
+
+bool SimNetwork::faultBlackholed(const std::string& host) const {
+    const TimePoint t = now();
+    for (const FaultEpisode& episode : faults_.episodes()) {
+        if (episode.kind != FaultEpisode::Kind::ConnectBlackhole || !episode.activeAt(t)) continue;
+        if (episode.covers(host)) return true;
+    }
+    return false;
 }
 
 std::uint16_t SimNetwork::ephemeralPort(const std::string& host) {
@@ -159,12 +277,12 @@ void SimNetwork::udpSend(UdpSocket& from, const Address& dest, const Bytes& payl
 
     for (UdpSocket* recipient : recipients) {
         if (!pathUp(source.host, recipient->localAddress().host)) {
-            ++datagramsDropped_;
+            ++partitionDrops_;
             continue;
         }
-        const double loss = modelFor(source.host, recipient->localAddress().host).lossProbability;
+        const double loss = effectiveLoss(source.host, recipient->localAddress().host);
         if (loss > 0.0 && rng_.chance(loss)) {
-            ++datagramsDropped_;
+            ++lossDrops_;
             continue;
         }
         const Address target = recipient->localAddress();
@@ -194,7 +312,9 @@ void SimNetwork::connectTcp(const std::string& host, const Address& dest,
     scheduler_.schedule(sampleLatency(host, dest.host),
                         [this, host, dest, onResult = std::move(onResult)] {
         const auto it = tcpBindings_.find(dest);
-        if (it == tcpBindings_.end() || !pathUp(host, dest.host)) {
+        if (it == tcpBindings_.end() || !pathUp(host, dest.host) || faultBlackholed(host) ||
+            faultBlackholed(dest.host)) {
+            ++connectsRefused_;
             onResult(nullptr);
             return;
         }
@@ -219,7 +339,9 @@ void SimNetwork::tcpSend(TcpConnection& from, const Bytes& payload) {
     if (deliverAt < peer->earliestDelivery_) deliverAt = peer->earliestDelivery_;
     peer->earliestDelivery_ = deliverAt;  // ties keep insertion order in the scheduler
     scheduler_.scheduleAt(deliverAt, [peer, payload] {
-        if (peer->open_ && peer->dataHandler_) peer->dataHandler_(payload);
+        if (!peer->open_) return;
+        const auto handler = peer->dataHandler_;  // copy: handler may close() the connection
+        if (handler) handler(payload);
     });
 }
 
@@ -241,8 +363,19 @@ void SimNetwork::tcpClose(TcpConnection& from) {
         aliveTcp_.erase(peer);
         if (!peer->open_) return;
         peer->open_ = false;
-        if (peer->closeHandler_) peer->closeHandler_();
+        const auto handler = peer->closeHandler_;
+        peer->dataHandler_ = nullptr;  // break handler -> shared_ptr -> connection cycles
+        peer->closeHandler_ = nullptr;
+        if (handler) handler();
     });
+}
+
+SimNetwork::~SimNetwork() {
+    for (const auto& connection : aliveTcp_) {
+        connection->open_ = false;
+        connection->dataHandler_ = nullptr;
+        connection->closeHandler_ = nullptr;
+    }
 }
 
 void SimNetwork::partitionHost(const std::string& host) { partitioned_.insert(host); }

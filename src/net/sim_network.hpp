@@ -55,6 +55,59 @@ struct LatencyModel {
     double lossProbability = 0.0;
 };
 
+/// One time-windowed fault over virtual time. Episodes compose with the
+/// steady-state LatencyModel: a loss burst raises the effective loss
+/// probability, a latency spike adds to every sampled latency, a partition
+/// cuts the host exactly like partitionHost() for the window, and a connect
+/// blackhole refuses every tcp connect touching the host.
+struct FaultEpisode {
+    enum class Kind { LossBurst, LatencySpike, Partition, ConnectBlackhole };
+
+    Kind kind = Kind::LossBurst;
+    TimePoint start{};
+    Duration length = us(0);
+    /// Affected host; empty string = every host.
+    std::string host;
+    /// LossBurst only: loss probability applied while the episode is active
+    /// (composed with the steady-state model by taking the maximum).
+    double lossProbability = 1.0;
+    /// LatencySpike only: added to each latency sample touching `host`.
+    Duration extraLatency = us(0);
+
+    bool activeAt(TimePoint now) const { return now >= start && now < start + length; }
+    bool covers(const std::string& h) const { return host.empty() || host == h; }
+};
+
+/// A declarative chaos plan: a set of fault episodes applied over virtual
+/// time. Combined with the seeded Rng of the network and the scheduler's
+/// deterministic ordering, an identical (seed, schedule) pair reproduces an
+/// identical run, event for event.
+class FaultSchedule {
+public:
+    FaultSchedule& add(FaultEpisode episode) {
+        episodes_.push_back(std::move(episode));
+        return *this;
+    }
+    FaultSchedule& lossBurst(TimePoint start, Duration length, double probability,
+                             std::string host = "");
+    FaultSchedule& latencySpike(TimePoint start, Duration length, Duration extra,
+                                std::string host = "");
+    FaultSchedule& partition(TimePoint start, Duration length, std::string host);
+    FaultSchedule& blackhole(TimePoint start, Duration length, std::string host);
+
+    const std::vector<FaultEpisode>& episodes() const { return episodes_; }
+    bool empty() const { return episodes_.empty(); }
+
+    /// Generates a random chaos plan over [0, horizon): loss bursts, latency
+    /// spikes, partition flaps and connect blackholes against the given
+    /// hosts. Fully determined by the seed.
+    static FaultSchedule chaos(std::uint64_t seed, Duration horizon,
+                               const std::vector<std::string>& hosts);
+
+private:
+    std::vector<FaultEpisode> episodes_;
+};
+
 class SimNetwork;
 
 /// A bound UDP socket. Obtained from SimNetwork::openUdp(); closing happens
@@ -156,6 +209,12 @@ public:
     SimNetwork(EventScheduler& scheduler, std::uint64_t seed = 42)
         : scheduler_(scheduler), rng_(seed) {}
 
+    /// Tears down connections still open when the fabric dies: marks them
+    /// closed (so late close() calls on user-held handles are no-ops) and
+    /// drops their handlers, which commonly capture shared_ptrs back to the
+    /// connection and would otherwise keep the pair alive as a cycle.
+    ~SimNetwork();
+
     EventScheduler& scheduler() { return scheduler_; }
     TimePoint now() const { return scheduler_.clock().now(); }
 
@@ -188,9 +247,22 @@ public:
     void healHost(const std::string& host);
     bool isPartitioned(const std::string& host) const;
 
+    /// Installs (replaces) the declarative fault schedule; episodes apply to
+    /// traffic whose send/connect time falls inside their window.
+    void setFaultSchedule(FaultSchedule schedule) { faults_ = std::move(schedule); }
+    void clearFaultSchedule() { faults_ = FaultSchedule{}; }
+    const FaultSchedule& faultSchedule() const { return faults_; }
+
     // -- introspection (tests) ----------------------------------------------
     std::size_t datagramsSent() const { return datagramsSent_; }
-    std::size_t datagramsDropped() const { return datagramsDropped_; }
+    /// All drops, whatever the cause (loss + partition/blackhole).
+    std::size_t datagramsDropped() const { return lossDrops_ + partitionDrops_; }
+    /// Drops from random loss (steady-state model or a loss-burst episode).
+    std::size_t datagramsLost() const { return lossDrops_; }
+    /// Drops because a partition (explicit or scheduled) cut the path.
+    std::size_t partitionDrops() const { return partitionDrops_; }
+    /// Tcp connects refused: nobody listening, partition, or blackhole.
+    std::size_t connectsRefused() const { return connectsRefused_; }
 
 private:
     friend class UdpSocket;
@@ -201,6 +273,9 @@ private:
     Duration sampleLatency(const std::string& from, const std::string& to);
     const LatencyModel& modelFor(const std::string& from, const std::string& to) const;
     bool pathUp(const std::string& a, const std::string& b) const;
+    double effectiveLoss(const std::string& a, const std::string& b) const;
+    Duration faultExtraLatency(const std::string& a, const std::string& b) const;
+    bool faultBlackholed(const std::string& host) const;
     std::uint16_t ephemeralPort(const std::string& host);
 
     void udpUnbind(UdpSocket* socket);
@@ -224,9 +299,12 @@ private:
     std::set<std::shared_ptr<TcpConnection>> aliveTcp_;
     std::map<std::string, std::uint16_t> nextEphemeral_;
     std::set<std::string> partitioned_;
+    FaultSchedule faults_;
 
     std::size_t datagramsSent_ = 0;
-    std::size_t datagramsDropped_ = 0;
+    std::size_t lossDrops_ = 0;
+    std::size_t partitionDrops_ = 0;
+    std::size_t connectsRefused_ = 0;
 };
 
 }  // namespace starlink::net

@@ -56,11 +56,24 @@ void Resolver::browse(const std::string& serviceName, Callback callback) {
     callback_ = std::move(callback);
     collected_.clear();
     sentAt_ = network_.now();
-    socket_->sendTo(net::Address{kGroup, kPort}, encode(makeQuestion(id, serviceName)));
+    lastQuestion_ = encode(makeQuestion(id, serviceName));
+    socket_->sendTo(net::Address{kGroup, kPort}, lastQuestion_);
+    scheduleResend();
 
     timeoutEvent_ = network_.scheduler().schedule(config_.timeout, [this] {
         timeoutEvent_.reset();
         report();
+    });
+}
+
+void Resolver::scheduleResend() {
+    if (config_.retransmitInterval.count() <= 0) return;
+    resendEvent_ = network_.scheduler().schedule(config_.retransmitInterval, [this] {
+        resendEvent_.reset();
+        // Re-query only while the browse is still unanswered.
+        if (!pendingId_ || !collected_.empty()) return;
+        socket_->sendTo(net::Address{kGroup, kPort}, lastQuestion_);
+        scheduleResend();
     });
 }
 
@@ -79,6 +92,10 @@ void Resolver::onDatagram(const Bytes& payload, const net::Address&) {
             network_.scheduler().cancel(*timeoutEvent_);
             timeoutEvent_.reset();
         }
+        if (resendEvent_) {
+            network_.scheduler().cancel(*resendEvent_);
+            resendEvent_.reset();
+        }
         const auto jitterUs = config_.aggregationJitter.count();
         const net::Duration window =
             config_.aggregationBase +
@@ -89,6 +106,10 @@ void Resolver::onDatagram(const Bytes& payload, const net::Address&) {
 
 void Resolver::report() {
     if (!pendingId_) return;
+    if (resendEvent_) {
+        network_.scheduler().cancel(*resendEvent_);
+        resendEvent_.reset();
+    }
     Result result;
     result.urls = std::move(collected_);
     collected_.clear();

@@ -61,6 +61,10 @@ public:
         net::Duration aggregationJitter = net::ms(40);
         /// Give up when NOTHING answers within this bound.
         net::Duration timeout = net::ms(15000);
+        /// Re-ask the question every interval until the first answer lands
+        /// (mDNS queriers re-query with increasing intervals, RFC 6762
+        /// section 5.2). 0 = never retransmit (default).
+        net::Duration retransmitInterval = net::ms(0);
         std::uint64_t seed = 13;
     };
 
@@ -88,8 +92,12 @@ private:
     net::TimePoint sentAt_{};
     std::vector<std::string> collected_;
     std::optional<net::EventId> timeoutEvent_;
+    std::optional<net::EventId> resendEvent_;
+    Bytes lastQuestion_;
     Callback callback_;
     std::uint16_t nextId_ = 0x2000;
+
+    void scheduleResend();
 };
 
 }  // namespace starlink::mdns

@@ -80,7 +80,9 @@ void UserAgent::lookup(const std::string& serviceType, Callback callback) {
     pendingXid_ = request.xid;
     callback_ = std::move(callback);
     sentAt_ = network_.now();
-    socket_->sendTo(net::Address{kGroup, kPort}, encode(request));
+    lastRequest_ = encode(request);
+    socket_->sendTo(net::Address{kGroup, kPort}, lastRequest_);
+    scheduleResend();
 
     timeoutEvent_ = network_.scheduler().schedule(config_.timeout, [this] {
         timeoutEvent_.reset();
@@ -105,8 +107,22 @@ void UserAgent::onDatagram(const Bytes& payload, const net::Address&) {
     finish(std::move(result));
 }
 
+void UserAgent::scheduleResend() {
+    if (config_.retransmitInterval.count() <= 0) return;
+    resendEvent_ = network_.scheduler().schedule(config_.retransmitInterval, [this] {
+        resendEvent_.reset();
+        if (!pendingXid_) return;
+        socket_->sendTo(net::Address{kGroup, kPort}, lastRequest_);
+        scheduleResend();
+    });
+}
+
 void UserAgent::finish(Result result) {
     pendingXid_.reset();
+    if (resendEvent_) {
+        network_.scheduler().cancel(*resendEvent_);
+        resendEvent_.reset();
+    }
     Callback callback = std::move(callback_);
     callback_ = nullptr;
     if (callback) callback(result);

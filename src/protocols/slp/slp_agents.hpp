@@ -63,6 +63,10 @@ public:
         /// Give up if nothing answers within this window (OpenSLP's default
         /// multicast wait is 15 s).
         net::Duration timeout = net::ms(15000);
+        /// Re-multicast the pending SrvRqst every interval until a reply
+        /// lands (OpenSLP paces multicast convergence the same way).
+        /// 0 = never retransmit (the default keeps runs byte-identical).
+        net::Duration retransmitInterval = net::ms(0);
     };
 
     struct Result {
@@ -90,7 +94,11 @@ private:
     std::optional<std::uint16_t> pendingXid_;
     net::TimePoint sentAt_{};
     std::optional<net::EventId> timeoutEvent_;
+    std::optional<net::EventId> resendEvent_;
+    Bytes lastRequest_;
     Callback callback_;
+
+    void scheduleResend();
 };
 
 }  // namespace starlink::slp

@@ -87,7 +87,9 @@ void ControlPoint::search(const std::string& st, Callback callback) {
 
     MSearch search;
     search.st = st;
-    socket_->sendTo(net::Address{kGroup, kPort}, encode(search));
+    lastSearch_ = encode(search);
+    socket_->sendTo(net::Address{kGroup, kPort}, lastSearch_);
+    scheduleResend();
 
     const auto jitterUs = config_.mxWindowJitter.count();
     const net::Duration window =
@@ -113,12 +115,27 @@ void ControlPoint::onDatagram(const Bytes& payload, const net::Address&) {
     if (windowExpired_) windowClosed();
 }
 
+void ControlPoint::scheduleResend() {
+    if (config_.retransmitInterval.count() <= 0) return;
+    resendEvent_ = network_.scheduler().schedule(config_.retransmitInterval, [this] {
+        resendEvent_.reset();
+        // Keep searching only while no device has answered at all.
+        if (!searching_ || fetching_ || !collected_.empty()) return;
+        socket_->sendTo(net::Address{kGroup, kPort}, lastSearch_);
+        scheduleResend();
+    });
+}
+
 void ControlPoint::finish(Result result) {
     searching_ = false;
     fetching_ = false;
     if (timeoutEvent_) {
         network_.scheduler().cancel(*timeoutEvent_);
         timeoutEvent_.reset();
+    }
+    if (resendEvent_) {
+        network_.scheduler().cancel(*resendEvent_);
+        resendEvent_.reset();
     }
     Callback cb = std::move(callback_);
     callback_ = nullptr;

@@ -73,6 +73,10 @@ public:
         /// the response time" -- paper section VI). A non-zero timeout
         /// bounds that wait for fault-injection tests; 0 = unbounded.
         net::Duration timeout = net::ms(0);
+        /// Re-multicast the M-SEARCH every interval while no device has
+        /// answered (UPnP 1.1 recommends sending the search more than once).
+        /// 0 = never retransmit (default).
+        net::Duration retransmitInterval = net::ms(0);
         std::uint64_t seed = 23;
     };
 
@@ -104,7 +108,11 @@ private:
     net::TimePoint sentAt_{};
     std::vector<Response> collected_;
     std::optional<net::EventId> timeoutEvent_;
+    std::optional<net::EventId> resendEvent_;
+    Bytes lastSearch_;
     Callback callback_;
+
+    void scheduleResend();
 };
 
 /// Pulls the URLBase element out of a device description document.

@@ -8,6 +8,10 @@
 //                                       deploy a bridge FROM MODEL FILES and run
 //                                       the SLP-client / Bonjour-service demo
 //   starlinkd dot <case>                print the case's merged automaton as GraphViz
+//   starlinkd chaos <case> [loss] [seed]
+//                                       run the case under per-hop loss plus a
+//                                       seeded FaultSchedule and report every
+//                                       bridge session's outcome and cause
 //
 // The demo topology is always: legacy client at 10.0.0.1, legacy service at
 // 10.0.0.3, bridge at 10.0.0.9, on the simulated network over virtual time.
@@ -39,6 +43,7 @@ int usage() {
                  "       starlinkd demo-files <served.mdl> <served.automaton> "
                  "<queried.mdl> <queried.automaton> <bridge.xml>\n"
                  "       starlinkd dot <case>\n"
+                 "       starlinkd chaos <case> [loss] [seed]\n"
                  "cases: slp-to-upnp slp-to-bonjour upnp-to-slp upnp-to-bonjour "
                  "bonjour-to-upnp bonjour-to-slp\n";
     return 2;
@@ -211,6 +216,132 @@ int cmdDemoFiles(char** argv) {
     return runDemo(spec, Case::SlpToBonjour);
 }
 
+/// Drives one case over a hostile network: steady per-hop loss plus a seeded
+/// chaos FaultSchedule (loss bursts, latency spikes, partition flaps, connect
+/// blackholes). Prints every bridge session's outcome with its structured
+/// failure cause and the network's drop accounting. Succeeds when at least
+/// one lookup discovers the service AND the connector never wedged (it is
+/// back at its initial state at the end).
+int cmdChaos(const std::string& caseName, double loss, std::uint64_t seed) {
+    const auto parsed = parseCase(caseName);
+    if (!parsed) return usage();
+    const Case c = *parsed;
+    constexpr int kLookups = 10;
+    const net::Duration kHorizon = net::ms(60000);
+
+    net::VirtualClock clock;
+    net::EventScheduler scheduler(clock);
+    net::SimNetwork network(scheduler, seed);
+    network.latency().lossProbability = loss;
+    network.setFaultSchedule(net::FaultSchedule::chaos(
+        seed, kHorizon, {"10.0.0.1", "10.0.0.3", "10.0.0.9"}));
+
+    bridge::Starlink starlink(network);
+    engine::EngineOptions options;
+    options.receiveTimeout = net::ms(7000);
+    options.maxRetransmits = 5;
+    options.retransmitBackoff = 1.5;
+    options.retransmitJitter = net::ms(100);
+    options.sessionTimeout = net::ms(30000);
+    auto& deployed = starlink.deploy(bridge::models::forCase(c, "10.0.0.9"), "10.0.0.9", options);
+    std::cout << "deployed bridge '" << deployed.engine().merged().name()
+              << "' under chaos (loss " << loss << ", seed " << seed << ", "
+              << network.faultSchedule().episodes().size() << " fault episodes)\n";
+
+    std::optional<slp::ServiceAgent> slpService;
+    std::optional<mdns::Responder> mdnsService;
+    std::optional<ssdp::Device> upnpService;
+    switch (c) {
+        case Case::UpnpToSlp:
+        case Case::BonjourToSlp:
+            slpService.emplace(network, slp::ServiceAgent::Config{});
+            break;
+        case Case::SlpToBonjour:
+        case Case::UpnpToBonjour:
+            mdnsService.emplace(network, mdns::Responder::Config{});
+            break;
+        case Case::SlpToUpnp:
+        case Case::BonjourToUpnp:
+            upnpService.emplace(network, ssdp::Device::Config{});
+            break;
+    }
+
+    std::optional<slp::UserAgent> slpClient;
+    std::optional<mdns::Resolver> mdnsClient;
+    std::optional<ssdp::ControlPoint> upnpClient;
+    const net::Duration clientResend = net::ms(8000);
+    const net::Duration clientTimeout = net::ms(120000);
+    int successes = 0;
+    for (int i = 0; i < kLookups; ++i) {
+        bool success = false;
+        switch (c) {
+            case Case::SlpToUpnp:
+            case Case::SlpToBonjour: {
+                if (!slpClient) {
+                    slp::UserAgent::Config config;
+                    config.timeout = clientTimeout;
+                    config.retransmitInterval = clientResend;
+                    slpClient.emplace(network, config);
+                }
+                slpClient->lookup("service:printer",
+                                  [&success](const slp::UserAgent::Result& r) {
+                                      success = !r.urls.empty();
+                                  });
+                break;
+            }
+            case Case::UpnpToSlp:
+            case Case::UpnpToBonjour: {
+                if (!upnpClient) {
+                    ssdp::ControlPoint::Config config;
+                    config.timeout = clientTimeout;
+                    config.retransmitInterval = clientResend;
+                    upnpClient.emplace(network, config);
+                }
+                upnpClient->search("urn:schemas-upnp-org:service:printer:1",
+                                   [&success](const ssdp::ControlPoint::Result& r) {
+                                       success = !r.urls.empty();
+                                   });
+                break;
+            }
+            case Case::BonjourToUpnp:
+            case Case::BonjourToSlp: {
+                if (!mdnsClient) {
+                    mdns::Resolver::Config config;
+                    config.timeout = clientTimeout;
+                    config.retransmitInterval = clientResend;
+                    mdnsClient.emplace(network, config);
+                }
+                mdnsClient->browse("_printer._tcp.local",
+                                   [&success](const mdns::Resolver::Result& r) {
+                                       success = !r.urls.empty();
+                                   });
+                break;
+            }
+        }
+        scheduler.runUntilIdle(2000000);
+        if (success) ++successes;
+    }
+
+    for (const auto& session : deployed.engine().sessions()) {
+        std::cout << "session: " << (session.completed ? "completed" : "ABORTED ") << " cause="
+                  << engine::failureCauseName(session.cause) << " retransmits="
+                  << session.retransmits << " in/out=" << session.messagesIn << "/"
+                  << session.messagesOut << " translation="
+                  << std::chrono::duration_cast<std::chrono::milliseconds>(
+                         session.translationTime())
+                         .count()
+                  << " ms\n";
+    }
+    std::cout << "lookups: " << successes << "/" << kLookups << " discovered\n";
+    std::cout << "network: " << network.datagramsSent() << " datagrams sent, "
+              << network.datagramsLost() << " lost, " << network.partitionDrops()
+              << " partition drops, " << network.connectsRefused() << " connects refused\n";
+    const bool connectorHealthy =
+        deployed.engine().currentState() == deployed.engine().merged().initialState();
+    std::cout << "connector: " << (connectorHealthy ? "re-armed at q0" : "WEDGED") << "\n";
+    return successes > 0 && connectorHealthy ? 0 : 1;
+}
+
 int cmdDot(const std::string& caseName) {
     const auto c = parseCase(caseName);
     if (!c) return usage();
@@ -237,6 +368,23 @@ int main(int argc, char** argv) {
             if (command == "demo" && argc == 3) return cmdDemo(argv[2]);
             if (command == "demo-files" && argc == 7) return cmdDemoFiles(argv + 2);
             if (command == "dot" && argc == 3) return cmdDot(argv[2]);
+            if (command == "chaos" && argc >= 3 && argc <= 5) {
+                double loss = 0.25;
+                std::uint64_t seed = 42;
+                try {
+                    if (argc > 3) loss = std::stod(argv[3]);
+                    if (argc > 4) seed = std::stoull(argv[4]);
+                } catch (const std::exception&) {
+                    std::cerr << "starlinkd: chaos expects a numeric loss "
+                                 "probability and seed\n";
+                    return usage();
+                }
+                if (loss < 0.0 || loss > 1.0) {
+                    std::cerr << "starlinkd: loss probability must be in [0, 1]\n";
+                    return usage();
+                }
+                return cmdChaos(argv[2], loss, seed);
+            }
         }
         return usage();
     } catch (const std::exception& error) {
