@@ -8,6 +8,7 @@
 // SLP service response, exactly as the paper observes ("the cost of
 // translation is bounded by the response of the legacy protocols").
 #include <cstdio>
+#include <cstring>
 #include <optional>
 #include <vector>
 
@@ -90,7 +91,11 @@ bench::Summary benchCase(Case c, std::size_t* specLines) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) json = true;
+    }
     std::printf("Fig 12(b): Translation times of Starlink connectors\n");
     std::printf("(%d bridged lookups per case, virtual-time milliseconds)\n\n", kRepetitions);
     std::printf("%-18s %8s %8s %8s\n", "Case", "Min", "Median", "Max");
@@ -133,6 +138,15 @@ int main() {
     for (const Case c : bridge::models::kAllCases) {
         std::printf("  %-18s %3zu lines of bridge XML\n", bridge::models::caseName(c),
                     specLines[i++]);
+    }
+
+    if (json) {
+        std::vector<bench::JsonRow> rows;
+        i = 0;
+        for (const Case c : bridge::models::kAllCases) {
+            rows.push_back({bridge::models::caseName(c), results[i++]});
+        }
+        if (!bench::writeJson("BENCH_fig12b.json", "fig12b_starlink", "ms", rows)) return 1;
     }
 
     // Shape checks: every case completes all sessions; the ->SLP cases are

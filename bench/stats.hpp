@@ -1,9 +1,12 @@
 // Tiny shared helpers for the table harnesses: min/median/max over repeated
-// virtual-time measurements, matching the paper's reporting.
+// virtual-time measurements, matching the paper's reporting, plus the JSON
+// emitter behind every harness's --json flag (consumed by
+// tools/bench_compare.py and the CI bench-micro job).
 #pragma once
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "net/clock.hpp"
@@ -35,6 +38,39 @@ inline Summary summarize(std::vector<double> ms) {
 inline void printRow(const char* label, const Summary& s, const char* paper) {
     std::printf("%-18s %8.0f %8.0f %8.0f   | paper: %s\n", label, s.minMs, s.medianMs, s.maxMs,
                 paper);
+}
+
+/// One named measurement in a --json dump. The unit is whatever the harness
+/// measured (BENCH_fig12b.json: virtual ms; BENCH_codec.json: wall us/op) --
+/// the Summary field names stay "Ms" for the printRow helpers either way.
+struct JsonRow {
+    std::string name;
+    Summary summary;
+};
+
+/// Writes `{"bench": ..., "unit": ..., "rows": [...]}` to `path`. Returns
+/// false (after perror) when the file cannot be written.
+inline bool writeJson(const std::string& path, const std::string& bench, const std::string& unit,
+                      const std::vector<JsonRow>& rows) {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+        std::perror(path.c_str());
+        return false;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"unit\": \"%s\",\n  \"rows\": [\n",
+                 bench.c_str(), unit.c_str());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Summary& s = rows[i].summary;
+        std::fprintf(out,
+                     "    {\"name\": \"%s\", \"min\": %.6g, \"median\": %.6g, \"max\": %.6g, "
+                     "\"samples\": %zu}%s\n",
+                     rows[i].name.c_str(), s.minMs, s.medianMs, s.maxMs, s.samples,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
 }
 
 }  // namespace starlink::bench

@@ -99,4 +99,11 @@ std::string join(const std::vector<std::string>& pieces, std::string_view sep) {
     return out;
 }
 
+std::optional<std::string> findHeader(const HeaderList& headers, std::string_view name) {
+    for (const auto& [key, value] : headers) {
+        if (iequals(key, name)) return value;
+    }
+    return std::nullopt;
+}
+
 }  // namespace starlink

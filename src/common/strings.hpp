@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace starlink {
@@ -36,5 +37,14 @@ std::optional<long long> parseInt(std::string_view s);
 
 /// Joins pieces with a separator.
 std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// A parsed "Name: value" header list, original casing preserved.
+using HeaderList = std::vector<std::pair<std::string, std::string>>;
+
+/// First value whose name matches case-insensitively (RFC 9110: field names
+/// are case-insensitive); nullopt when absent. THE header lookup -- every
+/// text-protocol stack (HTTP, SSDP) goes through this one helper so case
+/// handling cannot drift between codecs.
+std::optional<std::string> findHeader(const HeaderList& headers, std::string_view name);
 
 }  // namespace starlink

@@ -34,6 +34,14 @@ void ColoredAutomaton::setInitial(const std::string& id) {
 void ColoredAutomaton::addTransition(const std::string& from, Action action,
                                      const std::string& messageType, const std::string& to) {
     transitions_.push_back(Transition{from, to, action, messageType});
+    indexDirty_ = true;  // pointers into transitions_ may have moved
+}
+
+void ColoredAutomaton::rebuildDispatchIndex() const {
+    fromIndex_.clear();
+    fromIndex_.reserve(states_.size());
+    for (const Transition& t : transitions_) fromIndex_[t.from].push_back(&t);
+    indexDirty_ = false;
 }
 
 const State* ColoredAutomaton::state(const std::string& id) const {
@@ -61,18 +69,21 @@ std::vector<std::string> ColoredAutomaton::acceptingStates() const {
     return out;
 }
 
-std::vector<const Transition*> ColoredAutomaton::transitionsFrom(const std::string& from) const {
-    std::vector<const Transition*> out;
-    for (const Transition& t : transitions_) {
-        if (t.from == from) out.push_back(&t);
-    }
-    return out;
+const std::vector<const Transition*>& ColoredAutomaton::transitionsFrom(
+    const std::string& from) const {
+    static const std::vector<const Transition*> kEmpty;
+    if (indexDirty_) rebuildDispatchIndex();
+    const auto it = fromIndex_.find(from);
+    return it == fromIndex_.end() ? kEmpty : it->second;
 }
 
 const Transition* ColoredAutomaton::transitionFor(const std::string& from, Action action,
                                                   const std::string& messageType) const {
-    for (const Transition& t : transitions_) {
-        if (t.from == from && t.action == action && t.messageType == messageType) return &t;
+    // Validated automata are deterministic per (from, action, type), so the
+    // per-state candidate list is short; one hash probe replaces the scan of
+    // every transition in the automaton.
+    for (const Transition* t : transitionsFrom(from)) {
+        if (t->action == action && t->messageType == messageType) return t;
     }
     return nullptr;
 }

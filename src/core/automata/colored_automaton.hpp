@@ -15,6 +15,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/automata/color.hpp"
@@ -90,8 +91,10 @@ public:
     std::vector<std::string> acceptingStates() const;
     const std::vector<Transition>& transitions() const { return transitions_; }
 
-    /// Transitions leaving `from`.
-    std::vector<const Transition*> transitionsFrom(const std::string& from) const;
+    /// Transitions leaving `from`. Served from a per-state dispatch index
+    /// built lazily after the last addTransition; the reference stays valid
+    /// until the automaton is mutated.
+    const std::vector<const Transition*>& transitionsFrom(const std::string& from) const;
 
     /// The unique transition leaving `from` on (action, messageType), or
     /// nullptr.
@@ -116,11 +119,22 @@ public:
     void reset();
 
 private:
+    /// (Re)builds the per-state dispatch index when dirty. Engines query the
+    /// automaton far more often than builders mutate it, so the index is
+    /// rebuilt at most once per burst of addTransition calls; Transition
+    /// pointers in the index stay valid until the next mutation.
+    void rebuildDispatchIndex() const;
+
     std::string name_;
     std::string initial_;
     std::map<std::string, State> states_;
     std::vector<std::string> stateOrder_;
     std::vector<Transition> transitions_;
+
+    // Lazily-built dispatch index: state id -> transitions leaving it, in
+    // insertion order (so indexed dispatch preserves linear-scan semantics).
+    mutable std::unordered_map<std::string, std::vector<const Transition*>> fromIndex_;
+    mutable bool indexDirty_ = true;
 };
 
 }  // namespace starlink::automata

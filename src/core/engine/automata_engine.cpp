@@ -276,14 +276,16 @@ void AutomataEngine::scheduleSend(const Transition& transition) {
 void AutomataEngine::performSend(const Transition& transition) {
     ColoredAutomaton* component = merged_->automatonOf(transition.from);
     AbstractMessage outgoing = buildOutgoing(transition.from, transition.messageType);
-    const Bytes payload = codecFor(*component)->compose(outgoing);
-    network_.send(component->color(), payload);
+    // Compose into the engine-lifetime scratch buffer: steady-state sessions
+    // reuse one allocation instead of growing a fresh Bytes per message.
+    codecFor(*component)->composeInto(outgoing, composeScratch_);
+    network_.send(component->color(), composeScratch_);
 
     // Keep the encoded request: if the following wait's deadline lapses the
     // engine re-sends these exact bytes. A fresh send resets the per-wait
     // retry budget.
     lastSentColor_ = component->color();
-    lastSentPayload_ = payload;
+    lastSentPayload_ = composeScratch_;
     retransmitsUsed_ = 0;
 
     component->state(transition.from)->pushMessage(outgoing);

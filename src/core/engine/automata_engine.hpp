@@ -199,6 +199,10 @@ private:
     std::uint64_t lastSentColor_ = 0;
     int retransmitsUsed_ = 0;
 
+    /// Compose scratch buffer, reused across every send of the engine's
+    /// lifetime so steady-state sessions stop allocating per message.
+    Bytes composeScratch_;
+
     std::vector<SessionRecord> sessions_;
     automata::Trace trace_;
 };

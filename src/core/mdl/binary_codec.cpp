@@ -14,6 +14,14 @@ struct ParsedField {
     std::optional<int> lengthBits;
 };
 
+/// Plan path: one parsed slot per flat field position (header first, then
+/// the selected message's body).
+struct PlanSlot {
+    const PlanField* field = nullptr;
+    Value value;
+    std::optional<int> lengthBits;
+};
+
 }  // namespace
 
 BinaryCodec::BinaryCodec(const MdlDocument& doc, std::shared_ptr<MarshallerRegistry> registry)
@@ -21,28 +29,230 @@ BinaryCodec::BinaryCodec(const MdlDocument& doc, std::shared_ptr<MarshallerRegis
     if (doc_.kind() != MdlKind::Binary) {
         throw SpecError("BinaryCodec: MDL document '" + doc_.protocol() + "' is not binary");
     }
-    // Resolve every marshaller eagerly so a typo in <Types> fails at load
-    // time, not mid-parse.
-    auto check = [this](const FieldSpec& field, const std::string& where) {
-        const std::string name = doc_.marshallerFor(field);
-        const Marshaller* m = registry_->find(name);
-        if (m == nullptr) {
-            throw SpecError("BinaryCodec " + where + ": no marshaller registered for type '" +
-                            name + "' (field '" + field.label + "')");
-        }
-        if (field.length == FieldSpec::Length::Auto && !m->selfDelimiting()) {
-            throw SpecError("BinaryCodec " + where + ": field '" + field.label +
-                            "' declares length auto but type '" + name +
-                            "' is not self-delimiting");
-        }
-    };
-    for (const FieldSpec& f : doc_.header().fields) check(f, "header");
-    for (const MessageSpec& m : doc_.messages()) {
-        for (const FieldSpec& f : m.fields) check(f, "message '" + m.type + "'");
-    }
+    // Compiling the plan resolves every marshaller eagerly, so a typo in
+    // <Types> fails at load time, not mid-parse (same contract as before).
+    plan_ = CodecPlan::compile(doc_, *registry_);
 }
 
+// ---------------------------------------------------------------------------
+// Plan path: flat execution of the compiled plan.
+
 std::optional<AbstractMessage> BinaryCodec::parse(const Bytes& data, std::string* error) const {
+    auto fail = [error](const std::string& why) -> std::optional<AbstractMessage> {
+        if (error != nullptr) *error = why;
+        return std::nullopt;
+    };
+
+    BitReader reader(data);
+    std::vector<PlanSlot> parsed;
+    parsed.reserve(plan_.header().size() + 8);
+
+    auto parseFields = [&](const std::vector<PlanField>& fields, std::string& why) -> bool {
+        for (const PlanField& pf : fields) {
+            const FieldSpec& spec = *pf.spec;
+            std::optional<int> lengthBits;
+            switch (spec.length) {
+                case FieldSpec::Length::Bits:
+                    lengthBits = spec.bits;
+                    break;
+                case FieldSpec::Length::FieldRef: {
+                    // Backward reference, resolved to a flat index at compile.
+                    const auto bytes =
+                        parsed[static_cast<std::size_t>(pf.refIndex)].value.coerceTo(
+                            ValueType::Int);
+                    if (!bytes) {
+                        why = "length field '" + spec.ref + "' is not numeric";
+                        return false;
+                    }
+                    lengthBits = static_cast<int>(*bytes->asInt() * 8);
+                    break;
+                }
+                case FieldSpec::Length::Auto:
+                    lengthBits = std::nullopt;
+                    break;
+                default:
+                    why = "text-dialect length in binary MDL";
+                    return false;
+            }
+            std::optional<Value> value;
+            if (lengthBits && *lengthBits == 0) {
+                // Zero-length field (e.g. empty string with zero length prefix).
+                value = Value::ofString("");
+            } else {
+                value = pf.marshaller->read(reader, lengthBits);
+            }
+            if (!value) {
+                why = "field '" + spec.label + "' does not decode";
+                return false;
+            }
+            parsed.push_back({&pf, std::move(*value), lengthBits});
+        }
+        return true;
+    };
+
+    std::string why;
+    if (!parseFields(plan_.header(), why)) return fail("header: " + why);
+
+    // Rule evaluation selects the message body. Rule labels are pre-resolved
+    // to header indices, so the probe is a direct slot read.
+    const int selectedIndex = plan_.selectMessage(
+        [&parsed, this](int id, const std::string&) -> std::optional<std::string> {
+            const int headerIndex = plan_.ruleLabelHeaderIndex(id);
+            if (headerIndex < 0) return std::nullopt;
+            return parsed[static_cast<std::size_t>(headerIndex)].value.toText();
+        });
+    if (selectedIndex < 0) return fail("no message rule matches the parsed header");
+    const MessagePlan& mp = plan_.messages()[static_cast<std::size_t>(selectedIndex)];
+
+    if (!parseFields(mp.body, why)) {
+        return fail("message '" + mp.spec->type + "': " + why);
+    }
+    if (reader.remainingBits() >= 8) {
+        return fail("message '" + mp.spec->type + "': " +
+                    std::to_string(reader.remainingBits()) + " trailing bits");
+    }
+
+    AbstractMessage message(mp.spec->type);
+    for (PlanSlot& slot : parsed) {
+        message.addField(Field::primitive(slot.field->spec->label, slot.field->marshallerName,
+                                          std::move(slot.value), slot.lengthBits));
+    }
+    return message;
+}
+
+Bytes BinaryCodec::compose(const AbstractMessage& message) const {
+    Bytes out;
+    composeInto(message, out);
+    return out;
+}
+
+void BinaryCodec::composeInto(const AbstractMessage& message, Bytes& out) const {
+    const MessagePlan* mp = plan_.planFor(message.type());
+    if (mp == nullptr) {
+        out.clear();
+        throw SpecError("BinaryCodec: MDL '" + doc_.protocol() + "' does not define message '" +
+                        message.type() + "'");
+    }
+
+    const std::vector<PlanField>& header = plan_.header();
+    const std::size_t headerCount = header.size();
+    const std::size_t total = headerCount + mp->body.size();
+    auto flatField = [&](std::size_t i) -> const PlanField& {
+        return i < headerCount ? header[i] : mp->body[i - headerCount];
+    };
+
+    // Pass 1: decide every field's value, into slots indexed by flat
+    // position instead of a label-keyed map.
+    std::vector<Value> values(total);
+    std::vector<bool> has(total, false);
+
+    // First, materialise all plain values so length derivations can see them.
+    for (std::size_t i = 0; i < total; ++i) {
+        const PlanField& pf = flatField(i);
+        if (const auto provided = message.value(pf.spec->label)) {
+            values[i] = *provided;
+            has[i] = true;
+        } else if (pf.defaultValue) {
+            values[i] = *pf.defaultValue;
+            has[i] = true;
+        }
+    }
+    // Rule fields are forced to the rule value.
+    if (mp->ruleFlatIndex >= 0) {
+        values[static_cast<std::size_t>(mp->ruleFlatIndex)] = *mp->ruleValue;
+        has[static_cast<std::size_t>(mp->ruleFlatIndex)] = true;
+    }
+    // Derived lengths override anything supplied.
+    for (std::size_t i = 0; i < total; ++i) {
+        if (const int target = mp->fLengthTarget[i]; target >= 0) {
+            const PlanField& tf = flatField(static_cast<std::size_t>(target));
+            const Value targetValue = has[static_cast<std::size_t>(target)]
+                                          ? values[static_cast<std::size_t>(target)]
+                                          : Value::ofString("");
+            values[i] = Value::ofInt(tf.marshaller->encodedBits(targetValue, std::nullopt) / 8);
+            has[i] = true;
+        }
+        if (const int sized = mp->lengthFor[i]; sized >= 0) {
+            const PlanField& sf = flatField(static_cast<std::size_t>(sized));
+            const Value sizedValue = has[static_cast<std::size_t>(sized)]
+                                         ? values[static_cast<std::size_t>(sized)]
+                                         : Value::ofString("");
+            values[i] = Value::ofInt(sf.marshaller->encodedBits(sizedValue, std::nullopt) / 8);
+            has[i] = true;
+        }
+    }
+
+    // Mandatory-field enforcement: a bridge that fails to fill a mandatory
+    // field has a broken translation spec.
+    for (std::size_t m = 0; m < mp->mandatory.size(); ++m) {
+        const int idx = mp->mandatoryFlat[m];
+        if (idx < 0 || !has[static_cast<std::size_t>(idx)]) {
+            out.clear();
+            throw SpecError("BinaryCodec: mandatory field '" + mp->mandatory[m] +
+                            "' of message '" + message.type() + "' has no value");
+        }
+    }
+
+    // Pass 2: write.
+    BitWriter writer(std::move(out));
+    std::optional<std::pair<std::size_t, int>> msgLengthPatch;  // bit offset, bit count
+    for (std::size_t i = 0; i < total; ++i) {
+        const PlanField& pf = flatField(i);
+        const FieldSpec& spec = *pf.spec;
+
+        std::optional<int> lengthBits;
+        switch (spec.length) {
+            case FieldSpec::Length::Bits:
+                lengthBits = spec.bits;
+                break;
+            case FieldSpec::Length::FieldRef: {
+                const auto bytes =
+                    values[static_cast<std::size_t>(pf.refIndex)].coerceTo(ValueType::Int);
+                lengthBits = static_cast<int>(*bytes->asInt() * 8);
+                break;
+            }
+            case FieldSpec::Length::Auto:
+                lengthBits = std::nullopt;
+                break;
+            default:
+                throw SpecError("BinaryCodec: text-dialect field '" + spec.label +
+                                "' in binary compose");
+        }
+
+        if (pf.isMsgLength) {
+            // Write a placeholder and remember where to backpatch.
+            if (!lengthBits) {
+                throw SpecError("BinaryCodec: f-msglength field '" + spec.label +
+                                "' must have a literal bit length");
+            }
+            msgLengthPatch = {writer.positionBits(), *lengthBits};
+            writer.writeBits(0, *lengthBits);
+            continue;
+        }
+
+        Value value = has[i] ? values[i] : Value();
+        if (value.isEmpty()) {
+            // Unsupplied optional field: zero integer / empty string.
+            value = pf.emptyFill;
+        }
+        if (lengthBits && *lengthBits == 0) continue;  // zero-length field: nothing on the wire
+        pf.marshaller->write(writer, value, lengthBits);
+    }
+
+    if (msgLengthPatch) {
+        const std::size_t totalBytes = (writer.positionBits() + 7) / 8;
+        writer.patchBits(msgLengthPatch->first, totalBytes, msgLengthPatch->second);
+    }
+    out = writer.take();
+}
+
+// ---------------------------------------------------------------------------
+// Pre-plan interpreter: re-derives lengths, marshallers and rule dispatch
+// from the document per message. Kept verbatim as the reference
+// implementation the compiled plan must match bit-for-bit.
+
+std::optional<AbstractMessage> BinaryCodec::parseInterpreted(const Bytes& data,
+                                                             std::string* error) const {
     auto fail = [error](const std::string& why) -> std::optional<AbstractMessage> {
         if (error != nullptr) *error = why;
         return std::nullopt;
@@ -146,7 +356,7 @@ std::optional<AbstractMessage> BinaryCodec::parse(const Bytes& data, std::string
     return message;
 }
 
-Bytes BinaryCodec::compose(const AbstractMessage& message) const {
+Bytes BinaryCodec::composeInterpreted(const AbstractMessage& message) const {
     const MessageSpec* spec = doc_.message(message.type());
     if (spec == nullptr) {
         throw SpecError("BinaryCodec: MDL '" + doc_.protocol() + "' does not define message '" +

@@ -16,12 +16,19 @@
 //   - fields referenced as the length source of a later field: byte length
 //     of that field's encoding;
 //   - the header field named by the selected message's <Rule>: the rule value.
+//
+// The hot path executes a CodecPlan compiled at construction (marshallers,
+// field-length references, f-length/f-msglength links and mandatory sets all
+// resolved to flat field indices); the pre-plan interpreter is retained as
+// parseInterpreted/composeInterpreted for differential testing and as the
+// benchmark baseline.
 #pragma once
 
 #include <optional>
 #include <string>
 
 #include "core/mdl/marshaller.hpp"
+#include "core/mdl/plan.hpp"
 #include "core/mdl/spec.hpp"
 #include "core/message/abstract_message.hpp"
 
@@ -41,9 +48,22 @@ public:
     /// ProtocolError when a value cannot be encoded.
     Bytes compose(const AbstractMessage& message) const;
 
+    /// compose() into a caller-owned buffer (cleared first); lets a session
+    /// reuse one allocation across messages.
+    void composeInto(const AbstractMessage& message, Bytes& out) const;
+
+    /// The pre-plan interpreter, re-deriving everything from the document
+    /// per message. Reference semantics for tests and benchmarks.
+    std::optional<AbstractMessage> parseInterpreted(const Bytes& data,
+                                                    std::string* error = nullptr) const;
+    Bytes composeInterpreted(const AbstractMessage& message) const;
+
+    const CodecPlan& plan() const { return plan_; }
+
 private:
     const MdlDocument& doc_;
     std::shared_ptr<MarshallerRegistry> registry_;
+    CodecPlan plan_;
 };
 
 }  // namespace starlink::mdl

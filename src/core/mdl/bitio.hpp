@@ -39,6 +39,13 @@ private:
 
 class BitWriter {
 public:
+    BitWriter() = default;
+
+    /// Adopts `reuse`'s allocation (content cleared, capacity kept) so a
+    /// session can compose into one growing buffer instead of reallocating
+    /// per message. Pair with take() to hand the allocation back.
+    explicit BitWriter(Bytes&& reuse) : buffer_(std::move(reuse)) { buffer_.clear(); }
+
     /// Appends `count` bits (1..64) of `value`, MSB first.
     void writeBits(std::uint64_t value, int count);
 

@@ -39,4 +39,29 @@ Bytes MessageCodec::compose(const AbstractMessage& message) const {
     return xml_->compose(message);
 }
 
+void MessageCodec::composeInto(const AbstractMessage& message, Bytes& out) const {
+    if (binary_) return binary_->composeInto(message, out);
+    if (text_) return text_->composeInto(message, out);
+    return xml_->composeInto(message, out);
+}
+
+std::optional<AbstractMessage> MessageCodec::parseInterpreted(const Bytes& data,
+                                                              std::string* error) const {
+    if (binary_) return binary_->parseInterpreted(data, error);
+    if (text_) return text_->parseInterpreted(data, error);
+    return xml_->parseInterpreted(data, error);
+}
+
+Bytes MessageCodec::composeInterpreted(const AbstractMessage& message) const {
+    if (binary_) return binary_->composeInterpreted(message);
+    if (text_) return text_->composeInterpreted(message);
+    return xml_->composeInterpreted(message);
+}
+
+const CodecPlan& MessageCodec::plan() const {
+    if (binary_) return binary_->plan();
+    if (text_) return text_->plan();
+    return xml_->plan();
+}
+
 }  // namespace starlink::mdl

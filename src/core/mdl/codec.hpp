@@ -36,6 +36,19 @@ public:
     /// Abstract message -> network bytes; throws on spec violations.
     Bytes compose(const AbstractMessage& message) const;
 
+    /// compose() into a caller-owned buffer (cleared first); lets a session
+    /// reuse one allocation across messages.
+    void composeInto(const AbstractMessage& message, Bytes& out) const;
+
+    /// The pre-plan interpreter paths, re-deriving everything from the
+    /// document per message. Reference semantics for tests and benchmarks.
+    std::optional<AbstractMessage> parseInterpreted(const Bytes& data,
+                                                    std::string* error = nullptr) const;
+    Bytes composeInterpreted(const AbstractMessage& message) const;
+
+    /// The codec plan compiled at load time for the active dialect.
+    const CodecPlan& plan() const;
+
     const MdlDocument& document() const { return doc_; }
     const std::string& protocol() const { return doc_.protocol(); }
 

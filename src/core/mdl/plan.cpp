@@ -1,0 +1,241 @@
+#include "core/mdl/plan.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace starlink::mdl {
+
+DelimiterSearcher::DelimiterSearcher(const Bytes* delimiter) : delimiter_(delimiter) {
+    if (delimiter_->size() > 1) bmh_.emplace(delimiter_->begin(), delimiter_->end());
+}
+
+std::size_t DelimiterSearcher::find(const Bytes& data, std::size_t from) const {
+    if (delimiter_ == nullptr || delimiter_->empty()) return npos;
+    if (data.size() < delimiter_->size() || from + delimiter_->size() > data.size()) return npos;
+    if (delimiter_->size() == 1) {
+        const void* hit = std::memchr(data.data() + from, (*delimiter_)[0], data.size() - from);
+        if (hit == nullptr) return npos;
+        return static_cast<std::size_t>(static_cast<const std::uint8_t*>(hit) - data.data());
+    }
+    const auto it =
+        std::search(data.begin() + static_cast<std::ptrdiff_t>(from), data.end(), *bmh_);
+    return it == data.end() ? npos : static_cast<std::size_t>(it - data.begin());
+}
+
+namespace {
+
+ValueType valueTypeOfMarshallerName(const std::string& name) {
+    if (name == "Integer" || name == "Int") return ValueType::Int;
+    if (name == "Bool" || name == "Boolean") return ValueType::Bool;
+    return ValueType::String;
+}
+
+Value emptyFillFor(const std::string& marshallerName) {
+    return marshallerName == "Integer" || marshallerName == "Int" ||
+                   marshallerName == "Bool" || marshallerName == "Boolean"
+               ? Value::ofInt(0)
+               : Value::ofString("");
+}
+
+}  // namespace
+
+const MessagePlan* CodecPlan::planFor(std::string_view type) const {
+    const auto it = byType_.find(std::string(type));
+    return it == byType_.end() ? nullptr : &messages_[static_cast<std::size_t>(it->second)];
+}
+
+CodecPlan CodecPlan::compile(const MdlDocument& doc, const MarshallerRegistry& registry) {
+    CodecPlan plan;
+    const MdlKind kind = doc.kind();
+
+    // <Types>: label -> ValueType, for the typed lift of text line values.
+    for (const auto& [name, def] : doc.types()) {
+        plan.labelTypes_.emplace(name, valueTypeOfMarshallerName(def.marshaller));
+    }
+
+    // Flat field indices: header fields first, then (per message) body fields.
+    std::unordered_map<std::string, int> headerIndexOf;
+
+    auto compileField = [&](const FieldSpec& spec, const std::string& where,
+                            const std::unordered_map<std::string, int>& scope) -> PlanField {
+        PlanField pf;
+        pf.spec = &spec;
+        pf.marshallerName = doc.marshallerFor(spec);
+        pf.marshaller = registry.find(pf.marshallerName);
+        pf.valueType = kind == MdlKind::Text
+                           ? plan.valueTypeOfLabel(spec.label)
+                           : valueTypeOfMarshallerName(pf.marshallerName);
+        if (spec.defaultValue) pf.defaultValue = Value::ofString(*spec.defaultValue);
+        pf.emptyFill = emptyFillFor(pf.marshallerName);
+
+        if (kind == MdlKind::Binary) {
+            // Same eager contract the interpreter enforced at construction:
+            // a typo in <Types> fails at load time, not mid-parse.
+            if (pf.marshaller == nullptr) {
+                throw SpecError("BinaryCodec " + where + ": no marshaller registered for type '" +
+                                pf.marshallerName + "' (field '" + spec.label + "')");
+            }
+            if (spec.length == FieldSpec::Length::Auto && !pf.marshaller->selfDelimiting()) {
+                throw SpecError("BinaryCodec " + where + ": field '" + spec.label +
+                                "' declares length auto but type '" + pf.marshallerName +
+                                "' is not self-delimiting");
+            }
+            if (spec.length == FieldSpec::Length::FieldRef) {
+                const auto it = scope.find(spec.ref);
+                if (it == scope.end()) {
+                    throw SpecError("codec plan " + where + ": field '" + spec.label +
+                                    "' takes its length from unknown field '" + spec.ref + "'");
+                }
+                pf.refIndex = it->second;
+            }
+            const TypeDef* def = doc.type(spec.type.empty() ? spec.label : spec.type);
+            pf.isMsgLength = def != nullptr && def->function == "f-msglength";
+        }
+        if (kind == MdlKind::Xml && spec.length == FieldSpec::Length::XmlPath) {
+            pf.pathSteps = split(spec.ref, '/');
+        }
+        if (kind == MdlKind::Text && (spec.length == FieldSpec::Length::Delimiter ||
+                                      spec.length == FieldSpec::Length::FieldsBlock)) {
+            pf.searcherIndex = static_cast<int>(plan.searchers_.size());
+            plan.searchers_.emplace_back(&spec.delimiter);
+        }
+        return pf;
+    };
+
+    // Header.
+    {
+        int index = 0;
+        for (const FieldSpec& field : doc.header().fields) {
+            plan.header_.push_back(compileField(field, "header", headerIndexOf));
+            headerIndexOf[field.label] = index;
+            if (kind == MdlKind::Text) {
+                if (field.length == FieldSpec::Length::FieldsBlock) {
+                    plan.textFieldsBlockIndex_ = index;
+                }
+                if (field.length == FieldSpec::Length::Body) plan.textBodyIndex_ = index;
+            }
+            ++index;
+        }
+    }
+
+    auto ruleLabelId = [&plan, &headerIndexOf](const std::string& label) -> int {
+        for (std::size_t i = 0; i < plan.ruleLabels_.size(); ++i) {
+            if (plan.ruleLabels_[i] == label) return static_cast<int>(i);
+        }
+        plan.ruleLabels_.push_back(label);
+        const auto it = headerIndexOf.find(label);
+        plan.ruleLabelHeaderIndex_.push_back(it == headerIndexOf.end() ? -1 : it->second);
+        return static_cast<int>(plan.ruleLabels_.size()) - 1;
+    };
+
+    const std::size_t headerCount = plan.header_.size();
+    int messageIndex = 0;
+    for (const MessageSpec& message : doc.messages()) {
+        MessagePlan mp;
+        mp.spec = &message;
+        plan.byType_.emplace(message.type, messageIndex);
+
+        DispatchEntry entry;
+        entry.messageIndex = messageIndex;
+        if (message.rule) {
+            entry.labelId = ruleLabelId(message.rule->field);
+            entry.value = message.rule->value;
+            const auto it = headerIndexOf.find(message.rule->field);
+            if (it != headerIndexOf.end()) mp.ruleFlatIndex = it->second;
+            mp.ruleValue = Value::ofString(message.rule->value);
+        }
+        plan.dispatch_.push_back(std::move(entry));
+
+        std::unordered_map<std::string, int> scope = headerIndexOf;
+        for (const FieldSpec& field : message.fields) {
+            const PlanField pf =
+                compileField(field, "message '" + message.type + "'", scope);
+            scope[field.label] = static_cast<int>(headerCount + mp.body.size());
+            mp.body.push_back(pf);
+        }
+
+        mp.mandatory = doc.mandatoryFields(message.type);
+
+        if (kind == MdlKind::Binary) {
+            const std::size_t total = headerCount + mp.body.size();
+            mp.fLengthTarget.assign(total, -1);
+            mp.lengthFor.assign(total, -1);
+            auto flatField = [&](std::size_t i) -> const PlanField& {
+                return i < headerCount ? plan.header_[i] : mp.body[i - headerCount];
+            };
+            for (std::size_t i = 0; i < total; ++i) {
+                const FieldSpec& spec = *flatField(i).spec;
+                const TypeDef* def = doc.type(spec.type.empty() ? spec.label : spec.type);
+                if (def != nullptr && def->function == "f-length") {
+                    const auto it = scope.find(def->functionArg);
+                    if (it == scope.end()) {
+                        throw SpecError("BinaryCodec: f-length target '" + def->functionArg +
+                                        "' is not a field of message '" + message.type + "'");
+                    }
+                    mp.fLengthTarget[i] = it->second;
+                }
+                if (spec.length == FieldSpec::Length::FieldRef) {
+                    // The length-source field carries the byte length of the
+                    // LAST field referencing it, matching the interpreter.
+                    mp.lengthFor[static_cast<std::size_t>(flatField(i).refIndex)] =
+                        static_cast<int>(i);
+                }
+            }
+            mp.mandatoryFlat.reserve(mp.mandatory.size());
+            for (const std::string& label : mp.mandatory) {
+                const auto it = scope.find(label);
+                mp.mandatoryFlat.push_back(it == scope.end() ? -1 : it->second);
+            }
+        }
+
+        if (kind == MdlKind::Text) {
+            auto metaSpecOf = [&message](const std::string& label) -> const FieldSpec* {
+                for (const FieldSpec& f : message.fields) {
+                    if (f.label == label && f.length == FieldSpec::Length::Meta) return &f;
+                }
+                return nullptr;
+            };
+            std::vector<std::string> positionalLabels;
+            for (std::size_t i = 0; i < plan.header_.size(); ++i) {
+                const FieldSpec& headerField = *plan.header_[i].spec;
+                if (headerField.length != FieldSpec::Length::Delimiter) continue;
+                TextPositional positional;
+                positional.headerIndex = static_cast<int>(i);
+                if (message.rule && message.rule->field == headerField.label) {
+                    positional.ruleValue = &message.rule->value;
+                }
+                if (const FieldSpec* meta = metaSpecOf(headerField.label);
+                    meta != nullptr && meta->defaultValue) {
+                    positional.fallback = &*meta->defaultValue;
+                } else if (headerField.defaultValue) {
+                    positional.fallback = &*headerField.defaultValue;
+                }
+                mp.positionals.push_back(positional);
+                positionalLabels.push_back(headerField.label);
+            }
+            const FieldSpec* bodySpec =
+                plan.textBodyIndex_ >= 0
+                    ? plan.header_[static_cast<std::size_t>(plan.textBodyIndex_)].spec
+                    : nullptr;
+            for (const FieldSpec& f : message.fields) {
+                if (f.length != FieldSpec::Length::Meta || !f.defaultValue) continue;
+                if (std::find(positionalLabels.begin(), positionalLabels.end(), f.label) !=
+                    positionalLabels.end()) {
+                    continue;  // positional, already emitted
+                }
+                if (bodySpec != nullptr && f.label == bodySpec->label) continue;
+                mp.metaDefaults.push_back(&f);
+            }
+        }
+
+        plan.messages_.push_back(std::move(mp));
+        ++messageIndex;
+    }
+
+    return plan;
+}
+
+}  // namespace starlink::mdl

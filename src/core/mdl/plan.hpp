@@ -1,0 +1,196 @@
+// Compiled codec plans: load-time specialisation of MDL interpretation.
+//
+// The paper's cost argument (section VI, Fig 12) is that interpreting MDL
+// models at runtime is cheap enough to bridge live protocols. The generic
+// interpreters nevertheless re-derive per message everything the model
+// already fixes at load time: marshaller lookups by name, ValueType
+// classification of <Types>, delimiter scans, slash-splitting of element
+// paths, and linear rule evaluation. A CodecPlan performs that derivation
+// ONCE, when the MdlDocument is loaded, and the dialect codecs then execute
+// the flat plan per message:
+//
+//  - every field spec carries its resolved Marshaller*, type name and
+//    ValueType;
+//  - binary field-length references are resolved to flat field indices;
+//  - xml element paths are pre-split into step vectors;
+//  - text delimiters get a prebuilt Boyer-Moore-Horspool searcher;
+//  - <Rule> dispatch becomes an indexed probe over pre-extracted rule
+//    labels instead of a per-candidate scan of the parsed field list;
+//  - per-message compose metadata (mandatory labels, meta/default
+//    overrides, f-length / length-source links, rule constants) is staged
+//    in vectors indexed by flat field position.
+//
+// A plan borrows from the MdlDocument and MarshallerRegistry it was
+// compiled from; both must outlive it (the owning codec holds both).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "core/mdl/marshaller.hpp"
+#include "core/mdl/spec.hpp"
+#include "core/message/value.hpp"
+
+namespace starlink::mdl {
+
+/// Prebuilt substring search for one delimiter byte sequence. Single-byte
+/// delimiters use memchr; longer ones a Boyer-Moore-Horspool searcher built
+/// once at plan-compile time.
+class DelimiterSearcher {
+public:
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    DelimiterSearcher() = default;
+    explicit DelimiterSearcher(const Bytes* delimiter);
+
+    /// Offset of the first occurrence of the delimiter at or after `from`;
+    /// npos when it never occurs.
+    std::size_t find(const Bytes& data, std::size_t from) const;
+
+    const Bytes& delimiter() const { return *delimiter_; }
+
+private:
+    const Bytes* delimiter_ = nullptr;  // owned by the FieldSpec in the MDL
+    std::optional<std::boyer_moore_horspool_searcher<Bytes::const_iterator>> bmh_;
+};
+
+/// One field spec with everything the interpreter would re-derive per
+/// message resolved at load time.
+struct PlanField {
+    const FieldSpec* spec = nullptr;
+    const Marshaller* marshaller = nullptr;  // resolved registry entry (may be null for text)
+    std::string marshallerName;              // type name stamped on parsed fields
+    ValueType valueType = ValueType::String; // typed lift for text/xml token values
+    std::vector<std::string> pathSteps;      // xml dialect: pre-split element path
+    int refIndex = -1;                       // binary FieldRef: flat index of the length source
+    int searcherIndex = -1;                  // text dialect: index into CodecPlan searchers
+    bool isMsgLength = false;                // binary: type declares f-msglength()
+    std::optional<Value> defaultValue;       // spec default, lifted to a Value once
+    Value emptyFill;                         // binary compose fill for unsupplied optionals
+};
+
+/// A positional (delimiter-terminated) text header field as one message
+/// type composes it: rule constants and meta-default overrides resolved.
+struct TextPositional {
+    int headerIndex = -1;                   // index into CodecPlan::header()
+    const std::string* ruleValue = nullptr; // forced by the message <Rule>
+    const std::string* fallback = nullptr;  // meta default, else header default
+};
+
+/// Per-message-type compiled compose/parse metadata.
+struct MessagePlan {
+    const MessageSpec* spec = nullptr;
+    std::vector<PlanField> body;  // compiled body field specs
+
+    // Binary dialect, indexed by flat position (header fields first, then
+    // body fields):
+    std::vector<int> fLengthTarget;  // flat index of the f-length target, -1
+    std::vector<int> lengthFor;      // flat index of the later field sized by this one, -1
+    int ruleFlatIndex = -1;          // header field forced to the rule value
+    std::optional<Value> ruleValue;  // that value, lifted once
+
+    // Shared:
+    std::vector<std::string> mandatory;  // Mfields(n), precomputed
+    std::vector<int> mandatoryFlat;      // binary: flat index of each mandatory label
+
+    // Text dialect:
+    std::vector<TextPositional> positionals;        // positional emission order
+    std::vector<const FieldSpec*> metaDefaults;     // Meta lines to default-emit
+};
+
+/// The compiled plan for one MdlDocument.
+class CodecPlan {
+public:
+    /// Compiles the document against a registry. Throws SpecError when a
+    /// field names an unregistered marshaller (same contract the binary
+    /// interpreter enforced at construction).
+    static CodecPlan compile(const MdlDocument& doc, const MarshallerRegistry& registry);
+
+    const std::vector<PlanField>& header() const { return header_; }
+    const std::vector<MessagePlan>& messages() const { return messages_; }
+    const MessagePlan* planFor(std::string_view type) const;
+
+    /// Text dialect: header indices of the <Fields> block and <Body>, -1
+    /// when the header does not declare them.
+    int textFieldsBlockIndex() const { return textFieldsBlockIndex_; }
+    int textBodyIndex() const { return textBodyIndex_; }
+
+    /// ValueType a text line label should carry, from <Types>; String when
+    /// undeclared.
+    ValueType valueTypeOfLabel(const std::string& label) const {
+        const auto it = labelTypes_.find(label);
+        return it == labelTypes_.end() ? ValueType::String : it->second;
+    }
+
+    const DelimiterSearcher& searcher(int index) const { return searchers_[index]; }
+
+    /// Flat header index of rule label `id` (rules are validated to
+    /// reference header fields).
+    int ruleLabelHeaderIndex(int id) const { return ruleLabelHeaderIndex_[id]; }
+    const std::string& ruleLabel(int id) const { return ruleLabels_[id]; }
+
+    /// Message selection (the <Rule> dispatch of every dialect): walks the
+    /// candidates in document order, returning the first ruled message whose
+    /// label value matches, else the first unruled one; -1 when nothing
+    /// matches. `valueOf(labelId, label)` resolves a rule label to the
+    /// parsed text value (nullopt when the field was not parsed) and is
+    /// called at most once per distinct label.
+    template <typename ValueOf>
+    int selectMessage(ValueOf&& valueOf) const {
+        // Typically one distinct rule label; avoid heap traffic for that case.
+        std::optional<std::string> inlineCache;
+        bool inlineResolved = false;
+        std::vector<std::pair<bool, std::optional<std::string>>> cache;
+        if (ruleLabels_.size() > 1) cache.resize(ruleLabels_.size());
+        int fallback = -1;
+        for (const DispatchEntry& entry : dispatch_) {
+            if (entry.labelId < 0) {
+                if (fallback < 0) fallback = entry.messageIndex;
+                continue;
+            }
+            const std::optional<std::string>* resolved = nullptr;
+            if (ruleLabels_.size() == 1) {
+                if (!inlineResolved) {
+                    inlineCache = valueOf(entry.labelId, ruleLabels_[0]);
+                    inlineResolved = true;
+                }
+                resolved = &inlineCache;
+            } else {
+                auto& slot = cache[static_cast<std::size_t>(entry.labelId)];
+                if (!slot.first) {
+                    slot.second = valueOf(entry.labelId,
+                                          ruleLabels_[static_cast<std::size_t>(entry.labelId)]);
+                    slot.first = true;
+                }
+                resolved = &slot.second;
+            }
+            if (resolved->has_value() && **resolved == entry.value) return entry.messageIndex;
+        }
+        return fallback;
+    }
+
+private:
+    struct DispatchEntry {
+        int messageIndex = -1;
+        int labelId = -1;   // index into ruleLabels_, -1 for unruled fallback
+        std::string value;  // rule constant
+    };
+
+    std::vector<PlanField> header_;
+    std::vector<MessagePlan> messages_;
+    std::unordered_map<std::string, int> byType_;
+    std::vector<DelimiterSearcher> searchers_;
+    std::unordered_map<std::string, ValueType> labelTypes_;
+    std::vector<std::string> ruleLabels_;
+    std::vector<int> ruleLabelHeaderIndex_;
+    std::vector<DispatchEntry> dispatch_;
+    int textFieldsBlockIndex_ = -1;
+    int textBodyIndex_ = -1;
+};
+
+}  // namespace starlink::mdl

@@ -117,6 +117,7 @@ public:
 
     const MessageSpec* message(const std::string& type) const;
     const TypeDef* type(const std::string& name) const;
+    const std::map<std::string, TypeDef>& types() const { return types_; }
 
     /// Marshaller name for a field; defaults to String when undeclared.
     std::string marshallerFor(const FieldSpec& field) const;

@@ -10,6 +10,8 @@ namespace starlink::mdl {
 namespace {
 
 /// Cursor over the raw bytes; tokens are cut at delimiter byte sequences.
+/// Used only by the pre-plan interpreter (the plan path runs prebuilt
+/// searchers over an offset instead).
 class TextCursor {
 public:
     explicit TextCursor(const Bytes& data) : data_(data) {}
@@ -55,12 +57,23 @@ private:
 };
 
 /// The Value type a text field should carry, from its declared MDL type.
+/// Interpreter path; the plan caches this per label.
 ValueType valueTypeOf(const MdlDocument& doc, const std::string& label) {
     const TypeDef* def = doc.type(label);
     if (def == nullptr) return ValueType::String;
     if (def->marshaller == "Integer" || def->marshaller == "Int") return ValueType::Int;
     if (def->marshaller == "Bool" || def->marshaller == "Boolean") return ValueType::Bool;
     return ValueType::String;
+}
+
+/// trim() without the std::string round-trip; the plan path works on views
+/// into the receive buffer and only materialises the final Value.
+std::string_view trimView(std::string_view s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
 }
 
 }  // namespace
@@ -70,9 +83,212 @@ TextCodec::TextCodec(const MdlDocument& doc, std::shared_ptr<MarshallerRegistry>
     if (doc_.kind() != MdlKind::Text) {
         throw SpecError("TextCodec: MDL document '" + doc_.protocol() + "' is not text");
     }
+    plan_ = CodecPlan::compile(doc_, *registry_);
 }
 
+// ---------------------------------------------------------------------------
+// Plan path: flat execution of the compiled plan.
+
 std::optional<AbstractMessage> TextCodec::parse(const Bytes& data, std::string* error) const {
+    auto fail = [error](const std::string& why) -> std::optional<AbstractMessage> {
+        if (error != nullptr) *error = why;
+        return std::nullopt;
+    };
+
+    std::size_t pos = 0;
+    std::vector<Field> fields;
+    fields.reserve(plan_.header().size() + 8);
+
+    // A malformed typed header line degrades to text rather than killing
+    // the whole message -- matching how lenient real stacks are.
+    auto typedValue = [this](const std::string& label, std::string_view text) -> Value {
+        const std::string_view trimmed = trimView(text);
+        const ValueType type = plan_.valueTypeOfLabel(label);
+        if (type != ValueType::String) {
+            if (auto parsed = Value::fromText(type, trimmed)) return *parsed;
+        }
+        return Value::ofString(std::string(trimmed));
+    };
+
+    for (const PlanField& pf : plan_.header()) {
+        const FieldSpec& spec = *pf.spec;
+        switch (spec.length) {
+            case FieldSpec::Length::Delimiter: {
+                const std::size_t found = plan_.searcher(pf.searcherIndex).find(data, pos);
+                if (found == DelimiterSearcher::npos) {
+                    return fail("token '" + spec.label + "' not terminated");
+                }
+                const std::string_view token(
+                    reinterpret_cast<const char*>(data.data()) + pos, found - pos);
+                pos = found + spec.delimiter.size();
+                fields.push_back(
+                    Field::primitive(spec.label, "String", typedValue(spec.label, token)));
+                break;
+            }
+            case FieldSpec::Length::FieldsBlock: {
+                const DelimiterSearcher& searcher = plan_.searcher(pf.searcherIndex);
+                const char innerSplit = static_cast<char>(spec.innerSplit);
+                while (true) {
+                    const std::size_t found = searcher.find(data, pos);
+                    if (found == DelimiterSearcher::npos) {
+                        // No terminating blank line: tolerate EOF-terminated
+                        // final line like real text stacks do.
+                        break;
+                    }
+                    const std::string_view line(
+                        reinterpret_cast<const char*>(data.data()) + pos, found - pos);
+                    pos = found + spec.delimiter.size();
+                    if (trimView(line).empty()) break;  // blank line ends the block
+                    const std::size_t split = line.find(innerSplit);
+                    if (split == std::string_view::npos) {
+                        return fail("header line without '" + std::string(1, innerSplit) +
+                                    "' split: " + std::string(line));
+                    }
+                    const std::string label(trimView(line.substr(0, split)));
+                    if (label.empty()) return fail("header line with empty label");
+                    fields.push_back(Field::primitive(
+                        label, "String", typedValue(label, line.substr(split + 1))));
+                }
+                break;
+            }
+            case FieldSpec::Length::Body: {
+                fields.push_back(Field::primitive(
+                    spec.label, "String",
+                    Value::ofString(std::string(
+                        data.begin() + static_cast<std::ptrdiff_t>(pos), data.end()))));
+                pos = data.size();
+                break;
+            }
+            default:
+                return fail("binary-dialect length in text MDL");
+        }
+    }
+
+    const int selected =
+        plan_.selectMessage([&fields](int, const std::string& label) -> std::optional<std::string> {
+            for (const Field& f : fields) {
+                if (f.label() == label) return f.value().toText();
+            }
+            return std::nullopt;
+        });
+    if (selected < 0) return fail("no message rule matches");
+
+    AbstractMessage message(plan_.messages()[static_cast<std::size_t>(selected)].spec->type);
+    for (Field& f : fields) message.addField(std::move(f));
+    return message;
+}
+
+Bytes TextCodec::compose(const AbstractMessage& message) const {
+    Bytes out;
+    composeInto(message, out);
+    return out;
+}
+
+void TextCodec::composeInto(const AbstractMessage& message, Bytes& out) const {
+    out.clear();
+    const MessagePlan* mp = plan_.planFor(message.type());
+    if (mp == nullptr) {
+        throw SpecError("TextCodec: MDL '" + doc_.protocol() + "' does not define message '" +
+                        message.type() + "'");
+    }
+    for (const std::string& label : mp->mandatory) {
+        if (!message.value(label)) {
+            throw SpecError("TextCodec: mandatory field '" + label + "' of message '" +
+                            message.type() + "' has no value");
+        }
+    }
+
+    auto append = [&out](std::string_view s) { out.insert(out.end(), s.begin(), s.end()); };
+    auto appendBytes = [&out](const Bytes& b) { out.insert(out.end(), b.begin(), b.end()); };
+
+    for (const TextPositional& positional : mp->positionals) {
+        const FieldSpec& spec =
+            *plan_.header()[static_cast<std::size_t>(positional.headerIndex)].spec;
+        if (positional.ruleValue != nullptr) {
+            append(*positional.ruleValue);
+        } else if (const auto value = message.value(spec.label)) {
+            append(value->toText());
+        } else if (positional.fallback != nullptr) {
+            append(*positional.fallback);
+        } else {
+            throw SpecError("TextCodec: positional field '" + spec.label + "' of message '" +
+                            message.type() + "' has no value and no default");
+        }
+        appendBytes(spec.delimiter);
+    }
+
+    const FieldSpec* fieldsBlock =
+        plan_.textFieldsBlockIndex() >= 0
+            ? plan_.header()[static_cast<std::size_t>(plan_.textFieldsBlockIndex())].spec
+            : nullptr;
+    const FieldSpec* bodySpec =
+        plan_.textBodyIndex() >= 0
+            ? plan_.header()[static_cast<std::size_t>(plan_.textBodyIndex())].spec
+            : nullptr;
+
+    auto isPositionalLabel = [&](std::string_view label) {
+        for (const TextPositional& positional : mp->positionals) {
+            if (plan_.header()[static_cast<std::size_t>(positional.headerIndex)].spec->label ==
+                label) {
+                return true;
+            }
+        }
+        return false;
+    };
+
+    if (fieldsBlock != nullptr) {
+        const std::string body =
+            bodySpec != nullptr ? message.value(bodySpec->label).value_or(Value()).toText() : "";
+        const char innerSplit = static_cast<char>(fieldsBlock->innerSplit);
+        bool emittedContentLength = false;
+
+        auto emitLine = [&](std::string_view label, std::string_view value) {
+            append(label);
+            out.push_back(static_cast<std::uint8_t>(innerSplit));
+            out.push_back(' ');
+            append(value);
+            appendBytes(fieldsBlock->delimiter);
+        };
+
+        for (const Field& field : message.fields()) {
+            if (!field.isPrimitive() || isPositionalLabel(field.label())) continue;
+            if (bodySpec != nullptr && field.label() == bodySpec->label) continue;
+            std::string value = field.value().toText();
+            // Keep Content-Length honest whenever a body is declared.
+            if (bodySpec != nullptr && iequals(field.label(), "Content-Length")) {
+                value = std::to_string(body.size());
+                emittedContentLength = true;
+            }
+            emitLine(field.label(), value);
+        }
+        // Meta defaults for declared lines the message does not carry
+        // (pre-filtered at plan-compile time for positional/body labels).
+        for (const FieldSpec* meta : mp->metaDefaults) {
+            if (message.value(meta->label)) continue;  // emitted from the message above
+            emitLine(meta->label, *meta->defaultValue);
+        }
+        // A declared body always travels with an accurate Content-Length so
+        // receivers can delimit it.
+        if (bodySpec != nullptr && !body.empty() && !emittedContentLength) {
+            emitLine("Content-Length", std::to_string(body.size()));
+        }
+        // Blank line terminating the block.
+        appendBytes(fieldsBlock->delimiter);
+    }
+
+    if (bodySpec != nullptr) {
+        const std::string body = message.value(bodySpec->label).value_or(Value()).toText();
+        append(body);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-plan interpreter: re-derives field order, delimiters and types from
+// the document per message. Kept verbatim as the reference implementation
+// the compiled plan must match byte-for-byte.
+
+std::optional<AbstractMessage> TextCodec::parseInterpreted(const Bytes& data,
+                                                           std::string* error) const {
     auto fail = [error](const std::string& why) -> std::optional<AbstractMessage> {
         if (error != nullptr) *error = why;
         return std::nullopt;
@@ -155,7 +371,7 @@ std::optional<AbstractMessage> TextCodec::parse(const Bytes& data, std::string* 
     return message;
 }
 
-Bytes TextCodec::compose(const AbstractMessage& message) const {
+Bytes TextCodec::composeInterpreted(const AbstractMessage& message) const {
     const MessageSpec* spec = doc_.message(message.type());
     if (spec == nullptr) {
         throw SpecError("TextCodec: MDL '" + doc_.protocol() + "' does not define message '" +

@@ -15,6 +15,11 @@
 // line and the body. When a <Body/> is declared and the message carries a
 // Content-Length field, the composer recomputes it from the body so the two
 // can never disagree.
+//
+// The hot path executes a CodecPlan compiled at construction (pre-bound
+// delimiter searchers, rule dispatch, per-message compose metadata); the
+// pre-plan interpreter is retained as parseInterpreted/composeInterpreted
+// for differential testing and as the benchmark baseline.
 #pragma once
 
 #include <memory>
@@ -22,6 +27,7 @@
 #include <string>
 
 #include "core/mdl/marshaller.hpp"
+#include "core/mdl/plan.hpp"
 #include "core/mdl/spec.hpp"
 #include "core/message/abstract_message.hpp"
 
@@ -34,9 +40,22 @@ public:
     std::optional<AbstractMessage> parse(const Bytes& data, std::string* error = nullptr) const;
     Bytes compose(const AbstractMessage& message) const;
 
+    /// Plan-free compose into a caller-owned buffer (cleared first); lets a
+    /// session reuse one allocation across messages.
+    void composeInto(const AbstractMessage& message, Bytes& out) const;
+
+    /// The pre-plan interpreter, re-deriving everything from the document
+    /// per message. Reference semantics for tests and benchmarks.
+    std::optional<AbstractMessage> parseInterpreted(const Bytes& data,
+                                                    std::string* error = nullptr) const;
+    Bytes composeInterpreted(const AbstractMessage& message) const;
+
+    const CodecPlan& plan() const { return plan_; }
+
 private:
     const MdlDocument& doc_;
     std::shared_ptr<MarshallerRegistry> registry_;
+    CodecPlan plan_;
 };
 
 }  // namespace starlink::mdl

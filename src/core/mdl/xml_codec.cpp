@@ -22,10 +22,31 @@ const xml::Node* resolve(const xml::Node& root, const std::string& path) {
     return current;
 }
 
+/// Plan path: same walk over pre-split steps, no per-message splitting.
+const xml::Node* resolveSteps(const xml::Node& root, const std::vector<std::string>& steps) {
+    const xml::Node* current = &root;
+    for (const std::string& step : steps) {
+        if (step.empty()) return nullptr;
+        current = current->child(step);
+        if (current == nullptr) return nullptr;
+    }
+    return current;
+}
+
 /// Resolves the path, creating missing elements.
 xml::Node* resolveOrCreate(xml::Node& root, const std::string& path) {
     xml::Node* current = &root;
     for (const std::string& step : split(path, '/')) {
+        if (step.empty()) return nullptr;
+        xml::Node* next = current->child(step);
+        current = next != nullptr ? next : &current->appendChild(step);
+    }
+    return current;
+}
+
+xml::Node* resolveOrCreateSteps(xml::Node& root, const std::vector<std::string>& steps) {
+    xml::Node* current = &root;
+    for (const std::string& step : steps) {
         if (step.empty()) return nullptr;
         xml::Node* next = current->child(step);
         current = next != nullptr ? next : &current->appendChild(step);
@@ -59,9 +80,124 @@ XmlCodec::XmlCodec(const MdlDocument& doc, std::shared_ptr<MarshallerRegistry> r
     for (const MessageSpec& m : doc_.messages()) {
         for (const FieldSpec& f : m.fields) check(f, "message '" + m.type + "'");
     }
+    plan_ = CodecPlan::compile(doc_, *registry_);
 }
 
+// ---------------------------------------------------------------------------
+// Plan path: flat execution of the compiled plan.
+
 std::optional<AbstractMessage> XmlCodec::parse(const Bytes& data, std::string* error) const {
+    auto fail = [error](const std::string& why) -> std::optional<AbstractMessage> {
+        if (error != nullptr) *error = why;
+        return std::nullopt;
+    };
+
+    std::unique_ptr<xml::Node> root;
+    try {
+        root = xml::parse(toString(data));
+    } catch (const SpecError& e) {
+        return fail(std::string("not well-formed xml: ") + e.what());
+    }
+    if (root->name() != doc_.header().xmlRoot) {
+        return fail("document root <" + root->name() + "> is not <" + doc_.header().xmlRoot +
+                    ">");
+    }
+
+    std::vector<Field> fields;
+    auto parseFields = [&](const std::vector<PlanField>& planFields, bool mandatoryEnforced,
+                           std::string& why) -> bool {
+        for (const PlanField& pf : planFields) {
+            const FieldSpec& spec = *pf.spec;
+            if (spec.length != FieldSpec::Length::XmlPath) continue;  // Meta: no wire presence
+            const xml::Node* node = resolveSteps(*root, pf.pathSteps);
+            if (node == nullptr) {
+                if (mandatoryEnforced && spec.mandatory) {
+                    why = "mandatory element '" + spec.ref + "' missing";
+                    return false;
+                }
+                continue;
+            }
+            const std::string text = trim(node->text());
+            const auto value = Value::fromText(pf.valueType, text);
+            fields.push_back(Field::primitive(spec.label, pf.marshallerName,
+                                              value ? *value : Value::ofString(text)));
+        }
+        return true;
+    };
+
+    std::string why;
+    parseFields(plan_.header(), /*mandatoryEnforced=*/false, why);
+
+    const int selectedIndex =
+        plan_.selectMessage([&fields](int, const std::string& label) -> std::optional<std::string> {
+            for (const Field& f : fields) {
+                if (f.label() == label) return f.value().toText();
+            }
+            return std::nullopt;
+        });
+    if (selectedIndex < 0) return fail("no message rule matches");
+    const MessagePlan& mp = plan_.messages()[static_cast<std::size_t>(selectedIndex)];
+    if (!parseFields(mp.body, /*mandatoryEnforced=*/true, why)) {
+        return fail("message '" + mp.spec->type + "': " + why);
+    }
+
+    AbstractMessage message(mp.spec->type);
+    for (Field& f : fields) message.addField(std::move(f));
+    return message;
+}
+
+Bytes XmlCodec::compose(const AbstractMessage& message) const {
+    Bytes out;
+    composeInto(message, out);
+    return out;
+}
+
+void XmlCodec::composeInto(const AbstractMessage& message, Bytes& out) const {
+    out.clear();
+    const MessagePlan* mp = plan_.planFor(message.type());
+    if (mp == nullptr) {
+        throw SpecError("XmlCodec: MDL '" + doc_.protocol() + "' does not define message '" +
+                        message.type() + "'");
+    }
+    for (const std::string& label : mp->mandatory) {
+        if (!message.value(label)) {
+            throw SpecError("XmlCodec: mandatory field '" + label + "' of message '" +
+                            message.type() + "' has no value");
+        }
+    }
+
+    const MessageSpec* spec = mp->spec;
+    xml::Node root(doc_.header().xmlRoot);
+    auto emit = [&](const std::vector<PlanField>& planFields) {
+        for (const PlanField& pf : planFields) {
+            const FieldSpec& fieldSpec = *pf.spec;
+            if (fieldSpec.length != FieldSpec::Length::XmlPath) continue;
+            std::string text;
+            if (spec->rule && spec->rule->field == fieldSpec.label) {
+                text = spec->rule->value;
+            } else if (const auto value = message.value(fieldSpec.label)) {
+                text = value->toText();
+            } else if (fieldSpec.defaultValue) {
+                text = *fieldSpec.defaultValue;
+            } else {
+                continue;  // optional field the message does not carry
+            }
+            resolveOrCreateSteps(root, pf.pathSteps)->setText(text);
+        }
+    };
+    emit(plan_.header());
+    emit(mp->body);
+    const std::string doc = xml::write(root);
+    out.assign(doc.begin(), doc.end());
+}
+
+// ---------------------------------------------------------------------------
+// Pre-plan interpreter: re-derives paths, types and rule dispatch from the
+// document per message. Kept verbatim as the reference implementation the
+// compiled plan must match byte-for-byte.
+
+std::optional<AbstractMessage> XmlCodec::parseInterpreted(const Bytes& data,
+                                                          std::string* error) const {
     auto fail = [error](const std::string& why) -> std::optional<AbstractMessage> {
         if (error != nullptr) *error = why;
         return std::nullopt;
@@ -131,7 +267,7 @@ std::optional<AbstractMessage> XmlCodec::parse(const Bytes& data, std::string* e
     return message;
 }
 
-Bytes XmlCodec::compose(const AbstractMessage& message) const {
+Bytes XmlCodec::composeInterpreted(const AbstractMessage& message) const {
     const MessageSpec* spec = doc_.message(message.type());
     if (spec == nullptr) {
         throw SpecError("XmlCodec: MDL '" + doc_.protocol() + "' does not define message '" +

@@ -8,6 +8,11 @@
 // document back, materialising missing elements along each path. Messages
 // are selected by the usual <Rule> over parsed header fields -- for SOAP-
 // style protocols that is typically the Action header.
+//
+// The hot path executes a CodecPlan compiled at construction (element paths
+// pre-split, type names and ValueTypes resolved); the pre-plan interpreter
+// is retained as parseInterpreted/composeInterpreted for differential
+// testing and as the benchmark baseline.
 #pragma once
 
 #include <memory>
@@ -15,6 +20,7 @@
 #include <string>
 
 #include "core/mdl/marshaller.hpp"
+#include "core/mdl/plan.hpp"
 #include "core/mdl/spec.hpp"
 #include "core/message/abstract_message.hpp"
 
@@ -27,9 +33,22 @@ public:
     std::optional<AbstractMessage> parse(const Bytes& data, std::string* error = nullptr) const;
     Bytes compose(const AbstractMessage& message) const;
 
+    /// compose() into a caller-owned buffer (cleared first); lets a session
+    /// reuse one allocation across messages.
+    void composeInto(const AbstractMessage& message, Bytes& out) const;
+
+    /// The pre-plan interpreter, re-deriving everything from the document
+    /// per message. Reference semantics for tests and benchmarks.
+    std::optional<AbstractMessage> parseInterpreted(const Bytes& data,
+                                                    std::string* error = nullptr) const;
+    Bytes composeInterpreted(const AbstractMessage& message) const;
+
+    const CodecPlan& plan() const { return plan_; }
+
 private:
     const MdlDocument& doc_;
     std::shared_ptr<MarshallerRegistry> registry_;
+    CodecPlan plan_;
 };
 
 }  // namespace starlink::mdl

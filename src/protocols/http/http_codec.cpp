@@ -8,14 +8,6 @@ namespace {
 
 constexpr const char* kCrlf = "\r\n";
 
-std::optional<std::string> findHeader(
-    const std::vector<std::pair<std::string, std::string>>& headers, const std::string& name) {
-    for (const auto& [key, value] : headers) {
-        if (iequals(key, name)) return value;
-    }
-    return std::nullopt;
-}
-
 void appendHeaders(std::string& out,
                    const std::vector<std::pair<std::string, std::string>>& headers,
                    const std::string& body) {

@@ -12,14 +12,16 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/strings.hpp"
 
 namespace starlink::http {
 
 struct Request {
     std::string method = "GET";
     std::string path = "/";
-    /// Ordered header list (duplicates allowed, as on the wire).
-    std::vector<std::pair<std::string, std::string>> headers;
+    /// Ordered header list (duplicates allowed, as on the wire). Lookups go
+    /// through the shared case-insensitive findHeader in common/strings.
+    HeaderList headers;
     std::string body;
 
     std::optional<std::string> header(const std::string& name) const;
@@ -28,7 +30,7 @@ struct Request {
 struct Response {
     int status = 200;
     std::string reason = "OK";
-    std::vector<std::pair<std::string, std::string>> headers;
+    HeaderList headers;
     std::string body;
 
     std::optional<std::string> header(const std::string& name) const;

@@ -29,18 +29,47 @@ struct Reader {
         pos += static_cast<std::size_t>(bytes);
         return true;
     }
+    /// RFC 1035 section 4.1.4 name decoding: a sequence of length-prefixed
+    /// labels, where any length octet with the top two bits set is instead a
+    /// 14-bit compression pointer to an earlier occurrence of the name's
+    /// tail. Adversarial packets are guarded two ways: a hard cap on the
+    /// number of jumps, and the requirement that every pointer target lies
+    /// strictly before both the pointer itself and any previous target --
+    /// so chains can only walk backwards and must terminate.
     bool readName(std::string& out) {
+        static constexpr int kMaxJumps = 32;
+        static constexpr std::size_t kMaxNameLength = 255;  // RFC 1035 section 2.3.4
         std::vector<std::string> labels;
+        std::size_t cursor = pos;
+        std::optional<std::size_t> resume;  // reader position after the first pointer
+        std::size_t previousTarget = data.size();
+        std::size_t nameLength = 0;
+        int jumps = 0;
         while (true) {
-            if (pos >= data.size()) return false;
-            const std::uint8_t length = data[pos++];
+            if (cursor >= data.size()) return false;
+            const std::uint8_t length = data[cursor];
+            if ((length & 0xC0) == 0xC0) {
+                if (cursor + 1 >= data.size()) return false;  // truncated pointer
+                const std::size_t target =
+                    static_cast<std::size_t>(length & 0x3F) << 8 | data[cursor + 1];
+                if (!resume) resume = cursor + 2;
+                if (++jumps > kMaxJumps) return false;
+                if (target >= cursor || target >= previousTarget) return false;  // loop guard
+                previousTarget = target;
+                cursor = target;
+                continue;
+            }
+            if ((length & 0xC0) != 0) return false;  // 0x40/0x80 label types are reserved
+            ++cursor;
             if (length == 0) break;
-            if (length > 63) return false;  // compression pointers unsupported
-            if (pos + length > data.size()) return false;
-            labels.emplace_back(data.begin() + static_cast<std::ptrdiff_t>(pos),
-                                data.begin() + static_cast<std::ptrdiff_t>(pos + length));
-            pos += length;
+            nameLength += static_cast<std::size_t>(length) + 1;
+            if (nameLength > kMaxNameLength) return false;
+            if (cursor + length > data.size()) return false;
+            labels.emplace_back(data.begin() + static_cast<std::ptrdiff_t>(cursor),
+                                data.begin() + static_cast<std::ptrdiff_t>(cursor + length));
+            cursor += length;
         }
+        pos = resume.value_or(cursor);
         out = join(labels, ".");
         return true;
     }
@@ -55,27 +84,35 @@ struct Reader {
 
 }  // namespace
 
+namespace {
+
+void appendRecord(Bytes& out, const Record& r) {
+    appendName(out, r.name);
+    appendUint(out, r.type, 2);
+    appendUint(out, r.klass, 2);
+    appendUint(out, r.ttl, 4);
+    appendUint(out, r.rdata.size(), 2);
+    out.insert(out.end(), r.rdata.begin(), r.rdata.end());
+}
+
+}  // namespace
+
 Bytes encode(const DnsMessage& message) {
     Bytes out;
     appendUint(out, message.id, 2);
     appendUint(out, message.flags, 2);
     appendUint(out, message.questions.size(), 2);
     appendUint(out, message.answers.size(), 2);
-    appendUint(out, 0, 2);  // NSCOUNT
-    appendUint(out, 0, 2);  // ARCOUNT
+    appendUint(out, message.authority.size(), 2);
+    appendUint(out, message.additional.size(), 2);
     for (const Question& q : message.questions) {
         appendName(out, q.qname);
         appendUint(out, q.qtype, 2);
         appendUint(out, q.qclass, 2);
     }
-    for (const Record& r : message.answers) {
-        appendName(out, r.name);
-        appendUint(out, r.type, 2);
-        appendUint(out, r.klass, 2);
-        appendUint(out, r.ttl, 4);
-        appendUint(out, r.rdata.size(), 2);
-        out.insert(out.end(), r.rdata.begin(), r.rdata.end());
-    }
+    for (const Record& r : message.answers) appendRecord(out, r);
+    for (const Record& r : message.authority) appendRecord(out, r);
+    for (const Record& r : message.additional) appendRecord(out, r);
     return out;
 }
 
@@ -106,23 +143,29 @@ std::optional<DnsMessage> decode(const Bytes& data) {
         q.qclass = static_cast<std::uint16_t>(qclass);
         out.questions.push_back(std::move(q));
     }
-    for (std::uint64_t i = 0; i < an; ++i) {
-        Record r;
-        std::uint64_t type = 0;
-        std::uint64_t klass = 0;
-        std::uint64_t ttl = 0;
-        std::uint64_t rdlength = 0;
-        if (!reader.readName(r.name) || !reader.readUint(2, type) ||
-            !reader.readUint(2, klass) || !reader.readUint(4, ttl) ||
-            !reader.readUint(2, rdlength) || !reader.readBytes(rdlength, r.rdata)) {
-            return std::nullopt;
+    auto readRecords = [&reader](std::uint64_t count, std::vector<Record>& section) -> bool {
+        for (std::uint64_t i = 0; i < count; ++i) {
+            Record r;
+            std::uint64_t type = 0;
+            std::uint64_t klass = 0;
+            std::uint64_t ttl = 0;
+            std::uint64_t rdlength = 0;
+            if (!reader.readName(r.name) || !reader.readUint(2, type) ||
+                !reader.readUint(2, klass) || !reader.readUint(4, ttl) ||
+                !reader.readUint(2, rdlength) || !reader.readBytes(rdlength, r.rdata)) {
+                return false;
+            }
+            r.type = static_cast<std::uint16_t>(type);
+            r.klass = static_cast<std::uint16_t>(klass);
+            r.ttl = static_cast<std::uint32_t>(ttl);
+            section.push_back(std::move(r));
         }
-        r.type = static_cast<std::uint16_t>(type);
-        r.klass = static_cast<std::uint16_t>(klass);
-        r.ttl = static_cast<std::uint32_t>(ttl);
-        out.answers.push_back(std::move(r));
+        return true;
+    };
+    if (!readRecords(an, out.answers) || !readRecords(ns, out.authority) ||
+        !readRecords(ar, out.additional)) {
+        return std::nullopt;
     }
-    if (ns != 0 || ar != 0) return std::nullopt;  // subset: no authority/additional
     if (reader.pos != data.size()) return std::nullopt;
     return out;
 }

@@ -5,8 +5,11 @@
 // messages so this MDL describes DNS questions and responses" -- the same
 // simplification applies here:
 //   - standard 12-byte header (ID, Flags, QD/AN/NS/AR counts);
-//   - questions: QNAME (label encoding, no compression), QTYPE, QCLASS;
-//   - answers: NAME, TYPE, CLASS, TTL, RDLENGTH, RDATA;
+//   - questions: QNAME (label encoding; RFC 1035 compression pointers are
+//     followed on decode, with jump-count and backwards-only-offset guards
+//     against malicious loops; encode always emits uncompressed names),
+//     QTYPE, QCLASS;
+//   - answers/authority/additional: NAME, TYPE, CLASS, TTL, RDLENGTH, RDATA;
 //   - discovery answers carry the service URL directly in RDATA (TXT-style),
 //     mirroring the paper: "the URL reply of the service (this was
 //     transfered from the RDATA value of the DNS Response)".
@@ -50,6 +53,8 @@ struct DnsMessage {
     std::uint16_t flags = kFlagsQuery;
     std::vector<Question> questions;
     std::vector<Record> answers;
+    std::vector<Record> authority;   // NSCOUNT section
+    std::vector<Record> additional;  // ARCOUNT section
 
     bool isResponse() const { return (flags & 0x8000) != 0; }
 };

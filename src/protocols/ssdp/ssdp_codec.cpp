@@ -1,7 +1,5 @@
 #include "protocols/ssdp/ssdp_codec.hpp"
 
-#include <map>
-
 #include "common/strings.hpp"
 
 namespace starlink::ssdp {
@@ -10,10 +8,10 @@ namespace {
 
 constexpr const char* kCrlf = "\r\n";
 
-/// Splits a text datagram into (request line, lowercased-header map).
-/// Returns false when there is no request line.
-bool splitMessage(const Bytes& data, std::string& requestLine,
-                  std::map<std::string, std::string>& headers) {
+/// Splits a text datagram into (request line, header list). Casing is
+/// preserved; lookups go through the shared case-insensitive findHeader,
+/// same as the HTTP codec. Returns false when there is no request line.
+bool splitMessage(const Bytes& data, std::string& requestLine, HeaderList& headers) {
     const std::string text = toString(data);
     const std::vector<std::string> lines = split(text, std::string_view(kCrlf));
     if (lines.empty()) return false;
@@ -22,7 +20,7 @@ bool splitMessage(const Bytes& data, std::string& requestLine,
         if (lines[i].empty()) break;
         const auto halves = splitFirst(lines[i], ':');
         if (!halves) continue;  // lenient: skip malformed lines
-        headers[toLower(trim(halves->first))] = trim(halves->second);
+        headers.emplace_back(trim(halves->first), trim(halves->second));
     }
     return true;
 }
@@ -55,15 +53,15 @@ Bytes encode(const Response& message) {
 
 std::optional<MSearch> decodeMSearch(const Bytes& data) {
     std::string requestLine;
-    std::map<std::string, std::string> headers;
+    HeaderList headers;
     if (!splitMessage(data, requestLine, headers)) return std::nullopt;
     if (!startsWith(requestLine, "M-SEARCH")) return std::nullopt;
     MSearch out;
-    if (const auto it = headers.find("st"); it != headers.end()) out.st = it->second;
-    if (const auto it = headers.find("host"); it != headers.end()) out.host = it->second;
-    if (const auto it = headers.find("man"); it != headers.end()) out.man = it->second;
-    if (const auto it = headers.find("mx"); it != headers.end()) {
-        const auto mx = parseInt(it->second);
+    if (const auto st = findHeader(headers, "ST")) out.st = *st;
+    if (const auto host = findHeader(headers, "Host")) out.host = *host;
+    if (const auto man = findHeader(headers, "MAN")) out.man = *man;
+    if (const auto mxText = findHeader(headers, "MX")) {
+        const auto mx = parseInt(*mxText);
         if (mx) out.mx = static_cast<int>(*mx);
     }
     return out;
@@ -71,17 +69,15 @@ std::optional<MSearch> decodeMSearch(const Bytes& data) {
 
 std::optional<Response> decodeResponse(const Bytes& data) {
     std::string requestLine;
-    std::map<std::string, std::string> headers;
+    HeaderList headers;
     if (!splitMessage(data, requestLine, headers)) return std::nullopt;
     if (!startsWith(requestLine, "HTTP/1.1 200")) return std::nullopt;
     Response out;
-    if (const auto it = headers.find("st"); it != headers.end()) out.st = it->second;
-    if (const auto it = headers.find("usn"); it != headers.end()) out.usn = it->second;
-    if (const auto it = headers.find("location"); it != headers.end()) out.location = it->second;
-    if (const auto it = headers.find("cache-control"); it != headers.end()) {
-        out.cacheControl = it->second;
-    }
-    if (const auto it = headers.find("server"); it != headers.end()) out.server = it->second;
+    if (const auto st = findHeader(headers, "ST")) out.st = *st;
+    if (const auto usn = findHeader(headers, "USN")) out.usn = *usn;
+    if (const auto location = findHeader(headers, "Location")) out.location = *location;
+    if (const auto cache = findHeader(headers, "Cache-Control")) out.cacheControl = *cache;
+    if (const auto server = findHeader(headers, "Server")) out.server = *server;
     if (out.location.empty()) return std::nullopt;  // discovery response must point somewhere
     return out;
 }

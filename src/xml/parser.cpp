@@ -1,6 +1,7 @@
 #include "xml/parser.hpp"
 
 #include <cctype>
+#include <cstdint>
 #include <string>
 
 #include "common/error.hpp"
@@ -111,6 +112,7 @@ private:
         if (entity == "quot") return "\"";
         if (entity == "apos") return "'";
         if (!entity.empty() && entity[0] == '#') {
+            if (entity.size() < 2) fail("bad numeric entity");
             long code = 0;
             try {
                 code = entity[1] == 'x' || entity[1] == 'X'
@@ -119,10 +121,35 @@ private:
             } catch (...) {
                 fail("bad numeric entity");
             }
-            if (code < 0 || code > 255) fail("numeric entity outside byte range");
-            return std::string(1, static_cast<char>(code));
+            // Any Unicode scalar value is legal (XML 1.0 Char minus the
+            // surrogate block); encode it as UTF-8 instead of truncating to
+            // a byte.
+            if (code < 0 || code > 0x10FFFF) fail("numeric entity outside Unicode range");
+            if (code >= 0xD800 && code <= 0xDFFF) fail("numeric entity is a surrogate");
+            return encodeUtf8(static_cast<std::uint32_t>(code));
         }
         fail("unknown entity '&" + std::string(entity) + ";'");
+    }
+
+    /// Minimal UTF-8 encoder for numeric character references.
+    static std::string encodeUtf8(std::uint32_t code) {
+        std::string out;
+        if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | code >> 6));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else if (code < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | code >> 12));
+            out.push_back(static_cast<char>(0x80 | (code >> 6 & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | code >> 18));
+            out.push_back(static_cast<char>(0x80 | (code >> 12 & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code >> 6 & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+        return out;
     }
 
     std::string parseAttributeValue() {

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Regression gate for the --json microbench dumps.
+
+    bench_compare.py <baseline.json> <current.json> [--threshold 0.20]
+
+Compares medians row by row. Absolute timings vary wildly between machines
+(the committed baseline was captured on one particular box), so rows are
+first normalised by a reference median taken from the SAME file: the summed
+`*/interp` medians, i.e. the cost of the unoptimised interpreter on that
+machine. A row regresses when its normalised median grew by more than the
+threshold over the baseline's normalised median -- in other words, when the
+plan path lost ground RELATIVE to the interpreter, which no amount of
+machine noise explains.
+
+Exit status: 0 clean, 1 regression (or malformed/mismatched inputs).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as handle:
+        data = json.load(handle)
+    rows = {row["name"]: row for row in data.get("rows", [])}
+    if not rows:
+        sys.exit(f"{path}: no rows")
+    return rows
+
+
+def reference_median(rows):
+    """Sum of the interpreter-path medians: the machine-speed yardstick."""
+    total = sum(r["median"] for name, r in rows.items() if name.endswith("/interp"))
+    if total <= 0:
+        sys.exit("no '*/interp' reference rows to normalise against")
+    return total
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed relative median growth (default 0.20)")
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print(f"FAIL: rows missing from {args.current}: {', '.join(missing)}")
+        return 1
+
+    base_ref = reference_median(baseline)
+    cur_ref = reference_median(current)
+
+    failures = []
+    for name in sorted(baseline):
+        base_norm = baseline[name]["median"] / base_ref
+        cur_norm = current[name]["median"] / cur_ref
+        growth = cur_norm / base_norm - 1.0 if base_norm > 0 else 0.0
+        marker = ""
+        if growth > args.threshold:
+            failures.append(name)
+            marker = "  <-- REGRESSION"
+        print(f"{name:40s} baseline {base_norm:8.4f}  current {cur_norm:8.4f}  "
+              f"{growth:+7.1%}{marker}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} row(s) regressed more than "
+              f"{args.threshold:.0%} (normalised by the interpreter reference)")
+        return 1
+    print(f"\nPASS: no row regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

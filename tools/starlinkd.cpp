@@ -8,6 +8,9 @@
 //                                       deploy a bridge FROM MODEL FILES and run
 //                                       the SLP-client / Bonjour-service demo
 //   starlinkd dot <case>                print the case's merged automaton as GraphViz
+//   starlinkd plan <mdl>                dump the codec plan compiled from an MDL
+//                                       (built-in name slp|dns|ssdp|http|ldap|wsd,
+//                                       or a .mdl.xml file path)
 //   starlinkd chaos <case> [loss] [seed]
 //                                       run the case under per-hop loss plus a
 //                                       seeded FaultSchedule and report every
@@ -24,6 +27,7 @@
 #include "common/error.hpp"
 #include "core/bridge/models.hpp"
 #include "core/bridge/starlink.hpp"
+#include "core/mdl/codec.hpp"
 #include "core/merge/dot_export.hpp"
 #include "core/merge/spec_loader.hpp"
 #include "protocols/mdns/mdns_agents.hpp"
@@ -43,6 +47,7 @@ int usage() {
                  "       starlinkd demo-files <served.mdl> <served.automaton> "
                  "<queried.mdl> <queried.automaton> <bridge.xml>\n"
                  "       starlinkd dot <case>\n"
+                 "       starlinkd plan <mdl>\n"
                  "       starlinkd chaos <case> [loss] [seed]\n"
                  "cases: slp-to-upnp slp-to-bonjour upnp-to-slp upnp-to-bonjour "
                  "bonjour-to-upnp bonjour-to-slp\n";
@@ -342,6 +347,87 @@ int cmdChaos(const std::string& caseName, double loss, std::uint64_t seed) {
     return successes > 0 && connectorHealthy ? 0 : 1;
 }
 
+/// What a field's length rule compiles to, for the plan dump.
+std::string describeLength(const mdl::FieldSpec& spec) {
+    using Length = mdl::FieldSpec::Length;
+    switch (spec.length) {
+        case Length::Bits: return "bits(" + std::to_string(spec.bits) + ")";
+        case Length::FieldRef: return "ref(" + spec.ref + ")";
+        case Length::Auto: return "auto";
+        case Length::Delimiter: return "delimiter[" + std::to_string(spec.delimiter.size()) + "B]";
+        case Length::FieldsBlock: return "fields-block";
+        case Length::Body: return "body";
+        case Length::Meta: return "meta";
+        case Length::XmlPath: return "xml-path(" + spec.ref + ")";
+    }
+    return "?";
+}
+
+void printPlanField(const mdl::PlanField& field, int flatIndex) {
+    std::cout << "    [" << flatIndex << "] " << field.spec->label << "  "
+              << describeLength(*field.spec);
+    if (!field.marshallerName.empty()) std::cout << "  marshaller=" << field.marshallerName;
+    if (field.refIndex >= 0) std::cout << "  length<-flat[" << field.refIndex << "]";
+    if (field.searcherIndex >= 0) std::cout << "  searcher#" << field.searcherIndex;
+    if (field.isMsgLength) std::cout << "  f-msglength";
+    if (!field.pathSteps.empty()) {
+        std::cout << "  path=";
+        for (std::size_t i = 0; i < field.pathSteps.size(); ++i) {
+            std::cout << (i ? "/" : "") << field.pathSteps[i];
+        }
+    }
+    if (field.defaultValue) std::cout << "  default=\"" << field.defaultValue->toText() << "\"";
+    std::cout << "\n";
+}
+
+/// Dumps the codec plan an MDL compiles to: the flat header, every message
+/// plan with its dispatch rule, and the compose metadata the interpreters
+/// used to re-derive per message.
+int cmdPlan(const std::string& which) {
+    std::string mdlXml;
+    if (which == "slp") mdlXml = bridge::models::slpMdl();
+    else if (which == "dns") mdlXml = bridge::models::dnsMdl();
+    else if (which == "ssdp") mdlXml = bridge::models::ssdpMdl();
+    else if (which == "http") mdlXml = bridge::models::httpMdl();
+    else if (which == "ldap") mdlXml = bridge::models::ldapMdl();
+    else if (which == "wsd") mdlXml = bridge::models::wsdMdl();
+    else mdlXml = slurp(which);
+
+    const auto codec = mdl::MessageCodec::fromXml(mdlXml);
+    const mdl::CodecPlan& plan = codec->plan();
+    const auto& doc = codec->document();
+    const char* kind = doc.kind() == mdl::MdlKind::Binary   ? "binary"
+                       : doc.kind() == mdl::MdlKind::Text   ? "text"
+                                                            : "xml";
+    std::cout << "protocol " << doc.protocol() << " (" << kind << " dialect)\n";
+
+    std::cout << "header (" << plan.header().size() << " fields):\n";
+    for (std::size_t i = 0; i < plan.header().size(); ++i) {
+        printPlanField(plan.header()[i], static_cast<int>(i));
+    }
+
+    std::cout << "messages (" << plan.messages().size() << "):\n";
+    for (const mdl::MessagePlan& mp : plan.messages()) {
+        std::cout << "  " << mp.spec->type;
+        if (mp.spec->rule) {
+            std::cout << "  rule " << mp.spec->rule->field << "=" << mp.spec->rule->value;
+        } else {
+            std::cout << "  (unruled fallback)";
+        }
+        std::cout << "\n";
+        for (std::size_t i = 0; i < mp.body.size(); ++i) {
+            printPlanField(mp.body[i],
+                           static_cast<int>(plan.header().size() + i));
+        }
+        if (!mp.mandatory.empty()) {
+            std::cout << "    mandatory:";
+            for (const std::string& label : mp.mandatory) std::cout << " " << label;
+            std::cout << "\n";
+        }
+    }
+    return 0;
+}
+
 int cmdDot(const std::string& caseName) {
     const auto c = parseCase(caseName);
     if (!c) return usage();
@@ -368,6 +454,7 @@ int main(int argc, char** argv) {
             if (command == "demo" && argc == 3) return cmdDemo(argv[2]);
             if (command == "demo-files" && argc == 7) return cmdDemoFiles(argv + 2);
             if (command == "dot" && argc == 3) return cmdDot(argv[2]);
+            if (command == "plan" && argc == 3) return cmdPlan(argv[2]);
             if (command == "chaos" && argc >= 3 && argc <= 5) {
                 double loss = 0.25;
                 std::uint64_t seed = 42;
