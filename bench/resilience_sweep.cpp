@@ -15,12 +15,14 @@
 // Exit status enforces the resilience bar: at 25% per-hop loss every case
 // must still discover in >= 95% of lookups (and lossless runs in 100%).
 #include <cstdio>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/bridge/models.hpp"
 #include "core/bridge/starlink.hpp"
+#include "core/telemetry/span.hpp"
 #include "protocols/mdns/mdns_agents.hpp"
 #include "protocols/slp/slp_agents.hpp"
 #include "protocols/ssdp/ssdp_agents.hpp"
@@ -45,6 +47,10 @@ struct Cell {
     std::size_t bridgeRetransmits = 0;
     std::size_t datagramsLost = 0;
     double medianTranslationMs = 0;
+    // Median per-session leg totals of completed sessions (see fig12b for
+    // the tiling invariant these two legs satisfy).
+    double medianTranslateLegMs = 0;
+    double medianWaitLegMs = 0;
 
     double successRate() const {
         return lookups == 0 ? 0.0 : static_cast<double>(successes) / lookups;
@@ -62,6 +68,9 @@ engine::EngineOptions sweepEngineOptions() {
     options.retransmitBackoff = 1.5;
     options.retransmitJitter = net::ms(100);
     options.sessionTimeout = net::ms(30000);
+    // Span collection costs no virtual time; sized for every session the
+    // sweep can start (lookups x retransmission storms stay well under this).
+    options.spanCapacity = 1 << 16;
     return options;
 }
 
@@ -158,16 +167,40 @@ Cell sweepCase(Case c, double loss) {
         if (success) ++cell.successes;
     }
 
-    std::vector<double> translationMs;
-    for (const auto& session : deployed.engine().sessions()) {
+    // Per-session leg totals from the span trees, restricted (like fig12b)
+    // to spans ending at or before the client reply of a completed session.
+    std::map<std::uint64_t, double> translateBySession;
+    std::map<std::uint64_t, double> waitBySession;
+    const auto& sessions = deployed.engine().sessions();
+    for (const telemetry::Span& span : deployed.engine().spans().snapshot()) {
+        if (span.session == 0 || span.session > sessions.size()) continue;
+        const auto& record = sessions[span.session - 1];
+        if (!record.completed) continue;
+        const net::TimePoint replyAt = record.clientReply.value_or(record.lastSend);
+        if (span.end > replyAt) continue;
+        if (span.name == "translate") {
+            translateBySession[span.session] += bench::toMs(span.duration());
+        } else if (span.name == "receive-wait") {
+            waitBySession[span.session] += bench::toMs(span.duration());
+        }
+    }
+
+    std::vector<double> translationMs, translateLegMs, waitLegMs;
+    std::uint64_t ordinal = 0;
+    for (const auto& session : sessions) {
+        ++ordinal;
         ++cell.sessionsStarted;
         cell.bridgeRetransmits += session.retransmits;
         if (session.completed) {
             ++cell.sessionsCompleted;
             translationMs.push_back(bench::toMs(session.translationTime()));
+            translateLegMs.push_back(translateBySession[ordinal]);
+            waitLegMs.push_back(waitBySession[ordinal]);
         }
     }
     cell.medianTranslationMs = bench::summarize(std::move(translationMs)).medianMs;
+    cell.medianTranslateLegMs = bench::summarize(std::move(translateLegMs)).medianMs;
+    cell.medianWaitLegMs = bench::summarize(std::move(waitLegMs)).medianMs;
     cell.datagramsLost = network.datagramsLost();
     return cell;
 }
@@ -201,10 +234,12 @@ int main() {
         std::printf("%s{\"case\":\"%s\",\"loss\":%.2f,\"lookups\":%d,\"successes\":%d,"
                     "\"successRate\":%.4f,\"sessionsStarted\":%zu,\"sessionsCompleted\":%zu,"
                     "\"bridgeRetransmits\":%zu,\"datagramsLost\":%zu,"
-                    "\"medianTranslationMs\":%.1f}",
+                    "\"medianTranslationMs\":%.1f,"
+                    "\"legs\":{\"translateMs\":%.1f,\"receiveWaitMs\":%.1f}}",
                     i == 0 ? "" : ",", cell.caseName, cell.loss, cell.lookups, cell.successes,
                     cell.successRate(), cell.sessionsStarted, cell.sessionsCompleted,
-                    cell.bridgeRetransmits, cell.datagramsLost, cell.medianTranslationMs);
+                    cell.bridgeRetransmits, cell.datagramsLost, cell.medianTranslationMs,
+                    cell.medianTranslateLegMs, cell.medianWaitLegMs);
     }
     std::printf("]\n");
 

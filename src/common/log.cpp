@@ -1,12 +1,30 @@
 #include "common/log.hpp"
 
 #include <atomic>
-#include <iostream>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace starlink {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+LogLevel levelFromEnv() {
+    const char* env = std::getenv("STARLINK_LOG_LEVEL");
+    LogLevel level = LogLevel::Warn;
+    if (env != nullptr) parseLogLevel(env, level);
+    return level;
+}
+
+std::atomic<LogLevel>& levelSlot() {
+    // First touch applies the STARLINK_LOG_LEVEL override; explicit
+    // setLogLevel() calls replace it afterwards.
+    static std::atomic<LogLevel> level{levelFromEnv()};
+    return level;
+}
+
+std::mutex g_timeSourceMutex;
+std::function<std::int64_t()> g_timeSource;
 
 const char* levelName(LogLevel level) {
     switch (level) {
@@ -18,14 +36,57 @@ const char* levelName(LogLevel level) {
     }
     return "?";
 }
+
 }  // namespace
 
-void setLogLevel(LogLevel level) { g_level.store(level); }
+void setLogLevel(LogLevel level) { levelSlot().store(level); }
 
-LogLevel logLevel() { return g_level.load(); }
+LogLevel logLevel() { return levelSlot().load(); }
+
+bool parseLogLevel(const std::string& name, LogLevel& out) {
+    std::string lower;
+    lower.reserve(name.size());
+    for (const char c : name) {
+        lower += static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+    }
+    if (lower == "debug") out = LogLevel::Debug;
+    else if (lower == "info") out = LogLevel::Info;
+    else if (lower == "warn" || lower == "warning") out = LogLevel::Warn;
+    else if (lower == "error") out = LogLevel::Error;
+    else if (lower == "off" || lower == "none") out = LogLevel::Off;
+    else return false;
+    return true;
+}
+
+void setLogTimeSource(std::function<std::int64_t()> microsSource) {
+    std::lock_guard lock(g_timeSourceMutex);
+    g_timeSource = std::move(microsSource);
+}
 
 void logLine(LogLevel level, const std::string& component, const std::string& message) {
-    std::cerr << '[' << levelName(level) << "] " << component << ": " << message << '\n';
+    std::string line;
+    line.reserve(component.size() + message.size() + 32);
+    {
+        std::lock_guard lock(g_timeSourceMutex);
+        if (g_timeSource) {
+            const std::int64_t us = g_timeSource();
+            char stamp[32];
+            std::snprintf(stamp, sizeof(stamp), "[+%lld.%06llds] ",
+                          static_cast<long long>(us / 1000000),
+                          static_cast<long long>(us % 1000000));
+            line += stamp;
+        }
+    }
+    line += '[';
+    line += levelName(level);
+    line += "] ";
+    line += component;
+    line += ": ";
+    line += message;
+    line += '\n';
+    // One preformatted write: lines from concurrent threads never interleave
+    // (fwrite on stderr is atomic per call under POSIX stdio locking).
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace starlink

@@ -2,9 +2,20 @@
 //
 // The framework logs model-loading and automata-engine decisions at Debug so
 // that a bridge run can be traced; the default level is Warn so tests and
-// benchmarks stay quiet.
+// benchmarks stay quiet. The STARLINK_LOG_LEVEL environment variable
+// (debug|info|warn|error|off) overrides the default at process start, so
+// starlinkd and the bench harnesses can be turned verbose without code edits;
+// setLogLevel() still wins over the environment once called.
+//
+// Each line is formatted whole -- "[+<virtual time>] [level] component:
+// message" -- and emitted with a single stderr write, so concurrent loggers
+// never interleave mid-line. The timestamp is the VIRTUAL clock of the
+// simulation when a time source is installed (bridge::Starlink installs its
+// network's clock); without one the stamp is omitted.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -16,7 +27,17 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
-/// Emits one line to stderr as "[level] component: message".
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive); returns
+/// false on anything else.
+bool parseLogLevel(const std::string& name, LogLevel& out);
+
+/// Installs the virtual-time source stamped onto every line (microseconds
+/// since the simulation epoch). Pass nullptr to remove it.
+void setLogTimeSource(std::function<std::int64_t()> microsSource);
+
+/// Emits one line to stderr as "[+1.234567s] [level] component: message"
+/// (time stamp only while a time source is installed). The line is written
+/// with one call, making concurrent logging safe.
 void logLine(LogLevel level, const std::string& component, const std::string& message);
 
 /// Stream-style helper: LOG(Debug, "engine") << "state " << id;

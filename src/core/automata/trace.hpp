@@ -11,6 +11,8 @@
 // the delta-transition constraints (eqns 2-3).
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
@@ -31,10 +33,42 @@ struct TraceEvent {
 
 class Trace {
 public:
-    void record(TraceEvent event) { events_.push_back(std::move(event)); }
+    /// The trace is a CAPPED ring: a long-running bridge keeps the most
+    /// recent `capacity` transitions instead of growing without bound. The
+    /// history operator consequently answers over that sliding window --
+    /// merge validation and the engine only ever query segments of the
+    /// current conversation, which fits comfortably (the engine's capacity
+    /// comes from EngineOptions::traceCapacity).
+    static constexpr std::size_t kDefaultCapacity = 4096;
+
+    explicit Trace(std::size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+
+    void record(TraceEvent event) {
+        if (capacity_ == 0) {
+            ++dropped_;
+            return;
+        }
+        while (events_.size() >= capacity_) {
+            events_.pop_front();
+            ++dropped_;
+        }
+        events_.push_back(std::move(event));
+    }
     void clear() { events_.clear(); }
 
-    const std::vector<TraceEvent>& events() const { return events_; }
+    /// Shrinking the cap trims the oldest events immediately.
+    void setCapacity(std::size_t capacity) {
+        capacity_ = capacity;
+        while (events_.size() > capacity_) {
+            events_.pop_front();
+            ++dropped_;
+        }
+    }
+    std::size_t capacity() const { return capacity_; }
+    /// Events evicted by the cap since construction.
+    std::uint64_t dropped() const { return dropped_; }
+
+    const std::deque<TraceEvent>& events() const { return events_; }
     std::size_t size() const { return events_.size(); }
 
     /// History operator: the sequence of instances with the given action
@@ -54,7 +88,9 @@ private:
     std::optional<std::pair<std::size_t, std::size_t>> segment(const std::string& from,
                                                                const std::string& to) const;
 
-    std::vector<TraceEvent> events_;
+    std::size_t capacity_ = kDefaultCapacity;
+    std::uint64_t dropped_ = 0;
+    std::deque<TraceEvent> events_;
 };
 
 }  // namespace starlink::automata

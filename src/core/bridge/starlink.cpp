@@ -11,7 +11,15 @@ namespace starlink::bridge {
 Starlink::Starlink(net::SimNetwork& network)
     : network_(network),
       marshallers_(mdl::MarshallerRegistry::withDefaults()),
-      translations_(merge::TranslationRegistry::withDefaults()) {}
+      translations_(merge::TranslationRegistry::withDefaults()) {
+    setLogTimeSource([&network] {
+        return std::chrono::duration_cast<std::chrono::microseconds>(
+                   network.now().time_since_epoch())
+            .count();
+    });
+}
+
+Starlink::~Starlink() { setLogTimeSource(nullptr); }
 
 DeployedBridge& Starlink::deploy(const models::DeploymentSpec& spec, const std::string& host,
                                  engine::EngineOptions options) {

@@ -51,7 +51,12 @@ private:
 
 class Starlink {
 public:
+    /// Construction also installs the network's virtual clock as the
+    /// process-wide log time source, so every log line carries the simulation
+    /// time; destruction removes it. With several frameworks alive the most
+    /// recently constructed one stamps the log.
     explicit Starlink(net::SimNetwork& network);
+    ~Starlink();
 
     /// Deploys a bridge at `host`. Loads every protocol model, the bridge
     /// document, validates the merge (structure + semantic-equivalence

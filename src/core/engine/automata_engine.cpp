@@ -22,13 +22,68 @@ AutomataEngine::AutomataEngine(std::shared_ptr<merge::MergedAutomaton> merged,
       network_(network),
       colors_(colors),
       options_(options),
-      retryRng_(options.retrySeed) {
+      retryRng_(options.retrySeed),
+      trace_(options.traceCapacity),
+      spans_(options.spanCapacity),
+      tracer_(spans_) {
     for (const auto& component : merged_->components()) {
         if (!codecs_.contains(component->name())) {
             throw SpecError("automata engine: no codec supplied for component '" +
                             component->name() + "'");
         }
     }
+
+    // Resolve every engine metric once; hot-path sites record through these
+    // pointers behind the telemetry::enabled() flag.
+    auto& registry = telemetry::MetricsRegistry::global();
+    const auto named = [&](std::string_view name) {
+        return telemetry::labeled(name, {{"bridge", merged_->name()}});
+    };
+    metrics_.sessionsCompleted =
+        &registry.counter(named("starlink_engine_sessions_completed_total"));
+    for (const FailureCause cause :
+         {FailureCause::None, FailureCause::Timeout, FailureCause::ConnectRefused,
+          FailureCause::PeerClosed, FailureCause::DecodeError}) {
+        metrics_.sessionsAborted[static_cast<int>(cause)] = &registry.counter(
+            telemetry::labeled("starlink_engine_sessions_aborted_total",
+                               {{"bridge", merged_->name()},
+                                {"cause", failureCauseName(cause)}}));
+    }
+    metrics_.messagesIn = &registry.counter(named("starlink_engine_messages_in_total"));
+    metrics_.messagesOut = &registry.counter(named("starlink_engine_messages_out_total"));
+    metrics_.retransmits = &registry.counter(named("starlink_engine_retransmits_total"));
+    metrics_.translationMs = &registry.histogram(
+        named("starlink_engine_translation_ms"),
+        {50, 100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600});
+
+    // Let the network engine hang its tcp-connect legs onto this engine's
+    // session tree.
+    network_.setTracer(&tracer_);
+}
+
+AutomataEngine::~AutomataEngine() { network_.setTracer(nullptr); }
+
+telemetry::Histogram* AutomataEngine::dwellHistogram(const std::string& state) {
+    const auto it = dwellByState_.find(state);
+    if (it != dwellByState_.end()) return it->second;
+    telemetry::Histogram* h = &telemetry::MetricsRegistry::global().histogram(
+        telemetry::labeled("starlink_engine_state_dwell_ms",
+                           {{"bridge", merged_->name()}, {"state", state}}),
+        {1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000});
+    dwellByState_.emplace(state, h);
+    return h;
+}
+
+void AutomataEngine::enterState(const std::string& next) {
+    if (telemetry::enabled() && sessionActive_) {
+        const net::TimePoint now = network_.network().now();
+        const auto dwell =
+            std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+                now - stateEnteredAt_);
+        dwellHistogram(current_)->observe(dwell.count());
+        stateEnteredAt_ = now;
+    }
+    current_ = next;
 }
 
 const ColoredAutomaton* AutomataEngine::componentByColor(std::uint64_t k) const {
@@ -92,7 +147,10 @@ void AutomataEngine::onNetworkMessage(std::uint64_t colorK, const Bytes& payload
     }
 
     std::string parseError;
+    const std::uint64_t parseWall0 = tracer_.enabled() ? telemetry::wallNowNs() : 0;
     const auto message = codecFor(*component)->parse(payload, &parseError);
+    const std::uint64_t parseWallNs =
+        parseWall0 != 0 ? telemetry::wallSinceNs(parseWall0) : 0;
     if (!message) {
         STARLINK_LOG(Warn, "engine") << "unparseable " << component->name()
                                      << " message from " << from.toString() << ": "
@@ -112,6 +170,11 @@ void AutomataEngine::onNetworkMessage(std::uint64_t colorK, const Bytes& payload
         sessionActive_ = true;
         liveSession_ = SessionRecord{};
         liveSession_.firstReceive = network_.network().now();
+        stateEnteredAt_ = liveSession_.firstReceive;
+        if (tracer_.enabled()) {
+            const telemetry::SpanId root = tracer_.beginSession(liveSession_.firstReceive);
+            tracer_.attr(root, "bridge", merged_->name());
+        }
         if (options_.sessionTimeout.count() > 0) {
             timeoutEvent_ = network_.network().scheduler().schedule(
                 options_.sessionTimeout, [this] {
@@ -124,9 +187,23 @@ void AutomataEngine::onNetworkMessage(std::uint64_t colorK, const Bytes& payload
         }
     }
     ++liveSession_.messagesIn;
+    if (telemetry::enabled()) metrics_.messagesIn->add();
     // The wait is over: an accepted message stands down the pending
     // retransmission deadline.
     cancelRetransmit();
+    if (tracer_.inSession()) {
+        const net::TimePoint now = network_.network().now();
+        if (waitSpan_ != 0) {
+            tracer_.attr(waitSpan_, "message_type", message->type());
+            tracer_.end(waitSpan_, now);
+            waitSpan_ = 0;
+        }
+        const telemetry::SpanId parseSpan = tracer_.instant("parse", now, parseWallNs);
+        tracer_.attr(parseSpan, "protocol", component->name());
+        tracer_.attr(parseSpan, "message_type", message->type());
+        tracer_.attr(parseSpan, "state", current_);
+        tracer_.attr(parseSpan, "bytes", std::to_string(payload.size()));
+    }
     // Only an accepted message establishes the reply route for its color.
     network_.notePeer(colorK, from);
 
@@ -134,7 +211,7 @@ void AutomataEngine::onNetworkMessage(std::uint64_t colorK, const Bytes& payload
     merged_->automatonOf(transition->to)->state(transition->to)->pushMessage(*message);
     trace_.record(TraceEvent{component->name(), transition->from, transition->to,
                              Action::Receive, *message});
-    current_ = transition->to;
+    enterState(transition->to);
     lastWasDelta_ = false;
     safeProceed();
 }
@@ -222,7 +299,13 @@ void AutomataEngine::proceed() {
         // Settling into a wait: give the silence a deadline so a lost
         // datagram (ours or the peer's reply) is re-solicited instead of
         // wedging the conversation.
-        if (hasReceive && sessionActive_) armRetransmit();
+        if (hasReceive && sessionActive_) {
+            if (tracer_.inSession() && waitSpan_ == 0) {
+                waitSpan_ = tracer_.begin("receive-wait", network_.network().now());
+                tracer_.attr(waitSpan_, "state", current_);
+            }
+            armRetransmit();
+        }
         return;
     }
 }
@@ -251,20 +334,30 @@ void AutomataEngine::takeDelta(const merge::DeltaTransition& delta) {
     trace_.record(TraceEvent{merged_->automatonOf(delta.from)->name(), delta.from, delta.to,
                              std::nullopt, AbstractMessage()});
     STARLINK_LOG(Debug, "engine") << "delta " << delta.from << " -> " << delta.to;
-    current_ = delta.to;
+    enterState(delta.to);
     lastWasDelta_ = true;
 }
 
 void AutomataEngine::scheduleSend(const Transition& transition) {
     sendPending_ = true;
+    // The translate leg opens NOW: its virtual extent is exactly the
+    // processingDelay window the session is about to be charged.
+    telemetry::SpanId translateSpan = 0;
+    if (tracer_.inSession()) {
+        translateSpan = tracer_.begin("translate", network_.network().now());
+        tracer_.attr(translateSpan, "state", transition.from);
+        tracer_.attr(translateSpan, "message_type", transition.messageType);
+        tracer_.attr(translateSpan, "automaton",
+                     merged_->automatonOf(transition.from)->name());
+    }
     // The interpretation cost of translating + composing, charged in virtual
     // time so Fig 12(b)-style measures include it.
     // Copy the transition: the engine may outlive iterator stability games.
     network_.network().scheduler().schedule(options_.processingDelay,
-                                            [this, transition = transition] {
+                                            [this, transition = transition, translateSpan] {
         if (!running_ || !sessionActive_) return;
         try {
-            performSend(transition);
+            performSend(transition, translateSpan);
         } catch (const std::exception& error) {
             STARLINK_LOG(Error, "engine") << "send of !" << transition.messageType
                                           << " failed, aborting session: " << error.what();
@@ -273,13 +366,35 @@ void AutomataEngine::scheduleSend(const Transition& transition) {
     });
 }
 
-void AutomataEngine::performSend(const Transition& transition) {
+void AutomataEngine::performSend(const Transition& transition,
+                                 telemetry::SpanId translateSpan) {
     ColoredAutomaton* component = merged_->automatonOf(transition.from);
+    const bool tracing = tracer_.inSession() && translateSpan != 0;
+    const net::TimePoint now = network_.network().now();
+
+    std::uint64_t wall0 = tracing ? telemetry::wallNowNs() : 0;
     AbstractMessage outgoing = buildOutgoing(transition.from, transition.messageType);
+    if (tracing) {
+        tracer_.instant("translation-logic", now, telemetry::wallSinceNs(wall0),
+                        translateSpan);
+        wall0 = telemetry::wallNowNs();
+    }
     // Compose into the engine-lifetime scratch buffer: steady-state sessions
     // reuse one allocation instead of growing a fresh Bytes per message.
     codecFor(*component)->composeInto(outgoing, composeScratch_);
+    if (tracing) {
+        const telemetry::SpanId composeSpan =
+            tracer_.instant("compose", now, telemetry::wallSinceNs(wall0), translateSpan);
+        tracer_.attr(composeSpan, "protocol", component->name());
+        tracer_.attr(composeSpan, "bytes", std::to_string(composeScratch_.size()));
+        wall0 = telemetry::wallNowNs();
+    }
     network_.send(component->color(), composeScratch_);
+    if (tracing) {
+        const telemetry::SpanId sendSpan =
+            tracer_.instant("send", now, telemetry::wallSinceNs(wall0), translateSpan);
+        tracer_.attr(sendSpan, "bytes", std::to_string(composeScratch_.size()));
+    }
 
     // Keep the encoded request: if the following wait's deadline lapses the
     // engine re-sends these exact bytes. A fresh send resets the per-wait
@@ -291,16 +406,18 @@ void AutomataEngine::performSend(const Transition& transition) {
     component->state(transition.from)->pushMessage(outgoing);
     trace_.record(TraceEvent{component->name(), transition.from, transition.to, Action::Send,
                              std::move(outgoing)});
-    liveSession_.lastSend = network_.network().now();
+    liveSession_.lastSend = now;
     if (!liveSession_.clientReply &&
         component == merged_->automatonOf(merged_->initialState())) {
         liveSession_.clientReply = liveSession_.lastSend;
     }
     ++liveSession_.messagesOut;
+    if (telemetry::enabled()) metrics_.messagesOut->add();
+    if (tracing) tracer_.end(translateSpan, now);
     STARLINK_LOG(Debug, "engine") << "sent !" << transition.messageType << " from "
                                   << transition.from;
 
-    current_ = transition.to;
+    enterState(transition.to);
     lastWasDelta_ = false;
     sendPending_ = false;
     proceed();
@@ -404,6 +521,7 @@ void AutomataEngine::onReceiveDeadline() {
     }
     ++retransmitsUsed_;
     ++liveSession_.retransmits;
+    if (telemetry::enabled()) metrics_.retransmits->add();
     STARLINK_LOG(Debug, "engine") << "reply deadline lapsed in state " << current_
                                   << "; retransmission " << retransmitsUsed_ << "/"
                                   << options_.maxRetransmits;
@@ -415,6 +533,17 @@ void AutomataEngine::onReceiveDeadline() {
         completeSession(false, classify(error));
         return;
     }
+    // The re-sent request is a real datagram on the wire: count it, so the
+    // session record agrees with the network engine's per-color counters.
+    ++liveSession_.messagesOut;
+    if (telemetry::enabled()) metrics_.messagesOut->add();
+    if (tracer_.inSession()) {
+        const telemetry::SpanId id = tracer_.instant(
+            "retransmit", network_.network().now(), 0, waitSpan_);
+        tracer_.attr(id, "state", current_);
+        tracer_.attr(id, "attempt", std::to_string(retransmitsUsed_));
+        tracer_.attr(id, "bytes", std::to_string(lastSentPayload_->size()));
+    }
     armRetransmit();
 }
 
@@ -422,6 +551,35 @@ void AutomataEngine::completeSession(bool completed, FailureCause cause) {
     liveSession_.completed = completed;
     liveSession_.cause = completed ? FailureCause::None : cause;
     sessions_.push_back(liveSession_);
+    if (telemetry::enabled()) {
+        if (completed) {
+            metrics_.sessionsCompleted->add();
+        } else {
+            metrics_.sessionsAborted[static_cast<int>(liveSession_.cause)]->add();
+        }
+        metrics_.translationMs->observe(
+            std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+                liveSession_.translationTime())
+                .count());
+    }
+    if (tracer_.inSession()) {
+        const net::TimePoint now = network_.network().now();
+        if (waitSpan_ != 0) {
+            // The wait genuinely ends here (watchdog / budget exhaustion),
+            // not as a truncation artifact.
+            tracer_.end(waitSpan_, now);
+        }
+        const telemetry::SpanId root = tracer_.sessionSpan();
+        tracer_.attr(root, "result",
+                     completed ? "completed" : failureCauseName(liveSession_.cause));
+        tracer_.attr(root, "messages_in", std::to_string(liveSession_.messagesIn));
+        tracer_.attr(root, "messages_out", std::to_string(liveSession_.messagesOut));
+        tracer_.attr(root, "retransmits", std::to_string(liveSession_.retransmits));
+        tracer_.attr(root, "translation_us",
+                     std::to_string(liveSession_.translationTime().count()));
+        tracer_.endSession(now);
+    }
+    waitSpan_ = 0;
     if (timeoutEvent_) {
         network_.network().scheduler().cancel(*timeoutEvent_);
         timeoutEvent_.reset();

@@ -42,6 +42,8 @@
 #include "core/engine/network_engine.hpp"
 #include "core/mdl/codec.hpp"
 #include "core/merge/merged_automaton.hpp"
+#include "core/telemetry/metrics.hpp"
+#include "core/telemetry/span.hpp"
 
 namespace starlink::engine {
 
@@ -78,6 +80,12 @@ struct EngineOptions {
     /// Forwarded to the network engine: bounded tcp connect retry budget.
     int tcpConnectAttempts = 3;
     net::Duration tcpConnectRetryDelay = net::ms(50);
+    /// Cap on the transition trace ring queried by the history operator.
+    /// 0 disables transition recording entirely.
+    std::size_t traceCapacity = automata::Trace::kDefaultCapacity;
+    /// Capacity of the per-engine span buffer. 0 (the default) disables span
+    /// collection, so a bridge that nobody is tracing records nothing.
+    std::size_t spanCapacity = 0;
 };
 
 /// Why a session ended without completing.
@@ -110,6 +118,8 @@ struct SessionRecord {
     std::optional<net::TimePoint> clientReply;
     net::TimePoint lastSend{};
     std::size_t messagesIn = 0;
+    /// Every protocol message the engine put on the wire, INCLUDING
+    /// engine-initiated retransmissions of a lapsed request.
     std::size_t messagesOut = 0;
     /// Requests re-sent by the engine because a reply deadline lapsed.
     std::size_t retransmits = 0;
@@ -137,6 +147,7 @@ public:
                    std::shared_ptr<merge::TranslationRegistry> translations,
                    NetworkEngine& network, automata::ColorRegistry& colors,
                    EngineOptions options = {});
+    ~AutomataEngine();
 
     /// Attaches every component color and starts listening at q0.
     void start();
@@ -151,6 +162,11 @@ public:
     const automata::Trace& trace() const { return trace_; }
     const merge::MergedAutomaton& merged() const { return *merged_; }
 
+    /// Completed spans of recent sessions (empty unless
+    /// EngineOptions::spanCapacity > 0). Span::session ordinals are 1-based
+    /// indices into sessions().
+    const telemetry::SpanBuffer& spans() const { return spans_; }
+
     /// Fired on every completed (or timed-out) session.
     std::function<void(const SessionRecord&)> onSessionComplete;
 
@@ -163,7 +179,7 @@ private:
     void safeProceed();
     void takeDelta(const merge::DeltaTransition& delta);
     void scheduleSend(const automata::Transition& transition);
-    void performSend(const automata::Transition& transition);
+    void performSend(const automata::Transition& transition, telemetry::SpanId translateSpan);
     AbstractMessage buildOutgoing(const std::string& stateId, const std::string& messageType);
     Value resolveRef(const merge::FieldRef& ref, const std::string& transform) const;
     void completeSession(bool completed, FailureCause cause = FailureCause::None);
@@ -172,6 +188,11 @@ private:
     void onReceiveDeadline();
     void cancelRetransmit();
     static FailureCause classify(const std::exception& error);
+
+    /// State change with per-state dwell accounting (virtual ms spent in the
+    /// state being left, while a session is live).
+    void enterState(const std::string& next);
+    telemetry::Histogram* dwellHistogram(const std::string& state);
 
     const automata::ColoredAutomaton* componentByColor(std::uint64_t k) const;
     std::shared_ptr<mdl::MessageCodec> codecFor(const automata::ColoredAutomaton& a) const;
@@ -205,6 +226,26 @@ private:
 
     std::vector<SessionRecord> sessions_;
     automata::Trace trace_;
+
+    // --- telemetry -------------------------------------------------------
+    // Spans: one tracer per engine, shared with the network engine for the
+    // tcp-connect leg. Metrics: pointers cached at construction so the hot
+    // path never touches the registry mutex; every metric site is gated on
+    // telemetry::enabled().
+    telemetry::SpanBuffer spans_;
+    telemetry::SessionTracer tracer_;
+    telemetry::SpanId waitSpan_ = 0;
+    net::TimePoint stateEnteredAt_{};
+    struct EngineMetrics {
+        telemetry::Counter* sessionsCompleted = nullptr;
+        telemetry::Counter* sessionsAborted[5] = {};  // indexed by FailureCause
+        telemetry::Counter* messagesIn = nullptr;
+        telemetry::Counter* messagesOut = nullptr;
+        telemetry::Counter* retransmits = nullptr;
+        telemetry::Histogram* translationMs = nullptr;
+    };
+    EngineMetrics metrics_;
+    std::map<std::string, telemetry::Histogram*> dwellByState_;
 };
 
 }  // namespace starlink::engine

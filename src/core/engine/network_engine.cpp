@@ -8,7 +8,33 @@ namespace starlink::engine {
 using automata::Color;
 
 NetworkEngine::NetworkEngine(net::SimNetwork& network, std::string host, Options options)
-    : network_(network), host_(std::move(host)), options_(options) {}
+    : network_(network), host_(std::move(host)), options_(options) {
+    auto& registry = telemetry::MetricsRegistry::global();
+    connectAttempts_ = &registry.counter("starlink_net_connect_attempts_total");
+    connectFailures_ = &registry.counter("starlink_net_connect_failures_total");
+}
+
+void NetworkEngine::noteReceived(std::uint64_t k, std::size_t bytes) {
+    if (!telemetry::enabled()) return;
+    const auto it = endpoints_.find(k);
+    if (it == endpoints_.end()) return;
+    it->second.messagesIn->add();
+    it->second.bytesIn->add(bytes);
+}
+
+void NetworkEngine::noteSent(Endpoint& endpoint, std::size_t bytes) {
+    if (!telemetry::enabled()) return;
+    endpoint.messagesOut->add();
+    endpoint.bytesOut->add(bytes);
+}
+
+void NetworkEngine::endConnectSpan(Endpoint& endpoint, const char* result, int attempts) {
+    if (tracer_ == nullptr || endpoint.connectSpan == 0) return;
+    tracer_->attr(endpoint.connectSpan, "result", result);
+    tracer_->attr(endpoint.connectSpan, "attempts", std::to_string(attempts));
+    tracer_->end(endpoint.connectSpan, network_.now());
+    endpoint.connectSpan = 0;
+}
 
 void NetworkEngine::reportFault(std::uint64_t k, NetworkFault fault, const std::string& detail) {
     STARLINK_LOG(Warn, "net-engine") << "color " << k << " session fault: " << detail;
@@ -46,6 +72,16 @@ void NetworkEngine::attach(std::uint64_t k, const Color& color, bool serverRole)
     endpoint.color = color;
     endpoint.serverRole = serverRole;
 
+    auto& registry = telemetry::MetricsRegistry::global();
+    const auto traffic = [&](std::string_view name) {
+        return &registry.counter(telemetry::labeled(
+            name, {{"color", std::to_string(k)}, {"transport", color.transport()}}));
+    };
+    endpoint.bytesIn = traffic("starlink_net_bytes_in_total");
+    endpoint.bytesOut = traffic("starlink_net_bytes_out_total");
+    endpoint.messagesIn = traffic("starlink_net_messages_in_total");
+    endpoint.messagesOut = traffic("starlink_net_messages_out_total");
+
     if (color.transport() == "tcp" && serverRole) {
         const auto port = color.port();
         if (!port) throw SpecError("network engine: tcp server color without a port");
@@ -64,6 +100,7 @@ void NetworkEngine::attach(std::uint64_t k, const Color& color, bool serverRole)
                 net::Address{color.group(), static_cast<std::uint16_t>(*port)});
         }
         endpoint.udp->onDatagram([this, k](const Bytes& payload, const net::Address& from) {
+            noteReceived(k, payload.size());
             if (handler_) handler_(k, payload, from);
         });
     } else if (color.transport() != "tcp") {
@@ -100,6 +137,7 @@ void NetworkEngine::send(std::uint64_t k, const Bytes& payload) {
             endpoint.udp->sendTo(net::Address{*host, static_cast<std::uint16_t>(*port)},
                                  payload);
         }
+        noteSent(endpoint, payload.size());
         return;
     }
 
@@ -108,6 +146,7 @@ void NetworkEngine::send(std::uint64_t k, const Bytes& payload) {
     if (endpoint.tcp && endpoint.tcp->isOpen()) {
         try {
             endpoint.tcp->send(payload);
+            noteSent(endpoint, payload.size());
         } catch (const NetError& error) {
             // The connection raced a peer close; attribute it instead of
             // leaking a bare NetError through a scheduler callback.
@@ -142,10 +181,16 @@ void NetworkEngine::send(std::uint64_t k, const Bytes& payload) {
         target = net::Address{*host, static_cast<std::uint16_t>(*port)};
     }
     endpoint.tcpConnecting = true;
+    if (tracer_ != nullptr && tracer_->enabled() && endpoint.connectSpan == 0) {
+        endpoint.connectSpan = tracer_->begin("tcp-connect", network_.now());
+        tracer_->attr(endpoint.connectSpan, "target", target.toString());
+        tracer_->attr(endpoint.connectSpan, "color", std::to_string(k));
+    }
     startConnect(k, target, 1);
 }
 
 void NetworkEngine::startConnect(std::uint64_t k, const net::Address& target, int attempt) {
+    if (telemetry::enabled()) connectAttempts_->add();
     network_.connectTcp(host_, target,
                         [this, k, target, attempt](std::shared_ptr<net::TcpConnection> connection) {
         const auto entry = endpoints_.find(k);
@@ -167,6 +212,8 @@ void NetworkEngine::startConnect(std::uint64_t k, const net::Address& target, in
             }
             ep.tcpConnecting = false;
             ep.tcpBacklog.clear();
+            if (telemetry::enabled()) connectFailures_->add();
+            endConnectSpan(ep, "refused", attempt);
             reportFault(k, NetworkFault::ConnectRefused,
                         "tcp connect to " + target.toString() + " refused after " +
                             std::to_string(attempt) + " attempts");
@@ -174,10 +221,14 @@ void NetworkEngine::startConnect(std::uint64_t k, const net::Address& target, in
         }
         ep.tcpConnecting = false;
         adoptConnection(k, connection, target);
+        endConnectSpan(ep, "connected", attempt);
         std::vector<Bytes> backlog;
         backlog.swap(ep.tcpBacklog);
         try {
-            for (const Bytes& queued : backlog) connection->send(queued);
+            for (const Bytes& queued : backlog) {
+                connection->send(queued);
+                noteSent(ep, queued.size());
+            }
         } catch (const NetError& error) {
             // Peer accepted then slammed the door before the backlog drained.
             ep.tcp.reset();
@@ -190,6 +241,7 @@ void NetworkEngine::startConnect(std::uint64_t k, const net::Address& target, in
 }
 
 void NetworkEngine::tcpDeliver(std::uint64_t k, const Bytes& payload, const net::Address& from) {
+    noteReceived(k, payload.size());
     if (handler_) handler_(k, payload, from);
 }
 
@@ -217,6 +269,9 @@ void NetworkEngine::resetSession() {
         endpoint.tcpBacklog.clear();
         endpoint.tcpConnecting = false;
         endpoint.peerClosed = false;
+        // An in-flight connect span is force-closed by the session tracer at
+        // session end; the handle just must not leak into the next session.
+        endpoint.connectSpan = 0;
         if (endpoint.tcp) {
             endpoint.tcp->close();
             endpoint.tcp.reset();

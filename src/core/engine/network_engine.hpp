@@ -29,6 +29,8 @@
 
 #include "common/bytes.hpp"
 #include "core/automata/color.hpp"
+#include "core/telemetry/metrics.hpp"
+#include "core/telemetry/span.hpp"
 #include "net/sim_network.hpp"
 
 namespace starlink::engine {
@@ -93,6 +95,11 @@ public:
     /// targets, closes tcp connections. Endpoints stay attached.
     void resetSession();
 
+    /// Lends the automata engine's session tracer so tcp-connect legs land in
+    /// the same span tree. The tracer must outlive the engine or be cleared
+    /// (pass nullptr) before it dies.
+    void setTracer(telemetry::SessionTracer* tracer) { tracer_ = tracer; }
+
 private:
     struct Endpoint {
         automata::Color color;
@@ -105,6 +112,13 @@ private:
         std::vector<Bytes> tcpBacklog;              // sends queued while connecting
         bool tcpConnecting = false;
         bool peerClosed = false;                    // peer vanished this session
+        // Per-color traffic counters, resolved once at attach (null until
+        // then); recording is gated on telemetry::enabled().
+        telemetry::Counter* bytesIn = nullptr;
+        telemetry::Counter* bytesOut = nullptr;
+        telemetry::Counter* messagesIn = nullptr;
+        telemetry::Counter* messagesOut = nullptr;
+        telemetry::SpanId connectSpan = 0;          // open tcp-connect leg
     };
 
     void tcpDeliver(std::uint64_t k, const Bytes& payload, const net::Address& from);
@@ -112,6 +126,9 @@ private:
     void adoptConnection(std::uint64_t k, std::shared_ptr<net::TcpConnection> connection,
                          const net::Address& peer);
     void reportFault(std::uint64_t k, NetworkFault fault, const std::string& detail);
+    void noteReceived(std::uint64_t k, std::size_t bytes);
+    void noteSent(Endpoint& endpoint, std::size_t bytes);
+    void endConnectSpan(Endpoint& endpoint, const char* result, int attempts);
 
     net::SimNetwork& network_;
     std::string host_;
@@ -119,6 +136,9 @@ private:
     Handler handler_;
     FaultHandler faultHandler_;
     std::map<std::uint64_t, Endpoint> endpoints_;
+    telemetry::SessionTracer* tracer_ = nullptr;
+    telemetry::Counter* connectAttempts_ = nullptr;
+    telemetry::Counter* connectFailures_ = nullptr;
 };
 
 }  // namespace starlink::engine

@@ -2,6 +2,38 @@
 
 namespace starlink::mdl {
 
+namespace {
+const char* dialectName(MdlKind kind) {
+    switch (kind) {
+        case MdlKind::Binary: return "binary";
+        case MdlKind::Text: return "text";
+        case MdlKind::Xml: return "xml";
+    }
+    return "?";
+}
+}  // namespace
+
+MessageCodec::PathMetrics MessageCodec::registerPath(const char* op, const char* path) const {
+    auto& registry = telemetry::MetricsRegistry::global();
+    const auto labels = [&](std::string_view name) {
+        return telemetry::labeled(name, {{"protocol", doc_.protocol()},
+                                         {"dialect", dialectName(doc_.kind())},
+                                         {"path", path}});
+    };
+    // Wall-nanosecond buckets spanning sub-microsecond field reads up to a
+    // pathological millisecond-class message.
+    static const std::vector<double> kNsBounds = {250,    500,     1000,    2000,   4000,
+                                                  8000,   16000,   32000,   64000,  128000,
+                                                  256000, 1000000, 4000000, 16000000};
+    PathMetrics out;
+    const std::string base = std::string("starlink_codec_") + op;
+    out.ns = &registry.histogram(labels(base + "_ns"), kNsBounds);
+    out.bytes = &registry.counter(labels(base + "_bytes_total"));
+    out.ops = &registry.counter(labels(base + "_ops_total"));
+    out.errors = &registry.counter(labels(base + "_errors_total"));
+    return out;
+}
+
 MessageCodec::MessageCodec(MdlDocument doc, std::shared_ptr<MarshallerRegistry> registry)
     : doc_(std::move(doc)), registry_(std::move(registry)) {
     switch (doc_.kind()) {
@@ -15,6 +47,10 @@ MessageCodec::MessageCodec(MdlDocument doc, std::shared_ptr<MarshallerRegistry> 
             xml_ = std::make_unique<XmlCodec>(doc_, registry_);
             break;
     }
+    parsePlan_ = registerPath("parse", "plan");
+    parseInterp_ = registerPath("parse", "interp");
+    composePlan_ = registerPath("compose", "plan");
+    composeInterp_ = registerPath("compose", "interp");
 }
 
 std::shared_ptr<MessageCodec> MessageCodec::fromXml(const std::string& mdlXml,
@@ -28,34 +64,88 @@ std::shared_ptr<MessageCodec> MessageCodec::fromDocument(
 }
 
 std::optional<AbstractMessage> MessageCodec::parse(const Bytes& data, std::string* error) const {
-    if (binary_) return binary_->parse(data, error);
-    if (text_) return text_->parse(data, error);
-    return xml_->parse(data, error);
+    if (!telemetry::enabled()) {
+        if (binary_) return binary_->parse(data, error);
+        if (text_) return text_->parse(data, error);
+        return xml_->parse(data, error);
+    }
+    const std::uint64_t wall0 = telemetry::wallNowNs();
+    std::optional<AbstractMessage> result;
+    if (binary_) result = binary_->parse(data, error);
+    else if (text_) result = text_->parse(data, error);
+    else result = xml_->parse(data, error);
+    parsePlan_.ns->observe(static_cast<double>(telemetry::wallSinceNs(wall0)));
+    parsePlan_.ops->add();
+    parsePlan_.bytes->add(data.size());
+    if (!result) parsePlan_.errors->add();
+    return result;
 }
 
 Bytes MessageCodec::compose(const AbstractMessage& message) const {
-    if (binary_) return binary_->compose(message);
-    if (text_) return text_->compose(message);
-    return xml_->compose(message);
+    Bytes out;
+    composeInto(message, out);
+    return out;
 }
 
 void MessageCodec::composeInto(const AbstractMessage& message, Bytes& out) const {
-    if (binary_) return binary_->composeInto(message, out);
-    if (text_) return text_->composeInto(message, out);
-    return xml_->composeInto(message, out);
+    if (!telemetry::enabled()) {
+        if (binary_) return binary_->composeInto(message, out);
+        if (text_) return text_->composeInto(message, out);
+        return xml_->composeInto(message, out);
+    }
+    const std::uint64_t wall0 = telemetry::wallNowNs();
+    composePlan_.ops->add();
+    try {
+        if (binary_) binary_->composeInto(message, out);
+        else if (text_) text_->composeInto(message, out);
+        else xml_->composeInto(message, out);
+    } catch (...) {
+        composePlan_.errors->add();
+        throw;
+    }
+    composePlan_.ns->observe(static_cast<double>(telemetry::wallSinceNs(wall0)));
+    composePlan_.bytes->add(out.size());
 }
 
 std::optional<AbstractMessage> MessageCodec::parseInterpreted(const Bytes& data,
                                                               std::string* error) const {
-    if (binary_) return binary_->parseInterpreted(data, error);
-    if (text_) return text_->parseInterpreted(data, error);
-    return xml_->parseInterpreted(data, error);
+    if (!telemetry::enabled()) {
+        if (binary_) return binary_->parseInterpreted(data, error);
+        if (text_) return text_->parseInterpreted(data, error);
+        return xml_->parseInterpreted(data, error);
+    }
+    const std::uint64_t wall0 = telemetry::wallNowNs();
+    std::optional<AbstractMessage> result;
+    if (binary_) result = binary_->parseInterpreted(data, error);
+    else if (text_) result = text_->parseInterpreted(data, error);
+    else result = xml_->parseInterpreted(data, error);
+    parseInterp_.ns->observe(static_cast<double>(telemetry::wallSinceNs(wall0)));
+    parseInterp_.ops->add();
+    parseInterp_.bytes->add(data.size());
+    if (!result) parseInterp_.errors->add();
+    return result;
 }
 
 Bytes MessageCodec::composeInterpreted(const AbstractMessage& message) const {
-    if (binary_) return binary_->composeInterpreted(message);
-    if (text_) return text_->composeInterpreted(message);
-    return xml_->composeInterpreted(message);
+    if (!telemetry::enabled()) {
+        if (binary_) return binary_->composeInterpreted(message);
+        if (text_) return text_->composeInterpreted(message);
+        return xml_->composeInterpreted(message);
+    }
+    const std::uint64_t wall0 = telemetry::wallNowNs();
+    composeInterp_.ops->add();
+    Bytes out;
+    try {
+        if (binary_) out = binary_->composeInterpreted(message);
+        else if (text_) out = text_->composeInterpreted(message);
+        else out = xml_->composeInterpreted(message);
+    } catch (...) {
+        composeInterp_.errors->add();
+        throw;
+    }
+    composeInterp_.ns->observe(static_cast<double>(telemetry::wallSinceNs(wall0)));
+    composeInterp_.bytes->add(out.size());
+    return out;
 }
 
 const CodecPlan& MessageCodec::plan() const {

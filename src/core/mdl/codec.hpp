@@ -15,6 +15,7 @@
 #include "core/mdl/text_codec.hpp"
 #include "core/mdl/xml_codec.hpp"
 #include "core/message/abstract_message.hpp"
+#include "core/telemetry/metrics.hpp"
 
 namespace starlink::mdl {
 
@@ -55,11 +56,24 @@ public:
 private:
     MessageCodec(MdlDocument doc, std::shared_ptr<MarshallerRegistry> registry);
 
+    /// Per-path telemetry hooks, resolved once at load time (alongside the
+    /// CodecPlan) so the parse/compose hot paths record through cached
+    /// pointers. Recording is skipped entirely -- one relaxed flag load --
+    /// unless telemetry::setEnabled(true) was called.
+    struct PathMetrics {
+        telemetry::Histogram* ns = nullptr;       // per-op wall nanoseconds
+        telemetry::Counter* bytes = nullptr;      // wire bytes through the path
+        telemetry::Counter* ops = nullptr;        // operations attempted
+        telemetry::Counter* errors = nullptr;     // parse rejections / throws
+    };
+    PathMetrics registerPath(const char* op, const char* path) const;
+
     MdlDocument doc_;
     std::shared_ptr<MarshallerRegistry> registry_;
     std::unique_ptr<BinaryCodec> binary_;
     std::unique_ptr<TextCodec> text_;
     std::unique_ptr<XmlCodec> xml_;
+    PathMetrics parsePlan_, parseInterp_, composePlan_, composeInterp_;
 };
 
 }  // namespace starlink::mdl

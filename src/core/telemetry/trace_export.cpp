@@ -1,0 +1,87 @@
+#include "core/telemetry/trace_export.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace starlink::telemetry {
+
+namespace {
+
+void appendEscaped(std::string& out, const std::string& text) {
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+}
+
+std::string quoted(const std::string& text) {
+    std::string out;
+    out.reserve(text.size() + 2);
+    out += '"';
+    appendEscaped(out, text);
+    out += '"';
+    return out;
+}
+
+}  // namespace
+
+std::string toChromeTrace(const SpanBuffer& spans, const std::string& processName) {
+    const auto snapshot = spans.snapshot();
+    std::ostringstream out;
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    bool first = true;
+    auto comma = [&] {
+        if (!first) out << ",\n";
+        first = false;
+    };
+
+    comma();
+    out << "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\"args\":{\"name\":"
+        << quoted(processName) << "}}";
+
+    std::set<std::uint64_t> sessions;
+    for (const auto& span : snapshot) sessions.insert(span.session);
+    for (const std::uint64_t session : sessions) {
+        comma();
+        out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << session
+            << ",\"name\":\"thread_name\",\"args\":{\"name\":\"session " << session << "\"}}";
+    }
+
+    for (const auto& span : snapshot) {
+        comma();
+        const auto ts = span.start.time_since_epoch().count();   // virtual us
+        const auto dur = (span.end - span.start).count();        // virtual us
+        out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << span.session << ",\"name\":"
+            << quoted(span.name) << ",\"cat\":\"bridge\",\"ts\":" << ts << ",\"dur\":" << dur
+            << ",\"args\":{\"span_id\":" << span.id << ",\"parent_id\":" << span.parent;
+        if (span.wallNs != 0) out << ",\"wall_ns\":" << span.wallNs;
+        for (const auto& attr : span.attrs) {
+            out << ',' << quoted(attr.key) << ':' << quoted(attr.value);
+        }
+        out << "}}";
+    }
+    out << "\n]}\n";
+    return out.str();
+}
+
+void writeChromeTrace(const SpanBuffer& spans, std::ostream& out,
+                      const std::string& processName) {
+    out << toChromeTrace(spans, processName);
+}
+
+}  // namespace starlink::telemetry

@@ -1,0 +1,33 @@
+// Exporters: Chrome trace_event JSON for a SpanBuffer.
+//
+// The produced JSON loads directly into chrome://tracing and Perfetto
+// (https://ui.perfetto.dev). Mapping:
+//
+//   span virtual start  -> "ts"  (microseconds -- the virtual clock's native
+//                                 resolution, so trace timestamps ARE virtual
+//                                 time since the simulation epoch t=0)
+//   span virtual length -> "dur" (complete event, ph "X")
+//   session ordinal     -> "tid" (one track per bridged conversation)
+//   attributes + wallNs -> "args" (wall-clock CPU cost appears as
+//                                  args.wall_ns on legs that are
+//                                  instantaneous in virtual time)
+//
+// The Prometheus exposition lives on MetricsRegistry::renderPrometheus().
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/telemetry/span.hpp"
+
+namespace starlink::telemetry {
+
+/// Renders the buffer's spans as one self-contained Chrome trace JSON
+/// document ({"displayTimeUnit": "ms", "traceEvents": [...]}).
+std::string toChromeTrace(const SpanBuffer& spans,
+                          const std::string& processName = "starlink-bridge");
+
+void writeChromeTrace(const SpanBuffer& spans, std::ostream& out,
+                      const std::string& processName = "starlink-bridge");
+
+}  // namespace starlink::telemetry

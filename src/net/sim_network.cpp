@@ -4,8 +4,42 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "core/telemetry/metrics.hpp"
 
 namespace starlink::net {
+
+namespace {
+
+// Process-wide wire/fault counters, mirroring the per-instance tallies so an
+// exported Prometheus snapshot can attribute drops to their injected cause.
+// Resolved lazily on first (telemetry-enabled) use.
+struct WireCounters {
+    telemetry::Counter* datagramsSent;
+    telemetry::Counter* lossDrops;
+    telemetry::Counter* partitionDrops;
+    telemetry::Counter* latencySpikes;
+    telemetry::Counter* connectsRefused;
+    telemetry::Counter* blackholes;
+};
+
+const WireCounters& wireCounters() {
+    static const WireCounters counters = [] {
+        auto& r = telemetry::MetricsRegistry::global();
+        const auto fault = [&r](const char* kind) {
+            return &r.counter(
+                telemetry::labeled("starlink_net_fault_injections_total", {{"kind", kind}}));
+        };
+        return WireCounters{&r.counter("starlink_net_datagrams_sent_total"),
+                            fault("loss"),
+                            fault("partition"),
+                            fault("latency-spike"),
+                            &r.counter("starlink_net_connects_refused_total"),
+                            fault("blackhole")};
+    }();
+    return counters;
+}
+
+}  // namespace
 
 bool Address::isMulticast() const {
     // 224.0.0.0/4: first octet 224..239.
@@ -179,7 +213,9 @@ Duration SimNetwork::sampleLatency(const std::string& from, const std::string& t
     const LatencyModel& model = modelFor(from, to);
     const auto jitterUs = model.jitter.count();
     const Duration jitter = jitterUs > 0 ? us(rng_.range(0, jitterUs)) : us(0);
-    return model.base + jitter + faultExtraLatency(from, to);
+    const Duration extra = faultExtraLatency(from, to);
+    if (extra.count() > 0 && telemetry::enabled()) wireCounters().latencySpikes->add();
+    return model.base + jitter + extra;
 }
 
 bool SimNetwork::pathUp(const std::string& a, const std::string& b) const {
@@ -259,6 +295,7 @@ void SimNetwork::leaveGroup(UdpSocket* socket, const Address& group) {
 
 void SimNetwork::udpSend(UdpSocket& from, const Address& dest, const Bytes& payload) {
     ++datagramsSent_;
+    if (telemetry::enabled()) wireCounters().datagramsSent->add();
     const Address source = from.localAddress();
 
     // Determine recipients now (membership at send time), deliver later.
@@ -278,11 +315,13 @@ void SimNetwork::udpSend(UdpSocket& from, const Address& dest, const Bytes& payl
     for (UdpSocket* recipient : recipients) {
         if (!pathUp(source.host, recipient->localAddress().host)) {
             ++partitionDrops_;
+            if (telemetry::enabled()) wireCounters().partitionDrops->add();
             continue;
         }
         const double loss = effectiveLoss(source.host, recipient->localAddress().host);
         if (loss > 0.0 && rng_.chance(loss)) {
             ++lossDrops_;
+            if (telemetry::enabled()) wireCounters().lossDrops->add();
             continue;
         }
         const Address target = recipient->localAddress();
@@ -312,9 +351,13 @@ void SimNetwork::connectTcp(const std::string& host, const Address& dest,
     scheduler_.schedule(sampleLatency(host, dest.host),
                         [this, host, dest, onResult = std::move(onResult)] {
         const auto it = tcpBindings_.find(dest);
-        if (it == tcpBindings_.end() || !pathUp(host, dest.host) || faultBlackholed(host) ||
-            faultBlackholed(dest.host)) {
+        const bool blackholed = faultBlackholed(host) || faultBlackholed(dest.host);
+        if (it == tcpBindings_.end() || !pathUp(host, dest.host) || blackholed) {
             ++connectsRefused_;
+            if (telemetry::enabled()) {
+                wireCounters().connectsRefused->add();
+                if (blackholed) wireCounters().blackholes->add();
+            }
             onResult(nullptr);
             return;
         }

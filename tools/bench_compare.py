@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Regression gate for the --json microbench dumps.
 
-    bench_compare.py <baseline.json> <current.json> [--threshold 0.20]
+    bench_compare.py <baseline.json> <current.json> [--threshold 0.20] [--absolute]
 
 Compares medians row by row. Absolute timings vary wildly between machines
 (the committed baseline was captured on one particular box), so rows are
@@ -11,6 +11,15 @@ machine. A row regresses when its normalised median grew by more than the
 threshold over the baseline's normalised median -- in other words, when the
 plan path lost ground RELATIVE to the interpreter, which no amount of
 machine noise explains.
+
+With --absolute the normalisation is skipped and raw medians are compared
+directly. That is the right mode for VIRTUAL-TIME benches (fig12b, the
+resilience sweep): their timings are deterministic simulation outputs, so
+any drift at all is a real behavioural change, and growth in EITHER
+direction beyond the threshold fails the gate.
+
+Rows present only in the current file are reported but never fail the gate,
+so benches may grow new rows ahead of a baseline refresh.
 
 Exit status: 0 clean, 1 regression (or malformed/mismatched inputs).
 """
@@ -43,6 +52,9 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="allowed relative median growth (default 0.20)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw medians (virtual-time benches); "
+                             "drift in either direction beyond the threshold fails")
     args = parser.parse_args()
 
     baseline = load_rows(args.baseline)
@@ -52,9 +64,15 @@ def main():
     if missing:
         print(f"FAIL: rows missing from {args.current}: {', '.join(missing)}")
         return 1
+    extra = sorted(set(current) - set(baseline))
+    if extra:
+        print(f"note: rows not in baseline (not gated): {', '.join(extra)}")
 
-    base_ref = reference_median(baseline)
-    cur_ref = reference_median(current)
+    if args.absolute:
+        base_ref = cur_ref = 1.0
+    else:
+        base_ref = reference_median(baseline)
+        cur_ref = reference_median(current)
 
     failures = []
     for name in sorted(baseline):
@@ -62,17 +80,20 @@ def main():
         cur_norm = current[name]["median"] / cur_ref
         growth = cur_norm / base_norm - 1.0 if base_norm > 0 else 0.0
         marker = ""
-        if growth > args.threshold:
+        regressed = abs(growth) > args.threshold if args.absolute else growth > args.threshold
+        if regressed:
             failures.append(name)
             marker = "  <-- REGRESSION"
         print(f"{name:40s} baseline {base_norm:8.4f}  current {cur_norm:8.4f}  "
               f"{growth:+7.1%}{marker}")
 
+    yardstick = ("raw medians" if args.absolute
+                 else "normalised by the interpreter reference")
     if failures:
-        print(f"\nFAIL: {len(failures)} row(s) regressed more than "
-              f"{args.threshold:.0%} (normalised by the interpreter reference)")
+        print(f"\nFAIL: {len(failures)} row(s) drifted more than "
+              f"{args.threshold:.0%} ({yardstick})")
         return 1
-    print(f"\nPASS: no row regressed more than {args.threshold:.0%}")
+    print(f"\nPASS: no row drifted more than {args.threshold:.0%} ({yardstick})")
     return 0
 
 

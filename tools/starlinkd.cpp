@@ -15,6 +15,12 @@
 //                                       run the case under per-hop loss plus a
 //                                       seeded FaultSchedule and report every
 //                                       bridge session's outcome and cause
+//   starlinkd trace <case> [--out f.json]
+//                                       run a few lookups with span collection
+//                                       on and export the session span trees
+//                                       as Chrome trace JSON (Perfetto-loadable)
+//   starlinkd metrics <case>            run a few lookups with telemetry on and
+//                                       print the Prometheus text exposition
 //
 // The demo topology is always: legacy client at 10.0.0.1, legacy service at
 // 10.0.0.3, bridge at 10.0.0.9, on the simulated network over virtual time.
@@ -30,6 +36,8 @@
 #include "core/mdl/codec.hpp"
 #include "core/merge/dot_export.hpp"
 #include "core/merge/spec_loader.hpp"
+#include "core/telemetry/metrics.hpp"
+#include "core/telemetry/trace_export.hpp"
 #include "protocols/mdns/mdns_agents.hpp"
 #include "protocols/slp/slp_agents.hpp"
 #include "protocols/ssdp/ssdp_agents.hpp"
@@ -49,6 +57,8 @@ int usage() {
                  "       starlinkd dot <case>\n"
                  "       starlinkd plan <mdl>\n"
                  "       starlinkd chaos <case> [loss] [seed]\n"
+                 "       starlinkd trace <case> [--out file.json]\n"
+                 "       starlinkd metrics <case>\n"
                  "cases: slp-to-upnp slp-to-bonjour upnp-to-slp upnp-to-bonjour "
                  "bonjour-to-upnp bonjour-to-slp\n";
     return 2;
@@ -428,6 +438,130 @@ int cmdPlan(const std::string& which) {
     return 0;
 }
 
+/// One paper case on the simulated network, packaged for the observability
+/// commands: deploys the bridge at 10.0.0.9, spawns the matching legacy
+/// service, and drives N lookups from the matching legacy client.
+struct CaseHarness {
+    net::VirtualClock clock;
+    net::EventScheduler scheduler{clock};
+    net::SimNetwork network{scheduler};
+    bridge::Starlink starlink{network};
+    bridge::DeployedBridge* deployed = nullptr;
+    Case c;
+
+    std::optional<slp::ServiceAgent> slpService;
+    std::optional<mdns::Responder> mdnsService;
+    std::optional<ssdp::Device> upnpService;
+    std::optional<slp::UserAgent> slpClient;
+    std::optional<mdns::Resolver> mdnsClient;
+    std::optional<ssdp::ControlPoint> upnpClient;
+
+    CaseHarness(Case whichCase, engine::EngineOptions options) : c(whichCase) {
+        deployed = &starlink.deploy(bridge::models::forCase(c, "10.0.0.9"), "10.0.0.9",
+                                    options);
+        switch (c) {
+            case Case::UpnpToSlp:
+            case Case::BonjourToSlp:
+                slpService.emplace(network, slp::ServiceAgent::Config{});
+                break;
+            case Case::SlpToBonjour:
+            case Case::UpnpToBonjour:
+                mdnsService.emplace(network, mdns::Responder::Config{});
+                break;
+            case Case::SlpToUpnp:
+            case Case::BonjourToUpnp:
+                upnpService.emplace(network, ssdp::Device::Config{});
+                break;
+        }
+    }
+
+    /// Sequential lookups, each run to quiescence; returns how many
+    /// discovered the service.
+    int runLookups(int n) {
+        int successes = 0;
+        for (int i = 0; i < n; ++i) {
+            bool success = false;
+            switch (c) {
+                case Case::SlpToUpnp:
+                case Case::SlpToBonjour:
+                    if (!slpClient) slpClient.emplace(network, slp::UserAgent::Config{});
+                    slpClient->lookup("service:printer",
+                                      [&success](const slp::UserAgent::Result& r) {
+                                          success = !r.urls.empty();
+                                      });
+                    break;
+                case Case::UpnpToSlp:
+                case Case::UpnpToBonjour:
+                    if (!upnpClient) {
+                        upnpClient.emplace(network, ssdp::ControlPoint::Config{});
+                    }
+                    upnpClient->search("urn:schemas-upnp-org:service:printer:1",
+                                       [&success](const ssdp::ControlPoint::Result& r) {
+                                           success = !r.urls.empty();
+                                       });
+                    break;
+                case Case::BonjourToUpnp:
+                case Case::BonjourToSlp:
+                    if (!mdnsClient) mdnsClient.emplace(network, mdns::Resolver::Config{});
+                    mdnsClient->browse("_printer._tcp.local",
+                                       [&success](const mdns::Resolver::Result& r) {
+                                           success = !r.urls.empty();
+                                       });
+                    break;
+            }
+            scheduler.runUntilIdle();
+            if (success) ++successes;
+        }
+        return successes;
+    }
+};
+
+/// Runs a few bridged lookups with span collection on and exports the span
+/// trees as Chrome trace JSON (stdout, or --out <file>). The summary goes to
+/// stderr so a redirected stdout stays pure JSON.
+int cmdTrace(const std::string& caseName, const std::optional<std::string>& outPath) {
+    const auto c = parseCase(caseName);
+    if (!c) return usage();
+    telemetry::setEnabled(true);
+    engine::EngineOptions options;
+    options.spanCapacity = 16384;
+    CaseHarness harness(*c, options);
+    const int successes = harness.runLookups(3);
+
+    const auto& spans = harness.deployed->engine().spans();
+    const std::string processName =
+        "starlink-bridge " + std::string(bridge::models::caseName(*c));
+    if (outPath) {
+        std::ofstream out(*outPath);
+        if (!out) throw SpecError("cannot write '" + *outPath + "'");
+        telemetry::writeChromeTrace(spans, out, processName);
+        std::cout << "wrote " << *outPath << "\n";
+    } else {
+        telemetry::writeChromeTrace(spans, std::cout, processName);
+    }
+    std::cerr << "traced " << harness.deployed->engine().sessions().size() << " sessions ("
+              << spans.size() << " spans, " << spans.dropped() << " dropped); " << successes
+              << "/3 lookups discovered\n";
+    return successes > 0 && spans.size() > 0 ? 0 : 1;
+}
+
+/// Runs a few bridged lookups with metric recording on and prints the
+/// process-wide registry as Prometheus text exposition.
+int cmdMetrics(const std::string& caseName) {
+    const auto c = parseCase(caseName);
+    if (!c) return usage();
+    telemetry::setEnabled(true);
+    CaseHarness harness(*c, engine::EngineOptions{});
+    const int successes = harness.runLookups(5);
+
+    const auto virtualUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                               harness.network.now().time_since_epoch())
+                               .count();
+    std::cout << telemetry::MetricsRegistry::global().renderPrometheus(virtualUs);
+    std::cerr << successes << "/5 lookups discovered\n";
+    return successes > 0 ? 0 : 1;
+}
+
 int cmdDot(const std::string& caseName) {
     const auto c = parseCase(caseName);
     if (!c) return usage();
@@ -472,6 +606,15 @@ int main(int argc, char** argv) {
                 }
                 return cmdChaos(argv[2], loss, seed);
             }
+            if (command == "trace" && (argc == 3 || argc == 5)) {
+                std::optional<std::string> outPath;
+                if (argc == 5) {
+                    if (std::string(argv[3]) != "--out") return usage();
+                    outPath = argv[4];
+                }
+                return cmdTrace(argv[2], outPath);
+            }
+            if (command == "metrics" && argc == 3) return cmdMetrics(argv[2]);
         }
         return usage();
     } catch (const std::exception& error) {
