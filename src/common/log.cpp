@@ -3,7 +3,6 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
 namespace starlink {
 
@@ -23,8 +22,12 @@ std::atomic<LogLevel>& levelSlot() {
     return level;
 }
 
-std::mutex g_timeSourceMutex;
-std::function<std::int64_t()> g_timeSource;
+// THREAD-LOCAL by design: a time source reads a VirtualClock owned by the
+// thread's own simulation island. A process-global slot would race (and
+// dangle) the moment two shard threads each construct a bridge::Starlink;
+// per-thread slots make the install/remove pair naturally shard-confined and
+// let every shard stamp its log lines with its OWN virtual time.
+thread_local std::function<std::int64_t()> t_timeSource;
 
 const char* levelName(LogLevel level) {
     switch (level) {
@@ -59,23 +62,19 @@ bool parseLogLevel(const std::string& name, LogLevel& out) {
 }
 
 void setLogTimeSource(std::function<std::int64_t()> microsSource) {
-    std::lock_guard lock(g_timeSourceMutex);
-    g_timeSource = std::move(microsSource);
+    t_timeSource = std::move(microsSource);
 }
 
 void logLine(LogLevel level, const std::string& component, const std::string& message) {
     std::string line;
     line.reserve(component.size() + message.size() + 32);
-    {
-        std::lock_guard lock(g_timeSourceMutex);
-        if (g_timeSource) {
-            const std::int64_t us = g_timeSource();
-            char stamp[32];
-            std::snprintf(stamp, sizeof(stamp), "[+%lld.%06llds] ",
-                          static_cast<long long>(us / 1000000),
-                          static_cast<long long>(us % 1000000));
-            line += stamp;
-        }
+    if (t_timeSource) {
+        const std::int64_t us = t_timeSource();
+        char stamp[32];
+        std::snprintf(stamp, sizeof(stamp), "[+%lld.%06llds] ",
+                      static_cast<long long>(us / 1000000),
+                      static_cast<long long>(us % 1000000));
+        line += stamp;
     }
     line += '[';
     line += levelName(level);

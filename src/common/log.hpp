@@ -23,7 +23,10 @@ namespace starlink {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
-/// Process-wide minimum level; messages below it are discarded.
+/// Process-wide minimum level; messages below it are discarded. The slot is
+/// a single atomic (the STARLINK_LOG_LEVEL env override is applied inside
+/// its thread-safe first-touch initialisation), so concurrent engines may
+/// query and set it freely.
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
@@ -31,8 +34,11 @@ LogLevel logLevel();
 /// false on anything else.
 bool parseLogLevel(const std::string& name, LogLevel& out);
 
-/// Installs the virtual-time source stamped onto every line (microseconds
-/// since the simulation epoch). Pass nullptr to remove it.
+/// Installs the CALLING THREAD's virtual-time source, stamped onto every
+/// line that thread logs (microseconds since the simulation epoch). Pass
+/// nullptr to remove it. The slot is thread-local: each shard thread of the
+/// sharded engine stamps its lines with its own island's virtual clock, and
+/// two threads' frameworks can never race on (or dangle) each other's clock.
 void setLogTimeSource(std::function<std::int64_t()> microsSource);
 
 /// Emits one line to stderr as "[+1.234567s] [level] component: message"

@@ -39,6 +39,13 @@ public:
     /// merge validation and the engine only ever query segments of the
     /// current conversation, which fits comfortably (the engine's capacity
     /// comes from EngineOptions::traceCapacity).
+    ///
+    /// Thread confinement: a Trace is engine state, and an engine is island
+    /// state -- with concurrent engines (shard_engine.hpp) each ring is
+    /// recorded and queried only on its shard's thread. segment() anchors at
+    /// the LAST visit of `from`, so on a pooled island serving session after
+    /// session the operator answers over the current conversation even while
+    /// older sessions' transitions are still in the window.
     static constexpr std::size_t kDefaultCapacity = 4096;
 
     explicit Trace(std::size_t capacity = kDefaultCapacity) : capacity_(capacity) {}

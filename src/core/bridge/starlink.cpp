@@ -64,7 +64,7 @@ DeployedBridge& Starlink::deploy(const models::DeploymentSpec& spec, const std::
     bridge->network_ = std::make_unique<engine::NetworkEngine>(
         network_, host,
         engine::NetworkEngine::Options{options.tcpConnectAttempts,
-                                       options.tcpConnectRetryDelay});
+                                       options.tcpConnectRetryDelay, options.metrics});
     bridge->engine_ = std::make_unique<engine::AutomataEngine>(
         std::move(merged), std::move(codecs), translations_, *bridge->network_, colors_,
         options);
@@ -104,7 +104,7 @@ DeployedBridge& Starlink::deploySynthesized(const models::ProtocolModel& served,
     bridge->network_ = std::make_unique<engine::NetworkEngine>(
         network_, host,
         engine::NetworkEngine::Options{options.tcpConnectAttempts,
-                                       options.tcpConnectRetryDelay});
+                                       options.tcpConnectRetryDelay, options.metrics});
     bridge->engine_ = std::make_unique<engine::AutomataEngine>(
         std::move(synthesis.merged), std::move(codecs), translations_, *bridge->network_,
         colors_, options);

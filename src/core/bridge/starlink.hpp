@@ -52,9 +52,13 @@ private:
 class Starlink {
 public:
     /// Construction also installs the network's virtual clock as the
-    /// process-wide log time source, so every log line carries the simulation
-    /// time; destruction removes it. With several frameworks alive the most
-    /// recently constructed one stamps the log.
+    /// CONSTRUCTING THREAD's log time source, so every log line that thread
+    /// emits carries the simulation time; destruction removes it. The slot is
+    /// thread-local: with several frameworks alive on one thread the most
+    /// recently constructed one stamps that thread's log, while frameworks on
+    /// other threads (one per shard of the sharded driver) stamp their own
+    /// lines independently. Construct and destroy a framework on the same
+    /// thread that runs its simulation.
     explicit Starlink(net::SimNetwork& network);
     ~Starlink();
 

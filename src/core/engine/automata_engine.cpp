@@ -35,7 +35,9 @@ AutomataEngine::AutomataEngine(std::shared_ptr<merge::MergedAutomaton> merged,
 
     // Resolve every engine metric once; hot-path sites record through these
     // pointers behind the telemetry::enabled() flag.
-    auto& registry = telemetry::MetricsRegistry::global();
+    registry_ = options_.metrics != nullptr ? options_.metrics
+                                            : &telemetry::MetricsRegistry::global();
+    auto& registry = *registry_;
     const auto named = [&](std::string_view name) {
         return telemetry::labeled(name, {{"bridge", merged_->name()}});
     };
@@ -66,7 +68,7 @@ AutomataEngine::~AutomataEngine() { network_.setTracer(nullptr); }
 telemetry::Histogram* AutomataEngine::dwellHistogram(const std::string& state) {
     const auto it = dwellByState_.find(state);
     if (it != dwellByState_.end()) return it->second;
-    telemetry::Histogram* h = &telemetry::MetricsRegistry::global().histogram(
+    telemetry::Histogram* h = &registry_->histogram(
         telemetry::labeled("starlink_engine_state_dwell_ms",
                            {{"bridge", merged_->name()}, {"state", state}}),
         {1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000});

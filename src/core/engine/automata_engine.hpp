@@ -86,6 +86,12 @@ struct EngineOptions {
     /// Capacity of the per-engine span buffer. 0 (the default) disables span
     /// collection, so a bridge that nobody is tracing records nothing.
     std::size_t spanCapacity = 0;
+    /// Registry the engine's metrics land in. nullptr (the default) selects
+    /// the process-wide MetricsRegistry::global(). The sharded driver hands
+    /// every engine its shard's private registry so the hot path never shares
+    /// a cache line across threads; shards are merged at export
+    /// (MetricsRegistry::mergeFrom). The registry must outlive the engine.
+    telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 /// Why a session ended without completing.
@@ -170,6 +176,12 @@ public:
     /// Fired on every completed (or timed-out) session.
     std::function<void(const SessionRecord&)> onSessionComplete;
 
+    /// Rewinds the retransmission-jitter generator to a fresh seed. The
+    /// sharded driver calls this before every session so a session's jitter
+    /// draws depend only on its own seed, never on how many retransmissions
+    /// earlier sessions of the pooled engine burned.
+    void reseedRetry(std::uint64_t seed) { retryRng_ = Rng(seed); }
+
 private:
     void onNetworkMessage(std::uint64_t colorK, const Bytes& payload, const net::Address& from);
     void onNetworkFault(std::uint64_t colorK, NetworkFault fault, const std::string& detail);
@@ -245,6 +257,9 @@ private:
         telemetry::Histogram* translationMs = nullptr;
     };
     EngineMetrics metrics_;
+    /// Where this engine's metrics live: EngineOptions::metrics or the
+    /// process-global registry.
+    telemetry::MetricsRegistry* registry_ = nullptr;
     std::map<std::string, telemetry::Histogram*> dwellByState_;
 };
 

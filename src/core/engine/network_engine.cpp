@@ -9,7 +9,8 @@ using automata::Color;
 
 NetworkEngine::NetworkEngine(net::SimNetwork& network, std::string host, Options options)
     : network_(network), host_(std::move(host)), options_(options) {
-    auto& registry = telemetry::MetricsRegistry::global();
+    auto& registry = options_.metrics != nullptr ? *options_.metrics
+                                                 : telemetry::MetricsRegistry::global();
     connectAttempts_ = &registry.counter("starlink_net_connect_attempts_total");
     connectFailures_ = &registry.counter("starlink_net_connect_failures_total");
 }
@@ -72,7 +73,8 @@ void NetworkEngine::attach(std::uint64_t k, const Color& color, bool serverRole)
     endpoint.color = color;
     endpoint.serverRole = serverRole;
 
-    auto& registry = telemetry::MetricsRegistry::global();
+    auto& registry = options_.metrics != nullptr ? *options_.metrics
+                                                 : telemetry::MetricsRegistry::global();
     const auto traffic = [&](std::string_view name) {
         return &registry.counter(telemetry::labeled(
             name, {{"color", std::to_string(k)}, {"transport", color.transport()}}));

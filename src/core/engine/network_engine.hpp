@@ -48,6 +48,10 @@ struct NetworkEngineOptions {
     int connectAttempts = 3;
     /// Delay before the first reconnect attempt; doubles per attempt.
     net::Duration connectRetryDelay = net::ms(50);
+    /// Registry the per-color traffic counters land in; nullptr = the
+    /// process-wide registry. The sharded driver passes each shard's private
+    /// registry (see EngineOptions::metrics). Must outlive the engine.
+    telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 class NetworkEngine {

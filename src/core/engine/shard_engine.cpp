@@ -1,0 +1,352 @@
+#include "core/engine/shard_engine.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "common/log.hpp"
+#include "core/bridge/starlink.hpp"
+#include "net/scheduler.hpp"
+#include "net/sim_network.hpp"
+#include "protocols/mdns/mdns_agents.hpp"
+#include "protocols/slp/slp_agents.hpp"
+#include "protocols/ssdp/ssdp_agents.hpp"
+
+namespace starlink::engine {
+
+using bridge::models::Case;
+
+namespace {
+
+/// One private simulation island: clock, scheduler, network, framework and a
+/// deployed bridge for one direction, plus the per-session legacy agents.
+/// Everything in here is owned by exactly one shard thread; nothing escapes.
+struct Island {
+    net::VirtualClock clock;
+    net::EventScheduler scheduler{clock};
+    std::unique_ptr<net::SimNetwork> network;
+    std::unique_ptr<bridge::Starlink> starlink;
+    bridge::DeployedBridge* bridge = nullptr;
+
+    // Per-session agents; destroyed after every job so the next session
+    // re-binds the same well-known ports from a clean slate.
+    std::optional<slp::ServiceAgent> slpService;
+    std::optional<mdns::Responder> mdnsService;
+    std::optional<ssdp::Device> upnpService;
+    std::optional<slp::UserAgent> slpClient;
+    std::optional<mdns::Resolver> mdnsClient;
+    std::optional<ssdp::ControlPoint> upnpClient;
+
+    /// SessionRecords of the pooled engine already consumed by earlier jobs.
+    std::size_t recordsSeen = 0;
+};
+
+}  // namespace
+
+/// Everything one worker thread owns. Jobs are placed here at submit() time
+/// (before any thread exists); results/reports/spans are read by the
+/// coordinator after join(). Thread creation and join order those accesses,
+/// so the struct needs no locks.
+struct ShardEngine::Shard {
+    int index = 0;
+    telemetry::MetricsRegistry registry;
+    struct Pending {
+        SessionJob job;
+        std::size_t submitIndex = 0;
+    };
+    std::vector<Pending> queue;
+    std::vector<std::pair<std::size_t, SessionResult>> results;
+    std::vector<telemetry::Span> spans;
+    ShardReport report;
+    std::map<int, std::unique_ptr<Island>> islands;  // keyed by (int)Case
+    std::string error;  // first fatal error; empty == clean run
+};
+
+ShardEngine::ShardEngine(ShardEngineOptions options) : options_(std::move(options)) {
+    if (options_.shards < 1) throw std::invalid_argument("shard engine: shards must be >= 1");
+    shards_.reserve(static_cast<std::size_t>(options_.shards));
+    for (int i = 0; i < options_.shards; ++i) {
+        auto shard = std::make_unique<Shard>();
+        shard->index = i;
+        shard->report.shard = i;
+        shards_.push_back(std::move(shard));
+    }
+}
+
+ShardEngine::~ShardEngine() = default;
+
+std::uint64_t ShardEngine::keyHash(const std::string& key) {
+    std::uint64_t h = 14695981039346656037ULL;  // FNV-1a 64
+    for (const unsigned char c : key) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::uint64_t ShardEngine::deriveSeed(const std::string& key, std::uint64_t baseSeed) {
+    // One SplitMix64 scramble so key hash and base seed mix into all bits.
+    return Rng(keyHash(key) ^ (baseSeed * 0x9e3779b97f4a7c15ULL)).next();
+}
+
+int ShardEngine::shardFor(const std::string& key) const {
+    return static_cast<int>(keyHash(key) % static_cast<std::uint64_t>(options_.shards));
+}
+
+void ShardEngine::submit(SessionJob job) {
+    if (ran_) throw std::logic_error("shard engine: submit after run");
+    Shard& shard = *shards_[static_cast<std::size_t>(shardFor(job.key))];
+    shard.queue.push_back({std::move(job), submitted_++});
+}
+
+const std::vector<SessionResult>& ShardEngine::run() {
+    if (ran_) throw std::logic_error("shard engine: run called twice");
+    ran_ = true;
+
+    // One worker per shard. With a single shard, skip the thread and run
+    // inline -- the sequential harnesses stay exactly that, and a debugger
+    // sees one stack.
+    if (options_.shards == 1) {
+        runShard(*shards_[0]);
+    } else {
+        std::vector<std::thread> workers;
+        workers.reserve(shards_.size());
+        for (auto& shard : shards_) {
+            workers.emplace_back([this, &shard] { runShard(*shard); });
+        }
+        for (std::thread& worker : workers) worker.join();
+    }
+
+    // Stitch per-shard slices back into submission order and surface the
+    // merged artifacts. Single-threaded from here on.
+    results_.resize(submitted_);
+    for (auto& shard : shards_) {
+        if (!shard->error.empty()) {
+            throw std::runtime_error("shard " + std::to_string(shard->index) + ": " +
+                                     shard->error);
+        }
+        for (auto& [submitIndex, result] : shard->results) {
+            results_[submitIndex] = std::move(result);
+        }
+        reports_.push_back(shard->report);
+        spans_.insert(spans_.end(), shard->spans.begin(), shard->spans.end());
+    }
+    return results_;
+}
+
+net::Duration ShardEngine::makespan() const {
+    net::Duration worst = net::us(0);
+    for (const ShardReport& report : reports_) worst = std::max(worst, report.busyVirtual);
+    return worst;
+}
+
+double ShardEngine::virtualSessionsPerSecond() const {
+    const double seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(makespan()).count();
+    if (seconds <= 0) return 0;
+    std::size_t completed = 0;
+    for (const ShardReport& report : reports_) completed += report.completedSessions;
+    return static_cast<double>(completed) / seconds;
+}
+
+void ShardEngine::mergeMetricsInto(telemetry::MetricsRegistry& target) const {
+    for (const auto& shard : shards_) target.mergeFrom(shard->registry);
+}
+
+const telemetry::MetricsRegistry& ShardEngine::shardMetrics(int shard) const {
+    return shards_.at(static_cast<std::size_t>(shard))->registry;
+}
+
+namespace {
+
+void destroyAgents(Island& island) {
+    island.slpClient.reset();
+    island.mdnsClient.reset();
+    island.upnpClient.reset();
+    island.slpService.reset();
+    island.mdnsService.reset();
+    island.upnpService.reset();
+}
+
+}  // namespace
+
+void ShardEngine::runShard(Shard& shard) {
+    try {
+        for (const Shard::Pending& pending : shard.queue) {
+            const SessionJob& job = pending.job;
+
+            // Lazily deploy this direction's island. Deployment parses the
+            // MDL/automata/bridge models and compiles codec plans once per
+            // (shard, direction); sessions then reuse the island -- including
+            // the engine's compose scratch buffer and codec plans -- forever.
+            const int caseKey = static_cast<int>(job.caseId);
+            std::unique_ptr<Island>& slot = shard.islands[caseKey];
+            if (!slot) {
+                slot = std::make_unique<Island>();
+                slot->network = std::make_unique<net::SimNetwork>(slot->scheduler);
+                slot->starlink = std::make_unique<bridge::Starlink>(*slot->network);
+                EngineOptions engineOptions = options_.engine;
+                engineOptions.metrics = &shard.registry;
+                slot->bridge = &slot->starlink->deploy(
+                    bridge::models::forCase(job.caseId, options_.bridgeHost),
+                    options_.bridgeHost, engineOptions);
+            }
+            Island& island = *slot;
+            net::SimNetwork& network = *island.network;
+            AutomataEngine& engine = island.bridge->engine();
+
+            // Derandomise the island: every stochastic stream the session
+            // touches is rewound to a value derived from the session seed
+            // alone. Pool history cannot leak into this session's behaviour.
+            const std::uint64_t seed =
+                job.seed != 0 ? job.seed : deriveSeed(job.key, options_.baseSeed);
+            Rng seeds(seed);
+            network.reseed(seeds.next());
+            engine.reseedRetry(seeds.next());
+            const std::uint64_t chaosSeed = seeds.next();
+            const std::uint64_t serviceSeed = seeds.next();
+            const std::uint64_t clientSeed = seeds.next();
+            if (options_.chaos) {
+                network.latency().lossProbability = options_.chaosLoss;
+                // Episodes are generated over [0, horizon) and anchored at
+                // the island's current virtual time.
+                network.setFaultSchedule(
+                    net::FaultSchedule::chaos(
+                        chaosSeed, options_.chaosHorizon,
+                        {options_.clientHost, options_.serviceHost, options_.bridgeHost})
+                        .shiftedBy(network.now() - net::TimePoint{}));
+            }
+
+            // Freshly seeded legacy endpoints per session: agent-internal
+            // state (rngs, xid counters, caches) never crosses sessions.
+            destroyAgents(island);
+            switch (job.caseId) {
+                case Case::UpnpToSlp:
+                case Case::BonjourToSlp: {
+                    slp::ServiceAgent::Config config;
+                    config.host = options_.serviceHost;
+                    config.url = "service:printer://" + options_.serviceHost + ":515/queue1";
+                    config.seed = serviceSeed;
+                    island.slpService.emplace(network, config);
+                    break;
+                }
+                case Case::SlpToBonjour:
+                case Case::UpnpToBonjour: {
+                    mdns::Responder::Config config;
+                    config.host = options_.serviceHost;
+                    config.url = "http://" + options_.serviceHost + ":631/ipp";
+                    config.seed = serviceSeed;
+                    island.mdnsService.emplace(network, config);
+                    break;
+                }
+                case Case::SlpToUpnp:
+                case Case::BonjourToUpnp: {
+                    ssdp::Device::Config config;
+                    config.host = options_.serviceHost;
+                    config.serviceUrl = "http://" + options_.serviceHost + ":9090/print";
+                    config.seed = serviceSeed;
+                    island.upnpService.emplace(network, config);
+                    break;
+                }
+            }
+
+            const std::size_t recordsBefore = engine.sessions().size();
+            bool discovered = false;
+            switch (job.caseId) {
+                case Case::SlpToUpnp:
+                case Case::SlpToBonjour: {
+                    slp::UserAgent::Config config;
+                    config.host = options_.clientHost;
+                    if (options_.chaos) {
+                        config.timeout = options_.chaosClientTimeout;
+                        config.retransmitInterval = options_.chaosClientRetransmit;
+                    }
+                    island.slpClient.emplace(network, config);
+                    island.slpClient->lookup(
+                        "service:printer", [&discovered](const slp::UserAgent::Result& r) {
+                            discovered = !r.urls.empty();
+                        });
+                    break;
+                }
+                case Case::UpnpToSlp:
+                case Case::UpnpToBonjour: {
+                    ssdp::ControlPoint::Config config;
+                    config.host = options_.clientHost;
+                    config.seed = clientSeed;
+                    if (options_.chaos) {
+                        config.timeout = options_.chaosClientTimeout;
+                        config.retransmitInterval = options_.chaosClientRetransmit;
+                    }
+                    island.upnpClient.emplace(network, config);
+                    island.upnpClient->search(
+                        "urn:schemas-upnp-org:service:printer:1",
+                        [&discovered](const ssdp::ControlPoint::Result& r) {
+                            discovered = !r.urls.empty();
+                        });
+                    break;
+                }
+                case Case::BonjourToUpnp:
+                case Case::BonjourToSlp: {
+                    mdns::Resolver::Config config;
+                    config.host = options_.clientHost;
+                    config.seed = clientSeed;
+                    if (options_.chaos) {
+                        config.timeout = options_.chaosClientTimeout;
+                        config.retransmitInterval = options_.chaosClientRetransmit;
+                    }
+                    island.mdnsClient.emplace(network, config);
+                    island.mdnsClient->browse("_printer._tcp.local",
+                                              [&discovered](const mdns::Resolver::Result& r) {
+                                                  discovered = !r.urls.empty();
+                                              });
+                    break;
+                }
+            }
+
+            island.scheduler.runUntilIdle(options_.maxEventsPerSession);
+            network.clearFaultSchedule();
+            destroyAgents(island);
+
+            SessionResult result;
+            result.job = job;
+            result.job.seed = seed;
+            result.shard = shard.index;
+            result.discovered = discovered;
+            const auto& records = engine.sessions();
+            for (std::size_t i = recordsBefore; i < records.size(); ++i) {
+                const SessionRecord& record = records[i];
+                SessionOutcome outcome;
+                outcome.completed = record.completed;
+                outcome.cause = record.cause;
+                outcome.messagesIn = record.messagesIn;
+                outcome.messagesOut = record.messagesOut;
+                outcome.retransmits = record.retransmits;
+                outcome.translationUs = record.translationTime().count();
+                outcome.sessionUs = record.sessionTime().count();
+                result.outcomes.push_back(outcome);
+                ++shard.report.bridgeSessions;
+                if (record.completed) ++shard.report.completedSessions;
+            }
+            island.recordsSeen = records.size();
+            if (discovered) ++shard.report.discovered;
+            ++shard.report.jobs;
+            shard.results.emplace_back(pending.submitIndex, std::move(result));
+        }
+    } catch (const std::exception& error) {
+        shard.error = error.what();
+    }
+
+    // Post-run accounting, then island teardown ON THIS THREAD (each
+    // framework uninstalls the thread-local log time source it installed).
+    for (auto& [caseKey, island] : shard.islands) {
+        shard.report.busyVirtual += std::chrono::duration_cast<net::Duration>(
+            island->clock.now() - net::TimePoint{});
+        if (island->bridge != nullptr) {
+            const auto snapshot = island->bridge->engine().spans().snapshot();
+            shard.spans.insert(shard.spans.end(), snapshot.begin(), snapshot.end());
+        }
+    }
+    shard.islands.clear();
+}
+
+}  // namespace starlink::engine

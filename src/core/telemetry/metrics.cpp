@@ -138,6 +138,26 @@ Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<doubl
     return *slot;
 }
 
+void MetricsRegistry::mergeFrom(const MetricsRegistry& other) {
+    if (&other == this) return;
+    std::scoped_lock lock(mutex_, other.mutex_);
+    for (const auto& [name, counter] : other.counters_) {
+        auto& slot = counters_[name];
+        if (!slot) slot = std::make_unique<Counter>();
+        slot->add(counter->value());
+    }
+    for (const auto& [name, gauge] : other.gauges_) {
+        auto& slot = gauges_[name];
+        if (!slot) slot = std::make_unique<Gauge>();
+        slot->add(gauge->value());
+    }
+    for (const auto& [name, histogram] : other.histograms_) {
+        auto& slot = histograms_[name];
+        if (!slot) slot = std::make_unique<Histogram>(histogram->bounds());
+        slot->merge(*histogram);
+    }
+}
+
 std::string MetricsRegistry::renderPrometheus(std::optional<std::int64_t> virtualTimeUs) const {
     std::lock_guard lock(mutex_);
     std::ostringstream out;

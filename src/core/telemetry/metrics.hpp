@@ -126,6 +126,16 @@ public:
     /// stamped with the simulation clock as starlink_virtual_time_us.
     std::string renderPrometheus(std::optional<std::int64_t> virtualTimeUs = std::nullopt) const;
 
+    /// Adds every metric of `other` into this registry, creating missing
+    /// entries on the fly (histograms are created with the other's bounds;
+    /// merging histograms registered under the same name with different
+    /// bounds throws std::invalid_argument). This is the aggregation step of
+    /// the sharded engine: each shard records into a private registry with no
+    /// cross-thread traffic, and an exporter folds the shards together after
+    /// (or during) the run. Safe against concurrent recording on either side;
+    /// in-flight observations land in whichever snapshot comes next.
+    void mergeFrom(const MetricsRegistry& other);
+
 private:
     mutable std::mutex mutex_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;

@@ -157,6 +157,15 @@ FaultSchedule& FaultSchedule::blackhole(TimePoint start, Duration length, std::s
     return add(std::move(episode));
 }
 
+FaultSchedule FaultSchedule::shiftedBy(Duration offset) const {
+    FaultSchedule out;
+    for (FaultEpisode episode : episodes_) {
+        episode.start += offset;
+        out.add(std::move(episode));
+    }
+    return out;
+}
+
 FaultSchedule FaultSchedule::chaos(std::uint64_t seed, Duration horizon,
                                    const std::vector<std::string>& hosts) {
     Rng rng(seed);

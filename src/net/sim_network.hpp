@@ -104,6 +104,13 @@ public:
     static FaultSchedule chaos(std::uint64_t seed, Duration horizon,
                                const std::vector<std::string>& hosts);
 
+    /// A copy with every episode's start moved `offset` later. The sharded
+    /// driver anchors a per-session chaos plan (generated over [0, horizon))
+    /// at the pooled island's CURRENT virtual time, so a session's faults are
+    /// a pure function of its seed no matter how much virtual time earlier
+    /// sessions consumed.
+    FaultSchedule shiftedBy(Duration offset) const;
+
 private:
     std::vector<FaultEpisode> episodes_;
 };
@@ -217,6 +224,13 @@ public:
 
     EventScheduler& scheduler() { return scheduler_; }
     TimePoint now() const { return scheduler_.clock().now(); }
+
+    /// Rewinds the fabric's random stream to a fresh seed. Called between
+    /// pooled sessions by the sharded driver: combined with a seed-derived
+    /// fault schedule it makes every latency/loss draw of the next session a
+    /// function of that session's seed alone, which is what keeps an N-shard
+    /// run bit-identical to a 1-shard run of the same jobs.
+    void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
 
     /// Binds a UDP socket. port==0 picks an ephemeral port. Throws NetError
     /// if (host, port) is already bound.

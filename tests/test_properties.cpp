@@ -10,12 +10,18 @@
 //       randomly generated documents.
 //   P5  End-to-end value transport: for every of the six interop cases, a
 //       randomized service URL arrives at the heterogeneous client intact.
+//   P6  Session interleaving: shuffling the dispatch order of a session
+//       workload (and re-partitioning it across shards) never changes any
+//       SessionRecord outcome -- 50 seeded shuffles.
 #include <gtest/gtest.h>
+
+#include <map>
 
 #include "common/rng.hpp"
 #include "core/automata/color.hpp"
 #include "core/bridge/models.hpp"
 #include "core/bridge/starlink.hpp"
+#include "core/engine/shard_engine.hpp"
 #include "core/mdl/codec.hpp"
 #include "protocols/ldap/ldap_codec.hpp"
 #include "protocols/mdns/mdns_agents.hpp"
@@ -383,6 +389,71 @@ INSTANTIATE_TEST_SUITE_P(
         }
         return name + "_seed" + std::to_string(std::get<1>(info.param));
     });
+
+// --- P6: session interleaving ------------------------------------------------------
+//
+// A session's outcome is a pure function of (case, seed) -- shard_engine.hpp's
+// determinism contract. Property: SHUFFLING the dispatch order of a workload
+// (which reshuffles every island's session history and, at shard counts > 1,
+// the thread interleaving) never changes any SessionRecord outcome. 50 seeded
+// shuffles across the parameterized seeds.
+
+class InterleavingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InterleavingProperty, ShuffledDispatchOrderNeverChangesOutcomes) {
+    constexpr int kJobs = 30;
+    constexpr int kShufflesPerSeed = 10;  // x5 seed instances = 50 iterations
+
+    std::vector<engine::SessionJob> jobs;
+    for (int i = 0; i < kJobs; ++i) {
+        engine::SessionJob job;
+        job.caseId = bridge::models::kAllCases[static_cast<std::size_t>(i) % 6];
+        job.key = "interleave-" + std::to_string(i);
+        jobs.push_back(std::move(job));
+    }
+
+    // Reference: submission order, sequential.
+    std::map<std::string, engine::SessionResult> reference;
+    {
+        engine::ShardEngine sequential(engine::ShardEngineOptions{});
+        for (const auto& job : jobs) sequential.submit(job);
+        for (const auto& result : sequential.run()) {
+            reference.emplace(result.job.key, result);
+        }
+    }
+    ASSERT_EQ(reference.size(), jobs.size());
+
+    Rng rng(GetParam());
+    for (int round = 0; round < kShufflesPerSeed; ++round) {
+        // Seeded Fisher-Yates, then a rotating shard count so the property
+        // also covers re-partitioned (multi-threaded) layouts.
+        std::vector<engine::SessionJob> shuffled = jobs;
+        for (std::size_t i = shuffled.size() - 1; i > 0; --i) {
+            const auto j =
+                static_cast<std::size_t>(rng.range(0, static_cast<std::int64_t>(i)));
+            std::swap(shuffled[i], shuffled[j]);
+        }
+        engine::ShardEngineOptions options;
+        options.shards = 1 << (round % 4);  // 1, 2, 4, 8, ...
+        engine::ShardEngine engine(options);
+        for (const auto& job : shuffled) engine.submit(job);
+        for (const auto& result : engine.run()) {
+            const auto it = reference.find(result.job.key);
+            ASSERT_NE(it, reference.end()) << result.job.key;
+            EXPECT_EQ(result.discovered, it->second.discovered) << result.job.key;
+            ASSERT_EQ(result.outcomes.size(), it->second.outcomes.size())
+                << result.job.key;
+            for (std::size_t s = 0; s < result.outcomes.size(); ++s) {
+                EXPECT_TRUE(result.outcomes[s] == it->second.outcomes[s])
+                    << result.job.key << " session " << s << " diverged under "
+                    << options.shards << "-shard shuffle " << round;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterleavingProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
 
 }  // namespace
 }  // namespace starlink

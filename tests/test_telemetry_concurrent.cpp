@@ -1,0 +1,239 @@
+// Concurrency contract of the telemetry layer, verified under load (and
+// under TSan in the sanitize=thread CI job).
+//
+// Two legal multi-threaded shapes exist:
+//   1. SHARED registry, concurrent recording: registration is mutex-guarded
+//      and idempotent, recording is relaxed-atomic. Totals must be exact --
+//      relaxed ordering loses no increments, only ordering.
+//   2. PRIVATE per-thread registries / span buffers, merged at export
+//      (MetricsRegistry::mergeFrom, SpanBuffer::snapshot) -- the sharded
+//      engine's shape. Merge must reproduce the exact sum of the parts.
+// SpanBuffer itself is deliberately single-threaded; only shape 2 applies.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/telemetry/metrics.hpp"
+#include "core/telemetry/span.hpp"
+#include "net/clock.hpp"
+
+namespace starlink::telemetry {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kOpsPerThread = 20'000;
+
+void inThreads(int n, const std::function<void(int)>& body) {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) workers.emplace_back(body, t);
+    for (auto& w : workers) w.join();
+}
+
+// Shape 1: all threads register (same names, racing) and record into ONE
+// registry. First-wins registration and atomic recording must yield exact
+// totals.
+TEST(TelemetryConcurrent, SharedRegistryCountersAndGaugesAreExact) {
+    MetricsRegistry registry;
+    inThreads(kThreads, [&registry](int t) {
+        // Every thread resolves the same two shared names plus one of its
+        // own -- racing registration against recording on other threads.
+        Counter& shared = registry.counter("stress_shared_total");
+        Counter& mine =
+            registry.counter("stress_thread_total{t=\"" + std::to_string(t) + "\"}");
+        Gauge& gauge = registry.gauge("stress_inflight");
+        for (int i = 0; i < kOpsPerThread; ++i) {
+            shared.add(1);
+            mine.add(2);
+            gauge.add(1);
+            gauge.add(-1);
+        }
+    });
+    EXPECT_EQ(registry.counter("stress_shared_total").value(),
+              static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+    for (int t = 0; t < kThreads; ++t) {
+        EXPECT_EQ(registry.counter("stress_thread_total{t=\"" + std::to_string(t) + "\"}")
+                      .value(),
+                  static_cast<std::uint64_t>(kOpsPerThread) * 2);
+    }
+    EXPECT_EQ(registry.gauge("stress_inflight").value(), 0);
+}
+
+// Shape 1 for histograms: the CAS-loop sum and relaxed bucket counts must
+// not lose observations under contention.
+TEST(TelemetryConcurrent, SharedHistogramLosesNothing) {
+    MetricsRegistry registry;
+    const std::vector<double> bounds{1.0, 10.0, 100.0};
+    inThreads(kThreads, [&registry, &bounds](int t) {
+        Histogram& h = registry.histogram("stress_hist", bounds);
+        for (int i = 0; i < kOpsPerThread; ++i) {
+            h.observe(static_cast<double>((t + i) % 200));  // spans all buckets
+        }
+    });
+    Histogram& h = registry.histogram("stress_hist", bounds);
+    const std::uint64_t expected = static_cast<std::uint64_t>(kThreads) * kOpsPerThread;
+    EXPECT_EQ(h.count(), expected);
+    std::uint64_t bucketTotal = 0;
+    for (const std::uint64_t b : h.bucketCounts()) bucketTotal += b;
+    EXPECT_EQ(bucketTotal, expected);
+    // Sum of (t + i) % 200 is exactly computable; the CAS loop must not have
+    // dropped any addend (doubles hold these integers exactly).
+    double exactSum = 0;
+    for (int t = 0; t < kThreads; ++t) {
+        for (int i = 0; i < kOpsPerThread; ++i) exactSum += (t + i) % 200;
+    }
+    EXPECT_EQ(h.sum(), exactSum);
+}
+
+// Rendering while other threads record must be safe (the exporter runs off
+// the hot path but concurrently with it) and eventually exact once joined.
+TEST(TelemetryConcurrent, RenderDuringRecordingThenExactAfterJoin) {
+    MetricsRegistry registry;
+    std::atomic<bool> stop{false};
+    std::thread exporter([&registry, &stop] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::string text = registry.renderPrometheus(12345);
+            EXPECT_NE(text.find("starlink_virtual_time_us"), std::string::npos);
+        }
+    });
+    inThreads(kThreads, [&registry](int) {
+        Counter& c = registry.counter("render_race_total");
+        Histogram& h = registry.histogram("render_race_hist", {5.0, 50.0});
+        for (int i = 0; i < kOpsPerThread; ++i) {
+            c.add(1);
+            h.observe(static_cast<double>(i % 100));
+        }
+    });
+    stop.store(true, std::memory_order_relaxed);
+    exporter.join();
+    EXPECT_EQ(registry.counter("render_race_total").value(),
+              static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+    EXPECT_EQ(registry.histogram("render_race_hist", {5.0, 50.0}).count(),
+              static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+}
+
+// Shape 2: per-thread private registries merged at export reproduce the
+// exact totals -- counters add, gauges add, histograms merge bucket-wise.
+TEST(TelemetryConcurrent, PerThreadRegistriesMergeToExactTotals) {
+    std::vector<MetricsRegistry> shards(kThreads);
+    inThreads(kThreads, [&shards](int t) {
+        MetricsRegistry& mine = shards[static_cast<std::size_t>(t)];
+        Counter& c = mine.counter("merge_total");
+        Histogram& h = mine.histogram("merge_hist", {1.0, 2.0, 3.0});
+        Gauge& g = mine.gauge("merge_gauge");
+        for (int i = 0; i < kOpsPerThread; ++i) {
+            c.add(1);
+            h.observe(static_cast<double>(i % 5));
+            g.add(1);
+        }
+    });
+    MetricsRegistry merged;
+    for (const MetricsRegistry& shard : shards) merged.mergeFrom(shard);
+    const std::uint64_t expected = static_cast<std::uint64_t>(kThreads) * kOpsPerThread;
+    EXPECT_EQ(merged.counter("merge_total").value(), expected);
+    EXPECT_EQ(merged.gauge("merge_gauge").value(), static_cast<std::int64_t>(expected));
+    Histogram& h = merged.histogram("merge_hist", {1.0, 2.0, 3.0});
+    EXPECT_EQ(h.count(), expected);
+    const auto buckets = h.bucketCounts();
+    ASSERT_EQ(buckets.size(), 4u);
+    // i % 5 in {0,1} <= 1.0; {2} <= 2.0; {3} <= 3.0; {4} -> +Inf. Each value
+    // occurs kOpsPerThread / 5 times per thread.
+    const std::uint64_t perValue = expected / 5;
+    EXPECT_EQ(buckets[0], perValue * 2);
+    EXPECT_EQ(buckets[1], perValue);
+    EXPECT_EQ(buckets[2], perValue);
+    EXPECT_EQ(buckets[3], perValue);
+    // Merging with mismatched bounds must refuse, not corrupt.
+    MetricsRegistry bad;
+    bad.histogram("merge_hist", {9.0});
+    EXPECT_THROW(bad.mergeFrom(merged), std::invalid_argument);
+}
+
+// mergeFrom while the source is still being recorded into: legal (the shard
+// exporter may snapshot mid-run); whatever lands after the merge is simply
+// in the next snapshot. Exactness is required only after the join.
+TEST(TelemetryConcurrent, MergeDuringRecordingIsSafe) {
+    MetricsRegistry source;
+    std::atomic<bool> stop{false};
+    std::thread recorder([&source, &stop] {
+        Counter& c = source.counter("live_total");
+        while (!stop.load(std::memory_order_relaxed)) c.add(1);
+    });
+    for (int i = 0; i < 50; ++i) {
+        MetricsRegistry snapshot;
+        snapshot.mergeFrom(source);
+        EXPECT_LE(snapshot.counter("live_total").value(),
+                  source.counter("live_total").value());
+    }
+    stop.store(true, std::memory_order_relaxed);
+    recorder.join();
+    MetricsRegistry final_;
+    final_.mergeFrom(source);
+    EXPECT_EQ(final_.counter("live_total").value(), source.counter("live_total").value());
+}
+
+// Shape 2 for spans: one SpanBuffer + SessionTracer per thread, snapshots
+// concatenated at export. Totals and per-thread tree integrity must survive.
+TEST(TelemetryConcurrent, PerThreadSpanBuffersMergeAtExport) {
+    constexpr int kSessionsPerThread = 500;
+    std::vector<std::vector<Span>> snapshots(kThreads);
+    inThreads(kThreads, [&snapshots](int t) {
+        SpanBuffer buffer(8192);
+        SessionTracer tracer(buffer);
+        net::TimePoint now{};
+        for (int s = 0; s < kSessionsPerThread; ++s) {
+            tracer.beginSession(now);
+            const SpanId leg = tracer.begin("translate", now);
+            tracer.attr(leg, "thread", std::to_string(t));
+            now += net::ms(3);
+            tracer.end(leg, now);
+            tracer.endSession(now);
+            now += net::ms(1);
+        }
+        snapshots[static_cast<std::size_t>(t)] = buffer.snapshot();
+    });
+    std::vector<Span> merged;
+    for (auto& snap : snapshots) {
+        merged.insert(merged.end(), snap.begin(), snap.end());
+    }
+    // Every session contributes the root + one leg.
+    EXPECT_EQ(merged.size(), static_cast<std::size_t>(kThreads) * kSessionsPerThread * 2);
+    std::size_t roots = 0;
+    for (const Span& span : merged) {
+        if (span.parent == 0) {
+            ++roots;
+        } else {
+            ASSERT_NE(span.attr("thread"), nullptr);
+            EXPECT_EQ(span.duration(), net::ms(3));
+        }
+    }
+    EXPECT_EQ(roots, static_cast<std::size_t>(kThreads) * kSessionsPerThread);
+}
+
+// The global enabled flag may be flipped while hot paths poll it; this is a
+// relaxed atomic, so toggling must be race-free (TSan) and end deterministic.
+TEST(TelemetryConcurrent, EnabledFlagTogglesSafely) {
+    std::atomic<bool> stop{false};
+    std::thread toggler([&stop] {
+        bool on = false;
+        while (!stop.load(std::memory_order_relaxed)) {
+            setEnabled(on = !on);
+        }
+    });
+    inThreads(kThreads, [](int) {
+        for (int i = 0; i < kOpsPerThread; ++i) {
+            (void)enabled();
+        }
+    });
+    stop.store(true, std::memory_order_relaxed);
+    toggler.join();
+    setEnabled(false);
+    EXPECT_FALSE(enabled());
+}
+
+}  // namespace
+}  // namespace starlink::telemetry

@@ -21,6 +21,13 @@
 //                                       as Chrome trace JSON (Perfetto-loadable)
 //   starlinkd metrics <case>            run a few lookups with telemetry on and
 //                                       print the Prometheus text exposition
+//   starlinkd serve [--shards N] [--sessions M] [--chaos] [--loss P]
+//                   [--seed S] [--metrics]
+//                                       drive a mixed-direction session workload
+//                                       through the sharded engine (N threads,
+//                                       hash-by-key dispatch) and report per-
+//                                       shard accounting plus the aggregate
+//                                       virtual-time throughput
 //
 // The demo topology is always: legacy client at 10.0.0.1, legacy service at
 // 10.0.0.3, bridge at 10.0.0.9, on the simulated network over virtual time.
@@ -33,6 +40,7 @@
 #include "common/error.hpp"
 #include "core/bridge/models.hpp"
 #include "core/bridge/starlink.hpp"
+#include "core/engine/shard_engine.hpp"
 #include "core/mdl/codec.hpp"
 #include "core/merge/dot_export.hpp"
 #include "core/merge/spec_loader.hpp"
@@ -59,6 +67,8 @@ int usage() {
                  "       starlinkd chaos <case> [loss] [seed]\n"
                  "       starlinkd trace <case> [--out file.json]\n"
                  "       starlinkd metrics <case>\n"
+                 "       starlinkd serve [--shards N] [--sessions M] [--chaos] "
+                 "[--loss P] [--seed S] [--metrics]\n"
                  "cases: slp-to-upnp slp-to-bonjour upnp-to-slp upnp-to-bonjour "
                  "bonjour-to-upnp bonjour-to-slp\n";
     return 2;
@@ -562,6 +572,76 @@ int cmdMetrics(const std::string& caseName) {
     return successes > 0 ? 0 : 1;
 }
 
+/// Drives a mixed workload (all six directions, round-robin) through the
+/// sharded engine and reports per-shard accounting plus the aggregate
+/// virtual-time throughput. With --chaos every session runs under a
+/// seed-derived fault schedule; with --metrics the per-shard registries are
+/// merged and printed as Prometheus text exposition (stdout stays pure
+/// exposition, the report moves to stderr).
+int cmdServe(int shards, int sessions, bool chaos, double loss, std::uint64_t seed,
+             bool printMetrics) {
+    if (printMetrics) telemetry::setEnabled(true);
+    engine::ShardEngineOptions options;
+    options.shards = shards;
+    options.baseSeed = seed;
+    options.chaos = chaos;
+    options.chaosLoss = loss;
+    if (chaos) {
+        options.engine.receiveTimeout = net::ms(7000);
+        options.engine.maxRetransmits = 5;
+        options.engine.retransmitBackoff = 1.5;
+        options.engine.retransmitJitter = net::ms(100);
+        options.engine.sessionTimeout = net::ms(30000);
+    }
+    engine::ShardEngine shardEngine(options);
+    for (int i = 0; i < sessions; ++i) {
+        engine::SessionJob job;
+        job.caseId = bridge::models::kAllCases[static_cast<std::size_t>(i) % 6];
+        job.key = "session-" + std::to_string(i);
+        shardEngine.submit(job);
+    }
+    const auto& results = shardEngine.run();
+
+    std::ostream& report = printMetrics ? std::cerr : std::cout;
+    std::size_t discovered = 0;
+    std::size_t bridgeSessions = 0;
+    std::size_t completed = 0;
+    for (const auto& result : results) {
+        if (result.discovered) ++discovered;
+        bridgeSessions += result.outcomes.size();
+        for (const auto& outcome : result.outcomes) {
+            if (outcome.completed) ++completed;
+        }
+    }
+    for (const auto& shard : shardEngine.reports()) {
+        report << "shard " << shard.shard << ": " << shard.jobs << " jobs, "
+               << shard.bridgeSessions << " bridge sessions (" << shard.completedSessions
+               << " completed), " << shard.discovered << " discovered, busy "
+               << std::chrono::duration_cast<std::chrono::milliseconds>(shard.busyVirtual)
+                      .count()
+               << " ms virtual\n";
+    }
+    report << "served " << results.size() << " sessions on " << shards
+           << (shards == 1 ? " shard" : " shards") << (chaos ? " under chaos" : "")
+           << ": " << discovered << " discovered, " << completed << "/" << bridgeSessions
+           << " bridge sessions completed\n";
+    report << "virtual makespan "
+           << std::chrono::duration_cast<std::chrono::milliseconds>(shardEngine.makespan())
+                  .count()
+           << " ms, aggregate " << shardEngine.virtualSessionsPerSecond()
+           << " sessions/s (virtual)\n";
+
+    if (printMetrics) {
+        telemetry::MetricsRegistry merged;
+        shardEngine.mergeMetricsInto(merged);
+        const auto virtualUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                                   shardEngine.makespan())
+                                   .count();
+        std::cout << merged.renderPrometheus(virtualUs);
+    }
+    return discovered * 2 > results.size() ? 0 : 1;
+}
+
 int cmdDot(const std::string& caseName) {
     const auto c = parseCase(caseName);
     if (!c) return usage();
@@ -615,6 +695,35 @@ int main(int argc, char** argv) {
                 return cmdTrace(argv[2], outPath);
             }
             if (command == "metrics" && argc == 3) return cmdMetrics(argv[2]);
+            if (command == "serve") {
+                int shards = 4;
+                int sessions = 120;
+                bool chaos = false;
+                double loss = 0.05;
+                std::uint64_t seed = 0x5747524c494e4bULL;
+                bool printMetrics = false;
+                try {
+                    for (int i = 2; i < argc; ++i) {
+                        const std::string flag = argv[i];
+                        if (flag == "--chaos") chaos = true;
+                        else if (flag == "--metrics") printMetrics = true;
+                        else if (flag == "--shards" && i + 1 < argc) shards = std::stoi(argv[++i]);
+                        else if (flag == "--sessions" && i + 1 < argc) sessions = std::stoi(argv[++i]);
+                        else if (flag == "--loss" && i + 1 < argc) loss = std::stod(argv[++i]);
+                        else if (flag == "--seed" && i + 1 < argc) seed = std::stoull(argv[++i]);
+                        else return usage();
+                    }
+                } catch (const std::exception&) {
+                    std::cerr << "starlinkd: serve expects numeric option values\n";
+                    return usage();
+                }
+                if (shards < 1 || shards > 64 || sessions < 1 || loss < 0.0 || loss > 1.0) {
+                    std::cerr << "starlinkd: serve: shards in [1,64], sessions >= 1, "
+                                 "loss in [0,1]\n";
+                    return usage();
+                }
+                return cmdServe(shards, sessions, chaos, loss, seed, printMetrics);
+            }
         }
         return usage();
     } catch (const std::exception& error) {
