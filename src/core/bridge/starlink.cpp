@@ -41,6 +41,15 @@ DeployedBridge& Starlink::deploy(const models::DeploymentSpec& spec, const std::
     auto merged = merge::loadBridge(spec.bridgeXml, std::move(automata));
     merged->validate();
 
+    // 2b. Every transform the translation logic names must exist NOW: a typo
+    //     discovered per-message would be misreported as a rejected value.
+    const std::vector<std::string> unknown = merged->unknownTransforms(*translations_);
+    if (!unknown.empty()) {
+        throw SpecError("deploy '" + merged->name() + "': unknown translation function " +
+                        join(unknown, ", ") + "; registered: " +
+                        join(translations_->names(), ", "));
+    }
+
     // 3. Semantic-equivalence coverage (eqn 1): every mandatory field of
     //    every equivalent message must be produced by the translation logic.
     const auto mandatoryFields = [&merged, &codecs](const std::string& messageType) {
@@ -95,6 +104,12 @@ DeployedBridge& Starlink::deploySynthesized(const models::ProtocolModel& served,
     input.translations = translations_;
     merge::SynthesisResult synthesis = merge::synthesizeMerge(input);
     if (report != nullptr) *report = synthesis.report;
+    const std::vector<std::string> unknown =
+        synthesis.merged->unknownTransforms(*translations_);
+    if (!unknown.empty()) {
+        throw SpecError("deploy synthesized '" + synthesis.merged->name() +
+                        "': ontology names unknown translation function " + join(unknown, ", "));
+    }
 
     std::map<std::string, std::shared_ptr<mdl::MessageCodec>> codecs;
     codecs.emplace(servedAutomaton->name(), std::move(servedCodec));

@@ -436,6 +436,14 @@ AbstractMessage AutomataEngine::buildOutgoing(const std::string& stateId,
         } else {
             value = Value::ofString(assignment->constant.value_or(""));
             if (!assignment->transform.empty()) {
+                // Deploy validates transform names, so reaching an unknown
+                // one here means the registry changed at runtime; keep the
+                // error distinct from a function genuinely rejecting a value.
+                if (!translations_->contains(assignment->transform)) {
+                    throw SpecError("automata engine: unknown translation '" +
+                                    assignment->transform +
+                                    "' (removed from the registry after deploy?)");
+                }
                 const auto transformed = translations_->apply(assignment->transform, value);
                 if (!transformed) {
                     throw SpecError("automata engine: translation '" + assignment->transform +
@@ -468,6 +476,10 @@ Value AutomataEngine::resolveRef(const merge::FieldRef& ref, const std::string& 
                         " has no field '" + ref.path + "'");
     }
     if (transform.empty()) return *value;
+    if (!translations_->contains(transform)) {
+        throw SpecError("automata engine: unknown translation '" + transform +
+                        "' (removed from the registry after deploy?)");
+    }
     const auto transformed = translations_->apply(transform, *value);
     if (!transformed) {
         throw SpecError("automata engine: translation '" + transform + "' rejected value '" +

@@ -1,0 +1,45 @@
+// Structured findings of the static model linter.
+//
+// Everything the runtime loaders report by THROWING (SpecError at deploy
+// time, one defect per run) the linter reports as data: a flat list of
+// diagnostics, each tied to a model file, an XML source line, and a stable
+// rule id documented in docs/LINT.md. Tooling consumes the list (text or
+// JSON) and CI fails a fleet on any error-severity entry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace starlink::lint {
+
+enum class Severity { Info, Warning, Error };
+
+inline const char* severityName(Severity severity) {
+    switch (severity) {
+        case Severity::Info: return "info";
+        case Severity::Warning: return "warning";
+        case Severity::Error: return "error";
+    }
+    return "error";
+}
+
+/// One finding. `line` is the 1-based line of the XML element the finding is
+/// anchored to (0 when the document did not even parse).
+struct Diagnostic {
+    Severity severity = Severity::Error;
+    std::string file;     // path/label the model was added under
+    int line = 0;         // 1-based XML source line, 0 = whole file
+    std::string rule;     // stable id, e.g. "bridge.transform.unknown"
+    std::string message;  // human-readable explanation
+};
+
+/// True when any diagnostic is error-severity (the CI gate).
+bool hasErrors(const std::vector<Diagnostic>& diagnostics);
+
+/// compiler-style rendering: "file:line: severity [rule] message\n".
+std::string renderText(const std::vector<Diagnostic>& diagnostics);
+
+/// JSON array of {file, line, severity, rule, message} objects.
+std::string renderJson(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace starlink::lint

@@ -1,0 +1,112 @@
+// Static cross-layer validation of Starlink models (the `starlinkd lint`
+// engine).
+//
+// The runtime consumes three model kinds -- MDL documents, colored
+// automata, bridge specifications -- and each loader validates ITS layer in
+// isolation, throwing on the first defect it meets. The linter instead loads
+// a whole closure of models, cross-references the layers against each other,
+// and reports every defect it can find as a structured Diagnostic:
+//
+//  * MDL      -- every field marshaller resolvable, the compiled CodecPlan
+//                buildable (compose metadata complete), every <Rule>
+//                dispatchable (no message shadowed by an earlier rule or by
+//                an earlier rule-less fallback);
+//  * automata -- beyond ColoredAutomaton::validate(): transitions that can
+//                never lead to an accepting state, non-accepting dead-end
+//                states, message types no MDL in the closure defines,
+//                receive fan-out the MDL rule dispatch cannot distinguish;
+//  * bridges  -- every Assignment / DeltaTransition field reference resolves
+//                to a real (state, message, field) triple in the automata
+//                AND the MDL schema, every named transform exists in the
+//                TranslationRegistry with a compatible output type, every
+//                Equivalence names real messages and is covered by the
+//                translation logic (paper eqn 1), and every state where the
+//                merged conversation can stop either accepts or hands over
+//                through a delta-transition.
+//
+// Client/server automata of one protocol share state ids, so a bridge does
+// not say which role it composes with. The linter resolves roles the way the
+// paper's merge constraints define them: it enumerates the role combinations
+// and keeps the one satisfying the most delta-transition merge-constraint
+// forms (a full MergedAutomaton::validate() pass counts heaviest).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/automata/color.hpp"
+#include "core/automata/colored_automaton.hpp"
+#include "core/lint/diagnostic.hpp"
+#include "core/mdl/marshaller.hpp"
+#include "core/mdl/spec.hpp"
+#include "core/merge/merged_automaton.hpp"
+#include "core/merge/translation.hpp"
+#include "xml/dom.hpp"
+
+namespace starlink::lint {
+
+class Linter {
+public:
+    /// Checks against the default marshaller and translation registries --
+    /// the ones Starlink::deploy uses.
+    Linter();
+
+    /// Checks against caller-supplied registries (deployments that register
+    /// domain-specific transforms lint against the extended set).
+    Linter(std::shared_ptr<mdl::MarshallerRegistry> marshallers,
+           std::shared_ptr<merge::TranslationRegistry> translations);
+
+    /// Parses one model document and classifies it by root element (<Mdl>,
+    /// <Automaton>, <Bridge>). Unparseable or unclassifiable input becomes a
+    /// diagnostic, never a throw. `path` is echoed in diagnostics.
+    void addModel(const std::string& path, const std::string& xmlText);
+
+    /// Runs every per-model and cross-model pass over the models added so
+    /// far and returns all findings, sorted by (file, line, rule).
+    std::vector<Diagnostic> run();
+
+private:
+    struct Source {
+        std::string path;
+        std::unique_ptr<xml::Node> root;
+    };
+    struct MdlModel {
+        const Source* source = nullptr;
+        std::shared_ptr<mdl::MdlDocument> doc;
+    };
+    struct AutomatonModel {
+        const Source* source = nullptr;
+        std::shared_ptr<automata::ColoredAutomaton> automaton;
+    };
+    struct BridgeModel {
+        const Source* source = nullptr;
+    };
+
+    void emit(Severity severity, const Source& source, const xml::Node* node, std::string rule,
+              std::string message);
+
+    void lintMdl(const MdlModel& model);
+    void lintAutomaton(const AutomatonModel& model);
+    void lintBridge(const BridgeModel& model);
+
+    /// MDL model defining a message type, nullptr when none does.
+    const MdlModel* mdlDefining(const std::string& messageType) const;
+
+    /// Declared ValueType of the first path segment of `ref` per the MDL
+    /// defining its message, nullopt when untyped/unknown.
+    std::optional<ValueType> fieldValueType(const merge::FieldRef& ref) const;
+
+    std::shared_ptr<mdl::MarshallerRegistry> marshallers_;
+    std::shared_ptr<merge::TranslationRegistry> translations_;
+    automata::ColorRegistry colors_;
+
+    std::vector<std::unique_ptr<Source>> sources_;
+    std::vector<MdlModel> mdls_;
+    std::vector<AutomatonModel> automata_;
+    std::vector<BridgeModel> bridges_;
+    std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace starlink::lint

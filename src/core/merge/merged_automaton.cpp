@@ -203,6 +203,28 @@ std::vector<std::string> MergedAutomaton::checkEquivalences(
     return uncovered;
 }
 
+std::vector<std::string> MergedAutomaton::unknownTransforms(
+    const TranslationRegistry& registry) const {
+    std::vector<std::string> out;
+    const auto check = [&registry, &out](const std::string& name, const std::string& where) {
+        if (!name.empty() && !registry.contains(name)) {
+            out.push_back("'" + name + "' (" + where + ")");
+        }
+    };
+    for (const Assignment& a : assignments_) {
+        check(a.transform, "assignment targeting " + a.target.toString());
+    }
+    for (const DeltaTransition& d : deltas_) {
+        for (const NetworkAction& action : d.actions) {
+            for (const NetworkAction::Arg& arg : action.args) {
+                check(arg.transform,
+                      "delta " + d.from + " -> " + d.to + " action " + action.name);
+            }
+        }
+    }
+    return out;
+}
+
 MergeKind MergedAutomaton::classify() const {
     // Strong: every delta that ENTERS an automaton B from A (form i) is
     // matched by a delta returning from B directly to A.

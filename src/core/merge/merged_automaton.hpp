@@ -108,6 +108,13 @@ public:
     std::vector<std::string> checkEquivalences(
         const std::function<std::vector<std::string>(const std::string&)>& mandatoryFields) const;
 
+    /// Translation-function names the registry does not know, one entry per
+    /// offending assignment / delta-action argument (with a description of
+    /// where it is used). Deployment fails on any -- a typo'd transform must
+    /// surface at deploy time as a named-transform SpecError, not mid-session
+    /// as a misleading "translation rejected value".
+    std::vector<std::string> unknownTransforms(const TranslationRegistry& registry) const;
+
     /// Strong vs weak merge (see file header).
     MergeKind classify() const;
 

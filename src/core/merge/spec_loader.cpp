@@ -151,7 +151,15 @@ std::shared_ptr<MergedAutomaton> loadBridge(
                 throw SpecError(context + ": <Assignment> without target <Field>");
             }
             assignment.target = parseFieldRef(*fieldNodes[0], context);
-            if (fieldNodes.size() >= 2) {
+            if (fieldNodes.size() > 2) {
+                // An assignment is target = T(source); silently dropping
+                // extra <Field> children would hide a spec-authoring bug.
+                throw SpecError(context + ": <Assignment> targeting " +
+                                assignment.target.toString() + " has " +
+                                std::to_string(fieldNodes.size()) +
+                                " <Field> children; expected a target and at most one source");
+            }
+            if (fieldNodes.size() == 2) {
                 assignment.source = parseFieldRef(*fieldNodes[1], context);
             } else if (const auto constant = assignmentNode->childText("Constant")) {
                 assignment.constant = trim(*constant);

@@ -9,13 +9,21 @@ namespace starlink::merge {
 namespace {
 
 // --- URL helpers -----------------------------------------------------------
-// Parses "scheme://host:port/path"; port defaults by scheme, path to "/".
+// Parses "scheme://host:port/path"; port defaults by scheme (only where the
+// scheme actually HAS a well-known default), path to "/". Bracketed IPv6
+// authorities ("http://[::1]:8080/x") keep their colons inside the brackets.
 struct ParsedUrl {
     std::string scheme;
-    std::string host;
-    int port = 0;
+    std::string host;                // brackets stripped for IPv6 literals
+    std::optional<int> port;         // nullopt: no explicit port, no scheme default
     std::string path;
 };
+
+std::optional<int> defaultPortFor(const std::string& scheme) {
+    if (scheme == "http" || scheme == "ws") return 80;
+    if (scheme == "https" || scheme == "wss") return 443;
+    return std::nullopt;  // unknown/empty scheme: no default to invent
+}
 
 std::optional<ParsedUrl> parseUrl(const std::string& text) {
     ParsedUrl url;
@@ -25,19 +33,43 @@ std::optional<ParsedUrl> parseUrl(const std::string& text) {
         url.scheme = text.substr(0, schemeEnd);
         rest = schemeEnd + 3;
     }
-    const std::size_t pathStart = text.find('/', rest);
-    const std::string authority =
-        pathStart == std::string::npos ? text.substr(rest) : text.substr(rest, pathStart - rest);
-    url.path = pathStart == std::string::npos ? "/" : text.substr(pathStart);
-    const auto hostPort = splitFirst(authority, ':');
-    if (hostPort) {
-        url.host = hostPort->first;
-        const auto port = parseInt(hostPort->second);
+    std::string portText;
+    if (rest < text.size() && text[rest] == '[') {
+        // IPv6 literal: the authority's colons live inside the brackets.
+        const std::size_t close = text.find(']', rest);
+        if (close == std::string::npos) return std::nullopt;
+        url.host = text.substr(rest + 1, close - rest - 1);
+        std::size_t after = close + 1;
+        if (after < text.size() && text[after] == ':') {
+            const std::size_t pathStart = text.find('/', after);
+            portText = pathStart == std::string::npos
+                           ? text.substr(after + 1)
+                           : text.substr(after + 1, pathStart - after - 1);
+            after = pathStart == std::string::npos ? text.size() : pathStart;
+        } else if (after < text.size() && text[after] != '/') {
+            return std::nullopt;  // garbage between ']' and the path
+        }
+        url.path = after >= text.size() ? "/" : text.substr(after);
+    } else {
+        const std::size_t pathStart = text.find('/', rest);
+        const std::string authority = pathStart == std::string::npos
+                                          ? text.substr(rest)
+                                          : text.substr(rest, pathStart - rest);
+        url.path = pathStart == std::string::npos ? "/" : text.substr(pathStart);
+        const auto hostPort = splitFirst(authority, ':');
+        if (hostPort) {
+            url.host = hostPort->first;
+            portText = hostPort->second;
+        } else {
+            url.host = authority;
+        }
+    }
+    if (!portText.empty()) {
+        const auto port = parseInt(portText);
         if (!port || *port < 0 || *port > 65535) return std::nullopt;
         url.port = static_cast<int>(*port);
     } else {
-        url.host = authority;
-        url.port = url.scheme == "https" ? 443 : 80;
+        url.port = defaultPortFor(url.scheme);
     }
     if (url.host.empty()) return std::nullopt;
     return url;
@@ -146,41 +178,48 @@ std::optional<Value> urlBase(const Value& v) {
 
 std::shared_ptr<TranslationRegistry> TranslationRegistry::withDefaults() {
     auto registry = std::make_shared<TranslationRegistry>();
+    // Shorthand signatures: any -> String / any -> Int. `identity` stays
+    // unsigned (its output type depends on its input).
+    const TransformSignature toText{std::nullopt, ValueType::String};
+    const TransformSignature toInt{std::nullopt, ValueType::Int};
     registry->add("identity", [](const Value& v) -> std::optional<Value> { return v; });
-    registry->add("to_string", [](const Value& v) { return v.coerceTo(ValueType::String); });
-    registry->add("to_int", [](const Value& v) { return v.coerceTo(ValueType::Int); });
+    registry->add("to_string", [](const Value& v) { return v.coerceTo(ValueType::String); },
+                  toText);
+    registry->add("to_int", [](const Value& v) { return v.coerceTo(ValueType::Int); }, toInt);
     registry->add("trim", [](const Value& v) -> std::optional<Value> {
         const auto text = asText(v);
         if (!text) return std::nullopt;
         return Value::ofString(trim(*text));
-    });
+    }, toText);
     registry->add("lowercase", [](const Value& v) -> std::optional<Value> {
         const auto text = asText(v);
         if (!text) return std::nullopt;
         return Value::ofString(toLower(*text));
-    });
+    }, toText);
     registry->add("url_host", [](const Value& v) -> std::optional<Value> {
         const auto text = asText(v);
         if (!text) return std::nullopt;
         const auto url = parseUrl(*text);
         if (!url) return std::nullopt;
         return Value::ofString(url->host);
-    });
+    }, toText);
     registry->add("url_port", [](const Value& v) -> std::optional<Value> {
         const auto text = asText(v);
         if (!text) return std::nullopt;
         const auto url = parseUrl(*text);
-        if (!url) return std::nullopt;
-        return Value::ofInt(url->port);
-    });
+        // No explicit port and no well-known default for the scheme: reject
+        // rather than inventing 80 for, say, "service:printer://host/q".
+        if (!url || !url->port) return std::nullopt;
+        return Value::ofInt(*url->port);
+    }, toInt);
     registry->add("url_path", [](const Value& v) -> std::optional<Value> {
         const auto text = asText(v);
         if (!text) return std::nullopt;
         const auto url = parseUrl(*text);
         if (!url) return std::nullopt;
         return Value::ofString(url->path);
-    });
-    registry->add("url_base", urlBase);
+    }, toText);
+    registry->add("url_base", urlBase, toText);
     // Wraps a plain service URL into a minimal UPnP device description whose
     // URLBase carries it -- the inverse of url_base, used when the bridge
     // impersonates a UPnP device in front of an SLP/Bonjour service.
@@ -192,26 +231,36 @@ std::shared_ptr<TranslationRegistry> TranslationRegistry::withDefaults() {
             "<friendlyName>Starlink bridged service</friendlyName>"
             "<URLBase>" + *text + "</URLBase>"
             "</device></root>");
-    });
+    }, toText);
     // Derives a unique service name (USN) from a search target, as UPnP
     // devices do when answering M-SEARCH.
     registry->add("usn_from_st", [](const Value& v) -> std::optional<Value> {
         const auto text = asText(v);
         if (!text) return std::nullopt;
         return Value::ofString("uuid:starlink-bridge::" + *text);
-    });
-    registry->add("slp_to_dnssd", slpToDnssd);
-    registry->add("dnssd_to_slp", dnssdToSlp);
-    registry->add("slp_to_urn", slpToUrn);
-    registry->add("urn_to_slp", urnToSlp);
-    registry->add("dnssd_to_urn", dnssdToUrn);
-    registry->add("urn_to_dnssd", urnToDnssd);
-    registry->add("slp_to_word", slpToWord);
-    registry->add("word_to_slp", wordToSlp);
+    }, toText);
+    registry->add("slp_to_dnssd", slpToDnssd, toText);
+    registry->add("dnssd_to_slp", dnssdToSlp, toText);
+    registry->add("slp_to_urn", slpToUrn, toText);
+    registry->add("urn_to_slp", urnToSlp, toText);
+    registry->add("dnssd_to_urn", dnssdToUrn, toText);
+    registry->add("urn_to_dnssd", urnToDnssd, toText);
+    registry->add("slp_to_word", slpToWord, toText);
+    registry->add("word_to_slp", wordToSlp, toText);
     return registry;
 }
 
 void TranslationRegistry::add(const std::string& name, Fn fn) { table_[name] = std::move(fn); }
+
+void TranslationRegistry::add(const std::string& name, Fn fn, TransformSignature signature) {
+    table_[name] = std::move(fn);
+    signatures_[name] = signature;
+}
+
+const TransformSignature* TranslationRegistry::signature(const std::string& name) const {
+    const auto it = signatures_.find(name);
+    return it == signatures_.end() ? nullptr : &it->second;
+}
 
 std::optional<Value> TranslationRegistry::apply(const std::string& name,
                                                 const Value& input) const {
@@ -229,6 +278,24 @@ std::vector<std::string> TranslationRegistry::names() const {
 
 // ---------------------------------------------------------------------------
 // XPath <-> dotted path
+
+namespace {
+
+// A field label must survive the round trip dotted <-> [label='..']: a '.'
+// would re-split into bogus structure steps, a '\'' would break out of the
+// xpath predicate quoting, and an empty label is addressable in neither form.
+void requireRoundTrippableLabel(const std::string& label, const std::string& context) {
+    if (label.empty()) {
+        throw SpecError("bridge spec: empty field label in " + context);
+    }
+    if (label.find('.') != std::string::npos || label.find('\'') != std::string::npos) {
+        throw SpecError("bridge spec: field label '" + label + "' in " + context +
+                        " may not contain '.' or '\\'' (breaks the xpath <-> dotted-path "
+                        "round trip)");
+    }
+}
+
+}  // namespace
 
 std::string xpathToFieldPath(const std::string& xpath) {
     const xml::Path compiled = xml::Path::compile(xpath);
@@ -250,6 +317,7 @@ std::string xpathToFieldPath(const std::string& xpath) {
             throw SpecError("bridge spec: primitiveField must be the last field step in '" +
                             xpath + "'");
         }
+        requireRoundTrippableLabel(step.predicateValue, "xpath '" + xpath + "'");
         pieces.push_back(step.predicateValue);
     }
     return join(pieces, ".");
@@ -257,6 +325,12 @@ std::string xpathToFieldPath(const std::string& xpath) {
 
 std::string fieldPathToXpath(const std::string& dottedPath) {
     const std::vector<std::string> pieces = split(dottedPath, '.');
+    if (dottedPath.empty() || pieces.empty()) {
+        throw SpecError("bridge spec: empty dotted field path");
+    }
+    for (const std::string& piece : pieces) {
+        requireRoundTrippableLabel(piece, "dotted path '" + dottedPath + "'");
+    }
     std::string out = "/field";
     for (std::size_t i = 0; i < pieces.size(); ++i) {
         const bool last = i + 1 == pieces.size();

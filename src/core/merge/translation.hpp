@@ -61,6 +61,15 @@ struct NetworkAction {
     std::vector<Arg> args;
 };
 
+/// Declared value types of a translation function, for static checking.
+/// nullopt means "any" (the function coerces its input / its output type
+/// depends on the input). The linter compares `output` against the MDL type
+/// of the field an assignment targets.
+struct TransformSignature {
+    std::optional<ValueType> input;
+    std::optional<ValueType> output;
+};
+
 /// Registry of translation functions T. Starts with the built-ins listed in
 /// translation.cpp (identity, url parsing, SLP<->URN<->DNS-SD service-name
 /// conversions, case folding); register() extends it at runtime.
@@ -71,16 +80,26 @@ public:
     static std::shared_ptr<TranslationRegistry> withDefaults();
 
     void add(const std::string& name, Fn fn);
+    /// Registers with a declared signature so the model linter can check
+    /// assignments through this function against the MDL field types.
+    void add(const std::string& name, Fn fn, TransformSignature signature);
     bool contains(const std::string& name) const { return table_.contains(name); }
 
+    /// Declared signature, nullptr when the function was registered without
+    /// one (treated as any -> any by static checks).
+    const TransformSignature* signature(const std::string& name) const;
+
     /// Applies T `name` to `input`. nullopt when the function is unknown or
-    /// rejects the input.
+    /// rejects the input. Deployment validates transform names up front
+    /// (Starlink::deploy / the lint pass), so for a checked model a nullopt
+    /// here always means "value rejected".
     std::optional<Value> apply(const std::string& name, const Value& input) const;
 
     std::vector<std::string> names() const;
 
 private:
     std::map<std::string, Fn> table_;
+    std::map<std::string, TransformSignature> signatures_;
 };
 
 /// Compiles the Fig 8 XPath form into a dotted field path:

@@ -60,6 +60,7 @@ std::optional<std::string> Node::childText(std::string_view name) const {
 
 std::unique_ptr<Node> Node::clone() const {
     auto copy = std::make_unique<Node>(name_);
+    copy->line_ = line_;
     copy->text_ = text_;
     copy->attributes_ = attributes_;
     copy->children_.reserve(children_.size());

@@ -23,6 +23,12 @@ public:
     const std::string& name() const { return name_; }
     void setName(std::string name) { name_ = std::move(name); }
 
+    /// 1-based source line of the element's start tag when the node came out
+    /// of xml::parse; 0 for programmatically built nodes. Model linting uses
+    /// this to anchor diagnostics to the offending spec line.
+    int line() const { return line_; }
+    void setLine(int line) { line_ = line; }
+
     /// Concatenated character data directly inside this element
     /// (child-element text is NOT included).
     const std::string& text() const { return text_; }
@@ -60,6 +66,7 @@ public:
 
 private:
     std::string name_;
+    int line_ = 0;
     std::string text_;
     std::vector<std::pair<std::string, std::string>> attributes_;
     std::vector<std::unique_ptr<Node>> children_;

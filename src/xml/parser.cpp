@@ -168,8 +168,12 @@ private:
     }
 
     std::unique_ptr<Node> parseElement() {
+        const std::size_t startOffset = pos_;
         expect('<');
         auto node = std::make_unique<Node>(parseName());
+        // Stash the byte offset of the start tag; parse() converts offsets to
+        // 1-based line numbers in one pass once the tree is complete.
+        node->setLine(static_cast<int>(startOffset));
         // Attributes.
         while (true) {
             skipWhitespace();
@@ -223,10 +227,26 @@ private:
     std::size_t pos_ = 0;
 };
 
+// Pre-order traversal visits nodes in increasing start-tag offset, so one
+// linear scan over the input converts every stashed offset to its line.
+void assignLines(Node& node, std::string_view input, std::size_t& cursor, int& line) {
+    const auto offset = static_cast<std::size_t>(node.line());
+    while (cursor < offset && cursor < input.size()) {
+        if (input[cursor] == '\n') ++line;
+        ++cursor;
+    }
+    node.setLine(line);
+    for (auto& child : node.children()) assignLines(*child, input, cursor, line);
+}
+
 }  // namespace
 
 std::unique_ptr<Node> parse(std::string_view document) {
-    return Parser(document).parseDocument();
+    auto root = Parser(document).parseDocument();
+    std::size_t cursor = 0;
+    int line = 1;
+    assignLines(*root, document, cursor, line);
+    return root;
 }
 
 }  // namespace starlink::xml

@@ -1,0 +1,230 @@
+// The static model linter: the shipped fleet must be spotless, and every
+// seeded defect class in tests/models_bad/bad/ must be caught with its
+// documented rule id at the right source line.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/lint/linter.hpp"
+
+using starlink::lint::Diagnostic;
+using starlink::lint::hasErrors;
+using starlink::lint::Linter;
+using starlink::lint::renderJson;
+using starlink::lint::renderText;
+using starlink::lint::Severity;
+
+namespace {
+
+std::string slurp(const std::filesystem::path& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.is_open()) << "cannot read " << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+void addDirectory(Linter& linter, const std::filesystem::path& dir) {
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".xml") {
+            files.push_back(entry.path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& file : files) {
+        linter.addModel(file.filename().string(), slurp(file));
+    }
+}
+
+/// Lints the toy closure plus the named files from tests/models_bad/bad/.
+std::vector<Diagnostic> lintClosureWith(const std::vector<std::string>& mutants) {
+    Linter linter;
+    addDirectory(linter, std::filesystem::path(STARLINK_MODELS_BAD_DIR) / "closure");
+    for (const std::string& name : mutants) {
+        const auto path = std::filesystem::path(STARLINK_MODELS_BAD_DIR) / "bad" / name;
+        linter.addModel(name, slurp(path));
+    }
+    return linter.run();
+}
+
+const Diagnostic* findRule(const std::vector<Diagnostic>& diagnostics,
+                           const std::string& rule) {
+    for (const Diagnostic& d : diagnostics) {
+        if (d.rule == rule) return &d;
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// The fleet and the control closure are clean.
+
+TEST(Lint, ShippedModelFleetHasZeroDiagnostics) {
+    Linter linter;
+    addDirectory(linter, STARLINK_MODELS_DIR);
+    const auto diagnostics = linter.run();
+    EXPECT_TRUE(diagnostics.empty()) << renderText(diagnostics);
+}
+
+TEST(Lint, ControlClosureIsClean) {
+    const auto diagnostics = lintClosureWith({});
+    EXPECT_TRUE(diagnostics.empty()) << renderText(diagnostics);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded defects: one mutant per rule, asserting rule id AND line number.
+
+TEST(Lint, CatchesTypodTransform) {
+    const auto diagnostics = lintClosureWith({"typod_transform.bridge.xml"});
+    ASSERT_EQ(diagnostics.size(), 1u) << renderText(diagnostics);
+    const Diagnostic* d = findRule(diagnostics, "bridge.transform.unknown");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->severity, Severity::Error);
+    EXPECT_EQ(d->file, "typod_transform.bridge.xml");
+    EXPECT_EQ(d->line, 8);
+    EXPECT_NE(d->message.find("identty"), std::string::npos);
+    EXPECT_NE(d->message.find("did you mean 'identity'"), std::string::npos);
+}
+
+TEST(Lint, CatchesDanglingStateReference) {
+    const auto diagnostics = lintClosureWith({"dangling_state.bridge.xml"});
+    ASSERT_EQ(diagnostics.size(), 1u) << renderText(diagnostics);
+    const Diagnostic* d = findRule(diagnostics, "bridge.state.unknown");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->line, 9);
+    EXPECT_NE(d->message.find("'zz'"), std::string::npos);
+}
+
+TEST(Lint, CatchesMissingDelta) {
+    const auto diagnostics = lintClosureWith({"missing_delta.bridge.xml"});
+    ASSERT_EQ(diagnostics.size(), 1u) << renderText(diagnostics);
+    const Diagnostic* d = findRule(diagnostics, "bridge.delta.missing");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->line, 2);
+    EXPECT_NE(d->message.find("'b2'"), std::string::npos);
+}
+
+TEST(Lint, CatchesUnknownField) {
+    const auto diagnostics = lintClosureWith({"bad_field.bridge.xml"});
+    ASSERT_EQ(diagnostics.size(), 1u) << renderText(diagnostics);
+    const Diagnostic* d = findRule(diagnostics, "bridge.field.unknown");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->line, 9);
+    EXPECT_NE(d->message.find("'Nmae'"), std::string::npos);
+}
+
+TEST(Lint, CatchesUncoveredEquivalence) {
+    const auto diagnostics = lintClosureWith({"uncovered_equivalence.bridge.xml"});
+    ASSERT_EQ(diagnostics.size(), 1u) << renderText(diagnostics);
+    const Diagnostic* d = findRule(diagnostics, "bridge.equivalence.uncovered");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->line, 4);
+    EXPECT_NE(d->message.find("PB_Req.Name"), std::string::npos);
+}
+
+TEST(Lint, CatchesUnknownMessageType) {
+    const auto diagnostics = lintClosureWith({"unknown_message.automaton.xml"});
+    ASSERT_EQ(diagnostics.size(), 1u) << renderText(diagnostics);
+    const Diagnostic* d = findRule(diagnostics, "automaton.message.unknown");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->line, 7);
+    EXPECT_NE(d->message.find("PA_Zap"), std::string::npos);
+}
+
+TEST(Lint, CatchesNondeterministicReceive) {
+    const auto diagnostics =
+        lintClosureWith({"pc.mdl.xml", "nondet_receive.automaton.xml"});
+    // The broken dispatch is reported twice: at the MDL (two rule-less
+    // messages shadow each other) and at the automaton state fanning out on
+    // them.
+    const Diagnostic* ambiguous = findRule(diagnostics, "automaton.receive.ambiguous");
+    ASSERT_NE(ambiguous, nullptr) << renderText(diagnostics);
+    EXPECT_EQ(ambiguous->file, "nondet_receive.automaton.xml");
+    EXPECT_EQ(ambiguous->line, 7);
+    const Diagnostic* shadowed = findRule(diagnostics, "mdl.rule.shadowed");
+    ASSERT_NE(shadowed, nullptr) << renderText(diagnostics);
+    EXPECT_EQ(shadowed->file, "pc.mdl.xml");
+    EXPECT_EQ(shadowed->line, 13);
+    EXPECT_EQ(diagnostics.size(), 2u) << renderText(diagnostics);
+}
+
+TEST(Lint, CatchesDeadTransitionAndDeadEndState) {
+    const auto diagnostics = lintClosureWith({"dead_transition.automaton.xml"});
+    const Diagnostic* dead = findRule(diagnostics, "automaton.transition.dead");
+    ASSERT_NE(dead, nullptr) << renderText(diagnostics);
+    EXPECT_EQ(dead->severity, Severity::Warning);
+    EXPECT_EQ(dead->line, 7);
+    const Diagnostic* deadEnd = findRule(diagnostics, "automaton.state.dead-end");
+    ASSERT_NE(deadEnd, nullptr) << renderText(diagnostics);
+    EXPECT_EQ(deadEnd->line, 5);
+    EXPECT_EQ(diagnostics.size(), 2u) << renderText(diagnostics);
+    // Warnings alone do not fail a fleet.
+    EXPECT_FALSE(hasErrors(diagnostics));
+}
+
+TEST(Lint, CatchesShadowedRule) {
+    const auto diagnostics = lintClosureWith({"shadowed_rule.mdl.xml"});
+    ASSERT_EQ(diagnostics.size(), 1u) << renderText(diagnostics);
+    const Diagnostic* d = findRule(diagnostics, "mdl.rule.shadowed");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->line, 15);
+    EXPECT_NE(d->message.find("PE_Dup"), std::string::npos);
+}
+
+TEST(Lint, CatchesUnknownMarshaller) {
+    const auto diagnostics = lintClosureWith({"unknown_marshaller.mdl.xml"});
+    ASSERT_EQ(diagnostics.size(), 1u) << renderText(diagnostics);
+    const Diagnostic* d = findRule(diagnostics, "mdl.marshaller.unknown");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->line, 3);
+    EXPECT_NE(d->message.find("'Strng'"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Infrastructure behaviour.
+
+TEST(Lint, UnparseableXmlBecomesDiagnostic) {
+    Linter linter;
+    linter.addModel("broken.xml", "<Mdl protocol='x'");
+    const auto diagnostics = linter.run();
+    ASSERT_EQ(diagnostics.size(), 1u);
+    EXPECT_EQ(diagnostics[0].rule, "xml.parse");
+    EXPECT_TRUE(hasErrors(diagnostics));
+}
+
+TEST(Lint, UnknownRootElementBecomesDiagnostic) {
+    Linter linter;
+    linter.addModel("odd.xml", "<Widget/>");
+    const auto diagnostics = linter.run();
+    ASSERT_EQ(diagnostics.size(), 1u);
+    EXPECT_EQ(diagnostics[0].rule, "lint.unknown-kind");
+}
+
+TEST(Lint, BridgeWithoutClosureReportsMissingClosure) {
+    Linter linter;
+    const auto path =
+        std::filesystem::path(STARLINK_MODELS_BAD_DIR) / "closure" / "good.bridge.xml";
+    linter.addModel("good.bridge.xml", slurp(path));
+    const auto diagnostics = linter.run();
+    ASSERT_EQ(diagnostics.size(), 1u) << renderText(diagnostics);
+    EXPECT_EQ(diagnostics[0].rule, "bridge.closure.missing");
+}
+
+TEST(Lint, RenderTextAndJsonCarryFileLineRule) {
+    const auto diagnostics = lintClosureWith({"typod_transform.bridge.xml"});
+    ASSERT_EQ(diagnostics.size(), 1u);
+    const std::string text = renderText(diagnostics);
+    EXPECT_NE(text.find("typod_transform.bridge.xml:8: error [bridge.transform.unknown]"),
+              std::string::npos)
+        << text;
+    const std::string json = renderJson(diagnostics);
+    EXPECT_NE(json.find("\"rule\": \"bridge.transform.unknown\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"line\": 8"), std::string::npos) << json;
+    EXPECT_EQ(renderJson({}), "[]\n");
+}

@@ -3,6 +3,10 @@
 // experiments E5/E6).
 #include <gtest/gtest.h>
 
+#include <random>
+#include <string>
+#include <vector>
+
 #include "common/error.hpp"
 #include "core/bridge/models.hpp"
 #include "core/merge/merged_automaton.hpp"
@@ -62,6 +66,36 @@ TEST(Translations, UrlParsing) {
     EXPECT_FALSE(registry->apply("url_host", Value::ofString("http://:80/")));
 }
 
+TEST(Translations, UrlParsingBracketedIpv6) {
+    auto registry = TranslationRegistry::withDefaults();
+    const Value url = Value::ofString("http://[::1]:8080/desc.xml");
+    EXPECT_EQ(registry->apply("url_host", url)->asString(), "::1");
+    EXPECT_EQ(registry->apply("url_port", url)->asInt(), 8080);
+    EXPECT_EQ(registry->apply("url_path", url)->asString(), "/desc.xml");
+    // Bracketed literal with no explicit port falls back to the scheme default.
+    const Value bare = Value::ofString("http://[fe80::1]");
+    EXPECT_EQ(registry->apply("url_host", bare)->asString(), "fe80::1");
+    EXPECT_EQ(registry->apply("url_port", bare)->asInt(), 80);
+    EXPECT_EQ(registry->apply("url_path", bare)->asString(), "/");
+    // Malformed literals must not half-parse.
+    EXPECT_FALSE(registry->apply("url_host", Value::ofString("http://[::1")));
+    EXPECT_FALSE(registry->apply("url_host", Value::ofString("http://[::1]x/")));
+}
+
+TEST(Translations, UrlPortHasNoDefaultForUnknownSchemes) {
+    auto registry = TranslationRegistry::withDefaults();
+    // SLP-style URLs carry no well-known port; inventing 80 would mislead the
+    // bridge, so url_port rejects instead.
+    EXPECT_FALSE(registry->apply("url_port", Value::ofString("service:printer://host/q")));
+    EXPECT_FALSE(registry->apply("url_port", Value::ofString("host/q")));
+    EXPECT_EQ(registry->apply("url_port", Value::ofString("service:printer://host:515/q"))
+                  ->asInt(),
+              515);
+    EXPECT_EQ(registry->apply("url_port", Value::ofString("https://host/"))->asInt(), 443);
+    // Out-of-range explicit ports are rejected outright.
+    EXPECT_FALSE(registry->apply("url_port", Value::ofString("http://host:99999/")));
+}
+
 TEST(Translations, UrlBaseExtraction) {
     auto registry = TranslationRegistry::withDefaults();
     const Value body = Value::ofString(
@@ -105,6 +139,39 @@ TEST(FieldPaths, DottedToXpathAndBack) {
     for (const std::string path : {"ST", "URL.port", "a.b.c"}) {
         EXPECT_EQ(xpathToFieldPath(fieldPathToXpath(path)), path);
     }
+}
+
+TEST(FieldPaths, RoundTripsRandomSafeLabels) {
+    // Property check: any dotted path built from labels free of '.' and '\''
+    // survives dotted -> xpath -> dotted unchanged.
+    std::mt19937 rng(20260806);
+    const std::string alphabet =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_- :/[]@";
+    for (int iteration = 0; iteration < 200; ++iteration) {
+        const int depth = 1 + static_cast<int>(rng() % 4);
+        std::vector<std::string> labels;
+        for (int i = 0; i < depth; ++i) {
+            const int length = 1 + static_cast<int>(rng() % 12);
+            std::string label;
+            for (int j = 0; j < length; ++j) {
+                label.push_back(alphabet[rng() % alphabet.size()]);
+            }
+            labels.push_back(label);
+        }
+        std::string dotted = labels[0];
+        for (std::size_t i = 1; i < labels.size(); ++i) dotted += "." + labels[i];
+        EXPECT_EQ(xpathToFieldPath(fieldPathToXpath(dotted)), dotted) << dotted;
+    }
+}
+
+TEST(FieldPaths, RejectsLabelsThatCannotRoundTrip) {
+    EXPECT_THROW(fieldPathToXpath(""), SpecError);
+    EXPECT_THROW(fieldPathToXpath("a..b"), SpecError);    // empty middle label
+    EXPECT_THROW(fieldPathToXpath("a.b."), SpecError);    // empty trailing label
+    EXPECT_THROW(fieldPathToXpath("a'b"), SpecError);     // breaks xpath quoting
+    EXPECT_THROW(fieldPathToXpath("x.a'b"), SpecError);
+    EXPECT_THROW(xpathToFieldPath("/field/primitiveField[label='a.b']/value"), SpecError);
+    EXPECT_THROW(xpathToFieldPath("/field/primitiveField[label='']/value"), SpecError);
 }
 
 TEST(FieldPaths, RejectsForeignShapes) {

@@ -8,6 +8,11 @@
 //                                       deploy a bridge FROM MODEL FILES and run
 //                                       the SLP-client / Bonjour-service demo
 //   starlinkd dot <case>                print the case's merged automaton as GraphViz
+//   starlinkd lint <paths...> [--json]  statically validate model files (MDL,
+//                                       automata, bridge specs) against each
+//                                       other; directories are scanned for
+//                                       *.xml; exits nonzero on any error-
+//                                       severity finding (see docs/LINT.md)
 //   starlinkd plan <mdl>                dump the codec plan compiled from an MDL
 //                                       (built-in name slp|dns|ssdp|http|ldap|wsd,
 //                                       or a .mdl.xml file path)
@@ -31,6 +36,7 @@
 //
 // The demo topology is always: legacy client at 10.0.0.1, legacy service at
 // 10.0.0.3, bridge at 10.0.0.9, on the simulated network over virtual time.
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -41,6 +47,7 @@
 #include "core/bridge/models.hpp"
 #include "core/bridge/starlink.hpp"
 #include "core/engine/shard_engine.hpp"
+#include "core/lint/linter.hpp"
 #include "core/mdl/codec.hpp"
 #include "core/merge/dot_export.hpp"
 #include "core/merge/spec_loader.hpp"
@@ -63,6 +70,7 @@ int usage() {
                  "       starlinkd demo-files <served.mdl> <served.automaton> "
                  "<queried.mdl> <queried.automaton> <bridge.xml>\n"
                  "       starlinkd dot <case>\n"
+                 "       starlinkd lint <paths...> [--json]\n"
                  "       starlinkd plan <mdl>\n"
                  "       starlinkd chaos <case> [loss] [seed]\n"
                  "       starlinkd trace <case> [--out file.json]\n"
@@ -130,6 +138,9 @@ int cmdExport(const std::string& directory) {
         spit(dir / ("ssdp." + suffix + ".automaton.xml"), bridge::models::ssdpAutomaton(role));
         spit(dir / ("http." + suffix + ".automaton.xml"), bridge::models::httpAutomaton(role));
         spit(dir / ("wsd." + suffix + ".automaton.xml"), bridge::models::wsdAutomaton(role));
+        // The LDAP client color carries the directory host the demos use.
+        spit(dir / ("ldap." + suffix + ".automaton.xml"),
+             bridge::models::ldapAutomaton(role, role == Role::Client ? "10.0.0.3" : ""));
     }
     spit(dir / "SLP-to-WSD.bridge.xml", bridge::models::slpToWsd().bridgeXml);
     spit(dir / "WSD-to-SLP.bridge.xml", bridge::models::wsdToSlp().bridgeXml);
@@ -144,6 +155,43 @@ int cmdExport(const std::string& directory) {
         spit(dir / (name + ".bridge.xml"), spec.bridgeXml);
     }
     return 0;
+}
+
+/// Statically validates a set of model files against each other (the lint
+/// pass CI runs over models/). Directories are scanned non-recursively for
+/// *.xml, files are taken verbatim; the closure is linted as one unit so
+/// bridge specs resolve against the automata and MDLs next to them.
+int cmdLint(const std::vector<std::string>& paths, bool json) {
+    std::vector<std::string> files;
+    for (const std::string& path : paths) {
+        if (std::filesystem::is_directory(path)) {
+            std::vector<std::string> found;
+            for (const auto& entry : std::filesystem::directory_iterator(path)) {
+                if (entry.is_regular_file() && entry.path().extension() == ".xml") {
+                    found.push_back(entry.path().string());
+                }
+            }
+            std::sort(found.begin(), found.end());
+            files.insert(files.end(), found.begin(), found.end());
+        } else {
+            files.push_back(path);
+        }
+    }
+    if (files.empty()) {
+        std::cerr << "starlinkd: lint: no model files found\n";
+        return 2;
+    }
+    lint::Linter linter;
+    for (const std::string& file : files) linter.addModel(file, slurp(file));
+    const std::vector<lint::Diagnostic> diagnostics = linter.run();
+    if (json) {
+        std::cout << lint::renderJson(diagnostics);
+    } else {
+        std::cout << lint::renderText(diagnostics);
+        std::cout << files.size() << " model(s) checked, " << diagnostics.size()
+                  << " finding(s)\n";
+    }
+    return lint::hasErrors(diagnostics) ? 1 : 0;
 }
 
 /// Runs the demo scenario for a deployment: which legacy endpoints to spawn
@@ -668,6 +716,20 @@ int main(int argc, char** argv) {
             if (command == "demo" && argc == 3) return cmdDemo(argv[2]);
             if (command == "demo-files" && argc == 7) return cmdDemoFiles(argv + 2);
             if (command == "dot" && argc == 3) return cmdDot(argv[2]);
+            if (command == "lint" && argc >= 3) {
+                bool json = false;
+                std::vector<std::string> paths;
+                for (int i = 2; i < argc; ++i) {
+                    const std::string arg = argv[i];
+                    if (arg == "--json") {
+                        json = true;
+                    } else {
+                        paths.push_back(arg);
+                    }
+                }
+                if (paths.empty()) return usage();
+                return cmdLint(paths, json);
+            }
             if (command == "plan" && argc == 3) return cmdPlan(argv[2]);
             if (command == "chaos" && argc >= 3 && argc <= 5) {
                 double loss = 0.25;
