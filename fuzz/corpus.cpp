@@ -1,0 +1,126 @@
+// Shared plumbing for the fuzz harness: invariant-failure reporting, the
+// committed-seed file format, and the deterministic mutator used when no
+// libFuzzer toolchain is available.
+#include "fuzz/targets.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+namespace starlink::fuzz {
+
+void fail(const std::string& invariant, const std::string& detail) {
+    // stderr + abort, not an exception: under a fuzzer (or the corpus ctest)
+    // the process death IS the signal, and abort() keeps the stack for the
+    // sanitizer/debugger to report.
+    std::fprintf(stderr, "\nFUZZ INVARIANT VIOLATED: %s\n  %s\n", invariant.c_str(),
+                 detail.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+namespace {
+
+int hexValue(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> loadCorpusInput(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open corpus input: " + path);
+    std::string raw((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+    const bool hex = path.size() >= 4 && path.compare(path.size() - 4, 4, ".hex") == 0;
+    if (!hex) return std::vector<std::uint8_t>(raw.begin(), raw.end());
+
+    // .hex format: '#' starts a comment until end of line (provenance notes);
+    // everything else is hex digit pairs, whitespace ignored.
+    std::vector<std::uint8_t> bytes;
+    int pending = -1;
+    bool inComment = false;
+    for (char c : raw) {
+        if (inComment) {
+            if (c == '\n') inComment = false;
+            continue;
+        }
+        if (c == '#') {
+            inComment = true;
+            continue;
+        }
+        const int v = hexValue(c);
+        if (v < 0) {
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\n') continue;
+            throw std::runtime_error("bad hex character in corpus input: " + path);
+        }
+        if (pending < 0) {
+            pending = v;
+        } else {
+            bytes.push_back(static_cast<std::uint8_t>(pending << 4 | v));
+            pending = -1;
+        }
+    }
+    if (pending >= 0) throw std::runtime_error("odd hex digit count in corpus input: " + path);
+    return bytes;
+}
+
+namespace {
+
+std::uint64_t next(std::uint64_t& state) {
+    // xorshift64: deterministic, dependency-free, good enough to drive
+    // structural mutations. Never seeded from wall time -- runs replay.
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& seed, std::uint64_t& rng) {
+    std::vector<std::uint8_t> out = seed;
+    const int rounds = 1 + static_cast<int>(next(rng) % 8);
+    for (int round = 0; round < rounds; ++round) {
+        switch (next(rng) % 5) {
+            case 0: {  // flip one bit
+                if (out.empty()) break;
+                const std::size_t at = next(rng) % out.size();
+                out[at] ^= static_cast<std::uint8_t>(1u << (next(rng) % 8));
+                break;
+            }
+            case 1: {  // overwrite one byte
+                if (out.empty()) break;
+                out[next(rng) % out.size()] = static_cast<std::uint8_t>(next(rng));
+                break;
+            }
+            case 2: {  // truncate
+                if (out.empty()) break;
+                out.resize(next(rng) % out.size());
+                break;
+            }
+            case 3: {  // duplicate a chunk onto the end (bounded growth)
+                if (out.empty() || out.size() > 4096) break;
+                const std::size_t from = next(rng) % out.size();
+                const std::size_t len = 1 + next(rng) % (out.size() - from);
+                out.insert(out.end(), out.begin() + static_cast<std::ptrdiff_t>(from),
+                           out.begin() + static_cast<std::ptrdiff_t>(from + len));
+                break;
+            }
+            default: {  // insert a random byte
+                if (out.size() > 8192) break;
+                const std::size_t at = out.empty() ? 0 : next(rng) % out.size();
+                out.insert(out.begin() + static_cast<std::ptrdiff_t>(at),
+                           static_cast<std::uint8_t>(next(rng)));
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace starlink::fuzz

@@ -1,0 +1,113 @@
+// Entry point for the fuzz driver executables. Compiled once per target with
+// -DSTARLINK_FUZZ_ENTRY=<fuzzCodecInput|fuzzModelInput|fuzzSessionInput>.
+//
+// Under clang, CMake links -fsanitize=fuzzer and this file only provides
+// LLVMFuzzerTestOneInput. Under gcc (no libFuzzer runtime in the image) the
+// same binary gets a standalone main() that can
+//   * replay corpus files / directories (the CI smoke mode), and
+//   * run a bounded deterministic mutation loop over those seeds
+//     (--mutate N [rngSeed]) -- a poor man's fuzzer, but reproducible:
+//     the same (seeds, rngSeed) always explores the same inputs.
+#include "fuzz/targets.hpp"
+
+#ifndef STARLINK_FUZZ_ENTRY
+#error "compile with -DSTARLINK_FUZZ_ENTRY=<target function name>"
+#endif
+
+namespace starlink::fuzz {
+int STARLINK_FUZZ_ENTRY(const std::uint8_t* data, std::size_t size);
+}
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    return starlink::fuzz::STARLINK_FUZZ_ENTRY(data, size);
+}
+
+#ifndef STARLINK_USE_LIBFUZZER
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace {
+
+#define STARLINK_STRINGIFY_(x) #x
+#define STARLINK_STRINGIFY(x) STARLINK_STRINGIFY_(x)
+
+void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--mutate N [rngSeed]] <file-or-dir>...\n"
+                 "  target: %s\n"
+                 "  Replays each input through the target; with --mutate, additionally\n"
+                 "  runs N deterministic mutations per seed. Exits 0 unless an\n"
+                 "  invariant aborts the process.\n",
+                 argv0, STARLINK_STRINGIFY(STARLINK_FUZZ_ENTRY));
+}
+
+std::vector<std::string> collectInputs(const std::vector<std::string>& paths) {
+    std::vector<std::string> files;
+    for (const auto& path : paths) {
+        if (std::filesystem::is_directory(path)) {
+            for (const auto& entry : std::filesystem::recursive_directory_iterator(path)) {
+                if (entry.is_regular_file()) files.push_back(entry.path().string());
+            }
+        } else {
+            files.push_back(path);
+        }
+    }
+    // Directory iteration order is unspecified; sort so runs are comparable.
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    long mutations = 0;
+    std::uint64_t rngSeed = 0x5eed5eedULL;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--mutate") {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                return 2;
+            }
+            mutations = std::strtol(argv[++i], nullptr, 10);
+            if (i + 1 < argc && argv[i + 1][0] != '-' &&
+                !std::filesystem::exists(argv[i + 1])) {
+                rngSeed = std::strtoull(argv[++i], nullptr, 10);
+            }
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    const auto files = collectInputs(paths);
+    std::size_t executions = 0;
+    for (const auto& file : files) {
+        const auto seed = starlink::fuzz::loadCorpusInput(file);
+        LLVMFuzzerTestOneInput(seed.data(), seed.size());
+        ++executions;
+        std::uint64_t rng = rngSeed ^ (0x9e3779b97f4a7c15ULL * (executions + 1));
+        for (long round = 0; round < mutations; ++round) {
+            const auto mutated = starlink::fuzz::mutate(seed, rng);
+            LLVMFuzzerTestOneInput(mutated.data(), mutated.size());
+            ++executions;
+        }
+    }
+    std::printf("%s: %zu inputs (%zu seeds), all invariants held\n",
+                STARLINK_STRINGIFY(STARLINK_FUZZ_ENTRY), executions, files.size());
+    return 0;
+}
+
+#endif  // !STARLINK_USE_LIBFUZZER

@@ -1,0 +1,114 @@
+// Differential codec fuzzing: arbitrary wire bytes through every in-tree
+// dialect codec, comparing the compiled CodecPlan path against the retained
+// interpreter oracle. The two paths were written independently (PR 2 kept the
+// interpreter precisely as a reference semantics), so any disagreement --
+// accept/reject verdict, parsed field values, re-composed bytes, or the
+// error code of a throw -- is a real bug in one of them.
+//
+// Input layout: byte 0 selects the protocol (mod #codecs), the rest is the
+// wire image handed to parse().
+#include "fuzz/targets.hpp"
+
+#include <array>
+#include <exception>
+#include <optional>
+#include <string>
+
+#include "common/error.hpp"
+#include "core/bridge/models.hpp"
+#include "core/mdl/codec.hpp"
+
+namespace starlink::fuzz {
+namespace {
+
+const std::array<std::shared_ptr<mdl::MessageCodec>, 6>& codecs() {
+    // Built once: the six MDLs are trusted in-tree documents; the fuzz input
+    // only ever touches the wire-bytes side.
+    static const std::array<std::shared_ptr<mdl::MessageCodec>, 6> instances = {
+        mdl::MessageCodec::fromXml(bridge::models::slpMdl()),
+        mdl::MessageCodec::fromXml(bridge::models::dnsMdl()),
+        mdl::MessageCodec::fromXml(bridge::models::ssdpMdl()),
+        mdl::MessageCodec::fromXml(bridge::models::httpMdl()),
+        mdl::MessageCodec::fromXml(bridge::models::ldapMdl()),
+        mdl::MessageCodec::fromXml(bridge::models::wsdMdl()),
+    };
+    return instances;
+}
+
+/// Outcome of one compose attempt: either bytes or the taxonomy code of the
+/// StarlinkError it threw. A raw (uncoded) exception aborts immediately.
+struct ComposeOutcome {
+    bool threw = false;
+    errc::ErrorCode code = errc::ErrorCode::Ok;
+    Bytes bytes;
+};
+
+template <typename Fn>
+ComposeOutcome runCompose(const char* path, Fn&& fn) {
+    ComposeOutcome outcome;
+    try {
+        outcome.bytes = fn();
+    } catch (const StarlinkError& error) {
+        outcome.threw = true;
+        outcome.code = error.code();
+    } catch (const std::exception& error) {
+        fail("codec compose must throw coded StarlinkError only",
+             std::string(path) + " threw uncoded " + error.what());
+    }
+    return outcome;
+}
+
+}  // namespace
+
+int fuzzCodecInput(const std::uint8_t* data, std::size_t size) {
+    if (size == 0) return 0;
+    const auto& all = codecs();
+    const auto& codec = all[data[0] % all.size()];
+    const Bytes wire(data + 1, data + size);
+
+    // Parse differentially. Rejections come back as (nullopt, reason), never
+    // as exceptions -- a throw out of parse() is itself a finding.
+    std::optional<AbstractMessage> viaPlan, viaInterp;
+    std::string planError, interpError;
+    try {
+        viaPlan = codec->parse(wire, &planError);
+        viaInterp = codec->parseInterpreted(wire, &interpError);
+    } catch (const std::exception& error) {
+        fail("codec parse must reject via nullopt, never throw",
+             codec->protocol() + ": " + error.what());
+    }
+
+    require(viaPlan.has_value() == viaInterp.has_value(),
+            "plan and interpreter must agree on accept/reject",
+            codec->protocol() + ": plan=" + (viaPlan ? "accept" : "reject [" + planError + "]") +
+                " interp=" + (viaInterp ? "accept" : "reject [" + interpError + "]"));
+    if (!viaPlan) return 0;
+
+    require(*viaPlan == *viaInterp, "plan and interpreter must parse identical messages",
+            codec->protocol() + ": message '" + viaPlan->type() + "' differs between paths");
+
+    // Re-compose what was parsed, again through both paths. Both must agree:
+    // identical bytes, or a throw with the same taxonomy code.
+    const ComposeOutcome plan = runCompose("plan", [&] {
+        Bytes out;
+        codec->composeInto(*viaPlan, out);
+        return out;
+    });
+    const ComposeOutcome interp =
+        runCompose("interpreter", [&] { return codec->composeInterpreted(*viaInterp); });
+
+    require(plan.threw == interp.threw, "plan and interpreter must agree on compose throw",
+            codec->protocol() + ": plan " + (plan.threw ? "threw" : "composed") + ", interp " +
+                (interp.threw ? "threw" : "composed"));
+    if (plan.threw) {
+        require(plan.code == interp.code, "compose throws must carry the same taxonomy code",
+                codec->protocol() + ": plan=" + errc::to_string(plan.code) +
+                    " interp=" + errc::to_string(interp.code));
+        return 0;
+    }
+    require(plan.bytes == interp.bytes, "plan and interpreter must compose identical bytes",
+            codec->protocol() + ": compose output differs for '" + viaPlan->type() + "'");
+    return 0;
+}
+
+}  // namespace starlink::fuzz

@@ -1,0 +1,78 @@
+// Model-document fuzzing: arbitrary bytes treated as an XML model document
+// and pushed through every loader that accepts untrusted files -- the linter
+// front door, the MDL codec loader, the colored-automaton loader, and the
+// bridge loader. The contract under test is the taxonomy itself:
+//
+//   * the linter NEVER throws (it converts every defect into diagnostics,
+//     and every diagnostic carries a mapped taxonomy code);
+//   * the runtime loaders either succeed or throw a coded StarlinkError --
+//     a raw std::exception (or worse, a crash / runaway recursion) escaping
+//     a loader is a finding.
+#include "fuzz/targets.hpp"
+
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/automata/color.hpp"
+#include "core/lint/linter.hpp"
+#include "core/mdl/codec.hpp"
+#include "core/merge/spec_loader.hpp"
+
+namespace starlink::fuzz {
+namespace {
+
+/// Runs one loader; success and coded throws are both fine, anything else
+/// aborts with the loader's name in the crash log.
+template <typename Fn>
+void mustSucceedOrThrowCoded(const char* loader, Fn&& fn) {
+    try {
+        fn();
+    } catch (const StarlinkError& error) {
+        // Coded rejection -- the expected failure mode. Unclassified would
+        // mean someone constructed a StarlinkError without a real code;
+        // treat that as a taxonomy escape too.
+        require(error.code() != errc::ErrorCode::Unclassified,
+                "loader errors must carry a classified taxonomy code",
+                std::string(loader) + ": " + error.what());
+    } catch (const std::exception& error) {
+        fail("loaders must throw coded StarlinkError only",
+             std::string(loader) + " threw uncoded " + error.what());
+    }
+}
+
+}  // namespace
+
+int fuzzModelInput(const std::uint8_t* data, std::size_t size) {
+    const std::string text(reinterpret_cast<const char*>(data), size);
+
+    // Linter: the no-throw front door. Every finding must map into the
+    // taxonomy (codeForRule leaves unknown rule ids Unclassified, so an
+    // unmapped diagnostic here means a rule was added without a code).
+    try {
+        lint::Linter linter;
+        linter.addModel("fuzz-input", text);
+        for (const auto& diagnostic : linter.run()) {
+            require(diagnostic.code != errc::ErrorCode::Unclassified,
+                    "every lint diagnostic must alias a taxonomy code",
+                    "rule '" + diagnostic.rule + "': " + diagnostic.message);
+        }
+    } catch (const std::exception& error) {
+        fail("the linter must never throw", error.what());
+    }
+
+    // Runtime loaders: each parses the same bytes independently, so a
+    // document that happens to look like one kind still exercises the
+    // "wrong root element" paths of the other two.
+    mustSucceedOrThrowCoded("MessageCodec::fromXml",
+                            [&] { mdl::MessageCodec::fromXml(text); });
+    mustSucceedOrThrowCoded("merge::loadAutomaton", [&] {
+        automata::ColorRegistry registry;
+        merge::loadAutomaton(text, registry);
+    });
+    mustSucceedOrThrowCoded("merge::loadBridge", [&] { merge::loadBridge(text, {}); });
+    return 0;
+}
+
+}  // namespace starlink::fuzz

@@ -1,0 +1,119 @@
+// Session-stream fuzzing: arbitrary datagrams fired at a live slp-to-upnp
+// bridge on the simulated network. This drives the runtime half of the
+// taxonomy -- whatever the engine does with hostile traffic, it must
+//
+//   * keep running (a poisoned session must never take the bridge down),
+//   * quiesce (the event queue drains; no runaway retransmit loops), and
+//   * account for every session: completed, or aborted with a precise
+//     taxonomy code. FailureCause and code must agree, and Unclassified
+//     is the escape marker the whole exercise exists to catch.
+//
+// Input layout: byte 0 = datagram count (1..4); per datagram a 2-byte
+// big-endian length prefix then payload bytes (clamped to what remains).
+// Datagrams are injected 50 virtual ms apart from the client host into the
+// SLP multicast group the bridge listens on, so consecutive datagrams can
+// land inside one session's lifetime as easily as across sessions.
+#include "fuzz/targets.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/log.hpp"
+#include "core/bridge/models.hpp"
+#include "core/bridge/starlink.hpp"
+#include "core/engine/automata_engine.hpp"
+#include "net/clock.hpp"
+#include "net/scheduler.hpp"
+#include "net/sim_network.hpp"
+#include "protocols/ssdp/ssdp_agents.hpp"
+
+namespace starlink::fuzz {
+namespace {
+
+/// SLP service-request multicast endpoint from the in-tree model: this is
+/// where the deployed bridge's client-facing color listens.
+const net::Address kSlpMulticast{"239.255.255.253", 427};
+
+constexpr std::size_t kMaxDatagrams = 4;
+constexpr std::size_t kMaxSchedulerEvents = 200'000;
+
+}  // namespace
+
+int fuzzSessionInput(const std::uint8_t* data, std::size_t size) {
+    if (size == 0) return 0;
+    // Hostile datagrams legitimately produce warn-level engine chatter; at
+    // fuzzing rates that log I/O dominates the run, so silence it once.
+    [[maybe_unused]] static const bool quiet = [] {
+        setLogLevel(LogLevel::Off);
+        return true;
+    }();
+    try {
+        net::VirtualClock clock;
+        net::EventScheduler scheduler(clock);
+        net::SimNetwork network(scheduler);
+        bridge::Starlink starlink(network);
+        auto& deployed = starlink.deploy(
+            bridge::models::forCase(bridge::models::Case::SlpToUpnp, "10.0.0.9"), "10.0.0.9");
+        // A real UPnP device answers the bridge's SSDP side, so inputs that
+        // happen to be valid SLP requests exercise the COMPLETE translation
+        // path, not just the abort paths.
+        ssdp::Device upnpService(network, ssdp::Device::Config{});
+
+        std::size_t offset = 0;
+        const std::size_t count = 1 + data[offset++] % kMaxDatagrams;
+        auto client = network.openUdp("10.0.0.1", 0);
+        for (std::size_t i = 0; i < count && offset < size; ++i) {
+            std::size_t length = 0;
+            if (offset + 2 <= size) {
+                length = static_cast<std::size_t>(data[offset]) << 8 | data[offset + 1];
+                offset += 2;
+            }
+            length = std::min(length, size - offset);
+            const Bytes payload(data + offset, data + offset + length);
+            offset += length;
+            scheduler.schedule(net::ms(static_cast<std::int64_t>(50 * i)),
+                               [&client, payload] { client->sendTo(kSlpMulticast, payload); });
+        }
+        scheduler.runUntilIdle(kMaxSchedulerEvents);
+
+        require(scheduler.pendingEvents() == 0, "the network must quiesce",
+                "event queue still busy after " + std::to_string(kMaxSchedulerEvents) +
+                    " events -- runaway loop");
+        require(deployed.engine().running(), "the engine must survive hostile traffic",
+                "engine stopped after fuzzed datagrams");
+
+        for (const auto& session : deployed.engine().sessions()) {
+            const errc::ErrorCode code = session.code;
+            if (session.completed) {
+                require(code == errc::ErrorCode::Ok && session.cause == engine::FailureCause::None,
+                        "completed sessions must carry Ok",
+                        "completed session has code " + std::string(errc::to_string(code)));
+                continue;
+            }
+            require(code != errc::ErrorCode::Ok, "aborted sessions must carry an error code",
+                    "aborted session recorded Ok");
+            require(code != errc::ErrorCode::Unclassified,
+                    "aborted sessions must land in the taxonomy",
+                    "taxonomy escape: abort recorded common.unclassified");
+            require(errc::fromInt(errc::to_error_code(code)).has_value(),
+                    "session codes must be registered taxonomy members",
+                    "abort code " + std::to_string(errc::to_error_code(code)) +
+                        " is not in the catalogue");
+            require(errc::layerOf(code) == errc::Layer::Engine ||
+                        errc::layerOf(code) == errc::Layer::Net ||
+                        errc::layerOf(code) == errc::Layer::Mdl ||
+                        errc::layerOf(code) == errc::Layer::Merge ||
+                        errc::layerOf(code) == errc::Layer::Bridge,
+                    "session aborts must come from runtime layers",
+                    std::string("abort code ") + errc::to_string(code) +
+                        " is from a non-runtime layer");
+        }
+    } catch (const std::exception& error) {
+        fail("the deployed bridge must absorb hostile traffic without throwing", error.what());
+    }
+    return 0;
+}
+
+}  // namespace starlink::fuzz

@@ -1,0 +1,57 @@
+// Fuzz targets: one entry point per trust boundary the taxonomy hardens.
+//
+// Each target consumes an arbitrary byte string and checks the INVARIANTS
+// the rest of the repo relies on, aborting the process on any violation
+// (that is the fuzzing contract: a crash is a finding):
+//
+//   fuzzCodecInput    wire bytes -> every dialect codec, differentially:
+//                     the compiled CodecPlan and the retained interpreter
+//                     oracle must agree byte-for-byte -- same accept/reject
+//                     verdict, equal parsed messages, identical re-composed
+//                     bytes, and identical coded throws.
+//   fuzzModelInput    document bytes -> xml parser, linter, MDL loader,
+//                     automaton loader, bridge loader: each must either
+//                     succeed or raise a CODED StarlinkError -- never a raw
+//                     std::exception, never a crash, never unbounded work.
+//   fuzzSessionInput  datagram stream -> a deployed slp-to-upnp bridge on
+//                     the sim network: the engine must survive (keep
+//                     running), and every session abort must land in the
+//                     taxonomy (code != Ok, != Unclassified).
+//
+// The targets are a plain library so the committed corpus replays as an
+// ordinary ctest (tests/test_fuzz_corpus.cpp) without a fuzzing toolchain;
+// the STARLINK_FUZZ CMake option additionally builds driver executables
+// (libFuzzer under clang, a standalone replay/mutation driver under gcc).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace starlink::fuzz {
+
+int fuzzCodecInput(const std::uint8_t* data, std::size_t size);
+int fuzzModelInput(const std::uint8_t* data, std::size_t size);
+int fuzzSessionInput(const std::uint8_t* data, std::size_t size);
+
+/// Abort with a message when a fuzz invariant is violated. Inlined into the
+/// targets so the failure text names the broken invariant in the crash log.
+[[noreturn]] void fail(const std::string& invariant, const std::string& detail);
+
+inline void require(bool ok, const std::string& invariant, const std::string& detail) {
+    if (!ok) fail(invariant, detail);
+}
+
+/// Loads one corpus input. Files ending in ".hex" are hex-encoded with
+/// '#'-prefixed provenance/comment lines (the committed seed format under
+/// tests/corpus/); anything else is read as raw bytes.
+std::vector<std::uint8_t> loadCorpusInput(const std::string& path);
+
+/// Deterministic mutation of `seed` (bit flips, byte sets, truncation,
+/// duplication, insertion) driven by an xorshift64 state. Both the
+/// standalone driver and the in-tree corpus test use this, so a mutation
+/// that found a bug is reproducible from (seed file, rng seed, round).
+std::vector<std::uint8_t> mutate(const std::vector<std::uint8_t>& seed, std::uint64_t& rng);
+
+}  // namespace starlink::fuzz

@@ -1,4 +1,4 @@
-// Error taxonomy for the Starlink framework.
+// Exception hierarchy for the Starlink framework, carrying taxonomy codes.
 //
 // Per the C++ Core Guidelines (E.2, E.14), exceptions are reserved for
 // conditions the immediate caller cannot reasonably handle inline:
@@ -14,29 +14,58 @@
 // Expected runtime events -- above all, failing to parse bytes that arrived
 // from the network -- are reported via std::optional / result values, not
 // exceptions, because they are part of normal operation.
+//
+// Every exception derives from StarlinkError and carries an errc::ErrorCode
+// (see core/error/error_code.hpp for the numbered per-layer ranges). The
+// legacy single-string constructors remain and default to each class's
+// coarse code, so existing throw sites stay valid while hot paths are
+// upgraded to precise codes incrementally.
 #pragma once
 
 #include <stdexcept>
 #include <string>
 
+#include "core/error/error_code.hpp"
+
 namespace starlink {
 
-/// A model/specification is malformed (bad MDL, bad bridge spec, bad XML).
-class SpecError : public std::runtime_error {
+/// Base of every framework exception: a runtime_error plus a taxonomy code.
+class StarlinkError : public std::runtime_error {
 public:
-    explicit SpecError(const std::string& what) : std::runtime_error(what) {}
+    StarlinkError(errc::ErrorCode code, const std::string& what)
+        : std::runtime_error(what), code_(code) {}
+
+    errc::ErrorCode code() const noexcept { return code_; }
+
+private:
+    errc::ErrorCode code_;
+};
+
+/// A model/specification is malformed (bad MDL, bad bridge spec, bad XML).
+class SpecError : public StarlinkError {
+public:
+    explicit SpecError(const std::string& what)
+        : StarlinkError(errc::ErrorCode::SpecViolation, what) {}
+    SpecError(errc::ErrorCode code, const std::string& what)
+        : StarlinkError(code, what) {}
 };
 
 /// A legacy protocol stack was driven outside its encodable domain.
-class ProtocolError : public std::runtime_error {
+class ProtocolError : public StarlinkError {
 public:
-    explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+    explicit ProtocolError(const std::string& what)
+        : StarlinkError(errc::ErrorCode::ProtocolEncode, what) {}
+    ProtocolError(errc::ErrorCode code, const std::string& what)
+        : StarlinkError(code, what) {}
 };
 
 /// The simulated network was misused (double bind, closed connection, ...).
-class NetError : public std::runtime_error {
+class NetError : public StarlinkError {
 public:
-    explicit NetError(const std::string& what) : std::runtime_error(what) {}
+    explicit NetError(const std::string& what)
+        : StarlinkError(errc::ErrorCode::NetMisuse, what) {}
+    NetError(errc::ErrorCode code, const std::string& what)
+        : StarlinkError(code, what) {}
 };
 
 /// A tcp peer vanished mid-session (closed its side, or our send raced its
@@ -44,13 +73,26 @@ public:
 /// engine can attribute the session abort to the peer.
 class PeerClosedError : public NetError {
 public:
-    explicit PeerClosedError(const std::string& what) : NetError(what) {}
+    explicit PeerClosedError(const std::string& what)
+        : NetError(errc::ErrorCode::NetPeerClosed, what) {}
 };
 
 /// A tcp connect was refused and the bounded retry budget is exhausted.
 class ConnectRefusedError : public NetError {
 public:
-    explicit ConnectRefusedError(const std::string& what) : NetError(what) {}
+    explicit ConnectRefusedError(const std::string& what)
+        : NetError(errc::ErrorCode::NetConnectRefused, what) {}
 };
+
+/// The taxonomy code of any exception: coded exceptions report their own
+/// code, everything else (std::bad_alloc, std::logic_error, raw
+/// runtime_errors) is Unclassified -- which the fuzz harness treats as a
+/// taxonomy escape when it crosses the engine/CLI boundary.
+inline errc::ErrorCode to_error_code(const std::exception& error) {
+    if (const auto* coded = dynamic_cast<const StarlinkError*>(&error)) {
+        return coded->code();
+    }
+    return errc::ErrorCode::Unclassified;
+}
 
 }  // namespace starlink

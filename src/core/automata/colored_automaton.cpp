@@ -16,7 +16,8 @@ const AbstractMessage* State::message(const std::string& type) const {
 State& ColoredAutomaton::addState(const std::string& id, const Color& color,
                                   ColorRegistry& registry, bool accepting) {
     if (states_.contains(id)) {
-        throw SpecError("automaton '" + name_ + "': duplicate state '" + id + "'");
+        throw SpecError(errc::ErrorCode::AutomatonInvalid,
+                        "automaton '" + name_ + "': duplicate state '" + id + "'");
     }
     const std::uint64_t k = registry.colorOf(color);
     auto [it, inserted] = states_.emplace(id, State(id, k, accepting));
@@ -26,7 +27,8 @@ State& ColoredAutomaton::addState(const std::string& id, const Color& color,
 
 void ColoredAutomaton::setInitial(const std::string& id) {
     if (!states_.contains(id)) {
-        throw SpecError("automaton '" + name_ + "': initial state '" + id + "' unknown");
+        throw SpecError(errc::ErrorCode::AutomatonInvalid,
+                        "automaton '" + name_ + "': initial state '" + id + "' unknown");
     }
     initial_ = id;
 }
@@ -89,23 +91,27 @@ const Transition* ColoredAutomaton::transitionFor(const std::string& from, Actio
 }
 
 std::uint64_t ColoredAutomaton::color() const {
-    if (states_.empty()) throw SpecError("automaton '" + name_ + "': no states");
+    if (states_.empty()) throw SpecError(errc::ErrorCode::AutomatonInvalid,
+                        "automaton '" + name_ + "': no states");
     return states_.begin()->second.color();
 }
 
 void ColoredAutomaton::validate() const {
     if (initial_.empty()) {
-        throw SpecError("automaton '" + name_ + "': no initial state");
+        throw SpecError(errc::ErrorCode::AutomatonInvalid,
+                        "automaton '" + name_ + "': no initial state");
     }
     if (acceptingStates().empty()) {
-        throw SpecError("automaton '" + name_ + "': no accepting state");
+        throw SpecError(errc::ErrorCode::AutomatonInvalid,
+                        "automaton '" + name_ + "': no accepting state");
     }
 
     // Single color across states (one protocol, one k).
     const std::uint64_t k = color();
     for (const auto& [id, state] : states_) {
         if (state.color() != k) {
-            throw SpecError("automaton '" + name_ + "': state '" + id +
+            throw SpecError(errc::ErrorCode::AutomatonInvalid,
+                        "automaton '" + name_ + "': state '" + id +
                             "' has a different color; single-protocol automata are k-colored "
                             "with one k (cross-color moves require a merged automaton's "
                             "delta-transition)");
@@ -115,12 +121,14 @@ void ColoredAutomaton::validate() const {
     std::set<std::pair<std::string, std::pair<Action, std::string>>> seen;
     for (const Transition& t : transitions_) {
         if (!states_.contains(t.from) || !states_.contains(t.to)) {
-            throw SpecError("automaton '" + name_ + "': transition " + t.from + " " +
+            throw SpecError(errc::ErrorCode::AutomatonInvalid,
+                        "automaton '" + name_ + "': transition " + t.from + " " +
                             actionSymbol(t.action) + t.messageType + " -> " + t.to +
                             " references an unknown state");
         }
         if (!seen.insert({t.from, {t.action, t.messageType}}).second) {
-            throw SpecError("automaton '" + name_ + "': nondeterministic transitions from '" +
+            throw SpecError(errc::ErrorCode::AutomatonInvalid,
+                        "automaton '" + name_ + "': nondeterministic transitions from '" +
                             t.from + "' on " + actionSymbol(t.action) + t.messageType);
         }
     }
@@ -136,7 +144,8 @@ void ColoredAutomaton::validate() const {
     }
     for (const auto& [id, state] : states_) {
         if (!reachable.contains(id)) {
-            throw SpecError("automaton '" + name_ + "': state '" + id +
+            throw SpecError(errc::ErrorCode::AutomatonInvalid,
+                        "automaton '" + name_ + "': state '" + id +
                             "' is unreachable from the initial state");
         }
     }

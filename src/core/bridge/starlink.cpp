@@ -31,7 +31,8 @@ DeployedBridge& Starlink::deploy(const models::DeploymentSpec& spec, const std::
         auto codec = mdl::MessageCodec::fromXml(protocol.mdlXml, marshallers_);
         auto automaton = merge::loadAutomaton(protocol.automatonXml, colors_);
         if (codecs.contains(automaton->name())) {
-            throw SpecError("deploy: two protocols named '" + automaton->name() + "'");
+            throw SpecError(errc::ErrorCode::BridgeDeploy,
+                        "deploy: two protocols named '" + automaton->name() + "'");
         }
         codecs.emplace(automaton->name(), std::move(codec));
         automata.push_back(std::move(automaton));
@@ -45,7 +46,8 @@ DeployedBridge& Starlink::deploy(const models::DeploymentSpec& spec, const std::
     //     discovered per-message would be misreported as a rejected value.
     const std::vector<std::string> unknown = merged->unknownTransforms(*translations_);
     if (!unknown.empty()) {
-        throw SpecError("deploy '" + merged->name() + "': unknown translation function " +
+        throw SpecError(errc::ErrorCode::BridgeTransformUnknown,
+                        "deploy '" + merged->name() + "': unknown translation function " +
                         join(unknown, ", ") + "; registered: " +
                         join(translations_->names(), ", "));
     }
@@ -63,7 +65,8 @@ DeployedBridge& Starlink::deploy(const models::DeploymentSpec& spec, const std::
     };
     const std::vector<std::string> uncovered = merged->checkEquivalences(mandatoryFields);
     if (!uncovered.empty()) {
-        throw SpecError("deploy '" + merged->name() +
+        throw SpecError(errc::ErrorCode::BridgeDeploy,
+                        "deploy '" + merged->name() +
                         "': semantic equivalence does not hold; mandatory fields without a "
                         "translation: " + join(uncovered, ", "));
     }
@@ -107,7 +110,8 @@ DeployedBridge& Starlink::deploySynthesized(const models::ProtocolModel& served,
     const std::vector<std::string> unknown =
         synthesis.merged->unknownTransforms(*translations_);
     if (!unknown.empty()) {
-        throw SpecError("deploy synthesized '" + synthesis.merged->name() +
+        throw SpecError(errc::ErrorCode::BridgeTransformUnknown,
+                        "deploy synthesized '" + synthesis.merged->name() +
                         "': ontology names unknown translation function " + join(unknown, ", "));
     }
 

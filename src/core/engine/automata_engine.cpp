@@ -28,8 +28,9 @@ AutomataEngine::AutomataEngine(std::shared_ptr<merge::MergedAutomaton> merged,
       tracer_(spans_) {
     for (const auto& component : merged_->components()) {
         if (!codecs_.contains(component->name())) {
-            throw SpecError("automata engine: no codec supplied for component '" +
-                            component->name() + "'");
+            throw SpecError(errc::ErrorCode::EngineNoCodec,
+                            "automata engine: no codec supplied for component '" +
+                                component->name() + "'");
         }
     }
 
@@ -43,14 +44,6 @@ AutomataEngine::AutomataEngine(std::shared_ptr<merge::MergedAutomaton> merged,
     };
     metrics_.sessionsCompleted =
         &registry.counter(named("starlink_engine_sessions_completed_total"));
-    for (const FailureCause cause :
-         {FailureCause::None, FailureCause::Timeout, FailureCause::ConnectRefused,
-          FailureCause::PeerClosed, FailureCause::DecodeError}) {
-        metrics_.sessionsAborted[static_cast<int>(cause)] = &registry.counter(
-            telemetry::labeled("starlink_engine_sessions_aborted_total",
-                               {{"bridge", merged_->name()},
-                                {"cause", failureCauseName(cause)}}));
-    }
     metrics_.messagesIn = &registry.counter(named("starlink_engine_messages_in_total"));
     metrics_.messagesOut = &registry.counter(named("starlink_engine_messages_out_total"));
     metrics_.retransmits = &registry.counter(named("starlink_engine_retransmits_total"));
@@ -64,6 +57,21 @@ AutomataEngine::AutomataEngine(std::shared_ptr<merge::MergedAutomaton> merged,
 }
 
 AutomataEngine::~AutomataEngine() { network_.setTracer(nullptr); }
+
+telemetry::Counter* AutomataEngine::abortedCounter(errc::ErrorCode code) {
+    const auto it = abortedByCode_.find(code);
+    if (it != abortedByCode_.end()) return it->second;
+    // The `code` label is the numeric taxonomy value, `cause` its stable
+    // dotted name -- one counter per exact abort code, replacing the old
+    // 5-bucket FailureCause array.
+    telemetry::Counter* counter = &registry_->counter(telemetry::labeled(
+        "starlink_engine_sessions_aborted_total",
+        {{"bridge", merged_->name()},
+         {"code", std::to_string(errc::to_error_code(code))},
+         {"cause", errc::to_string(code)}}));
+    abortedByCode_.emplace(code, counter);
+    return counter;
+}
 
 telemetry::Histogram* AutomataEngine::dwellHistogram(const std::string& state) {
     const auto it = dwellByState_.find(state);
@@ -105,9 +113,10 @@ void AutomataEngine::start() {
         const std::uint64_t k = component->color();
         const automata::Color* color = colors_.lookup(k);
         if (color == nullptr) {
-            throw SpecError("automata engine: color " + std::to_string(k) +
-                            " of component '" + component->name() +
-                            "' is not in the color registry");
+            throw SpecError(errc::ErrorCode::EngineColorUnknown,
+                            "automata engine: color " + std::to_string(k) +
+                                " of component '" + component->name() +
+                                "' is not in the color registry");
         }
         // Server role when the component's protocol conversation opens with
         // a receive (the bridge impersonates that protocol's service side).
@@ -183,7 +192,8 @@ void AutomataEngine::onNetworkMessage(std::uint64_t colorK, const Bytes& payload
                     timeoutEvent_.reset();
                     if (sessionActive_) {
                         STARLINK_LOG(Warn, "engine") << "session timed out in state " << current_;
-                        completeSession(false, FailureCause::Timeout);
+                        completeSession(false, FailureCause::Timeout,
+                                        errc::ErrorCode::EngineSessionTimeout);
                     }
                 });
         }
@@ -238,7 +248,10 @@ void AutomataEngine::safeProceed() {
     } catch (const std::exception& error) {
         STARLINK_LOG(Error, "engine") << "session aborted in state " << current_ << ": "
                                       << error.what();
-        if (sessionActive_) completeSession(false, classify(error));
+        // Record the throwing layer's exact code (merge.translation-rejected,
+        // codec.compose, ...); an uncoded exception records Unclassified,
+        // which the fuzz harness counts as a taxonomy escape.
+        if (sessionActive_) completeSession(false, classify(error), starlink::to_error_code(error));
     }
 }
 
@@ -277,9 +290,10 @@ void AutomataEngine::proceed() {
         for (const Transition* t : component->transitionsFrom(current_)) {
             if (t->action == Action::Send) {
                 if (send != nullptr) {
-                    throw SpecError("automata engine: state '" + current_ +
-                                    "' has several outgoing send-transitions; the merged "
-                                    "automaton is ambiguous");
+                    throw SpecError(errc::ErrorCode::EngineAmbiguousSend,
+                                    "automata engine: state '" + current_ +
+                                        "' has several outgoing send-transitions; the merged "
+                                        "automaton is ambiguous");
                 }
                 send = t;
             } else {
@@ -316,21 +330,24 @@ void AutomataEngine::takeDelta(const merge::DeltaTransition& delta) {
     for (const merge::NetworkAction& action : delta.actions) {
         if (action.name == "set_host") {
             if (action.args.size() != 2) {
-                throw SpecError("automata engine: set_host expects (host, port) arguments");
+                throw SpecError(errc::ErrorCode::BridgeInvalid,
+                                "automata engine: set_host expects (host, port) arguments");
             }
             const Value host = resolveRef(action.args[0].ref, action.args[0].transform);
             const Value port = resolveRef(action.args[1].ref, action.args[1].transform);
             const auto hostText = host.coerceTo(ValueType::String);
             const auto portInt = port.coerceTo(ValueType::Int);
             if (!hostText || !portInt) {
-                throw SpecError("automata engine: set_host arguments do not resolve to "
+                throw SpecError(errc::ErrorCode::EngineFieldUnresolved,
+                                "automata engine: set_host arguments do not resolve to "
                                 "host text and numeric port");
             }
             const ColoredAutomaton* target = merged_->automatonOf(delta.to);
             network_.setHost(target->color(), *hostText->asString(),
                              static_cast<int>(*portInt->asInt()));
         } else {
-            throw SpecError("automata engine: unknown lambda action '" + action.name + "'");
+            throw SpecError(errc::ErrorCode::EngineUnknownAction,
+                            "automata engine: unknown lambda action '" + action.name + "'");
         }
     }
     trace_.record(TraceEvent{merged_->automatonOf(delta.from)->name(), delta.from, delta.to,
@@ -363,7 +380,7 @@ void AutomataEngine::scheduleSend(const Transition& transition) {
         } catch (const std::exception& error) {
             STARLINK_LOG(Error, "engine") << "send of !" << transition.messageType
                                           << " failed, aborting session: " << error.what();
-            completeSession(false, classify(error));
+            completeSession(false, classify(error), starlink::to_error_code(error));
         }
     });
 }
@@ -440,15 +457,17 @@ AbstractMessage AutomataEngine::buildOutgoing(const std::string& stateId,
                 // one here means the registry changed at runtime; keep the
                 // error distinct from a function genuinely rejecting a value.
                 if (!translations_->contains(assignment->transform)) {
-                    throw SpecError("automata engine: unknown translation '" +
-                                    assignment->transform +
-                                    "' (removed from the registry after deploy?)");
+                    throw SpecError(errc::ErrorCode::TranslationUnknown,
+                                    "automata engine: unknown translation '" +
+                                        assignment->transform +
+                                        "' (removed from the registry after deploy?)");
                 }
                 const auto transformed = translations_->apply(assignment->transform, value);
                 if (!transformed) {
-                    throw SpecError("automata engine: translation '" + assignment->transform +
-                                    "' rejected constant '" +
-                                    assignment->constant.value_or("") + "'");
+                    throw SpecError(errc::ErrorCode::TranslationRejected,
+                                    "automata engine: translation '" + assignment->transform +
+                                        "' rejected constant '" +
+                                        assignment->constant.value_or("") + "'");
                 }
                 value = *transformed;
             }
@@ -462,28 +481,34 @@ AbstractMessage AutomataEngine::buildOutgoing(const std::string& stateId,
 Value AutomataEngine::resolveRef(const merge::FieldRef& ref, const std::string& transform) const {
     const ColoredAutomaton* component = merged_->automatonOf(ref.state);
     if (component == nullptr) {
-        throw SpecError("automata engine: field reference " + ref.toString() +
-                        " names an unknown state");
+        throw SpecError(errc::ErrorCode::EngineFieldUnresolved,
+                        "automata engine: field reference " + ref.toString() +
+                            " names an unknown state");
     }
     const AbstractMessage* message = component->state(ref.state)->message(ref.messageType);
     if (message == nullptr) {
-        throw SpecError("automata engine: no instance of " + ref.messageType +
-                        " stored at state " + ref.state + " (needed by " + ref.toString() + ")");
+        throw SpecError(errc::ErrorCode::EngineFieldUnresolved,
+                        "automata engine: no instance of " + ref.messageType +
+                            " stored at state " + ref.state + " (needed by " + ref.toString() +
+                            ")");
     }
     const auto value = message->value(ref.path);
     if (!value) {
-        throw SpecError("automata engine: message " + ref.messageType + " at " + ref.state +
-                        " has no field '" + ref.path + "'");
+        throw SpecError(errc::ErrorCode::EngineFieldUnresolved,
+                        "automata engine: message " + ref.messageType + " at " + ref.state +
+                            " has no field '" + ref.path + "'");
     }
     if (transform.empty()) return *value;
     if (!translations_->contains(transform)) {
-        throw SpecError("automata engine: unknown translation '" + transform +
-                        "' (removed from the registry after deploy?)");
+        throw SpecError(errc::ErrorCode::TranslationUnknown,
+                        "automata engine: unknown translation '" + transform +
+                            "' (removed from the registry after deploy?)");
     }
     const auto transformed = translations_->apply(transform, *value);
     if (!transformed) {
-        throw SpecError("automata engine: translation '" + transform + "' rejected value '" +
-                        value->toText() + "' of " + ref.toString());
+        throw SpecError(errc::ErrorCode::TranslationRejected,
+                        "automata engine: translation '" + transform + "' rejected value '" +
+                            value->toText() + "' of " + ref.toString());
     }
     return *transformed;
 }
@@ -530,7 +555,9 @@ void AutomataEngine::onReceiveDeadline() {
         STARLINK_LOG(Warn, "engine") << "no reply in state " << current_ << " after "
                                      << retransmitsUsed_
                                      << " retransmissions; aborting session";
-        completeSession(false, FailureCause::Timeout);
+        // Coarse cause stays Timeout for compatibility; the code tells a
+        // drained retry budget apart from the session watchdog.
+        completeSession(false, FailureCause::Timeout, errc::ErrorCode::EngineRetryExhausted);
         return;
     }
     ++retransmitsUsed_;
@@ -544,7 +571,7 @@ void AutomataEngine::onReceiveDeadline() {
     } catch (const std::exception& error) {
         STARLINK_LOG(Error, "engine") << "retransmission failed, aborting session: "
                                       << error.what();
-        completeSession(false, classify(error));
+        completeSession(false, classify(error), starlink::to_error_code(error));
         return;
     }
     // The re-sent request is a real datagram on the wire: count it, so the
@@ -561,15 +588,21 @@ void AutomataEngine::onReceiveDeadline() {
     armRetransmit();
 }
 
-void AutomataEngine::completeSession(bool completed, FailureCause cause) {
+void AutomataEngine::completeSession(bool completed, FailureCause cause, errc::ErrorCode code) {
     liveSession_.completed = completed;
     liveSession_.cause = completed ? FailureCause::None : cause;
+    // Exact code when the abort path supplied one; otherwise the coarse
+    // cause's floor code. Unclassified (an uncoded exception) is preserved,
+    // not masked -- it is the taxonomy-escape signal the fuzzers hunt.
+    liveSession_.code = completed ? errc::ErrorCode::Ok
+                        : code != errc::ErrorCode::Ok ? code
+                                                      : to_error_code(liveSession_.cause);
     sessions_.push_back(liveSession_);
     if (telemetry::enabled()) {
         if (completed) {
             metrics_.sessionsCompleted->add();
         } else {
-            metrics_.sessionsAborted[static_cast<int>(liveSession_.cause)]->add();
+            abortedCounter(liveSession_.code)->add();
         }
         metrics_.translationMs->observe(
             std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
@@ -586,6 +619,11 @@ void AutomataEngine::completeSession(bool completed, FailureCause cause) {
         const telemetry::SpanId root = tracer_.sessionSpan();
         tracer_.attr(root, "result",
                      completed ? "completed" : failureCauseName(liveSession_.cause));
+        if (!completed) {
+            tracer_.attr(root, "error_code",
+                         std::to_string(errc::to_error_code(liveSession_.code)));
+            tracer_.attr(root, "error_name", errc::to_string(liveSession_.code));
+        }
         tracer_.attr(root, "messages_in", std::to_string(liveSession_.messagesIn));
         tracer_.attr(root, "messages_out", std::to_string(liveSession_.messagesOut));
         tracer_.attr(root, "retransmits", std::to_string(liveSession_.retransmits));
@@ -606,7 +644,9 @@ void AutomataEngine::completeSession(bool completed, FailureCause cause) {
                                  << liveSession_.messagesOut << " out"
                                  << (completed ? ""
                                                : std::string(" (cause: ") +
-                                                     failureCauseName(liveSession_.cause) + ")");
+                                                     failureCauseName(liveSession_.cause) +
+                                                     ", code: " +
+                                                     errc::to_string(liveSession_.code) + ")");
     if (onSessionComplete) onSessionComplete(liveSession_);
 
     sessionActive_ = false;

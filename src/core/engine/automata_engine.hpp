@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/automata/trace.hpp"
 #include "core/engine/network_engine.hpp"
@@ -114,6 +115,20 @@ constexpr const char* failureCauseName(FailureCause cause) {
     return "unknown";
 }
 
+/// The coarse cause's taxonomy code. Abort paths that know more (watchdog vs
+/// retry-budget, the exact exception) record a more precise code directly;
+/// this mapping is the floor every abort is guaranteed to reach.
+constexpr errc::ErrorCode to_error_code(FailureCause cause) {
+    switch (cause) {
+        case FailureCause::None: return errc::ErrorCode::Ok;
+        case FailureCause::Timeout: return errc::ErrorCode::EngineSessionTimeout;
+        case FailureCause::ConnectRefused: return errc::ErrorCode::EngineConnectRefused;
+        case FailureCause::PeerClosed: return errc::ErrorCode::EnginePeerClosed;
+        case FailureCause::DecodeError: return errc::ErrorCode::EngineDecode;
+    }
+    return errc::ErrorCode::Unclassified;
+}
+
 /// Outcome record for one bridged conversation.
 struct SessionRecord {
     net::TimePoint firstReceive{};
@@ -132,6 +147,13 @@ struct SessionRecord {
     bool completed = false;
     /// FailureCause::None iff completed.
     FailureCause cause = FailureCause::None;
+    /// Exact taxonomy code of the abort (ErrorCode::Ok iff completed). Where
+    /// `cause` says "Timeout", `code` distinguishes the watchdog
+    /// (engine.session-timeout) from a drained retransmission budget
+    /// (engine.retry-exhausted); where it says "DecodeError", `code` carries
+    /// the precise failure of the throwing layer (e.g. merge.translation-
+    /// rejected, engine.field-unresolved).
+    errc::ErrorCode code = errc::ErrorCode::Ok;
 
     /// First message received by the framework until the translated
     /// response left on the output socket (paper section VI).
@@ -194,7 +216,8 @@ private:
     void performSend(const automata::Transition& transition, telemetry::SpanId translateSpan);
     AbstractMessage buildOutgoing(const std::string& stateId, const std::string& messageType);
     Value resolveRef(const merge::FieldRef& ref, const std::string& transform) const;
-    void completeSession(bool completed, FailureCause cause = FailureCause::None);
+    void completeSession(bool completed, FailureCause cause = FailureCause::None,
+                         errc::ErrorCode code = errc::ErrorCode::Ok);
     net::Duration receiveDeadlineFor(const std::string& state) const;
     void armRetransmit();
     void onReceiveDeadline();
@@ -250,13 +273,17 @@ private:
     net::TimePoint stateEnteredAt_{};
     struct EngineMetrics {
         telemetry::Counter* sessionsCompleted = nullptr;
-        telemetry::Counter* sessionsAborted[5] = {};  // indexed by FailureCause
         telemetry::Counter* messagesIn = nullptr;
         telemetry::Counter* messagesOut = nullptr;
         telemetry::Counter* retransmits = nullptr;
         telemetry::Histogram* translationMs = nullptr;
     };
     EngineMetrics metrics_;
+    /// Abort counters labeled by exact taxonomy code, resolved lazily on the
+    /// first abort with that code (the code space is too wide to pre-register
+    /// like the old 5-cause array; aborts are off the hot path anyway).
+    telemetry::Counter* abortedCounter(errc::ErrorCode code);
+    std::map<errc::ErrorCode, telemetry::Counter*> abortedByCode_;
     /// Where this engine's metrics live: EngineOptions::metrics or the
     /// process-global registry.
     telemetry::MetricsRegistry* registry_ = nullptr;

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "core/error/error_code.hpp"
+
 namespace starlink::lint {
 
 enum class Severity { Info, Warning, Error };
@@ -31,7 +33,17 @@ struct Diagnostic {
     int line = 0;         // 1-based XML source line, 0 = whole file
     std::string rule;     // stable id, e.g. "bridge.transform.unknown"
     std::string message;  // human-readable explanation
+    /// Taxonomy code the rule aliases (codeForRule(rule)); the linter fills
+    /// this in so a static finding and the runtime abort it predicts carry
+    /// the same number.
+    errc::ErrorCode code = errc::ErrorCode::Unclassified;
 };
+
+/// The taxonomy code a lint rule id aliases. Most rules point into the layer
+/// whose runtime failure they predict (e.g. "xml.parse" -> XmlParse,
+/// "bridge.transform.unknown" -> BridgeTransformUnknown); rules that only
+/// exist statically live in the lint range. Unknown ids -> Unclassified.
+errc::ErrorCode codeForRule(const std::string& rule);
 
 /// True when any diagnostic is error-severity (the CI gate).
 bool hasErrors(const std::vector<Diagnostic>& diagnostics);

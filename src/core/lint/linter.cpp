@@ -184,10 +184,43 @@ std::string renderJson(const std::vector<Diagnostic>& diagnostics) {
         out += "\n  {\"file\": \"" + jsonEscape(d.file) +
                "\", \"line\": " + std::to_string(d.line) + ", \"severity\": \"" +
                severityName(d.severity) + "\", \"rule\": \"" + jsonEscape(d.rule) +
-               "\", \"message\": \"" + jsonEscape(d.message) + "\"}";
+               "\", \"code\": " + std::to_string(errc::to_error_code(d.code)) +
+               ", \"message\": \"" + jsonEscape(d.message) + "\"}";
     }
     out += diagnostics.empty() ? "]\n" : "\n]\n";
     return out;
+}
+
+errc::ErrorCode codeForRule(const std::string& rule) {
+    using errc::ErrorCode;
+    // Every stable rule id of docs/LINT.md, one code each. Rules predicting a
+    // runtime failure alias that layer's code so `lint` and the abort agree.
+    static const std::map<std::string, ErrorCode> kRuleCodes = {
+        {"xml.parse", ErrorCode::XmlParse},
+        {"lint.unknown-kind", ErrorCode::LintUnknownKind},
+        {"mdl.invalid", ErrorCode::MdlInvalid},
+        {"mdl.marshaller.unknown", ErrorCode::MdlMarshallerUnknown},
+        {"mdl.plan", ErrorCode::MdlPlan},
+        {"mdl.rule.shadowed", ErrorCode::MdlRuleShadowed},
+        {"automaton.invalid", ErrorCode::AutomatonInvalid},
+        {"automaton.message.unknown", ErrorCode::AutomatonMessageUnknown},
+        {"automaton.receive.ambiguous", ErrorCode::AutomatonReceiveAmbiguous},
+        {"automaton.transition.dead", ErrorCode::AutomatonTransitionDead},
+        {"automaton.state.dead-end", ErrorCode::AutomatonStateDeadEnd},
+        {"bridge.invalid", ErrorCode::BridgeInvalid},
+        {"bridge.closure.missing", ErrorCode::BridgeClosureMissing},
+        {"bridge.state.unknown", ErrorCode::BridgeStateUnknown},
+        {"bridge.ref.message-not-stored", ErrorCode::BridgeRefNotStored},
+        {"bridge.message.unknown", ErrorCode::BridgeMessageUnknown},
+        {"bridge.field.unknown", ErrorCode::BridgeFieldUnknown},
+        {"bridge.transform.unknown", ErrorCode::BridgeTransformUnknown},
+        {"bridge.transform.mismatch", ErrorCode::BridgeTransformMismatch},
+        {"bridge.equivalence.unknown", ErrorCode::BridgeEquivalenceUnknown},
+        {"bridge.equivalence.uncovered", ErrorCode::BridgeEquivalenceUncovered},
+        {"bridge.delta.missing", ErrorCode::BridgeDeltaMissing},
+    };
+    const auto it = kRuleCodes.find(rule);
+    return it != kRuleCodes.end() ? it->second : ErrorCode::Unclassified;
 }
 
 Linter::Linter()
@@ -200,8 +233,9 @@ Linter::Linter(std::shared_ptr<mdl::MarshallerRegistry> marshallers,
 
 void Linter::emit(Severity severity, const Source& source, const xml::Node* node,
                   std::string rule, std::string message) {
+    const errc::ErrorCode code = codeForRule(rule);
     diagnostics_.push_back(
-        {severity, source.path, lineOf(node), std::move(rule), std::move(message)});
+        {severity, source.path, lineOf(node), std::move(rule), std::move(message), code});
 }
 
 void Linter::addModel(const std::string& path, const std::string& xmlText) {

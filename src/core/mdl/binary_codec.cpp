@@ -1,5 +1,6 @@
 #include "core/mdl/binary_codec.hpp"
 
+#include <cstdint>
 #include <map>
 
 #include "common/error.hpp"
@@ -7,6 +8,16 @@
 namespace starlink::mdl {
 
 namespace {
+
+// Hard caps against hostile wire input. A datagram larger than any legitimate
+// protocol message, a parse yielding absurdly many fields, or a length field
+// implying a gigantic body is rejected up front -- before unbounded work, and
+// before the `* 8` below can overflow int64 (undefined behaviour). The caps
+// are identical in the plan and interpreter paths so the differential fuzzer
+// sees byte-identical accept/reject decisions.
+constexpr std::size_t kMaxMessageBytes = 1 << 20;   // 1 MiB of wire input
+constexpr std::int64_t kMaxFieldBytes = 1 << 20;    // per length-field value
+constexpr std::size_t kMaxParsedFields = 4096;
 
 struct ParsedField {
     std::string label;
@@ -27,7 +38,8 @@ struct PlanSlot {
 BinaryCodec::BinaryCodec(const MdlDocument& doc, std::shared_ptr<MarshallerRegistry> registry)
     : doc_(doc), registry_(std::move(registry)) {
     if (doc_.kind() != MdlKind::Binary) {
-        throw SpecError("BinaryCodec: MDL document '" + doc_.protocol() + "' is not binary");
+        throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "BinaryCodec: MDL document '" + doc_.protocol() + "' is not binary");
     }
     // Compiling the plan resolves every marshaller eagerly, so a typo in
     // <Types> fails at load time, not mid-parse (same contract as before).
@@ -42,6 +54,12 @@ std::optional<AbstractMessage> BinaryCodec::parse(const Bytes& data, std::string
         if (error != nullptr) *error = why;
         return std::nullopt;
     };
+
+    if (data.size() > kMaxMessageBytes) {
+        return fail("[codec.message-too-large] " + std::to_string(data.size()) +
+                    " bytes exceed the " + std::to_string(kMaxMessageBytes) +
+                    "-byte message cap");
+    }
 
     BitReader reader(data);
     std::vector<PlanSlot> parsed;
@@ -64,7 +82,15 @@ std::optional<AbstractMessage> BinaryCodec::parse(const Bytes& data, std::string
                         why = "length field '" + spec.ref + "' is not numeric";
                         return false;
                     }
-                    lengthBits = static_cast<int>(*bytes->asInt() * 8);
+                    const std::int64_t lengthBytes = *bytes->asInt();
+                    if (lengthBytes < 0 || lengthBytes > kMaxFieldBytes) {
+                        why = "[codec.length-overflow] length field '" + spec.ref +
+                              "' implies " + std::to_string(lengthBytes) +
+                              " bytes, beyond the " + std::to_string(kMaxFieldBytes) +
+                              "-byte field cap";
+                        return false;
+                    }
+                    lengthBits = static_cast<int>(lengthBytes * 8);
                     break;
                 }
                 case FieldSpec::Length::Auto:
@@ -86,6 +112,11 @@ std::optional<AbstractMessage> BinaryCodec::parse(const Bytes& data, std::string
                 return false;
             }
             parsed.push_back({&pf, std::move(*value), lengthBits});
+            if (parsed.size() > kMaxParsedFields) {
+                why = "[codec.field-limit] more than " +
+                      std::to_string(kMaxParsedFields) + " parsed fields";
+                return false;
+            }
         }
         return true;
     };
@@ -130,7 +161,8 @@ void BinaryCodec::composeInto(const AbstractMessage& message, Bytes& out) const 
     const MessagePlan* mp = plan_.planFor(message.type());
     if (mp == nullptr) {
         out.clear();
-        throw SpecError("BinaryCodec: MDL '" + doc_.protocol() + "' does not define message '" +
+        throw SpecError(errc::ErrorCode::CodecMessageUnknown,
+                        "BinaryCodec: MDL '" + doc_.protocol() + "' does not define message '" +
                         message.type() + "'");
     }
 
@@ -188,7 +220,8 @@ void BinaryCodec::composeInto(const AbstractMessage& message, Bytes& out) const 
         const int idx = mp->mandatoryFlat[m];
         if (idx < 0 || !has[static_cast<std::size_t>(idx)]) {
             out.clear();
-            throw SpecError("BinaryCodec: mandatory field '" + mp->mandatory[m] +
+            throw SpecError(errc::ErrorCode::CodecMandatoryMissing,
+                        "BinaryCodec: mandatory field '" + mp->mandatory[m] +
                             "' of message '" + message.type() + "' has no value");
         }
     }
@@ -208,21 +241,30 @@ void BinaryCodec::composeInto(const AbstractMessage& message, Bytes& out) const 
             case FieldSpec::Length::FieldRef: {
                 const auto bytes =
                     values[static_cast<std::size_t>(pf.refIndex)].coerceTo(ValueType::Int);
-                lengthBits = static_cast<int>(*bytes->asInt() * 8);
+                const std::int64_t lengthBytes = bytes ? *bytes->asInt() : -1;
+                if (lengthBytes < 0 || lengthBytes > kMaxFieldBytes) {
+                    throw SpecError(errc::ErrorCode::CodecLengthOverflow,
+                                    "BinaryCodec: length field '" + spec.ref +
+                                        "' implies " + std::to_string(lengthBytes) +
+                                        " bytes in compose of '" + message.type() + "'");
+                }
+                lengthBits = static_cast<int>(lengthBytes * 8);
                 break;
             }
             case FieldSpec::Length::Auto:
                 lengthBits = std::nullopt;
                 break;
             default:
-                throw SpecError("BinaryCodec: text-dialect field '" + spec.label +
+                throw SpecError(errc::ErrorCode::CodecCompose,
+                        "BinaryCodec: text-dialect field '" + spec.label +
                                 "' in binary compose");
         }
 
         if (pf.isMsgLength) {
             // Write a placeholder and remember where to backpatch.
             if (!lengthBits) {
-                throw SpecError("BinaryCodec: f-msglength field '" + spec.label +
+                throw SpecError(errc::ErrorCode::CodecCompose,
+                        "BinaryCodec: f-msglength field '" + spec.label +
                                 "' must have a literal bit length");
             }
             msgLengthPatch = {writer.positionBits(), *lengthBits};
@@ -258,6 +300,12 @@ std::optional<AbstractMessage> BinaryCodec::parseInterpreted(const Bytes& data,
         return std::nullopt;
     };
 
+    if (data.size() > kMaxMessageBytes) {
+        return fail("[codec.message-too-large] " + std::to_string(data.size()) +
+                    " bytes exceed the " + std::to_string(kMaxMessageBytes) +
+                    "-byte message cap");
+    }
+
     BitReader reader(data);
     std::vector<ParsedField> parsed;
     auto lookup = [&parsed](const std::string& label) -> const ParsedField* {
@@ -287,7 +335,15 @@ std::optional<AbstractMessage> BinaryCodec::parseInterpreted(const Bytes& data,
                         why = "length field '" + spec.ref + "' is not numeric";
                         return false;
                     }
-                    lengthBits = static_cast<int>(*bytes->asInt() * 8);
+                    const std::int64_t lengthBytes = *bytes->asInt();
+                    if (lengthBytes < 0 || lengthBytes > kMaxFieldBytes) {
+                        why = "[codec.length-overflow] length field '" + spec.ref +
+                              "' implies " + std::to_string(lengthBytes) +
+                              " bytes, beyond the " + std::to_string(kMaxFieldBytes) +
+                              "-byte field cap";
+                        return false;
+                    }
+                    lengthBits = static_cast<int>(lengthBytes * 8);
                     break;
                 }
                 case FieldSpec::Length::Auto:
@@ -310,6 +366,11 @@ std::optional<AbstractMessage> BinaryCodec::parseInterpreted(const Bytes& data,
                 return false;
             }
             parsed.push_back({spec.label, std::move(*value), lengthBits});
+            if (parsed.size() > kMaxParsedFields) {
+                why = "[codec.field-limit] more than " +
+                      std::to_string(kMaxParsedFields) + " parsed fields";
+                return false;
+            }
         }
         return true;
     };
@@ -359,7 +420,8 @@ std::optional<AbstractMessage> BinaryCodec::parseInterpreted(const Bytes& data,
 Bytes BinaryCodec::composeInterpreted(const AbstractMessage& message) const {
     const MessageSpec* spec = doc_.message(message.type());
     if (spec == nullptr) {
-        throw SpecError("BinaryCodec: MDL '" + doc_.protocol() + "' does not define message '" +
+        throw SpecError(errc::ErrorCode::CodecMessageUnknown,
+                        "BinaryCodec: MDL '" + doc_.protocol() + "' does not define message '" +
                         message.type() + "'");
     }
 
@@ -402,7 +464,8 @@ Bytes BinaryCodec::composeInterpreted(const AbstractMessage& message) const {
                 if (candidate->label == def->functionArg) target = candidate;
             }
             if (target == nullptr) {
-                throw SpecError("BinaryCodec: f-length target '" + def->functionArg +
+                throw SpecError(errc::ErrorCode::CodecCompose,
+                        "BinaryCodec: f-length target '" + def->functionArg +
                                 "' is not a field of message '" + message.type() + "'");
             }
             const Marshaller* m = registry_->find(doc_.marshallerFor(*target));
@@ -423,7 +486,8 @@ Bytes BinaryCodec::composeInterpreted(const AbstractMessage& message) const {
     // field has a broken translation spec.
     for (const std::string& label : doc_.mandatoryFields(message.type())) {
         if (!values.contains(label)) {
-            throw SpecError("BinaryCodec: mandatory field '" + label + "' of message '" +
+            throw SpecError(errc::ErrorCode::CodecMandatoryMissing,
+                        "BinaryCodec: mandatory field '" + label + "' of message '" +
                             message.type() + "' has no value");
         }
     }
@@ -442,22 +506,32 @@ Bytes BinaryCodec::composeInterpreted(const AbstractMessage& message) const {
                 break;
             case FieldSpec::Length::FieldRef: {
                 const auto it = values.find(f->ref);
-                const auto bytes = it->second.coerceTo(ValueType::Int);
-                lengthBits = static_cast<int>(*bytes->asInt() * 8);
+                const auto bytes =
+                    it != values.end() ? it->second.coerceTo(ValueType::Int) : std::nullopt;
+                const std::int64_t lengthBytes = bytes ? *bytes->asInt() : -1;
+                if (lengthBytes < 0 || lengthBytes > kMaxFieldBytes) {
+                    throw SpecError(errc::ErrorCode::CodecLengthOverflow,
+                                    "BinaryCodec: length field '" + f->ref +
+                                        "' implies " + std::to_string(lengthBytes) +
+                                        " bytes in compose of '" + message.type() + "'");
+                }
+                lengthBits = static_cast<int>(lengthBytes * 8);
                 break;
             }
             case FieldSpec::Length::Auto:
                 lengthBits = std::nullopt;
                 break;
             default:
-                throw SpecError("BinaryCodec: text-dialect field '" + f->label +
+                throw SpecError(errc::ErrorCode::CodecCompose,
+                        "BinaryCodec: text-dialect field '" + f->label +
                                 "' in binary compose");
         }
 
         if (def != nullptr && def->function == "f-msglength") {
             // Write a placeholder and remember where to backpatch.
             if (!lengthBits) {
-                throw SpecError("BinaryCodec: f-msglength field '" + f->label +
+                throw SpecError(errc::ErrorCode::CodecCompose,
+                        "BinaryCodec: f-msglength field '" + f->label +
                                 "' must have a literal bit length");
             }
             msgLengthPatch = {writer.positionBits(), *lengthBits};

@@ -5,7 +5,8 @@
 namespace starlink::mdl {
 
 std::optional<std::uint64_t> BitReader::readBits(int count) {
-    if (count < 1 || count > 64) throw SpecError("BitReader: bit count out of range");
+    if (count < 1 || count > 64) throw SpecError(errc::ErrorCode::CodecBitRange,
+                        "BitReader: bit count out of range");
     if (remainingBits() < static_cast<std::size_t>(count)) return std::nullopt;
     std::uint64_t value = 0;
     for (int i = 0; i < count; ++i) {
@@ -40,7 +41,8 @@ std::optional<std::uint8_t> BitReader::peekByte() const {
 }
 
 void BitWriter::writeBits(std::uint64_t value, int count) {
-    if (count < 1 || count > 64) throw SpecError("BitWriter: bit count out of range");
+    if (count < 1 || count > 64) throw SpecError(errc::ErrorCode::CodecBitRange,
+                        "BitWriter: bit count out of range");
     for (int i = count - 1; i >= 0; --i) {
         const int bit = static_cast<int>(value >> i & 1u);
         if ((bitCount_ & 7) == 0) buffer_.push_back(0);
@@ -64,7 +66,8 @@ void BitWriter::writeByte(std::uint8_t byte) { writeBits(byte, 8); }
 
 void BitWriter::patchBits(std::size_t offset, std::uint64_t value, int count) {
     if (offset + static_cast<std::size_t>(count) > bitCount_) {
-        throw SpecError("BitWriter::patchBits: region not yet written");
+        throw SpecError(errc::ErrorCode::CodecBitRange,
+                        "BitWriter::patchBits: region not yet written");
     }
     for (int i = 0; i < count; ++i) {
         const std::size_t pos = offset + static_cast<std::size_t>(i);

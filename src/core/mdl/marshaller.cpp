@@ -8,7 +8,8 @@ namespace starlink::mdl {
 namespace {
 
 [[noreturn]] void badLength(const char* type) {
-    throw ProtocolError(std::string(type) + " marshaller: invalid length specification");
+    throw ProtocolError(errc::ErrorCode::CodecCompose,
+                        std::string(type) + " marshaller: invalid length specification");
 }
 
 }  // namespace
@@ -27,10 +28,12 @@ void IntegerMarshaller::write(BitWriter& out, const Value& value,
                               std::optional<int> lengthBits) const {
     if (!lengthBits || *lengthBits < 1 || *lengthBits > 63) badLength("Integer");
     const auto coerced = value.coerceTo(ValueType::Int);
-    if (!coerced) throw ProtocolError("Integer marshaller: value is not an integer");
+    if (!coerced) throw ProtocolError(errc::ErrorCode::CodecCompose,
+                        "Integer marshaller: value is not an integer");
     const std::int64_t v = *coerced->asInt();
     if (v < 0 || (*lengthBits < 63 && v >= (std::int64_t{1} << *lengthBits))) {
-        throw ProtocolError("Integer marshaller: " + std::to_string(v) + " does not fit in " +
+        throw ProtocolError(errc::ErrorCode::CodecCompose,
+                        "Integer marshaller: " + std::to_string(v) + " does not fit in " +
                             std::to_string(*lengthBits) + " bits");
     }
     out.writeBits(static_cast<std::uint64_t>(v), *lengthBits);
@@ -55,13 +58,15 @@ std::optional<Value> StringMarshaller::read(BitReader& in, std::optional<int> le
 void StringMarshaller::write(BitWriter& out, const Value& value,
                              std::optional<int> lengthBits) const {
     const auto coerced = value.coerceTo(ValueType::String);
-    if (!coerced) throw ProtocolError("String marshaller: value is not text");
+    if (!coerced) throw ProtocolError(errc::ErrorCode::CodecCompose,
+                        "String marshaller: value is not text");
     const std::string text = *coerced->asString();
     if (!lengthBits) badLength("String");
     if (*lengthBits % 8 != 0) badLength("String");
     const std::size_t expected = static_cast<std::size_t>(*lengthBits) / 8;
     if (text.size() != expected) {
-        throw ProtocolError("String marshaller: value of " + std::to_string(text.size()) +
+        throw ProtocolError(errc::ErrorCode::CodecCompose,
+                        "String marshaller: value of " + std::to_string(text.size()) +
                             " bytes does not fill a " + std::to_string(expected) + "-byte field");
     }
     out.writeBytes(toBytes(text));
@@ -70,7 +75,8 @@ void StringMarshaller::write(BitWriter& out, const Value& value,
 int StringMarshaller::encodedBits(const Value& value, std::optional<int> lengthBits) const {
     if (lengthBits) return *lengthBits;
     const auto coerced = value.coerceTo(ValueType::String);
-    if (!coerced) throw ProtocolError("String marshaller: value is not text");
+    if (!coerced) throw ProtocolError(errc::ErrorCode::CodecCompose,
+                        "String marshaller: value is not text");
     return static_cast<int>(coerced->asString()->size() * 8);
 }
 
@@ -88,11 +94,13 @@ std::optional<Value> BytesMarshaller::read(BitReader& in, std::optional<int> len
 void BytesMarshaller::write(BitWriter& out, const Value& value,
                             std::optional<int> lengthBits) const {
     const auto coerced = value.coerceTo(ValueType::Bytes);
-    if (!coerced) throw ProtocolError("Bytes marshaller: value is not a byte buffer");
+    if (!coerced) throw ProtocolError(errc::ErrorCode::CodecCompose,
+                        "Bytes marshaller: value is not a byte buffer");
     const Bytes data = *coerced->asBytes();
     if (!lengthBits || *lengthBits % 8 != 0) badLength("Bytes");
     if (data.size() != static_cast<std::size_t>(*lengthBits) / 8) {
-        throw ProtocolError("Bytes marshaller: buffer does not fill the field");
+        throw ProtocolError(errc::ErrorCode::CodecCompose,
+                        "Bytes marshaller: buffer does not fill the field");
     }
     out.writeBytes(data);
 }
@@ -100,7 +108,8 @@ void BytesMarshaller::write(BitWriter& out, const Value& value,
 int BytesMarshaller::encodedBits(const Value& value, std::optional<int> lengthBits) const {
     if (lengthBits) return *lengthBits;
     const auto coerced = value.coerceTo(ValueType::Bytes);
-    if (!coerced) throw ProtocolError("Bytes marshaller: value is not a byte buffer");
+    if (!coerced) throw ProtocolError(errc::ErrorCode::CodecCompose,
+                        "Bytes marshaller: value is not a byte buffer");
     return static_cast<int>(coerced->asBytes()->size() * 8);
 }
 
@@ -118,7 +127,8 @@ void BoolMarshaller::write(BitWriter& out, const Value& value,
                            std::optional<int> lengthBits) const {
     if (!lengthBits || *lengthBits < 1 || *lengthBits > 63) badLength("Bool");
     const auto coerced = value.coerceTo(ValueType::Bool);
-    if (!coerced) throw ProtocolError("Bool marshaller: value is not boolean");
+    if (!coerced) throw ProtocolError(errc::ErrorCode::CodecCompose,
+                        "Bool marshaller: value is not boolean");
     out.writeBits(*coerced->asBool() ? 1 : 0, *lengthBits);
 }
 
@@ -146,12 +156,14 @@ std::optional<Value> FqdnMarshaller::read(BitReader& in, std::optional<int>) con
 
 void FqdnMarshaller::write(BitWriter& out, const Value& value, std::optional<int>) const {
     const auto coerced = value.coerceTo(ValueType::String);
-    if (!coerced) throw ProtocolError("FQDN marshaller: value is not text");
+    if (!coerced) throw ProtocolError(errc::ErrorCode::CodecCompose,
+                        "FQDN marshaller: value is not text");
     const std::string name = *coerced->asString();
     if (!name.empty()) {
         for (const std::string& label : split(name, '.')) {
             if (label.empty() || label.size() > 63) {
-                throw ProtocolError("FQDN marshaller: bad label in '" + name + "'");
+                throw ProtocolError(errc::ErrorCode::CodecCompose,
+                        "FQDN marshaller: bad label in '" + name + "'");
             }
             out.writeByte(static_cast<std::uint8_t>(label.size()));
             out.writeBytes(toBytes(label));
@@ -162,7 +174,8 @@ void FqdnMarshaller::write(BitWriter& out, const Value& value, std::optional<int
 
 int FqdnMarshaller::encodedBits(const Value& value, std::optional<int>) const {
     const auto coerced = value.coerceTo(ValueType::String);
-    if (!coerced) throw ProtocolError("FQDN marshaller: value is not text");
+    if (!coerced) throw ProtocolError(errc::ErrorCode::CodecCompose,
+                        "FQDN marshaller: value is not text");
     const std::string name = *coerced->asString();
     std::size_t bytes = 1;  // terminating root label
     if (!name.empty()) {

@@ -75,18 +75,21 @@ CodecPlan CodecPlan::compile(const MdlDocument& doc, const MarshallerRegistry& r
             // Same eager contract the interpreter enforced at construction:
             // a typo in <Types> fails at load time, not mid-parse.
             if (pf.marshaller == nullptr) {
-                throw SpecError("BinaryCodec " + where + ": no marshaller registered for type '" +
+                throw SpecError(errc::ErrorCode::MdlMarshallerUnknown,
+                        "BinaryCodec " + where + ": no marshaller registered for type '" +
                                 pf.marshallerName + "' (field '" + spec.label + "')");
             }
             if (spec.length == FieldSpec::Length::Auto && !pf.marshaller->selfDelimiting()) {
-                throw SpecError("BinaryCodec " + where + ": field '" + spec.label +
+                throw SpecError(errc::ErrorCode::MdlPlan,
+                        "BinaryCodec " + where + ": field '" + spec.label +
                                 "' declares length auto but type '" + pf.marshallerName +
                                 "' is not self-delimiting");
             }
             if (spec.length == FieldSpec::Length::FieldRef) {
                 const auto it = scope.find(spec.ref);
                 if (it == scope.end()) {
-                    throw SpecError("codec plan " + where + ": field '" + spec.label +
+                    throw SpecError(errc::ErrorCode::MdlPlan,
+                        "codec plan " + where + ": field '" + spec.label +
                                     "' takes its length from unknown field '" + spec.ref + "'");
                 }
                 pf.refIndex = it->second;
@@ -172,7 +175,8 @@ CodecPlan CodecPlan::compile(const MdlDocument& doc, const MarshallerRegistry& r
                 if (def != nullptr && def->function == "f-length") {
                     const auto it = scope.find(def->functionArg);
                     if (it == scope.end()) {
-                        throw SpecError("BinaryCodec: f-length target '" + def->functionArg +
+                        throw SpecError(errc::ErrorCode::MdlPlan,
+                        "BinaryCodec: f-length target '" + def->functionArg +
                                         "' is not a field of message '" + message.type + "'");
                     }
                     mp.fLengthTarget[i] = it->second;

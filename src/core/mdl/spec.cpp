@@ -23,20 +23,24 @@ TypeDef parseTypeDef(const std::string& name, const std::string& body) {
     }
     def.marshaller = trim(text.substr(0, bracket));
     if (text.back() != ']') {
-        throw SpecError("MDL type '" + name + "': unterminated function bracket");
+        throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL type '" + name + "': unterminated function bracket");
     }
     const std::string call = trim(text.substr(bracket + 1, text.size() - bracket - 2));
     const std::size_t paren = call.find('(');
     if (paren == std::string::npos || call.back() != ')') {
-        throw SpecError("MDL type '" + name + "': malformed function '" + call + "'");
+        throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL type '" + name + "': malformed function '" + call + "'");
     }
     def.function = trim(call.substr(0, paren));
     def.functionArg = trim(call.substr(paren + 1, call.size() - paren - 2));
     if (def.function != "f-length" && def.function != "f-msglength") {
-        throw SpecError("MDL type '" + name + "': unknown function '" + def.function + "'");
+        throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL type '" + name + "': unknown function '" + def.function + "'");
     }
     if (def.function == "f-length" && def.functionArg.empty()) {
-        throw SpecError("MDL type '" + name + "': f-length requires a field argument");
+        throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL type '" + name + "': f-length requires a field argument");
     }
     return def;
 }
@@ -47,11 +51,13 @@ Bytes parseDelimiter(const std::string& text, const std::string& context) {
     for (const std::string& piece : split(text, ',')) {
         const auto code = parseInt(trim(piece));
         if (!code || *code < 0 || *code > 255) {
-            throw SpecError("MDL " + context + ": bad delimiter code '" + piece + "'");
+            throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL " + context + ": bad delimiter code '" + piece + "'");
         }
         out.push_back(static_cast<std::uint8_t>(*code));
     }
-    if (out.empty()) throw SpecError("MDL " + context + ": empty delimiter");
+    if (out.empty()) throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL " + context + ": empty delimiter");
     return out;
 }
 
@@ -81,7 +87,8 @@ FieldSpec parseFieldSpec(const xml::Node& node, MdlKind kind, bool inMessageBody
             field.length = FieldSpec::Length::Auto;
         } else if (const auto bits = parseInt(content)) {
             if (*bits <= 0) {
-                throw SpecError("MDL field '" + field.label + "': non-positive bit length");
+                throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL field '" + field.label + "': non-positive bit length");
             }
             field.length = FieldSpec::Length::Bits;
             field.bits = static_cast<int>(*bits);
@@ -89,7 +96,8 @@ FieldSpec parseFieldSpec(const xml::Node& node, MdlKind kind, bool inMessageBody
             field.length = FieldSpec::Length::FieldRef;
             field.ref = content;
         } else {
-            throw SpecError("MDL field '" + field.label + "': missing length specification");
+            throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL field '" + field.label + "': missing length specification");
         }
         return field;
     }
@@ -109,13 +117,15 @@ FieldSpec parseFieldSpec(const xml::Node& node, MdlKind kind, bool inMessageBody
     if (field.label == "Fields") {
         const auto halves = splitFirst(content, ':');
         if (!halves) {
-            throw SpecError("MDL <Fields>: expected 'sepCodes:innerCode', got '" + content + "'");
+            throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL <Fields>: expected 'sepCodes:innerCode', got '" + content + "'");
         }
         field.length = FieldSpec::Length::FieldsBlock;
         field.delimiter = parseDelimiter(halves->first, "<Fields>");
         const Bytes inner = parseDelimiter(halves->second, "<Fields> inner split");
         if (inner.size() != 1) {
-            throw SpecError("MDL <Fields>: inner split must be a single character");
+            throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL <Fields>: inner split must be a single character");
         }
         field.innerSplit = inner[0];
         return field;
@@ -132,7 +142,8 @@ FieldSpec parseFieldSpec(const xml::Node& node, MdlKind kind, bool inMessageBody
 Rule parseRule(const std::string& text) {
     const auto halves = splitFirst(text, '=');
     if (!halves || trim(halves->first).empty()) {
-        throw SpecError("MDL <Rule>: expected 'Field=Value', got '" + text + "'");
+        throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL <Rule>: expected 'Field=Value', got '" + text + "'");
     }
     return Rule{trim(halves->first), trim(halves->second)};
 }
@@ -146,7 +157,8 @@ MdlDocument MdlDocument::fromXml(const std::string& xmlText) {
 
 MdlDocument MdlDocument::fromXml(const xml::Node& root) {
     if (root.name() != "Mdl") {
-        throw SpecError("MDL: root element must be <Mdl>, got <" + root.name() + ">");
+        throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL: root element must be <Mdl>, got <" + root.name() + ">");
     }
     MdlDocument doc;
     doc.protocol_ = root.attribute("protocol").value_or("");
@@ -158,7 +170,8 @@ MdlDocument MdlDocument::fromXml(const xml::Node& root) {
     } else if (kind == "xml") {
         doc.kind_ = MdlKind::Xml;
     } else {
-        throw SpecError("MDL: unknown kind '" + kind + "'");
+        throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL: unknown kind '" + kind + "'");
     }
 
     const xml::Node* typesNode = root.child("Types");
@@ -166,25 +179,29 @@ MdlDocument MdlDocument::fromXml(const xml::Node& root) {
         for (const auto& typeNode : typesNode->children()) {
             const TypeDef def = parseTypeDef(typeNode->name(), typeNode->text());
             if (!doc.types_.emplace(def.name, def).second) {
-                throw SpecError("MDL: duplicate type '" + def.name + "'");
+                throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL: duplicate type '" + def.name + "'");
             }
         }
     }
 
     const xml::Node* headerNode = root.child("Header");
-    if (headerNode == nullptr) throw SpecError("MDL: missing <Header>");
+    if (headerNode == nullptr) throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL: missing <Header>");
     doc.header_.type = headerNode->attribute("type").value_or(doc.protocol_);
     if (doc.kind_ == MdlKind::Xml) {
         doc.header_.xmlRoot = headerNode->attribute("root").value_or("");
         if (doc.header_.xmlRoot.empty()) {
-            throw SpecError("MDL: xml dialect requires <Header root=\"...\">");
+            throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL: xml dialect requires <Header root=\"...\">");
         }
     }
     std::set<std::string> headerLabels;
     for (const auto& fieldNode : headerNode->children()) {
         FieldSpec field = parseFieldSpec(*fieldNode, doc.kind_);
         if (!headerLabels.insert(field.label).second) {
-            throw SpecError("MDL header: duplicate field '" + field.label + "'");
+            throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL header: duplicate field '" + field.label + "'");
         }
         doc.header_.fields.push_back(std::move(field));
     }
@@ -192,12 +209,14 @@ MdlDocument MdlDocument::fromXml(const xml::Node& root) {
     for (const xml::Node* messageNode : root.childrenNamed("Message")) {
         MessageSpec message;
         message.type = messageNode->attribute("type").value_or("");
-        if (message.type.empty()) throw SpecError("MDL: <Message> without type attribute");
+        if (message.type.empty()) throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL: <Message> without type attribute");
         std::set<std::string> bodyLabels;
         for (const auto& fieldNode : messageNode->children()) {
             if (fieldNode->name() == "Rule") {
                 if (message.rule) {
-                    throw SpecError("MDL message '" + message.type + "': multiple rules");
+                    throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL message '" + message.type + "': multiple rules");
                 }
                 message.rule = parseRule(fieldNode->text());
                 continue;
@@ -208,25 +227,29 @@ MdlDocument MdlDocument::fromXml(const xml::Node& root) {
             const bool shadowsHeader = headerLabels.contains(field.label) &&
                                        field.length != FieldSpec::Length::Meta;
             if (!bodyLabels.insert(field.label).second || shadowsHeader) {
-                throw SpecError("MDL message '" + message.type + "': duplicate field '" +
+                throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL message '" + message.type + "': duplicate field '" +
                                 field.label + "'");
             }
             message.fields.push_back(std::move(field));
         }
         for (const MessageSpec& existing : doc.messages_) {
             if (existing.type == message.type) {
-                throw SpecError("MDL: duplicate message type '" + message.type + "'");
+                throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL: duplicate message type '" + message.type + "'");
             }
         }
         doc.messages_.push_back(std::move(message));
     }
-    if (doc.messages_.empty()) throw SpecError("MDL: no <Message> definitions");
+    if (doc.messages_.empty()) throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL: no <Message> definitions");
 
     // Validation: rules must reference header fields; field refs must point
     // to an earlier field in scope; types must resolve.
     auto checkType = [&doc](const FieldSpec& field, const std::string& where) {
         if (!field.type.empty() && doc.types_.find(field.type) == doc.types_.end()) {
-            throw SpecError("MDL " + where + ": field '" + field.label +
+            throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL " + where + ": field '" + field.label +
                             "' references undeclared type '" + field.type + "'");
         }
         if (field.type.empty() && doc.types_.contains(field.label)) {
@@ -242,7 +265,8 @@ MdlDocument MdlDocument::fromXml(const xml::Node& root) {
                 std::any_of(doc.header_.fields.begin(), doc.header_.fields.end(),
                             [&](const FieldSpec& f) { return f.label == message.rule->field; });
             if (!known) {
-                throw SpecError("MDL message '" + message.type + "': rule references unknown "
+                throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL message '" + message.type + "': rule references unknown "
                                 "header field '" + message.rule->field + "'");
             }
         }
@@ -251,7 +275,8 @@ MdlDocument MdlDocument::fromXml(const xml::Node& root) {
         for (const FieldSpec& field : message.fields) {
             checkType(field, "message '" + message.type + "'");
             if (field.length == FieldSpec::Length::FieldRef && !inScope.contains(field.ref)) {
-                throw SpecError("MDL message '" + message.type + "': field '" + field.label +
+                throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL message '" + message.type + "': field '" + field.label +
                                 "' takes its length from unknown field '" + field.ref + "'");
             }
             inScope.insert(field.label);
@@ -262,7 +287,8 @@ MdlDocument MdlDocument::fromXml(const xml::Node& root) {
         std::set<std::string> seen;
         for (const FieldSpec& field : doc.header_.fields) {
             if (field.length == FieldSpec::Length::FieldRef && !seen.contains(field.ref)) {
-                throw SpecError("MDL header: field '" + field.label +
+                throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "MDL header: field '" + field.label +
                                 "' takes its length from unknown field '" + field.ref + "'");
             }
             seen.insert(field.label);

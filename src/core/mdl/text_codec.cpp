@@ -81,7 +81,8 @@ std::string_view trimView(std::string_view s) {
 TextCodec::TextCodec(const MdlDocument& doc, std::shared_ptr<MarshallerRegistry> registry)
     : doc_(doc), registry_(std::move(registry)) {
     if (doc_.kind() != MdlKind::Text) {
-        throw SpecError("TextCodec: MDL document '" + doc_.protocol() + "' is not text");
+        throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "TextCodec: MDL document '" + doc_.protocol() + "' is not text");
     }
     plan_ = CodecPlan::compile(doc_, *registry_);
 }
@@ -188,12 +189,14 @@ void TextCodec::composeInto(const AbstractMessage& message, Bytes& out) const {
     out.clear();
     const MessagePlan* mp = plan_.planFor(message.type());
     if (mp == nullptr) {
-        throw SpecError("TextCodec: MDL '" + doc_.protocol() + "' does not define message '" +
+        throw SpecError(errc::ErrorCode::CodecMessageUnknown,
+                        "TextCodec: MDL '" + doc_.protocol() + "' does not define message '" +
                         message.type() + "'");
     }
     for (const std::string& label : mp->mandatory) {
         if (!message.value(label)) {
-            throw SpecError("TextCodec: mandatory field '" + label + "' of message '" +
+            throw SpecError(errc::ErrorCode::CodecMandatoryMissing,
+                        "TextCodec: mandatory field '" + label + "' of message '" +
                             message.type() + "' has no value");
         }
     }
@@ -211,7 +214,8 @@ void TextCodec::composeInto(const AbstractMessage& message, Bytes& out) const {
         } else if (positional.fallback != nullptr) {
             append(*positional.fallback);
         } else {
-            throw SpecError("TextCodec: positional field '" + spec.label + "' of message '" +
+            throw SpecError(errc::ErrorCode::CodecCompose,
+                        "TextCodec: positional field '" + spec.label + "' of message '" +
                             message.type() + "' has no value and no default");
         }
         appendBytes(spec.delimiter);
@@ -374,13 +378,15 @@ std::optional<AbstractMessage> TextCodec::parseInterpreted(const Bytes& data,
 Bytes TextCodec::composeInterpreted(const AbstractMessage& message) const {
     const MessageSpec* spec = doc_.message(message.type());
     if (spec == nullptr) {
-        throw SpecError("TextCodec: MDL '" + doc_.protocol() + "' does not define message '" +
+        throw SpecError(errc::ErrorCode::CodecMessageUnknown,
+                        "TextCodec: MDL '" + doc_.protocol() + "' does not define message '" +
                         message.type() + "'");
     }
 
     for (const std::string& label : doc_.mandatoryFields(message.type())) {
         if (!message.value(label)) {
-            throw SpecError("TextCodec: mandatory field '" + label + "' of message '" +
+            throw SpecError(errc::ErrorCode::CodecMandatoryMissing,
+                        "TextCodec: mandatory field '" + label + "' of message '" +
                             message.type() + "' has no value");
         }
     }
@@ -406,7 +412,8 @@ Bytes TextCodec::composeInterpreted(const AbstractMessage& message) const {
             return *meta->defaultValue;
         }
         if (fieldSpec.defaultValue) return *fieldSpec.defaultValue;
-        throw SpecError("TextCodec: positional field '" + fieldSpec.label + "' of message '" +
+        throw SpecError(errc::ErrorCode::CodecCompose,
+                        "TextCodec: positional field '" + fieldSpec.label + "' of message '" +
                         message.type() + "' has no value and no default");
     };
 
@@ -426,7 +433,8 @@ Bytes TextCodec::composeInterpreted(const AbstractMessage& message) const {
                 bodySpec = &fieldSpec;
                 break;
             default:
-                throw SpecError("TextCodec: binary-dialect field '" + fieldSpec.label +
+                throw SpecError(errc::ErrorCode::CodecCompose,
+                        "TextCodec: binary-dialect field '" + fieldSpec.label +
                                 "' in text compose");
         }
     }

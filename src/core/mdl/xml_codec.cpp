@@ -67,12 +67,14 @@ ValueType valueTypeOf(const MdlDocument& doc, const FieldSpec& field) {
 XmlCodec::XmlCodec(const MdlDocument& doc, std::shared_ptr<MarshallerRegistry> registry)
     : doc_(doc), registry_(std::move(registry)) {
     if (doc_.kind() != MdlKind::Xml) {
-        throw SpecError("XmlCodec: MDL document '" + doc_.protocol() + "' is not xml");
+        throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "XmlCodec: MDL document '" + doc_.protocol() + "' is not xml");
     }
     auto check = [](const FieldSpec& field, const std::string& where) {
         if (field.length != FieldSpec::Length::XmlPath &&
             field.length != FieldSpec::Length::Meta) {
-            throw SpecError("XmlCodec " + where + ": field '" + field.label +
+            throw SpecError(errc::ErrorCode::MdlInvalid,
+                        "XmlCodec " + where + ": field '" + field.label +
                             "' is not an element path");
         }
     };
@@ -156,12 +158,14 @@ void XmlCodec::composeInto(const AbstractMessage& message, Bytes& out) const {
     out.clear();
     const MessagePlan* mp = plan_.planFor(message.type());
     if (mp == nullptr) {
-        throw SpecError("XmlCodec: MDL '" + doc_.protocol() + "' does not define message '" +
+        throw SpecError(errc::ErrorCode::CodecMessageUnknown,
+                        "XmlCodec: MDL '" + doc_.protocol() + "' does not define message '" +
                         message.type() + "'");
     }
     for (const std::string& label : mp->mandatory) {
         if (!message.value(label)) {
-            throw SpecError("XmlCodec: mandatory field '" + label + "' of message '" +
+            throw SpecError(errc::ErrorCode::CodecMandatoryMissing,
+                        "XmlCodec: mandatory field '" + label + "' of message '" +
                             message.type() + "' has no value");
         }
     }
@@ -270,12 +274,14 @@ std::optional<AbstractMessage> XmlCodec::parseInterpreted(const Bytes& data,
 Bytes XmlCodec::composeInterpreted(const AbstractMessage& message) const {
     const MessageSpec* spec = doc_.message(message.type());
     if (spec == nullptr) {
-        throw SpecError("XmlCodec: MDL '" + doc_.protocol() + "' does not define message '" +
+        throw SpecError(errc::ErrorCode::CodecMessageUnknown,
+                        "XmlCodec: MDL '" + doc_.protocol() + "' does not define message '" +
                         message.type() + "'");
     }
     for (const std::string& label : doc_.mandatoryFields(message.type())) {
         if (!message.value(label)) {
-            throw SpecError("XmlCodec: mandatory field '" + label + "' of message '" +
+            throw SpecError(errc::ErrorCode::CodecMandatoryMissing,
+                        "XmlCodec: mandatory field '" + label + "' of message '" +
                             message.type() + "' has no value");
         }
     }

@@ -80,24 +80,29 @@ const EquivalenceDecl* MergedAutomaton::equivalenceFor(const std::string& messag
 }
 
 void MergedAutomaton::validate() const {
-    if (components_.empty()) throw SpecError("merge '" + name_ + "': no component automata");
+    if (components_.empty()) throw SpecError(errc::ErrorCode::MergeInvalid,
+                        "merge '" + name_ + "': no component automata");
     std::set<std::string> allStates;
     for (const auto& c : components_) {
         c->validate();
         for (const automata::State* s : c->states()) {
             if (!allStates.insert(s->id()).second) {
-                throw SpecError("merge '" + name_ + "': state id '" + s->id() +
+                throw SpecError(errc::ErrorCode::MergeInvalid,
+                        "merge '" + name_ + "': state id '" + s->id() +
                                 "' appears in more than one component");
             }
         }
     }
     if (initial_.empty() || automatonOf(initial_) == nullptr) {
-        throw SpecError("merge '" + name_ + "': initial state missing or unknown");
+        throw SpecError(errc::ErrorCode::MergeInvalid,
+                        "merge '" + name_ + "': initial state missing or unknown");
     }
-    if (accepting_.empty()) throw SpecError("merge '" + name_ + "': no accepting states");
+    if (accepting_.empty()) throw SpecError(errc::ErrorCode::MergeInvalid,
+                        "merge '" + name_ + "': no accepting states");
     for (const std::string& f : accepting_) {
         if (automatonOf(f) == nullptr) {
-            throw SpecError("merge '" + name_ + "': accepting state '" + f + "' unknown");
+            throw SpecError(errc::ErrorCode::MergeInvalid,
+                        "merge '" + name_ + "': accepting state '" + f + "' unknown");
         }
     }
 
@@ -125,16 +130,19 @@ void MergedAutomaton::validate() const {
         const ColoredAutomaton* fromA = automatonOf(d.from);
         const ColoredAutomaton* toA = automatonOf(d.to);
         if (fromA == nullptr || toA == nullptr) {
-            throw SpecError("merge '" + name_ + "': delta " + d.from + " -> " + d.to +
+            throw SpecError(errc::ErrorCode::MergeInvalid,
+                        "merge '" + name_ + "': delta " + d.from + " -> " + d.to +
                             " references an unknown state");
         }
         if (fromA == toA) {
-            throw SpecError("merge '" + name_ + "': delta " + d.from + " -> " + d.to +
+            throw SpecError(errc::ErrorCode::MergeInvalid,
+                        "merge '" + name_ + "': delta " + d.from + " -> " + d.to +
                             " stays inside automaton '" + fromA->name() +
                             "'; delta-transitions must cross automata");
         }
         if (!deltaSources.insert(d.from).second) {
-            throw SpecError("merge '" + name_ + "': two delta-transitions leave state '" +
+            throw SpecError(errc::ErrorCode::MergeInvalid,
+                        "merge '" + name_ + "': two delta-transitions leave state '" +
                             d.from + "'");
         }
 
@@ -152,7 +160,8 @@ void MergedAutomaton::validate() const {
         const bool formIII = fromA->state(d.from)->accepting() &&
                              toA->initialState() == d.to && hasOutgoingReceive(*toA, d.to);
         if (!formI && !formII && !formIII) {
-            throw SpecError(
+            throw SpecError(errc::ErrorCode::MergeInvalid,
+                        
                 "merge '" + name_ + "': delta " + d.from + " -> " + d.to +
                 " satisfies no merge-constraint form: it must enter the target automaton's "
                 "initial state towards a send after a receive (form i), leave a final state "
@@ -179,7 +188,8 @@ void MergedAutomaton::validate() const {
         std::any_of(accepting_.begin(), accepting_.end(),
                     [&reachable](const std::string& f) { return reachable.contains(f); });
     if (!acceptingReachable) {
-        throw SpecError("merge '" + name_ +
+        throw SpecError(errc::ErrorCode::MergeInvalid,
+                        "merge '" + name_ +
                         "': no accepting state is reachable from the initial state");
     }
 }

@@ -54,14 +54,16 @@ FieldRef parseFieldRef(const xml::Node& node, const std::string& context) {
 
 std::shared_ptr<ColoredAutomaton> loadAutomaton(const xml::Node& root, ColorRegistry& registry) {
     if (root.name() != "Automaton") {
-        throw SpecError("automaton spec: root must be <Automaton>, got <" + root.name() + ">");
+        throw SpecError(errc::ErrorCode::AutomatonInvalid,
+                        "automaton spec: root must be <Automaton>, got <" + root.name() + ">");
     }
     const std::string name = requireAttribute(root, "name", "automaton spec");
     auto automaton = std::make_shared<ColoredAutomaton>(name);
 
     const xml::Node* colorNode = root.child("Color");
     if (colorNode == nullptr) {
-        throw SpecError("automaton '" + name + "': missing <Color>");
+        throw SpecError(errc::ErrorCode::AutomatonInvalid,
+                        "automaton '" + name + "': missing <Color>");
     }
     Color color;
     for (const auto& [key, value] : colorNode->attributes()) color.set(key, value);
@@ -73,12 +75,14 @@ std::shared_ptr<ColoredAutomaton> loadAutomaton(const xml::Node& root, ColorRegi
         automaton->addState(id, color, registry, accepting);
         if (stateNode->attribute("initial").value_or("false") == "true") {
             if (!initial.empty()) {
-                throw SpecError("automaton '" + name + "': two initial states");
+                throw SpecError(errc::ErrorCode::AutomatonInvalid,
+                        "automaton '" + name + "': two initial states");
             }
             initial = id;
         }
     }
-    if (initial.empty()) throw SpecError("automaton '" + name + "': no initial state");
+    if (initial.empty()) throw SpecError(errc::ErrorCode::AutomatonInvalid,
+                        "automaton '" + name + "': no initial state");
     automaton->setInitial(initial);
 
     for (const xml::Node* transitionNode : root.childrenNamed("Transition")) {
@@ -109,7 +113,8 @@ std::shared_ptr<ColoredAutomaton> loadAutomaton(const std::string& xmlText,
 std::shared_ptr<MergedAutomaton> loadBridge(
     const xml::Node& root, std::vector<std::shared_ptr<ColoredAutomaton>> components) {
     if (root.name() != "Bridge") {
-        throw SpecError("bridge spec: root must be <Bridge>, got <" + root.name() + ">");
+        throw SpecError(errc::ErrorCode::BridgeInvalid,
+                        "bridge spec: root must be <Bridge>, got <" + root.name() + ">");
     }
     const std::string name = root.attribute("name").value_or("bridge");
     auto merged = std::make_shared<MergedAutomaton>(name);
@@ -117,7 +122,8 @@ std::shared_ptr<MergedAutomaton> loadBridge(
     const std::string context = "bridge '" + name + "'";
 
     const xml::Node* startNode = root.child("Start");
-    if (startNode == nullptr) throw SpecError(context + ": missing <Start>");
+    if (startNode == nullptr) throw SpecError(errc::ErrorCode::BridgeInvalid,
+                        context + ": missing <Start>");
     merged->setInitial(requireAttribute(*startNode, "state", context));
 
     for (const xml::Node* acceptNode : root.childrenNamed("Accept")) {
@@ -133,7 +139,8 @@ std::shared_ptr<MergedAutomaton> loadBridge(
             if (!rhs.empty()) decl.rhs.push_back(rhs);
         }
         if (decl.rhs.empty()) {
-            throw SpecError(context + ": <Equivalence message='" + decl.lhs +
+            throw SpecError(errc::ErrorCode::BridgeInvalid,
+                        context + ": <Equivalence message='" + decl.lhs +
                             "'> has an empty 'of' list");
         }
         merged->addEquivalence(std::move(decl));
@@ -148,13 +155,15 @@ std::shared_ptr<MergedAutomaton> loadBridge(
             }
             const auto fieldNodes = assignmentNode->childrenNamed("Field");
             if (fieldNodes.empty()) {
-                throw SpecError(context + ": <Assignment> without target <Field>");
+                throw SpecError(errc::ErrorCode::BridgeInvalid,
+                        context + ": <Assignment> without target <Field>");
             }
             assignment.target = parseFieldRef(*fieldNodes[0], context);
             if (fieldNodes.size() > 2) {
                 // An assignment is target = T(source); silently dropping
                 // extra <Field> children would hide a spec-authoring bug.
-                throw SpecError(context + ": <Assignment> targeting " +
+                throw SpecError(errc::ErrorCode::BridgeInvalid,
+                        context + ": <Assignment> targeting " +
                                 assignment.target.toString() + " has " +
                                 std::to_string(fieldNodes.size()) +
                                 " <Field> children; expected a target and at most one source");
@@ -164,7 +173,8 @@ std::shared_ptr<MergedAutomaton> loadBridge(
             } else if (const auto constant = assignmentNode->childText("Constant")) {
                 assignment.constant = trim(*constant);
             } else {
-                throw SpecError(context + ": <Assignment> targeting " +
+                throw SpecError(errc::ErrorCode::BridgeInvalid,
+                        context + ": <Assignment> targeting " +
                                 assignment.target.toString() +
                                 " has neither a source <Field> nor a <Constant>");
             }

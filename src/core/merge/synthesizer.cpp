@@ -23,7 +23,8 @@ std::vector<const Transition*> linearPath(const ColoredAutomaton& automaton) {
         const auto outgoing = automaton.transitionsFrom(current);
         if (outgoing.empty()) break;
         if (outgoing.size() > 1) {
-            throw SpecError("merge synthesis: automaton '" + automaton.name() + "' branches at '" +
+            throw SpecError(errc::ErrorCode::SynthesisFailed,
+                        "merge synthesis: automaton '" + automaton.name() + "' branches at '" +
                             current + "'; only linear request/response chains are synthesizable");
         }
         path.push_back(outgoing[0]);
@@ -63,7 +64,8 @@ std::string compositeTransform(const std::string& toCanonical, const std::string
 SynthesisResult synthesizeMerge(const SynthesisInput& input) {
     if (!input.servedAutomaton || !input.queriedAutomaton || input.servedMdl == nullptr ||
         input.queriedMdl == nullptr || input.ontology == nullptr || !input.translations) {
-        throw SpecError("merge synthesis: incomplete input");
+        throw SpecError(errc::ErrorCode::SynthesisFailed,
+                        "merge synthesis: incomplete input");
     }
     const ColoredAutomaton& served = *input.servedAutomaton;
     const ColoredAutomaton& queried = *input.queriedAutomaton;
@@ -72,11 +74,13 @@ SynthesisResult synthesizeMerge(const SynthesisInput& input) {
     const auto servedPath = linearPath(served);
     const auto queriedPath = linearPath(queried);
     if (servedPath.empty() || servedPath.front()->action != Action::Receive) {
-        throw SpecError("merge synthesis: served automaton '" + served.name() +
+        throw SpecError(errc::ErrorCode::SynthesisFailed,
+                        "merge synthesis: served automaton '" + served.name() +
                         "' must open with a receive (server role)");
     }
     if (queriedPath.empty() || queriedPath.front()->action != Action::Send) {
-        throw SpecError("merge synthesis: queried automaton '" + queried.name() +
+        throw SpecError(errc::ErrorCode::SynthesisFailed,
+                        "merge synthesis: queried automaton '" + queried.name() +
                         "' must open with a send (client role)");
     }
 
@@ -123,7 +127,8 @@ SynthesisResult synthesizeMerge(const SynthesisInput& input) {
         for (const std::string& field : step.mdl->mandatoryFields(transition.messageType)) {
             const auto targetMapping = ontology.mapping(transition.messageType, field);
             if (!targetMapping) {
-                throw SpecError("merge synthesis: mandatory field " + transition.messageType +
+                throw SpecError(errc::ErrorCode::SynthesisFailed,
+                        "merge synthesis: mandatory field " + transition.messageType +
                                 "." + field + " has no ontology concept");
             }
             // Most recent matching source wins.
@@ -152,7 +157,8 @@ SynthesisResult synthesizeMerge(const SynthesisInput& input) {
                 }
             }
             if (!matched) {
-                throw SpecError("merge synthesis: no received message provides concept '" +
+                throw SpecError(errc::ErrorCode::SynthesisFailed,
+                        "merge synthesis: no received message provides concept '" +
                                 targetMapping->conceptName + "' for mandatory field " +
                                 transition.messageType + "." + field);
             }
@@ -191,7 +197,8 @@ SynthesisResult synthesizeMerge(const SynthesisInput& input) {
         }
     }
     if (servedReplyState.empty()) {
-        throw SpecError("merge synthesis: served automaton '" + served.name() +
+        throw SpecError(errc::ErrorCode::SynthesisFailed,
+                        "merge synthesis: served automaton '" + served.name() +
                         "' never replies after its first receive");
     }
     merged->addDelta(DeltaTransition{queriedFinal, servedReplyState, {}});

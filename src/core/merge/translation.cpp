@@ -286,10 +286,12 @@ namespace {
 // xpath predicate quoting, and an empty label is addressable in neither form.
 void requireRoundTrippableLabel(const std::string& label, const std::string& context) {
     if (label.empty()) {
-        throw SpecError("bridge spec: empty field label in " + context);
+        throw SpecError(errc::ErrorCode::BridgeInvalid,
+                        "bridge spec: empty field label in " + context);
     }
     if (label.find('.') != std::string::npos || label.find('\'') != std::string::npos) {
-        throw SpecError("bridge spec: field label '" + label + "' in " + context +
+        throw SpecError(errc::ErrorCode::BridgeInvalid,
+                        "bridge spec: field label '" + label + "' in " + context +
                         " may not contain '.' or '\\'' (breaks the xpath <-> dotted-path "
                         "round trip)");
     }
@@ -301,7 +303,8 @@ std::string xpathToFieldPath(const std::string& xpath) {
     const xml::Path compiled = xml::Path::compile(xpath);
     const auto& steps = compiled.steps();
     if (steps.size() < 3 || steps.front().name != "field" || steps.back().name != "value") {
-        throw SpecError("bridge spec: xpath '" + xpath +
+        throw SpecError(errc::ErrorCode::BridgeInvalid,
+                        "bridge spec: xpath '" + xpath +
                         "' does not follow /field/.../value over the abstract-message schema");
     }
     std::vector<std::string> pieces;
@@ -310,11 +313,13 @@ std::string xpathToFieldPath(const std::string& xpath) {
         const bool isField = step.name == "primitiveField" || step.name == "structuredField";
         if (!isField || step.predicate != xml::Step::PredicateKind::ChildText ||
             step.predicateName != "label") {
-            throw SpecError("bridge spec: xpath step in '" + xpath +
+            throw SpecError(errc::ErrorCode::BridgeInvalid,
+                        "bridge spec: xpath step in '" + xpath +
                             "' must be primitiveField[label='..'] or structuredField[label='..']");
         }
         if (step.name == "primitiveField" && i + 2 != steps.size()) {
-            throw SpecError("bridge spec: primitiveField must be the last field step in '" +
+            throw SpecError(errc::ErrorCode::BridgeInvalid,
+                        "bridge spec: primitiveField must be the last field step in '" +
                             xpath + "'");
         }
         requireRoundTrippableLabel(step.predicateValue, "xpath '" + xpath + "'");
@@ -326,7 +331,8 @@ std::string xpathToFieldPath(const std::string& xpath) {
 std::string fieldPathToXpath(const std::string& dottedPath) {
     const std::vector<std::string> pieces = split(dottedPath, '.');
     if (dottedPath.empty() || pieces.empty()) {
-        throw SpecError("bridge spec: empty dotted field path");
+        throw SpecError(errc::ErrorCode::BridgeInvalid,
+                        "bridge spec: empty dotted field path");
     }
     for (const std::string& piece : pieces) {
         requireRoundTrippableLabel(piece, "dotted path '" + dottedPath + "'");

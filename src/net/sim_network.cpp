@@ -61,7 +61,8 @@ UdpSocket::~UdpSocket() {
 
 void UdpSocket::joinGroup(const Address& group) {
     if (!group.isMulticast()) {
-        throw NetError("joinGroup: " + group.toString() + " is not a multicast address");
+        throw NetError(errc::ErrorCode::NetMisuse,
+                       "joinGroup: " + group.toString() + " is not a multicast address");
     }
     net_.joinGroup(this, group);
     groups_.insert(group);
@@ -84,7 +85,10 @@ void UdpSocket::deliver(const Bytes& payload, const Address& from) {
 // TcpConnection
 
 void TcpConnection::send(const Bytes& payload) {
-    if (!open_) throw NetError("send on closed connection to " + remote_.toString());
+    if (!open_) {
+        throw NetError(errc::ErrorCode::NetClosedSend,
+                       "send on closed connection to " + remote_.toString());
+    }
     net_.tcpSend(*this, payload);
 }
 
@@ -275,14 +279,16 @@ std::uint16_t SimNetwork::ephemeralPort(const std::string& host) {
         const Address addr{host, candidate};
         if (!udpBindings_.contains(addr) && !tcpBindings_.contains(addr)) return candidate;
     }
-    throw NetError("ephemeral port space exhausted on " + host);
+    throw NetError(errc::ErrorCode::NetBindConflict,
+                   "ephemeral port space exhausted on " + host);
 }
 
 std::unique_ptr<UdpSocket> SimNetwork::openUdp(const std::string& host, std::uint16_t port) {
     if (port == 0) port = ephemeralPort(host);
     const Address local{host, port};
     if (udpBindings_.contains(local)) {
-        throw NetError("udp bind: " + local.toString() + " already in use");
+        throw NetError(errc::ErrorCode::NetBindConflict,
+                       "udp bind: " + local.toString() + " already in use");
     }
     auto socket = std::unique_ptr<UdpSocket>(new UdpSocket(*this, local));
     udpBindings_[local] = socket.get();
@@ -346,7 +352,8 @@ void SimNetwork::udpSend(UdpSocket& from, const Address& dest, const Bytes& payl
 std::unique_ptr<TcpListener> SimNetwork::listenTcp(const std::string& host, std::uint16_t port) {
     const Address local{host, port};
     if (tcpBindings_.contains(local)) {
-        throw NetError("tcp bind: " + local.toString() + " already in use");
+        throw NetError(errc::ErrorCode::NetBindConflict,
+                       "tcp bind: " + local.toString() + " already in use");
     }
     auto listener = std::unique_ptr<TcpListener>(new TcpListener(*this, local));
     tcpBindings_[local] = listener.get();

@@ -10,6 +10,13 @@ namespace starlink::xml {
 
 namespace {
 
+// Hard resource caps against hostile documents. Both limits are far above
+// anything a legitimate Starlink model needs (the deepest in-tree model nests
+// 6 levels; entities expand to at most 4 bytes each) but low enough that a
+// crafted input cannot exhaust the stack or memory before being rejected.
+constexpr int kMaxElementDepth = 256;
+constexpr std::size_t kMaxEntityExpansion = 1 << 20;  // 1 MiB of decoded output
+
 class Parser {
 public:
     explicit Parser(std::string_view input) : input_(input) {}
@@ -18,12 +25,16 @@ public:
         skipProlog();
         auto root = parseElement();
         skipMisc();
-        if (!atEnd()) fail("trailing content after root element");
+        if (!atEnd()) fail(errc::ErrorCode::XmlTrailingContent, "trailing content after root element");
         return root;
     }
 
 private:
     [[noreturn]] void fail(const std::string& message) const {
+        fail(errc::ErrorCode::XmlParse, message);
+    }
+
+    [[noreturn]] void fail(errc::ErrorCode code, const std::string& message) const {
         std::size_t line = 1;
         std::size_t column = 1;
         for (std::size_t i = 0; i < pos_ && i < input_.size(); ++i) {
@@ -34,8 +45,8 @@ private:
                 ++column;
             }
         }
-        throw SpecError("xml parse error at line " + std::to_string(line) + ", column " +
-                        std::to_string(column) + ": " + message);
+        throw SpecError(code, "xml parse error at line " + std::to_string(line) +
+                                  ", column " + std::to_string(column) + ": " + message);
     }
 
     bool atEnd() const { return pos_ >= input_.size(); }
@@ -101,9 +112,22 @@ private:
     }
 
     std::string decodeEntity() {
+        std::string decoded = decodeEntityRaw();
+        expandedBytes_ += decoded.size();
+        if (expandedBytes_ > kMaxEntityExpansion) {
+            fail(errc::ErrorCode::XmlExpansionLimit,
+                 "entity expansion output exceeds " + std::to_string(kMaxEntityExpansion) +
+                     " bytes");
+        }
+        return decoded;
+    }
+
+    std::string decodeEntityRaw() {
         // Assumes '&' is next.
         const std::size_t semi = input_.find(';', pos_);
-        if (semi == std::string_view::npos || semi - pos_ > 10) fail("unterminated entity");
+        if (semi == std::string_view::npos || semi - pos_ > 10) {
+            fail(errc::ErrorCode::XmlEntity, "unterminated entity");
+        }
         const std::string_view entity = input_.substr(pos_ + 1, semi - pos_ - 1);
         pos_ = semi + 1;
         if (entity == "lt") return "<";
@@ -112,23 +136,27 @@ private:
         if (entity == "quot") return "\"";
         if (entity == "apos") return "'";
         if (!entity.empty() && entity[0] == '#') {
-            if (entity.size() < 2) fail("bad numeric entity");
+            if (entity.size() < 2) fail(errc::ErrorCode::XmlEntity, "bad numeric entity");
             long code = 0;
             try {
                 code = entity[1] == 'x' || entity[1] == 'X'
                            ? std::stol(std::string(entity.substr(2)), nullptr, 16)
                            : std::stol(std::string(entity.substr(1)), nullptr, 10);
             } catch (...) {
-                fail("bad numeric entity");
+                fail(errc::ErrorCode::XmlEntity, "bad numeric entity");
             }
             // Any Unicode scalar value is legal (XML 1.0 Char minus the
             // surrogate block); encode it as UTF-8 instead of truncating to
             // a byte.
-            if (code < 0 || code > 0x10FFFF) fail("numeric entity outside Unicode range");
-            if (code >= 0xD800 && code <= 0xDFFF) fail("numeric entity is a surrogate");
+            if (code < 0 || code > 0x10FFFF) {
+                fail(errc::ErrorCode::XmlEntity, "numeric entity outside Unicode range");
+            }
+            if (code >= 0xD800 && code <= 0xDFFF) {
+                fail(errc::ErrorCode::XmlEntity, "numeric entity is a surrogate");
+            }
             return encodeUtf8(static_cast<std::uint32_t>(code));
         }
-        fail("unknown entity '&" + std::string(entity) + ";'");
+        fail(errc::ErrorCode::XmlEntity, "unknown entity '&" + std::string(entity) + ";'");
     }
 
     /// Minimal UTF-8 encoder for numeric character references.
@@ -168,6 +196,19 @@ private:
     }
 
     std::unique_ptr<Node> parseElement() {
+        // parseElement/parseContent recurse mutually, one frame pair per
+        // nesting level: without this cap a few thousand bytes of "<a><a>..."
+        // overflow the stack, which no in-process handler can contain.
+        if (++depth_ > kMaxElementDepth) {
+            fail(errc::ErrorCode::XmlDepthLimit,
+                 "element nesting exceeds " + std::to_string(kMaxElementDepth) + " levels");
+        }
+        auto node = parseElementInner();
+        --depth_;
+        return node;
+    }
+
+    std::unique_ptr<Node> parseElementInner() {
         const std::size_t startOffset = pos_;
         expect('<');
         auto node = std::make_unique<Node>(parseName());
@@ -205,7 +246,8 @@ private:
                     pos_ += 2;
                     const std::string name = parseName();
                     if (name != node.name()) {
-                        fail("mismatched close tag </" + name + "> for <" + node.name() + ">");
+                        fail(errc::ErrorCode::XmlMismatchedTag,
+                             "mismatched close tag </" + name + "> for <" + node.name() + ">");
                     }
                     skipWhitespace();
                     expect('>');
@@ -225,6 +267,8 @@ private:
 
     std::string_view input_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
+    std::size_t expandedBytes_ = 0;
 };
 
 // Pre-order traversal visits nodes in increasing start-tag offset, so one

@@ -1,5 +1,9 @@
 // starlinkd -- command-line front end to the Starlink framework.
 //
+//   starlinkd errors                    print the error-code taxonomy (see
+//                                       docs/ERRORS.md); every failure exits
+//                                       with a structured JSON envelope on
+//                                       stderr and a per-layer exit code
 //   starlinkd list                      enumerate built-in models and cases
 //   starlinkd export <dir>              write every built-in model to XML files
 //   starlinkd demo <case>               run one of the six paper cases end to end
@@ -64,7 +68,8 @@ using bridge::models::Case;
 using bridge::models::Role;
 
 int usage() {
-    std::cerr << "usage: starlinkd list\n"
+    std::cerr << "usage: starlinkd errors\n"
+                 "       starlinkd list\n"
                  "       starlinkd export <dir>\n"
                  "       starlinkd demo <case>\n"
                  "       starlinkd demo-files <served.mdl> <served.automaton> "
@@ -705,12 +710,37 @@ int cmdDot(const std::string& caseName) {
     return 0;
 }
 
+/// Dump the taxonomy: one line per code, aligned, grouped by layer.
+int cmdErrors() {
+    const errc::Layer* last = nullptr;
+    static errc::Layer lastStorage;
+    for (const errc::ErrorCode code : errc::allCodes()) {
+        if (code == errc::ErrorCode::Ok) continue;
+        const errc::Layer layer = errc::layerOf(code);
+        if (last == nullptr || *last != layer) {
+            std::cout << "# " << errc::layerName(layer) << "\n";
+            lastStorage = layer;
+            last = &lastStorage;
+        }
+        std::cout << "  " << errc::to_error_code(code) << "\t" << errc::to_string(code)
+                  << "\n\t\t" << errc::remediation(code) << "\n";
+    }
+    return 0;
+}
+
+/// Distinct nonzero exit code per taxonomy layer: 10 + layer index. Keeps
+/// clear of 1 (demo/lint findings) and 2 (usage).
+int exitCodeFor(errc::ErrorCode code) {
+    return 10 + static_cast<int>(errc::layerOf(code));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+    const std::string command = argc >= 2 ? argv[1] : "";
     try {
         if (argc >= 2) {
-            const std::string command = argv[1];
+            if (command == "errors" && argc == 2) return cmdErrors();
             if (command == "list" && argc == 2) return cmdList();
             if (command == "export" && argc == 3) return cmdExport(argv[2]);
             if (command == "demo" && argc == 3) return cmdDemo(argv[2]);
@@ -789,7 +819,16 @@ int main(int argc, char** argv) {
         }
         return usage();
     } catch (const std::exception& error) {
-        std::cerr << "starlinkd: " << error.what() << "\n";
-        return 1;
+        // Every escaping failure leaves as a structured envelope: a human
+        // line plus the machine-readable JSON (code, layer, trace id), with
+        // a per-layer exit code so scripts can triage without parsing.
+        const errc::ErrorCode code = to_error_code(error);
+        errc::Envelope envelope;
+        envelope.code = code;
+        envelope.message = error.what();
+        envelope.traceId = "starlinkd/" + (command.empty() ? std::string("?") : command);
+        std::cerr << "starlinkd: [" << errc::to_string(code) << "] " << error.what() << "\n";
+        std::cerr << errc::toJson(envelope) << "\n";
+        return exitCodeFor(code);
     }
 }
