@@ -1,6 +1,7 @@
-// Session-stream fuzzing: arbitrary datagrams fired at a live slp-to-upnp
-// bridge on the simulated network. This drives the runtime half of the
-// taxonomy -- whatever the engine does with hostile traffic, it must
+// Session-stream fuzzing: arbitrary datagrams fired at a live bridge on the
+// simulated network -- ALL SIX deployed directions, not just slp-to-upnp.
+// This drives the runtime half of the taxonomy -- whatever the engine does
+// with hostile traffic, it must
 //
 //   * keep running (a poisoned session must never take the bridge down),
 //   * quiesce (the event queue drains; no runaway retransmit loops), and
@@ -8,15 +9,24 @@
 //     taxonomy code. FailureCause and code must agree, and Unclassified
 //     is the escape marker the whole exercise exists to catch.
 //
-// Input layout: byte 0 = datagram count (1..4); per datagram a 2-byte
-// big-endian length prefix then payload bytes (clamped to what remains).
-// Datagrams are injected 50 virtual ms apart from the client host into the
-// SLP multicast group the bridge listens on, so consecutive datagrams can
-// land inside one session's lifetime as easily as across sessions.
+// Input layout (v2):
+//   byte 0          direction selector (mod 6 over bridge::models::Case)
+//   byte 1          datagram count (1..4)
+//   per datagram    1 channel byte: even = udp multicast into the
+//                   direction's client-facing group; odd = raw tcp to the
+//                   bridge's HTTP description leg (exercises the tcp-server
+//                   parse path; on directions without an HTTP listener the
+//                   connect is refused, which must also be absorbed),
+//                   2-byte big-endian length prefix, then payload bytes
+//                   (clamped to what remains).
+// Datagrams are injected 50 virtual ms apart from the client host, so
+// consecutive datagrams can land inside one session's lifetime as easily as
+// across sessions.
 #include "fuzz/targets.hpp"
 
 #include <algorithm>
 #include <exception>
+#include <memory>
 #include <string>
 
 #include "common/bytes.hpp"
@@ -27,22 +37,59 @@
 #include "net/clock.hpp"
 #include "net/scheduler.hpp"
 #include "net/sim_network.hpp"
+#include "protocols/mdns/mdns_agents.hpp"
+#include "protocols/slp/slp_agents.hpp"
 #include "protocols/ssdp/ssdp_agents.hpp"
 
 namespace starlink::fuzz {
 namespace {
 
-/// SLP service-request multicast endpoint from the in-tree model: this is
-/// where the deployed bridge's client-facing color listens.
-const net::Address kSlpMulticast{"239.255.255.253", 427};
+using bridge::models::Case;
 
 constexpr std::size_t kMaxDatagrams = 4;
 constexpr std::size_t kMaxSchedulerEvents = 200'000;
 
+/// The bridge's tcp HTTP description leg (models::forCase default port).
+const net::Address kBridgeHttp{"10.0.0.9", 8085};
+
+/// The client-facing multicast group the deployed bridge listens on: the
+/// served protocol's well-known discovery endpoint.
+net::Address clientMulticastFor(Case c) {
+    switch (c) {
+        case Case::SlpToUpnp:
+        case Case::SlpToBonjour: return net::Address{"239.255.255.253", 427};
+        case Case::UpnpToSlp:
+        case Case::UpnpToBonjour: return net::Address{"239.255.255.250", 1900};
+        case Case::BonjourToSlp:
+        case Case::BonjourToUpnp: return net::Address{"224.0.0.251", 5353};
+    }
+    return net::Address{"239.255.255.253", 427};
+}
+
+/// Stands up the legacy service answering the bridge's QUERIED side (mirrors
+/// the shard engine's per-direction switch), so inputs that happen to be
+/// valid requests exercise the COMPLETE translation path, not just aborts.
+struct ServiceSide {
+    std::optional<slp::ServiceAgent> slp;
+    std::optional<mdns::Responder> mdns;
+    std::optional<ssdp::Device> upnp;
+
+    ServiceSide(net::SimNetwork& network, Case c) {
+        switch (c) {
+            case Case::UpnpToSlp:
+            case Case::BonjourToSlp: slp.emplace(network, slp::ServiceAgent::Config{}); break;
+            case Case::SlpToBonjour:
+            case Case::UpnpToBonjour: mdns.emplace(network, mdns::Responder::Config{}); break;
+            case Case::SlpToUpnp:
+            case Case::BonjourToUpnp: upnp.emplace(network, ssdp::Device::Config{}); break;
+        }
+    }
+};
+
 }  // namespace
 
 int fuzzSessionInput(const std::uint8_t* data, std::size_t size) {
-    if (size == 0) return 0;
+    if (size < 2) return 0;
     // Hostile datagrams legitimately produce warn-level engine chatter; at
     // fuzzing rates that log I/O dominates the run, so silence it once.
     [[maybe_unused]] static const bool quiet = [] {
@@ -54,17 +101,18 @@ int fuzzSessionInput(const std::uint8_t* data, std::size_t size) {
         net::EventScheduler scheduler(clock);
         net::SimNetwork network(scheduler);
         bridge::Starlink starlink(network);
-        auto& deployed = starlink.deploy(
-            bridge::models::forCase(bridge::models::Case::SlpToUpnp, "10.0.0.9"), "10.0.0.9");
-        // A real UPnP device answers the bridge's SSDP side, so inputs that
-        // happen to be valid SLP requests exercise the COMPLETE translation
-        // path, not just the abort paths.
-        ssdp::Device upnpService(network, ssdp::Device::Config{});
 
         std::size_t offset = 0;
+        const Case caseId = static_cast<Case>(data[offset++] % 6);
+        auto& deployed =
+            starlink.deploy(bridge::models::forCase(caseId, "10.0.0.9"), "10.0.0.9");
+        ServiceSide service(network, caseId);
+        const net::Address group = clientMulticastFor(caseId);
+
         const std::size_t count = 1 + data[offset++] % kMaxDatagrams;
         auto client = network.openUdp("10.0.0.1", 0);
         for (std::size_t i = 0; i < count && offset < size; ++i) {
+            const bool viaTcp = (data[offset++] & 1) != 0;
             std::size_t length = 0;
             if (offset + 2 <= size) {
                 length = static_cast<std::size_t>(data[offset]) << 8 | data[offset + 1];
@@ -73,8 +121,26 @@ int fuzzSessionInput(const std::uint8_t* data, std::size_t size) {
             length = std::min(length, size - offset);
             const Bytes payload(data + offset, data + offset + length);
             offset += length;
-            scheduler.schedule(net::ms(static_cast<std::int64_t>(50 * i)),
-                               [&client, payload] { client->sendTo(kSlpMulticast, payload); });
+            const net::Duration at = net::ms(static_cast<std::int64_t>(50 * i));
+            if (viaTcp) {
+                scheduler.schedule(at, [&network, payload] {
+                    network.connectTcp(
+                        "10.0.0.1", kBridgeHttp,
+                        [payload](std::shared_ptr<net::TcpConnection> connection) {
+                            if (!connection) return;  // no HTTP leg: refused, absorbed
+                            try {
+                                connection->send(payload);
+                            } catch (const std::exception&) {
+                                // Raced the bridge's session-end close; the
+                                // CLIENT failing to send is not a bridge bug.
+                            }
+                        });
+                });
+            } else {
+                scheduler.schedule(at, [&client, &group, payload] {
+                    client->sendTo(group, payload);
+                });
+            }
         }
         scheduler.runUntilIdle(kMaxSchedulerEvents);
 
@@ -84,7 +150,11 @@ int fuzzSessionInput(const std::uint8_t* data, std::size_t size) {
         require(deployed.engine().running(), "the engine must survive hostile traffic",
                 "engine stopped after fuzzed datagrams");
 
-        for (const auto& session : deployed.engine().sessions()) {
+        const auto& history = deployed.engine().sessions();
+        require(history.totalEnded() == history.totalCompleted() + history.totalAborted(),
+                "history aggregates must balance",
+                "ended != completed + aborted after hostile traffic");
+        for (const auto& session : history) {
             const errc::ErrorCode code = session.code;
             if (session.completed) {
                 require(code == errc::ErrorCode::Ok && session.cause == engine::FailureCause::None,

@@ -76,7 +76,9 @@ DeployedBridge& Starlink::deploy(const models::DeploymentSpec& spec, const std::
     bridge->network_ = std::make_unique<engine::NetworkEngine>(
         network_, host,
         engine::NetworkEngine::Options{options.tcpConnectAttempts,
-                                       options.tcpConnectRetryDelay, options.metrics});
+                                       options.tcpConnectRetryDelay, options.metrics,
+                                       options.tcpConnectRetryMaxDelay,
+                                       options.tcpMaxBacklogBytes});
     bridge->engine_ = std::make_unique<engine::AutomataEngine>(
         std::move(merged), std::move(codecs), translations_, *bridge->network_, colors_,
         options);
@@ -123,7 +125,9 @@ DeployedBridge& Starlink::deploySynthesized(const models::ProtocolModel& served,
     bridge->network_ = std::make_unique<engine::NetworkEngine>(
         network_, host,
         engine::NetworkEngine::Options{options.tcpConnectAttempts,
-                                       options.tcpConnectRetryDelay, options.metrics});
+                                       options.tcpConnectRetryDelay, options.metrics,
+                                       options.tcpConnectRetryMaxDelay,
+                                       options.tcpMaxBacklogBytes});
     bridge->engine_ = std::make_unique<engine::AutomataEngine>(
         std::move(synthesis.merged), std::move(codecs), translations_, *bridge->network_,
         colors_, options);

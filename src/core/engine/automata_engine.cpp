@@ -23,6 +23,7 @@ AutomataEngine::AutomataEngine(std::shared_ptr<merge::MergedAutomaton> merged,
       colors_(colors),
       options_(options),
       retryRng_(options.retrySeed),
+      sessions_(options.sessionHistoryCapacity),
       trace_(options.traceCapacity),
       spans_(options.spanCapacity),
       tracer_(spans_) {
@@ -159,13 +160,19 @@ void AutomataEngine::onNetworkMessage(std::uint64_t colorK, const Bytes& payload
 
     std::string parseError;
     const std::uint64_t parseWall0 = tracer_.enabled() ? telemetry::wallNowNs() : 0;
-    const auto message = codecFor(*component)->parse(payload, &parseError);
+    // Zero-copy path: field values borrow from the arena's datagram copy.
+    // Everything parsed here either dies before the session boundary (stored
+    // automaton instances, this frame) or is materialized (trace ring).
+    const auto message = codecFor(*component)->parse(payload, &rxArena_, &parseError);
     const std::uint64_t parseWallNs =
         parseWall0 != 0 ? telemetry::wallSinceNs(parseWall0) : 0;
     if (!message) {
         STARLINK_LOG(Warn, "engine") << "unparseable " << component->name()
                                      << " message from " << from.toString() << ": "
                                      << parseError;
+        // No live session, no surviving views: drop the junk datagram's arena
+        // bytes so a pre-session flood cannot grow the arena without bound.
+        if (!sessionActive_) rxArena_.reset();
         return;
     }
 
@@ -174,6 +181,7 @@ void AutomataEngine::onNetworkMessage(std::uint64_t colorK, const Bytes& payload
     if (transition == nullptr) {
         STARLINK_LOG(Debug, "engine") << "no receive-transition from " << current_ << " on ?"
                                       << message->type() << "; dropping";
+        if (!sessionActive_) rxArena_.reset();
         return;
     }
 
@@ -201,8 +209,9 @@ void AutomataEngine::onNetworkMessage(std::uint64_t colorK, const Bytes& payload
     ++liveSession_.messagesIn;
     if (telemetry::enabled()) metrics_.messagesIn->add();
     // The wait is over: an accepted message stands down the pending
-    // retransmission deadline.
+    // retransmission deadline, and the idle deadline re-arms from now.
     cancelRetransmit();
+    armIdleTimeout();
     if (tracer_.inSession()) {
         const net::TimePoint now = network_.network().now();
         if (waitSpan_ != 0) {
@@ -220,9 +229,16 @@ void AutomataEngine::onNetworkMessage(std::uint64_t colorK, const Bytes& payload
     network_.notePeer(colorK, from);
 
     // Store the instance at the entered state (see header note) and advance.
+    // The stored copy may hold arena views -- legal, it dies at the session
+    // boundary before the arena resets. The trace ring outlives sessions, so
+    // its copy is deep-owned first.
     merged_->automatonOf(transition->to)->state(transition->to)->pushMessage(*message);
-    trace_.record(TraceEvent{component->name(), transition->from, transition->to,
-                             Action::Receive, *message});
+    if (trace_.capacity() > 0) {
+        TraceEvent event{component->name(), transition->from, transition->to, Action::Receive,
+                         *message};
+        event.message.materializeValues();
+        trace_.record(std::move(event));
+    }
     enterState(transition->to);
     lastWasDelta_ = false;
     safeProceed();
@@ -423,8 +439,13 @@ void AutomataEngine::performSend(const Transition& transition,
     retransmitsUsed_ = 0;
 
     component->state(transition.from)->pushMessage(outgoing);
-    trace_.record(TraceEvent{component->name(), transition.from, transition.to, Action::Send,
-                             std::move(outgoing)});
+    if (trace_.capacity() > 0) {
+        // Translated values may still borrow from the rx arena (assignments
+        // copy views verbatim); the ring outlives the session, so deep-own.
+        outgoing.materializeValues();
+        trace_.record(TraceEvent{component->name(), transition.from, transition.to,
+                                 Action::Send, std::move(outgoing)});
+    }
     liveSession_.lastSend = now;
     if (!liveSession_.clientReply &&
         component == merged_->automatonOf(merged_->initialState())) {
@@ -432,6 +453,7 @@ void AutomataEngine::performSend(const Transition& transition,
     }
     ++liveSession_.messagesOut;
     if (telemetry::enabled()) metrics_.messagesOut->add();
+    armIdleTimeout();
     if (tracing) tracer_.end(translateSpan, now);
     STARLINK_LOG(Debug, "engine") << "sent !" << transition.messageType << " from "
                                   << transition.from;
@@ -597,7 +619,7 @@ void AutomataEngine::completeSession(bool completed, FailureCause cause, errc::E
     liveSession_.code = completed ? errc::ErrorCode::Ok
                         : code != errc::ErrorCode::Ok ? code
                                                       : to_error_code(liveSession_.cause);
-    sessions_.push_back(liveSession_);
+    sessions_.record(liveSession_);
     if (telemetry::enabled()) {
         if (completed) {
             metrics_.sessionsCompleted->add();
@@ -636,6 +658,7 @@ void AutomataEngine::completeSession(bool completed, FailureCause cause, errc::E
         network_.network().scheduler().cancel(*timeoutEvent_);
         timeoutEvent_.reset();
     }
+    cancelIdleTimeout();
     cancelRetransmit();
     lastSentPayload_.reset();
     retransmitsUsed_ = 0;
@@ -655,6 +678,29 @@ void AutomataEngine::completeSession(bool completed, FailureCause cause, errc::E
     merged_->reset();
     network_.resetSession();
     current_ = merged_->initialState();
+    // Every holder of arena-backed views is gone (stored instances reset
+    // above, trace copies materialized): rewind the arena, keeping its
+    // chunks, so the next session parses into warm memory.
+    rxArena_.reset();
+}
+
+void AutomataEngine::armIdleTimeout() {
+    cancelIdleTimeout();
+    if (!sessionActive_ || options_.idleTimeout.count() <= 0) return;
+    idleEvent_ = network_.network().scheduler().schedule(options_.idleTimeout, [this] {
+        idleEvent_.reset();
+        if (!sessionActive_) return;
+        STARLINK_LOG(Warn, "engine") << "session idle in state " << current_ << " for "
+                                     << options_.idleTimeout.count() << "us; evicting";
+        completeSession(false, FailureCause::Timeout, errc::ErrorCode::EngineIdleTimeout);
+    });
+}
+
+void AutomataEngine::cancelIdleTimeout() {
+    if (idleEvent_) {
+        network_.network().scheduler().cancel(*idleEvent_);
+        idleEvent_.reset();
+    }
 }
 
 }  // namespace starlink::engine

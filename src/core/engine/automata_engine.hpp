@@ -41,7 +41,9 @@
 #include "common/rng.hpp"
 #include "core/automata/trace.hpp"
 #include "core/engine/network_engine.hpp"
+#include "core/engine/session_history.hpp"
 #include "core/mdl/codec.hpp"
+#include "core/mdl/rx_arena.hpp"
 #include "core/merge/merged_automaton.hpp"
 #include "core/telemetry/metrics.hpp"
 #include "core/telemetry/span.hpp"
@@ -81,6 +83,21 @@ struct EngineOptions {
     /// Forwarded to the network engine: bounded tcp connect retry budget.
     int tcpConnectAttempts = 3;
     net::Duration tcpConnectRetryDelay = net::ms(50);
+    /// Forwarded: saturation point of the doubling connect backoff.
+    net::Duration tcpConnectRetryMaxDelay = net::ms(5000);
+    /// Forwarded: byte cap on sends queued while a tcp connect is pending
+    /// (0 = unbounded); overflow sheds with net.backlog-overflow.
+    std::size_t tcpMaxBacklogBytes = 256 * 1024;
+    /// Abort a live session when NO message moves in either direction for
+    /// this long (0 = disabled). Unlike sessionTimeout -- a fixed window from
+    /// the first receive -- this deadline re-arms on every message, so it
+    /// evicts only genuinely silent sessions, bounding how long an idle
+    /// conversation can pin engine/arena state.
+    net::Duration idleTimeout = net::ms(0);
+    /// Capacity of the completed-session history ring (0 = unbounded, the
+    /// pre-capacity-fix behaviour). Aggregates -- including the taxonomy-
+    /// coded abort histogram -- survive eviction; see session_history.hpp.
+    std::size_t sessionHistoryCapacity = SessionHistory::kDefaultCapacity;
     /// Cap on the transition trace ring queried by the history operator.
     /// 0 disables transition recording entirely.
     std::size_t traceCapacity = automata::Trace::kDefaultCapacity;
@@ -95,78 +112,9 @@ struct EngineOptions {
     telemetry::MetricsRegistry* metrics = nullptr;
 };
 
-/// Why a session ended without completing.
-enum class FailureCause {
-    None,            ///< the session completed (or was aborted pre-classification)
-    Timeout,         ///< watchdog fired, or the retransmission budget ran dry
-    ConnectRefused,  ///< a tcp connect stayed refused after bounded retries
-    PeerClosed,      ///< the tcp peer vanished mid-session
-    DecodeError,     ///< translation/compose/encode failed at runtime
-};
-
-constexpr const char* failureCauseName(FailureCause cause) {
-    switch (cause) {
-        case FailureCause::None: return "none";
-        case FailureCause::Timeout: return "timeout";
-        case FailureCause::ConnectRefused: return "connect-refused";
-        case FailureCause::PeerClosed: return "peer-closed";
-        case FailureCause::DecodeError: return "decode-error";
-    }
-    return "unknown";
-}
-
-/// The coarse cause's taxonomy code. Abort paths that know more (watchdog vs
-/// retry-budget, the exact exception) record a more precise code directly;
-/// this mapping is the floor every abort is guaranteed to reach.
-constexpr errc::ErrorCode to_error_code(FailureCause cause) {
-    switch (cause) {
-        case FailureCause::None: return errc::ErrorCode::Ok;
-        case FailureCause::Timeout: return errc::ErrorCode::EngineSessionTimeout;
-        case FailureCause::ConnectRefused: return errc::ErrorCode::EngineConnectRefused;
-        case FailureCause::PeerClosed: return errc::ErrorCode::EnginePeerClosed;
-        case FailureCause::DecodeError: return errc::ErrorCode::EngineDecode;
-    }
-    return errc::ErrorCode::Unclassified;
-}
-
-/// Outcome record for one bridged conversation.
-struct SessionRecord {
-    net::TimePoint firstReceive{};
-    /// First send back on the INITIATING protocol -- "the translated output
-    /// response" of the paper's Fig 12(b) measure. (A session may continue
-    /// past it: in the UPnP-client cases the control point still fetches the
-    /// device description over HTTP afterwards.)
-    std::optional<net::TimePoint> clientReply;
-    net::TimePoint lastSend{};
-    std::size_t messagesIn = 0;
-    /// Every protocol message the engine put on the wire, INCLUDING
-    /// engine-initiated retransmissions of a lapsed request.
-    std::size_t messagesOut = 0;
-    /// Requests re-sent by the engine because a reply deadline lapsed.
-    std::size_t retransmits = 0;
-    bool completed = false;
-    /// FailureCause::None iff completed.
-    FailureCause cause = FailureCause::None;
-    /// Exact taxonomy code of the abort (ErrorCode::Ok iff completed). Where
-    /// `cause` says "Timeout", `code` distinguishes the watchdog
-    /// (engine.session-timeout) from a drained retransmission budget
-    /// (engine.retry-exhausted); where it says "DecodeError", `code` carries
-    /// the precise failure of the throwing layer (e.g. merge.translation-
-    /// rejected, engine.field-unresolved).
-    errc::ErrorCode code = errc::ErrorCode::Ok;
-
-    /// First message received by the framework until the translated
-    /// response left on the output socket (paper section VI).
-    net::Duration translationTime() const {
-        const net::TimePoint end = clientReply.value_or(lastSend);
-        return std::chrono::duration_cast<net::Duration>(end - firstReceive);
-    }
-
-    /// Whole conversation, including any post-reply legs.
-    net::Duration sessionTime() const {
-        return std::chrono::duration_cast<net::Duration>(lastSend - firstReceive);
-    }
-};
+// FailureCause, SessionRecord and the SessionHistory ring moved to
+// session_history.hpp (included above) when the history became bounded;
+// re-exported here so existing includes keep resolving.
 
 class AutomataEngine {
 public:
@@ -186,7 +134,9 @@ public:
     bool running() const { return running_; }
     const std::string& currentState() const { return current_; }
 
-    const std::vector<SessionRecord>& sessions() const { return sessions_; }
+    /// Recent session records (bounded ring) plus eviction-proof lifetime
+    /// aggregates; see EngineOptions::sessionHistoryCapacity.
+    const SessionHistory& sessions() const { return sessions_; }
     const automata::Trace& trace() const { return trace_; }
     const merge::MergedAutomaton& merged() const { return *merged_; }
 
@@ -222,6 +172,10 @@ private:
     void armRetransmit();
     void onReceiveDeadline();
     void cancelRetransmit();
+    /// (Re-)arms the idle deadline; called on every message in either
+    /// direction while a session is live. No-op when idleTimeout is 0.
+    void armIdleTimeout();
+    void cancelIdleTimeout();
     static FailureCause classify(const std::exception& error);
 
     /// State change with per-state dwell accounting (virtual ms spent in the
@@ -246,6 +200,7 @@ private:
     bool sessionActive_ = false;
     SessionRecord liveSession_;
     std::optional<net::EventId> timeoutEvent_;
+    std::optional<net::EventId> idleEvent_;
 
     // Retransmission state for the current wait. The engine keeps the last
     // encoded request so a lapsed reply deadline re-sends identical bytes.
@@ -259,7 +214,14 @@ private:
     /// lifetime so steady-state sessions stop allocating per message.
     Bytes composeScratch_;
 
-    std::vector<SessionRecord> sessions_;
+    /// Receive arena: parsed String/Bytes field values borrow from the single
+    /// datagram copy stored here instead of owning fresh heap strings. Reset
+    /// (chunks retained) at every session boundary, so steady-state sessions
+    /// parse with zero per-message heap allocation. Anything that outlives
+    /// the session (the trace ring) is materialized first.
+    mdl::RxArena rxArena_;
+
+    SessionHistory sessions_;
     automata::Trace trace_;
 
     // --- telemetry -------------------------------------------------------

@@ -1,5 +1,7 @@
 #include "core/engine/network_engine.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/log.hpp"
 
@@ -13,6 +15,7 @@ NetworkEngine::NetworkEngine(net::SimNetwork& network, std::string host, Options
                                                  : telemetry::MetricsRegistry::global();
     connectAttempts_ = &registry.counter("starlink_net_connect_attempts_total");
     connectFailures_ = &registry.counter("starlink_net_connect_failures_total");
+    backlogDroppedBytes_ = &registry.counter("starlink_net_backlog_dropped_bytes_total");
 }
 
 void NetworkEngine::noteReceived(std::uint64_t k, std::size_t bytes) {
@@ -167,7 +170,22 @@ void NetworkEngine::send(std::uint64_t k, const Bytes& payload) {
         throw NetError("network engine: tcp server color " + std::to_string(k) +
                        " has no accepted connection to reply on");
     }
+    // Bound the pre-connect queue by BYTES: a peer that never finishes its
+    // connect must not let queued sends grow the heap without limit. Past
+    // the cap the send is shed loudly with a coded error.
+    if (options_.maxBacklogBytes != 0 &&
+        endpoint.tcpBacklogBytes + payload.size() > options_.maxBacklogBytes) {
+        if (telemetry::enabled()) backlogDroppedBytes_->add(payload.size());
+        throw NetError(errc::ErrorCode::NetBacklogOverflow,
+                       "network engine: tcp color " + std::to_string(k) +
+                           " pre-connect backlog at " +
+                           std::to_string(endpoint.tcpBacklogBytes) + "/" +
+                           std::to_string(options_.maxBacklogBytes) +
+                           " bytes; shedding " + std::to_string(payload.size()) +
+                           "-byte send");
+    }
     endpoint.tcpBacklog.push_back(payload);
+    endpoint.tcpBacklogBytes += payload.size();
     if (endpoint.tcpConnecting) return;
     net::Address target;
     if (endpoint.hostOverride) {
@@ -177,6 +195,7 @@ void NetworkEngine::send(std::uint64_t k, const Bytes& payload) {
         const auto port = color.port();
         if (!host || !port) {
             endpoint.tcpBacklog.pop_back();
+            endpoint.tcpBacklogBytes -= payload.size();
             throw NetError("network engine: tcp color " + std::to_string(k) +
                            " has no target; did the bridge spec forget set_host?");
         }
@@ -200,8 +219,15 @@ void NetworkEngine::startConnect(std::uint64_t k, const net::Address& target, in
         Endpoint& ep = entry->second;
         if (!connection) {
             if (attempt < options_.connectAttempts) {
-                // Retry with a doubling delay; the backlog stays queued.
-                const net::Duration delay = options_.connectRetryDelay * (1 << (attempt - 1));
+                // Retry with a doubling delay; the backlog stays queued. The
+                // shift exponent is clamped (a large configured attempt
+                // budget used to shift past 31 -- signed-overflow UB) and
+                // the delay saturates at connectRetryMaxDelay.
+                const int shift = std::min(attempt - 1, 20);
+                net::Duration delay = options_.connectRetryDelay * (std::int64_t{1} << shift);
+                if (options_.connectRetryMaxDelay.count() > 0) {
+                    delay = std::min(delay, options_.connectRetryMaxDelay);
+                }
                 STARLINK_LOG(Debug, "net-engine")
                     << "tcp connect to " << target.toString() << " refused (attempt "
                     << attempt << "/" << options_.connectAttempts << "), retrying";
@@ -213,7 +239,11 @@ void NetworkEngine::startConnect(std::uint64_t k, const net::Address& target, in
                 return;
             }
             ep.tcpConnecting = false;
+            if (telemetry::enabled() && ep.tcpBacklogBytes > 0) {
+                backlogDroppedBytes_->add(ep.tcpBacklogBytes);
+            }
             ep.tcpBacklog.clear();
+            ep.tcpBacklogBytes = 0;
             if (telemetry::enabled()) connectFailures_->add();
             endConnectSpan(ep, "refused", attempt);
             reportFault(k, NetworkFault::ConnectRefused,
@@ -226,6 +256,7 @@ void NetworkEngine::startConnect(std::uint64_t k, const net::Address& target, in
         endConnectSpan(ep, "connected", attempt);
         std::vector<Bytes> backlog;
         backlog.swap(ep.tcpBacklog);
+        ep.tcpBacklogBytes = 0;
         try {
             for (const Bytes& queued : backlog) {
                 connection->send(queued);
@@ -269,6 +300,7 @@ void NetworkEngine::resetSession() {
         endpoint.lastPeer.reset();
         endpoint.hostOverride.reset();
         endpoint.tcpBacklog.clear();
+        endpoint.tcpBacklogBytes = 0;
         endpoint.tcpConnecting = false;
         endpoint.peerClosed = false;
         // An in-flight connect span is force-closed by the session tracer at

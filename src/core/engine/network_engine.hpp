@@ -46,12 +46,23 @@ enum class NetworkFault {
 struct NetworkEngineOptions {
     /// Total tcp connect attempts before the failure is terminal.
     int connectAttempts = 3;
-    /// Delay before the first reconnect attempt; doubles per attempt.
+    /// Delay before the first reconnect attempt; doubles per attempt (capped
+    /// by connectRetryMaxDelay).
     net::Duration connectRetryDelay = net::ms(50);
     /// Registry the per-color traffic counters land in; nullptr = the
     /// process-wide registry. The sharded driver passes each shard's private
     /// registry (see EngineOptions::metrics). Must outlive the engine.
     telemetry::MetricsRegistry* metrics = nullptr;
+    /// Ceiling on the doubling reconnect backoff (0 = uncapped exponent
+    /// growth, though the shift itself is always clamped to stay defined).
+    /// Large connectAttempts used to left-shift past 31 -- signed-overflow
+    /// UB; the delay now saturates here instead.
+    net::Duration connectRetryMaxDelay = net::ms(5000);
+    /// Byte cap on sends queued per tcp color while its connect is pending
+    /// (0 = unbounded, the old behaviour). Past the cap send() sheds with
+    /// net.backlog-overflow and counts the bytes in
+    /// starlink_net_backlog_dropped_bytes_total.
+    std::size_t maxBacklogBytes = 256 * 1024;
 };
 
 class NetworkEngine {
@@ -114,6 +125,7 @@ private:
         std::optional<net::Address> hostOverride;   // from set_host
         std::shared_ptr<net::TcpConnection> tcp;
         std::vector<Bytes> tcpBacklog;              // sends queued while connecting
+        std::size_t tcpBacklogBytes = 0;            // queued payload bytes (capped)
         bool tcpConnecting = false;
         bool peerClosed = false;                    // peer vanished this session
         // Per-color traffic counters, resolved once at attach (null until
@@ -143,6 +155,9 @@ private:
     telemetry::SessionTracer* tracer_ = nullptr;
     telemetry::Counter* connectAttempts_ = nullptr;
     telemetry::Counter* connectFailures_ = nullptr;
+    /// Payload bytes shed from pre-connect backlogs (cap overflow or
+    /// terminal connect failure).
+    telemetry::Counter* backlogDroppedBytes_ = nullptr;
 };
 
 }  // namespace starlink::engine

@@ -37,8 +37,8 @@ struct Island {
     std::optional<mdns::Resolver> mdnsClient;
     std::optional<ssdp::ControlPoint> upnpClient;
 
-    /// SessionRecords of the pooled engine already consumed by earlier jobs.
-    std::size_t recordsSeen = 0;
+    /// Monotone use stamp for the shard's island LRU (maxIslandsPerShard).
+    std::uint64_t lastUsed = 0;
 };
 
 }  // namespace
@@ -59,6 +59,7 @@ struct ShardEngine::Shard {
     std::vector<telemetry::Span> spans;
     ShardReport report;
     std::map<int, std::unique_ptr<Island>> islands;  // keyed by (int)Case
+    std::uint64_t useTick = 0;  // LRU clock for island eviction
     std::string error;  // first fatal error; empty == clean run
 };
 
@@ -93,10 +94,29 @@ int ShardEngine::shardFor(const std::string& key) const {
     return static_cast<int>(keyHash(key) % static_cast<std::uint64_t>(options_.shards));
 }
 
-void ShardEngine::submit(SessionJob job) {
+bool ShardEngine::submit(SessionJob job) {
     if (ran_) throw std::logic_error("shard engine: submit after run");
     Shard& shard = *shards_[static_cast<std::size_t>(shardFor(job.key))];
+    if (options_.maxPendingPerShard != 0 &&
+        shard.queue.size() >= options_.maxPendingPerShard) {
+        // Overload: refuse loudly with a coded result instead of queueing
+        // without bound. Runs single-threaded (submit precedes run), so the
+        // shard's registry and results slice are safe to touch here.
+        ++shard.report.shed;
+        shard.registry
+            .counter(telemetry::labeled("starlink_engine_sessions_shed_total",
+                                        {{"shard", std::to_string(shard.index)}}))
+            .add();
+        SessionResult result;
+        result.job = std::move(job);
+        result.shard = shard.index;
+        result.shed = true;
+        result.error = errc::ErrorCode::EngineOverload;
+        shard.results.emplace_back(submitted_++, std::move(result));
+        return false;
+    }
     shard.queue.push_back({std::move(job), submitted_++});
+    return true;
 }
 
 const std::vector<SessionResult>& ShardEngine::run() {
@@ -171,6 +191,18 @@ void destroyAgents(Island& island) {
 }  // namespace
 
 void ShardEngine::runShard(Shard& shard) {
+    // Folds a retiring island's accounting into the shard report: virtual
+    // time its clock consumed, and its engine's span snapshot. Used both by
+    // the LRU eviction below and the end-of-run teardown.
+    const auto harvest = [&shard](Island& island) {
+        shard.report.busyVirtual += std::chrono::duration_cast<net::Duration>(
+            island.clock.now() - net::TimePoint{});
+        if (island.bridge != nullptr) {
+            const auto snapshot = island.bridge->engine().spans().snapshot();
+            shard.spans.insert(shard.spans.end(), snapshot.begin(), snapshot.end());
+        }
+    };
+
     try {
         for (const Shard::Pending& pending : shard.queue) {
             const SessionJob& job = pending.job;
@@ -178,10 +210,31 @@ void ShardEngine::runShard(Shard& shard) {
             // Lazily deploy this direction's island. Deployment parses the
             // MDL/automata/bridge models and compiles codec plans once per
             // (shard, direction); sessions then reuse the island -- including
-            // the engine's compose scratch buffer and codec plans -- forever.
+            // the engine's compose scratch buffer and codec plans -- until
+            // the LRU cap (if any) retires it.
             const int caseKey = static_cast<int>(job.caseId);
             std::unique_ptr<Island>& slot = shard.islands[caseKey];
             if (!slot) {
+                // Island LRU: past the cap, retire the stalest OTHER
+                // direction (harvesting its accounting) before deploying.
+                // Outcomes are island-history-independent, so eviction is
+                // invisible to results.
+                if (options_.maxIslandsPerShard != 0 &&
+                    shard.islands.size() > options_.maxIslandsPerShard) {
+                    auto victim = shard.islands.end();
+                    for (auto it = shard.islands.begin(); it != shard.islands.end(); ++it) {
+                        if (it->second == nullptr || it->first == caseKey) continue;
+                        if (victim == shard.islands.end() ||
+                            it->second->lastUsed < victim->second->lastUsed) {
+                            victim = it;
+                        }
+                    }
+                    if (victim != shard.islands.end()) {
+                        harvest(*victim->second);
+                        shard.islands.erase(victim);
+                        ++shard.report.islandsEvicted;
+                    }
+                }
                 slot = std::make_unique<Island>();
                 slot->network = std::make_unique<net::SimNetwork>(slot->scheduler);
                 slot->starlink = std::make_unique<bridge::Starlink>(*slot->network);
@@ -192,6 +245,7 @@ void ShardEngine::runShard(Shard& shard) {
                     options_.bridgeHost, engineOptions);
             }
             Island& island = *slot;
+            island.lastUsed = ++shard.useTick;
             net::SimNetwork& network = *island.network;
             AutomataEngine& engine = island.bridge->engine();
 
@@ -250,7 +304,27 @@ void ShardEngine::runShard(Shard& shard) {
                 }
             }
 
-            const std::size_t recordsBefore = engine.sessions().size();
+            // Collect outcomes through the completion callback: the engine's
+            // history is a bounded ring now, so absolute indexing into
+            // sessions() could miss records a busy island evicts.
+            SessionResult result;
+            result.job = job;
+            result.job.seed = seed;
+            result.shard = shard.index;
+            engine.onSessionComplete = [&result, &shard](const SessionRecord& record) {
+                SessionOutcome outcome;
+                outcome.completed = record.completed;
+                outcome.cause = record.cause;
+                outcome.code = record.code;
+                outcome.messagesIn = record.messagesIn;
+                outcome.messagesOut = record.messagesOut;
+                outcome.retransmits = record.retransmits;
+                outcome.translationUs = record.translationTime().count();
+                outcome.sessionUs = record.sessionTime().count();
+                result.outcomes.push_back(outcome);
+                ++shard.report.bridgeSessions;
+                if (record.completed) ++shard.report.completedSessions;
+            };
             bool discovered = false;
             switch (job.caseId) {
                 case Case::SlpToUpnp:
@@ -306,28 +380,9 @@ void ShardEngine::runShard(Shard& shard) {
             island.scheduler.runUntilIdle(options_.maxEventsPerSession);
             network.clearFaultSchedule();
             destroyAgents(island);
+            engine.onSessionComplete = nullptr;
 
-            SessionResult result;
-            result.job = job;
-            result.job.seed = seed;
-            result.shard = shard.index;
             result.discovered = discovered;
-            const auto& records = engine.sessions();
-            for (std::size_t i = recordsBefore; i < records.size(); ++i) {
-                const SessionRecord& record = records[i];
-                SessionOutcome outcome;
-                outcome.completed = record.completed;
-                outcome.cause = record.cause;
-                outcome.messagesIn = record.messagesIn;
-                outcome.messagesOut = record.messagesOut;
-                outcome.retransmits = record.retransmits;
-                outcome.translationUs = record.translationTime().count();
-                outcome.sessionUs = record.sessionTime().count();
-                result.outcomes.push_back(outcome);
-                ++shard.report.bridgeSessions;
-                if (record.completed) ++shard.report.completedSessions;
-            }
-            island.recordsSeen = records.size();
             if (discovered) ++shard.report.discovered;
             ++shard.report.jobs;
             shard.results.emplace_back(pending.submitIndex, std::move(result));
@@ -339,12 +394,7 @@ void ShardEngine::runShard(Shard& shard) {
     // Post-run accounting, then island teardown ON THIS THREAD (each
     // framework uninstalls the thread-local log time source it installed).
     for (auto& [caseKey, island] : shard.islands) {
-        shard.report.busyVirtual += std::chrono::duration_cast<net::Duration>(
-            island->clock.now() - net::TimePoint{});
-        if (island->bridge != nullptr) {
-            const auto snapshot = island->bridge->engine().spans().snapshot();
-            shard.spans.insert(shard.spans.end(), snapshot.begin(), snapshot.end());
-        }
+        if (island) harvest(*island);
     }
     shard.islands.clear();
 }

@@ -82,6 +82,24 @@ struct ShardEngineOptions {
     /// hanging the shard.
     std::size_t maxEventsPerSession = 2'000'000;
 
+    /// Admission control: cap on jobs queued per shard at submit() time
+    /// (0 = unbounded). Past the cap submit() SHEDS the job -- it returns
+    /// false and the job's SessionResult carries engine.overload -- instead
+    /// of growing the pending queue without bound. NOTE the bound is per
+    /// shard, so with a cap in force the shed SET depends on the shard
+    /// count; the N-shard == 1-shard determinism contract is stated for
+    /// unbounded admission (the default), and per-shard-count runs remain
+    /// individually deterministic either way.
+    std::size_t maxPendingPerShard = 0;
+    /// Cap on pooled islands per shard (0 = unbounded). Past the cap the
+    /// least-recently-used island is torn down before a new direction
+    /// deploys, its virtual-time and span accounting harvested first. Only
+    /// six directions exist, so caps >= 6 never evict; smaller caps bound
+    /// island residency for memory-tight deployments. Session outcomes are
+    /// island-history-independent (per-session reseeding), so eviction never
+    /// changes results.
+    std::size_t maxIslandsPerShard = 0;
+
     /// Simulated topology of every island (mirrors the demo harnesses).
     std::string clientHost = "10.0.0.1";
     std::string serviceHost = "10.0.0.3";
@@ -94,6 +112,9 @@ struct ShardEngineOptions {
 struct SessionOutcome {
     bool completed = false;
     FailureCause cause = FailureCause::None;
+    /// Exact taxonomy code of the abort (Ok iff completed); lets sharded
+    /// consumers rebuild the per-code abort histogram without the records.
+    errc::ErrorCode code = errc::ErrorCode::Ok;
     std::size_t messagesIn = 0;
     std::size_t messagesOut = 0;
     std::size_t retransmits = 0;
@@ -111,6 +132,10 @@ struct SessionResult {
     int shard = 0;
     /// The legacy client's callback reported at least one discovered URL.
     bool discovered = false;
+    /// Admission control refused the job at submit() time: it never ran,
+    /// outcomes is empty, and `error` is engine.overload.
+    bool shed = false;
+    errc::ErrorCode error = errc::ErrorCode::Ok;
     std::vector<SessionOutcome> outcomes;
 };
 
@@ -121,6 +146,12 @@ struct ShardReport {
     std::size_t bridgeSessions = 0;
     std::size_t completedSessions = 0;
     std::size_t discovered = 0;
+    /// Jobs refused by admission control (ShardEngineOptions::
+    /// maxPendingPerShard); also exported as
+    /// starlink_engine_sessions_shed_total in the shard's registry.
+    std::size_t shed = 0;
+    /// Pooled islands evicted by the LRU cap (maxIslandsPerShard).
+    std::size_t islandsEvicted = 0;
     /// Virtual time this shard's islands consumed, summed across its
     /// per-direction pools. The aggregate throughput denominator is the MAX
     /// over shards (the virtual makespan): shards are independent islands,
@@ -146,7 +177,11 @@ public:
     int shardFor(const std::string& key) const;
 
     /// Queues a job on its hash-selected shard. Must be called before run().
-    void submit(SessionJob job);
+    /// Returns false when admission control sheds the job (per-shard pending
+    /// queue at maxPendingPerShard): the job still yields a SessionResult --
+    /// shed=true, error=engine.overload, no outcomes -- so callers account
+    /// for every submission either way.
+    bool submit(SessionJob job);
 
     /// Serves every submitted job: one thread per shard, each draining its
     /// own queue in submission order against its private island pool.

@@ -16,9 +16,11 @@ struct Entry {
 // One row per code. Order is ascending numeric (most negative first) except Ok,
 // which allCodes() moves to the front. to_string/remediation/fromInt/fromName
 // all read this single table so the taxonomy cannot drift apart.
-constexpr std::array<Entry, 61> kEntries{{
+constexpr std::array<Entry, 64> kEntries{{
     {ErrorCode::LintUnknownKind, "lint.unknown-kind",
      "rename the root element to a known model kind (MDL, Automaton, Bridge)"},
+    {ErrorCode::NetBacklogOverflow, "net.backlog-overflow",
+     "the pre-connect backlog hit its byte cap; slow the sender or raise the cap"},
     {ErrorCode::NetUrlInvalid, "net.url-invalid",
      "check the URL scheme, host, and port syntax"},
     {ErrorCode::NetClosedSend, "net.closed-send",
@@ -31,6 +33,10 @@ constexpr std::array<Entry, 61> kEntries{{
      "no listener at the destination; verify the peer is deployed and reachable"},
     {ErrorCode::NetMisuse, "net.misuse",
      "the network API was called with invalid arguments; fix the caller"},
+    {ErrorCode::EngineIdleTimeout, "engine.idle-timeout",
+     "the session went silent past the idle deadline; raise idleTimeout or fix the peer"},
+    {ErrorCode::EngineOverload, "engine.overload",
+     "admission control shed the session; add shards or raise the pending-queue cap"},
     {ErrorCode::EngineColorUnknown, "engine.color-unknown",
      "register the component's color in the codec registry before deploying"},
     {ErrorCode::EngineNoCodec, "engine.no-codec",

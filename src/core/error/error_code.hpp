@@ -102,6 +102,8 @@ enum class ErrorCode : int {
     EngineFieldUnresolved = -607,///< translation input field could not be read
     EngineNoCodec = -608,        ///< component deployed without a codec
     EngineColorUnknown = -609,   ///< component color missing from the registry
+    EngineOverload = -610,       ///< admission control shed the session (queue full)
+    EngineIdleTimeout = -611,    ///< idle deadline lapsed with no message activity
 
     // -- net: -700 .. -799 ---------------------------------------------------
     NetMisuse = -700,         ///< simulated network misused (generic)
@@ -110,6 +112,7 @@ enum class ErrorCode : int {
     NetBindConflict = -703,   ///< address already bound
     NetClosedSend = -704,     ///< send on a closed connection
     NetUrlInvalid = -705,     ///< URL does not parse / bad port
+    NetBacklogOverflow = -706,///< tcp pre-connect backlog exceeded its byte cap
 
     // -- lint: -800 .. -899 --------------------------------------------------
     LintUnknownKind = -800,   ///< model file is no recognised model kind

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/error.hpp"
+#include "core/mdl/rx_arena.hpp"
 
 namespace starlink::mdl {
 
@@ -49,7 +50,8 @@ BinaryCodec::BinaryCodec(const MdlDocument& doc, std::shared_ptr<MarshallerRegis
 // ---------------------------------------------------------------------------
 // Plan path: flat execution of the compiled plan.
 
-std::optional<AbstractMessage> BinaryCodec::parse(const Bytes& data, std::string* error) const {
+std::optional<AbstractMessage> BinaryCodec::parse(const Bytes& data, RxArena* arena,
+                                                  std::string* error) const {
     auto fail = [error](const std::string& why) -> std::optional<AbstractMessage> {
         if (error != nullptr) *error = why;
         return std::nullopt;
@@ -60,6 +62,12 @@ std::optional<AbstractMessage> BinaryCodec::parse(const Bytes& data, std::string
                     " bytes exceed the " + std::to_string(kMaxMessageBytes) +
                     "-byte message cap");
     }
+
+    // With an arena: one copy of the datagram, then byte-aligned raw reads
+    // (String/Bytes marshallers) become views into it. The bit reader still
+    // walks `data`; byte offsets are identical in both buffers.
+    const char* viewBase = nullptr;
+    if (arena != nullptr) viewBase = arena->store(data).data();
 
     BitReader reader(data);
     std::vector<PlanSlot> parsed;
@@ -104,6 +112,21 @@ std::optional<AbstractMessage> BinaryCodec::parse(const Bytes& data, std::string
             if (lengthBits && *lengthBits == 0) {
                 // Zero-length field (e.g. empty string with zero length prefix).
                 value = Value::ofString("");
+            } else if (viewBase != nullptr && pf.rawKind != RawKind::None && lengthBits &&
+                       *lengthBits % 8 == 0) {
+                // Verbatim byte copy: borrow from the arena instead of
+                // allocating. Falls back to the marshaller when the cursor is
+                // not byte-aligned (same accept/reject verdict either way).
+                const std::size_t count = static_cast<std::size_t>(*lengthBits / 8);
+                if (const auto offset = reader.takeByteSpan(count)) {
+                    value = pf.rawKind == RawKind::Text
+                                ? Value::ofView(std::string_view(viewBase + *offset, count))
+                                : Value::ofByteView(ByteView{
+                                      reinterpret_cast<const std::uint8_t*>(viewBase) + *offset,
+                                      count});
+                } else if (reader.positionBits() % 8 != 0) {
+                    value = pf.marshaller->read(reader, lengthBits);
+                }
             } else {
                 value = pf.marshaller->read(reader, lengthBits);
             }
@@ -144,6 +167,7 @@ std::optional<AbstractMessage> BinaryCodec::parse(const Bytes& data, std::string
     }
 
     AbstractMessage message(mp.spec->type);
+    message.fields().reserve(parsed.size());
     for (PlanSlot& slot : parsed) {
         message.addField(Field::primitive(slot.field->spec->label, slot.field->marshallerName,
                                           std::move(slot.value), slot.lengthBits));

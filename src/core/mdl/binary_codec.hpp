@@ -34,6 +34,8 @@
 
 namespace starlink::mdl {
 
+class RxArena;
+
 class BinaryCodec {
 public:
     BinaryCodec(const MdlDocument& doc, std::shared_ptr<MarshallerRegistry> registry);
@@ -41,7 +43,16 @@ public:
     /// Lifts wire bytes into an abstract message. nullopt on any mismatch
     /// (truncation, no rule matches, undecodable field); when `error` is
     /// non-null it receives a diagnostic.
-    std::optional<AbstractMessage> parse(const Bytes& data, std::string* error = nullptr) const;
+    std::optional<AbstractMessage> parse(const Bytes& data, std::string* error = nullptr) const {
+        return parse(data, nullptr, error);
+    }
+
+    /// Zero-copy parse: with an arena, the datagram is copied into it once
+    /// and byte-aligned String/Bytes fields become views over that copy --
+    /// valid until the arena resets. nullptr arena keeps the fully-owning
+    /// behaviour.
+    std::optional<AbstractMessage> parse(const Bytes& data, RxArena* arena,
+                                         std::string* error) const;
 
     /// Lowers an abstract message to wire bytes. Throws SpecError when the
     /// message type is unknown to the MDL or a mandatory field is absent,

@@ -32,6 +32,18 @@ public:
     /// Peeks one byte at a byte-aligned cursor without consuming.
     std::optional<std::uint8_t> peekByte() const;
 
+    /// Zero-copy read: when the cursor sits on a byte boundary and `count`
+    /// whole bytes remain, returns their starting byte offset and advances
+    /// past them; nullopt otherwise (cursor unchanged). The caller turns the
+    /// offset into a view over its own stable copy of the input.
+    std::optional<std::size_t> takeByteSpan(std::size_t count) {
+        if (position_ % 8 != 0) return std::nullopt;
+        if (remainingBits() < count * 8) return std::nullopt;
+        const std::size_t offset = position_ / 8;
+        position_ += count * 8;
+        return offset;
+    }
+
 private:
     const Bytes& data_;
     std::size_t position_ = 0;  // in bits

@@ -63,17 +63,18 @@ std::shared_ptr<MessageCodec> MessageCodec::fromDocument(
     return std::shared_ptr<MessageCodec>(new MessageCodec(std::move(doc), std::move(registry)));
 }
 
-std::optional<AbstractMessage> MessageCodec::parse(const Bytes& data, std::string* error) const {
+std::optional<AbstractMessage> MessageCodec::parse(const Bytes& data, RxArena* arena,
+                                                   std::string* error) const {
     if (!telemetry::enabled()) {
-        if (binary_) return binary_->parse(data, error);
-        if (text_) return text_->parse(data, error);
-        return xml_->parse(data, error);
+        if (binary_) return binary_->parse(data, arena, error);
+        if (text_) return text_->parse(data, arena, error);
+        return xml_->parse(data, arena, error);
     }
     const std::uint64_t wall0 = telemetry::wallNowNs();
     std::optional<AbstractMessage> result;
-    if (binary_) result = binary_->parse(data, error);
-    else if (text_) result = text_->parse(data, error);
-    else result = xml_->parse(data, error);
+    if (binary_) result = binary_->parse(data, arena, error);
+    else if (text_) result = text_->parse(data, arena, error);
+    else result = xml_->parse(data, arena, error);
     parsePlan_.ns->observe(static_cast<double>(telemetry::wallSinceNs(wall0)));
     parsePlan_.ops->add();
     parsePlan_.bytes->add(data.size());

@@ -32,7 +32,17 @@ public:
         std::shared_ptr<MarshallerRegistry> registry = MarshallerRegistry::withDefaults());
 
     /// Network bytes -> abstract message; nullopt when they do not conform.
-    std::optional<AbstractMessage> parse(const Bytes& data, std::string* error = nullptr) const;
+    std::optional<AbstractMessage> parse(const Bytes& data, std::string* error = nullptr) const {
+        return parse(data, nullptr, error);
+    }
+
+    /// Zero-copy parse: with an arena, String/Bytes field values borrow from
+    /// a single copy of the datagram stored there (valid until the arena
+    /// resets -- the engine resets at session boundaries). nullptr arena
+    /// keeps the fully-owning behaviour; both paths accept/reject and parse
+    /// identically (content-wise), which the differential fuzzer enforces.
+    std::optional<AbstractMessage> parse(const Bytes& data, RxArena* arena,
+                                         std::string* error) const;
 
     /// Abstract message -> network bytes; throws on spec violations.
     Bytes compose(const AbstractMessage& message) const;

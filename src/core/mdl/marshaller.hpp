@@ -24,6 +24,12 @@
 
 namespace starlink::mdl {
 
+/// How a marshaller's byte-aligned, length-directed encoding relates to the
+/// wire bytes. Text/Raw marshallers copy the wire bytes verbatim, so the
+/// zero-copy parse path can substitute a borrowed view over the rx arena
+/// for the marshaller's owning read.
+enum class RawKind { None, Text, Raw };
+
 class Marshaller {
 public:
     virtual ~Marshaller() = default;
@@ -44,6 +50,11 @@ public:
 
     /// True when the type can be used with length "auto".
     virtual bool selfDelimiting() const { return false; }
+
+    /// Non-None when a whole-byte read of this type is a verbatim copy of
+    /// the wire bytes (String -> Text, Bytes -> Raw). The compiled plans use
+    /// this to parse such fields as views instead of copies.
+    virtual RawKind rawKind() const { return RawKind::None; }
 };
 
 /// Big-endian unsigned integer of the specified bit width (1..63).
@@ -60,6 +71,7 @@ public:
     std::optional<Value> read(BitReader& in, std::optional<int> lengthBits) const override;
     void write(BitWriter& out, const Value& value, std::optional<int> lengthBits) const override;
     int encodedBits(const Value& value, std::optional<int> lengthBits) const override;
+    RawKind rawKind() const override { return RawKind::Text; }
 };
 
 /// Raw bytes of the specified length.
@@ -68,6 +80,7 @@ public:
     std::optional<Value> read(BitReader& in, std::optional<int> lengthBits) const override;
     void write(BitWriter& out, const Value& value, std::optional<int> lengthBits) const override;
     int encodedBits(const Value& value, std::optional<int> lengthBits) const override;
+    RawKind rawKind() const override { return RawKind::Raw; }
 };
 
 /// Boolean in `lengthBits` bits (non-zero == true).

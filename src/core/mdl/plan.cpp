@@ -96,6 +96,7 @@ CodecPlan CodecPlan::compile(const MdlDocument& doc, const MarshallerRegistry& r
             }
             const TypeDef* def = doc.type(spec.type.empty() ? spec.label : spec.type);
             pf.isMsgLength = def != nullptr && def->function == "f-msglength";
+            pf.rawKind = pf.marshaller->rawKind();
         }
         if (kind == MdlKind::Xml && spec.length == FieldSpec::Length::XmlPath) {
             pf.pathSteps = split(spec.ref, '/');

@@ -70,6 +70,7 @@ struct PlanField {
     int refIndex = -1;                       // binary FieldRef: flat index of the length source
     int searcherIndex = -1;                  // text dialect: index into CodecPlan searchers
     bool isMsgLength = false;                // binary: type declares f-msglength()
+    RawKind rawKind = RawKind::None;         // binary: view-eligible verbatim byte copy
     std::optional<Value> defaultValue;       // spec default, lifted to a Value once
     Value emptyFill;                         // binary compose fill for unsupplied optionals
 };

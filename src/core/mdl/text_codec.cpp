@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "core/mdl/rx_arena.hpp"
 
 namespace starlink::mdl {
 
@@ -90,11 +91,18 @@ TextCodec::TextCodec(const MdlDocument& doc, std::shared_ptr<MarshallerRegistry>
 // ---------------------------------------------------------------------------
 // Plan path: flat execution of the compiled plan.
 
-std::optional<AbstractMessage> TextCodec::parse(const Bytes& data, std::string* error) const {
+std::optional<AbstractMessage> TextCodec::parse(const Bytes& data, RxArena* arena,
+                                                std::string* error) const {
     auto fail = [error](const std::string& why) -> std::optional<AbstractMessage> {
         if (error != nullptr) *error = why;
         return std::nullopt;
     };
+
+    // With an arena: one copy of the datagram, then every String value is a
+    // view into it. Delimiter searches still run over `data`; offsets are
+    // identical in both buffers.
+    const char* base = reinterpret_cast<const char*>(data.data());
+    if (arena != nullptr) base = arena->store(data).data();
 
     std::size_t pos = 0;
     std::vector<Field> fields;
@@ -102,12 +110,13 @@ std::optional<AbstractMessage> TextCodec::parse(const Bytes& data, std::string* 
 
     // A malformed typed header line degrades to text rather than killing
     // the whole message -- matching how lenient real stacks are.
-    auto typedValue = [this](const std::string& label, std::string_view text) -> Value {
+    auto typedValue = [this, arena](const std::string& label, std::string_view text) -> Value {
         const std::string_view trimmed = trimView(text);
         const ValueType type = plan_.valueTypeOfLabel(label);
         if (type != ValueType::String) {
             if (auto parsed = Value::fromText(type, trimmed)) return *parsed;
         }
+        if (arena != nullptr) return Value::ofView(trimmed);
         return Value::ofString(std::string(trimmed));
     };
 
@@ -119,8 +128,7 @@ std::optional<AbstractMessage> TextCodec::parse(const Bytes& data, std::string* 
                 if (found == DelimiterSearcher::npos) {
                     return fail("token '" + spec.label + "' not terminated");
                 }
-                const std::string_view token(
-                    reinterpret_cast<const char*>(data.data()) + pos, found - pos);
+                const std::string_view token(base + pos, found - pos);
                 pos = found + spec.delimiter.size();
                 fields.push_back(
                     Field::primitive(spec.label, "String", typedValue(spec.label, token)));
@@ -136,8 +144,7 @@ std::optional<AbstractMessage> TextCodec::parse(const Bytes& data, std::string* 
                         // final line like real text stacks do.
                         break;
                     }
-                    const std::string_view line(
-                        reinterpret_cast<const char*>(data.data()) + pos, found - pos);
+                    const std::string_view line(base + pos, found - pos);
                     pos = found + spec.delimiter.size();
                     if (trimView(line).empty()) break;  // blank line ends the block
                     const std::size_t split = line.find(innerSplit);
@@ -153,10 +160,11 @@ std::optional<AbstractMessage> TextCodec::parse(const Bytes& data, std::string* 
                 break;
             }
             case FieldSpec::Length::Body: {
+                const std::string_view rest(base + pos, data.size() - pos);
                 fields.push_back(Field::primitive(
                     spec.label, "String",
-                    Value::ofString(std::string(
-                        data.begin() + static_cast<std::ptrdiff_t>(pos), data.end()))));
+                    arena != nullptr ? Value::ofView(rest)
+                                     : Value::ofString(std::string(rest))));
                 pos = data.size();
                 break;
             }
@@ -175,7 +183,9 @@ std::optional<AbstractMessage> TextCodec::parse(const Bytes& data, std::string* 
     if (selected < 0) return fail("no message rule matches");
 
     AbstractMessage message(plan_.messages()[static_cast<std::size_t>(selected)].spec->type);
-    for (Field& f : fields) message.addField(std::move(f));
+    // Adopt the already-reserved vector wholesale; per-field push_back would
+    // re-pay the doubling growth inside the message.
+    message.fields() = std::move(fields);
     return message;
 }
 

@@ -33,11 +33,23 @@
 
 namespace starlink::mdl {
 
+class RxArena;
+
 class TextCodec {
 public:
     TextCodec(const MdlDocument& doc, std::shared_ptr<MarshallerRegistry> registry);
 
-    std::optional<AbstractMessage> parse(const Bytes& data, std::string* error = nullptr) const;
+    std::optional<AbstractMessage> parse(const Bytes& data, std::string* error = nullptr) const {
+        return parse(data, nullptr, error);
+    }
+
+    /// Zero-copy parse: with an arena, the datagram is copied into it once
+    /// and String field values (tokens, header lines, the body) are views
+    /// over that copy -- valid until the arena resets. nullptr arena keeps
+    /// the fully-owning behaviour.
+    std::optional<AbstractMessage> parse(const Bytes& data, RxArena* arena,
+                                         std::string* error) const;
+
     Bytes compose(const AbstractMessage& message) const;
 
     /// Plan-free compose into a caller-owned buffer (cleared first); lets a

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "core/mdl/rx_arena.hpp"
 #include "xml/dom.hpp"
 #include "xml/parser.hpp"
 #include "xml/writer.hpp"
@@ -88,7 +89,8 @@ XmlCodec::XmlCodec(const MdlDocument& doc, std::shared_ptr<MarshallerRegistry> r
 // ---------------------------------------------------------------------------
 // Plan path: flat execution of the compiled plan.
 
-std::optional<AbstractMessage> XmlCodec::parse(const Bytes& data, std::string* error) const {
+std::optional<AbstractMessage> XmlCodec::parse(const Bytes& data, RxArena* arena,
+                                               std::string* error) const {
     auto fail = [error](const std::string& why) -> std::optional<AbstractMessage> {
         if (error != nullptr) *error = why;
         return std::nullopt;
@@ -120,9 +122,15 @@ std::optional<AbstractMessage> XmlCodec::parse(const Bytes& data, std::string* e
                 continue;
             }
             const std::string text = trim(node->text());
-            const auto value = Value::fromText(pf.valueType, text);
-            fields.push_back(Field::primitive(spec.label, pf.marshallerName,
-                                              value ? *value : Value::ofString(text)));
+            std::optional<Value> value;
+            if (pf.valueType != ValueType::String) value = Value::fromText(pf.valueType, text);
+            if (!value) {
+                // Untyped (or unparsable-as-typed) text: intern into the
+                // arena so the Value borrows instead of owning.
+                value = arena != nullptr ? Value::ofView(arena->intern(text))
+                                         : Value::ofString(text);
+            }
+            fields.push_back(Field::primitive(spec.label, pf.marshallerName, std::move(*value)));
         }
         return true;
     };
@@ -144,7 +152,7 @@ std::optional<AbstractMessage> XmlCodec::parse(const Bytes& data, std::string* e
     }
 
     AbstractMessage message(mp.spec->type);
-    for (Field& f : fields) message.addField(std::move(f));
+    message.fields() = std::move(fields);
     return message;
 }
 

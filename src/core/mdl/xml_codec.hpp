@@ -26,11 +26,24 @@
 
 namespace starlink::mdl {
 
+class RxArena;
+
 class XmlCodec {
 public:
     XmlCodec(const MdlDocument& doc, std::shared_ptr<MarshallerRegistry> registry);
 
-    std::optional<AbstractMessage> parse(const Bytes& data, std::string* error = nullptr) const;
+    std::optional<AbstractMessage> parse(const Bytes& data, std::string* error = nullptr) const {
+        return parse(data, nullptr, error);
+    }
+
+    /// Zero-copy-ish parse: with an arena, untyped element text is interned
+    /// into it and String field values become views -- valid until the arena
+    /// resets. (The DOM itself still owns entity-decoded text; the arena
+    /// saves the per-field value allocation.) nullptr arena keeps the
+    /// fully-owning behaviour.
+    std::optional<AbstractMessage> parse(const Bytes& data, RxArena* arena,
+                                         std::string* error) const;
+
     Bytes compose(const AbstractMessage& message) const;
 
     /// compose() into a caller-owned buffer (cleared first); lets a session

@@ -1,5 +1,6 @@
 #include "core/message/value.hpp"
 
+#include <cstring>
 #include <sstream>
 
 #include "common/strings.hpp"
@@ -36,8 +37,18 @@ ValueType Value::type() const {
         case 3: return ValueType::Bytes;
         case 4: return ValueType::Bool;
         case 5: return ValueType::Double;
+        case 6: return ValueType::String;  // borrowed text
+        case 7: return ValueType::Bytes;   // borrowed bytes
     }
     return ValueType::Empty;
+}
+
+void Value::materialize() {
+    if (const auto* v = std::get_if<std::string_view>(&data_)) {
+        data_ = std::string(*v);
+    } else if (const auto* b = std::get_if<ByteView>(&data_)) {
+        data_ = Bytes(b->data, b->data + b->size);
+    }
 }
 
 std::optional<std::int64_t> Value::asInt() const {
@@ -47,11 +58,13 @@ std::optional<std::int64_t> Value::asInt() const {
 
 std::optional<std::string> Value::asString() const {
     if (const auto* v = std::get_if<std::string>(&data_)) return *v;
+    if (const auto* v = std::get_if<std::string_view>(&data_)) return std::string(*v);
     return std::nullopt;
 }
 
 std::optional<Bytes> Value::asBytes() const {
     if (const auto* v = std::get_if<Bytes>(&data_)) return *v;
+    if (const auto* v = std::get_if<ByteView>(&data_)) return Bytes(v->data, v->data + v->size);
     return std::nullopt;
 }
 
@@ -65,12 +78,27 @@ std::optional<double> Value::asDouble() const {
     return std::nullopt;
 }
 
+std::optional<std::string_view> Value::stringContent() const {
+    if (const auto* v = std::get_if<std::string>(&data_)) return std::string_view(*v);
+    if (const auto* v = std::get_if<std::string_view>(&data_)) return *v;
+    return std::nullopt;
+}
+
+std::optional<ByteView> Value::bytesContent() const {
+    if (const auto* v = std::get_if<Bytes>(&data_)) return ByteView{v->data(), v->size()};
+    if (const auto* v = std::get_if<ByteView>(&data_)) return *v;
+    return std::nullopt;
+}
+
 std::string Value::toText() const {
     switch (type()) {
         case ValueType::Empty: return "";
         case ValueType::Int: return std::to_string(*asInt());
-        case ValueType::String: return *asString();
-        case ValueType::Bytes: return toHex(*asBytes());
+        case ValueType::String: return std::string(*stringContent());
+        case ValueType::Bytes: {
+            const ByteView view = *bytesContent();
+            return toHex(Bytes(view.data, view.data + view.size));
+        }
         case ValueType::Bool: return *asBool() ? "true" : "false";
         case ValueType::Double: {
             std::ostringstream out;
@@ -124,7 +152,7 @@ std::optional<Value> Value::coerceTo(ValueType target) const {
             return Value::ofString(toText());
         case ValueType::Int: {
             if (type() == ValueType::String) {
-                const auto v = parseInt(*asString());
+                const auto v = parseInt(*stringContent());
                 if (!v) return std::nullopt;
                 return Value::ofInt(*v);
             }
@@ -140,18 +168,37 @@ std::optional<Value> Value::coerceTo(ValueType target) const {
         }
         case ValueType::Bool: {
             if (type() == ValueType::Int) return Value::ofBool(*asInt() != 0);
-            if (type() == ValueType::String) return fromText(ValueType::Bool, *asString());
+            if (type() == ValueType::String) return fromText(ValueType::Bool, *stringContent());
             return std::nullopt;
         }
         case ValueType::Double: {
             if (type() == ValueType::Int) return Value::ofDouble(static_cast<double>(*asInt()));
-            if (type() == ValueType::String) return fromText(ValueType::Double, *asString());
+            if (type() == ValueType::String) return fromText(ValueType::Double, *stringContent());
             return std::nullopt;
         }
         case ValueType::Empty:
             return Value();
     }
     return std::nullopt;
+}
+
+bool Value::operator==(const Value& other) const {
+    const ValueType kind = type();
+    if (kind != other.type()) return false;
+    switch (kind) {
+        case ValueType::Empty: return true;
+        case ValueType::Int: return *asInt() == *other.asInt();
+        case ValueType::Bool: return *asBool() == *other.asBool();
+        case ValueType::Double: return *asDouble() == *other.asDouble();
+        case ValueType::String: return *stringContent() == *other.stringContent();
+        case ValueType::Bytes: {
+            const ByteView a = *bytesContent();
+            const ByteView b = *other.bytesContent();
+            if (a.size != b.size) return false;
+            return a.size == 0 || std::memcmp(a.data, b.data, a.size) == 0;
+        }
+    }
+    return false;
 }
 
 }  // namespace starlink

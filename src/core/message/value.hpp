@@ -5,11 +5,21 @@
 // fields need: integers (all wire widths normalise to Int), text, raw bytes,
 // booleans and doubles. Everything is convertible to/from a canonical text
 // form because translation logic and the XML projection move content as text.
+//
+// String and Bytes content comes in two representations: owning
+// (std::string / Bytes) and borrowed views (std::string_view / ByteView)
+// over a session-scoped RxArena. type() and the accessors erase the
+// difference -- a view-backed Value behaves exactly like an owning one --
+// so the zero-copy parse path and the copying interpreter oracles produce
+// values that compare equal. Views are only valid while their arena is;
+// anything that outlives the session (trace rings, stored histories) must
+// call materialize() first.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <variant>
 
 #include "common/bytes.hpp"
@@ -20,6 +30,12 @@ enum class ValueType { Empty, Int, String, Bytes, Bool, Double };
 
 const char* valueTypeName(ValueType type);
 std::optional<ValueType> valueTypeFromName(std::string_view name);
+
+/// A borrowed span of raw bytes (the Bytes analogue of std::string_view).
+struct ByteView {
+    const std::uint8_t* data = nullptr;
+    std::size_t size = 0;
+};
 
 class Value {
 public:
@@ -36,15 +52,41 @@ public:
     static Value ofBool(bool v) { return Value(v); }
     static Value ofDouble(double v) { return Value(v); }
 
+    /// Borrowed content: type() reports String/Bytes, no heap allocation.
+    /// The caller guarantees the referenced storage outlives the Value.
+    static Value ofView(std::string_view v) {
+        Value out;
+        out.data_ = v;
+        return out;
+    }
+    static Value ofByteView(ByteView v) {
+        Value out;
+        out.data_ = v;
+        return out;
+    }
+
     ValueType type() const;
     bool isEmpty() const { return type() == ValueType::Empty; }
 
-    // Exact accessors: nullopt when the stored type differs.
+    /// True when the content is borrowed from an arena rather than owned.
+    bool isView() const { return data_.index() == 6 || data_.index() == 7; }
+
+    /// Converts borrowed content into owned content in place; owning values
+    /// are untouched. Required before the Value outlives its arena.
+    void materialize();
+
+    // Exact accessors: nullopt when the stored type differs. View-backed
+    // values answer through their logical type (String/Bytes), copying.
     std::optional<std::int64_t> asInt() const;
     std::optional<std::string> asString() const;
     std::optional<Bytes> asBytes() const;
     std::optional<bool> asBool() const;
     std::optional<double> asDouble() const;
+
+    /// Zero-copy peek at String content (owned or view); nullopt otherwise.
+    std::optional<std::string_view> stringContent() const;
+    /// Zero-copy peek at Bytes content (owned or view); nullopt otherwise.
+    std::optional<ByteView> bytesContent() const;
 
     /// Canonical text form: Int -> decimal, Bytes -> hex, Bool -> true/false,
     /// Double -> shortest round-trippable, Empty -> "".
@@ -59,10 +101,15 @@ public:
     /// nullopt when no lossless-ish conversion applies.
     std::optional<Value> coerceTo(ValueType target) const;
 
-    bool operator==(const Value& other) const { return data_ == other.data_; }
+    /// Content equality: a view-backed value equals an owning value with the
+    /// same bytes (the differential fuzz harness compares plan output, which
+    /// may borrow, against interpreter output, which always owns).
+    bool operator==(const Value& other) const;
 
 private:
-    std::variant<std::monostate, std::int64_t, std::string, Bytes, bool, double> data_;
+    std::variant<std::monostate, std::int64_t, std::string, Bytes, bool, double,
+                 std::string_view, ByteView>
+        data_;
 };
 
 }  // namespace starlink

@@ -31,12 +31,17 @@
 //   starlinkd metrics <case>            run a few lookups with telemetry on and
 //                                       print the Prometheus text exposition
 //   starlinkd serve [--shards N] [--sessions M] [--chaos] [--loss P]
-//                   [--seed S] [--metrics]
+//                   [--seed S] [--metrics] [--max-sessions Q] [--idle-timeout MS]
 //                                       drive a mixed-direction session workload
 //                                       through the sharded engine (N threads,
 //                                       hash-by-key dispatch) and report per-
 //                                       shard accounting plus the aggregate
-//                                       virtual-time throughput
+//                                       virtual-time throughput. --max-sessions
+//                                       bounds each shard's admission queue
+//                                       (excess jobs are shed with
+//                                       engine.overload); --idle-timeout evicts
+//                                       sessions with no message movement for
+//                                       MS milliseconds (engine.idle-timeout)
 //
 // The demo topology is always: legacy client at 10.0.0.1, legacy service at
 // 10.0.0.3, bridge at 10.0.0.9, on the simulated network over virtual time.
@@ -81,7 +86,8 @@ int usage() {
                  "       starlinkd trace <case> [--out file.json]\n"
                  "       starlinkd metrics <case>\n"
                  "       starlinkd serve [--shards N] [--sessions M] [--chaos] "
-                 "[--loss P] [--seed S] [--metrics]\n"
+                 "[--loss P] [--seed S] [--metrics] [--max-sessions Q] "
+                 "[--idle-timeout MS]\n"
                  "cases: slp-to-upnp slp-to-bonjour upnp-to-slp upnp-to-bonjour "
                  "bonjour-to-upnp bonjour-to-slp\n";
     return 2;
@@ -632,13 +638,15 @@ int cmdMetrics(const std::string& caseName) {
 /// merged and printed as Prometheus text exposition (stdout stays pure
 /// exposition, the report moves to stderr).
 int cmdServe(int shards, int sessions, bool chaos, double loss, std::uint64_t seed,
-             bool printMetrics) {
+             bool printMetrics, std::size_t maxSessions, int idleTimeoutMs) {
     if (printMetrics) telemetry::setEnabled(true);
     engine::ShardEngineOptions options;
     options.shards = shards;
     options.baseSeed = seed;
     options.chaos = chaos;
     options.chaosLoss = loss;
+    options.maxPendingPerShard = maxSessions;
+    if (idleTimeoutMs > 0) options.engine.idleTimeout = net::ms(idleTimeoutMs);
     if (chaos) {
         options.engine.receiveTimeout = net::ms(7000);
         options.engine.maxRetransmits = 5;
@@ -659,8 +667,10 @@ int cmdServe(int shards, int sessions, bool chaos, double loss, std::uint64_t se
     std::size_t discovered = 0;
     std::size_t bridgeSessions = 0;
     std::size_t completed = 0;
+    std::size_t shedJobs = 0;
     for (const auto& result : results) {
         if (result.discovered) ++discovered;
+        if (result.shed) ++shedJobs;
         bridgeSessions += result.outcomes.size();
         for (const auto& outcome : result.outcomes) {
             if (outcome.completed) ++completed;
@@ -669,7 +679,8 @@ int cmdServe(int shards, int sessions, bool chaos, double loss, std::uint64_t se
     for (const auto& shard : shardEngine.reports()) {
         report << "shard " << shard.shard << ": " << shard.jobs << " jobs, "
                << shard.bridgeSessions << " bridge sessions (" << shard.completedSessions
-               << " completed), " << shard.discovered << " discovered, busy "
+               << " completed), " << shard.discovered << " discovered, " << shard.shed
+               << " shed, busy "
                << std::chrono::duration_cast<std::chrono::milliseconds>(shard.busyVirtual)
                       .count()
                << " ms virtual\n";
@@ -677,7 +688,12 @@ int cmdServe(int shards, int sessions, bool chaos, double loss, std::uint64_t se
     report << "served " << results.size() << " sessions on " << shards
            << (shards == 1 ? " shard" : " shards") << (chaos ? " under chaos" : "")
            << ": " << discovered << " discovered, " << completed << "/" << bridgeSessions
-           << " bridge sessions completed\n";
+           << " bridge sessions completed";
+    if (shedJobs > 0) {
+        report << ", " << shedJobs << " shed ("
+               << errc::to_string(errc::ErrorCode::EngineOverload) << ")";
+    }
+    report << "\n";
     report << "virtual makespan "
            << std::chrono::duration_cast<std::chrono::milliseconds>(shardEngine.makespan())
                   .count()
@@ -794,6 +810,8 @@ int main(int argc, char** argv) {
                 double loss = 0.05;
                 std::uint64_t seed = 0x5747524c494e4bULL;
                 bool printMetrics = false;
+                long long maxSessions = 0;  // 0 = unbounded admission
+                int idleTimeoutMs = 0;      // 0 = no idle eviction
                 try {
                     for (int i = 2; i < argc; ++i) {
                         const std::string flag = argv[i];
@@ -803,18 +821,22 @@ int main(int argc, char** argv) {
                         else if (flag == "--sessions" && i + 1 < argc) sessions = std::stoi(argv[++i]);
                         else if (flag == "--loss" && i + 1 < argc) loss = std::stod(argv[++i]);
                         else if (flag == "--seed" && i + 1 < argc) seed = std::stoull(argv[++i]);
+                        else if (flag == "--max-sessions" && i + 1 < argc) maxSessions = std::stoll(argv[++i]);
+                        else if (flag == "--idle-timeout" && i + 1 < argc) idleTimeoutMs = std::stoi(argv[++i]);
                         else return usage();
                     }
                 } catch (const std::exception&) {
                     std::cerr << "starlinkd: serve expects numeric option values\n";
                     return usage();
                 }
-                if (shards < 1 || shards > 64 || sessions < 1 || loss < 0.0 || loss > 1.0) {
+                if (shards < 1 || shards > 64 || sessions < 1 || loss < 0.0 || loss > 1.0 ||
+                    maxSessions < 0 || idleTimeoutMs < 0) {
                     std::cerr << "starlinkd: serve: shards in [1,64], sessions >= 1, "
-                                 "loss in [0,1]\n";
+                                 "loss in [0,1], max-sessions >= 0, idle-timeout >= 0\n";
                     return usage();
                 }
-                return cmdServe(shards, sessions, chaos, loss, seed, printMetrics);
+                return cmdServe(shards, sessions, chaos, loss, seed, printMetrics,
+                                static_cast<std::size_t>(maxSessions), idleTimeoutMs);
             }
         }
         return usage();
