@@ -1,0 +1,153 @@
+// Recorder overhead harness: the flight recorder must be invisible when off
+// and cheap when on.
+//
+// The same deterministic chaos workload (mixed six-direction batch through a
+// single-shard engine, seeded loss) runs twice per pass:
+//
+//   session_ns_recorder_off    wall ns/session with recorderSessionBytes = 0
+//                              (the default-off configuration every capacity
+//                              and Fig 12(b) harness runs under)
+//   session_ns_recorder_on     wall ns/session with a 1 MiB per-session cap,
+//                              no postmortem spool -- steady-state recording
+//   recorder_overhead_pct      (on - off) / off * 100 over the medians
+//
+// The hard gate is BEHAVIOURAL, not temporal: every pass asserts that the
+// recorder-on run produces bit-identical SessionOutcome vectors to the
+// recorder-off run (same codes, causes, message counts, retransmits). Wall
+// time is reported for bench_compare.py trend lines but not gated here --
+// the CI capacity/Fig-12(b) jobs gate the recorder-off path against their
+// committed baselines, which is where a recorder-off regression would show.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/bridge/models.hpp"
+#include "core/engine/shard_engine.hpp"
+#include "stats.hpp"
+
+namespace {
+
+using namespace starlink;
+using bridge::models::kAllCases;
+
+constexpr int kJobs = 120;
+constexpr int kWarmupPasses = 1;
+constexpr int kMeasurePasses = 5;
+constexpr std::size_t kRecorderBytes = 1024 * 1024;
+
+struct PassResult {
+    std::vector<engine::SessionOutcome> outcomes;
+    double nsPerSession = 0;
+};
+
+/// One full workload at the given recorder cap. Everything else -- seed,
+/// chaos profile, job mix -- is pinned, so the outcome vector is a pure
+/// function of `recorderBytes` (and must not be a function of it at all).
+PassResult runPass(std::size_t recorderBytes) {
+    engine::ShardEngineOptions options;
+    options.shards = 1;
+    options.baseSeed = 1234;
+    options.chaos = true;
+    options.chaosLoss = 0.25;
+    options.engine.receiveTimeout = net::ms(7000);
+    options.engine.maxRetransmits = 5;
+    options.engine.retransmitBackoff = 1.5;
+    options.engine.retransmitJitter = net::ms(100);
+    options.engine.sessionTimeout = net::ms(30000);
+    options.engine.recorderSessionBytes = recorderBytes;
+    engine::ShardEngine shardEngine(options);
+    for (int i = 0; i < kJobs; ++i) {
+        engine::SessionJob job;
+        job.caseId = kAllCases[static_cast<std::size_t>(i) % 6];
+        job.key = "rec-" + std::to_string(i);
+        shardEngine.submit(job);
+    }
+    const auto begin = std::chrono::steady_clock::now();
+    const auto& results = shardEngine.run();
+    const auto end = std::chrono::steady_clock::now();
+
+    PassResult pass;
+    for (const auto& result : results) {
+        for (const auto& outcome : result.outcomes) pass.outcomes.push_back(outcome);
+    }
+    pass.nsPerSession =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin).count()) /
+        static_cast<double>(kJobs);
+    return pass;
+}
+
+bench::JsonRow makeRow(const std::string& name, const bench::Summary& summary) {
+    return {name, summary};
+}
+
+bench::JsonRow makeScalarRow(const std::string& name, double value, std::size_t samples) {
+    bench::Summary summary;
+    summary.minMs = summary.medianMs = summary.maxMs = value;
+    summary.samples = samples;
+    return {name, summary};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) json = true;
+    }
+
+    std::printf("Recorder overhead: %d mixed chaos sessions, recorder off vs 1 MiB cap\n", kJobs);
+
+    for (int i = 0; i < kWarmupPasses; ++i) {
+        runPass(0);
+        runPass(kRecorderBytes);
+    }
+
+    std::vector<double> offNs;
+    std::vector<double> onNs;
+    bool pass = true;
+    for (int i = 0; i < kMeasurePasses; ++i) {
+        const PassResult off = runPass(0);
+        const PassResult on = runPass(kRecorderBytes);
+        offNs.push_back(off.nsPerSession);
+        onNs.push_back(on.nsPerSession);
+        if (off.outcomes != on.outcomes) {
+            std::fprintf(stderr,
+                         "FAIL: pass %d -- recording changed session outcomes "
+                         "(%zu vs %zu outcomes)\n",
+                         i, off.outcomes.size(), on.outcomes.size());
+            pass = false;
+        }
+    }
+
+    const bench::Summary offSummary = bench::summarize(offNs);
+    const bench::Summary onSummary = bench::summarize(onNs);
+    const double overheadPct =
+        offSummary.medianMs > 0
+            ? 100.0 * (onSummary.medianMs - offSummary.medianMs) / offSummary.medianMs
+            : 0.0;
+
+    std::printf("%-28s %12.0f / %12.0f / %12.0f ns/session (min/med/max)\n", "recorder off",
+                offSummary.minMs, offSummary.medianMs, offSummary.maxMs);
+    std::printf("%-28s %12.0f / %12.0f / %12.0f ns/session (min/med/max)\n", "recorder on (1 MiB)",
+                onSummary.minMs, onSummary.medianMs, onSummary.maxMs);
+    std::printf("%-28s %11.1f%%  (median-over-median; informational)\n", "recording overhead",
+                overheadPct);
+    std::printf("%-28s %12s\n", "outcome equality",
+                pass ? "identical across every pass" : "DIVERGED");
+
+    if (json) {
+        std::vector<bench::JsonRow> rows;
+        rows.push_back(makeRow("session_ns_recorder_off", offSummary));
+        rows.push_back(makeRow("session_ns_recorder_on", onSummary));
+        rows.push_back(makeScalarRow("recorder_overhead_pct", overheadPct,
+                                     static_cast<std::size_t>(kMeasurePasses)));
+        if (!bench::writeJson("BENCH_recorder.json", "recorder_overhead",
+                              "wall ns/session (pct for the overhead row)", rows)) {
+            return 1;
+        }
+    }
+    return pass ? 0 : 1;
+}

@@ -265,6 +265,43 @@ const char* caseName(Case c) {
     return "?";
 }
 
+const char* caseSlug(Case c) {
+    switch (c) {
+        case Case::SlpToUpnp: return "slp-to-upnp";
+        case Case::SlpToBonjour: return "slp-to-bonjour";
+        case Case::UpnpToSlp: return "upnp-to-slp";
+        case Case::UpnpToBonjour: return "upnp-to-bonjour";
+        case Case::BonjourToUpnp: return "bonjour-to-upnp";
+        case Case::BonjourToSlp: return "bonjour-to-slp";
+    }
+    return "?";
+}
+
+std::optional<Case> caseBySlug(const std::string& slug) {
+    for (Case c : kAllCases) {
+        if (slug == caseSlug(c)) return c;
+    }
+    return std::nullopt;
+}
+
+std::uint64_t modelSetIdentity(const DeploymentSpec& spec) {
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+    auto mix = [&h](const std::string& s) {
+        for (unsigned char c : s) {
+            h ^= c;
+            h *= 1099511628211ull;
+        }
+        h ^= 0xff;  // document separator so concatenations don't collide
+        h *= 1099511628211ull;
+    };
+    for (const ProtocolModel& p : spec.protocols) {
+        mix(p.mdlXml);
+        mix(p.automatonXml);
+    }
+    mix(spec.bridgeXml);
+    return h;
+}
+
 namespace {
 
 std::string assignment(const std::string& transform, const std::string& targetState,

@@ -14,6 +14,8 @@
 // mDNS s40-s42.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,14 @@ inline constexpr Case kAllCases[] = {Case::SlpToUpnp,     Case::SlpToBonjour,
 
 const char* caseName(Case c);
 
+/// Stable kebab-case identifier ("slp-to-upnp"); matches the merged-automaton
+/// name in the bridge spec, so it doubles as the `bridge` metric label and the
+/// CLI case argument. caseName() is the DISPLAY name ("SLP to UPnP") -- never
+/// use it as an identifier.
+const char* caseSlug(Case c);
+/// Inverse of caseSlug(); nullopt for unknown slugs.
+std::optional<Case> caseBySlug(const std::string& slug);
+
 /// One protocol's pair of models.
 struct ProtocolModel {
     std::string mdlXml;
@@ -62,6 +72,11 @@ struct DeploymentSpec {
     std::vector<ProtocolModel> protocols;
     std::string bridgeXml;
 };
+
+/// Order-sensitive FNV-1a fingerprint over every model document in the spec
+/// (each protocol's MDL + automaton, then the bridge XML). Postmortem bundles
+/// carry it so replay can refuse to re-inject a capture into different models.
+std::uint64_t modelSetIdentity(const DeploymentSpec& spec);
 
 /// Models for a case. `bridgeHost` parameterises the LOCATION the bridge
 /// advertises when it impersonates a UPnP device (cases 3 and 4);

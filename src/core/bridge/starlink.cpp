@@ -71,7 +71,11 @@ DeployedBridge& Starlink::deploy(const models::DeploymentSpec& spec, const std::
                         "translation: " + join(uncovered, ", "));
     }
 
-    // 4. Wire the engines and go live.
+    // 4. Wire the engines and go live. Postmortem provenance defaults: the
+    //    deployment's model fingerprint and host, unless the caller stamped
+    //    its own.
+    if (options.modelIdentity == 0) options.modelIdentity = models::modelSetIdentity(spec);
+    if (options.bridgeHost.empty()) options.bridgeHost = host;
     auto bridge = std::unique_ptr<DeployedBridge>(new DeployedBridge());
     bridge->network_ = std::make_unique<engine::NetworkEngine>(
         network_, host,
@@ -121,6 +125,7 @@ DeployedBridge& Starlink::deploySynthesized(const models::ProtocolModel& served,
     codecs.emplace(servedAutomaton->name(), std::move(servedCodec));
     codecs.emplace(queriedAutomaton->name(), std::move(queriedCodec));
 
+    if (options.bridgeHost.empty()) options.bridgeHost = host;
     auto bridge = std::unique_ptr<DeployedBridge>(new DeployedBridge());
     bridge->network_ = std::make_unique<engine::NetworkEngine>(
         network_, host,

@@ -26,7 +26,9 @@ AutomataEngine::AutomataEngine(std::shared_ptr<merge::MergedAutomaton> merged,
       sessions_(options.sessionHistoryCapacity),
       trace_(options.traceCapacity),
       spans_(options.spanCapacity),
-      tracer_(spans_) {
+      tracer_(spans_),
+      recorder_(options.recorderSessionBytes) {
+    retrySeedInEffect_ = options_.retrySeed;
     for (const auto& component : merged_->components()) {
         if (!codecs_.contains(component->name())) {
             throw SpecError(errc::ErrorCode::EngineNoCodec,
@@ -51,13 +53,26 @@ AutomataEngine::AutomataEngine(std::shared_ptr<merge::MergedAutomaton> merged,
     metrics_.translationMs = &registry.histogram(
         named("starlink_engine_translation_ms"),
         {50, 100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600});
+    // Bookkeeping previously invisible from the outside, refreshed at every
+    // session boundary (gauges, not counters: they report current state).
+    metrics_.spansDropped = &registry.gauge(named("starlink_telemetry_spans_dropped"));
+    metrics_.historyEvicted =
+        &registry.gauge(named("starlink_engine_session_history_evicted"));
+    metrics_.arenaBytes = &registry.gauge(named("starlink_mdl_rx_arena_reserved_bytes"));
+    metrics_.arenaChunks = &registry.gauge(named("starlink_mdl_rx_arena_chunks"));
+    metrics_.recorderBytes =
+        &registry.gauge(named("starlink_telemetry_recorder_reserved_bytes"));
 
     // Let the network engine hang its tcp-connect legs onto this engine's
-    // session tree.
+    // session tree, and mirror its wire traffic into the flight recorder.
     network_.setTracer(&tracer_);
+    network_.setRecorder(&recorder_);
 }
 
-AutomataEngine::~AutomataEngine() { network_.setTracer(nullptr); }
+AutomataEngine::~AutomataEngine() {
+    network_.setTracer(nullptr);
+    network_.setRecorder(nullptr);
+}
 
 telemetry::Counter* AutomataEngine::abortedCounter(errc::ErrorCode code) {
     const auto it = abortedByCode_.find(code);
@@ -190,6 +205,12 @@ void AutomataEngine::onNetworkMessage(std::uint64_t colorK, const Bytes& payload
         liveSession_ = SessionRecord{};
         liveSession_.firstReceive = network_.network().now();
         stateEnteredAt_ = liveSession_.firstReceive;
+        ++sessionOrdinal_;
+        // The jitter generator's position at session start: a postmortem
+        // bundle re-derives it as (seed, draws burned).
+        sessionStartRetryDraws_ = retryDrawsSinceSeed_;
+        recorder_.beginSession(sessionOrdinal_,
+                               liveSession_.firstReceive.time_since_epoch().count());
         if (tracer_.enabled()) {
             const telemetry::SpanId root = tracer_.beginSession(liveSession_.firstReceive);
             tracer_.attr(root, "bridge", merged_->name());
@@ -227,6 +248,13 @@ void AutomataEngine::onNetworkMessage(std::uint64_t colorK, const Bytes& payload
     }
     // Only an accepted message establishes the reply route for its color.
     network_.notePeer(colorK, from);
+    if (recorder_.inSession()) {
+        const std::int64_t ts = network_.network().now().time_since_epoch().count();
+        recorder_.recordRx(ts, colorK, from.toString(), network_.endpointAddress(colorK),
+                           payload);
+        recorder_.recordTransition(ts, component->name(), transition->from, transition->to,
+                                   telemetry::WireEvent::kActionReceive, message->type());
+    }
 
     // Store the instance at the entered state (see header note) and advance.
     // The stored copy may hold arena views -- legal, it dies at the session
@@ -368,6 +396,11 @@ void AutomataEngine::takeDelta(const merge::DeltaTransition& delta) {
     }
     trace_.record(TraceEvent{merged_->automatonOf(delta.from)->name(), delta.from, delta.to,
                              std::nullopt, AbstractMessage()});
+    if (recorder_.inSession()) {
+        recorder_.recordTransition(network_.network().now().time_since_epoch().count(),
+                                   merged_->automatonOf(delta.from)->name(), delta.from,
+                                   delta.to, telemetry::WireEvent::kActionDelta, "");
+    }
     STARLINK_LOG(Debug, "engine") << "delta " << delta.from << " -> " << delta.to;
     enterState(delta.to);
     lastWasDelta_ = true;
@@ -406,6 +439,10 @@ void AutomataEngine::performSend(const Transition& transition,
     ColoredAutomaton* component = merged_->automatonOf(transition.from);
     const bool tracing = tracer_.inSession() && translateSpan != 0;
     const net::TimePoint now = network_.network().now();
+    if (recorder_.inSession()) {
+        recorder_.recordTranslate(now.time_since_epoch().count(), transition.from,
+                                  transition.messageType);
+    }
 
     std::uint64_t wall0 = tracing ? telemetry::wallNowNs() : 0;
     AbstractMessage outgoing = buildOutgoing(transition.from, transition.messageType);
@@ -425,6 +462,14 @@ void AutomataEngine::performSend(const Transition& transition,
         wall0 = telemetry::wallNowNs();
     }
     network_.send(component->color(), composeScratch_);
+    if (recorder_.inSession()) {
+        // The Tx event itself is recorded by the network engine at the
+        // actual wire moment (live send vs backlog flush); here only the
+        // automaton step.
+        recorder_.recordTransition(now.time_since_epoch().count(), component->name(),
+                                   transition.from, transition.to,
+                                   telemetry::WireEvent::kActionSend, transition.messageType);
+    }
     if (tracing) {
         const telemetry::SpanId sendSpan =
             tracer_.instant("send", now, telemetry::wallSinceNs(wall0), translateSpan);
@@ -564,6 +609,7 @@ void AutomataEngine::armRetransmit() {
         static_cast<double>(deadline.count()) * scale)};
     if (options_.retransmitJitter.count() > 0) {
         wait += net::Duration{retryRng_.range(0, options_.retransmitJitter.count())};
+        ++retryDrawsSinceSeed_;  // range() consumes exactly one draw
     }
     retransmitEvent_ = network_.network().scheduler().schedule(wait, [this] {
         retransmitEvent_.reset();
@@ -631,6 +677,7 @@ void AutomataEngine::completeSession(bool completed, FailureCause cause, errc::E
                 liveSession_.translationTime())
                 .count());
     }
+    const std::uint64_t spanSession = tracer_.inSession() ? tracer_.sessionOrdinal() : 0;
     if (tracer_.inSession()) {
         const net::TimePoint now = network_.network().now();
         if (waitSpan_ != 0) {
@@ -654,6 +701,59 @@ void AutomataEngine::completeSession(bool completed, FailureCause cause, errc::E
         tracer_.endSession(now);
     }
     waitSpan_ = 0;
+    if (recorder_.inSession()) {
+        recorder_.endSession(network_.network().now().time_since_epoch().count(),
+                             errc::to_error_code(liveSession_.code),
+                             static_cast<std::uint8_t>(liveSession_.cause),
+                             liveSession_.completed, liveSession_.messagesIn,
+                             liveSession_.messagesOut, liveSession_.retransmits);
+        // Any non-zero terminal code ships a postmortem bundle to the spool:
+        // the captured events plus everything replay needs to re-run them.
+        if (!liveSession_.completed && options_.postmortemSpool != nullptr &&
+            recorder_.last() != nullptr) {
+            const telemetry::FlightRecorder::SessionLog& log = *recorder_.last();
+            telemetry::PostmortemBundle bundle;
+            bundle.bridge = merged_->name();
+            bundle.caseSlug = options_.recorderCase;
+            bundle.bridgeHost = options_.bridgeHost;
+            bundle.shard = options_.shardId;
+            bundle.sessionOrdinal = sessionOrdinal_;
+            bundle.sessionSeed = sessionSeed_;
+            bundle.retrySeed = retrySeedInEffect_;
+            bundle.retryDraws = sessionStartRetryDraws_;
+            bundle.modelIdentity = options_.modelIdentity;
+            bundle.abortCode = errc::to_error_code(liveSession_.code);
+            bundle.cause = static_cast<std::uint8_t>(liveSession_.cause);
+            bundle.processingDelayUs = options_.processingDelay.count();
+            bundle.sessionTimeoutUs = options_.sessionTimeout.count();
+            bundle.receiveTimeoutUs = options_.receiveTimeout.count();
+            bundle.retransmitJitterUs = options_.retransmitJitter.count();
+            bundle.idleTimeoutUs = options_.idleTimeout.count();
+            bundle.tcpConnectRetryDelayUs = options_.tcpConnectRetryDelay.count();
+            bundle.tcpConnectRetryMaxDelayUs = options_.tcpConnectRetryMaxDelay.count();
+            bundle.maxRetransmits = options_.maxRetransmits;
+            bundle.tcpConnectAttempts = options_.tcpConnectAttempts;
+            bundle.retransmitBackoffMicros = static_cast<std::int64_t>(
+                options_.retransmitBackoff * 1e6 + 0.5);
+            bundle.tcpMaxBacklogBytes = options_.tcpMaxBacklogBytes;
+            bundle.truncated = log.truncated;
+            bundle.droppedEvents = log.droppedEvents;
+            bundle.events = log.events;
+            if (spanSession != 0) {
+                for (telemetry::Span& span : spans_.snapshot()) {
+                    if (span.session == spanSession) bundle.spans.push_back(std::move(span));
+                }
+            }
+            options_.postmortemSpool->write(bundle);
+        }
+    }
+    if (telemetry::enabled()) {
+        metrics_.spansDropped->set(static_cast<std::int64_t>(spans_.dropped()));
+        metrics_.historyEvicted->set(static_cast<std::int64_t>(sessions_.evicted()));
+        metrics_.arenaBytes->set(static_cast<std::int64_t>(rxArena_.bytesReserved()));
+        metrics_.arenaChunks->set(static_cast<std::int64_t>(rxArena_.chunkCount()));
+        metrics_.recorderBytes->set(static_cast<std::int64_t>(recorder_.bytesReserved()));
+    }
     if (timeoutEvent_) {
         network_.network().scheduler().cancel(*timeoutEvent_);
         timeoutEvent_.reset();

@@ -46,6 +46,7 @@
 #include "core/mdl/rx_arena.hpp"
 #include "core/merge/merged_automaton.hpp"
 #include "core/telemetry/metrics.hpp"
+#include "core/telemetry/recorder.hpp"
 #include "core/telemetry/span.hpp"
 
 namespace starlink::engine {
@@ -110,6 +111,21 @@ struct EngineOptions {
     /// a cache line across threads; shards are merged at export
     /// (MetricsRegistry::mergeFrom). The registry must outlive the engine.
     telemetry::MetricsRegistry* metrics = nullptr;
+    /// Per-session byte cap of the flight recorder's wire-event log. 0 (the
+    /// default) disables recording entirely -- same contract as spanCapacity.
+    std::size_t recorderSessionBytes = 0;
+    /// Where abort postmortem bundles go. nullptr = don't spool (the recorder
+    /// ring is still queryable in-process). Must outlive the engine.
+    telemetry::PostmortemSpool* postmortemSpool = nullptr;
+    /// Provenance stamped into postmortem bundles: the models::caseSlug when
+    /// deployed via forCase (else ""), the owning shard, and the model-set
+    /// fingerprint (filled by Starlink::deploy when left 0).
+    std::string recorderCase;
+    std::int32_t shardId = 0;
+    std::uint64_t modelIdentity = 0;
+    /// Host the bridge is deployed at (filled by Starlink::deploy when left
+    /// empty); bundles carry it so replay rebuilds the same topology.
+    std::string bridgeHost;
 };
 
 // FailureCause, SessionRecord and the SessionHistory ring moved to
@@ -152,7 +168,34 @@ public:
     /// sharded driver calls this before every session so a session's jitter
     /// draws depend only on its own seed, never on how many retransmissions
     /// earlier sessions of the pooled engine burned.
-    void reseedRetry(std::uint64_t seed) { retryRng_ = Rng(seed); }
+    void reseedRetry(std::uint64_t seed) {
+        retryRng_ = Rng(seed);
+        retrySeedInEffect_ = seed;
+        retryDrawsSinceSeed_ = 0;
+    }
+
+    /// Records the driver-derived session seed for postmortem provenance
+    /// (the engine never consumes it itself).
+    void noteSessionSeed(std::uint64_t seed) { sessionSeed_ = seed; }
+
+    /// Advances the jitter generator by `draws` without using the values --
+    /// replay's tool for re-aligning a pooled engine's rng to the state it
+    /// had when the captured session started.
+    void burnRetryDraws(std::uint64_t draws) {
+        for (std::uint64_t i = 0; i < draws; ++i) retryRng_.next();
+        retryDrawsSinceSeed_ += draws;
+    }
+
+    /// The wire-level flight recorder (disabled unless
+    /// EngineOptions::recorderSessionBytes > 0).
+    const telemetry::FlightRecorder& recorder() const { return recorder_; }
+
+    /// Codec serving a component color; nullptr for unknown colors. Lets the
+    /// postmortem printer decode captured payloads per leg.
+    std::shared_ptr<mdl::MessageCodec> codecForColor(std::uint64_t k) const {
+        const automata::ColoredAutomaton* component = componentByColor(k);
+        return component ? codecFor(*component) : nullptr;
+    }
 
 private:
     void onNetworkMessage(std::uint64_t colorK, const Bytes& payload, const net::Address& from);
@@ -204,7 +247,15 @@ private:
 
     // Retransmission state for the current wait. The engine keeps the last
     // encoded request so a lapsed reply deadline re-sends identical bytes.
+    // retrySeedInEffect_/retryDrawsSinceSeed_ shadow the generator's exact
+    // position so a postmortem bundle can re-derive it (pooled engines are
+    // not reseeded per session outside the sharded driver).
     Rng retryRng_;
+    std::uint64_t retrySeedInEffect_ = 0;
+    std::uint64_t retryDrawsSinceSeed_ = 0;
+    std::uint64_t sessionStartRetryDraws_ = 0;
+    std::uint64_t sessionSeed_ = 0;
+    std::uint64_t sessionOrdinal_ = 0;
     std::optional<net::EventId> retransmitEvent_;
     std::optional<Bytes> lastSentPayload_;
     std::uint64_t lastSentColor_ = 0;
@@ -231,6 +282,7 @@ private:
     // telemetry::enabled().
     telemetry::SpanBuffer spans_;
     telemetry::SessionTracer tracer_;
+    telemetry::FlightRecorder recorder_;
     telemetry::SpanId waitSpan_ = 0;
     net::TimePoint stateEnteredAt_{};
     struct EngineMetrics {
@@ -239,6 +291,13 @@ private:
         telemetry::Counter* messagesOut = nullptr;
         telemetry::Counter* retransmits = nullptr;
         telemetry::Histogram* translationMs = nullptr;
+        // Previously-invisible accounting, refreshed at session boundaries:
+        // span-ring drops, history evictions, arena/recorder memory held.
+        telemetry::Gauge* spansDropped = nullptr;
+        telemetry::Gauge* historyEvicted = nullptr;
+        telemetry::Gauge* arenaBytes = nullptr;
+        telemetry::Gauge* arenaChunks = nullptr;
+        telemetry::Gauge* recorderBytes = nullptr;
     };
     EngineMetrics metrics_;
     /// Abort counters labeled by exact taxonomy code, resolved lazily on the

@@ -42,7 +42,22 @@ void NetworkEngine::endConnectSpan(Endpoint& endpoint, const char* result, int a
 
 void NetworkEngine::reportFault(std::uint64_t k, NetworkFault fault, const std::string& detail) {
     STARLINK_LOG(Warn, "net-engine") << "color " << k << " session fault: " << detail;
+    if (recorder_ != nullptr && recorder_->inSession()) {
+        recorder_->recordFault(network_.now().time_since_epoch().count(), k,
+                               fault == NetworkFault::ConnectRefused
+                                   ? telemetry::WireEvent::kFaultConnectRefused
+                                   : telemetry::WireEvent::kFaultPeerClosed,
+                               detail);
+    }
     if (faultHandler_) faultHandler_(k, fault, detail);
+}
+
+std::string NetworkEngine::endpointAddress(std::uint64_t k) const {
+    const auto it = endpoints_.find(k);
+    if (it == endpoints_.end()) return {};
+    if (it->second.udp) return it->second.udp->localAddress().toString();
+    if (it->second.listener) return it->second.listener->localAddress().toString();
+    return {};
 }
 
 /// Wires data/close callbacks on a live connection and makes it the
@@ -142,6 +157,9 @@ void NetworkEngine::send(std::uint64_t k, const Bytes& payload) {
             endpoint.udp->sendTo(net::Address{*host, static_cast<std::uint16_t>(*port)},
                                  payload);
         }
+        if (recorder_ != nullptr && recorder_->inSession()) {
+            recorder_->recordTx(network_.now().time_since_epoch().count(), k, payload);
+        }
         noteSent(endpoint, payload.size());
         return;
     }
@@ -151,6 +169,9 @@ void NetworkEngine::send(std::uint64_t k, const Bytes& payload) {
     if (endpoint.tcp && endpoint.tcp->isOpen()) {
         try {
             endpoint.tcp->send(payload);
+            if (recorder_ != nullptr && recorder_->inSession()) {
+                recorder_->recordTx(network_.now().time_since_epoch().count(), k, payload);
+            }
             noteSent(endpoint, payload.size());
         } catch (const NetError& error) {
             // The connection raced a peer close; attribute it instead of
@@ -246,6 +267,11 @@ void NetworkEngine::startConnect(std::uint64_t k, const net::Address& target, in
             ep.tcpBacklogBytes = 0;
             if (telemetry::enabled()) connectFailures_->add();
             endConnectSpan(ep, "refused", attempt);
+            if (recorder_ != nullptr && recorder_->inSession()) {
+                recorder_->recordConnect(network_.now().time_since_epoch().count(), k,
+                                         target.toString(),
+                                         telemetry::WireEvent::kConnectRefused, attempt);
+            }
             reportFault(k, NetworkFault::ConnectRefused,
                         "tcp connect to " + target.toString() + " refused after " +
                             std::to_string(attempt) + " attempts");
@@ -254,12 +280,22 @@ void NetworkEngine::startConnect(std::uint64_t k, const net::Address& target, in
         ep.tcpConnecting = false;
         adoptConnection(k, connection, target);
         endConnectSpan(ep, "connected", attempt);
+        if (recorder_ != nullptr && recorder_->inSession()) {
+            recorder_->recordConnect(network_.now().time_since_epoch().count(), k,
+                                     target.toString(),
+                                     telemetry::WireEvent::kConnectConnected, attempt);
+        }
         std::vector<Bytes> backlog;
         backlog.swap(ep.tcpBacklog);
         ep.tcpBacklogBytes = 0;
         try {
             for (const Bytes& queued : backlog) {
                 connection->send(queued);
+                // Queued sends reach the wire only now: this is their tx
+                // moment as far as the capture is concerned.
+                if (recorder_ != nullptr && recorder_->inSession()) {
+                    recorder_->recordTx(network_.now().time_since_epoch().count(), k, queued);
+                }
                 noteSent(ep, queued.size());
             }
         } catch (const NetError& error) {

@@ -30,6 +30,7 @@
 #include "common/bytes.hpp"
 #include "core/automata/color.hpp"
 #include "core/telemetry/metrics.hpp"
+#include "core/telemetry/recorder.hpp"
 #include "core/telemetry/span.hpp"
 #include "net/sim_network.hpp"
 
@@ -115,6 +116,16 @@ public:
     /// (pass nullptr) before it dies.
     void setTracer(telemetry::SessionTracer* tracer) { tracer_ = tracer; }
 
+    /// Lends the automata engine's flight recorder so wire-level tx/connect/
+    /// fault events are captured at the moment they hit the (simulated)
+    /// network. Same lifetime contract as setTracer.
+    void setRecorder(telemetry::FlightRecorder* recorder) { recorder_ = recorder; }
+
+    /// The local address color k receives on ("host:port"): the udp socket's
+    /// or tcp listener's bound address, "" for client-mode tcp colors (their
+    /// rx arrives on an outbound connection with no stable local name).
+    std::string endpointAddress(std::uint64_t k) const;
+
 private:
     struct Endpoint {
         automata::Color color;
@@ -153,6 +164,7 @@ private:
     FaultHandler faultHandler_;
     std::map<std::uint64_t, Endpoint> endpoints_;
     telemetry::SessionTracer* tracer_ = nullptr;
+    telemetry::FlightRecorder* recorder_ = nullptr;
     telemetry::Counter* connectAttempts_ = nullptr;
     telemetry::Counter* connectFailures_ = nullptr;
     /// Payload bytes shed from pre-connect backlogs (cap overflow or

@@ -61,6 +61,12 @@ struct ShardEngine::Shard {
     std::map<int, std::unique_ptr<Island>> islands;  // keyed by (int)Case
     std::uint64_t useTick = 0;  // LRU clock for island eviction
     std::string error;  // first fatal error; empty == clean run
+    // Island span snapshots are rebased into a shard-local id/session space
+    // at harvest time (each island's tracer counts from 1), and shards are
+    // rebased again into the global space at merge -- so the merged trace
+    // has unique span ids and session ordinals, no dangling parents.
+    std::uint64_t spanIdBase = 0;
+    std::uint64_t sessionBase = 0;
 };
 
 ShardEngine::ShardEngine(ShardEngineOptions options) : options_(std::move(options)) {
@@ -107,6 +113,35 @@ bool ShardEngine::submit(SessionJob job) {
             .counter(telemetry::labeled("starlink_engine_sessions_shed_total",
                                         {{"shard", std::to_string(shard.index)}}))
             .add();
+        // Shed sessions never reach an engine, so account for them HERE the
+        // way completeSession would have: a per-code abort count and (when
+        // spans are on) a terminal session span -- 1-shard and N-shard runs
+        // then report overload identically to sessions aborted in-engine.
+        const char* slug = bridge::models::caseSlug(job.caseId);
+        shard.registry
+            .counter(telemetry::labeled(
+                "starlink_engine_sessions_aborted_total",
+                {{"bridge", slug},
+                 {"code",
+                  std::to_string(errc::to_error_code(errc::ErrorCode::EngineOverload))},
+                 {"cause", errc::to_string(errc::ErrorCode::EngineOverload)}}))
+            .add();
+        if (options_.engine.spanCapacity > 0) {
+            telemetry::Span span;
+            span.id = 0;  // synthetic: a unique id is assigned at merge
+            span.name = "session";
+            span.attrs = {
+                {"bridge", slug},
+                {"result", "shed"},
+                {"error_code",
+                 std::to_string(errc::to_error_code(errc::ErrorCode::EngineOverload))},
+                {"error_name", std::string(errc::to_string(errc::ErrorCode::EngineOverload))},
+                {"messages_in", "0"},
+                {"messages_out", "0"},
+                {"retransmits", "0"},
+                {"translation_us", "0"}};
+            shard.spans.push_back(std::move(span));
+        }
         SessionResult result;
         result.job = std::move(job);
         result.shard = shard.index;
@@ -138,8 +173,14 @@ const std::vector<SessionResult>& ShardEngine::run() {
     }
 
     // Stitch per-shard slices back into submission order and surface the
-    // merged artifacts. Single-threaded from here on.
+    // merged artifacts. Single-threaded from here on. Span ids and session
+    // ordinals -- already unique within a shard (harvest rebases per island)
+    // -- are rebased once more into one global space, so the merged trace
+    // never aliases two shards' sessions onto the same id.
     results_.resize(submitted_);
+    std::uint64_t idBase = 0;
+    std::uint64_t sessionBase = 0;
+    std::vector<telemetry::Span> synthetic;
     for (auto& shard : shards_) {
         if (!shard->error.empty()) {
             throw std::runtime_error("shard " + std::to_string(shard->index) + ": " +
@@ -149,7 +190,27 @@ const std::vector<SessionResult>& ShardEngine::run() {
             results_[submitIndex] = std::move(result);
         }
         reports_.push_back(shard->report);
-        spans_.insert(spans_.end(), shard->spans.begin(), shard->spans.end());
+        for (telemetry::Span& span : shard->spans) {
+            if (span.id == 0) {  // synthetic shed span: numbered below
+                synthetic.push_back(std::move(span));
+                continue;
+            }
+            span.id += idBase;
+            if (span.parent != 0) span.parent += idBase;
+            if (span.session != 0) span.session += sessionBase;
+            spans_.push_back(std::move(span));
+        }
+        idBase += shard->spanIdBase;
+        sessionBase += shard->sessionBase;
+        shard->spans.clear();
+    }
+    // Shed sessions' terminal spans (recorded with id 0 at submit time, no
+    // engine behind them) get fresh ids and session ordinals past everything
+    // real, so they show up as their own sessions in the merged trace.
+    for (telemetry::Span& span : synthetic) {
+        span.id = ++idBase;
+        span.session = ++sessionBase;
+        spans_.push_back(std::move(span));
     }
     return results_;
 }
@@ -198,7 +259,18 @@ void ShardEngine::runShard(Shard& shard) {
         shard.report.busyVirtual += std::chrono::duration_cast<net::Duration>(
             island.clock.now() - net::TimePoint{});
         if (island.bridge != nullptr) {
-            const auto snapshot = island.bridge->engine().spans().snapshot();
+            auto snapshot = island.bridge->engine().spans().snapshot();
+            std::uint64_t maxId = 0;
+            std::uint64_t maxSession = 0;
+            for (telemetry::Span& span : snapshot) {
+                maxId = std::max(maxId, span.id);
+                maxSession = std::max(maxSession, span.session);
+                span.id += shard.spanIdBase;
+                if (span.parent != 0) span.parent += shard.spanIdBase;
+                if (span.session != 0) span.session += shard.sessionBase;
+            }
+            shard.spanIdBase += maxId;
+            shard.sessionBase += maxSession;
             shard.spans.insert(shard.spans.end(), snapshot.begin(), snapshot.end());
         }
     };
@@ -240,6 +312,8 @@ void ShardEngine::runShard(Shard& shard) {
                 slot->starlink = std::make_unique<bridge::Starlink>(*slot->network);
                 EngineOptions engineOptions = options_.engine;
                 engineOptions.metrics = &shard.registry;
+                engineOptions.shardId = shard.index;
+                engineOptions.recorderCase = bridge::models::caseSlug(job.caseId);
                 slot->bridge = &slot->starlink->deploy(
                     bridge::models::forCase(job.caseId, options_.bridgeHost),
                     options_.bridgeHost, engineOptions);
@@ -257,6 +331,7 @@ void ShardEngine::runShard(Shard& shard) {
             Rng seeds(seed);
             network.reseed(seeds.next());
             engine.reseedRetry(seeds.next());
+            engine.noteSessionSeed(seed);
             const std::uint64_t chaosSeed = seeds.next();
             const std::uint64_t serviceSeed = seeds.next();
             const std::uint64_t clientSeed = seeds.next();

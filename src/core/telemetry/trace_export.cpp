@@ -40,8 +40,7 @@ std::string quoted(const std::string& text) {
 
 }  // namespace
 
-std::string toChromeTrace(const SpanBuffer& spans, const std::string& processName) {
-    const auto snapshot = spans.snapshot();
+std::string toChromeTrace(const std::vector<Span>& snapshot, const std::string& processName) {
     std::ostringstream out;
     out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
     bool first = true;
@@ -77,6 +76,10 @@ std::string toChromeTrace(const SpanBuffer& spans, const std::string& processNam
     }
     out << "\n]}\n";
     return out.str();
+}
+
+std::string toChromeTrace(const SpanBuffer& spans, const std::string& processName) {
+    return toChromeTrace(spans.snapshot(), processName);
 }
 
 void writeChromeTrace(const SpanBuffer& spans, std::ostream& out,

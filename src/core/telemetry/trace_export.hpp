@@ -17,13 +17,18 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/telemetry/span.hpp"
 
 namespace starlink::telemetry {
 
-/// Renders the buffer's spans as one self-contained Chrome trace JSON
-/// document ({"displayTimeUnit": "ms", "traceEvents": [...]}).
+/// Renders spans as one self-contained Chrome trace JSON document
+/// ({"displayTimeUnit": "ms", "traceEvents": [...]}). The vector overload is
+/// for spans merged from several engines (the shard driver, a postmortem
+/// bundle); ids/session ordinals must already be unique across the input.
+std::string toChromeTrace(const std::vector<Span>& spans,
+                          const std::string& processName = "starlink-bridge");
 std::string toChromeTrace(const SpanBuffer& spans,
                           const std::string& processName = "starlink-bridge");
 

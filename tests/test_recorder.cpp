@@ -1,0 +1,435 @@
+// Flight recorder, postmortem bundles and deterministic replay.
+//
+// The replay-fidelity tests are the load-bearing ones: a session captured
+// under seeded chaos, re-injected into a fresh island from its bundle alone,
+// must reproduce the identical SessionRecord (abort code, message counts)
+// and byte-identical outbound wire traffic -- across at least three bridge
+// directions, as promised in docs/OBSERVABILITY.md.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/bridge/models.hpp"
+#include "core/bridge/replay.hpp"
+#include "core/engine/shard_engine.hpp"
+#include "core/telemetry/recorder.hpp"
+#include "core/telemetry/span.hpp"
+
+namespace starlink {
+namespace {
+
+using telemetry::FlightRecorder;
+using telemetry::PostmortemBundle;
+using telemetry::PostmortemSpool;
+using telemetry::WireEvent;
+
+Bytes payloadOf(const char* text) {
+    const std::string s(text);
+    return Bytes(s.begin(), s.end());
+}
+
+TEST(FlightRecorder, DisabledRecorderRecordsNothing) {
+    FlightRecorder recorder(0);
+    EXPECT_FALSE(recorder.enabled());
+    recorder.beginSession(1, 0);
+    EXPECT_FALSE(recorder.inSession());
+    recorder.recordTx(10, 7, payloadOf("x"));
+    recorder.endSession(20, -600, 1, false, 1, 1, 0);
+    EXPECT_EQ(recorder.last(), nullptr);
+    EXPECT_EQ(recorder.bytesReserved(), 0u);
+}
+
+TEST(FlightRecorder, EventCodecRoundTripsEveryKind) {
+    FlightRecorder recorder(64 * 1024);
+    recorder.beginSession(3, 100);
+    ASSERT_TRUE(recorder.inSession());
+    recorder.recordRx(100, 0xaabb, "10.0.0.1:427", "10.0.0.9:427", payloadOf("hello"));
+    recorder.recordTransition(100, "SLP", "s10", "s11", WireEvent::kActionReceive,
+                              "SLPSrvRequest");
+    recorder.recordTranslate(112, "s11", "SSDP_MSearch");
+    recorder.recordTx(112, 0xccdd, payloadOf("out-bytes"));
+    recorder.recordConnect(150, 0xeeff, "10.0.0.1:49152", WireEvent::kConnectConnected, 2);
+    recorder.recordFault(160, 0xeeff, WireEvent::kFaultPeerClosed, "mid-session close");
+    recorder.endSession(200, -605, 3, false, 4, 5, 1);
+
+    const FlightRecorder::SessionLog* log = recorder.last();
+    ASSERT_NE(log, nullptr);
+    EXPECT_EQ(log->ordinal, 3u);
+    EXPECT_FALSE(log->truncated);
+
+    const std::vector<WireEvent> events = telemetry::decodeEvents(log->events);
+    ASSERT_EQ(events.size(), 7u);
+
+    EXPECT_EQ(events[0].kind, WireEvent::Kind::Rx);
+    EXPECT_EQ(events[0].tsUs, 100);
+    EXPECT_EQ(events[0].color, 0xaabbu);
+    EXPECT_EQ(events[0].from, "10.0.0.1:427");
+    EXPECT_EQ(events[0].to, "10.0.0.9:427");
+    EXPECT_EQ(events[0].payload, payloadOf("hello"));
+
+    EXPECT_EQ(events[1].kind, WireEvent::Kind::Transition);
+    EXPECT_EQ(events[1].component, "SLP");
+    EXPECT_EQ(events[1].state, "s10");
+    EXPECT_EQ(events[1].stateTo, "s11");
+    EXPECT_EQ(events[1].action, WireEvent::kActionReceive);
+    EXPECT_EQ(events[1].messageType, "SLPSrvRequest");
+
+    EXPECT_EQ(events[2].kind, WireEvent::Kind::Translate);
+    EXPECT_EQ(events[2].state, "s11");
+    EXPECT_EQ(events[2].messageType, "SSDP_MSearch");
+
+    EXPECT_EQ(events[3].kind, WireEvent::Kind::Tx);
+    EXPECT_EQ(events[3].color, 0xccddu);
+    EXPECT_EQ(events[3].payload, payloadOf("out-bytes"));
+
+    EXPECT_EQ(events[4].kind, WireEvent::Kind::TcpConnect);
+    EXPECT_EQ(events[4].from, "10.0.0.1:49152");
+    EXPECT_EQ(events[4].action, WireEvent::kConnectConnected);
+    EXPECT_EQ(events[4].attempts, 2);
+
+    EXPECT_EQ(events[5].kind, WireEvent::Kind::Fault);
+    EXPECT_EQ(events[5].action, WireEvent::kFaultPeerClosed);
+    EXPECT_EQ(events[5].from, "mid-session close");
+
+    EXPECT_EQ(events[6].kind, WireEvent::Kind::SessionEnd);
+    EXPECT_EQ(events[6].code, -605);
+    EXPECT_EQ(events[6].cause, 3);
+    EXPECT_FALSE(events[6].completed);
+    EXPECT_EQ(events[6].messagesIn, 4u);
+    EXPECT_EQ(events[6].messagesOut, 5u);
+    EXPECT_EQ(events[6].retransmits, 1u);
+}
+
+TEST(FlightRecorder, ByteCapTruncatesButKeepsTerminalRecord) {
+    FlightRecorder recorder(256);  // tiny: a few events fit, most don't
+    recorder.beginSession(1, 0);
+    const Bytes big(100, 0x41);
+    for (int i = 0; i < 50; ++i) recorder.recordTx(i, 1, big);
+    recorder.endSession(1000, -600, 1, false, 0, 50, 0);
+
+    const FlightRecorder::SessionLog* log = recorder.last();
+    ASSERT_NE(log, nullptr);
+    EXPECT_TRUE(log->truncated);
+    EXPECT_GT(log->droppedEvents, 0u);
+    const std::vector<WireEvent> events = telemetry::decodeEvents(log->events);
+    ASSERT_FALSE(events.empty());
+    // The cap never drops the terminal record.
+    EXPECT_EQ(events.back().kind, WireEvent::Kind::SessionEnd);
+    EXPECT_EQ(events.back().code, -600);
+}
+
+TEST(FlightRecorder, RecentRingIsBounded) {
+    FlightRecorder recorder(4096, /*ringSessions=*/3);
+    for (int s = 1; s <= 7; ++s) {
+        recorder.beginSession(static_cast<std::uint64_t>(s), s * 10);
+        recorder.recordTx(s * 10, 1, payloadOf("p"));
+        recorder.endSession(s * 10 + 5, 0, 0, true, 1, 1, 0);
+    }
+    EXPECT_EQ(recorder.recent().size(), 3u);
+    EXPECT_EQ(recorder.recent().front().ordinal, 5u);
+    EXPECT_EQ(recorder.last()->ordinal, 7u);
+}
+
+TEST(FlightRecorder, ChunkMemoryIsRetainedAcrossSessions) {
+    FlightRecorder recorder(64 * 1024);
+    recorder.beginSession(1, 0);
+    const Bytes big(10000, 0x42);
+    for (int i = 0; i < 5; ++i) recorder.recordTx(i, 1, big);
+    recorder.endSession(100, 0, 0, true, 0, 5, 0);
+    const std::size_t reserved = recorder.bytesReserved();
+    EXPECT_GT(reserved, 0u);
+    // A smaller follow-up session reuses the chunks; no growth.
+    recorder.beginSession(2, 200);
+    recorder.recordTx(201, 1, payloadOf("small"));
+    recorder.endSession(210, 0, 0, true, 0, 1, 0);
+    EXPECT_EQ(recorder.bytesReserved(), reserved);
+}
+
+PostmortemBundle sampleBundle() {
+    PostmortemBundle bundle;
+    bundle.bridge = "upnp-to-slp";
+    bundle.caseSlug = "upnp-to-slp";
+    bundle.bridgeHost = "10.0.0.9";
+    bundle.shard = 3;
+    bundle.sessionOrdinal = 17;
+    bundle.sessionSeed = 0x1234567890abcdefULL;
+    bundle.retrySeed = 0xfedcba0987654321ULL;
+    bundle.retryDraws = 9;
+    bundle.modelIdentity = 0x5eedULL;
+    bundle.abortCode = -600;
+    bundle.cause = 1;
+    bundle.processingDelayUs = 12000;
+    bundle.sessionTimeoutUs = 30000000;
+    bundle.receiveTimeoutUs = 7000000;
+    bundle.retransmitJitterUs = 100000;
+    bundle.idleTimeoutUs = 0;
+    bundle.tcpConnectRetryDelayUs = 50000;
+    bundle.tcpConnectRetryMaxDelayUs = 5000000;
+    bundle.maxRetransmits = 5;
+    bundle.tcpConnectAttempts = 3;
+    bundle.retransmitBackoffMicros = 1500000;
+    bundle.tcpMaxBacklogBytes = 256 * 1024;
+
+    FlightRecorder recorder(4096);
+    recorder.beginSession(17, 0);
+    recorder.recordRx(10, 1, "10.0.0.1:1900", "10.0.0.9:1900", payloadOf("M-SEARCH"));
+    recorder.endSession(30000000, -600, 1, false, 1, 0, 0);
+    bundle.events = recorder.last()->events;
+
+    telemetry::Span root;
+    root.id = 1;
+    root.parent = 0;
+    root.session = 17;
+    root.name = "session";
+    root.start = net::TimePoint{net::Duration{10}};
+    root.end = net::TimePoint{net::Duration{30000000}};
+    root.attrs.push_back({"result", "timeout"});
+    telemetry::Span child = root;
+    child.id = 2;
+    child.parent = 1;
+    child.name = "translate";
+    bundle.spans = {root, child};
+    return bundle;
+}
+
+TEST(PostmortemBundleCodec, RoundTripsEveryField) {
+    const PostmortemBundle bundle = sampleBundle();
+    const Bytes encoded = telemetry::encodeBundle(bundle);
+    const PostmortemBundle decoded = telemetry::decodeBundle(encoded);
+
+    EXPECT_EQ(decoded.bridge, bundle.bridge);
+    EXPECT_EQ(decoded.caseSlug, bundle.caseSlug);
+    EXPECT_EQ(decoded.bridgeHost, bundle.bridgeHost);
+    EXPECT_EQ(decoded.shard, bundle.shard);
+    EXPECT_EQ(decoded.sessionOrdinal, bundle.sessionOrdinal);
+    EXPECT_EQ(decoded.sessionSeed, bundle.sessionSeed);
+    EXPECT_EQ(decoded.retrySeed, bundle.retrySeed);
+    EXPECT_EQ(decoded.retryDraws, bundle.retryDraws);
+    EXPECT_EQ(decoded.modelIdentity, bundle.modelIdentity);
+    EXPECT_EQ(decoded.abortCode, bundle.abortCode);
+    EXPECT_EQ(decoded.cause, bundle.cause);
+    EXPECT_EQ(decoded.processingDelayUs, bundle.processingDelayUs);
+    EXPECT_EQ(decoded.sessionTimeoutUs, bundle.sessionTimeoutUs);
+    EXPECT_EQ(decoded.receiveTimeoutUs, bundle.receiveTimeoutUs);
+    EXPECT_EQ(decoded.retransmitJitterUs, bundle.retransmitJitterUs);
+    EXPECT_EQ(decoded.idleTimeoutUs, bundle.idleTimeoutUs);
+    EXPECT_EQ(decoded.tcpConnectRetryDelayUs, bundle.tcpConnectRetryDelayUs);
+    EXPECT_EQ(decoded.tcpConnectRetryMaxDelayUs, bundle.tcpConnectRetryMaxDelayUs);
+    EXPECT_EQ(decoded.maxRetransmits, bundle.maxRetransmits);
+    EXPECT_EQ(decoded.tcpConnectAttempts, bundle.tcpConnectAttempts);
+    EXPECT_EQ(decoded.retransmitBackoffMicros, bundle.retransmitBackoffMicros);
+    EXPECT_EQ(decoded.tcpMaxBacklogBytes, bundle.tcpMaxBacklogBytes);
+    EXPECT_EQ(decoded.truncated, bundle.truncated);
+    EXPECT_EQ(decoded.events, bundle.events);
+
+    ASSERT_EQ(decoded.spans.size(), 2u);
+    EXPECT_EQ(decoded.spans[0].id, 1u);
+    EXPECT_EQ(decoded.spans[0].name, "session");
+    EXPECT_EQ(decoded.spans[0].start.time_since_epoch().count(), 10);
+    ASSERT_EQ(decoded.spans[0].attrs.size(), 1u);
+    EXPECT_EQ(decoded.spans[0].attrs[0].key, "result");
+    EXPECT_EQ(decoded.spans[0].attrs[0].value, "timeout");
+    EXPECT_EQ(decoded.spans[1].parent, 1u);
+}
+
+TEST(PostmortemBundleCodec, RejectsCorruptInput) {
+    const PostmortemBundle bundle = sampleBundle();
+    Bytes encoded = telemetry::encodeBundle(bundle);
+    Bytes badMagic = encoded;
+    badMagic[0] ^= 0xff;
+    EXPECT_THROW(telemetry::decodeBundle(badMagic), SpecError);
+    Bytes shortened(encoded.begin(), encoded.begin() + encoded.size() / 2);
+    EXPECT_THROW(telemetry::decodeBundle(shortened), SpecError);
+    Bytes padded = encoded;
+    padded.push_back(0);
+    EXPECT_THROW(telemetry::decodeBundle(padded), SpecError);
+    EXPECT_THROW(telemetry::decodeEvents(payloadOf("garbage!")), SpecError);
+}
+
+TEST(PostmortemSpoolTest, CapsBundleCountDeletingOldest) {
+    const std::string dir =
+        (std::filesystem::path(::testing::TempDir()) / "starlink-spool-cap").string();
+    std::filesystem::remove_all(dir);
+    PostmortemSpool spool(PostmortemSpool::Options{dir, 3});
+    PostmortemBundle bundle = sampleBundle();
+    std::vector<std::string> paths;
+    for (int i = 0; i < 5; ++i) {
+        bundle.sessionOrdinal = static_cast<std::uint64_t>(i + 1);
+        const std::string path = spool.write(bundle);
+        ASSERT_FALSE(path.empty());
+        paths.push_back(path);
+    }
+    EXPECT_EQ(spool.written(), 5u);
+    EXPECT_EQ(spool.files().size(), 3u);
+    // The two oldest files are gone from disk; the three newest remain and
+    // decode cleanly.
+    EXPECT_FALSE(std::filesystem::exists(paths[0]));
+    EXPECT_FALSE(std::filesystem::exists(paths[1]));
+    for (std::size_t i = 2; i < paths.size(); ++i) {
+        std::ifstream in(paths[i], std::ios::binary);
+        ASSERT_TRUE(in.good());
+        std::ostringstream content;
+        content << in.rdbuf();
+        const std::string s = content.str();
+        const PostmortemBundle decoded = telemetry::decodeBundle(Bytes(s.begin(), s.end()));
+        EXPECT_EQ(decoded.sessionOrdinal, i + 1);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ModelIdentity, StableAndSpecSensitive) {
+    using bridge::models::Case;
+    const auto specA = bridge::models::forCase(Case::UpnpToSlp, "10.0.0.9");
+    const auto specB = bridge::models::forCase(Case::UpnpToSlp, "10.0.0.9");
+    EXPECT_EQ(bridge::models::modelSetIdentity(specA), bridge::models::modelSetIdentity(specB));
+    const auto other = bridge::models::forCase(Case::SlpToBonjour, "10.0.0.9");
+    EXPECT_NE(bridge::models::modelSetIdentity(specA), bridge::models::modelSetIdentity(other));
+    auto mutated = specA;
+    mutated.bridgeXml += " ";
+    EXPECT_NE(bridge::models::modelSetIdentity(specA), bridge::models::modelSetIdentity(mutated));
+}
+
+TEST(ModelIdentity, CaseSlugRoundTrips) {
+    for (const auto c : bridge::models::kAllCases) {
+        const auto back = bridge::models::caseBySlug(bridge::models::caseSlug(c));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, c);
+    }
+    EXPECT_FALSE(bridge::models::caseBySlug("no-such-case").has_value());
+}
+
+// -- chaos capture + replay ---------------------------------------------------
+
+engine::ShardEngineOptions chaosOptions(std::uint64_t seed) {
+    engine::ShardEngineOptions options;
+    options.shards = 1;
+    options.baseSeed = seed;
+    options.chaos = true;
+    options.chaosLoss = 0.25;
+    options.engine.receiveTimeout = net::ms(7000);
+    options.engine.maxRetransmits = 5;
+    options.engine.retransmitBackoff = 1.5;
+    options.engine.retransmitJitter = net::ms(100);
+    options.engine.sessionTimeout = net::ms(30000);
+    return options;
+}
+
+TEST(RecorderInvariance, RecordingDoesNotChangeSessionOutcomes) {
+    auto runWorkload = [](std::size_t recorderBytes) {
+        engine::ShardEngineOptions options = chaosOptions(11);
+        options.engine.recorderSessionBytes = recorderBytes;
+        engine::ShardEngine shardEngine(options);
+        for (int i = 0; i < 18; ++i) {
+            engine::SessionJob job;
+            job.caseId = bridge::models::kAllCases[static_cast<std::size_t>(i) % 6];
+            job.key = "inv-" + std::to_string(i);
+            shardEngine.submit(job);
+        }
+        std::vector<engine::SessionOutcome> outcomes;
+        for (const auto& result : shardEngine.run()) {
+            outcomes.insert(outcomes.end(), result.outcomes.begin(), result.outcomes.end());
+        }
+        return outcomes;
+    };
+    const auto off = runWorkload(0);
+    const auto on = runWorkload(1024 * 1024);
+    ASSERT_FALSE(off.empty());
+    ASSERT_EQ(off.size(), on.size());
+    for (std::size_t i = 0; i < off.size(); ++i) {
+        EXPECT_EQ(off[i], on[i]) << "outcome " << i << " changed when the recorder was enabled";
+    }
+}
+
+/// Runs `sessions` chaos jobs of one direction with the recorder + spool on;
+/// returns the spooled bundles (possibly none for a lucky seed).
+std::vector<PostmortemBundle> captureAborts(bridge::models::Case c, std::uint64_t seed,
+                                            const std::string& tag, int sessions = 12) {
+    const std::string dir =
+        (std::filesystem::path(::testing::TempDir()) / ("starlink-replay-" + tag)).string();
+    std::filesystem::remove_all(dir);
+    PostmortemSpool spool(PostmortemSpool::Options{dir, 64});
+    engine::ShardEngineOptions options = chaosOptions(seed);
+    options.engine.recorderSessionBytes = 1024 * 1024;
+    options.engine.postmortemSpool = &spool;
+    engine::ShardEngine shardEngine(options);
+    for (int i = 0; i < sessions; ++i) {
+        engine::SessionJob job;
+        job.caseId = c;
+        job.key = "cap-" + tag + "-" + std::to_string(i);
+        shardEngine.submit(job);
+    }
+    shardEngine.run();
+    std::vector<PostmortemBundle> bundles;
+    for (const std::string& path : spool.files()) {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream content;
+        content << in.rdbuf();
+        const std::string s = content.str();
+        bundles.push_back(telemetry::decodeBundle(Bytes(s.begin(), s.end())));
+    }
+    std::filesystem::remove_all(dir);
+    return bundles;
+}
+
+/// Captures aborts for one direction (scanning a few seeds until chaos
+/// produces at least one) and asserts every bundle replays bit-identically.
+void expectDirectionReplays(bridge::models::Case c, const char* tag) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const auto bundles =
+            captureAborts(c, seed, std::string(tag) + "-" + std::to_string(seed));
+        if (bundles.empty()) continue;
+        for (const PostmortemBundle& bundle : bundles) {
+            SCOPED_TRACE("case " + std::string(tag) + " seed " + std::to_string(seed) +
+                         " session #" + std::to_string(bundle.sessionOrdinal) + " abort " +
+                         std::to_string(bundle.abortCode));
+            const bridge::ReplayComparison result = bridge::replayBundle(bundle);
+            EXPECT_TRUE(result.ran);
+            EXPECT_TRUE(result.recordMatches) << result.detail;
+            EXPECT_TRUE(result.wireMatches) << result.detail;
+        }
+        return;  // one seed with captures is enough per direction
+    }
+    FAIL() << "no chaos seed in [1,8] produced an abort for " << tag;
+}
+
+TEST(ReplayFidelity, UpnpToSlpRepliesBitIdentically) {
+    expectDirectionReplays(bridge::models::Case::UpnpToSlp, "upnp-to-slp");
+}
+
+TEST(ReplayFidelity, BonjourToSlpRepliesBitIdentically) {
+    expectDirectionReplays(bridge::models::Case::BonjourToSlp, "bonjour-to-slp");
+}
+
+TEST(ReplayFidelity, SlpToBonjourRepliesBitIdentically) {
+    expectDirectionReplays(bridge::models::Case::SlpToBonjour, "slp-to-bonjour");
+}
+
+TEST(ReplayFidelity, UpnpToBonjourRepliesBitIdentically) {
+    expectDirectionReplays(bridge::models::Case::UpnpToBonjour, "upnp-to-bonjour");
+}
+
+TEST(ReplayGuards, TruncatedBundleIsRefused) {
+    PostmortemBundle bundle = sampleBundle();
+    bundle.truncated = true;
+    bundle.droppedEvents = 12;
+    EXPECT_THROW(bridge::replayBundle(bundle), SpecError);
+}
+
+TEST(ReplayGuards, UnknownCaseSlugIsRefused) {
+    PostmortemBundle bundle = sampleBundle();
+    bundle.caseSlug = "hand-rolled-bridge";
+    EXPECT_THROW(bridge::replayBundle(bundle), SpecError);
+}
+
+TEST(ReplayGuards, ModelDriftIsRefused) {
+    PostmortemBundle bundle = sampleBundle();
+    // sampleBundle stamps a fake fingerprint that cannot match the real
+    // upnp-to-slp model set.
+    EXPECT_THROW(bridge::replayBundle(bundle), SpecError);
+}
+
+}  // namespace
+}  // namespace starlink

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Record -> postmortem -> replay round trip over the real CLI.
+#
+# Runs a seeded chaos serve with the flight recorder on and a postmortem
+# spool, then requires that (a) at least one abort bundle was spooled,
+# (b) `starlinkd postmortem` decodes each bundle, and (c) `starlinkd replay`
+# reproduces each one bit-identically (exit 0 == REPRODUCED). Seed 7 is
+# pinned because it deterministically aborts at this loss level.
+#
+# Usage: record_replay_smoke.sh <path-to-starlinkd> <work-dir>
+set -euo pipefail
+
+starlinkd="$1"
+workdir="$2"
+
+spool="$workdir/postmortem"
+rm -rf "$spool"
+mkdir -p "$spool"
+
+"$starlinkd" serve --shards 2 --sessions 24 --chaos --seed 7 \
+    --record --postmortem-dir "$spool"
+
+shopt -s nullglob
+bundles=("$spool"/*.slfr)
+if [ "${#bundles[@]}" -eq 0 ]; then
+    echo "FAIL: chaos serve spooled no postmortem bundles" >&2
+    exit 1
+fi
+echo "spooled ${#bundles[@]} bundle(s)"
+
+"$starlinkd" postmortem "${bundles[0]}"
+
+for bundle in "${bundles[@]}"; do
+    echo "replaying $bundle"
+    "$starlinkd" replay "$bundle"
+done
+
+echo "record/replay smoke: every bundle reproduced"

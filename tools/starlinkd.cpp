@@ -32,6 +32,7 @@
 //                                       print the Prometheus text exposition
 //   starlinkd serve [--shards N] [--sessions M] [--chaos] [--loss P]
 //                   [--seed S] [--metrics] [--max-sessions Q] [--idle-timeout MS]
+//                   [--record] [--postmortem-dir DIR]
 //                                       drive a mixed-direction session workload
 //                                       through the sharded engine (N threads,
 //                                       hash-by-key dispatch) and report per-
@@ -41,19 +42,36 @@
 //                                       (excess jobs are shed with
 //                                       engine.overload); --idle-timeout evicts
 //                                       sessions with no message movement for
-//                                       MS milliseconds (engine.idle-timeout)
+//                                       MS milliseconds (engine.idle-timeout);
+//                                       --record turns the wire-level flight
+//                                       recorder on, and --postmortem-dir
+//                                       (implies --record) spools every abort
+//                                       as a replayable bundle into DIR
+//   starlinkd postmortem <bundle>       pretty-print a spooled postmortem
+//                                       bundle: provenance, the wire-event log
+//                                       with per-leg message decode, and the
+//                                       session's span tree
+//   starlinkd replay <bundle>           re-inject the bundle's captured
+//                                       datagrams into a fresh single-island
+//                                       deployment and diff the outcome
+//                                       against the capture (exit 0 iff the
+//                                       session record and outbound wire
+//                                       traffic reproduce exactly)
 //
 // The demo topology is always: legacy client at 10.0.0.1, legacy service at
 // 10.0.0.3, bridge at 10.0.0.9, on the simulated network over virtual time.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <iomanip>
 #include <iostream>
 #include <optional>
 #include <sstream>
 
 #include "common/error.hpp"
 #include "core/bridge/models.hpp"
+#include "core/bridge/replay.hpp"
 #include "core/bridge/starlink.hpp"
 #include "core/engine/shard_engine.hpp"
 #include "core/lint/linter.hpp"
@@ -61,6 +79,7 @@
 #include "core/merge/dot_export.hpp"
 #include "core/merge/spec_loader.hpp"
 #include "core/telemetry/metrics.hpp"
+#include "core/telemetry/recorder.hpp"
 #include "core/telemetry/trace_export.hpp"
 #include "protocols/mdns/mdns_agents.hpp"
 #include "protocols/slp/slp_agents.hpp"
@@ -87,7 +106,9 @@ int usage() {
                  "       starlinkd metrics <case>\n"
                  "       starlinkd serve [--shards N] [--sessions M] [--chaos] "
                  "[--loss P] [--seed S] [--metrics] [--max-sessions Q] "
-                 "[--idle-timeout MS]\n"
+                 "[--idle-timeout MS] [--record] [--postmortem-dir DIR]\n"
+                 "       starlinkd postmortem <bundle.slfr>\n"
+                 "       starlinkd replay <bundle.slfr>\n"
                  "cases: slp-to-upnp slp-to-bonjour upnp-to-slp upnp-to-bonjour "
                  "bonjour-to-upnp bonjour-to-slp\n";
     return 2;
@@ -109,6 +130,15 @@ std::string slurp(const std::string& path) {
     std::ostringstream out;
     out << in.rdbuf();
     return out.str();
+}
+
+Bytes slurpBytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw SpecError("cannot read bundle file '" + path + "'");
+    std::ostringstream out;
+    out << in.rdbuf();
+    const std::string content = out.str();
+    return Bytes(content.begin(), content.end());
 }
 
 void spit(const std::filesystem::path& path, const std::string& content) {
@@ -638,7 +668,8 @@ int cmdMetrics(const std::string& caseName) {
 /// merged and printed as Prometheus text exposition (stdout stays pure
 /// exposition, the report moves to stderr).
 int cmdServe(int shards, int sessions, bool chaos, double loss, std::uint64_t seed,
-             bool printMetrics, std::size_t maxSessions, int idleTimeoutMs) {
+             bool printMetrics, std::size_t maxSessions, int idleTimeoutMs, bool record,
+             const std::string& postmortemDir) {
     if (printMetrics) telemetry::setEnabled(true);
     engine::ShardEngineOptions options;
     options.shards = shards;
@@ -647,6 +678,14 @@ int cmdServe(int shards, int sessions, bool chaos, double loss, std::uint64_t se
     options.chaosLoss = loss;
     options.maxPendingPerShard = maxSessions;
     if (idleTimeoutMs > 0) options.engine.idleTimeout = net::ms(idleTimeoutMs);
+    std::optional<telemetry::PostmortemSpool> spool;
+    if (record || !postmortemDir.empty()) {
+        options.engine.recorderSessionBytes = 1024 * 1024;
+    }
+    if (!postmortemDir.empty()) {
+        spool.emplace(telemetry::PostmortemSpool::Options{postmortemDir, 64});
+        options.engine.postmortemSpool = &*spool;
+    }
     if (chaos) {
         options.engine.receiveTimeout = net::ms(7000);
         options.engine.maxRetransmits = 5;
@@ -699,6 +738,10 @@ int cmdServe(int shards, int sessions, bool chaos, double loss, std::uint64_t se
                   .count()
            << " ms, aggregate " << shardEngine.virtualSessionsPerSecond()
            << " sessions/s (virtual)\n";
+    if (spool) {
+        report << "postmortem: " << spool->written() << " bundle(s) spooled to "
+               << spool->directory() << "\n";
+    }
 
     if (printMetrics) {
         telemetry::MetricsRegistry merged;
@@ -709,6 +752,184 @@ int cmdServe(int shards, int sessions, bool chaos, double loss, std::uint64_t se
         std::cout << merged.renderPrometheus(virtualUs);
     }
     return discovered * 2 > results.size() ? 0 : 1;
+}
+
+std::string formatTs(std::int64_t tsUs) {
+    std::ostringstream out;
+    out << tsUs / 1000 << "." << std::setw(3) << std::setfill('0') << tsUs % 1000 << "ms";
+    return out.str();
+}
+
+/// Decoded one-liner for a captured payload: the parsed message type when the
+/// leg's codec accepts the bytes, a byte count otherwise.
+std::string describePayload(const std::shared_ptr<mdl::MessageCodec>& codec,
+                            const Bytes& payload) {
+    if (codec) {
+        std::string error;
+        if (const auto message = codec->parse(payload, &error)) {
+            return message->type() + " (" + std::to_string(message->fields().size()) +
+                   " fields, " + std::to_string(payload.size()) + " bytes)";
+        }
+    }
+    return std::to_string(payload.size()) + " bytes (undecoded)";
+}
+
+/// Pretty-prints one spooled bundle: provenance header, the wire-event log
+/// with per-leg message decode, and the captured span tree. The per-leg
+/// decode deploys the bundle's case on a throwaway island purely to re-derive
+/// the per-color codecs; no traffic runs.
+int cmdPostmortem(const std::string& path) {
+    const telemetry::PostmortemBundle bundle = telemetry::decodeBundle(slurpBytes(path));
+    const errc::ErrorCode code = static_cast<errc::ErrorCode>(bundle.abortCode);
+
+    std::cout << "postmortem " << path << "\n";
+    std::cout << "  bridge:   " << bundle.bridge
+              << (bundle.caseSlug.empty() ? "" : " (case " + bundle.caseSlug + ")") << " at "
+              << bundle.bridgeHost << ", shard " << bundle.shard << ", session #"
+              << bundle.sessionOrdinal << "\n";
+    std::cout << "  abort:    " << bundle.abortCode << " " << errc::to_string(code) << " (cause "
+              << engine::failureCauseName(static_cast<engine::FailureCause>(bundle.cause))
+              << ")\n";
+    std::cout << "  fix:      " << errc::remediation(code) << "\n";
+    std::cout << "  seeds:    session=" << bundle.sessionSeed << " retry=" << bundle.retrySeed
+              << " (+" << bundle.retryDraws << " draws burned), models="
+              << std::hex << bundle.modelIdentity << std::dec << "\n";
+    std::cout << "  timers:   processing=" << bundle.processingDelayUs / 1000
+              << "ms receive=" << bundle.receiveTimeoutUs / 1000
+              << "ms session=" << bundle.sessionTimeoutUs / 1000
+              << "ms idle=" << bundle.idleTimeoutUs / 1000 << "ms retransmits<="
+              << bundle.maxRetransmits << "\n";
+    if (bundle.truncated) {
+        std::cout << "  WARNING:  log truncated at the recorder byte cap ("
+                  << bundle.droppedEvents << " events dropped); replay will refuse this "
+                  << "bundle\n";
+    }
+
+    // Throwaway deployment for the codecs and the color registry.
+    std::optional<net::VirtualClock> clock;
+    std::optional<net::EventScheduler> scheduler;
+    std::optional<net::SimNetwork> network;
+    std::optional<bridge::Starlink> starlink;
+    engine::AutomataEngine* engine = nullptr;
+    if (const auto c = bridge::models::caseBySlug(bundle.caseSlug)) {
+        const std::string host = bundle.bridgeHost.empty() ? "10.0.0.9" : bundle.bridgeHost;
+        clock.emplace();
+        scheduler.emplace(*clock);
+        network.emplace(*scheduler);
+        starlink.emplace(*network);
+        engine = &starlink->deploy(bridge::models::forCase(*c, host), host).engine();
+    }
+    auto colorTag = [&](std::uint64_t k) {
+        std::ostringstream out;
+        if (starlink) {
+            if (const automata::Color* color = starlink->colors().lookup(k)) {
+                out << color->transport();
+                if (const auto port = color->port()) out << ":" << *port;
+                return out.str();
+            }
+        }
+        out << "color:" << std::hex << k << std::dec;
+        return out.str();
+    };
+
+    const std::vector<telemetry::WireEvent> events = telemetry::decodeEvents(bundle.events);
+    std::cout << "  events (" << events.size() << "):\n";
+    for (const telemetry::WireEvent& event : events) {
+        std::cout << "    " << std::setw(12) << formatTs(event.tsUs) << "  ";
+        const auto codec = engine ? engine->codecForColor(event.color) : nullptr;
+        switch (event.kind) {
+            case telemetry::WireEvent::Kind::Rx:
+                std::cout << "rx  [" << colorTag(event.color) << "] " << event.from << " -> "
+                          << (event.to.empty() ? "(tcp client leg)" : event.to) << "  "
+                          << describePayload(codec, event.payload);
+                break;
+            case telemetry::WireEvent::Kind::Tx:
+                std::cout << "tx  [" << colorTag(event.color) << "] "
+                          << describePayload(codec, event.payload);
+                break;
+            case telemetry::WireEvent::Kind::TcpConnect:
+                std::cout << "tcp-connect " << event.from << " "
+                          << (event.action == telemetry::WireEvent::kConnectConnected
+                                  ? "connected"
+                                  : "REFUSED")
+                          << " after " << event.attempts << " attempt(s)";
+                break;
+            case telemetry::WireEvent::Kind::Transition:
+                std::cout << "step " << event.state << " -> " << event.stateTo << " ("
+                          << (event.action == telemetry::WireEvent::kActionReceive ? "receive"
+                              : event.action == telemetry::WireEvent::kActionSend ? "send"
+                                                                                  : "delta");
+                if (!event.messageType.empty()) std::cout << " " << event.messageType;
+                std::cout << ") in " << event.component;
+                break;
+            case telemetry::WireEvent::Kind::Translate:
+                std::cout << "translate at " << event.state << " -> " << event.messageType;
+                break;
+            case telemetry::WireEvent::Kind::Fault:
+                std::cout << "fault [" << colorTag(event.color) << "] "
+                          << (event.action == telemetry::WireEvent::kFaultPeerClosed
+                                  ? "peer-closed"
+                                  : "connect-refused")
+                          << " " << event.from;
+                break;
+            case telemetry::WireEvent::Kind::SessionEnd:
+                std::cout << "end " << (event.completed ? "completed" : "ABORTED") << " code="
+                          << event.code << " "
+                          << errc::to_string(static_cast<errc::ErrorCode>(event.code))
+                          << " in/out=" << event.messagesIn << "/" << event.messagesOut
+                          << " retransmits=" << event.retransmits;
+                break;
+        }
+        std::cout << "\n";
+    }
+
+    if (!bundle.spans.empty()) {
+        std::cout << "  spans (" << bundle.spans.size() << "):\n";
+        std::map<std::uint64_t, std::vector<const telemetry::Span*>> children;
+        std::map<std::uint64_t, const telemetry::Span*> byId;
+        for (const telemetry::Span& span : bundle.spans) byId[span.id] = &span;
+        std::vector<const telemetry::Span*> roots;
+        for (const telemetry::Span& span : bundle.spans) {
+            if (span.parent != 0 && byId.contains(span.parent)) {
+                children[span.parent].push_back(&span);
+            } else {
+                roots.push_back(&span);
+            }
+        }
+        const std::function<void(const telemetry::Span*, int)> printTree =
+            [&](const telemetry::Span* span, int depth) {
+                std::cout << "    " << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+                          << span->name << " "
+                          << (span->end - span->start).count() << "us";
+                for (const auto& attr : span->attrs) {
+                    std::cout << " " << attr.key << "=" << attr.value;
+                }
+                std::cout << "\n";
+                for (const telemetry::Span* child : children[span->id]) printTree(child, depth + 1);
+            };
+        for (const telemetry::Span* root : roots) printTree(root, 0);
+    }
+    return 0;
+}
+
+/// Replays a bundle and diffs the outcome against the capture.
+int cmdReplay(const std::string& path) {
+    const telemetry::PostmortemBundle bundle = telemetry::decodeBundle(slurpBytes(path));
+    std::cout << "replaying " << path << " (case " << bundle.caseSlug << ", abort "
+              << bundle.abortCode << " "
+              << errc::to_string(static_cast<errc::ErrorCode>(bundle.abortCode)) << ")\n";
+    const bridge::ReplayComparison result = bridge::replayBundle(bundle);
+    std::cout << "  replayed: " << (result.completed ? "completed" : "aborted") << " code="
+              << result.abortCode << " in/out=" << result.messagesIn << "/"
+              << result.messagesOut << " retransmits=" << result.retransmits << "\n";
+    std::cout << "  wire:     " << result.replayedTx << "/" << result.originalTx
+              << " outbound messages reproduced\n";
+    if (result.ok()) {
+        std::cout << "  verdict:  REPRODUCED (session record and wire traffic identical)\n";
+        return 0;
+    }
+    std::cout << "  verdict:  DIVERGED -- " << result.detail << "\n";
+    return 1;
 }
 
 int cmdDot(const std::string& caseName) {
@@ -812,17 +1033,21 @@ int main(int argc, char** argv) {
                 bool printMetrics = false;
                 long long maxSessions = 0;  // 0 = unbounded admission
                 int idleTimeoutMs = 0;      // 0 = no idle eviction
+                bool record = false;
+                std::string postmortemDir;
                 try {
                     for (int i = 2; i < argc; ++i) {
                         const std::string flag = argv[i];
                         if (flag == "--chaos") chaos = true;
                         else if (flag == "--metrics") printMetrics = true;
+                        else if (flag == "--record") record = true;
                         else if (flag == "--shards" && i + 1 < argc) shards = std::stoi(argv[++i]);
                         else if (flag == "--sessions" && i + 1 < argc) sessions = std::stoi(argv[++i]);
                         else if (flag == "--loss" && i + 1 < argc) loss = std::stod(argv[++i]);
                         else if (flag == "--seed" && i + 1 < argc) seed = std::stoull(argv[++i]);
                         else if (flag == "--max-sessions" && i + 1 < argc) maxSessions = std::stoll(argv[++i]);
                         else if (flag == "--idle-timeout" && i + 1 < argc) idleTimeoutMs = std::stoi(argv[++i]);
+                        else if (flag == "--postmortem-dir" && i + 1 < argc) postmortemDir = argv[++i];
                         else return usage();
                     }
                 } catch (const std::exception&) {
@@ -836,8 +1061,11 @@ int main(int argc, char** argv) {
                     return usage();
                 }
                 return cmdServe(shards, sessions, chaos, loss, seed, printMetrics,
-                                static_cast<std::size_t>(maxSessions), idleTimeoutMs);
+                                static_cast<std::size_t>(maxSessions), idleTimeoutMs, record,
+                                postmortemDir);
             }
+            if (command == "postmortem" && argc == 3) return cmdPostmortem(argv[2]);
+            if (command == "replay" && argc == 3) return cmdReplay(argv[2]);
         }
         return usage();
     } catch (const std::exception& error) {
