@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "net/sim_network.hpp"
 #include "baseline/static_bridges.hpp"
 #include "core/bridge/models.hpp"
 #include "core/bridge/starlink.hpp"

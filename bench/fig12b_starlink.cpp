@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "net/sim_network.hpp"
 #include "core/bridge/models.hpp"
 #include "core/bridge/starlink.hpp"
 #include "core/telemetry/span.hpp"

@@ -1,8 +1,13 @@
 // Shared native-protocol benchmark runs (Fig 12(a) measurements), used by
 // the fig12a harness directly and by fig12b to compute the paper's
 // "percentage increase in response time" comparison.
+//
+// The drive loop goes through net::Network::runUntil, so the measurement
+// harness itself is backend-generic; only the construction (and the virtual
+// clock that makes the numbers deterministic) names the sim.
 #pragma once
 
+#include "net/sim_network.hpp"
 #include "protocols/mdns/mdns_agents.hpp"
 #include "protocols/slp/slp_agents.hpp"
 #include "protocols/ssdp/ssdp_agents.hpp"
@@ -10,18 +15,27 @@
 
 namespace starlink::bench {
 
+/// Virtual-time budget for one lookup round; native discovery converges in
+/// well under a second, so hitting this means the round livelocked.
+inline const net::Duration kLookupBudget = net::ms(30000);
+
 inline Summary benchNativeSlp(int repetitions) {
     net::VirtualClock clock;
     net::EventScheduler scheduler(clock);
     net::SimNetwork network(scheduler);
-    slp::ServiceAgent service(network, {});
-    slp::UserAgent client(network, {});
+    net::Network& net = network;
+    slp::ServiceAgent service(net, {});
+    slp::UserAgent client(net, {});
     std::vector<double> samples;
     for (int i = 0; i < repetitions; ++i) {
-        client.lookup("service:printer", [&samples](const slp::UserAgent::Result& result) {
-            if (!result.urls.empty()) samples.push_back(toMs(result.elapsed));
-        });
-        scheduler.runUntilIdle();
+        bool settled = false;
+        client.lookup("service:printer",
+                      [&samples, &settled](const slp::UserAgent::Result& result) {
+                          if (!result.urls.empty()) samples.push_back(toMs(result.elapsed));
+                          settled = true;
+                      });
+        net.runUntil([&settled] { return settled; }, kLookupBudget);
+        scheduler.runUntilIdle();  // drain stragglers so rounds stay independent
     }
     return summarize(std::move(samples));
 }
@@ -30,14 +44,19 @@ inline Summary benchNativeBonjour(int repetitions) {
     net::VirtualClock clock;
     net::EventScheduler scheduler(clock);
     net::SimNetwork network(scheduler);
-    mdns::Responder responder(network, {});
-    mdns::Resolver client(network, {});
+    net::Network& net = network;
+    mdns::Responder responder(net, {});
+    mdns::Resolver client(net, {});
     std::vector<double> samples;
     for (int i = 0; i < repetitions; ++i) {
-        client.browse("_printer._tcp.local", [&samples](const mdns::Resolver::Result& result) {
-            if (!result.urls.empty()) samples.push_back(toMs(result.elapsed));
-        });
-        scheduler.runUntilIdle();
+        bool settled = false;
+        client.browse("_printer._tcp.local",
+                      [&samples, &settled](const mdns::Resolver::Result& result) {
+                          if (!result.urls.empty()) samples.push_back(toMs(result.elapsed));
+                          settled = true;
+                      });
+        net.runUntil([&settled] { return settled; }, kLookupBudget);
+        scheduler.runUntilIdle();  // drain stragglers so rounds stay independent
     }
     return summarize(std::move(samples));
 }
@@ -46,15 +65,19 @@ inline Summary benchNativeUpnp(int repetitions) {
     net::VirtualClock clock;
     net::EventScheduler scheduler(clock);
     net::SimNetwork network(scheduler);
-    ssdp::Device device(network, {});
-    ssdp::ControlPoint client(network, {});
+    net::Network& net = network;
+    ssdp::Device device(net, {});
+    ssdp::ControlPoint client(net, {});
     std::vector<double> samples;
     for (int i = 0; i < repetitions; ++i) {
+        bool settled = false;
         client.search(device.config().st,
-                      [&samples](const ssdp::ControlPoint::Result& result) {
+                      [&samples, &settled](const ssdp::ControlPoint::Result& result) {
                           if (!result.urls.empty()) samples.push_back(toMs(result.elapsed));
+                          settled = true;
                       });
-        scheduler.runUntilIdle();
+        net.runUntil([&settled] { return settled; }, kLookupBudget);
+        scheduler.runUntilIdle();  // drain stragglers so rounds stay independent
     }
     return summarize(std::move(samples));
 }

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "net/sim_network.hpp"
 #include "core/bridge/models.hpp"
 #include "core/bridge/starlink.hpp"
 #include "core/telemetry/span.hpp"

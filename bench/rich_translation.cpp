@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <optional>
 
+#include "net/sim_network.hpp"
 #include "common/rng.hpp"
 #include "core/bridge/models.hpp"
 #include "core/bridge/starlink.hpp"

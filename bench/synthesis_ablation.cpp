@@ -7,6 +7,7 @@
 // bench_automata_micro::SynthesizeMerge).
 #include <cstdio>
 
+#include "net/sim_network.hpp"
 #include "core/bridge/models.hpp"
 #include "core/bridge/starlink.hpp"
 #include "protocols/mdns/mdns_agents.hpp"

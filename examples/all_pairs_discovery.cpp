@@ -5,6 +5,7 @@
 #include <iostream>
 #include <optional>
 
+#include "net/sim_network.hpp"
 #include "core/bridge/models.hpp"
 #include "core/bridge/starlink.hpp"
 #include "protocols/mdns/mdns_agents.hpp"

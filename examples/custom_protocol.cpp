@@ -11,6 +11,7 @@
 //      XDP-name -> SLP-service-type conversion.
 #include <iostream>
 
+#include "net/sim_network.hpp"
 #include "common/bytes.hpp"
 #include "core/bridge/models.hpp"
 #include "core/bridge/starlink.hpp"

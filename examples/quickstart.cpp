@@ -8,6 +8,7 @@
 //             SLP MDL, SLP automaton, DNS MDL, mDNS automaton, bridge spec
 #include <iostream>
 
+#include "net/sim_network.hpp"
 #include "core/bridge/models.hpp"
 #include "core/bridge/starlink.hpp"
 #include "protocols/mdns/mdns_agents.hpp"

@@ -4,6 +4,7 @@
 // that points the HTTP leg at the LOCATION announced over SSDP.
 #include <iostream>
 
+#include "net/sim_network.hpp"
 #include "core/bridge/models.hpp"
 #include "core/bridge/starlink.hpp"
 #include "core/merge/merged_automaton.hpp"

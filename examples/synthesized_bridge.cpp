@@ -7,6 +7,7 @@
 // bridge for the same protocol pair.
 #include <iostream>
 
+#include "net/sim_network.hpp"
 #include "core/bridge/models.hpp"
 #include "core/bridge/starlink.hpp"
 #include "core/merge/dot_export.hpp"

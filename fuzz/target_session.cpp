@@ -74,7 +74,7 @@ struct ServiceSide {
     std::optional<mdns::Responder> mdns;
     std::optional<ssdp::Device> upnp;
 
-    ServiceSide(net::SimNetwork& network, Case c) {
+    ServiceSide(net::Network& network, Case c) {
         switch (c) {
             case Case::UpnpToSlp:
             case Case::BonjourToSlp: slp.emplace(network, slp::ServiceAgent::Config{}); break;

@@ -29,7 +29,7 @@ std::string slpTypeToUrn(const std::string& slpType) {
 // ---------------------------------------------------------------------------
 // SlpToBonjourStatic
 
-SlpToBonjourStatic::SlpToBonjourStatic(net::SimNetwork& network, const std::string& host)
+SlpToBonjourStatic::SlpToBonjourStatic(net::Network& network, const std::string& host)
     : network_(network) {
     slpSocket_ = network_.openUdp(host, slp::kPort);
     slpSocket_->joinGroup(net::Address{slp::kGroup, slp::kPort});
@@ -77,7 +77,7 @@ void SlpToBonjourStatic::onMdns(const Bytes& payload, const net::Address&) {
 // ---------------------------------------------------------------------------
 // SlpToUpnpStatic
 
-SlpToUpnpStatic::SlpToUpnpStatic(net::SimNetwork& network, const std::string& host)
+SlpToUpnpStatic::SlpToUpnpStatic(net::Network& network, const std::string& host)
     : network_(network), host_(host), httpClient_(network, host) {
     slpSocket_ = network_.openUdp(host, slp::kPort);
     slpSocket_->joinGroup(net::Address{slp::kGroup, slp::kPort});
@@ -166,7 +166,7 @@ void SlpToUpnpStatic::replyToClient(const std::string& url) {
 // ---------------------------------------------------------------------------
 // BonjourToSlpStatic
 
-BonjourToSlpStatic::BonjourToSlpStatic(net::SimNetwork& network, const std::string& host)
+BonjourToSlpStatic::BonjourToSlpStatic(net::Network& network, const std::string& host)
     : network_(network) {
     mdnsSocket_ = network_.openUdp(host, mdns::kPort);
     mdnsSocket_->joinGroup(net::Address{mdns::kGroup, mdns::kPort});
@@ -215,7 +215,7 @@ void BonjourToSlpStatic::onSlp(const Bytes& payload, const net::Address&) {
 // ---------------------------------------------------------------------------
 // UpnpToSlpStatic
 
-UpnpToSlpStatic::UpnpToSlpStatic(net::SimNetwork& network, const std::string& host,
+UpnpToSlpStatic::UpnpToSlpStatic(net::Network& network, const std::string& host,
                                  std::uint16_t httpPort)
     : network_(network), host_(host), httpPort_(httpPort) {
     ssdpSocket_ = network_.openUdp(host, ssdp::kPort);
@@ -292,7 +292,7 @@ void UpnpToSlpStatic::onHttp(const std::shared_ptr<net::TcpConnection>& connecti
 // ---------------------------------------------------------------------------
 // BonjourToUpnpStatic
 
-BonjourToUpnpStatic::BonjourToUpnpStatic(net::SimNetwork& network, const std::string& host)
+BonjourToUpnpStatic::BonjourToUpnpStatic(net::Network& network, const std::string& host)
     : network_(network), httpClient_(network, host) {
     mdnsSocket_ = network_.openUdp(host, mdns::kPort);
     mdnsSocket_->joinGroup(net::Address{mdns::kGroup, mdns::kPort});

@@ -17,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "net/sim_network.hpp"
+#include "net/network.hpp"
 #include "protocols/http/http_agents.hpp"
 #include "protocols/mdns/dns_codec.hpp"
 #include "protocols/slp/slp_codec.hpp"
@@ -49,13 +49,13 @@ protected:
 /// SLP client -> Bonjour service (paper case 2), hand-coded.
 class SlpToBonjourStatic : public StaticBridge {
 public:
-    SlpToBonjourStatic(net::SimNetwork& network, const std::string& host);
+    SlpToBonjourStatic(net::Network& network, const std::string& host);
 
 private:
     void onSlp(const Bytes& payload, const net::Address& from);
     void onMdns(const Bytes& payload, const net::Address& from);
 
-    net::SimNetwork& network_;
+    net::Network& network_;
     std::unique_ptr<net::UdpSocket> slpSocket_;
     std::unique_ptr<net::UdpSocket> mdnsSocket_;
 
@@ -69,7 +69,7 @@ private:
 /// SLP client -> UPnP device (paper case 1: SSDP + HTTP legs), hand-coded.
 class SlpToUpnpStatic : public StaticBridge {
 public:
-    SlpToUpnpStatic(net::SimNetwork& network, const std::string& host);
+    SlpToUpnpStatic(net::Network& network, const std::string& host);
 
 private:
     void onSlp(const Bytes& payload, const net::Address& from);
@@ -77,7 +77,7 @@ private:
     void fetchDescription(const ssdp::Response& response);
     void replyToClient(const std::string& url);
 
-    net::SimNetwork& network_;
+    net::Network& network_;
     std::string host_;
     std::unique_ptr<net::UdpSocket> slpSocket_;
     std::unique_ptr<net::UdpSocket> ssdpSocket_;
@@ -92,13 +92,13 @@ private:
 /// Bonjour browser -> SLP service (paper case 6), hand-coded.
 class BonjourToSlpStatic : public StaticBridge {
 public:
-    BonjourToSlpStatic(net::SimNetwork& network, const std::string& host);
+    BonjourToSlpStatic(net::Network& network, const std::string& host);
 
 private:
     void onMdns(const Bytes& payload, const net::Address& from);
     void onSlp(const Bytes& payload, const net::Address& from);
 
-    net::SimNetwork& network_;
+    net::Network& network_;
     std::unique_ptr<net::UdpSocket> mdnsSocket_;
     std::unique_ptr<net::UdpSocket> slpSocket_;
 
@@ -112,7 +112,7 @@ private:
 /// SSDP M-SEARCH by querying SLP, serves the device description over HTTP.
 class UpnpToSlpStatic : public StaticBridge {
 public:
-    UpnpToSlpStatic(net::SimNetwork& network, const std::string& host,
+    UpnpToSlpStatic(net::Network& network, const std::string& host,
                     std::uint16_t httpPort = 8086);
 
 private:
@@ -120,7 +120,7 @@ private:
     void onSlp(const Bytes& payload, const net::Address& from);
     void onHttp(const std::shared_ptr<net::TcpConnection>& connection, const Bytes& data);
 
-    net::SimNetwork& network_;
+    net::Network& network_;
     std::string host_;
     std::uint16_t httpPort_;
     std::unique_ptr<net::UdpSocket> ssdpSocket_;
@@ -138,14 +138,14 @@ private:
 /// Bonjour browser -> UPnP device (paper case 5), hand-coded.
 class BonjourToUpnpStatic : public StaticBridge {
 public:
-    BonjourToUpnpStatic(net::SimNetwork& network, const std::string& host);
+    BonjourToUpnpStatic(net::Network& network, const std::string& host);
 
 private:
     void onMdns(const Bytes& payload, const net::Address& from);
     void onSsdp(const Bytes& payload, const net::Address& from);
     void replyToClient(const std::string& url);
 
-    net::SimNetwork& network_;
+    net::Network& network_;
     std::unique_ptr<net::UdpSocket> mdnsSocket_;
     std::unique_ptr<net::UdpSocket> ssdpSocket_;
     http::Client httpClient_;

@@ -8,7 +8,7 @@
 
 namespace starlink::bridge {
 
-Starlink::Starlink(net::SimNetwork& network)
+Starlink::Starlink(net::Network& network)
     : network_(network),
       marshallers_(mdl::MarshallerRegistry::withDefaults()),
       translations_(merge::TranslationRegistry::withDefaults()) {

@@ -30,7 +30,7 @@
 #include "core/mdl/codec.hpp"
 #include "core/merge/ontology.hpp"
 #include "core/merge/translation.hpp"
-#include "net/sim_network.hpp"
+#include "net/network.hpp"
 
 namespace starlink::bridge {
 
@@ -59,7 +59,7 @@ public:
     /// other threads (one per shard of the sharded driver) stamp their own
     /// lines independently. Construct and destroy a framework on the same
     /// thread that runs its simulation.
-    explicit Starlink(net::SimNetwork& network);
+    explicit Starlink(net::Network& network);
     ~Starlink();
 
     /// Deploys a bridge at `host`. Loads every protocol model, the bridge
@@ -85,10 +85,10 @@ public:
     automata::ColorRegistry& colors() { return colors_; }
 
     const std::vector<std::unique_ptr<DeployedBridge>>& bridges() const { return bridges_; }
-    net::SimNetwork& network() { return network_; }
+    net::Network& network() { return network_; }
 
 private:
-    net::SimNetwork& network_;
+    net::Network& network_;
     std::shared_ptr<mdl::MarshallerRegistry> marshallers_;
     std::shared_ptr<merge::TranslationRegistry> translations_;
     automata::ColorRegistry colors_;

@@ -9,7 +9,7 @@ namespace starlink::engine {
 
 using automata::Color;
 
-NetworkEngine::NetworkEngine(net::SimNetwork& network, std::string host, Options options)
+NetworkEngine::NetworkEngine(net::Network& network, std::string host, Options options)
     : network_(network), host_(std::move(host)), options_(options) {
     auto& registry = options_.metrics != nullptr ? *options_.metrics
                                                  : telemetry::MetricsRegistry::global();

@@ -32,7 +32,7 @@
 #include "core/telemetry/metrics.hpp"
 #include "core/telemetry/recorder.hpp"
 #include "core/telemetry/span.hpp"
-#include "net/sim_network.hpp"
+#include "net/network.hpp"
 
 namespace starlink::engine {
 
@@ -75,10 +75,10 @@ public:
 
     using Options = NetworkEngineOptions;
 
-    NetworkEngine(net::SimNetwork& network, std::string host, Options options = {});
+    NetworkEngine(net::Network& network, std::string host, Options options = {});
 
     const std::string& host() const { return host_; }
-    net::SimNetwork& network() { return network_; }
+    net::Network& network() { return network_; }
 
     /// Creates the endpoint for color k. Idempotent per k. `serverRole` only
     /// matters for tcp colors: a server endpoint LISTENS on the color's port
@@ -157,7 +157,7 @@ private:
     void noteSent(Endpoint& endpoint, std::size_t bytes);
     void endConnectSpan(Endpoint& endpoint, const char* result, int attempts);
 
-    net::SimNetwork& network_;
+    net::Network& network_;
     std::string host_;
     Options options_;
     Handler handler_;

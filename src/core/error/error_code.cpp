@@ -16,9 +16,15 @@ struct Entry {
 // One row per code. Order is ascending numeric (most negative first) except Ok,
 // which allCodes() moves to the front. to_string/remediation/fromInt/fromName
 // all read this single table so the taxonomy cannot drift apart.
-constexpr std::array<Entry, 64> kEntries{{
+constexpr std::array<Entry, 67> kEntries{{
     {ErrorCode::LintUnknownKind, "lint.unknown-kind",
      "rename the root element to a known model kind (MDL, Automaton, Bridge)"},
+    {ErrorCode::NetIo, "net.io",
+     "an OS socket call failed unexpectedly; check the errno detail in the message"},
+    {ErrorCode::NetFdExhausted, "net.fd-exhausted",
+     "the process hit its file-descriptor budget; raise ulimit -n or the socket cap"},
+    {ErrorCode::NetBindFailed, "net.bind-failed",
+     "the OS rejected the bind/listen; check the bind address and port range"},
     {ErrorCode::NetBacklogOverflow, "net.backlog-overflow",
      "the pre-connect backlog hit its byte cap; slow the sender or raise the cap"},
     {ErrorCode::NetUrlInvalid, "net.url-invalid",

@@ -113,6 +113,9 @@ enum class ErrorCode : int {
     NetClosedSend = -704,     ///< send on a closed connection
     NetUrlInvalid = -705,     ///< URL does not parse / bad port
     NetBacklogOverflow = -706,///< tcp pre-connect backlog exceeded its byte cap
+    NetBindFailed = -707,     ///< OS socket bind/listen failed (not an address conflict)
+    NetFdExhausted = -708,    ///< file-descriptor budget exhausted (EMFILE/ENFILE or soft cap)
+    NetIo = -709,             ///< unexpected OS socket I/O failure
 
     // -- lint: -800 .. -899 --------------------------------------------------
     LintUnknownKind = -800,   ///< model file is no recognised model kind

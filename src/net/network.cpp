@@ -1,0 +1,15 @@
+#include "net/network.hpp"
+
+#include "common/strings.hpp"
+
+namespace starlink::net {
+
+bool Address::isMulticast() const {
+    // 224.0.0.0/4: first octet 224..239.
+    const auto dot = host.find('.');
+    if (dot == std::string::npos) return false;
+    const auto octet = parseInt(std::string_view(host).substr(0, dot));
+    return octet.has_value() && *octet >= 224 && *octet <= 239;
+}
+
+}  // namespace starlink::net

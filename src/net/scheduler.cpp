@@ -36,6 +36,21 @@ void EventScheduler::runUntilIdle(std::size_t maxEvents) {
     }
 }
 
+bool EventScheduler::runOneBefore(TimePoint limit) {
+    if (queue_.empty() || queue_.begin()->first.when > limit) {
+        clock_.advanceTo(limit);
+        return false;
+    }
+    auto it = queue_.begin();
+    const Key key = it->first;
+    auto fn = std::move(it->second);
+    queue_.erase(it);
+    index_.erase(key.seq);
+    clock_.advanceTo(key.when);
+    fn();
+    return true;
+}
+
 void EventScheduler::runFor(Duration window) {
     const TimePoint deadline = clock_.now() + window;
     while (!queue_.empty() && queue_.begin()->first.when <= deadline) {

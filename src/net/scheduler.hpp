@@ -3,7 +3,9 @@
 // All network deliveries, protocol timers and legacy-stack processing delays
 // are events. Execution is single-threaded: callbacks run inside run*() in
 // strict (time, insertion) order, which makes every interleaving
-// reproducible.
+// reproducible. Implements net::TaskScheduler so engines and agents can
+// schedule deferred work without naming the backend (the OS backend supplies
+// a wall-clock implementation of the same interface).
 #pragma once
 
 #include <cstdint>
@@ -12,23 +14,22 @@
 #include <utility>
 
 #include "net/clock.hpp"
+#include "net/network.hpp"
 
 namespace starlink::net {
 
-using EventId = std::uint64_t;
-
-class EventScheduler {
+class EventScheduler final : public TaskScheduler {
 public:
     explicit EventScheduler(VirtualClock& clock) : clock_(clock) {}
 
     /// Schedules `fn` to run `delay` after the current virtual time.
-    EventId schedule(Duration delay, std::function<void()> fn);
+    EventId schedule(Duration delay, std::function<void()> fn) override;
 
     /// Schedules at an absolute virtual time (clamped to now if in the past).
     EventId scheduleAt(TimePoint when, std::function<void()> fn);
 
     /// Cancels a pending event; returns false if it already ran or is unknown.
-    bool cancel(EventId id);
+    bool cancel(EventId id) override;
 
     /// Runs events until the queue drains. `maxEvents` guards against
     /// accidental infinite event loops in tests.
@@ -37,6 +38,12 @@ public:
     /// Runs all events with time <= now + window, then advances the clock to
     /// exactly now + window (even if idle earlier).
     void runFor(Duration window);
+
+    /// Runs the single earliest pending event if it is due at or before
+    /// `limit`. Returns true if one ran; otherwise (idle, or the next event
+    /// lies beyond the limit) advances the clock to `limit` and returns
+    /// false. This is the stepping primitive behind SimNetwork::runUntil.
+    bool runOneBefore(TimePoint limit);
 
     std::size_t pendingEvents() const { return queue_.size(); }
     VirtualClock& clock() { return clock_; }

@@ -41,25 +41,17 @@ const WireCounters& wireCounters() {
 
 }  // namespace
 
-bool Address::isMulticast() const {
-    // 224.0.0.0/4: first octet 224..239.
-    const auto dot = host.find('.');
-    if (dot == std::string::npos) return false;
-    const auto octet = parseInt(std::string_view(host).substr(0, dot));
-    return octet.has_value() && *octet >= 224 && *octet <= 239;
-}
-
 // ---------------------------------------------------------------------------
-// UdpSocket
+// SimUdpSocket
 
-UdpSocket::~UdpSocket() {
+SimUdpSocket::~SimUdpSocket() {
     for (const Address& group : std::set<Address>(groups_)) {
         net_.leaveGroup(this, group);
     }
     net_.udpUnbind(this);
 }
 
-void UdpSocket::joinGroup(const Address& group) {
+void SimUdpSocket::joinGroup(const Address& group) {
     if (!group.isMulticast()) {
         throw NetError(errc::ErrorCode::NetMisuse,
                        "joinGroup: " + group.toString() + " is not a multicast address");
@@ -68,23 +60,23 @@ void UdpSocket::joinGroup(const Address& group) {
     groups_.insert(group);
 }
 
-void UdpSocket::leaveGroup(const Address& group) {
+void SimUdpSocket::leaveGroup(const Address& group) {
     net_.leaveGroup(this, group);
     groups_.erase(group);
 }
 
-void UdpSocket::sendTo(const Address& dest, const Bytes& payload) {
+void SimUdpSocket::sendTo(const Address& dest, const Bytes& payload) {
     net_.udpSend(*this, dest, payload);
 }
 
-void UdpSocket::deliver(const Bytes& payload, const Address& from) {
+void SimUdpSocket::deliver(const Bytes& payload, const Address& from) {
     if (handler_) handler_(payload, from);
 }
 
 // ---------------------------------------------------------------------------
-// TcpConnection
+// SimTcpConnection
 
-void TcpConnection::send(const Bytes& payload) {
+void SimTcpConnection::send(const Bytes& payload) {
     if (!open_) {
         throw NetError(errc::ErrorCode::NetClosedSend,
                        "send on closed connection to " + remote_.toString());
@@ -92,7 +84,7 @@ void TcpConnection::send(const Bytes& payload) {
     net_.tcpSend(*this, payload);
 }
 
-void TcpConnection::close() {
+void SimTcpConnection::close() {
     if (!open_) return;
     open_ = false;
     net_.tcpClose(*this);
@@ -105,9 +97,9 @@ void TcpConnection::close() {
 }
 
 // ---------------------------------------------------------------------------
-// TcpListener
+// SimTcpListener
 
-TcpListener::~TcpListener() { net_.tcpUnbind(this); }
+SimTcpListener::~SimTcpListener() { net_.tcpUnbind(this); }
 
 // ---------------------------------------------------------------------------
 // SimNetwork
@@ -290,35 +282,35 @@ std::unique_ptr<UdpSocket> SimNetwork::openUdp(const std::string& host, std::uin
         throw NetError(errc::ErrorCode::NetBindConflict,
                        "udp bind: " + local.toString() + " already in use");
     }
-    auto socket = std::unique_ptr<UdpSocket>(new UdpSocket(*this, local));
+    auto socket = std::unique_ptr<SimUdpSocket>(new SimUdpSocket(*this, local));
     udpBindings_[local] = socket.get();
     return socket;
 }
 
-void SimNetwork::udpUnbind(UdpSocket* socket) { udpBindings_.erase(socket->localAddress()); }
+void SimNetwork::udpUnbind(SimUdpSocket* socket) { udpBindings_.erase(socket->localAddress()); }
 
-void SimNetwork::joinGroup(UdpSocket* socket, const Address& group) {
+void SimNetwork::joinGroup(SimUdpSocket* socket, const Address& group) {
     groups_[group].insert(socket);
 }
 
-void SimNetwork::leaveGroup(UdpSocket* socket, const Address& group) {
+void SimNetwork::leaveGroup(SimUdpSocket* socket, const Address& group) {
     const auto it = groups_.find(group);
     if (it == groups_.end()) return;
     it->second.erase(socket);
     if (it->second.empty()) groups_.erase(it);
 }
 
-void SimNetwork::udpSend(UdpSocket& from, const Address& dest, const Bytes& payload) {
+void SimNetwork::udpSend(SimUdpSocket& from, const Address& dest, const Bytes& payload) {
     ++datagramsSent_;
     if (telemetry::enabled()) wireCounters().datagramsSent->add();
     const Address source = from.localAddress();
 
     // Determine recipients now (membership at send time), deliver later.
-    std::vector<UdpSocket*> recipients;
+    std::vector<SimUdpSocket*> recipients;
     if (dest.isMulticast()) {
         const auto it = groups_.find(dest);
         if (it != groups_.end()) {
-            for (UdpSocket* member : it->second) {
+            for (SimUdpSocket* member : it->second) {
                 if (member != &from) recipients.push_back(member);
             }
         }
@@ -327,7 +319,7 @@ void SimNetwork::udpSend(UdpSocket& from, const Address& dest, const Bytes& payl
         if (it != udpBindings_.end()) recipients.push_back(it->second);
     }
 
-    for (UdpSocket* recipient : recipients) {
+    for (SimUdpSocket* recipient : recipients) {
         if (!pathUp(source.host, recipient->localAddress().host)) {
             ++partitionDrops_;
             if (telemetry::enabled()) wireCounters().partitionDrops->add();
@@ -355,17 +347,18 @@ std::unique_ptr<TcpListener> SimNetwork::listenTcp(const std::string& host, std:
         throw NetError(errc::ErrorCode::NetBindConflict,
                        "tcp bind: " + local.toString() + " already in use");
     }
-    auto listener = std::unique_ptr<TcpListener>(new TcpListener(*this, local));
+    auto listener = std::unique_ptr<SimTcpListener>(new SimTcpListener(*this, local));
     tcpBindings_[local] = listener.get();
     return listener;
 }
 
-void SimNetwork::tcpUnbind(TcpListener* listener) { tcpBindings_.erase(listener->localAddress()); }
+void SimNetwork::tcpUnbind(SimTcpListener* listener) { tcpBindings_.erase(listener->localAddress()); }
 
 void SimNetwork::connectTcp(const std::string& host, const Address& dest,
-                            std::function<void(std::shared_ptr<TcpConnection>)> onResult) {
+                            ConnectCallback onResult, ConnectErrorCallback onError) {
     scheduler_.schedule(sampleLatency(host, dest.host),
-                        [this, host, dest, onResult = std::move(onResult)] {
+                        [this, host, dest, onResult = std::move(onResult),
+                         onError = std::move(onError)] {
         const auto it = tcpBindings_.find(dest);
         const bool blackholed = faultBlackholed(host) || faultBlackholed(dest.host);
         if (it == tcpBindings_.end() || !pathUp(host, dest.host) || blackholed) {
@@ -374,12 +367,19 @@ void SimNetwork::connectTcp(const std::string& host, const Address& dest,
                 wireCounters().connectsRefused->add();
                 if (blackholed) wireCounters().blackholes->add();
             }
+            if (onError) {
+                onError(errc::ErrorCode::NetConnectRefused,
+                        blackholed ? "connect to " + dest.toString() + " blackholed"
+                                   : "connect to " + dest.toString() + " refused");
+            }
             onResult(nullptr);
             return;
         }
         const Address clientAddr{host, ephemeralPort(host)};
-        auto client = std::shared_ptr<TcpConnection>(new TcpConnection(*this, clientAddr, dest));
-        auto server = std::shared_ptr<TcpConnection>(new TcpConnection(*this, dest, clientAddr));
+        auto client =
+            std::shared_ptr<SimTcpConnection>(new SimTcpConnection(*this, clientAddr, dest));
+        auto server =
+            std::shared_ptr<SimTcpConnection>(new SimTcpConnection(*this, dest, clientAddr));
         client->peer_ = server;
         server->peer_ = client;
         aliveTcp_.insert(client);
@@ -389,7 +389,16 @@ void SimNetwork::connectTcp(const std::string& host, const Address& dest,
     });
 }
 
-void SimNetwork::tcpSend(TcpConnection& from, const Bytes& payload) {
+bool SimNetwork::runUntil(std::function<bool()> done, Duration timeout) {
+    const TimePoint deadline = now() + timeout;
+    while (!done()) {
+        if (now() >= deadline) break;
+        if (!scheduler_.runOneBefore(deadline)) break;  // idle: clock is at deadline
+    }
+    return done();
+}
+
+void SimNetwork::tcpSend(SimTcpConnection& from, const Bytes& payload) {
     auto peer = from.peer_.lock();
     if (!peer || !peer->open_) return;  // peer already gone; data vanishes as on RST
     if (!pathUp(from.local_.host, peer->local_.host)) return;
@@ -404,9 +413,9 @@ void SimNetwork::tcpSend(TcpConnection& from, const Bytes& payload) {
     });
 }
 
-void SimNetwork::tcpClose(TcpConnection& from) {
+void SimNetwork::tcpClose(SimTcpConnection& from) {
     auto peer = from.peer_.lock();
-    aliveTcp_.erase(from.shared_from_this());
+    aliveTcp_.erase(std::static_pointer_cast<SimTcpConnection>(from.shared_from_this()));
     if (!peer) return;
     if (!peer->open_) {
         aliveTcp_.erase(peer);

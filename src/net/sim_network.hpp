@@ -6,6 +6,11 @@
 // streams -- plus configurable latency, jitter and loss for fault-injection
 // tests. All activity is event-driven on an EventScheduler over virtual time.
 //
+// SimNetwork is one backend of the net::Network interface (network.hpp); the
+// OS-socket backend lives in src/core/net/. Chaos knobs (FaultSchedule,
+// latency models, partitions, reseeding) are sim-only by design -- they are
+// what make this backend the deterministic substrate for tests and benches.
+//
 // Simplifications relative to a real stack (none affect the reproduced
 // behaviour):
 //  - datagrams are never fragmented and have no size limit;
@@ -27,24 +32,10 @@
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
+#include "net/network.hpp"
 #include "net/scheduler.hpp"
 
 namespace starlink::net {
-
-/// An (ip, port) endpoint. Multicast groups are addresses in 224.0.0.0/4.
-struct Address {
-    std::string host;
-    std::uint16_t port = 0;
-
-    bool operator==(const Address&) const = default;
-    bool operator<(const Address& other) const {
-        return host != other.host ? host < other.host : port < other.port;
-    }
-    std::string toString() const { return host + ":" + std::to_string(port); }
-
-    /// True for 224.0.0.0 - 239.255.255.255.
-    bool isMulticast() const;
-};
 
 /// Latency distribution for one hop: base + uniform jitter, plus a loss
 /// probability applied per datagram (TCP chunks are never lost -- the real
@@ -117,101 +108,69 @@ private:
 
 class SimNetwork;
 
-/// A bound UDP socket. Obtained from SimNetwork::openUdp(); closing happens
-/// via RAII.
-class UdpSocket {
+/// The sim backend's UDP socket.
+class SimUdpSocket final : public UdpSocket {
 public:
-    using DatagramHandler = std::function<void(const Bytes&, const Address& from)>;
+    ~SimUdpSocket() override;
 
-    ~UdpSocket();
-    UdpSocket(const UdpSocket&) = delete;
-    UdpSocket& operator=(const UdpSocket&) = delete;
-
-    const Address& localAddress() const { return local_; }
-
-    /// Registers the receive callback (replaces any previous one).
-    void onDatagram(DatagramHandler handler) { handler_ = std::move(handler); }
-
-    /// Joins a multicast group; datagrams sent to (group, this socket's port)
-    /// will be delivered here.
-    void joinGroup(const Address& group);
-    void leaveGroup(const Address& group);
-
-    /// Sends a datagram to a unicast or multicast destination.
-    void sendTo(const Address& dest, const Bytes& payload);
+    const Address& localAddress() const override { return local_; }
+    void joinGroup(const Address& group) override;
+    void leaveGroup(const Address& group) override;
+    void sendTo(const Address& dest, const Bytes& payload) override;
 
 private:
     friend class SimNetwork;
-    UdpSocket(SimNetwork& net, Address local) : net_(net), local_(std::move(local)) {}
+    SimUdpSocket(SimNetwork& net, Address local) : net_(net), local_(std::move(local)) {}
 
     void deliver(const Bytes& payload, const Address& from);
 
     SimNetwork& net_;
     Address local_;
-    DatagramHandler handler_;
     std::set<Address> groups_;
 };
 
-/// One side of an established TCP-like connection.
-class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
+/// One side of a simulated TCP-like connection.
+class SimTcpConnection final : public TcpConnection {
 public:
-    using DataHandler = std::function<void(const Bytes&)>;
-    using CloseHandler = std::function<void()>;
-
-    /// Sends one ordered chunk to the peer. Throws NetError if closed.
-    void send(const Bytes& payload);
-
-    void onData(DataHandler handler) { dataHandler_ = std::move(handler); }
-    void onClose(CloseHandler handler) { closeHandler_ = std::move(handler); }
-
-    /// Closes both directions; the peer's onClose fires after one latency.
-    void close();
-
-    bool isOpen() const { return open_; }
-    const Address& localAddress() const { return local_; }
-    const Address& remoteAddress() const { return remote_; }
+    void send(const Bytes& payload) override;
+    void close() override;
+    bool isOpen() const override { return open_; }
+    const Address& localAddress() const override { return local_; }
+    const Address& remoteAddress() const override { return remote_; }
 
 private:
     friend class SimNetwork;
-    TcpConnection(SimNetwork& net, Address local, Address remote)
+    SimTcpConnection(SimNetwork& net, Address local, Address remote)
         : net_(net), local_(std::move(local)), remote_(std::move(remote)) {}
 
     SimNetwork& net_;
     Address local_;
     Address remote_;
-    std::weak_ptr<TcpConnection> peer_;
-    DataHandler dataHandler_;
-    CloseHandler closeHandler_;
+    std::weak_ptr<SimTcpConnection> peer_;
     bool open_ = true;
     /// TCP is FIFO: no chunk may overtake an earlier one even when its
     /// latency sample is smaller.
     TimePoint earliestDelivery_{};
 };
 
-/// A TCP listener bound to an (ip, port).
-class TcpListener {
+/// The sim backend's TCP listener.
+class SimTcpListener final : public TcpListener {
 public:
-    using AcceptHandler = std::function<void(std::shared_ptr<TcpConnection>)>;
+    ~SimTcpListener() override;
 
-    ~TcpListener();
-    TcpListener(const TcpListener&) = delete;
-    TcpListener& operator=(const TcpListener&) = delete;
-
-    const Address& localAddress() const { return local_; }
-    void onAccept(AcceptHandler handler) { handler_ = std::move(handler); }
+    const Address& localAddress() const override { return local_; }
 
 private:
     friend class SimNetwork;
-    TcpListener(SimNetwork& net, Address local) : net_(net), local_(std::move(local)) {}
+    SimTcpListener(SimNetwork& net, Address local) : net_(net), local_(std::move(local)) {}
 
     SimNetwork& net_;
     Address local_;
-    AcceptHandler handler_;
 };
 
 /// The network fabric. Owns no sockets (they are RAII handles referencing it)
 /// but tracks all bindings, multicast membership and host partitions.
-class SimNetwork {
+class SimNetwork final : public Network {
 public:
     SimNetwork(EventScheduler& scheduler, std::uint64_t seed = 42)
         : scheduler_(scheduler), rng_(seed) {}
@@ -220,10 +179,13 @@ public:
     /// closed (so late close() calls on user-held handles are no-ops) and
     /// drops their handlers, which commonly capture shared_ptrs back to the
     /// connection and would otherwise keep the pair alive as a cycle.
-    ~SimNetwork();
+    ~SimNetwork() override;
 
-    EventScheduler& scheduler() { return scheduler_; }
-    TimePoint now() const { return scheduler_.clock().now(); }
+    /// Covariant: sim-aware callers keep the full EventScheduler (runFor,
+    /// runUntilIdle); interface callers see TaskScheduler.
+    EventScheduler& scheduler() override { return scheduler_; }
+    TimePoint now() const override { return scheduler_.clock().now(); }
+    const char* backendName() const override { return "sim"; }
 
     /// Rewinds the fabric's random stream to a fresh seed. Called between
     /// pooled sessions by the sharded driver: combined with a seed-derived
@@ -234,18 +196,23 @@ public:
 
     /// Binds a UDP socket. port==0 picks an ephemeral port. Throws NetError
     /// if (host, port) is already bound.
-    std::unique_ptr<UdpSocket> openUdp(const std::string& host, std::uint16_t port = 0);
+    std::unique_ptr<UdpSocket> openUdp(const std::string& host, std::uint16_t port = 0) override;
 
     /// Binds a TCP listener; same binding rules as openUdp.
-    std::unique_ptr<TcpListener> listenTcp(const std::string& host, std::uint16_t port);
+    std::unique_ptr<TcpListener> listenTcp(const std::string& host, std::uint16_t port) override;
 
     /// Initiates a connection from `host` to `dest`. The callback receives
     /// the client-side connection on success or nullptr when nobody listens
-    /// on `dest` (connection refused) or the path is partitioned.
-    void connectTcp(const std::string& host, const Address& dest,
-                    std::function<void(std::shared_ptr<TcpConnection>)> onResult);
+    /// on `dest` (connection refused) or the path is partitioned; `onError`
+    /// additionally observes the refusal code.
+    void connectTcp(const std::string& host, const Address& dest, ConnectCallback onResult,
+                    ConnectErrorCallback onError = nullptr) override;
 
-    // -- behaviour knobs -----------------------------------------------------
+    /// Steps virtual time event by event until `done()` holds, the fabric
+    /// goes idle, or `timeout` of virtual time elapses.
+    bool runUntil(std::function<bool()> done, Duration timeout) override;
+
+    // -- behaviour knobs (sim-only; excluded from net::Network) --------------
     LatencyModel& latency() { return latency_; }
 
     /// Overrides the latency model for traffic between two specific hosts
@@ -279,9 +246,9 @@ public:
     std::size_t connectsRefused() const { return connectsRefused_; }
 
 private:
-    friend class UdpSocket;
-    friend class TcpConnection;
-    friend class TcpListener;
+    friend class SimUdpSocket;
+    friend class SimTcpConnection;
+    friend class SimTcpListener;
 
     Duration sampleLatency();
     Duration sampleLatency(const std::string& from, const std::string& to);
@@ -292,25 +259,25 @@ private:
     bool faultBlackholed(const std::string& host) const;
     std::uint16_t ephemeralPort(const std::string& host);
 
-    void udpUnbind(UdpSocket* socket);
-    void udpSend(UdpSocket& from, const Address& dest, const Bytes& payload);
-    void joinGroup(UdpSocket* socket, const Address& group);
-    void leaveGroup(UdpSocket* socket, const Address& group);
-    void tcpUnbind(TcpListener* listener);
-    void tcpSend(TcpConnection& from, const Bytes& payload);
-    void tcpClose(TcpConnection& from);
+    void udpUnbind(SimUdpSocket* socket);
+    void udpSend(SimUdpSocket& from, const Address& dest, const Bytes& payload);
+    void joinGroup(SimUdpSocket* socket, const Address& group);
+    void leaveGroup(SimUdpSocket* socket, const Address& group);
+    void tcpUnbind(SimTcpListener* listener);
+    void tcpSend(SimTcpConnection& from, const Bytes& payload);
+    void tcpClose(SimTcpConnection& from);
 
     EventScheduler& scheduler_;
     Rng rng_;
     LatencyModel latency_;
     std::map<std::pair<std::string, std::string>, LatencyModel> linkLatency_;
 
-    std::map<Address, UdpSocket*> udpBindings_;
-    std::map<Address, std::set<UdpSocket*>> groups_;  // (group ip, port) -> members
-    std::map<Address, TcpListener*> tcpBindings_;
+    std::map<Address, SimUdpSocket*> udpBindings_;
+    std::map<Address, std::set<SimUdpSocket*>> groups_;  // (group ip, port) -> members
+    std::map<Address, SimTcpListener*> tcpBindings_;
     // Open connections stay alive even when user code drops its handles --
     // like real sockets, they exist until closed (or the network dies).
-    std::set<std::shared_ptr<TcpConnection>> aliveTcp_;
+    std::set<std::shared_ptr<SimTcpConnection>> aliveTcp_;
     std::map<std::string, std::uint16_t> nextEphemeral_;
     std::set<std::string> partitioned_;
     FaultSchedule faults_;

@@ -7,7 +7,7 @@ namespace starlink::http {
 // ---------------------------------------------------------------------------
 // Server
 
-Server::Server(net::SimNetwork& network, Config config)
+Server::Server(net::Network& network, Config config)
     : network_(network), config_(std::move(config)), rng_(config_.seed) {
     listener_ = network_.listenTcp(config_.host, config_.port);
     listener_->onAccept([this](std::shared_ptr<net::TcpConnection> connection) {

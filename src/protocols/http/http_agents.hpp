@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "net/sim_network.hpp"
+#include "net/network.hpp"
 #include "protocols/http/http_codec.hpp"
 
 namespace starlink::http {
@@ -25,7 +25,7 @@ public:
         std::uint64_t seed = 17;
     };
 
-    Server(net::SimNetwork& network, Config config);
+    Server(net::Network& network, Config config);
 
     void addResource(const std::string& path, std::string body,
                      std::string contentType = "text/xml");
@@ -36,7 +36,7 @@ public:
 private:
     void onRequest(const std::shared_ptr<net::TcpConnection>& connection, const Bytes& data);
 
-    net::SimNetwork& network_;
+    net::Network& network_;
     Config config_;
     Rng rng_;
     std::unique_ptr<net::TcpListener> listener_;
@@ -50,7 +50,7 @@ class Client {
 public:
     using Callback = std::function<void(std::optional<Response>)>;
 
-    Client(net::SimNetwork& network, std::string host) : network_(network), host_(std::move(host)) {}
+    Client(net::Network& network, std::string host) : network_(network), host_(std::move(host)) {}
 
     /// Fetches http://host:port/path; the callback receives nullopt on
     /// connection refusal or a malformed response.
@@ -58,7 +58,7 @@ public:
              Callback callback);
 
 private:
-    net::SimNetwork& network_;
+    net::Network& network_;
     std::string host_;
 };
 

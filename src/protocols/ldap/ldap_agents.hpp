@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "net/sim_network.hpp"
+#include "net/network.hpp"
 #include "protocols/ldap/ldap_codec.hpp"
 
 namespace starlink::ldap {
@@ -36,7 +36,7 @@ public:
         std::uint64_t seed = 29;
     };
 
-    DirectoryServer(net::SimNetwork& network, Config config);
+    DirectoryServer(net::Network& network, Config config);
 
     void addEntry(Entry entry) { entries_.push_back(std::move(entry)); }
 
@@ -46,7 +46,7 @@ public:
 private:
     void onRequest(const std::shared_ptr<net::TcpConnection>& connection, const Bytes& data);
 
-    net::SimNetwork& network_;
+    net::Network& network_;
     Config config_;
     Rng rng_;
     std::unique_ptr<net::TcpListener> listener_;
@@ -66,14 +66,14 @@ public:
     };
     using Callback = std::function<void(const Result&)>;
 
-    DirectoryClient(net::SimNetwork& network, std::string host)
+    DirectoryClient(net::Network& network, std::string host)
         : network_(network), host_(std::move(host)) {}
 
     void search(const std::string& directoryHost, std::uint16_t directoryPort,
                 const std::string& serviceClass, const std::string& filter, Callback callback);
 
 private:
-    net::SimNetwork& network_;
+    net::Network& network_;
     std::string host_;
     std::uint16_t nextId_ = 0x6000;
 };

@@ -7,7 +7,7 @@ namespace starlink::mdns {
 // ---------------------------------------------------------------------------
 // Responder
 
-Responder::Responder(net::SimNetwork& network, Config config)
+Responder::Responder(net::Network& network, Config config)
     : network_(network), config_(std::move(config)), rng_(config_.seed) {
     socket_ = network_.openUdp(config_.host, kPort);
     socket_->joinGroup(net::Address{kGroup, kPort});
@@ -38,7 +38,7 @@ void Responder::onDatagram(const Bytes& payload, const net::Address& from) {
 // ---------------------------------------------------------------------------
 // Resolver
 
-Resolver::Resolver(net::SimNetwork& network, Config config)
+Resolver::Resolver(net::Network& network, Config config)
     : network_(network), config_(std::move(config)), rng_(config_.seed) {
     socket_ = network_.openUdp(config_.host);
     socket_->onDatagram([this](const Bytes& payload, const net::Address& from) {

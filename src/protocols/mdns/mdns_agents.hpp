@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "net/sim_network.hpp"
+#include "net/network.hpp"
 #include "protocols/mdns/dns_codec.hpp"
 
 namespace starlink::mdns {
@@ -33,7 +33,7 @@ public:
         std::uint64_t seed = 11;
     };
 
-    Responder(net::SimNetwork& network, Config config);
+    Responder(net::Network& network, Config config);
 
     std::size_t questionsAnswered() const { return answered_; }
     const Config& config() const { return config_; }
@@ -41,7 +41,7 @@ public:
 private:
     void onDatagram(const Bytes& payload, const net::Address& from);
 
-    net::SimNetwork& network_;
+    net::Network& network_;
     Config config_;
     Rng rng_;
     std::unique_ptr<net::UdpSocket> socket_;
@@ -74,7 +74,7 @@ public:
     };
     using Callback = std::function<void(const Result&)>;
 
-    Resolver(net::SimNetwork& network, Config config);
+    Resolver(net::Network& network, Config config);
 
     /// One browse at a time per resolver.
     void browse(const std::string& serviceName, Callback callback);
@@ -83,7 +83,7 @@ private:
     void onDatagram(const Bytes& payload, const net::Address& from);
     void report();
 
-    net::SimNetwork& network_;
+    net::Network& network_;
     Config config_;
     Rng rng_;
     std::unique_ptr<net::UdpSocket> socket_;

@@ -23,7 +23,7 @@ bool predicateMatches(const std::string& predicate,
 // ---------------------------------------------------------------------------
 // ServiceAgent
 
-ServiceAgent::ServiceAgent(net::SimNetwork& network, Config config)
+ServiceAgent::ServiceAgent(net::Network& network, Config config)
     : network_(network), config_(std::move(config)), rng_(config_.seed) {
     socket_ = network_.openUdp(config_.host, kPort);
     socket_->joinGroup(net::Address{kGroup, kPort});
@@ -60,7 +60,7 @@ void ServiceAgent::onDatagram(const Bytes& payload, const net::Address& from) {
 // ---------------------------------------------------------------------------
 // UserAgent
 
-UserAgent::UserAgent(net::SimNetwork& network, Config config)
+UserAgent::UserAgent(net::Network& network, Config config)
     : network_(network), config_(std::move(config)) {
     socket_ = network_.openUdp(config_.host);  // ephemeral port, per lookup socket reuse
     socket_->onDatagram([this](const Bytes& payload, const net::Address& from) {

@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "net/sim_network.hpp"
+#include "net/network.hpp"
 #include "protocols/slp/slp_codec.hpp"
 
 namespace starlink::slp {
@@ -40,7 +40,7 @@ public:
         std::uint64_t seed = 7;
     };
 
-    ServiceAgent(net::SimNetwork& network, Config config);
+    ServiceAgent(net::Network& network, Config config);
 
     std::size_t requestsServed() const { return served_; }
     const Config& config() const { return config_; }
@@ -48,7 +48,7 @@ public:
 private:
     void onDatagram(const Bytes& payload, const net::Address& from);
 
-    net::SimNetwork& network_;
+    net::Network& network_;
     Config config_;
     Rng rng_;
     std::unique_ptr<net::UdpSocket> socket_;
@@ -75,7 +75,7 @@ public:
     };
     using Callback = std::function<void(const Result&)>;
 
-    UserAgent(net::SimNetwork& network, Config config);
+    UserAgent(net::Network& network, Config config);
 
     /// Multicasts a lookup for `serviceType`; the callback fires at the
     /// first matching reply or at timeout. One lookup may be in flight at a
@@ -86,7 +86,7 @@ private:
     void onDatagram(const Bytes& payload, const net::Address& from);
     void finish(Result result);
 
-    net::SimNetwork& network_;
+    net::Network& network_;
     Config config_;
     std::unique_ptr<net::UdpSocket> socket_;
     std::uint16_t nextXid_ = 0x1000;

@@ -8,7 +8,7 @@ namespace starlink::ssdp {
 // ---------------------------------------------------------------------------
 // Device
 
-Device::Device(net::SimNetwork& network, Config config)
+Device::Device(net::Network& network, Config config)
     : network_(network), config_(std::move(config)), rng_(config_.seed) {
     socket_ = network_.openUdp(config_.host, kPort);
     socket_->joinGroup(net::Address{kGroup, kPort});
@@ -62,7 +62,7 @@ void Device::onDatagram(const Bytes& payload, const net::Address& from) {
 // ---------------------------------------------------------------------------
 // ControlPoint
 
-ControlPoint::ControlPoint(net::SimNetwork& network, Config config)
+ControlPoint::ControlPoint(net::Network& network, Config config)
     : network_(network),
       config_(std::move(config)),
       rng_(config_.seed),

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "net/sim_network.hpp"
+#include "net/network.hpp"
 #include "protocols/http/http_agents.hpp"
 #include "protocols/ssdp/ssdp_codec.hpp"
 
@@ -42,7 +42,7 @@ public:
         std::uint64_t seed = 19;
     };
 
-    Device(net::SimNetwork& network, Config config);
+    Device(net::Network& network, Config config);
 
     std::size_t searchesAnswered() const { return answered_; }
     const Config& config() const { return config_; }
@@ -52,7 +52,7 @@ public:
 private:
     void onDatagram(const Bytes& payload, const net::Address& from);
 
-    net::SimNetwork& network_;
+    net::Network& network_;
     Config config_;
     Rng rng_;
     std::unique_ptr<net::UdpSocket> socket_;
@@ -86,7 +86,7 @@ public:
     };
     using Callback = std::function<void(const Result&)>;
 
-    ControlPoint(net::SimNetwork& network, Config config);
+    ControlPoint(net::Network& network, Config config);
 
     /// One search at a time per control point.
     void search(const std::string& st, Callback callback);
@@ -96,7 +96,7 @@ private:
     void windowClosed();
     void finish(Result result);
 
-    net::SimNetwork& network_;
+    net::Network& network_;
     Config config_;
     Rng rng_;
     std::unique_ptr<net::UdpSocket> socket_;

@@ -7,7 +7,7 @@ namespace starlink::wsd {
 // ---------------------------------------------------------------------------
 // Target
 
-Target::Target(net::SimNetwork& network, Config config)
+Target::Target(net::Network& network, Config config)
     : network_(network), config_(std::move(config)), rng_(config_.seed) {
     socket_ = network_.openUdp(config_.host, kPort);
     socket_->joinGroup(net::Address{kGroup, kPort});
@@ -40,7 +40,7 @@ void Target::onDatagram(const Bytes& payload, const net::Address& from) {
 // ---------------------------------------------------------------------------
 // Client
 
-Client::Client(net::SimNetwork& network, Config config)
+Client::Client(net::Network& network, Config config)
     : network_(network), config_(std::move(config)) {
     socket_ = network_.openUdp(config_.host);
     socket_->onDatagram([this](const Bytes& payload, const net::Address& from) {

@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "net/sim_network.hpp"
+#include "net/network.hpp"
 #include "protocols/wsd/wsd_codec.hpp"
 
 namespace starlink::wsd {
@@ -26,7 +26,7 @@ public:
         std::uint64_t seed = 37;
     };
 
-    Target(net::SimNetwork& network, Config config);
+    Target(net::Network& network, Config config);
 
     std::size_t probesAnswered() const { return answered_; }
     const Config& config() const { return config_; }
@@ -34,7 +34,7 @@ public:
 private:
     void onDatagram(const Bytes& payload, const net::Address& from);
 
-    net::SimNetwork& network_;
+    net::Network& network_;
     Config config_;
     Rng rng_;
     std::unique_ptr<net::UdpSocket> socket_;
@@ -56,7 +56,7 @@ public:
     };
     using Callback = std::function<void(const Result&)>;
 
-    Client(net::SimNetwork& network, Config config);
+    Client(net::Network& network, Config config);
 
     void probe(const std::string& types, Callback callback);
 
@@ -64,7 +64,7 @@ private:
     void onDatagram(const Bytes& payload, const net::Address& from);
     void finish(Result result);
 
-    net::SimNetwork& network_;
+    net::Network& network_;
     Config config_;
     std::unique_ptr<net::UdpSocket> socket_;
     std::optional<std::string> pendingId_;

@@ -13,6 +13,11 @@ protected:
     net::EventScheduler scheduler{clock};
     net::SimNetwork network{scheduler};
 
+    /// The backend through the interface every engine layer now programs
+    /// against; tests that should stay backend-generic use this instead of
+    /// naming `network` (which keeps sim-only powers like chaos explicit).
+    net::Network& net() { return network; }
+
     /// Runs the simulation to quiescence (bounded, so a livelock fails the
     /// test instead of hanging it).
     void run(std::size_t maxEvents = 100000) { scheduler.runUntilIdle(maxEvents); }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "net/sim_network.hpp"
 #include "common/error.hpp"
 #include "core/bridge/models.hpp"
 #include "core/bridge/starlink.hpp"

@@ -118,6 +118,26 @@ TEST(ErrorCatalogue, ExceptionMappingHonoursCodes) {
     EXPECT_EQ(starlink::to_error_code(std::runtime_error("raw")), ErrorCode::Unclassified);
 }
 
+TEST(ErrorCatalogue, OsBackendNetCodesRoundTrip) {
+    // The real-transport backend's codes (src/core/net/os_network.cpp) are
+    // first-class taxonomy members: stable names, net layer, remediation
+    // text, numeric round-trips. A bind/connect/fd failure on real sockets
+    // must never surface as Unclassified.
+    const std::vector<std::pair<ErrorCode, std::string>> codes = {
+        {ErrorCode::NetBindFailed, "net.bind-failed"},
+        {ErrorCode::NetFdExhausted, "net.fd-exhausted"},
+        {ErrorCode::NetIo, "net.io"},
+    };
+    for (const auto& [code, name] : codes) {
+        EXPECT_EQ(to_string(code), name);
+        EXPECT_EQ(layerOf(code), Layer::Net);
+        EXPECT_EQ(fromInt(to_error_code(code)), code);
+        EXPECT_EQ(fromName(name), code);
+        EXPECT_NE(std::string(remediation(code)), "");
+        EXPECT_EQ(to_error_code(NetError(code, "x")), code);
+    }
+}
+
 TEST(ErrorCatalogue, EveryFailureCauseMapsToOneCode) {
     using engine::FailureCause;
     EXPECT_EQ(engine::to_error_code(FailureCause::None), ErrorCode::Ok);

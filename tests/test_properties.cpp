@@ -17,6 +17,7 @@
 
 #include <map>
 
+#include "net/sim_network.hpp"
 #include "common/rng.hpp"
 #include "core/automata/color.hpp"
 #include "core/bridge/models.hpp"

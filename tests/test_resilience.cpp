@@ -9,6 +9,7 @@
 #include <tuple>
 #include <vector>
 
+#include "net/sim_network.hpp"
 #include "common/error.hpp"
 #include "core/bridge/models.hpp"
 #include "core/bridge/starlink.hpp"

@@ -1,0 +1,319 @@
+// Backend-parametrized conformance suite: the six-direction interop matrix
+// of test_integration.cpp, executed on BOTH transport backends through the
+// net::Network interface alone, asserting the backends are observationally
+// equivalent -- same lookup outcome, same session completion, same abort
+// codes, same per-direction message tallies (docs/TRANSPORT.md).
+//
+// The sim rows run on virtual time; the OS rows run on real loopback sockets
+// (kernel-assigned ports, so parallel ctest invocations never collide). OS
+// rows are skipped -- not failed -- in sandboxes whose kernel does not
+// deliver multicast on the loopback interface.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bridge/models.hpp"
+#include "core/bridge/starlink.hpp"
+#include "core/net/os_network.hpp"
+#include "net/sim_network.hpp"
+#include "protocols/mdns/mdns_agents.hpp"
+#include "protocols/slp/slp_agents.hpp"
+#include "protocols/ssdp/ssdp_agents.hpp"
+
+namespace starlink {
+namespace {
+
+using bridge::models::Case;
+
+constexpr const char* kBridgeHost = "10.0.0.9";
+const net::Duration kSessionBudget = net::ms(15000);
+
+/// Everything a direction's run exposes to equivalence assertions.
+struct Outcome {
+    std::string backend;
+    bool success = false;
+    std::string url;
+    std::size_t sessions = 0;
+    bool completed = false;
+    engine::FailureCause cause = engine::FailureCause::None;
+    errc::ErrorCode code = errc::ErrorCode::Ok;
+    std::size_t messagesIn = 0;
+    std::size_t messagesOut = 0;
+};
+
+/// Fast agent configs (mirroring test_integration.cpp): latency realism is
+/// the benches' business; conformance only compares behaviour, and the OS
+/// rows pay these delays in real wall-clock time.
+slp::ServiceAgent::Config fastSlpService() {
+    slp::ServiceAgent::Config config;
+    config.responseDelayBase = net::ms(5);
+    config.responseDelayJitter = net::ms(1);
+    return config;
+}
+mdns::Responder::Config fastResponder() {
+    mdns::Responder::Config config;
+    config.responseDelayBase = net::ms(5);
+    config.responseDelayJitter = net::ms(1);
+    return config;
+}
+ssdp::Device::Config fastDevice() {
+    ssdp::Device::Config config;
+    config.responseDelayBase = net::ms(5);
+    config.responseDelayJitter = net::ms(1);
+    return config;
+}
+mdns::Resolver::Config fastResolver() {
+    mdns::Resolver::Config config;
+    config.aggregationBase = net::ms(20);
+    config.aggregationJitter = net::ms(2);
+    return config;
+}
+ssdp::ControlPoint::Config fastControlPoint() {
+    ssdp::ControlPoint::Config config;
+    config.mxWindowBase = net::ms(30);
+    config.mxWindowJitter = net::ms(3);
+    return config;
+}
+
+/// Runs one bridged conversation of `direction` on `net` and captures the
+/// outcome. `withService` false leaves the legacy service side empty (the
+/// abort-equivalence rows). Everything here goes through net::Network --
+/// this function cannot tell which backend it is driving.
+Outcome runDirection(net::Network& net, Case direction, bool withService = true,
+                     engine::EngineOptions options = {}) {
+    Outcome outcome;
+    outcome.backend = net.backendName();
+
+    bridge::Starlink starlink{net};
+    auto& deployed =
+        starlink.deploy(bridge::models::forCase(direction, kBridgeHost), kBridgeHost, options);
+
+    // The legacy service for the far side of the bridge.
+    std::unique_ptr<ssdp::Device> device;
+    std::unique_ptr<mdns::Responder> responder;
+    std::unique_ptr<slp::ServiceAgent> slpService;
+    std::string serviceUrl;
+    if (withService) {
+        switch (direction) {
+            case Case::SlpToUpnp:
+            case Case::BonjourToUpnp:
+                device = std::make_unique<ssdp::Device>(net, fastDevice());
+                serviceUrl = device->config().serviceUrl;
+                break;
+            case Case::SlpToBonjour:
+            case Case::UpnpToBonjour:
+                responder = std::make_unique<mdns::Responder>(net, fastResponder());
+                serviceUrl = responder->config().url;
+                break;
+            case Case::UpnpToSlp:
+            case Case::BonjourToSlp:
+                slpService = std::make_unique<slp::ServiceAgent>(net, fastSlpService());
+                serviceUrl = slpService->config().url;
+                break;
+        }
+    }
+
+    // The legacy client on the near side; all three deliver urls the same way.
+    bool settled = false;
+    std::vector<std::string> urls;
+    const auto capture = [&settled, &urls](std::vector<std::string> found) {
+        urls = std::move(found);
+        settled = true;
+    };
+    std::unique_ptr<slp::UserAgent> slpClient;
+    std::unique_ptr<ssdp::ControlPoint> controlPoint;
+    std::unique_ptr<mdns::Resolver> resolver;
+    switch (direction) {
+        case Case::SlpToUpnp:
+        case Case::SlpToBonjour: {
+            slp::UserAgent::Config config;
+            config.timeout = net::ms(2000);
+            slpClient = std::make_unique<slp::UserAgent>(net, config);
+            slpClient->lookup("service:printer", [capture](const slp::UserAgent::Result& r) {
+                capture(r.urls);
+            });
+            break;
+        }
+        case Case::UpnpToSlp:
+        case Case::UpnpToBonjour:
+            controlPoint = std::make_unique<ssdp::ControlPoint>(net, fastControlPoint());
+            controlPoint->search("urn:schemas-upnp-org:service:printer:1",
+                                 [capture](const ssdp::ControlPoint::Result& r) {
+                                     capture(r.urls);
+                                 });
+            break;
+        case Case::BonjourToUpnp:
+        case Case::BonjourToSlp:
+            resolver = std::make_unique<mdns::Resolver>(net, fastResolver());
+            resolver->browse("_printer._tcp.local",
+                             [capture](const mdns::Resolver::Result& r) { capture(r.urls); });
+            break;
+    }
+
+    // Drive until the client settled AND the bridge recorded a terminal
+    // session (post-reply legs, e.g. the UPnP description fetch, may still
+    // be in flight when the client callback fires).
+    auto& engine = deployed.engine();
+    net.runUntil(
+        [&settled, &engine] { return settled && engine.sessions().size() >= 1; },
+        kSessionBudget);
+
+    outcome.success = !urls.empty();
+    if (!urls.empty()) outcome.url = urls[0];
+    outcome.sessions = engine.sessions().size();
+    if (outcome.sessions > 0) {
+        const auto& record = engine.sessions()[0];
+        outcome.completed = record.completed;
+        outcome.cause = record.cause;
+        outcome.code = record.code;
+        outcome.messagesIn = record.messagesIn;
+        outcome.messagesOut = record.messagesOut;
+    }
+    if (withService) {
+        EXPECT_EQ(outcome.url, serviceUrl)
+            << net.backendName() << " resolved the wrong service url";
+    }
+    return outcome;
+}
+
+/// Runs a direction on both backends and asserts observational equivalence.
+void expectEquivalent(Case direction, bool withService = true,
+                      engine::EngineOptions options = {}) {
+    // Sim row: virtual time.
+    net::VirtualClock clock;
+    net::EventScheduler scheduler{clock};
+    net::SimNetwork simNetwork{scheduler};
+    const Outcome sim = runDirection(simNetwork, direction, withService, options);
+
+    // OS row: real loopback sockets, kernel-assigned ports.
+    net::OsNetwork osNetwork;
+    const Outcome os = runDirection(osNetwork, direction, withService, options);
+
+    EXPECT_EQ(sim.success, os.success) << "lookup outcome diverged";
+    EXPECT_EQ(sim.url, os.url) << "resolved url diverged";
+    EXPECT_EQ(sim.sessions, os.sessions) << "session count diverged";
+    EXPECT_EQ(sim.completed, os.completed) << "session completion diverged";
+    EXPECT_EQ(failureCauseName(sim.cause), failureCauseName(os.cause))
+        << "abort cause diverged";
+    EXPECT_EQ(errc::to_string(sim.code), errc::to_string(os.code))
+        << "abort taxonomy code diverged";
+    EXPECT_EQ(sim.messagesIn, os.messagesIn) << "inbound message tally diverged";
+    EXPECT_EQ(sim.messagesOut, os.messagesOut) << "outbound message tally diverged";
+}
+
+class TransportConformance : public ::testing::Test {
+protected:
+    void SetUp() override {
+        if (!net::OsNetwork::loopbackMulticastUsable()) {
+            GTEST_SKIP() << "kernel does not deliver multicast on loopback; "
+                            "OS-backend rows cannot run here";
+        }
+    }
+};
+
+// --- the six-direction matrix, both backends --------------------------------
+
+TEST_F(TransportConformance, SlpClientToUpnpDevice) { expectEquivalent(Case::SlpToUpnp); }
+
+TEST_F(TransportConformance, SlpClientToBonjourService) {
+    expectEquivalent(Case::SlpToBonjour);
+}
+
+TEST_F(TransportConformance, UpnpControlPointToSlpService) {
+    expectEquivalent(Case::UpnpToSlp);
+}
+
+TEST_F(TransportConformance, UpnpControlPointToBonjourService) {
+    expectEquivalent(Case::UpnpToBonjour);
+}
+
+TEST_F(TransportConformance, BonjourBrowserToUpnpDevice) {
+    expectEquivalent(Case::BonjourToUpnp);
+}
+
+TEST_F(TransportConformance, BonjourBrowserToSlpService) {
+    expectEquivalent(Case::BonjourToSlp);
+}
+
+// --- abort equivalence -------------------------------------------------------
+
+TEST_F(TransportConformance, MissingServiceAbortsIdenticallyCoded) {
+    // No Bonjour responder behind the bridge: the session must abort with
+    // the same cause and taxonomy code on both backends (message tallies are
+    // retransmission-timing-sensitive on an aborting session, so outcome
+    // equivalence here is cause + code, not counts).
+    engine::EngineOptions options;
+    options.sessionTimeout = net::ms(700);
+
+    net::VirtualClock clock;
+    net::EventScheduler scheduler{clock};
+    net::SimNetwork simNetwork{scheduler};
+    const Outcome sim =
+        runDirection(simNetwork, Case::SlpToBonjour, /*withService=*/false, options);
+
+    net::OsNetwork osNetwork;
+    const Outcome os =
+        runDirection(osNetwork, Case::SlpToBonjour, /*withService=*/false, options);
+
+    for (const Outcome& outcome : {sim, os}) {
+        EXPECT_FALSE(outcome.success) << outcome.backend;
+        EXPECT_EQ(outcome.sessions, 1u) << outcome.backend;
+        EXPECT_FALSE(outcome.completed) << outcome.backend;
+    }
+    EXPECT_EQ(failureCauseName(sim.cause), failureCauseName(os.cause));
+    EXPECT_EQ(errc::to_string(sim.code), errc::to_string(os.code));
+    EXPECT_NE(sim.code, errc::ErrorCode::Unclassified);
+    EXPECT_NE(os.code, errc::ErrorCode::Unclassified);
+}
+
+// --- sustained equivalence ---------------------------------------------------
+
+TEST_F(TransportConformance, ConsecutiveSessionTalliesMatch) {
+    constexpr int kRounds = 5;
+
+    const auto runRounds = [](net::Network& net) {
+        bridge::Starlink starlink{net};
+        auto& deployed = starlink.deploy(
+            bridge::models::forCase(Case::SlpToUpnp, kBridgeHost), kBridgeHost);
+        ssdp::Device device(net, fastDevice());
+        slp::UserAgent client(net, {});
+
+        std::vector<std::pair<std::size_t, std::size_t>> tallies;
+        for (int round = 0; round < kRounds; ++round) {
+            bool settled = false;
+            client.lookup("service:printer",
+                          [&settled](const slp::UserAgent::Result&) { settled = true; });
+            auto& engine = deployed.engine();
+            const std::size_t want = static_cast<std::size_t>(round) + 1;
+            net.runUntil(
+                [&settled, &engine, want] {
+                    return settled && engine.sessions().size() >= want;
+                },
+                kSessionBudget);
+        }
+        std::vector<std::pair<std::size_t, std::size_t>> result;
+        for (const auto& record : deployed.engine().sessions()) {
+            EXPECT_TRUE(record.completed) << net.backendName();
+            result.emplace_back(record.messagesIn, record.messagesOut);
+        }
+        return result;
+    };
+
+    net::VirtualClock clock;
+    net::EventScheduler scheduler{clock};
+    net::SimNetwork simNetwork{scheduler};
+    const auto sim = runRounds(simNetwork);
+
+    net::OsNetwork osNetwork;
+    const auto os = runRounds(osNetwork);
+
+    ASSERT_EQ(sim.size(), static_cast<std::size_t>(kRounds));
+    ASSERT_EQ(os.size(), sim.size());
+    EXPECT_EQ(sim, os) << "per-session message tallies diverged across backends";
+}
+
+}  // namespace
+}  // namespace starlink

@@ -47,6 +47,20 @@
 //                                       recorder on, and --postmortem-dir
 //                                       (implies --record) spools every abort
 //                                       as a replayable bundle into DIR
+//   starlinkd serve --transport=os --case <case>
+//                   [--bind A] [--port-base B] [--metrics-port P]
+//                   [--with-peers] [--processing-ms MS] [--max-seconds S]
+//                   [--record] [--postmortem-dir DIR]
+//                                       persistent daemon: deploy the case's
+//                                       bridge on REAL loopback sockets
+//                                       (core/net/os_network.hpp) and serve
+//                                       live sessions until SIGTERM/SIGINT;
+//                                       --port-base maps logical port L to
+//                                       real port B+L so scripted clients in
+//                                       other processes can aim at it;
+//                                       --metrics-port exposes the Prometheus
+//                                       registry over plain HTTP; exit 0 iff
+//                                       every abort carried a taxonomy code
 //   starlinkd postmortem <bundle>       pretty-print a spooled postmortem
 //                                       bundle: provenance, the wire-event log
 //                                       with per-leg message decode, and the
@@ -61,7 +75,9 @@
 // The demo topology is always: legacy client at 10.0.0.1, legacy service at
 // 10.0.0.3, bridge at 10.0.0.9, on the simulated network over virtual time.
 #include <algorithm>
+#include <csignal>
 #include <filesystem>
+#include <unistd.h>
 #include <fstream>
 #include <functional>
 #include <iomanip>
@@ -69,6 +85,8 @@
 #include <optional>
 #include <sstream>
 
+#include "core/net/os_network.hpp"
+#include "net/sim_network.hpp"
 #include "common/error.hpp"
 #include "core/bridge/models.hpp"
 #include "core/bridge/replay.hpp"
@@ -107,6 +125,10 @@ int usage() {
                  "       starlinkd serve [--shards N] [--sessions M] [--chaos] "
                  "[--loss P] [--seed S] [--metrics] [--max-sessions Q] "
                  "[--idle-timeout MS] [--record] [--postmortem-dir DIR]\n"
+                 "       starlinkd serve --transport=os --case <case> [--bind A] "
+                 "[--port-base B] [--metrics-port P] [--with-peers] "
+                 "[--processing-ms MS] [--max-seconds S] [--record] "
+                 "[--postmortem-dir DIR]\n"
                  "       starlinkd postmortem <bundle.slfr>\n"
                  "       starlinkd replay <bundle.slfr>\n"
                  "cases: slp-to-upnp slp-to-bonjour upnp-to-slp upnp-to-bonjour "
@@ -661,6 +683,197 @@ int cmdMetrics(const std::string& caseName) {
     return successes > 0 ? 0 : 1;
 }
 
+// -- serve --transport=os ----------------------------------------------------
+
+// The live daemon's shutdown path: the handler may only touch
+// async-signal-safe state, so it flips OsNetwork's volatile stop flag and
+// writes the wake eventfd; the event loop notices on its next iteration.
+net::OsNetwork* gServeNetwork = nullptr;
+
+void handleServeSignal(int) {
+    if (gServeNetwork != nullptr) {
+        gServeNetwork->requestStop();
+        gServeNetwork->wakeFromSignal();
+    }
+}
+
+/// Persistent daemon on the OS transport: deploys one case's bridge on real
+/// loopback sockets and serves live sessions until SIGTERM/SIGINT (or
+/// --max-seconds as a belt-and-braces bound for scripted runs). Each session
+/// prints one summary line as it ends; shutdown prints lifetime aggregates
+/// and exits 0 iff no abort escaped the error taxonomy (code Unclassified).
+int cmdServeOs(const std::string& caseName, const std::string& bindAddress, int portBase,
+               int metricsPort, bool withPeers, int processingMs, int maxSeconds, bool record,
+               const std::string& postmortemDir) {
+    const auto c = parseCase(caseName);
+    if (!c) return usage();
+    telemetry::setEnabled(true);
+
+    net::OsNetwork::Options netOptions;
+    netOptions.bindAddress = bindAddress;
+    netOptions.portBase = static_cast<std::uint16_t>(portBase);
+    net::OsNetwork network{netOptions};
+
+    engine::EngineOptions options;
+    if (processingMs >= 0) options.processingDelay = net::ms(processingMs);
+    std::optional<telemetry::PostmortemSpool> spool;
+    if (record || !postmortemDir.empty()) options.recorderSessionBytes = 1024 * 1024;
+    if (!postmortemDir.empty()) {
+        spool.emplace(telemetry::PostmortemSpool::Options{postmortemDir, 64});
+        options.postmortemSpool = &*spool;
+    }
+
+    bridge::Starlink starlink{network};
+    auto& deployed =
+        starlink.deploy(bridge::models::forCase(*c, "10.0.0.9"), "10.0.0.9", options);
+    auto& engineRef = deployed.engine();
+
+    // --with-peers co-hosts the case's legacy service, making one daemon a
+    // self-contained island a scripted client can complete sessions against.
+    // The response delays stay small: on this backend they cost wall time.
+    std::optional<slp::ServiceAgent> slpService;
+    std::optional<mdns::Responder> mdnsService;
+    std::optional<ssdp::Device> upnpService;
+    if (withPeers) {
+        switch (*c) {
+            case Case::UpnpToSlp:
+            case Case::BonjourToSlp: {
+                slp::ServiceAgent::Config config;
+                config.responseDelayBase = net::ms(5);
+                config.responseDelayJitter = net::ms(1);
+                slpService.emplace(network, config);
+                break;
+            }
+            case Case::SlpToBonjour:
+            case Case::UpnpToBonjour: {
+                mdns::Responder::Config config;
+                config.responseDelayBase = net::ms(5);
+                config.responseDelayJitter = net::ms(1);
+                mdnsService.emplace(network, config);
+                break;
+            }
+            case Case::SlpToUpnp:
+            case Case::BonjourToUpnp: {
+                ssdp::Device::Config config;
+                config.responseDelayBase = net::ms(5);
+                config.responseDelayJitter = net::ms(1);
+                upnpService.emplace(network, config);
+                break;
+            }
+        }
+    }
+
+    // /metrics: a raw-byte listener speaking just enough HTTP to satisfy a
+    // Prometheus scrape -- read until the blank line, answer, close. The
+    // connection's shared_ptr lives in the handler capture; close() clears
+    // the handlers, which breaks the cycle.
+    std::unique_ptr<net::TcpListener> metricsListener;
+    if (metricsPort > 0) {
+        metricsListener =
+            network.listenTcpRaw(bindAddress, static_cast<std::uint16_t>(metricsPort));
+        metricsListener->onAccept([&network](std::shared_ptr<net::TcpConnection> conn) {
+            auto request = std::make_shared<std::string>();
+            auto held = conn;
+            conn->onData([&network, request, held](const Bytes& chunk) {
+                request->append(chunk.begin(), chunk.end());
+                if (request->find("\r\n\r\n") == std::string::npos) return;
+                const bool found = request->rfind("GET /metrics", 0) == 0;
+                const auto wallUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                                        network.now().time_since_epoch())
+                                        .count();
+                const std::string body =
+                    found ? telemetry::MetricsRegistry::global().renderPrometheus(wallUs)
+                          : "not found\n";
+                std::ostringstream response;
+                response << (found ? "HTTP/1.1 200 OK" : "HTTP/1.1 404 Not Found") << "\r\n"
+                         << "Content-Type: text/plain; version=0.0.4\r\n"
+                         << "Content-Length: " << body.size() << "\r\n"
+                         << "Connection: close\r\n\r\n"
+                         << body;
+                const std::string text = response.str();
+                held->send(Bytes(text.begin(), text.end()));
+                held->close();
+            });
+        });
+    }
+
+    std::cout << "starlinkd[os]: case " << bridge::models::caseName(*c)
+              << ", bridge 10.0.0.9 on " << bindAddress;
+    if (portBase > 0) {
+        std::cout << ", port base " << portBase;
+    } else {
+        std::cout << ", kernel-assigned ports";
+    }
+    if (withPeers) std::cout << ", in-process peers";
+    std::cout << "\n";
+    if (metricsListener != nullptr) {
+        std::cout << "starlinkd[os]: metrics on http://" << bindAddress << ":" << metricsPort
+                  << "/metrics\n";
+    }
+    std::cout << "starlinkd[os]: ready (pid " << ::getpid() << ")\n" << std::flush;
+
+    gServeNetwork = &network;
+    std::signal(SIGTERM, handleServeSignal);
+    std::signal(SIGINT, handleServeSignal);
+
+    // One summary line per ended session. The history is an evicting ring,
+    // but totalEnded() is exact, so the cursor never loses a record: every
+    // loop iteration drains at most a poll's worth of fresh tail entries.
+    std::uint64_t reported = 0;
+    const auto reportNewSessions = [&engineRef, &reported]() {
+        const auto& history = engineRef.sessions();
+        const std::uint64_t total = history.totalEnded();
+        if (total == reported) return;
+        const std::size_t fresh =
+            std::min(static_cast<std::size_t>(total - reported), history.size());
+        std::uint64_t ordinal = total - fresh;
+        for (std::size_t i = history.size() - fresh; i < history.size(); ++i) {
+            const auto& s = history[i];
+            std::cout << "session #" << ++ordinal << ": "
+                      << (s.completed ? "completed" : "aborted") << " in=" << s.messagesIn
+                      << " out=" << s.messagesOut;
+            if (!s.completed) {
+                std::cout << " cause=" << engine::failureCauseName(s.cause)
+                          << " code=" << errc::to_string(s.code);
+            }
+            std::cout << "\n";
+        }
+        std::cout << std::flush;
+        reported = total;
+    };
+
+    const auto started = network.now();
+    while (!network.stopRequested()) {
+        network.poll(net::ms(200));
+        reportNewSessions();
+        if (maxSeconds > 0 && network.now() - started >= std::chrono::seconds(maxSeconds)) {
+            break;
+        }
+    }
+
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    gServeNetwork = nullptr;
+    reportNewSessions();
+
+    const auto& history = engineRef.sessions();
+    std::uint64_t uncoded = 0;
+    for (const auto& [code, count] : history.abortsByCode()) {
+        if (code == errc::ErrorCode::Unclassified) uncoded += count;
+    }
+    const auto wallMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(network.now() - started).count();
+    std::cout << "starlinkd[os]: shutdown after " << wallMs << " ms: " << history.totalEnded()
+              << " sessions (" << history.totalCompleted() << " completed, "
+              << history.totalAborted() << " aborted, uncoded=" << uncoded << ")";
+    if (spool) {
+        std::cout << ", " << spool->written() << " postmortem bundle(s) in "
+                  << spool->directory();
+    }
+    std::cout << "\n";
+    return uncoded == 0 ? 0 : 1;
+}
+
 /// Drives a mixed workload (all six directions, round-robin) through the
 /// sharded engine and reports per-shard accounting plus the aggregate
 /// virtual-time throughput. With --chaos every session runs under a
@@ -1035,12 +1248,29 @@ int main(int argc, char** argv) {
                 int idleTimeoutMs = 0;      // 0 = no idle eviction
                 bool record = false;
                 std::string postmortemDir;
+                std::string transport = "sim";
+                std::string caseName;
+                std::string bindAddress = "127.0.0.1";
+                int portBase = 0;      // 0 = kernel-assigned real ports
+                int metricsPort = 0;   // 0 = no /metrics endpoint
+                bool withPeers = false;
+                int processingMs = -1;  // -1 = engine default
+                int maxSeconds = 0;     // 0 = run until signalled
                 try {
                     for (int i = 2; i < argc; ++i) {
                         const std::string flag = argv[i];
                         if (flag == "--chaos") chaos = true;
                         else if (flag == "--metrics") printMetrics = true;
                         else if (flag == "--record") record = true;
+                        else if (flag == "--with-peers") withPeers = true;
+                        else if (flag.rfind("--transport=", 0) == 0) transport = flag.substr(12);
+                        else if (flag == "--transport" && i + 1 < argc) transport = argv[++i];
+                        else if (flag == "--case" && i + 1 < argc) caseName = argv[++i];
+                        else if (flag == "--bind" && i + 1 < argc) bindAddress = argv[++i];
+                        else if (flag == "--port-base" && i + 1 < argc) portBase = std::stoi(argv[++i]);
+                        else if (flag == "--metrics-port" && i + 1 < argc) metricsPort = std::stoi(argv[++i]);
+                        else if (flag == "--processing-ms" && i + 1 < argc) processingMs = std::stoi(argv[++i]);
+                        else if (flag == "--max-seconds" && i + 1 < argc) maxSeconds = std::stoi(argv[++i]);
                         else if (flag == "--shards" && i + 1 < argc) shards = std::stoi(argv[++i]);
                         else if (flag == "--sessions" && i + 1 < argc) sessions = std::stoi(argv[++i]);
                         else if (flag == "--loss" && i + 1 < argc) loss = std::stod(argv[++i]);
@@ -1052,6 +1282,21 @@ int main(int argc, char** argv) {
                     }
                 } catch (const std::exception&) {
                     std::cerr << "starlinkd: serve expects numeric option values\n";
+                    return usage();
+                }
+                if (transport == "os") {
+                    if (caseName.empty() || portBase < 0 || portBase > 45000 ||
+                        metricsPort < 0 || metricsPort > 65535 || maxSeconds < 0) {
+                        std::cerr << "starlinkd: serve --transport=os needs --case <case>; "
+                                     "port-base in [0,45000], metrics-port in [0,65535]\n";
+                        return usage();
+                    }
+                    return cmdServeOs(caseName, bindAddress, portBase, metricsPort, withPeers,
+                                      processingMs, maxSeconds, record, postmortemDir);
+                }
+                if (transport != "sim") {
+                    std::cerr << "starlinkd: unknown transport '" << transport
+                              << "' (sim or os)\n";
                     return usage();
                 }
                 if (shards < 1 || shards > 64 || sessions < 1 || loss < 0.0 || loss > 1.0 ||
