@@ -72,12 +72,6 @@ std::string describeRecordMismatch(const telemetry::WireEvent& want,
 
 ReplayComparison replayBundle(const telemetry::PostmortemBundle& bundle,
                               std::size_t maxEvents) {
-    if (bundle.truncated) {
-        throw SpecError(errc::ErrorCode::SpecViolation,
-                        "replay: capture is truncated (" + std::to_string(bundle.droppedEvents) +
-                            " events dropped at the recorder's byte cap); the injection "
-                            "schedule is incomplete -- re-record with a larger --record cap");
-    }
     const std::optional<models::Case> caseId = models::caseBySlug(bundle.caseSlug);
     if (!caseId) {
         throw SpecError(errc::ErrorCode::SpecViolation,
@@ -85,13 +79,30 @@ ReplayComparison replayBundle(const telemetry::PostmortemBundle& bundle,
                             "' (only bridges deployed from models::forCase are replayable)");
     }
     const std::string host = bundle.bridgeHost.empty() ? "10.0.0.9" : bundle.bridgeHost;
-    const models::DeploymentSpec spec = models::forCase(*caseId, host);
+    return replayBundle(bundle, models::forCase(*caseId, host), maxEvents);
+}
+
+ReplayComparison replayBundle(const telemetry::PostmortemBundle& bundle,
+                              const models::DeploymentSpec& spec, std::size_t maxEvents) {
+    // The identity gate comes FIRST -- before the capture is decoded, before
+    // any model document is parsed, before anything is deployed. A bundle
+    // whose fingerprint does not match these models must be rejected with
+    // zero side effects: re-injecting a capture into different automata
+    // would produce a confidently wrong diff.
     if (bundle.modelIdentity != 0 && models::modelSetIdentity(spec) != bundle.modelIdentity) {
-        throw SpecError(errc::ErrorCode::SpecViolation,
+        throw SpecError(errc::ErrorCode::BridgeIdentityMismatch,
                         "replay: the '" + bundle.caseSlug +
-                            "' model set changed since this bundle was captured; the replay "
-                            "would exercise different automata");
+                            "' model set does not match this bundle's identity fingerprint (" +
+                            std::to_string(bundle.modelIdentity) +
+                            "); the replay would exercise different automata");
     }
+    if (bundle.truncated) {
+        throw SpecError(errc::ErrorCode::SpecViolation,
+                        "replay: capture is truncated (" + std::to_string(bundle.droppedEvents) +
+                            " events dropped at the recorder's byte cap); the injection "
+                            "schedule is incomplete -- re-record with a larger --record cap");
+    }
+    const std::string host = bundle.bridgeHost.empty() ? "10.0.0.9" : bundle.bridgeHost;
 
     const std::vector<telemetry::WireEvent> events = telemetry::decodeEvents(bundle.events);
 

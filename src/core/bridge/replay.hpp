@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/bridge/models.hpp"
 #include "core/telemetry/recorder.hpp"
 
 namespace starlink::bridge {
@@ -51,10 +52,20 @@ struct ReplayComparison {
 };
 
 /// Replays one bundle in a fresh island and diffs the outcome. Throws
-/// SpecError when the bundle cannot be replayed at all: truncated capture,
-/// unknown case slug (only forCase deployments are replayable), or a model
-/// set whose fingerprint no longer matches the capture's.
+/// SpecError when the bundle cannot be replayed at all: a model set whose
+/// fingerprint does not match the capture's (bridge.identity-mismatch),
+/// a truncated capture, or an unknown case slug (only forCase deployments
+/// are replayable). Resolves the model set via models::forCase.
 ReplayComparison replayBundle(const telemetry::PostmortemBundle& bundle,
+                              std::size_t maxEvents = 2'000'000);
+
+/// Replays against a caller-supplied model set (a registry generation
+/// resolved by the bundle's identity hash). The identity check is the FIRST
+/// gate, before any model document is parsed or loaded: a mismatched bundle
+/// is rejected with bridge.identity-mismatch and zero side effects -- no
+/// island, no codec plans, no partially deployed bridge.
+ReplayComparison replayBundle(const telemetry::PostmortemBundle& bundle,
+                              const models::DeploymentSpec& spec,
                               std::size_t maxEvents = 2'000'000);
 
 }  // namespace starlink::bridge

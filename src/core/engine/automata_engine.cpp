@@ -43,6 +43,13 @@ AutomataEngine::AutomataEngine(std::shared_ptr<merge::MergedAutomaton> merged,
                                             : &telemetry::MetricsRegistry::global();
     auto& registry = *registry_;
     const auto named = [&](std::string_view name) {
+        // Engines deployed through the model registry carry their version in
+        // every metric, so canary and stable cohorts separate in /metrics.
+        if (options_.modelVersion != 0) {
+            return telemetry::labeled(
+                name, {{"bridge", merged_->name()},
+                       {"model_version", std::to_string(options_.modelVersion)}});
+        }
         return telemetry::labeled(name, {{"bridge", merged_->name()}});
     };
     metrics_.sessionsCompleted =
@@ -80,11 +87,20 @@ telemetry::Counter* AutomataEngine::abortedCounter(errc::ErrorCode code) {
     // The `code` label is the numeric taxonomy value, `cause` its stable
     // dotted name -- one counter per exact abort code, replacing the old
     // 5-bucket FailureCause array.
-    telemetry::Counter* counter = &registry_->counter(telemetry::labeled(
-        "starlink_engine_sessions_aborted_total",
-        {{"bridge", merged_->name()},
-         {"code", std::to_string(errc::to_error_code(code))},
-         {"cause", errc::to_string(code)}}));
+    const std::string codeValue = std::to_string(errc::to_error_code(code));
+    const std::string name =
+        options_.modelVersion != 0
+            ? telemetry::labeled(
+                  "starlink_engine_sessions_aborted_total",
+                  {{"bridge", merged_->name()},
+                   {"code", codeValue},
+                   {"cause", errc::to_string(code)},
+                   {"model_version", std::to_string(options_.modelVersion)}})
+            : telemetry::labeled("starlink_engine_sessions_aborted_total",
+                                 {{"bridge", merged_->name()},
+                                  {"code", codeValue},
+                                  {"cause", errc::to_string(code)}});
+    telemetry::Counter* counter = &registry_->counter(name);
     abortedByCode_.emplace(code, counter);
     return counter;
 }
@@ -665,6 +681,7 @@ void AutomataEngine::completeSession(bool completed, FailureCause cause, errc::E
     liveSession_.code = completed ? errc::ErrorCode::Ok
                         : code != errc::ErrorCode::Ok ? code
                                                       : to_error_code(liveSession_.cause);
+    liveSession_.modelVersion = options_.modelVersion;
     sessions_.record(liveSession_);
     if (telemetry::enabled()) {
         if (completed) {

@@ -123,6 +123,11 @@ struct EngineOptions {
     std::string recorderCase;
     std::int32_t shardId = 0;
     std::uint64_t modelIdentity = 0;
+    /// Registry version of the model set this engine deploys (0 = no
+    /// registry in play). Stamped into every SessionRecord and, when
+    /// non-zero, baked into the engine's metric labels as `model_version`
+    /// so per-version session/abort counters separate canary from stable.
+    std::uint64_t modelVersion = 0;
     /// Host the bridge is deployed at (filled by Starlink::deploy when left
     /// empty); bundles carry it so replay rebuilds the same topology.
     std::string bridgeHost;

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "core/bridge/registry.hpp"
 #include "core/bridge/starlink.hpp"
 #include "net/scheduler.hpp"
 #include "net/sim_network.hpp"
@@ -53,12 +54,19 @@ struct ShardEngine::Shard {
     struct Pending {
         SessionJob job;
         std::size_t submitIndex = 0;
+        /// The model-set generation pinned at submit() time (nullptr = no
+        /// registry). The shared_ptr keeps the generation alive for the
+        /// session even if the registry swaps or rolls back mid-run.
+        std::shared_ptr<const bridge::ModelSet> pinned;
     };
     std::vector<Pending> queue;
     std::vector<std::pair<std::size_t, SessionResult>> results;
     std::vector<telemetry::Span> spans;
     ShardReport report;
-    std::map<int, std::unique_ptr<Island>> islands;  // keyed by (int)Case
+    /// Pooled islands keyed by ((int)Case, model version): a swap deploys
+    /// fresh islands for the new generation while sessions pinned to the old
+    /// one keep their fully warmed islands -- per-shard swap, no pause.
+    std::map<std::pair<int, std::uint64_t>, std::unique_ptr<Island>> islands;
     std::uint64_t useTick = 0;  // LRU clock for island eviction
     std::string error;  // first fatal error; empty == clean run
     // Island span snapshots are rebased into a shard-local id/session space
@@ -103,6 +111,12 @@ int ShardEngine::shardFor(const std::string& key) const {
 bool ShardEngine::submit(SessionJob job) {
     if (ran_) throw std::logic_error("shard engine: submit after run");
     Shard& shard = *shards_[static_cast<std::size_t>(shardFor(job.key))];
+    // Version pinning happens HERE, on the coordinator thread, before any
+    // worker exists: the pinned generation is a pure function of the key and
+    // the registry state at submit time, so an N-shard run pins exactly what
+    // the 1-shard run pins (determinism contract).
+    std::shared_ptr<const bridge::ModelSet> pinned;
+    if (options_.registry != nullptr) pinned = options_.registry->pin(job.key);
     if (options_.maxPendingPerShard != 0 &&
         shard.queue.size() >= options_.maxPendingPerShard) {
         // Overload: refuse loudly with a coded result instead of queueing
@@ -147,10 +161,11 @@ bool ShardEngine::submit(SessionJob job) {
         result.shard = shard.index;
         result.shed = true;
         result.error = errc::ErrorCode::EngineOverload;
+        result.modelVersion = pinned ? pinned->version() : 0;
         shard.results.emplace_back(submitted_++, std::move(result));
         return false;
     }
-    shard.queue.push_back({std::move(job), submitted_++});
+    shard.queue.push_back({std::move(job), submitted_++, std::move(pinned)});
     return true;
 }
 
@@ -284,18 +299,22 @@ void ShardEngine::runShard(Shard& shard) {
             // (shard, direction); sessions then reuse the island -- including
             // the engine's compose scratch buffer and codec plans -- until
             // the LRU cap (if any) retires it.
-            const int caseKey = static_cast<int>(job.caseId);
-            std::unique_ptr<Island>& slot = shard.islands[caseKey];
+            const std::uint64_t pinnedVersion =
+                pending.pinned ? pending.pinned->version() : 0;
+            const std::pair<int, std::uint64_t> islandKey{static_cast<int>(job.caseId),
+                                                          pinnedVersion};
+            std::unique_ptr<Island>& slot = shard.islands[islandKey];
             if (!slot) {
                 // Island LRU: past the cap, retire the stalest OTHER
-                // direction (harvesting its accounting) before deploying.
-                // Outcomes are island-history-independent, so eviction is
-                // invisible to results.
+                // (direction, version) pool (harvesting its accounting)
+                // before deploying. Outcomes are island-history-independent,
+                // so eviction is invisible to results -- and retired-version
+                // islands age out of memory through exactly this path.
                 if (options_.maxIslandsPerShard != 0 &&
                     shard.islands.size() > options_.maxIslandsPerShard) {
                     auto victim = shard.islands.end();
                     for (auto it = shard.islands.begin(); it != shard.islands.end(); ++it) {
-                        if (it->second == nullptr || it->first == caseKey) continue;
+                        if (it->second == nullptr || it->first == islandKey) continue;
                         if (victim == shard.islands.end() ||
                             it->second->lastUsed < victim->second->lastUsed) {
                             victim = it;
@@ -314,8 +333,11 @@ void ShardEngine::runShard(Shard& shard) {
                 engineOptions.metrics = &shard.registry;
                 engineOptions.shardId = shard.index;
                 engineOptions.recorderCase = bridge::models::caseSlug(job.caseId);
+                engineOptions.modelVersion = pinnedVersion;
                 slot->bridge = &slot->starlink->deploy(
-                    bridge::models::forCase(job.caseId, options_.bridgeHost),
+                    pending.pinned
+                        ? pending.pinned->specFor(job.caseId)
+                        : bridge::models::forCase(job.caseId, options_.bridgeHost),
                     options_.bridgeHost, engineOptions);
             }
             Island& island = *slot;
@@ -386,6 +408,7 @@ void ShardEngine::runShard(Shard& shard) {
             result.job = job;
             result.job.seed = seed;
             result.shard = shard.index;
+            result.modelVersion = pinnedVersion;
             engine.onSessionComplete = [&result, &shard](const SessionRecord& record) {
                 SessionOutcome outcome;
                 outcome.completed = record.completed;
@@ -396,6 +419,7 @@ void ShardEngine::runShard(Shard& shard) {
                 outcome.retransmits = record.retransmits;
                 outcome.translationUs = record.translationTime().count();
                 outcome.sessionUs = record.sessionTime().count();
+                outcome.modelVersion = record.modelVersion;
                 result.outcomes.push_back(outcome);
                 ++shard.report.bridgeSessions;
                 if (record.completed) ++shard.report.completedSessions;
@@ -456,6 +480,17 @@ void ShardEngine::runShard(Shard& shard) {
             network.clearFaultSchedule();
             destroyAgents(island);
             engine.onSessionComplete = nullptr;
+
+            // Feed the canary judge. noteSession is mutex-guarded; ordering
+            // across shards is nondeterministic but irrelevant to THIS run's
+            // outcomes (every pin already happened at submit time) -- only
+            // future pins see a rollback/promotion.
+            if (options_.registry != nullptr && pinnedVersion != 0) {
+                for (const SessionOutcome& outcome : result.outcomes) {
+                    options_.registry->noteSession(pinnedVersion, !outcome.completed,
+                                                   outcome.code);
+                }
+            }
 
             result.discovered = discovered;
             if (discovered) ++shard.report.discovered;

@@ -43,6 +43,11 @@
 #include "core/telemetry/span.hpp"
 #include "net/clock.hpp"
 
+namespace starlink::bridge {
+class ModelRegistry;
+class ModelSet;
+}  // namespace starlink::bridge
+
 namespace starlink::engine {
 
 /// One bridged conversation to serve: which of the six directions, under
@@ -104,6 +109,17 @@ struct ShardEngineOptions {
     std::string clientHost = "10.0.0.1";
     std::string serviceHost = "10.0.0.3";
     std::string bridgeHost = "10.0.0.9";
+
+    /// Hot-swap deployment: when set, every job pins a model-set generation
+    /// AT SUBMIT TIME (registry->pin(job.key), canary cohort by key hash)
+    /// and is served by an island deployed from that exact generation --
+    /// islands are pooled per (direction, version), so a swap mid-workload
+    /// never pauses a shard or disturbs sessions pinned to the old version.
+    /// Terminal outcomes are fed back (noteSession) so canary regression
+    /// rolls the candidate back automatically. The registry must outlive
+    /// the engine and have an active set before the first submit. nullptr =
+    /// the classic fixed models::forCase deployment.
+    bridge::ModelRegistry* registry = nullptr;
 };
 
 /// The shard-invariant summary of one bridge SessionRecord: everything a
@@ -120,6 +136,10 @@ struct SessionOutcome {
     std::size_t retransmits = 0;
     std::int64_t translationUs = 0;
     std::int64_t sessionUs = 0;
+    /// Registry version the session was pinned to (0 = no registry). Part
+    /// of the bit-identity contract: version assignment is a pure function
+    /// of (key, canaryPercent, submit order), never of shard count.
+    std::uint64_t modelVersion = 0;
 
     bool operator==(const SessionOutcome&) const = default;
 };
@@ -136,6 +156,8 @@ struct SessionResult {
     /// outcomes is empty, and `error` is engine.overload.
     bool shed = false;
     errc::ErrorCode error = errc::ErrorCode::Ok;
+    /// The generation pinned at submit time (0 = no registry in play).
+    std::uint64_t modelVersion = 0;
     std::vector<SessionOutcome> outcomes;
 };
 

@@ -16,7 +16,7 @@ struct Entry {
 // One row per code. Order is ascending numeric (most negative first) except Ok,
 // which allCodes() moves to the front. to_string/remediation/fromInt/fromName
 // all read this single table so the taxonomy cannot drift apart.
-constexpr std::array<Entry, 67> kEntries{{
+constexpr std::array<Entry, 71> kEntries{{
     {ErrorCode::LintUnknownKind, "lint.unknown-kind",
      "rename the root element to a known model kind (MDL, Automaton, Bridge)"},
     {ErrorCode::NetIo, "net.io",
@@ -39,6 +39,8 @@ constexpr std::array<Entry, 67> kEntries{{
      "no listener at the destination; verify the peer is deployed and reachable"},
     {ErrorCode::NetMisuse, "net.misuse",
      "the network API was called with invalid arguments; fix the caller"},
+    {ErrorCode::EngineSpoolUnwritable, "engine.spool-unwritable",
+     "the postmortem spool directory cannot be created or written; the message names the path"},
     {ErrorCode::EngineIdleTimeout, "engine.idle-timeout",
      "the session went silent past the idle deadline; raise idleTimeout or fix the peer"},
     {ErrorCode::EngineOverload, "engine.overload",
@@ -63,6 +65,12 @@ constexpr std::array<Entry, 67> kEntries{{
      "the retransmission budget ran dry; raise retries or fix packet loss"},
     {ErrorCode::EngineSessionTimeout, "engine.session-timeout",
      "the watchdog fired; raise sessionTimeout or investigate the stall"},
+    {ErrorCode::BridgeVersionUnknown, "bridge.version-unknown",
+     "no registered model-set version matches; load the matching set before replaying"},
+    {ErrorCode::BridgeIdentityMismatch, "bridge.identity-mismatch",
+     "the bundle's model-set identity hash does not match the supplied models"},
+    {ErrorCode::BridgeDeployRejected, "bridge.deploy-rejected",
+     "the candidate model set failed the lint gate; fix the listed findings and redeploy"},
     {ErrorCode::BridgeDeploy, "bridge.deploy",
      "deploy-time validation failed; run `starlinkd lint` on the spec set"},
     {ErrorCode::BridgeDeltaMissing, "bridge.delta-missing",

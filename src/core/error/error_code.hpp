@@ -90,6 +90,9 @@ enum class ErrorCode : int {
     BridgeEquivalenceUncovered = -509, ///< equivalence member never exercised
     BridgeDeltaMissing = -510,         ///< bicolored node without a delta
     BridgeDeploy = -511,               ///< deploy-time validation failed
+    BridgeDeployRejected = -512,       ///< registry lint gate rejected the candidate set
+    BridgeIdentityMismatch = -513,     ///< model-set identity hash does not match
+    BridgeVersionUnknown = -514,       ///< registry holds no set with this version/identity
 
     // -- engine: -600 .. -699 ------------------------------------------------
     EngineSessionTimeout = -600, ///< the session watchdog fired
@@ -104,6 +107,7 @@ enum class ErrorCode : int {
     EngineColorUnknown = -609,   ///< component color missing from the registry
     EngineOverload = -610,       ///< admission control shed the session (queue full)
     EngineIdleTimeout = -611,    ///< idle deadline lapsed with no message activity
+    EngineSpoolUnwritable = -612,///< postmortem spool directory cannot be written
 
     // -- net: -700 .. -799 ---------------------------------------------------
     NetMisuse = -700,         ///< simulated network misused (generic)

@@ -2,7 +2,7 @@
 // --transport=os` daemon, used by tools/daemon_smoke.sh (and by hand).
 //
 //   starlink_probe lookup [--proto slp|upnp|bonjour] --port-base B
-//                  [--bind A] [--sessions N] [--timeout-ms T]
+//                  [--bind A] [--sessions N] [--timeout-ms T] [--retransmit-ms R]
 //       Run N sequential discovery lookups against the daemon over REAL
 //       loopback sockets, through the same net::OsNetwork backend the daemon
 //       uses (--port-base must match the daemon's so logical ports resolve
@@ -39,12 +39,13 @@ using namespace starlink;
 int usage() {
     std::cerr << "usage: starlink_probe lookup [--proto slp|upnp|bonjour] --port-base B\n"
                  "                      [--bind A] [--sessions N] [--timeout-ms T]\n"
+                 "                      [--retransmit-ms R]\n"
                  "       starlink_probe scrape --port P [--host A] [--path /metrics]\n";
     return 2;
 }
 
 int cmdLookup(const std::string& proto, const std::string& bindAddress, int portBase,
-              int sessions, int timeoutMs) {
+              int sessions, int timeoutMs, int retransmitMs) {
     // Same capability gate the conformance suite uses: in sandboxes whose
     // kernel will not deliver multicast on loopback no discovery request can
     // reach the daemon; 77 is the automake/ctest "skip" convention.
@@ -65,6 +66,9 @@ int cmdLookup(const std::string& proto, const std::string& bindAddress, int port
     if (proto == "slp") {
         slp::UserAgent::Config config;
         config.timeout = net::ms(timeoutMs);
+        // Real discovery clients re-ask until something answers; the reload
+        // smoke leans on this to ride out the daemon's swap rebind window.
+        if (retransmitMs > 0) config.retransmitInterval = net::ms(retransmitMs);
         slpClient = std::make_unique<slp::UserAgent>(network, config);
     } else if (proto == "upnp") {
         ssdp::ControlPoint::Config config;
@@ -168,6 +172,7 @@ int main(int argc, char** argv) {
     int sessions = 1;
     int timeoutMs = 3000;
     int port = 0;
+    int retransmitMs = 0;
     try {
         for (int i = 2; i < argc; ++i) {
             const std::string flag = argv[i];
@@ -179,11 +184,12 @@ int main(int argc, char** argv) {
             else if (flag == "--sessions" && i + 1 < argc) sessions = std::stoi(argv[++i]);
             else if (flag == "--timeout-ms" && i + 1 < argc) timeoutMs = std::stoi(argv[++i]);
             else if (flag == "--port" && i + 1 < argc) port = std::stoi(argv[++i]);
+            else if (flag == "--retransmit-ms" && i + 1 < argc) retransmitMs = std::stoi(argv[++i]);
             else return usage();
         }
         if (command == "lookup" && portBase > 0 && portBase <= 45000 && sessions >= 1 &&
             timeoutMs >= 1) {
-            return cmdLookup(proto, bindAddress, portBase, sessions, timeoutMs);
+            return cmdLookup(proto, bindAddress, portBase, sessions, timeoutMs, retransmitMs);
         }
         if (command == "scrape" && port > 0 && port <= 65535) {
             return cmdScrape(host, port, path);

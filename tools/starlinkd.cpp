@@ -46,7 +46,14 @@
 //                                       --record turns the wire-level flight
 //                                       recorder on, and --postmortem-dir
 //                                       (implies --record) spools every abort
-//                                       as a replayable bundle into DIR
+//                                       as a replayable bundle into DIR;
+//                                       --models-dir deploys a lint-gated,
+//                                       versioned model set from disk (the
+//                                       starlinkd-export layout) through the
+//                                       ModelRegistry, and --canary-percent
+//                                       pins that share of new sessions to a
+//                                       freshly loaded candidate (per-code
+//                                       abort-rate regression rolls it back)
 //   starlinkd serve --transport=os --case <case>
 //                   [--bind A] [--port-base B] [--metrics-port P]
 //                   [--with-peers] [--processing-ms MS] [--max-seconds S]
@@ -59,18 +66,31 @@
 //                                       real port B+L so scripted clients in
 //                                       other processes can aim at it;
 //                                       --metrics-port exposes the Prometheus
-//                                       registry over plain HTTP; exit 0 iff
-//                                       every abort carried a taxonomy code
+//                                       registry over plain HTTP (plus a
+//                                       POST /reload hot-swap endpoint); a
+//                                       SIGHUP (or /reload) re-reads
+//                                       --models-dir, lint-gates the
+//                                       candidate and swaps it in between
+//                                       sessions -- a rejected candidate
+//                                       leaves the old version serving;
+//                                       exit 0 iff every abort carried a
+//                                       taxonomy code
 //   starlinkd postmortem <bundle>       pretty-print a spooled postmortem
 //                                       bundle: provenance, the wire-event log
 //                                       with per-leg message decode, and the
 //                                       session's span tree
-//   starlinkd replay <bundle>           re-inject the bundle's captured
+//   starlinkd replay <bundle> [--models-dir DIR]
+//                                       re-inject the bundle's captured
 //                                       datagrams into a fresh single-island
 //                                       deployment and diff the outcome
 //                                       against the capture (exit 0 iff the
 //                                       session record and outbound wire
-//                                       traffic reproduce exactly)
+//                                       traffic reproduce exactly); with
+//                                       --models-dir the deployed models are
+//                                       resolved from disk by the bundle's
+//                                       identity fingerprint, refusing to
+//                                       replay against models that did not
+//                                       produce the capture
 //
 // The demo topology is always: legacy client at 10.0.0.1, legacy service at
 // 10.0.0.3, bridge at 10.0.0.9, on the simulated network over virtual time.
@@ -89,6 +109,7 @@
 #include "net/sim_network.hpp"
 #include "common/error.hpp"
 #include "core/bridge/models.hpp"
+#include "core/bridge/registry.hpp"
 #include "core/bridge/replay.hpp"
 #include "core/bridge/starlink.hpp"
 #include "core/engine/shard_engine.hpp"
@@ -124,13 +145,14 @@ int usage() {
                  "       starlinkd metrics <case>\n"
                  "       starlinkd serve [--shards N] [--sessions M] [--chaos] "
                  "[--loss P] [--seed S] [--metrics] [--max-sessions Q] "
-                 "[--idle-timeout MS] [--record] [--postmortem-dir DIR]\n"
+                 "[--idle-timeout MS] [--record] [--postmortem-dir DIR] "
+                 "[--models-dir DIR] [--canary-percent P]\n"
                  "       starlinkd serve --transport=os --case <case> [--bind A] "
                  "[--port-base B] [--metrics-port P] [--with-peers] "
                  "[--processing-ms MS] [--max-seconds S] [--record] "
-                 "[--postmortem-dir DIR]\n"
+                 "[--postmortem-dir DIR] [--models-dir DIR] [--canary-percent P]\n"
                  "       starlinkd postmortem <bundle.slfr>\n"
-                 "       starlinkd replay <bundle.slfr>\n"
+                 "       starlinkd replay <bundle.slfr> [--models-dir DIR]\n"
                  "cases: slp-to-upnp slp-to-bonjour upnp-to-slp upnp-to-bonjour "
                  "bonjour-to-upnp bonjour-to-slp\n";
     return 2;
@@ -168,6 +190,33 @@ void spit(const std::filesystem::path& path, const std::string& content) {
     if (!out) throw SpecError("cannot write '" + path.string() + "'");
     out << content;
     std::cout << "wrote " << path.string() << "\n";
+}
+
+/// Startup probe for --postmortem-dir: create the directory and prove a
+/// bundle can actually land there BEFORE any traffic is served. A bad path
+/// must fail the daemon at startup with engine.spool-unwritable naming the
+/// path -- not surface at the first abort, when the bundle it was supposed
+/// to capture is already lost.
+void probeSpoolDir(const std::string& dir) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        throw StarlinkError(errc::ErrorCode::EngineSpoolUnwritable,
+                            "postmortem spool directory '" + dir +
+                                "' cannot be created: " + ec.message());
+    }
+    const fs::path probe = fs::path(dir) / ".starlinkd-spool-probe";
+    {
+        std::ofstream out(probe, std::ios::trunc);
+        out << "probe\n";
+        out.flush();
+        if (!out) {
+            throw StarlinkError(errc::ErrorCode::EngineSpoolUnwritable,
+                                "postmortem spool directory '" + dir + "' is not writable");
+        }
+    }
+    fs::remove(probe, ec);
 }
 
 int cmdList() {
@@ -697,6 +746,16 @@ void handleServeSignal(int) {
     }
 }
 
+// SIGHUP requests a model reload. The handler only flips a sig_atomic_t and
+// wakes the event loop; the load + lint gate + swap run inline in the poll
+// loop, where failure can be reported and the old version kept serving.
+volatile std::sig_atomic_t gReloadRequested = 0;
+
+void handleReloadSignal(int) {
+    gReloadRequested = 1;
+    if (gServeNetwork != nullptr) gServeNetwork->wakeFromSignal();
+}
+
 /// Persistent daemon on the OS transport: deploys one case's bridge on real
 /// loopback sockets and serves live sessions until SIGTERM/SIGINT (or
 /// --max-seconds as a belt-and-braces bound for scripted runs). Each session
@@ -704,29 +763,85 @@ void handleServeSignal(int) {
 /// and exits 0 iff no abort escaped the error taxonomy (code Unclassified).
 int cmdServeOs(const std::string& caseName, const std::string& bindAddress, int portBase,
                int metricsPort, bool withPeers, int processingMs, int maxSeconds, bool record,
-               const std::string& postmortemDir) {
+               const std::string& postmortemDir, const std::string& modelsDir,
+               double canaryPercent) {
     const auto c = parseCase(caseName);
     if (!c) return usage();
     telemetry::setEnabled(true);
+
+    if (!postmortemDir.empty()) probeSpoolDir(postmortemDir);
 
     net::OsNetwork::Options netOptions;
     netOptions.bindAddress = bindAddress;
     netOptions.portBase = static_cast<std::uint16_t>(portBase);
     net::OsNetwork network{netOptions};
 
-    engine::EngineOptions options;
-    if (processingMs >= 0) options.processingDelay = net::ms(processingMs);
     std::optional<telemetry::PostmortemSpool> spool;
-    if (record || !postmortemDir.empty()) options.recorderSessionBytes = 1024 * 1024;
     if (!postmortemDir.empty()) {
         spool.emplace(telemetry::PostmortemSpool::Options{postmortemDir, 64});
-        options.postmortemSpool = &*spool;
     }
 
-    bridge::Starlink starlink{network};
-    auto& deployed =
-        starlink.deploy(bridge::models::forCase(*c, "10.0.0.9"), "10.0.0.9", options);
-    auto& engineRef = deployed.engine();
+    // Every deploy goes through the versioned registry -- the builtin fleet
+    // when no --models-dir -- so SIGHUP reload, the lint gate, canary and
+    // rollback behave identically for both sources. A defective INITIAL set
+    // is fatal (bridge.deploy-rejected escapes to the envelope); a defective
+    // RELOAD is not (the old version keeps serving, below).
+    bridge::ModelRegistryOptions registryOptions;
+    registryOptions.canaryPercent = canaryPercent;
+    // The live daemon serves one session at a time, so a canary generation
+    // serves every NEW session (time-based canary); after this many clean
+    // canary sessions it is promoted outright.
+    registryOptions.promoteAfter = canaryPercent > 0.0 ? 64 : 0;
+    bridge::ModelRegistry registry{registryOptions};
+    registry.onEvent = [](const bridge::RegistryEvent& event) {
+        std::cout << "starlinkd[os]: registry " << bridge::registryEventName(event.kind)
+                  << " v" << event.fromVersion << " -> v" << event.toVersion;
+        if (!event.detail.empty()) std::cout << " (" << event.detail << ")";
+        std::cout << "\n" << std::flush;
+    };
+    if (modelsDir.empty()) {
+        registry.loadBuiltins();
+    } else {
+        registry.loadDirectory(modelsDir);
+    }
+
+    // The serving deployment is rebuilt on swap: destroying the old Starlink
+    // closes its sockets (RAII + SO_REUSEADDR), the new generation rebinds
+    // the same ports. Session aggregates are carried across retirements so
+    // the shutdown summary spans every generation served.
+    std::optional<bridge::Starlink> starlink;
+    engine::AutomataEngine* engineRef = nullptr;
+    std::shared_ptr<const bridge::ModelSet> serving;
+    std::uint64_t carriedEnded = 0;
+    std::uint64_t carriedCompleted = 0;
+    std::uint64_t carriedAborted = 0;
+    std::uint64_t carriedUncoded = 0;
+    std::uint64_t reported = 0;  // per-engine session-report cursor
+
+    const auto retireEngine = [&]() {
+        if (engineRef == nullptr) return;
+        const auto& history = engineRef->sessions();
+        carriedEnded += history.totalEnded();
+        carriedCompleted += history.totalCompleted();
+        carriedAborted += history.totalAborted();
+        for (const auto& [code, count] : history.abortsByCode()) {
+            if (code == errc::ErrorCode::Unclassified) carriedUncoded += count;
+        }
+    };
+
+    const auto deployServing = [&](std::shared_ptr<const bridge::ModelSet> set) {
+        engine::EngineOptions options;
+        if (processingMs >= 0) options.processingDelay = net::ms(processingMs);
+        if (record || !postmortemDir.empty()) options.recorderSessionBytes = 1024 * 1024;
+        if (spool) options.postmortemSpool = &*spool;
+        options.modelVersion = set->version();
+        starlink.reset();
+        starlink.emplace(network);
+        engineRef = &starlink->deploy(set->specFor(*c), "10.0.0.9", options).engine();
+        serving = std::move(set);
+        reported = 0;
+    };
+    deployServing(registry.active());
 
     // --with-peers co-hosts the case's legacy service, making one daemon a
     // self-contained island a scripted client can complete sessions against.
@@ -777,13 +892,21 @@ int cmdServeOs(const std::string& caseName, const std::string& bindAddress, int 
             conn->onData([&network, request, held](const Bytes& chunk) {
                 request->append(chunk.begin(), chunk.end());
                 if (request->find("\r\n\r\n") == std::string::npos) return;
-                const bool found = request->rfind("GET /metrics", 0) == 0;
+                const bool isMetrics = request->rfind("GET /metrics", 0) == 0;
+                // POST /reload (GET accepted for curl convenience) schedules
+                // the same model reload SIGHUP does; it is applied in the
+                // poll loop, between sessions, never mid-conversation.
+                const bool isReload = request->rfind("POST /reload", 0) == 0 ||
+                                      request->rfind("GET /reload", 0) == 0;
+                if (isReload) gReloadRequested = 1;
+                const bool found = isMetrics || isReload;
                 const auto wallUs = std::chrono::duration_cast<std::chrono::microseconds>(
                                         network.now().time_since_epoch())
                                         .count();
                 const std::string body =
-                    found ? telemetry::MetricsRegistry::global().renderPrometheus(wallUs)
-                          : "not found\n";
+                    isMetrics ? telemetry::MetricsRegistry::global().renderPrometheus(wallUs)
+                    : isReload ? "reload scheduled\n"
+                               : "not found\n";
                 std::ostringstream response;
                 response << (found ? "HTTP/1.1 200 OK" : "HTTP/1.1 404 Not Found") << "\r\n"
                          << "Content-Type: text/plain; version=0.0.4\r\n"
@@ -806,46 +929,92 @@ int cmdServeOs(const std::string& caseName, const std::string& bindAddress, int 
     }
     if (withPeers) std::cout << ", in-process peers";
     std::cout << "\n";
+    std::cout << "starlinkd[os]: models v" << serving->version() << " ("
+              << serving->source() << ", identity " << std::hex << serving->identity()
+              << std::dec << ")";
+    if (canaryPercent > 0.0) std::cout << ", canary on reload";
+    std::cout << "\n";
     if (metricsListener != nullptr) {
         std::cout << "starlinkd[os]: metrics on http://" << bindAddress << ":" << metricsPort
-                  << "/metrics\n";
+                  << "/metrics (POST /reload to hot-swap)\n";
     }
     std::cout << "starlinkd[os]: ready (pid " << ::getpid() << ")\n" << std::flush;
 
     gServeNetwork = &network;
+    gReloadRequested = 0;
     std::signal(SIGTERM, handleServeSignal);
     std::signal(SIGINT, handleServeSignal);
+    std::signal(SIGHUP, handleReloadSignal);
 
     // One summary line per ended session. The history is an evicting ring,
     // but totalEnded() is exact, so the cursor never loses a record: every
     // loop iteration drains at most a poll's worth of fresh tail entries.
-    std::uint64_t reported = 0;
-    const auto reportNewSessions = [&engineRef, &reported]() {
-        const auto& history = engineRef.sessions();
+    // Each fresh terminal record is also fed to the registry's cohort judge.
+    const auto reportNewSessions = [&]() {
+        const auto& history = engineRef->sessions();
         const std::uint64_t total = history.totalEnded();
         if (total == reported) return;
         const std::size_t fresh =
             std::min(static_cast<std::size_t>(total - reported), history.size());
-        std::uint64_t ordinal = total - fresh;
+        std::uint64_t ordinal = carriedEnded + total - fresh;
         for (std::size_t i = history.size() - fresh; i < history.size(); ++i) {
             const auto& s = history[i];
             std::cout << "session #" << ++ordinal << ": "
                       << (s.completed ? "completed" : "aborted") << " in=" << s.messagesIn
-                      << " out=" << s.messagesOut;
+                      << " out=" << s.messagesOut << " model=v" << s.modelVersion;
             if (!s.completed) {
                 std::cout << " cause=" << engine::failureCauseName(s.cause)
                           << " code=" << errc::to_string(s.code);
             }
             std::cout << "\n";
+            registry.noteSession(s.modelVersion, !s.completed, s.code);
         }
         std::cout << std::flush;
         reported = total;
+    };
+
+    // The generation NEW sessions should run on: the canary when one is in
+    // flight (time-based canary -- the stable cohort already ran on the
+    // active version), the active set otherwise.
+    const auto desiredSet = [&registry]() {
+        auto candidate = registry.canary();
+        return candidate ? candidate : registry.active();
     };
 
     const auto started = network.now();
     while (!network.stopRequested()) {
         network.poll(net::ms(200));
         reportNewSessions();
+        if (gReloadRequested) {
+            gReloadRequested = 0;
+            try {
+                if (modelsDir.empty()) {
+                    registry.loadBuiltins();
+                } else {
+                    registry.loadDirectory(modelsDir);
+                }
+            } catch (const StarlinkError& error) {
+                // A defective candidate must never take a serving daemon
+                // down: record the rejection and keep the old version.
+                registry.noteReloadFailure(error.what());
+                std::cout << "starlinkd[os]: reload rejected ["
+                          << errc::to_string(error.code()) << "] " << error.what() << "\n"
+                          << std::flush;
+            }
+        }
+        // Apply a pending swap only while no session is in flight: the
+        // in-flight conversation always finishes on the version it started.
+        const auto want = desiredSet();
+        if (want != nullptr && want->version() != serving->version() &&
+            engineRef->currentState() == engineRef->merged().initialState()) {
+            retireEngine();
+            const auto fromVersion = serving->version();
+            deployServing(want);
+            std::cout << "starlinkd[os]: serving v" << fromVersion << " -> v"
+                      << serving->version() << " (identity " << std::hex
+                      << serving->identity() << std::dec << ")\n"
+                      << std::flush;
+        }
         if (maxSeconds > 0 && network.now() - started >= std::chrono::seconds(maxSeconds)) {
             break;
         }
@@ -853,25 +1022,25 @@ int cmdServeOs(const std::string& caseName, const std::string& bindAddress, int 
 
     std::signal(SIGTERM, SIG_DFL);
     std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGHUP, SIG_DFL);
     gServeNetwork = nullptr;
     reportNewSessions();
+    retireEngine();
 
-    const auto& history = engineRef.sessions();
-    std::uint64_t uncoded = 0;
-    for (const auto& [code, count] : history.abortsByCode()) {
-        if (code == errc::ErrorCode::Unclassified) uncoded += count;
-    }
     const auto wallMs =
         std::chrono::duration_cast<std::chrono::milliseconds>(network.now() - started).count();
-    std::cout << "starlinkd[os]: shutdown after " << wallMs << " ms: " << history.totalEnded()
-              << " sessions (" << history.totalCompleted() << " completed, "
-              << history.totalAborted() << " aborted, uncoded=" << uncoded << ")";
+    std::cout << "starlinkd[os]: shutdown after " << wallMs << " ms: " << carriedEnded
+              << " sessions (" << carriedCompleted << " completed, " << carriedAborted
+              << " aborted, uncoded=" << carriedUncoded << ")";
+    std::cout << ", serving v" << serving->version() << ", swaps=" << registry.swapsTotal()
+              << ", rollbacks=" << registry.rollbacksTotal()
+              << ", reload-failures=" << registry.reloadFailuresTotal();
     if (spool) {
         std::cout << ", " << spool->written() << " postmortem bundle(s) in "
                   << spool->directory();
     }
     std::cout << "\n";
-    return uncoded == 0 ? 0 : 1;
+    return carriedUncoded == 0 ? 0 : 1;
 }
 
 /// Drives a mixed workload (all six directions, round-robin) through the
@@ -882,8 +1051,10 @@ int cmdServeOs(const std::string& caseName, const std::string& bindAddress, int 
 /// exposition, the report moves to stderr).
 int cmdServe(int shards, int sessions, bool chaos, double loss, std::uint64_t seed,
              bool printMetrics, std::size_t maxSessions, int idleTimeoutMs, bool record,
-             const std::string& postmortemDir) {
+             const std::string& postmortemDir, const std::string& modelsDir,
+             double canaryPercent) {
     if (printMetrics) telemetry::setEnabled(true);
+    if (!postmortemDir.empty()) probeSpoolDir(postmortemDir);
     engine::ShardEngineOptions options;
     options.shards = shards;
     options.baseSeed = seed;
@@ -905,6 +1076,21 @@ int cmdServe(int shards, int sessions, bool chaos, double loss, std::uint64_t se
         options.engine.retransmitBackoff = 1.5;
         options.engine.retransmitJitter = net::ms(100);
         options.engine.sessionTimeout = net::ms(30000);
+    }
+    // --models-dir routes every deploy through the versioned registry (lint
+    // gate, per-session version pinning); --canary-percent alone exercises
+    // the cohort split over the builtin fleet.
+    std::optional<bridge::ModelRegistry> registry;
+    if (!modelsDir.empty() || canaryPercent > 0.0) {
+        bridge::ModelRegistryOptions registryOptions;
+        registryOptions.canaryPercent = canaryPercent;
+        registry.emplace(registryOptions);
+        if (modelsDir.empty()) {
+            registry->loadBuiltins();
+        } else {
+            registry->loadDirectory(modelsDir);
+        }
+        options.registry = &*registry;
     }
     engine::ShardEngine shardEngine(options);
     for (int i = 0; i < sessions; ++i) {
@@ -954,6 +1140,14 @@ int cmdServe(int shards, int sessions, bool chaos, double loss, std::uint64_t se
     if (spool) {
         report << "postmortem: " << spool->written() << " bundle(s) spooled to "
                << spool->directory() << "\n";
+    }
+    if (registry) {
+        report << "registry: active v" << registry->active()->version();
+        if (const auto candidate = registry->canary()) {
+            report << ", canary v" << candidate->version();
+        }
+        report << ", swaps " << registry->swapsTotal() << ", rollbacks "
+               << registry->rollbacksTotal() << "\n";
     }
 
     if (printMetrics) {
@@ -1125,13 +1319,39 @@ int cmdPostmortem(const std::string& path) {
     return 0;
 }
 
-/// Replays a bundle and diffs the outcome against the capture.
-int cmdReplay(const std::string& path) {
+/// Replays a bundle and diffs the outcome against the capture. With
+/// --models-dir the models that produced the capture are resolved from a
+/// registry over that directory BY FINGERPRINT: a bundle no retained
+/// generation matches is refused (bridge.version-unknown) before anything
+/// deploys -- replay never guesses which models to run.
+int cmdReplay(const std::string& path, const std::string& modelsDir) {
     const telemetry::PostmortemBundle bundle = telemetry::decodeBundle(slurpBytes(path));
     std::cout << "replaying " << path << " (case " << bundle.caseSlug << ", abort "
               << bundle.abortCode << " "
               << errc::to_string(static_cast<errc::ErrorCode>(bundle.abortCode)) << ")\n";
-    const bridge::ReplayComparison result = bridge::replayBundle(bundle);
+    bridge::ReplayComparison result;
+    if (!modelsDir.empty()) {
+        const auto c = bridge::models::caseBySlug(bundle.caseSlug);
+        if (!c) {
+            throw SpecError("bundle case '" + bundle.caseSlug +
+                            "' is not a replayable built-in case");
+        }
+        bridge::ModelRegistry registry;
+        registry.loadDirectory(modelsDir);
+        const auto set = registry.byCaseIdentity(*c, bundle.modelIdentity);
+        if (set == nullptr) {
+            std::ostringstream message;
+            message << "no model generation in '" << modelsDir
+                    << "' matches the bundle's fingerprint " << std::hex
+                    << bundle.modelIdentity << std::dec;
+            throw SpecError(errc::ErrorCode::BridgeVersionUnknown, message.str());
+        }
+        std::cout << "  models:   v" << set->version() << " from " << set->source()
+                  << " (identity " << std::hex << set->identityFor(*c) << std::dec << ")\n";
+        result = bridge::replayBundle(bundle, set->specFor(*c));
+    } else {
+        result = bridge::replayBundle(bundle);
+    }
     std::cout << "  replayed: " << (result.completed ? "completed" : "aborted") << " code="
               << result.abortCode << " in/out=" << result.messagesIn << "/"
               << result.messagesOut << " retransmits=" << result.retransmits << "\n";
@@ -1248,6 +1468,8 @@ int main(int argc, char** argv) {
                 int idleTimeoutMs = 0;      // 0 = no idle eviction
                 bool record = false;
                 std::string postmortemDir;
+                std::string modelsDir;
+                double canaryPercent = 0.0;  // 0 = swap immediately on reload
                 std::string transport = "sim";
                 std::string caseName;
                 std::string bindAddress = "127.0.0.1";
@@ -1278,10 +1500,16 @@ int main(int argc, char** argv) {
                         else if (flag == "--max-sessions" && i + 1 < argc) maxSessions = std::stoll(argv[++i]);
                         else if (flag == "--idle-timeout" && i + 1 < argc) idleTimeoutMs = std::stoi(argv[++i]);
                         else if (flag == "--postmortem-dir" && i + 1 < argc) postmortemDir = argv[++i];
+                        else if (flag == "--models-dir" && i + 1 < argc) modelsDir = argv[++i];
+                        else if (flag == "--canary-percent" && i + 1 < argc) canaryPercent = std::stod(argv[++i]);
                         else return usage();
                     }
                 } catch (const std::exception&) {
                     std::cerr << "starlinkd: serve expects numeric option values\n";
+                    return usage();
+                }
+                if (canaryPercent < 0.0 || canaryPercent > 100.0) {
+                    std::cerr << "starlinkd: serve: canary-percent in [0,100]\n";
                     return usage();
                 }
                 if (transport == "os") {
@@ -1292,7 +1520,8 @@ int main(int argc, char** argv) {
                         return usage();
                     }
                     return cmdServeOs(caseName, bindAddress, portBase, metricsPort, withPeers,
-                                      processingMs, maxSeconds, record, postmortemDir);
+                                      processingMs, maxSeconds, record, postmortemDir,
+                                      modelsDir, canaryPercent);
                 }
                 if (transport != "sim") {
                     std::cerr << "starlinkd: unknown transport '" << transport
@@ -1307,10 +1536,25 @@ int main(int argc, char** argv) {
                 }
                 return cmdServe(shards, sessions, chaos, loss, seed, printMetrics,
                                 static_cast<std::size_t>(maxSessions), idleTimeoutMs, record,
-                                postmortemDir);
+                                postmortemDir, modelsDir, canaryPercent);
             }
             if (command == "postmortem" && argc == 3) return cmdPostmortem(argv[2]);
-            if (command == "replay" && argc == 3) return cmdReplay(argv[2]);
+            if (command == "replay" && argc >= 3) {
+                std::string modelsDir;
+                std::string bundlePath;
+                for (int i = 2; i < argc; ++i) {
+                    const std::string arg = argv[i];
+                    if (arg == "--models-dir" && i + 1 < argc) {
+                        modelsDir = argv[++i];
+                    } else if (bundlePath.empty()) {
+                        bundlePath = arg;
+                    } else {
+                        return usage();
+                    }
+                }
+                if (bundlePath.empty()) return usage();
+                return cmdReplay(bundlePath, modelsDir);
+            }
         }
         return usage();
     } catch (const std::exception& error) {
